@@ -1,0 +1,80 @@
+// E12 — §6.1 sensitivity: what correlated mistake-making does to the model's
+// predictions.  Positive correlation (common conceptual errors) via a
+// common-cause mixture and a Gaussian copula; the paper's "merge the
+// perfectly-correlated faults" approximation; negative association.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/generators.hpp"
+#include "core/moments.hpp"
+#include "core/no_common_fault.hpp"
+#include "mc/correlated.hpp"
+
+int main() {
+  using namespace reldiv;
+  benchutil::title("E12", "Section 6.1 — sensitivity to correlated fault introduction");
+
+  const auto u = core::make_random_universe(15, 0.25, 0.6, 121);
+  const double exact_p1 = core::prob_some_fault(u);
+  const double exact_p2 = core::prob_some_common_fault(u);
+  const double exact_ratio = core::risk_ratio(u);
+  const std::uint64_t samples = 300000;
+
+  benchutil::section("common-cause mixture (marginals preserved exactly)");
+  benchutil::table t({"rho", "P(N1>0)", "P(N2>0)", "eq.(10) ratio", "vs indep ratio"});
+  t.row({"0 (model)", benchutil::sci(exact_p1), benchutil::sci(exact_p2),
+         benchutil::fmt(exact_ratio, "%.5f"), "1.00"});
+  for (const double rho : {0.1, 0.3, 0.5}) {
+    const mc::common_cause_mixture mix(u, rho, 1.8);
+    const auto res = mc::run_correlated(u, mix, samples, 7);
+    t.row({benchutil::fmt(rho, "%.1f"), benchutil::sci(res.prob_n1_positive),
+           benchutil::sci(res.prob_n2_positive), benchutil::fmt(res.risk_ratio, "%.5f"),
+           benchutil::fmt(res.risk_ratio / exact_ratio, "%.2f")});
+  }
+  t.print();
+  benchutil::note("Marginals are preserved, so E[Theta1]/E[Theta2] are untouched; positive");
+  benchutil::note("within-version association CLUSTERS faults (FKG), lowering both P(N1>0)");
+  benchutil::note("and P(N2>0).  The eq. (10) ratio therefore shifts with rho even though");
+  benchutil::note("every marginal p_i is identical — the §6.1 warning that independence is");
+  benchutil::note("a modelling choice with measurable consequences, not a free assumption.");
+
+  benchutil::section("Gaussian copula (positive and negative association)");
+  benchutil::table c({"rho", "P(N1>0)", "P(N2>0)", "eq.(10) ratio"});
+  for (const double rho : {-0.5, -0.2, 0.0, 0.2, 0.5}) {
+    const mc::gaussian_copula_sampler cop(u, rho == 0.0 ? 1e-9 : rho);
+    const auto res = mc::run_correlated(u, cop, samples, 11);
+    c.row({benchutil::fmt(rho, "%.1f"), benchutil::sci(res.prob_n1_positive),
+           benchutil::sci(res.prob_n2_positive), benchutil::fmt(res.risk_ratio, "%.5f")});
+  }
+  c.print();
+  benchutil::note("Negative association (resource trade-offs between fault classes) pushes");
+  benchutil::note("the ratio back toward — and can push below — the independence value.");
+
+  benchutil::section("the paper's merge approximation for perfect positive correlation");
+  // Merge the three most-likely faults into one super-fault.
+  std::vector<std::size_t> group;
+  std::vector<std::pair<double, std::size_t>> byp;
+  for (std::size_t i = 0; i < u.size(); ++i) byp.push_back({u[i].p, i});
+  std::sort(byp.rbegin(), byp.rend());
+  for (int i = 0; i < 3; ++i) group.push_back(byp[i].second);
+  const auto merged = mc::merge_fault_groups(u, {group});
+  std::printf("  merged universe: %s (was %s)\n", merged.describe().c_str(),
+              u.describe().c_str());
+  const double mu1_merged = core::single_version_moments(merged).mean;
+  const double mu2_merged = core::pair_moments(merged).mean;
+  const double mu1_indep = core::single_version_moments(u).mean;
+  const double mu2_indep = core::pair_moments(u).mean;
+  std::printf("  E[Theta1]: independent %.5f -> merged %.5f ; E[Theta2]: %.6f -> %.6f\n",
+              mu1_indep, mu1_merged, mu2_indep, mu2_merged);
+  std::printf("  eq. (10) ratio: independent %.5f -> merged %.5f (direction is NOT fixed:\n",
+              exact_ratio, core::risk_ratio(merged));
+  std::printf("  merging moves both numerator and denominator of the count-based ratio)\n");
+  benchutil::verdict(mu1_merged >= mu1_indep - 1e-12 && mu2_merged >= mu2_indep - 1e-12,
+                     "'solving these models for higher values of the q_i parameters (and "
+                     "correspondingly lower n)' is PESSIMISTIC for the PFD moments — the "
+                     "merged universe dominates the independent one in E[Theta1] and "
+                     "E[Theta2], which is the §6.1 protection the paper wants");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E8 — the §5.1 worked example: µ1 = 0.01, σ1 = 0.001, 84% one-sided bound
+// (k = 1), pmax = 0.1.  Paper: one-version bound 0.011; two-version bound
+// 0.001 via eq. (11), 0.004 via eq. (12).  We reproduce the numbers and then
+// validate them against an exactly solvable universe with those moments.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/bounds.hpp"
+#include "core/generators.hpp"
+#include "core/moments.hpp"
+#include "core/pfd_distribution.hpp"
+#include "stats/poisson_binomial.hpp"
+
+int main() {
+  using namespace reldiv::core;
+  benchutil::title("E8", "Section 5.1 worked example (mu1=0.01, sigma1=0.001, k=1, pmax=0.1)");
+
+  const double mu1 = 0.01;
+  const double sigma1 = 0.001;
+  const double k = 1.0;
+  const double pmax = 0.1;
+
+  benchutil::section("the paper's numbers");
+  const double one_version = mu1 + k * sigma1;
+  const double eq11 = pair_bound_from_moments(mu1, sigma1, k, pmax);
+  const double eq12 = pair_bound_from_bound(one_version, pmax);
+  benchutil::table t({"bound", "paper", "computed", "agrees (1 sig. fig.)"});
+  t.row({"one-version mu1+k*sigma1", "0.011", benchutil::fmt(one_version, "%.6f"),
+         std::abs(one_version - 0.011) < 5e-4 ? "yes" : "NO"});
+  t.row({"two-version eq. (11)", "0.001", benchutil::fmt(eq11, "%.6f"),
+         std::abs(eq11 - 0.001) < 5e-4 ? "yes" : "NO"});
+  t.row({"two-version eq. (12)", "0.004", benchutil::fmt(eq12, "%.6f"),
+         std::abs(eq12 - 0.004) < 5e-4 ? "yes" : "NO"});
+  t.print();
+  benchutil::verdict(std::abs(one_version - 0.011) < 5e-4 && std::abs(eq11 - 0.001) < 5e-4 &&
+                         std::abs(eq12 - 0.004) < 5e-4,
+                     "all three §5.1 example numbers reproduced (paper rounds to 1 digit)");
+  std::printf("  (exact eq. 11 value %.5f -> paper's 0.001; exact eq. 12 value %.5f -> 0.004;\n",
+              eq11, eq12);
+  std::printf("   'an improvement by an order of magnitude' vs 'a more modest' factor %.1f)\n",
+              one_version / eq12);
+
+  benchutil::section("validation on a concrete universe with those moments");
+  // 100 identical faults with p chosen so that mu1 = 0.01 and sigma1 ~ 0.001:
+  // mu1 = n p q, sigma1^2 = n p(1-p) q^2.  With n = 100, q = 0.01: p = 0.01
+  // gives mu1 = 1e-2? n p q = 100*0.01*0.01 = 0.01. sigma1 = sqrt(100*0.01*0.99)*0.01
+  // = 0.00995 — too big; use more, smaller faults: n = 10000, q = 1e-4, p = 0.01:
+  // mu1 = 0.01, sigma1 = sqrt(10000*0.01*0.99)*1e-4 = 9.95e-4 ~ 0.001.
+  const auto u = make_homogeneous_universe(10000, 0.01, 1e-4);
+  const auto m1 = single_version_moments(u);
+  const auto m2 = pair_moments(u);
+  std::printf("  universe: %s\n", u.describe().c_str());
+  std::printf("  mu1 = %.6f (target 0.01), sigma1 = %.6f (target 0.001)\n", m1.mean,
+              m1.stddev());
+  const double actual_pair_bound = m2.mean + k * m2.stddev();
+  const double bound11 = pair_bound_from_moments(m1.mean, m1.stddev(), k, u.p_max());
+  const double bound12 = pair_bound_from_bound(m1.mean + k * m1.stddev(), u.p_max());
+  std::printf("  actual mu2 + k*sigma2 = %.6f vs eq. (11) bound %.6f and eq. (12) bound %.6f\n",
+              actual_pair_bound, bound11, bound12);
+  benchutil::verdict(actual_pair_bound <= bound11 * (1.0 + 1e-12) &&
+                         actual_pair_bound <= bound12 * (1.0 + 1e-12),
+                     "the true mu2 + k*sigma2 respects both paper bounds on a realized "
+                     "universe (homogeneous p makes eq. 11 exactly tight)");
+
+  // Exact-distribution check of what the 84% bound means.  The universe is
+  // homogeneous (every q equal), so Theta2 = q * N2 with N2 Poisson-binomial
+  // over the p_i^2 — the quantile is exact.
+  std::vector<double> p2;
+  p2.reserve(u.size());
+  for (const auto& a : u) p2.push_back(a.p * a.p);
+  const reldiv::stats::poisson_binomial n2(std::move(p2));
+  std::size_t k84 = 0;
+  for (double cum = 0.0; k84 <= n2.trials(); ++k84) {
+    cum += n2.pmf(k84);
+    if (cum >= 0.8413) break;
+  }
+  const double exact_q84 = static_cast<double>(k84) * 1e-4;
+  double coverage = 0.0;  // exact P(Theta2 <= mu2 + k*sigma2)
+  for (std::size_t j = 0; static_cast<double>(j) * 1e-4 <= actual_pair_bound + 1e-12; ++j) {
+    coverage += n2.pmf(j);
+  }
+  std::printf("  exact 84.13%% quantile of Theta2 (Poisson-binomial): %.6f\n", exact_q84);
+  std::printf("  exact coverage of the mu2 + sigma2 bound: %.4f (normal claims 0.8413)\n",
+              coverage);
+  benchutil::verdict(coverage > 0.6 && coverage < 0.95,
+                     "for the pair's lumpy discrete law the normal-claimed 84% coverage "
+                     "is off by several points — exactly the §5 caveat ('we will not "
+                     "know in practice how good an approximation it is'), now measured");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// P1 — google-benchmark microbenchmarks of the computational kernels, so
+// regressions in the hot paths (moments, eq. 10 products, exact laws,
+// version sampling) are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "core/generators.hpp"
+#include "core/moments.hpp"
+#include "core/no_common_fault.hpp"
+#include "core/pfd_distribution.hpp"
+#include "mc/sampler.hpp"
+#include "stats/poisson_binomial.hpp"
+#include "stats/random.hpp"
+
+namespace {
+
+using namespace reldiv;
+
+void BM_Moments(benchmark::State& state) {
+  const auto u = core::make_random_universe(static_cast<std::size_t>(state.range(0)), 0.5,
+                                            0.8, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::pair_moments(u));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Moments)->Range(8, 4096)->Complexity(benchmark::oN);
+
+void BM_RiskRatio(benchmark::State& state) {
+  const auto u = core::make_random_universe(static_cast<std::size_t>(state.range(0)), 0.5,
+                                            0.8, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::risk_ratio(u));
+  }
+}
+BENCHMARK(BM_RiskRatio)->Range(8, 4096);
+
+void BM_ExactDistribution(benchmark::State& state) {
+  const auto u = core::make_random_universe(static_cast<std::size_t>(state.range(0)), 0.5,
+                                            0.8, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::exact_pfd_distribution(u, 2));
+  }
+}
+BENCHMARK(BM_ExactDistribution)->DenseRange(8, 20, 4);
+
+void BM_GridDistribution(benchmark::State& state) {
+  const auto u = core::make_many_small_faults_universe(
+      static_cast<std::size_t>(state.range(0)), 0.05, 0.3, 0.8, 0.2, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::grid_pfd_distribution(u, 2, 4096));
+  }
+}
+BENCHMARK(BM_GridDistribution)->Range(64, 1024);
+
+void BM_SampleVersion(benchmark::State& state) {
+  const auto u = core::make_random_universe(static_cast<std::size_t>(state.range(0)), 0.3,
+                                            0.8, 5);
+  stats::rng r(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::sample_version(u, r));
+  }
+}
+BENCHMARK(BM_SampleVersion)->Range(16, 1024);
+
+void BM_PoissonBinomial(benchmark::State& state) {
+  const auto u = core::make_random_universe(static_cast<std::size_t>(state.range(0)), 0.3,
+                                            0.8, 7);
+  const auto p = u.p_values();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::poisson_binomial(p));
+  }
+}
+BENCHMARK(BM_PoissonBinomial)->Range(16, 1024);
+
+void BM_RngUniform(benchmark::State& state) {
+  stats::rng r(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Architecture-selection case study: a system architect compares simplex,
+// 1oo2, 2oo3 and 1oo3 arrangements of diverse software channels for a
+// protection function, trading demand-failure PFD (the paper's measure)
+// against spurious-trip rate, and checks what evidence (pmax, channel
+// testing) each claim needs.
+
+#include <cstdio>
+
+#include "bayes/inference.hpp"
+#include "core/allocation.hpp"
+#include "core/generators.hpp"
+#include "core/kofn.hpp"
+#include "core/moments.hpp"
+
+int main() {
+  using namespace reldiv;
+  using namespace reldiv::core;
+  std::printf("=== Architecture selection for a protection function ===\n\n");
+
+  // The application's delivered fault universe (demand side) and the
+  // false-trip universe (availability side), from process evidence.
+  const auto demand_faults = make_safety_grade_universe(30, 0.0, 0.06, 0.5, 314);
+  const auto spurious_faults = make_safety_grade_universe(20, 0.0, 0.08, 0.3, 315);
+  std::printf("demand-failure universe : %s\n", demand_faults.describe().c_str());
+  std::printf("spurious-trip universe  : %s\n\n", spurious_faults.describe().c_str());
+
+  const architecture options[] = {architecture::simplex(), architecture::one_out_of_two(),
+                                  architecture::two_out_of_three(), architecture{3, 3}};
+
+  std::printf("%-28s %-12s %-10s %-12s %-8s\n", "architecture", "E[PFD]", "99% bound",
+              "spurious", "SIL");
+  for (const auto& arch : options) {
+    const auto m = architecture_moments(demand_faults, arch);
+    const double bound = m.mean + 2.3263 * m.stddev();
+    const double spurious = mean_spurious_rate(spurious_faults, arch);
+    std::printf("%-28s %-12.3e %-10.3e %-12.3e SIL%-5d\n", arch.describe(), m.mean, bound,
+                spurious, sil_band(bound));
+  }
+
+  // What must the quality programme defend for the pair to claim 1e-3?
+  std::printf("\nevidence requirements for a 1e-3 claim on the 1oo2 pair (eq. 12 route):\n");
+  const auto m1 = single_version_moments(demand_faults);
+  const double one_version_bound = m1.mean + 2.3263 * m1.stddev();
+  std::printf("  one-version 99%% bound: %.3e\n", one_version_bound);
+  const double pmax_needed = required_pmax(one_version_bound, 1e-3);
+  std::printf("  required pmax        : %.4f (actual universe pmax: %.4f -> %s)\n",
+              pmax_needed, demand_faults.p_max(),
+              demand_faults.p_max() <= pmax_needed ? "defensible" : "NOT defensible");
+
+  // Or: how much failure-free channel testing buys the same claim?
+  std::printf("\nstatistical-testing route (Bayesian, exact model prior):\n");
+  // Use a small assessable slice of the universe for exact enumeration.
+  const auto slice = make_safety_grade_universe(16, 0.0, 0.06, 0.4, 316);
+  const auto demands =
+      bayes::demands_needed_for_target(slice, 2, 1e-3, 0.99, 50'000'000);
+  std::printf("  failure-free demands needed on the pair for P(PFD<=1e-3) >= 0.99: %llu\n",
+              static_cast<unsigned long long>(demands));
+  const auto channel_route = bayes::assess_pair_from_channel_tests(
+      slice, {5000, 0}, {5000, 0});
+  std::printf("  alternatively, 5000 clean demands per CHANNEL give pair E[PFD] = %.3e,\n",
+              channel_route.pair_mean_pfd);
+  std::printf("  P(no common fault) = %.5f\n", channel_route.prob_no_common_fault);
+
+  std::printf("\nsummary: 1oo2 buys the demand-side claim but doubles the spurious rate;\n");
+  std::printf("2oo3 keeps most of the PFD gain while cutting spurious trips below the\n");
+  std::printf("simplex level — the standard industrial compromise, derived here from the\n");
+  std::printf("paper's fault-creation model rather than asserted.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Assessor case study: a regulator must decide whether a 1-out-of-2 diverse
+// protection system meets a PFD requirement of 1e-3, given only
+// process-level evidence — the situation Sections 5 and 7 of the paper
+// address ("assessors routinely judge that if certain ... evidence is given
+// about a software product, then the product is suitable for use").
+//
+// The assessor:
+//   1. elicits a fault catalogue and the developer's V&V pipeline,
+//   2. synthesizes the delivered fault universe,
+//   3. derives one-version and two-version confidence bounds (eqs. 11-12),
+//   4. checks the claim with the exact law and with operational evidence
+//      (Bayesian update on failure-free statistical testing).
+
+#include <cstdio>
+
+#include "bayes/assessment.hpp"
+#include "core/bounds.hpp"
+#include "core/moments.hpp"
+#include "core/no_common_fault.hpp"
+#include "core/pfd_distribution.hpp"
+#include "process/pipeline.hpp"
+
+int main() {
+  using namespace reldiv;
+  const double required_pfd = 1e-3;  // the "theta_R" of the paper
+  std::printf("=== Assessor case study: is the 1oo2 system fit for theta_R = %.0e? ===\n\n",
+              required_pfd);
+
+  // Step 1: the developer's evidence.
+  const auto catalogue = process::make_fault_catalogue(18, 2026);
+  const auto pipeline = process::make_process_at_level(3);
+  std::printf("fault catalogue: %zu potential faults; V&V pipeline: %zu stages\n",
+              catalogue.size(), pipeline.stage_count());
+  for (const auto& stage : pipeline.stages()) {
+    std::printf("  - %s\n", stage.name.c_str());
+  }
+
+  // Step 2: delivered universe.
+  const auto universe = pipeline.synthesize(catalogue);
+  std::printf("\ndelivered universe: %s\n", universe.describe().c_str());
+  std::printf("P(version fault-free) = %.4f\n", core::prob_no_fault(universe));
+
+  // Step 3: the paper's bounds at 99% confidence.
+  const auto view = core::make_assessor_view_at_confidence(universe, 0.99);
+  std::printf("\n99%% confidence bounds (normal approximation, k = %.3f):\n", view.k);
+  std::printf("  one version  : %.3e  -> %s\n", view.one_version.value(),
+              view.one_version.value() <= required_pfd ? "MEETS theta_R" : "exceeds theta_R");
+  std::printf("  pair, eq.(11): %.3e  -> %s\n", view.bound_eq11,
+              view.bound_eq11 <= required_pfd ? "MEETS theta_R" : "exceeds theta_R");
+  std::printf("  pair, eq.(12): %.3e  -> %s\n", view.bound_eq12,
+              view.bound_eq12 <= required_pfd ? "MEETS theta_R" : "exceeds theta_R");
+  std::printf("  (guaranteed beta-factor from diversity: %.3f at pmax = %.3f)\n",
+              view.guaranteed_gain_factor(), view.p_max);
+
+  // Step 4a: exact-law cross-check (the universe is small enough).
+  const auto law = core::exact_pfd_distribution(universe, 2);
+  std::printf("\nexact pair law: P(PFD <= theta_R) = %.5f (claim needs >= 0.99)\n",
+              law.cdf(required_pfd));
+
+  // Step 4b: operational evidence sharpens the claim (paper §7 / [14]).
+  std::printf("\nBayesian update on failure-free statistical testing of the pair:\n");
+  std::printf("  %-12s %-14s %-14s\n", "demands", "post. mean", "99% credible");
+  for (const std::uint64_t t : {0ull, 5000ull, 50000ull}) {
+    const auto a = bayes::assess(universe, 2, t);
+    std::printf("  %-12llu %-14.3e %-14.3e\n", static_cast<unsigned long long>(t),
+                a.posterior_mean, a.posterior_q99);
+  }
+  std::printf("\nverdict: the diverse pair meets theta_R with margin; the single version's\n");
+  std::printf("bound is the binding constraint — diversity is what buys the claim.\n");
+  return 0;
+}

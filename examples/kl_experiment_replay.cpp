@@ -1,0 +1,54 @@
+// Replay of the Knight-Leveson-style experiment (paper §7's empirical
+// anchor): develop 27 versions of the same specification, score them on a
+// large demand campaign, and examine what pairing any two buys — including
+// the distributional observations the paper checks its model against.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/generators.hpp"
+#include "kl/experiment.hpp"
+#include "stats/descriptive.hpp"
+
+int main() {
+  using namespace reldiv;
+  std::printf("=== Knight-Leveson style experiment replay (27 versions, 351 pairs) ===\n\n");
+
+  const auto universe = core::make_knight_leveson_like_universe(1);
+  std::printf("specification's fault universe: %s\n\n", universe.describe().c_str());
+
+  kl::kl_config cfg;
+  cfg.demands = 1'000'000;
+  const auto res = kl::run_kl_experiment(universe, cfg);
+
+  std::printf("per-version exact PFDs (sorted):\n ");
+  auto sorted = res.version_pfd;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    std::printf(" %.5f%s", sorted[i], (i + 1) % 9 == 0 ? "\n " : "");
+  }
+  std::printf("\n");
+
+  std::printf("single versions: mean %.3e, sd %.3e, max %.3e\n", res.version_summary.mean,
+              res.version_summary.stddev, res.version_summary.max);
+  std::printf("1oo2 pairs     : mean %.3e, sd %.3e, max %.3e\n", res.pair_summary.mean,
+              res.pair_summary.stddev, res.pair_summary.max);
+  std::printf("reduction      : mean /%.1f, sd /%.1f\n\n", res.mean_reduction,
+              res.sd_reduction);
+
+  // Distribution of pair PFDs as an ASCII histogram.
+  stats::histogram h(0.0, res.pair_summary.max * 1.05 + 1e-9, 12);
+  for (const double pfd : res.pair_pfd) h.add(pfd);
+  std::printf("histogram of the 351 pair PFDs:\n%s\n", h.render(48).c_str());
+
+  std::printf("normality of the 27 version PFDs: A*^2 = %.3f, p = %.4f -> %s\n",
+              res.version_normality.statistic, res.version_normality.p_value,
+              res.version_normality.reject_at_05 ? "not normal (as the paper found)"
+                                                 : "compatible with normal");
+  std::printf("\nfraction of pairs with PFD = 0: %.3f — 'even one fault (common to the\n",
+              static_cast<double>(std::count(res.pair_pfd.begin(), res.pair_pfd.end(), 0.0)) /
+                  static_cast<double>(res.pair_pfd.size()));
+  std::printf("two versions) may be enough to violate the system dependability\n");
+  std::printf("requirements', hence Section 4's focus on P(no common fault).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// End-to-end Fig. 1 scenario: a stochastic plant, two separately developed
+// protection channels, OR adjudication — watch a single realized system
+// accumulate operational history, then compare several independently
+// developed systems to see the version-to-version variation the paper's
+// distributions describe.
+
+#include <cstdio>
+
+#include "core/fault_universe.hpp"
+#include "core/moments.hpp"
+#include "demand/region.hpp"
+#include "protection/system.hpp"
+
+int main() {
+  using namespace reldiv;
+  using namespace reldiv::demand;
+  std::printf("=== Plant protection simulation (Fig. 1: 1-out-of-2, OR adjudication) ===\n\n");
+
+  // The application's potential faults: failure regions over the sensed
+  // (pressure, temperature)-style demand space.
+  const std::vector<region_fault> faults = {
+      {make_box_region(box({0.00, 0.00}, {0.22, 0.30})), 0.30},
+      {make_ellipsoid_region({0.75, 0.70}, {0.15, 0.10}), 0.20},
+      {make_box_region(box({0.45, 0.05}, {0.70, 0.18})), 0.40},
+      {make_point_array_region({{0.3, 0.9}, {0.5, 0.9}, {0.7, 0.9}}, 0.03), 0.15},
+      {make_stripe_region(2, 1, 0.5, 0.01, 0.24), 0.25},
+  };
+
+  protection::plant::config pcfg;
+  stats::rng dev_rng(7);
+  stats::rng op_rng(11);
+
+  // --- one realized system, one operating campaign ----------------------
+  const auto channel_a = protection::develop_channel(faults, dev_rng);
+  const auto channel_b = protection::develop_channel(faults, dev_rng);
+  std::printf("developed channel A with %zu faults, channel B with %zu faults\n",
+              channel_a.fault_count(), channel_b.fault_count());
+  protection::one_out_of_two system(channel_a, channel_b);
+
+  protection::plant pl(pcfg);
+  const auto campaign = protection::run_campaign(pl, system, 50000, op_rng);
+  std::printf("\n50000 plant demands:\n");
+  std::printf("  channel A failures: %llu (PFD %.4f)\n",
+              static_cast<unsigned long long>(campaign.channel_a_failures),
+              campaign.channel_a_pfd());
+  std::printf("  channel B failures: %llu (PFD %.4f)\n",
+              static_cast<unsigned long long>(campaign.channel_b_failures),
+              campaign.channel_b_pfd());
+  std::printf("  SYSTEM failures   : %llu (PFD %.4f, 99%% CI [%.4f, %.4f])\n",
+              static_cast<unsigned long long>(campaign.system_failures),
+              campaign.system_pfd(), campaign.system_pfd_ci().lo,
+              campaign.system_pfd_ci().hi);
+
+  // --- the population view: many possible developments ------------------
+  std::printf("\npopulation of 12 independently developed systems (5000 demands each):\n");
+  std::printf("  %-8s %-10s %-10s %-10s\n", "system", "PFD A", "PFD B", "PFD 1oo2");
+  for (int s = 0; s < 12; ++s) {
+    protection::one_out_of_two sys(protection::develop_channel(faults, dev_rng),
+                                   protection::develop_channel(faults, dev_rng));
+    protection::plant p2(pcfg);
+    const auto r = protection::run_campaign(p2, sys, 5000, op_rng);
+    std::printf("  #%-7d %-10.4f %-10.4f %-10.4f\n", s + 1, r.channel_a_pfd(),
+                r.channel_b_pfd(), r.system_pfd());
+  }
+  std::printf("\nNote the spread: 'we need some idea of the probability of achieving a\n");
+  std::printf("given reliability, i.e., about probability distributions rather than\n");
+  std::printf("averages' — which is what the core library computes exactly.\n");
+  return 0;
+}

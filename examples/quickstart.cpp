@@ -1,0 +1,58 @@
+// Quickstart: the library in 60 lines.
+//
+// Build a fault universe (the paper's model of what can go wrong in a
+// development), then answer the two questions every user of the library
+// asks: how reliable is one version, and how much does a 1-out-of-2
+// diverse pair buy?
+
+#include <cstdio>
+
+#include "core/bounds.hpp"
+#include "core/fault_universe.hpp"
+#include "core/moments.hpp"
+#include "core/no_common_fault.hpp"
+#include "core/pfd_distribution.hpp"
+
+int main() {
+  using namespace reldiv::core;
+
+  // Five potential faults.  p = probability a development leaves the fault
+  // in the delivered version; q = probability an operational demand hits
+  // its failure region.
+  const fault_universe universe({
+      {0.10, 0.002},  // likely-ish mistake, small region
+      {0.05, 0.010},  // rarer mistake, bigger region
+      {0.02, 0.001},
+      {0.01, 0.020},  // rare but nasty
+      {0.01, 0.0005},
+  });
+  std::printf("universe: %s\n\n", universe.describe().c_str());
+
+  // --- moments (paper eqs. 1-2) ---------------------------------------
+  const pfd_moments one = single_version_moments(universe);
+  const pfd_moments two = pair_moments(universe);
+  std::printf("single version : E[PFD] = %.3e, sigma = %.3e\n", one.mean, one.stddev());
+  std::printf("1-out-of-2 pair: E[PFD] = %.3e, sigma = %.3e\n", two.mean, two.stddev());
+  std::printf("mean gain from diversity: %.1fx\n\n", mean_gain(universe));
+
+  // --- the no-common-fault view (paper §4) ----------------------------
+  std::printf("P(version has a fault)      = %.4f\n", prob_some_fault(universe));
+  std::printf("P(pair has a COMMON fault)  = %.6f\n", prob_some_common_fault(universe));
+  std::printf("risk ratio (eq. 10)         = %.4f  (smaller = diversity helps more)\n\n",
+              risk_ratio(universe));
+
+  // --- assessor bounds (paper §5) --------------------------------------
+  // What a safety assessor can claim at 99% confidence knowing only pmax.
+  const assessor_view view = make_assessor_view_at_confidence(universe, 0.99);
+  std::printf("99%% bound, one version (mu+k*sigma): %.3e\n", view.one_version.value());
+  std::printf("99%% bound, pair, eq. (11):           %.3e\n", view.bound_eq11);
+  std::printf("99%% bound, pair, eq. (12):           %.3e\n", view.bound_eq12);
+  std::printf("guaranteed gain factor sqrt(pmax(1+pmax)) = %.3f\n\n",
+              view.guaranteed_gain_factor());
+
+  // --- the exact PFD law, when you want more than bounds ----------------
+  const pfd_distribution law = exact_pfd_distribution(universe, 2);
+  std::printf("exact pair law: P(PFD = 0) = %.6f, 99%% quantile = %.3e\n",
+              law.prob_zero(), law.quantile(0.99));
+  return 0;
+}

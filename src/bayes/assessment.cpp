@@ -1,0 +1,75 @@
+#include "bayes/assessment.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/moments.hpp"
+
+namespace reldiv::bayes {
+
+core::pfd_distribution posterior_pfd(const core::fault_universe& u, unsigned m,
+                                     std::uint64_t failure_free_demands) {
+  const core::pfd_distribution prior = core::exact_pfd_distribution(u, m);
+  const auto t = static_cast<double>(failure_free_demands);
+  std::vector<core::pfd_distribution::atom> atoms;
+  atoms.reserve(prior.atoms().size());
+  double total = 0.0;
+  for (const auto& a : prior.atoms()) {
+    // Likelihood of surviving t demands at PFD value v: (1 - v)^t.
+    const double like = (a.value >= 1.0) ? (t > 0.0 ? 0.0 : 1.0)
+                                         : std::exp(t * std::log1p(-a.value));
+    const double w = a.prob * like;
+    if (w > 0.0) {
+      atoms.push_back({a.value, w});
+      total += w;
+    }
+  }
+  if (!(total > 0.0)) {
+    throw std::domain_error("posterior_pfd: zero posterior mass (impossible evidence)");
+  }
+  for (auto& a : atoms) a.prob /= total;
+  return core::pfd_distribution(std::move(atoms));
+}
+
+model_assessment assess(const core::fault_universe& u, unsigned m,
+                        std::uint64_t failure_free_demands) {
+  const core::pfd_distribution prior = core::exact_pfd_distribution(u, m);
+  const core::pfd_distribution post = posterior_pfd(u, m, failure_free_demands);
+  model_assessment a;
+  a.prior_mean = prior.mean();
+  a.posterior_mean = post.mean();
+  a.prior_prob_zero = prior.prob_zero();
+  a.posterior_prob_zero = post.prob_zero();
+  a.posterior_q99 = post.quantile(0.99);
+  a.predictive_pfd = post.mean();  // E[Θ | data] is the predictive failure probability
+  return a;
+}
+
+beta_assessment assess_beta(double a, double b, std::uint64_t failure_free_demands) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::invalid_argument("assess_beta: a, b must be > 0");
+  }
+  beta_assessment out;
+  out.prior = {a, b};
+  out.posterior = {a, b + static_cast<double>(failure_free_demands)};
+  out.posterior_mean = out.posterior.mean();
+  out.posterior_q99 = out.posterior.quantile(0.99);
+  return out;
+}
+
+stats::beta_distribution moment_matched_beta(const core::fault_universe& u, unsigned m) {
+  const core::pfd_moments mom = core::one_out_of_m_moments(u, m);
+  const double mu = mom.mean;
+  const double var = mom.variance;
+  if (!(mu > 0.0) || !(mu < 1.0)) {
+    throw std::domain_error("moment_matched_beta: mean must be in (0,1)");
+  }
+  if (!(var > 0.0) || var >= mu * (1.0 - mu)) {
+    throw std::domain_error("moment_matched_beta: variance incompatible with a Beta law");
+  }
+  const double nu = mu * (1.0 - mu) / var - 1.0;
+  return {mu * nu, (1.0 - mu) * nu};
+}
+
+}  // namespace reldiv::bayes

@@ -1,0 +1,62 @@
+#pragma once
+// Bayesian assessment on top of the fault-creation model — the paper's
+// closing proposal: "apply a family of prior distributions for a product's
+// reliability parameters that are based on this plausible physical model
+// rather than chosen ... for computational convenience only" (§7, citing
+// [14]).
+//
+// The model gives an exact, physically grounded prior for the PFD of a
+// version (or of a 1-out-of-2 pair): the discrete law over fault subsets.
+// Observing t failure-free demands reweights each subset S by (1 − q_S)^t.
+// This module computes the exact posterior by subset enumeration (n <= 24)
+// and compares it with the conventional conjugate Beta prior an assessor
+// might use instead.
+
+#include <cstdint>
+
+#include "core/fault_universe.hpp"
+#include "core/pfd_distribution.hpp"
+#include "stats/distributions.hpp"
+
+namespace reldiv::bayes {
+
+/// Posterior over the PFD of a 1-out-of-m system after observing
+/// `failure_free_demands` demands with no failure.  Exact subset
+/// enumeration; throws for n > 24 like exact_pfd_distribution.
+[[nodiscard]] core::pfd_distribution posterior_pfd(const core::fault_universe& u,
+                                                   unsigned m,
+                                                   std::uint64_t failure_free_demands);
+
+/// Summary of a model-based assessment.
+struct model_assessment {
+  double prior_mean = 0.0;
+  double posterior_mean = 0.0;
+  double prior_prob_zero = 0.0;       ///< P(PFD = 0) before observation
+  double posterior_prob_zero = 0.0;   ///< P(PFD = 0 | survived t demands)
+  double posterior_q99 = 0.0;         ///< 99% upper credible bound on PFD
+  /// Predictive probability that the NEXT demand fails.
+  double predictive_pfd = 0.0;
+};
+
+[[nodiscard]] model_assessment assess(const core::fault_universe& u, unsigned m,
+                                      std::uint64_t failure_free_demands);
+
+/// Conventional conjugate alternative: PFD ~ Beta(a, b) prior; t failure-
+/// free demands give Beta(a, b + t).
+struct beta_assessment {
+  stats::beta_distribution prior;
+  stats::beta_distribution posterior;
+  double posterior_mean = 0.0;
+  double posterior_q99 = 0.0;
+};
+
+[[nodiscard]] beta_assessment assess_beta(double a, double b,
+                                          std::uint64_t failure_free_demands);
+
+/// Fit a Beta(a, b) to the model prior by moment matching (for a fair
+/// model-vs-conjugate comparison).  Requires 0 < mean and variance small
+/// enough for a valid Beta; throws std::domain_error otherwise.
+[[nodiscard]] stats::beta_distribution moment_matched_beta(const core::fault_universe& u,
+                                                           unsigned m);
+
+}  // namespace reldiv::bayes

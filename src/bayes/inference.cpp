@@ -1,0 +1,227 @@
+#include "bayes/inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mc/sampler.hpp"
+#include "stats/random.hpp"
+
+namespace reldiv::bayes {
+
+namespace {
+
+/// log-likelihood of `evidence` at PFD value v (binomial, constant dropped).
+double log_likelihood(double v, const test_record& evidence) {
+  if (evidence.failures > evidence.demands) {
+    throw std::invalid_argument("test_record: failures > demands");
+  }
+  const auto f = static_cast<double>(evidence.failures);
+  const auto s = static_cast<double>(evidence.demands - evidence.failures);
+  if (evidence.failures > 0 && v <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (evidence.demands - evidence.failures > 0 && v >= 1.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  double ll = 0.0;
+  if (f > 0.0) ll += f * std::log(v);
+  if (s > 0.0) ll += s * std::log1p(-v);
+  return ll;
+}
+
+}  // namespace
+
+core::pfd_distribution posterior_pfd_with_failures(const core::fault_universe& u,
+                                                   unsigned m,
+                                                   const test_record& evidence) {
+  const core::pfd_distribution prior = core::exact_pfd_distribution(u, m);
+  std::vector<core::pfd_distribution::atom> atoms;
+  atoms.reserve(prior.atoms().size());
+  // Normalize in log space against the best atom to avoid underflow for
+  // large demand counts.
+  double best = -std::numeric_limits<double>::infinity();
+  std::vector<double> ll(prior.atoms().size());
+  for (std::size_t i = 0; i < prior.atoms().size(); ++i) {
+    ll[i] = log_likelihood(prior.atoms()[i].value, evidence);
+    if (prior.atoms()[i].prob > 0.0) best = std::max(best, ll[i]);
+  }
+  if (!std::isfinite(best)) {
+    throw std::domain_error(
+        "posterior_pfd_with_failures: evidence impossible under the prior");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < prior.atoms().size(); ++i) {
+    const double w = prior.atoms()[i].prob * std::exp(ll[i] - best);
+    if (w > 0.0) {
+      atoms.push_back({prior.atoms()[i].value, w});
+      total += w;
+    }
+  }
+  if (!(total > 0.0)) {
+    throw std::domain_error(
+        "posterior_pfd_with_failures: evidence impossible under the prior");
+  }
+  for (auto& a : atoms) a.prob /= total;
+  return core::pfd_distribution(std::move(atoms));
+}
+
+is_posterior importance_posterior(const core::fault_universe& u, unsigned m,
+                                  const test_record& evidence, std::uint64_t samples,
+                                  std::uint64_t seed) {
+  if (samples == 0) throw std::invalid_argument("importance_posterior: samples > 0");
+  stats::rng r(seed);
+
+  // Sample architecture-level fault subsets directly: fault i is common to
+  // all m versions with probability p_i^m.
+  std::vector<double> presence(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    presence[i] = std::pow(u[i].p, static_cast<double>(m));
+  }
+
+  struct draw {
+    double pfd;
+    double log_w;
+  };
+  std::vector<draw> draws;
+  draws.reserve(samples);
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    double pfd = 0.0;
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      if (r.bernoulli(presence[i])) pfd += u[i].q;
+    }
+    const double lw = log_likelihood(std::min(pfd, 1.0), evidence);
+    draws.push_back({pfd, lw});
+    if (std::isfinite(lw)) best = std::max(best, lw);
+  }
+  if (!std::isfinite(best)) {
+    throw std::domain_error("importance_posterior: evidence impossible in every draw");
+  }
+
+  double w_sum = 0.0;
+  double w2_sum = 0.0;
+  double mean = 0.0;
+  double zero = 0.0;
+  for (auto& d : draws) {
+    const double w = std::isfinite(d.log_w) ? std::exp(d.log_w - best) : 0.0;
+    d.log_w = w;  // reuse the field as the normalized-scale weight
+    w_sum += w;
+    w2_sum += w * w;
+    mean += w * d.pfd;
+    if (d.pfd == 0.0) zero += w;
+  }
+  is_posterior out;
+  out.samples = samples;
+  out.mean_pfd = mean / w_sum;
+  out.prob_zero = zero / w_sum;
+  out.effective_sample_size = w_sum * w_sum / w2_sum;
+
+  // Weighted 99th percentile.
+  std::sort(draws.begin(), draws.end(),
+            [](const draw& a, const draw& b) { return a.pfd < b.pfd; });
+  double cum = 0.0;
+  out.quantile99 = draws.back().pfd;
+  for (const auto& d : draws) {
+    cum += d.log_w;
+    if (cum >= 0.99 * w_sum) {
+      out.quantile99 = d.pfd;
+      break;
+    }
+  }
+  return out;
+}
+
+channel_pair_assessment assess_pair_from_channel_tests(const core::fault_universe& u,
+                                                       const test_record& record_a,
+                                                       const test_record& record_b) {
+  if (u.size() > 24) {
+    throw std::invalid_argument("assess_pair_from_channel_tests: n > 24");
+  }
+  // Per channel: enumerate subsets S with prior Π p^s (1-p)^(1-s) and
+  // likelihood L(q_S); posterior presence of fault i is the weighted
+  // fraction of subsets containing i.
+  auto channel_posterior = [&u](const test_record& rec) {
+    const std::size_t n = u.size();
+    const std::uint64_t subsets = 1ULL << n;
+    std::vector<double> presence(n, 0.0);
+    double best = -std::numeric_limits<double>::infinity();
+    std::vector<double> log_post(subsets);
+    for (std::uint64_t mask = 0; mask < subsets; ++mask) {
+      double log_prior = 0.0;
+      double pfd = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (1ULL << i)) {
+          log_prior += std::log(u[i].p > 0.0 ? u[i].p : 1e-300);
+          pfd += u[i].q;
+        } else {
+          log_prior += std::log1p(-std::min(u[i].p, 1.0 - 1e-16));
+        }
+      }
+      log_post[mask] = log_prior + log_likelihood(std::min(pfd, 1.0), rec);
+      best = std::max(best, log_post[mask]);
+    }
+    if (!std::isfinite(best)) {
+      throw std::domain_error("assess_pair_from_channel_tests: impossible evidence");
+    }
+    double total = 0.0;
+    for (std::uint64_t mask = 0; mask < subsets; ++mask) {
+      const double w = std::exp(log_post[mask] - best);
+      total += w;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (1ULL << i)) presence[i] += w;
+      }
+    }
+    for (auto& p : presence) p /= total;
+    return presence;
+  };
+
+  channel_pair_assessment out;
+  out.posterior_p_a = channel_posterior(record_a);
+  out.posterior_p_b = channel_posterior(record_b);
+  double log_no_common = 0.0;
+  bool certain = false;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double pc = out.posterior_p_a[i] * out.posterior_p_b[i];
+    out.pair_mean_pfd += pc * u[i].q;
+    if (pc >= 1.0) {
+      certain = true;
+    } else if (pc > 0.0) {
+      log_no_common += std::log1p(-pc);
+    }
+  }
+  out.prob_no_common_fault = certain ? 0.0 : std::exp(log_no_common);
+  return out;
+}
+
+std::uint64_t demands_needed_for_target(const core::fault_universe& u, unsigned m,
+                                        double target_pfd, double confidence,
+                                        std::uint64_t max_demands) {
+  if (!(target_pfd > 0.0) || !(target_pfd < 1.0)) {
+    throw std::invalid_argument("demands_needed_for_target: target in (0,1)");
+  }
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    throw std::invalid_argument("demands_needed_for_target: confidence in (0,1)");
+  }
+  const auto bound_at = [&](std::uint64_t t) {
+    return posterior_pfd_with_failures(u, m, {t, 0}).quantile(confidence);
+  };
+  if (bound_at(0) <= target_pfd) return 0;
+  // Doubling search for an upper bracket.
+  std::uint64_t hi = 1;
+  while (hi <= max_demands && bound_at(hi) > target_pfd) hi *= 2;
+  if (hi > max_demands) {
+    if (bound_at(max_demands) > target_pfd) return max_demands + 1;
+    hi = max_demands;
+  }
+  std::uint64_t lo = hi / 2;
+  while (lo + 1 < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (bound_at(mid) > target_pfd) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace reldiv::bayes

@@ -1,0 +1,81 @@
+#pragma once
+// Extended Bayesian inference on the fault-creation model.
+//
+// assessment.hpp covers the textbook case: exact posterior over fault
+// subsets after failure-FREE operation, small n.  This header adds what a
+// working assessor needs beyond it:
+//
+//  * evidence with observed failures (f failures in t demands);
+//  * large-n posteriors by self-normalized importance sampling from the
+//    prior (the subset lattice is 2^n; IS with the prior as proposal is
+//    unbiased for posterior expectations and comes with an effective-
+//    sample-size diagnostic);
+//  * channel-to-pair transfer: observe each CHANNEL's testing record,
+//    update the per-fault presence posteriors, and derive the predicted
+//    pair statistics — the assessment route of [14] where the system is
+//    assessed from component evidence.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fault_universe.hpp"
+#include "core/pfd_distribution.hpp"
+
+namespace reldiv::bayes {
+
+/// Operational evidence: f failures observed in t demands.
+struct test_record {
+  std::uint64_t demands = 0;
+  std::uint64_t failures = 0;
+};
+
+/// Exact posterior over the PFD of a 1-out-of-m system given a test record
+/// with failures (binomial likelihood per subset).  Subset enumeration,
+/// n <= 24.  Throws std::domain_error if the evidence is impossible under
+/// the prior (e.g. failures observed but every subset has PFD 0).
+[[nodiscard]] core::pfd_distribution posterior_pfd_with_failures(
+    const core::fault_universe& u, unsigned m, const test_record& evidence);
+
+/// Importance-sampling posterior summary for large n: draws fault subsets
+/// from the prior, weights by the likelihood of `evidence`.
+struct is_posterior {
+  double mean_pfd = 0.0;          ///< posterior E[Θ | evidence]
+  double prob_zero = 0.0;         ///< posterior P(Θ = 0 | evidence)
+  double quantile99 = 0.0;        ///< weighted 99th percentile of sampled PFDs
+  double effective_sample_size = 0.0;  ///< 1/Σw̃² — reliability diagnostic
+  std::uint64_t samples = 0;
+};
+
+[[nodiscard]] is_posterior importance_posterior(const core::fault_universe& u, unsigned m,
+                                                const test_record& evidence,
+                                                std::uint64_t samples, std::uint64_t seed);
+
+/// Channel-level evidence propagated to the pair.
+///
+/// Each channel is tested separately (record_a, record_b).  Per fault i,
+/// the posterior presence probability in channel c is obtained from the
+/// exact joint posterior over that channel's fault subset; the pair's
+/// predicted statistics then use pA_i·pB_i.  Exact (enumeration) per
+/// channel; n <= 24.
+struct channel_pair_assessment {
+  std::vector<double> posterior_p_a;  ///< per-fault presence posterior, channel A
+  std::vector<double> posterior_p_b;
+  double pair_mean_pfd = 0.0;         ///< Σ pA_i pB_i q_i
+  double prob_no_common_fault = 0.0;  ///< Π(1 − pA_i pB_i)
+};
+
+[[nodiscard]] channel_pair_assessment assess_pair_from_channel_tests(
+    const core::fault_universe& u, const test_record& record_a,
+    const test_record& record_b);
+
+/// Assessor inverse problem: how many failure-free demands must be observed
+/// before the posterior 99% bound drops below `target_pfd`?  Doubling
+/// search on the exact posterior; returns the smallest power-of-two-refined
+/// demand count, or 0 if the prior already meets the target, and
+/// `max_demands + 1` if even max_demands do not suffice.
+[[nodiscard]] std::uint64_t demands_needed_for_target(const core::fault_universe& u,
+                                                      unsigned m, double target_pfd,
+                                                      double confidence,
+                                                      std::uint64_t max_demands);
+
+}  // namespace reldiv::bayes

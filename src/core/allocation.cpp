@@ -1,0 +1,67 @@
+#include "core/allocation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/bounds.hpp"
+#include "core/moments.hpp"
+#include "stats/distributions.hpp"
+
+namespace reldiv::core {
+
+double pmax_for_gain_factor(double factor) {
+  if (!(factor > 0.0) || factor > 1.4142135623730951) {
+    throw std::invalid_argument("pmax_for_gain_factor: factor must be in (0, sqrt(2)]");
+  }
+  // Solve p(1+p) = factor^2 for p > 0: p = (sqrt(1 + 4 f^2) - 1)/2.
+  const double f2 = factor * factor;
+  return 0.5 * (std::sqrt(1.0 + 4.0 * f2) - 1.0);
+}
+
+double required_pmax(double one_version_bound, double target_pfd) {
+  if (!(one_version_bound > 0.0)) {
+    throw std::invalid_argument("required_pmax: one_version_bound must be > 0");
+  }
+  if (!(target_pfd > 0.0)) {
+    throw std::domain_error("required_pmax: target_pfd must be > 0");
+  }
+  const double factor = target_pfd / one_version_bound;
+  if (factor >= 1.0) return 1.0;  // no reduction needed: any pmax works
+  return pmax_for_gain_factor(factor);
+}
+
+double allowed_mu1(double target_pfd, double p_max, double k, double cv) {
+  if (!(target_pfd > 0.0)) throw std::invalid_argument("allowed_mu1: target must be > 0");
+  if (!(p_max > 0.0) || !(p_max <= 1.0)) {
+    throw std::invalid_argument("allowed_mu1: p_max must be in (0,1]");
+  }
+  if (!(k >= 0.0) || !(cv >= 0.0)) {
+    throw std::invalid_argument("allowed_mu1: k and cv must be >= 0");
+  }
+  return target_pfd / (p_max + k * sigma_ratio_factor(p_max) * cv);
+}
+
+int sil_band(double pfd) {
+  if (!(pfd >= 0.0)) throw std::invalid_argument("sil_band: pfd must be >= 0");
+  if (pfd >= 1e-1) return 0;
+  if (pfd >= 1e-2) return 1;
+  if (pfd >= 1e-3) return 2;
+  if (pfd >= 1e-4) return 3;
+  return 4;
+}
+
+sil_allocation allocate_sil(const fault_universe& u, double confidence) {
+  const double k = stats::one_sided_k(confidence);
+  const pfd_moments m1 = single_version_moments(u);
+  const pfd_moments m2 = pair_moments(u);
+  sil_allocation a;
+  a.single_bound = m1.mean + k * m1.stddev();
+  a.pair_bound_actual = m2.mean + k * m2.stddev();
+  a.pair_bound_guaranteed = pair_bound_from_bound(a.single_bound, u.p_max());
+  a.single_version_sil = sil_band(a.single_bound);
+  a.pair_sil_actual = sil_band(a.pair_bound_actual);
+  a.pair_sil_guaranteed = sil_band(a.pair_bound_guaranteed);
+  return a;
+}
+
+}  // namespace reldiv::core

@@ -1,0 +1,49 @@
+#pragma once
+// Assessor inverse problems ("reliability allocation"): the paper's bounds
+// run forward from (pmax, µ1, σ1) to claims about the diverse pair.  In a
+// licensing setting the assessor walks them backwards: given a required
+// system PFD and confidence, what pmax must the developer's quality
+// programme defend, or what single-version quality must be shown?  Standards
+// frame the targets as Safety Integrity Levels, so a SIL mapping is
+// included ("standards ... map reliability requirements for software into
+// 'Safety Integrity Levels'", paper §5).
+
+#include "core/fault_universe.hpp"
+
+namespace reldiv::core {
+
+/// Invert the eq. (12) factor: the LARGEST pmax for which
+/// sqrt(pmax(1+pmax)) <= factor.  factor must be in (0, sqrt(2)].
+[[nodiscard]] double pmax_for_gain_factor(double factor);
+
+/// Largest pmax such that the eq. (12) pair bound meets `target_pfd` given
+/// the one-version bound.  Throws std::domain_error if even pmax -> 0
+/// cannot (i.e. target <= 0) or if no reduction is needed (returns 1).
+[[nodiscard]] double required_pmax(double one_version_bound, double target_pfd);
+
+/// Largest one-version mean µ1 compatible with the eq. (11) pair bound
+/// meeting `target_pfd`, given pmax, the normal multiplier k and the
+/// process's coefficient of variation cv = σ1/µ1:
+///   target = pmax·µ1 + k·sqrt(pmax(1+pmax))·cv·µ1.
+[[nodiscard]] double allowed_mu1(double target_pfd, double p_max, double k, double cv);
+
+/// IEC-style low-demand SIL bands on PFD: SIL 1 = [1e-2, 1e-1), ... SIL 4 =
+/// [1e-5, 1e-4).  Returns 0 for PFD >= 1e-1 (no SIL) and 4 for anything
+/// below 1e-5 (capped, as the standards do).
+[[nodiscard]] int sil_band(double pfd);
+
+/// The full allocation story for a universe: which SIL a single version
+/// supports at the given confidence, and which the 1-out-of-2 pair
+/// supports via the actual moments and via the pmax-only eq. (12) route.
+struct sil_allocation {
+  int single_version_sil = 0;
+  int pair_sil_actual = 0;     ///< from µ2 + kσ2
+  int pair_sil_guaranteed = 0; ///< from eq. (12), pmax-only evidence
+  double single_bound = 0.0;
+  double pair_bound_actual = 0.0;
+  double pair_bound_guaranteed = 0.0;
+};
+
+[[nodiscard]] sil_allocation allocate_sil(const fault_universe& u, double confidence);
+
+}  // namespace reldiv::core

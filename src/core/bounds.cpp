@@ -1,0 +1,77 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace reldiv::core {
+
+namespace {
+
+void check_pmax(double p_max) {
+  if (!(p_max >= 0.0) || !(p_max <= 1.0)) {
+    throw std::invalid_argument("p_max must be in [0,1]");
+  }
+}
+
+}  // namespace
+
+double sigma_ratio_factor(double p_max) {
+  check_pmax(p_max);
+  return std::sqrt(p_max * (1.0 + p_max));
+}
+
+double mean_bound(double mu1, double p_max) {
+  check_pmax(p_max);
+  if (mu1 < 0.0) throw std::invalid_argument("mean_bound: mu1 must be >= 0");
+  return p_max * mu1;
+}
+
+double sigma_bound(double sigma1, double p_max) {
+  check_pmax(p_max);
+  if (sigma1 < 0.0) throw std::invalid_argument("sigma_bound: sigma1 must be >= 0");
+  return sigma_ratio_factor(p_max) * sigma1;
+}
+
+double pair_bound_from_moments(double mu1, double sigma1, double k, double p_max) {
+  return mean_bound(mu1, p_max) + k * sigma_bound(sigma1, p_max);
+}
+
+double pair_bound_from_bound(double one_version_bound, double p_max) {
+  check_pmax(p_max);
+  if (one_version_bound < 0.0) {
+    throw std::invalid_argument("pair_bound_from_bound: bound must be >= 0");
+  }
+  return sigma_ratio_factor(p_max) * one_version_bound;
+}
+
+double assessor_view::guaranteed_gain_factor() const noexcept {
+  return std::sqrt(p_max * (1.0 + p_max));
+}
+
+assessor_view make_assessor_view(const fault_universe& u, double k) {
+  if (!(k >= 0.0)) throw std::invalid_argument("make_assessor_view: k must be >= 0");
+  const pfd_moments m1 = single_version_moments(u);
+  const pfd_moments m2 = pair_moments(u);
+  assessor_view v;
+  v.k = k;
+  v.confidence = stats::confidence_from_k(k);
+  v.one_version = {m1.mean, m1.stddev(), k};
+  v.two_version = {m2.mean, m2.stddev(), k};
+  v.p_max = u.p_max();
+  v.bound_eq11 = pair_bound_from_moments(m1.mean, m1.stddev(), k, v.p_max);
+  v.bound_eq12 = pair_bound_from_bound(v.one_version.value(), v.p_max);
+  return v;
+}
+
+assessor_view make_assessor_view_at_confidence(const fault_universe& u, double alpha) {
+  if (!(alpha >= 0.5) || !(alpha < 1.0)) {
+    throw std::invalid_argument(
+        "make_assessor_view_at_confidence: alpha must be in [0.5, 1) for a one-sided "
+        "upper bound");
+  }
+  return make_assessor_view(u, stats::one_sided_k(alpha));
+}
+
+}  // namespace reldiv::core

@@ -1,0 +1,72 @@
+#pragma once
+// The paper's assessor-facing bounds (Sections 3.1 and 5.1):
+//
+//   eq. (4):  µ2 ≤ pmax · µ1
+//   eq. (9):  σ2 <  sqrt(pmax (1 + pmax)) · σ1        (requires all p_i small)
+//   eq. (11): µ2 + kσ2 ≤ pmax µ1 + k sqrt(pmax(1+pmax)) σ1
+//   eq. (12): µ2 + kσ2 ≤ sqrt(pmax(1+pmax)) (µ1 + kσ1)
+//
+// The bounds need only pmax — the paper's point is that an assessor who can
+// defend a ceiling on the probability of the *most likely* fault gets an
+// indisputable reliability-gain floor without knowing any other parameter.
+
+#include "core/fault_universe.hpp"
+#include "core/moments.hpp"
+
+namespace reldiv::core {
+
+/// The eq. (9)/(11)/(12) σ-ratio factor sqrt(pmax(1+pmax)).
+[[nodiscard]] double sigma_ratio_factor(double p_max);
+
+/// eq. (4): upper bound on µ2 given µ1 and pmax.
+[[nodiscard]] double mean_bound(double mu1, double p_max);
+
+/// eq. (9): upper bound on σ2 given σ1 and pmax.  Valid whenever every
+/// p_i <= kGoldenThreshold; the caller can check with
+/// fault_universe::all_p_below(kGoldenThreshold).
+[[nodiscard]] double sigma_bound(double sigma1, double p_max);
+
+/// A one-sided confidence bound µ + kσ on a PFD under the §5 normal
+/// approximation.
+struct confidence_bound {
+  double mu = 0.0;
+  double sigma = 0.0;
+  double k = 0.0;
+
+  [[nodiscard]] double value() const noexcept { return mu + k * sigma; }
+};
+
+/// eq. (11): bound on (µ2 + kσ2) from the one-version moments.  Tighter than
+/// eq. (12) but requires knowing µ1 and σ1 separately.
+[[nodiscard]] double pair_bound_from_moments(double mu1, double sigma1, double k,
+                                             double p_max);
+
+/// eq. (12): bound on (µ2 + kσ2) from the one-version *bound* (µ1 + kσ1)
+/// alone: sqrt(pmax(1+pmax)) · (µ1 + kσ1).
+[[nodiscard]] double pair_bound_from_bound(double one_version_bound, double p_max);
+
+/// Everything an assessor sees for one universe at one confidence level:
+/// computed (exact) bounds and both paper bounds, for cross-checking in the
+/// benches and the assessor example.
+struct assessor_view {
+  double k = 0.0;             ///< one-sided normal multiplier
+  double confidence = 0.0;    ///< Φ(k)
+  confidence_bound one_version;
+  confidence_bound two_version;
+  double bound_eq11 = 0.0;
+  double bound_eq12 = 0.0;
+  double p_max = 0.0;
+
+  /// Ratio bound_eq12 / one-version bound = sigma_ratio_factor(pmax); the
+  /// paper's guaranteed "β-factor".
+  [[nodiscard]] double guaranteed_gain_factor() const noexcept;
+};
+
+/// Build the assessor view for a universe at normal-multiplier k.
+[[nodiscard]] assessor_view make_assessor_view(const fault_universe& u, double k);
+
+/// Build the assessor view at a one-sided confidence level alpha (k = Φ⁻¹(alpha)).
+[[nodiscard]] assessor_view make_assessor_view_at_confidence(const fault_universe& u,
+                                                             double alpha);
+
+}  // namespace reldiv::core

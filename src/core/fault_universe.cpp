@@ -1,0 +1,95 @@
+#include "core/fault_universe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace reldiv::core {
+
+namespace {
+constexpr double kQSumTolerance = 1e-9;
+}
+
+fault_universe::fault_universe(std::vector<fault_atom> atoms, bool allow_q_overflow)
+    : atoms_(std::move(atoms)) {
+  double q_sum = 0.0;
+  for (const auto& [p, q] : atoms_) {
+    if (!(p >= 0.0) || !(p <= 1.0)) {
+      throw std::invalid_argument("fault_universe: p out of [0,1]");
+    }
+    if (!(q >= 0.0) || !(q <= 1.0)) {
+      throw std::invalid_argument("fault_universe: q out of [0,1]");
+    }
+    q_sum += q;
+  }
+  if (!allow_q_overflow && q_sum > 1.0 + kQSumTolerance) {
+    throw std::invalid_argument(
+        "fault_universe: sum of q exceeds 1 (violates the disjoint-failure-region "
+        "assumption; pass allow_q_overflow=true for deliberate pessimistic models)");
+  }
+}
+
+fault_universe fault_universe::from_arrays(std::span<const double> p,
+                                           std::span<const double> q,
+                                           bool allow_q_overflow) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("fault_universe::from_arrays: size mismatch");
+  }
+  std::vector<fault_atom> atoms;
+  atoms.reserve(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) atoms.push_back({p[i], q[i]});
+  return fault_universe(std::move(atoms), allow_q_overflow);
+}
+
+double fault_universe::p_max() const noexcept {
+  double m = 0.0;
+  for (const auto& a : atoms_) m = std::max(m, a.p);
+  return m;
+}
+
+double fault_universe::q_max() const noexcept {
+  double m = 0.0;
+  for (const auto& a : atoms_) m = std::max(m, a.q);
+  return m;
+}
+
+double fault_universe::q_total() const noexcept {
+  double s = 0.0;
+  for (const auto& a : atoms_) s += a.q;
+  return s;
+}
+
+double fault_universe::expected_fault_count() const noexcept {
+  double s = 0.0;
+  for (const auto& a : atoms_) s += a.p;
+  return s;
+}
+
+std::vector<double> fault_universe::p_values() const {
+  std::vector<double> out;
+  out.reserve(atoms_.size());
+  for (const auto& a : atoms_) out.push_back(a.p);
+  return out;
+}
+
+std::vector<double> fault_universe::q_values() const {
+  std::vector<double> out;
+  out.reserve(atoms_.size());
+  for (const auto& a : atoms_) out.push_back(a.q);
+  return out;
+}
+
+bool fault_universe::all_p_below(double threshold) const noexcept {
+  return std::all_of(atoms_.begin(), atoms_.end(),
+                     [threshold](const fault_atom& a) { return a.p <= threshold; });
+}
+
+std::string fault_universe::describe() const {
+  std::ostringstream out;
+  out << "fault_universe{n=" << size() << ", pmax=" << p_max()
+      << ", E[N1]=" << expected_fault_count() << ", sum_q=" << q_total() << "}";
+  return out.str();
+}
+
+}  // namespace reldiv::core

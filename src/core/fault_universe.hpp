@@ -1,0 +1,78 @@
+#pragma once
+// The paper's central object (Section 2.2): a fixed collection of potential
+// faults {F1 .. Fn}.  Fault i is independently left in a newly developed
+// version with probability p_i; if present, its (disjoint) failure region is
+// hit by an operational demand with probability q_i.
+//
+// A `fault_universe` is an immutable value type: process-improvement
+// operators (improvement.hpp) return transformed copies, matching the
+// paper's treatment of "a process" as a parameter vector.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace reldiv::core {
+
+/// One potential fault: (p, q) as defined in the paper's Table 1.
+struct fault_atom {
+  double p = 0.0;  ///< probability the fault is present in a random version
+  double q = 0.0;  ///< probability per demand of hitting its failure region
+
+  friend bool operator==(const fault_atom&, const fault_atom&) = default;
+};
+
+class fault_universe {
+ public:
+  fault_universe() = default;
+
+  /// Throws std::invalid_argument unless every p in [0,1], every q in [0,1],
+  /// and sum(q) <= 1 + tolerance (the paper's disjoint-region constraint,
+  /// discussed in §6.2).  Pass `allow_q_overflow = true` to build
+  /// deliberately pessimistic universes for the §6.2 sensitivity study.
+  explicit fault_universe(std::vector<fault_atom> atoms, bool allow_q_overflow = false);
+
+  /// Convenience: parallel (p, q) arrays.
+  static fault_universe from_arrays(std::span<const double> p, std::span<const double> q,
+                                    bool allow_q_overflow = false);
+
+  [[nodiscard]] std::size_t size() const noexcept { return atoms_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return atoms_.empty(); }
+  [[nodiscard]] const fault_atom& operator[](std::size_t i) const { return atoms_.at(i); }
+  [[nodiscard]] const std::vector<fault_atom>& atoms() const noexcept { return atoms_; }
+
+  [[nodiscard]] auto begin() const noexcept { return atoms_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return atoms_.end(); }
+
+  /// pmax = max{p_1 .. p_n} (paper §3.1.1); 0 for the empty universe.
+  [[nodiscard]] double p_max() const noexcept;
+  /// max q_i; 0 for the empty universe.
+  [[nodiscard]] double q_max() const noexcept;
+  /// sum of q_i (<= 1 under the disjointness assumption).
+  [[nodiscard]] double q_total() const noexcept;
+  /// Expected number of faults in a version = sum p_i.
+  [[nodiscard]] double expected_fault_count() const noexcept;
+
+  [[nodiscard]] std::vector<double> p_values() const;
+  [[nodiscard]] std::vector<double> q_values() const;
+
+  /// True iff every p_i <= threshold (used for the eq. 9 golden-ratio
+  /// precondition).
+  [[nodiscard]] bool all_p_below(double threshold) const noexcept;
+
+  /// Human-readable one-line description for bench output.
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const fault_universe&, const fault_universe&) = default;
+
+ private:
+  std::vector<fault_atom> atoms_;
+};
+
+/// The golden-ratio threshold (√5−1)/2 at which p²(1−p²) = p(1−p): below it
+/// every summand of σ²(Θ2) is smaller than the matching summand of σ²(Θ1)
+/// (paper §3.1.2).
+inline constexpr double kGoldenThreshold = 0.61803398874989484820;
+
+}  // namespace reldiv::core

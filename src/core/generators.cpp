@@ -1,0 +1,135 @@
+#include "core/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/random.hpp"
+
+namespace reldiv::core {
+
+namespace {
+
+void check_range(double lo, double hi, const char* what) {
+  if (!(lo >= 0.0) || !(hi <= 1.0) || !(lo <= hi)) {
+    throw std::invalid_argument(std::string("generator: bad range for ") + what);
+  }
+}
+
+void check_q_total(double q_total) {
+  if (!(q_total >= 0.0) || !(q_total <= 1.0)) {
+    throw std::invalid_argument("generator: q_total must be in [0,1]");
+  }
+}
+
+/// Normalize raw weights to sum to q_total.
+std::vector<double> normalize_to(std::vector<double> raw, double q_total) {
+  double sum = 0.0;
+  for (const double w : raw) sum += w;
+  if (sum <= 0.0) throw std::logic_error("generator: degenerate q weights");
+  for (double& w : raw) w *= q_total / sum;
+  return raw;
+}
+
+}  // namespace
+
+fault_universe make_safety_grade_universe(std::size_t n, double p_lo, double p_hi,
+                                          double q_total, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("generator: n must be > 0");
+  check_range(p_lo, p_hi, "p");
+  check_q_total(q_total);
+  stats::rng r(seed);
+  std::vector<double> q_raw(n);
+  // Lognormal weights: a few failure regions dominate, matching the
+  // reported heavy-tailed size spectra of real failure regions [9,10,11].
+  for (auto& w : q_raw) w = std::exp(1.5 * stats::normal_deviate(r));
+  const auto q = normalize_to(std::move(q_raw), q_total);
+  std::vector<fault_atom> atoms(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    atoms[i] = {r.uniform(p_lo, p_hi), q[i]};
+  }
+  return fault_universe(std::move(atoms));
+}
+
+fault_universe make_many_small_faults_universe(std::size_t n, double p_lo, double p_hi,
+                                               double q_total, double jitter,
+                                               std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("generator: n must be > 0");
+  check_range(p_lo, p_hi, "p");
+  check_q_total(q_total);
+  if (!(jitter >= 0.0) || jitter >= 1.0) {
+    throw std::invalid_argument("generator: jitter must be in [0,1)");
+  }
+  stats::rng r(seed);
+  std::vector<double> q_raw(n);
+  for (auto& w : q_raw) w = 1.0 + jitter * (2.0 * r.uniform() - 1.0);
+  const auto q = normalize_to(std::move(q_raw), q_total);
+  std::vector<fault_atom> atoms(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    atoms[i] = {r.uniform(p_lo, p_hi), q[i]};
+  }
+  return fault_universe(std::move(atoms));
+}
+
+fault_universe make_random_universe(std::size_t n, double p_max, double q_total,
+                                    std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("generator: n must be > 0");
+  check_range(0.0, p_max, "p");
+  check_q_total(q_total);
+  stats::rng r(seed);
+  std::vector<double> q_raw(n);
+  for (auto& w : q_raw) w = -std::log(1.0 - r.uniform());  // Exp(1): Dirichlet(1..1)
+  const auto q = normalize_to(std::move(q_raw), q_total);
+  std::vector<fault_atom> atoms(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    atoms[i] = {r.uniform(0.0, p_max), q[i]};
+  }
+  return fault_universe(std::move(atoms));
+}
+
+fault_universe make_dominant_fault_universe(std::size_t n, double p_dominant,
+                                            double p_background, double q_total,
+                                            std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("generator: n must be > 0");
+  check_range(0.0, p_dominant, "p_dominant");
+  check_range(0.0, p_background, "p_background");
+  check_q_total(q_total);
+  stats::rng r(seed);
+  std::vector<double> q_raw(n, 1.0);
+  q_raw[0] = 3.0;  // the dominant fault also has a larger region
+  const auto q = normalize_to(std::move(q_raw), q_total);
+  std::vector<fault_atom> atoms(n);
+  atoms[0] = {p_dominant, q[0]};
+  for (std::size_t i = 1; i < n; ++i) {
+    atoms[i] = {r.uniform(0.0, p_background), q[i]};
+  }
+  return fault_universe(std::move(atoms));
+}
+
+fault_universe make_homogeneous_universe(std::size_t n, double p, double q) {
+  if (n == 0) throw std::invalid_argument("generator: n must be > 0");
+  if (static_cast<double>(n) * q > 1.0 + 1e-12) {
+    throw std::invalid_argument("generator: n*q must be <= 1 for disjoint regions");
+  }
+  return fault_universe(std::vector<fault_atom>(n, fault_atom{p, q}));
+}
+
+fault_universe make_knight_leveson_like_universe(std::uint64_t seed) {
+  // The KL experiment found a small number of distinct faults across 27
+  // versions, with per-version failure probabilities spanning roughly
+  // 1e-4 .. 1e-2 on a uniform demand profile of ~1M demands.  We model 12
+  // potential faults: a couple relatively likely to be introduced (the
+  // "hard" parts of the specification), the rest rare.
+  stats::rng r(seed);
+  std::vector<fault_atom> atoms;
+  const std::size_t n = 12;
+  for (std::size_t i = 0; i < n; ++i) {
+    // p spans 0.02 .. 0.30 with two "difficult spec clause" faults on top.
+    const double base_p = (i < 2) ? 0.30 : 0.02 + 0.10 * r.uniform();
+    // q spans 1e-4 .. 2e-2, log-uniform.
+    const double q = std::exp(r.uniform(std::log(1e-4), std::log(2e-2)));
+    atoms.push_back({base_p, q});
+  }
+  return fault_universe(std::move(atoms));
+}
+
+}  // namespace reldiv::core

@@ -1,0 +1,99 @@
+#include "core/improvement.hpp"
+
+#include <stdexcept>
+
+#include "core/moments.hpp"
+#include "core/no_common_fault.hpp"
+
+namespace reldiv::core {
+
+namespace {
+
+void check_factor(double factor) {
+  if (!(factor >= 0.0) || !(factor <= 1.0)) {
+    throw std::invalid_argument("improvement factor must be in [0,1]");
+  }
+}
+
+}  // namespace
+
+fault_universe improve_single(const fault_universe& u, std::size_t i, double factor) {
+  check_factor(factor);
+  if (i >= u.size()) throw std::out_of_range("improve_single: index");
+  auto atoms = u.atoms();
+  atoms[i].p *= factor;
+  return fault_universe(std::move(atoms), true);
+}
+
+fault_universe improve_all(const fault_universe& u, double factor) {
+  check_factor(factor);
+  auto atoms = u.atoms();
+  for (auto& a : atoms) a.p *= factor;
+  return fault_universe(std::move(atoms), true);
+}
+
+fault_universe improve_class(const fault_universe& u,
+                             const std::vector<std::size_t>& indices, double factor) {
+  check_factor(factor);
+  auto atoms = u.atoms();
+  for (const std::size_t i : indices) {
+    if (i >= atoms.size()) throw std::out_of_range("improve_class: index");
+    atoms[i].p *= factor;
+  }
+  return fault_universe(std::move(atoms), true);
+}
+
+fault_universe with_p(const fault_universe& u, std::size_t i, double p) {
+  if (i >= u.size()) throw std::out_of_range("with_p: index");
+  if (!(p >= 0.0) || !(p <= 1.0)) throw std::invalid_argument("with_p: p out of [0,1]");
+  auto atoms = u.atoms();
+  atoms[i].p = p;
+  return fault_universe(std::move(atoms), true);
+}
+
+fault_universe transform_p(
+    const fault_universe& u,
+    const std::function<double(double p, double q, std::size_t i)>& f) {
+  auto atoms = u.atoms();
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const double p = f(atoms[i].p, atoms[i].q, i);
+    if (!(p >= 0.0) || !(p <= 1.0)) {
+      throw std::invalid_argument("transform_p: transformed p out of [0,1]");
+    }
+    atoms[i].p = p;
+  }
+  return fault_universe(std::move(atoms), true);
+}
+
+fault_universe improvement_step::apply(const fault_universe& u) const {
+  switch (type) {
+    case kind::single:
+      return improve_single(u, index, factor);
+    case kind::proportional:
+      return improve_all(u, factor);
+    case kind::fault_class:
+      return improve_class(u, indices, factor);
+  }
+  throw std::logic_error("improvement_step::apply: unknown kind");
+}
+
+fault_universe apply_scenario(const fault_universe& u,
+                              const std::vector<improvement_step>& steps) {
+  fault_universe out = u;
+  for (const auto& step : steps) out = step.apply(out);
+  return out;
+}
+
+improvement_effect evaluate_step(const fault_universe& u, const improvement_step& step) {
+  const fault_universe after = step.apply(u);
+  improvement_effect e;
+  e.mu1_before = single_version_moments(u).mean;
+  e.mu1_after = single_version_moments(after).mean;
+  e.risk_ratio_before = risk_ratio(u);
+  e.risk_ratio_after = risk_ratio(after);
+  e.reliability_improved = e.mu1_after < e.mu1_before;
+  e.diversity_gain_improved = e.risk_ratio_after < e.risk_ratio_before;
+  return e;
+}
+
+}  // namespace reldiv::core

@@ -1,0 +1,70 @@
+#pragma once
+// Process-improvement operators (paper §4.2): a "process improvement" is a
+// transformation of the p-vector.  The paper distinguishes
+//   (a) decreasing a single p_i  (new V&V methods targeting one fault type);
+//   (b) decreasing all p_i proportionally (more effort on everything);
+// and notes any "obviously better" process is a composition of such steps.
+// Operators return new universes (fault_universe is a value type).
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/fault_universe.hpp"
+
+namespace reldiv::core {
+
+/// Multiply a single p_i by `factor` in [0, 1] — the §4.2.1 targeted improvement.
+[[nodiscard]] fault_universe improve_single(const fault_universe& u, std::size_t i,
+                                            double factor);
+
+/// Multiply every p_i by `factor` in [0, 1] — the §4.2.2 proportional improvement.
+[[nodiscard]] fault_universe improve_all(const fault_universe& u, double factor);
+
+/// Multiply the p of each fault whose index is in `indices` by `factor`
+/// (a "fault class" improvement — the realistic middle ground the paper says
+/// real improvements occupy).
+[[nodiscard]] fault_universe improve_class(const fault_universe& u,
+                                           const std::vector<std::size_t>& indices,
+                                           double factor);
+
+/// Set a single p_i to an absolute value.
+[[nodiscard]] fault_universe with_p(const fault_universe& u, std::size_t i, double p);
+
+/// Apply an arbitrary p-transformation (p, q, index) -> new p.
+[[nodiscard]] fault_universe transform_p(
+    const fault_universe& u,
+    const std::function<double(double p, double q, std::size_t i)>& f);
+
+/// A named improvement step, so example programs and benches can describe
+/// improvement *scenarios* (sequences of steps) symbolically.
+struct improvement_step {
+  enum class kind { single, proportional, fault_class };
+  kind type = kind::proportional;
+  double factor = 1.0;                ///< multiplier applied to the targeted p's
+  std::size_t index = 0;              ///< for kind::single
+  std::vector<std::size_t> indices;   ///< for kind::fault_class
+  std::string label;
+
+  [[nodiscard]] fault_universe apply(const fault_universe& u) const;
+};
+
+/// Apply a scenario (sequence of steps) left to right.
+[[nodiscard]] fault_universe apply_scenario(const fault_universe& u,
+                                            const std::vector<improvement_step>& steps);
+
+/// Effect record comparing before/after for the measures the paper tracks.
+struct improvement_effect {
+  double mu1_before = 0.0, mu1_after = 0.0;   ///< single-version mean PFD
+  double risk_ratio_before = 0.0, risk_ratio_after = 0.0;  ///< eq. (10)
+  bool reliability_improved = false;   ///< µ1 decreased
+  bool diversity_gain_improved = false;  ///< eq. (10) ratio decreased
+};
+
+/// Evaluate the paper's central question for one step: did reliability
+/// improve, and did the *gain from diversity* improve with it?
+[[nodiscard]] improvement_effect evaluate_step(const fault_universe& u,
+                                               const improvement_step& step);
+
+}  // namespace reldiv::core

@@ -1,0 +1,123 @@
+#include "core/kofn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+#include "stats/special_functions.hpp"
+
+namespace reldiv::core {
+
+namespace {
+
+void check_architecture(const architecture& arch) {
+  if (arch.versions == 0) {
+    throw std::invalid_argument("architecture: versions must be >= 1");
+  }
+  if (arch.votes_to_defeat == 0 || arch.votes_to_defeat > arch.versions) {
+    throw std::invalid_argument(
+        "architecture: votes_to_defeat must be in [1, versions]");
+  }
+}
+
+}  // namespace
+
+const char* architecture::describe() const noexcept {
+  if (versions == 1) return "simplex";
+  if (versions == 2 && votes_to_defeat == 2) return "1oo2 (paper's diverse pair)";
+  if (versions == 3 && votes_to_defeat == 2) return "2oo3 (TMR majority)";
+  if (versions == 3 && votes_to_defeat == 3) return "1oo3";
+  return "m-out-of-n";
+}
+
+double defeat_probability(double p, const architecture& arch) {
+  check_architecture(arch);
+  if (!(p >= 0.0) || !(p <= 1.0)) {
+    throw std::invalid_argument("defeat_probability: p must be in [0,1]");
+  }
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  // P(Binomial(n, p) >= m), summed from the top when that is shorter, and
+  // in log space per term so tiny p does not underflow to a rounded total.
+  const auto n = static_cast<std::int64_t>(arch.versions);
+  const auto m = static_cast<std::int64_t>(arch.votes_to_defeat);
+  double total = 0.0;
+  for (std::int64_t k = m; k <= n; ++k) {
+    total += std::exp(stats::log_choose(n, k) + static_cast<double>(k) * std::log(p) +
+                      static_cast<double>(n - k) * std::log1p(-p));
+  }
+  return total > 1.0 ? 1.0 : total;
+}
+
+fault_universe architecture_universe(const fault_universe& u, const architecture& arch) {
+  check_architecture(arch);
+  std::vector<fault_atom> atoms;
+  atoms.reserve(u.size());
+  for (const auto& a : u) {
+    atoms.push_back({defeat_probability(a.p, arch), a.q});
+  }
+  return fault_universe(std::move(atoms), true);
+}
+
+pfd_moments architecture_moments(const fault_universe& u, const architecture& arch) {
+  return single_version_moments(architecture_universe(u, arch));
+}
+
+double prob_architecture_fault_free(const fault_universe& u, const architecture& arch) {
+  double log_prod = 0.0;
+  for (const auto& a : u) {
+    const double d = defeat_probability(a.p, arch);
+    if (d >= 1.0) return 0.0;
+    if (d > 0.0) log_prod += std::log1p(-d);
+  }
+  return std::exp(log_prod);
+}
+
+double architecture_risk_ratio(const fault_universe& u, const architecture& arch) {
+  double log_prod_single = 0.0;
+  double log_prod_arch = 0.0;
+  bool single_certain = false;
+  bool arch_certain = false;
+  for (const auto& a : u) {
+    if (a.p >= 1.0) {
+      single_certain = true;
+    } else if (a.p > 0.0) {
+      log_prod_single += std::log1p(-a.p);
+    }
+    const double d = defeat_probability(a.p, arch);
+    if (d >= 1.0) {
+      arch_certain = true;
+    } else if (d > 0.0) {
+      log_prod_arch += std::log1p(-d);
+    }
+  }
+  const double p_single = single_certain ? 1.0 : -std::expm1(log_prod_single);
+  const double p_arch = arch_certain ? 1.0 : -std::expm1(log_prod_arch);
+  if (p_single <= 0.0) {
+    throw std::domain_error("architecture_risk_ratio: P(N1 > 0) == 0");
+  }
+  return p_arch / p_single;
+}
+
+pfd_distribution architecture_pfd_distribution(const fault_universe& u,
+                                               const architecture& arch) {
+  return exact_pfd_distribution(architecture_universe(u, arch), 1);
+}
+
+double spurious_action_probability(double p_spurious, const architecture& arch) {
+  check_architecture(arch);
+  // Acting needs votes_to_act = n - m + 1 votes; a spurious region triggers
+  // action when at least that many versions contain it.
+  const architecture dual{arch.versions, arch.versions - arch.votes_to_defeat + 1};
+  return defeat_probability(p_spurious, dual);
+}
+
+double mean_spurious_rate(const fault_universe& spurious_faults, const architecture& arch) {
+  double rate = 0.0;
+  for (const auto& a : spurious_faults) {
+    rate += spurious_action_probability(a.p, arch) * a.q;
+  }
+  return rate;
+}
+
+}  // namespace reldiv::core

@@ -1,0 +1,89 @@
+#pragma once
+// Beyond 1-out-of-2: general m-out-of-n diverse architectures.
+//
+// The paper restricts itself to "the simplest possible diverse-redundant
+// configuration: two versions, with perfect adjudication (simple 'OR' ...)"
+// and lists richer arrangements as future work.  The fault-creation model
+// extends cleanly: with n independently developed versions, the number of
+// versions containing fault i is Binomial(n, p_i), so for an architecture
+// that fails on a demand when at least m versions fail there (a
+// "m-out-of-n:G" voter over binary outputs):
+//
+//   P(fault i defeats the architecture) = P(Binomial(n, p_i) >= m)
+//
+// and the PFD is again a sum of independent Bernoulli-weighted q_i — the
+// whole §3-§5 machinery (moments, bounds, exact laws, normal approximation)
+// applies with transformed presence probabilities.
+//
+// Nomenclature: `votes_to_defeat` = m above.  A 1-out-of-2 protection pair
+// (system fails only if BOTH channels fail) is {n = 2, m = 2} here; the
+// industry name "1oo2" counts votes needed to *act*, our m counts versions
+// that must be *faulty* — the two conventions are duals (m = n − k + 1).
+
+#include "core/fault_universe.hpp"
+#include "core/moments.hpp"
+#include "core/pfd_distribution.hpp"
+
+namespace reldiv::core {
+
+/// A diverse architecture over `versions` independently developed channels
+/// that fails on a demand iff at least `votes_to_defeat` of them fail there.
+struct architecture {
+  unsigned versions = 2;
+  unsigned votes_to_defeat = 2;
+
+  /// The paper's 1-out-of-2 protection pair.
+  static constexpr architecture one_out_of_two() { return {2, 2}; }
+  /// Triple modular redundancy with majority voting: fails when >= 2 of 3
+  /// versions fail.
+  static constexpr architecture two_out_of_three() { return {3, 2}; }
+  /// Single version.
+  static constexpr architecture simplex() { return {1, 1}; }
+
+  [[nodiscard]] const char* describe() const noexcept;
+};
+
+/// P(at least m of n independent versions contain a fault of probability p):
+/// the architecture-level presence probability.  Exact summation; stable for
+/// tiny p (leading term C(n,m) p^m).
+[[nodiscard]] double defeat_probability(double p, const architecture& arch);
+
+/// Transform a universe's p-values to architecture-level presence
+/// probabilities: the returned universe, fed to the *single-version*
+/// formulas, yields the architecture's PFD statistics.
+[[nodiscard]] fault_universe architecture_universe(const fault_universe& u,
+                                                   const architecture& arch);
+
+/// Moments of the architecture PFD (eq. 1-2 generalized).
+[[nodiscard]] pfd_moments architecture_moments(const fault_universe& u,
+                                               const architecture& arch);
+
+/// P(no fault defeats the architecture) — §4 generalized.
+[[nodiscard]] double prob_architecture_fault_free(const fault_universe& u,
+                                                  const architecture& arch);
+
+/// Risk ratio P(architecture defeated by >= 1 fault) / P(N1 > 0): the
+/// eq. (10) generalization.  Throws std::domain_error when P(N1>0) == 0.
+[[nodiscard]] double architecture_risk_ratio(const fault_universe& u,
+                                             const architecture& arch);
+
+/// Exact architecture PFD law by subset enumeration (n <= 24 faults).
+[[nodiscard]] pfd_distribution architecture_pfd_distribution(const fault_universe& u,
+                                                             const architecture& arch);
+
+/// Spurious-action analysis: each version also carries "false-trip" faults
+/// (regions of NORMAL operation where it demands action).  For a voter that
+/// ACTS when at least `votes_to_act` versions demand action, a spurious
+/// fault region triggers spurious action iff at least votes_to_act versions
+/// contain it, where votes_to_act = versions - votes_to_defeat + 1.
+/// This is the availability price of defeating demand failures.
+[[nodiscard]] double spurious_action_probability(double p_spurious,
+                                                 const architecture& arch);
+
+/// Mean spurious-action rate of an architecture over a universe of
+/// false-trip faults (p = introduction probability, q = probability per
+/// unit time of visiting the spurious region).
+[[nodiscard]] double mean_spurious_rate(const fault_universe& spurious_faults,
+                                        const architecture& arch);
+
+}  // namespace reldiv::core

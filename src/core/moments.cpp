@@ -1,0 +1,47 @@
+#include "core/moments.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace reldiv::core {
+
+double pfd_moments::stddev() const noexcept { return std::sqrt(variance); }
+
+double pfd_moments::cv() const noexcept { return mean > 0.0 ? stddev() / mean : 0.0; }
+
+pfd_moments single_version_moments(const fault_universe& u) {
+  return one_out_of_m_moments(u, 1);
+}
+
+pfd_moments pair_moments(const fault_universe& u) { return one_out_of_m_moments(u, 2); }
+
+pfd_moments one_out_of_m_moments(const fault_universe& u, unsigned m) {
+  if (m == 0) throw std::invalid_argument("one_out_of_m_moments: m must be >= 1");
+  pfd_moments out;
+  for (const auto& [p, q] : u) {
+    // A fault is common to all m versions with probability p^m; its PFD
+    // contribution is then a Bernoulli(p^m)-weighted q.
+    const double pm = std::pow(p, static_cast<double>(m));
+    out.mean += pm * q;
+    out.variance += pm * (1.0 - pm) * q * q;
+  }
+  return out;
+}
+
+double independence_shortfall(const fault_universe& u) {
+  const double mu1 = single_version_moments(u).mean;
+  const double mu2 = pair_moments(u).mean;
+  return mu2 - mu1 * mu1;
+}
+
+double mean_gain(const fault_universe& u) {
+  const double mu1 = single_version_moments(u).mean;
+  const double mu2 = pair_moments(u).mean;
+  if (mu2 == 0.0) {
+    return mu1 == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return mu1 / mu2;
+}
+
+}  // namespace reldiv::core

@@ -1,0 +1,47 @@
+#pragma once
+// Exact first and second moments of the probability of failure on demand
+// (paper Section 3, equations 1-3):
+//
+//   E[Θ1]   = Σ p_i q_i                    (mean PFD of one version)
+//   E[Θ2]   = Σ p_i² q_i                   (mean PFD of a 1-out-of-2 pair)
+//   σ²(Θ1)  = Σ p_i (1−p_i) q_i²
+//   σ²(Θ2)  = Σ p_i² (1−p_i²) q_i²
+//
+// Generalized to 1-out-of-m (a fault is common to all m independently
+// developed versions with probability p_i^m), which the paper's 2-version
+// formulas are the m=2 case of.
+
+#include "core/fault_universe.hpp"
+
+namespace reldiv::core {
+
+/// Mean and standard deviation of a PFD random variable.
+struct pfd_moments {
+  double mean = 0.0;
+  double variance = 0.0;
+
+  [[nodiscard]] double stddev() const noexcept;
+  /// Coefficient of variation σ/µ (0 when µ == 0).
+  [[nodiscard]] double cv() const noexcept;
+};
+
+/// Moments of Θ1 (single version) — eq. (1) left / eq. (2) left.
+[[nodiscard]] pfd_moments single_version_moments(const fault_universe& u);
+
+/// Moments of Θ2 (1-out-of-2 diverse pair) — eq. (1) right / eq. (2) right.
+[[nodiscard]] pfd_moments pair_moments(const fault_universe& u);
+
+/// Moments of the 1-out-of-m diverse system (m >= 1).
+[[nodiscard]] pfd_moments one_out_of_m_moments(const fault_universe& u, unsigned m);
+
+/// The EL/LM "independence shortfall" exposed by eq. (1): failure
+/// independence would predict a pair PFD of (E[Θ1])², but the model gives
+///   E[Θ2] − (E[Θ1])² = Σ p_i² q_i − (Σ p_i q_i)²,
+/// which is ≥ 0 whenever Σ q_i ≤ 1 (Cauchy–Schwarz).  A positive value is
+/// exactly the coincident-failure excess the EL and LM models predict.
+[[nodiscard]] double independence_shortfall(const fault_universe& u);
+
+/// Mean reliability gain E[Θ1]/E[Θ2] (infinity if E[Θ2] == 0).
+[[nodiscard]] double mean_gain(const fault_universe& u);
+
+}  // namespace reldiv::core

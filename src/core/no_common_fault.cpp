@@ -1,0 +1,185 @@
+#include "core/no_common_fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special_functions.hpp"
+
+namespace reldiv::core {
+
+namespace {
+
+/// Π(1 − f(p_i)) computed in log space.
+template <typename F>
+double product_complement(const fault_universe& u, F transform) {
+  double log_prod = 0.0;
+  for (const auto& a : u) {
+    const double x = transform(a.p);
+    if (x >= 1.0) return 0.0;
+    if (x > 0.0) log_prod += std::log1p(-x);
+  }
+  return std::exp(log_prod);
+}
+
+/// 1 − Π(1 − f(p_i)) computed stably.
+template <typename F>
+double one_minus_product_complement(const fault_universe& u, F transform) {
+  double log_prod = 0.0;
+  for (const auto& a : u) {
+    const double x = transform(a.p);
+    if (x >= 1.0) return 1.0;
+    if (x > 0.0) log_prod += std::log1p(-x);
+  }
+  return -std::expm1(log_prod);
+}
+
+}  // namespace
+
+double prob_no_fault(const fault_universe& u) {
+  return product_complement(u, [](double p) { return p; });
+}
+
+double prob_no_common_fault(const fault_universe& u) {
+  return product_complement(u, [](double p) { return p * p; });
+}
+
+double prob_no_common_fault_m(const fault_universe& u, unsigned m) {
+  if (m == 0) throw std::invalid_argument("prob_no_common_fault_m: m must be >= 1");
+  return product_complement(
+      u, [m](double p) { return std::pow(p, static_cast<double>(m)); });
+}
+
+double prob_some_fault(const fault_universe& u) {
+  return one_minus_product_complement(u, [](double p) { return p; });
+}
+
+double prob_some_common_fault(const fault_universe& u) {
+  return one_minus_product_complement(u, [](double p) { return p * p; });
+}
+
+double risk_ratio(const fault_universe& u) {
+  const double denom = prob_some_fault(u);
+  if (denom <= 0.0) {
+    throw std::domain_error("risk_ratio: P(N1 > 0) == 0, ratio undefined");
+  }
+  return prob_some_common_fault(u) / denom;
+}
+
+double success_ratio(const fault_universe& u) {
+  double r = 1.0;
+  for (const auto& a : u) r *= (1.0 + a.p);
+  return r;
+}
+
+double risk_ratio_derivative(const fault_universe& u, std::size_t i) {
+  if (i >= u.size()) throw std::out_of_range("risk_ratio_derivative: index");
+  const double pi = u[i].p;
+  if (pi >= 1.0) {
+    throw std::domain_error("risk_ratio_derivative: closed form requires p_i < 1");
+  }
+  const double a = prob_no_fault(u);         // A  = Π(1 − p_j)
+  const double b = prob_no_common_fault(u);  // B  = Π(1 − p_j²)
+  const double n = 1.0 - b;                  // numerator  P(N2 > 0)
+  const double d = 1.0 - a;                  // denominator P(N1 > 0)
+  if (d <= 0.0) throw std::domain_error("risk_ratio_derivative: P(N1 > 0) == 0");
+  // dN/dp_i = 2 p_i Π_{j≠i}(1 − p_j²) = 2 p_i B / (1 − p_i²)
+  // dD/dp_i =        Π_{j≠i}(1 − p_j)  =       A / (1 − p_i)
+  const double dn = 2.0 * pi * b / (1.0 - pi * pi);
+  const double dd = a / (1.0 - pi);
+  return (dn * d - n * dd) / (d * d);
+}
+
+double risk_ratio_derivative_numeric(const fault_universe& u, std::size_t i, double h) {
+  if (i >= u.size()) throw std::out_of_range("risk_ratio_derivative_numeric: index");
+  auto atoms = u.atoms();
+  const double pi = atoms[i].p;
+  const double step = std::min({h, pi / 2.0, (1.0 - pi) / 2.0});
+  if (!(step > 0.0)) {
+    throw std::domain_error("risk_ratio_derivative_numeric: p_i too close to {0,1}");
+  }
+  atoms[i].p = pi + step;
+  const double hi = risk_ratio(fault_universe(atoms, true));
+  atoms[i].p = pi - step;
+  const double lo = risk_ratio(fault_universe(atoms, true));
+  return (hi - lo) / (2.0 * step);
+}
+
+double appendix_a_root(double p2) {
+  if (!(p2 > 0.0) || !(p2 < 1.0)) {
+    throw std::invalid_argument("appendix_a_root: p2 must be in (0,1)");
+  }
+  // Unique positive root of p1²(1−p2²) + 2 p1 p2 (1+p2) − p2² = 0.
+  return p2 * (std::sqrt(2.0 * (1.0 + p2)) - (1.0 + p2)) / ((1.0 - p2) * (1.0 + p2));
+}
+
+double risk_ratio_two_faults(double p1, double p2) {
+  return risk_ratio(fault_universe({{p1, 0.0}, {p2, 0.0}}));
+}
+
+double find_derivative_zero(const fault_universe& u, std::size_t i, double lo, double hi) {
+  if (i >= u.size()) throw std::out_of_range("find_derivative_zero: index");
+  auto atoms = u.atoms();
+  auto deriv_at = [&](double p) {
+    atoms[i].p = p;
+    return risk_ratio_derivative(fault_universe(atoms, true), i);
+  };
+  double flo = deriv_at(lo);
+  double fhi = deriv_at(hi);
+  if (flo * fhi > 0.0) return -1.0;  // no sign change: no interior zero
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = deriv_at(mid);
+    if (fmid == 0.0 || hi - lo < 1e-14) return mid;
+    if (flo * fmid <= 0.0) {
+      hi = mid;
+      fhi = fmid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double risk_ratio_scaled(const std::vector<double>& b, double k) {
+  if (!(k >= 0.0)) throw std::invalid_argument("risk_ratio_scaled: k must be >= 0");
+  std::vector<fault_atom> atoms;
+  atoms.reserve(b.size());
+  for (const double bi : b) {
+    const double p = k * bi;
+    if (!(p >= 0.0) || !(p <= 1.0)) {
+      throw std::invalid_argument("risk_ratio_scaled: k*b_i must be in [0,1]");
+    }
+    atoms.push_back({p, 0.0});
+  }
+  return risk_ratio(fault_universe(std::move(atoms)));
+}
+
+double risk_ratio_scale_derivative(const std::vector<double>& b, double k, double h) {
+  const double step = std::min(h, k / 2.0);
+  if (!(step > 0.0)) {
+    throw std::invalid_argument("risk_ratio_scale_derivative: k too close to 0");
+  }
+  return (risk_ratio_scaled(b, k + step) - risk_ratio_scaled(b, k - step)) / (2.0 * step);
+}
+
+bool appendix_b_monotone_on_grid(const std::vector<double>& b, double k_lo, double k_hi,
+                                 int steps) {
+  if (steps < 2) throw std::invalid_argument("appendix_b_monotone_on_grid: steps >= 2");
+  if (!(k_lo > 0.0) || !(k_hi > k_lo)) {
+    throw std::invalid_argument("appendix_b_monotone_on_grid: need 0 < k_lo < k_hi");
+  }
+  constexpr double kTol = 1e-12;
+  double prev = risk_ratio_scaled(b, k_lo);
+  for (int s = 1; s < steps; ++s) {
+    const double k =
+        k_lo + (k_hi - k_lo) * static_cast<double>(s) / static_cast<double>(steps - 1);
+    const double cur = risk_ratio_scaled(b, k);
+    if (cur < prev - kTol) return false;
+    prev = cur;
+  }
+  return true;
+}
+
+}  // namespace reldiv::core

@@ -1,0 +1,99 @@
+#pragma once
+// Section 4 of the paper: the probability that a version has no fault /
+// that a diverse pair has no *common* fault, and how the risk ratio
+//
+//   eq. (10):  R = P(N2 > 0) / P(N1 > 0)
+//              = (1 − Π(1 − p_i²)) / (1 − Π(1 − p_i))  ≤ 1
+//
+// responds to process improvement (§4.2, Appendices A and B).  Small R
+// means a large gain from diversity; R → 1 means diversity buys nothing.
+//
+// Appendix A closed form (re-derived; the published appendix is garbled —
+// see DESIGN.md §2): for n = 2 with p2 fixed, ∂R/∂p1 has exactly one
+// positive zero at
+//
+//   p1z(p2) = p2 (sqrt(2(1+p2)) − (1+p2)) / ((1−p2)(1+p2)),
+//
+// and R is decreasing in p1 below p1z, increasing above — so *reducing* a
+// single small p (below p1z) RAISES the ratio, i.e. reduces the gain from
+// diversity: the paper's counterintuitive trend reversal.
+//
+// Appendix B: with p_i = k·b_i, dR/dk ≥ 0 for all valid parameters — a
+// uniform proportional improvement (smaller k) always lowers R, i.e. always
+// increases the diversity gain.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/fault_universe.hpp"
+
+namespace reldiv::core {
+
+/// P(N1 = 0) = Π(1 − p_i): the probability a random version has no fault.
+[[nodiscard]] double prob_no_fault(const fault_universe& u);
+
+/// P(N2 = 0) = Π(1 − p_i²): no fault common to an independently developed pair.
+[[nodiscard]] double prob_no_common_fault(const fault_universe& u);
+
+/// P(Nm = 0) = Π(1 − p_i^m) for a 1-out-of-m system (m >= 1).
+[[nodiscard]] double prob_no_common_fault_m(const fault_universe& u, unsigned m);
+
+/// P(N1 > 0) and P(N2 > 0), computed stably for tiny p_i.
+[[nodiscard]] double prob_some_fault(const fault_universe& u);
+[[nodiscard]] double prob_some_common_fault(const fault_universe& u);
+
+/// eq. (10): the risk ratio R ∈ [0, 1].  Throws std::domain_error if
+/// P(N1 > 0) == 0 (ratio undefined: no fault is ever produced).
+[[nodiscard]] double risk_ratio(const fault_universe& u);
+
+/// Footnote-5 "success ratio": P(N2 = 0)/P(N1 = 0) = Π(1 + p_i) ≥ 1.
+[[nodiscard]] double success_ratio(const fault_universe& u);
+
+/// Exact partial derivative ∂R/∂p_i for the eq. (10) ratio (general n).
+/// Requires p_i < 1 for the closed form; throws std::domain_error otherwise.
+[[nodiscard]] double risk_ratio_derivative(const fault_universe& u, std::size_t i);
+
+/// Central-difference numerical derivative (cross-check for the closed form
+/// and for regions where it is awkward).
+[[nodiscard]] double risk_ratio_derivative_numeric(const fault_universe& u, std::size_t i,
+                                                   double h = 1e-7);
+
+// ---------------------------------------------------------------------------
+// Appendix A: single-parameter improvement, n = 2 closed form and general-n
+// numeric root.
+// ---------------------------------------------------------------------------
+
+/// The re-derived Appendix A root: the unique p1 > 0 at which ∂R/∂p1 = 0
+/// for a two-fault universe with the other fault probability fixed at p2.
+/// Valid for p2 in (0, 1).
+[[nodiscard]] double appendix_a_root(double p2);
+
+/// eq. (10) ratio for the two-fault universe (p1, p2) — convenience used by
+/// the Appendix A analysis (q values are irrelevant to N-based measures).
+[[nodiscard]] double risk_ratio_two_faults(double p1, double p2);
+
+/// Numerically locate the zero of ∂R/∂p_i as p_i varies with every other
+/// parameter held fixed.  Returns a value in (0, 1), or a negative value if
+/// the derivative does not change sign on (lo, hi).
+[[nodiscard]] double find_derivative_zero(const fault_universe& u, std::size_t i,
+                                          double lo = 1e-9, double hi = 1.0 - 1e-9);
+
+// ---------------------------------------------------------------------------
+// Appendix B: proportional scaling p_i = k · b_i.
+// ---------------------------------------------------------------------------
+
+/// eq. (10) ratio with every p_i scaled by k (clamped requirement: all
+/// k·b_i in [0, 1], else std::invalid_argument).
+[[nodiscard]] double risk_ratio_scaled(const std::vector<double>& b, double k);
+
+/// Numerical dR/dk at scale k.
+[[nodiscard]] double risk_ratio_scale_derivative(const std::vector<double>& b, double k,
+                                                 double h = 1e-7);
+
+/// Verify Appendix B's theorem on a k-grid: returns true iff the ratio is
+/// non-decreasing in k across `steps` points of [k_lo, k_hi] (within a small
+/// numerical tolerance).
+[[nodiscard]] bool appendix_b_monotone_on_grid(const std::vector<double>& b, double k_lo,
+                                               double k_hi, int steps);
+
+}  // namespace reldiv::core

@@ -1,0 +1,240 @@
+#include "core/pfd_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace reldiv::core {
+
+namespace {
+
+/// Per-fault presence probability in the 1-out-of-m system.
+std::vector<double> presence_probs(const fault_universe& u, unsigned m) {
+  if (m == 0) throw std::invalid_argument("pfd_distribution: m must be >= 1");
+  std::vector<double> probs;
+  probs.reserve(u.size());
+  for (const auto& a : u) probs.push_back(std::pow(a.p, static_cast<double>(m)));
+  return probs;
+}
+
+}  // namespace
+
+pfd_distribution::pfd_distribution(std::vector<atom> atoms, double lost_mass)
+    : atoms_(std::move(atoms)), lost_mass_(lost_mass) {
+  if (lost_mass_ < 0.0 || lost_mass_ > 1.0) {
+    throw std::invalid_argument("pfd_distribution: lost_mass out of [0,1]");
+  }
+  std::sort(atoms_.begin(), atoms_.end(),
+            [](const atom& a, const atom& b) { return a.value < b.value; });
+  // Coalesce exactly equal values.
+  std::vector<atom> merged;
+  merged.reserve(atoms_.size());
+  for (const auto& a : atoms_) {
+    if (!(a.prob >= 0.0)) throw std::invalid_argument("pfd_distribution: negative prob");
+    if (a.prob == 0.0) continue;
+    if (!merged.empty() && merged.back().value == a.value) {
+      merged.back().prob += a.prob;
+    } else {
+      merged.push_back(a);
+    }
+  }
+  atoms_ = std::move(merged);
+  double total = lost_mass_;
+  for (const auto& a : atoms_) total += a.prob;
+  if (std::fabs(total - 1.0) > 1e-6) {
+    throw std::invalid_argument("pfd_distribution: probabilities do not sum to 1");
+  }
+}
+
+double pfd_distribution::cdf(double x) const noexcept {
+  double sum = 0.0;
+  for (const auto& a : atoms_) {
+    if (a.value > x) break;
+    sum += a.prob;
+  }
+  return sum;
+}
+
+double pfd_distribution::quantile(double alpha) const {
+  if (!(alpha >= 0.0) || !(alpha <= 1.0)) {
+    throw std::invalid_argument("pfd_distribution::quantile: alpha must be in [0,1]");
+  }
+  if (atoms_.empty()) throw std::domain_error("pfd_distribution::quantile: empty");
+  double cum = 0.0;
+  for (const auto& a : atoms_) {
+    cum += a.prob;
+    if (cum + 1e-15 >= alpha) return a.value;
+  }
+  return atoms_.back().value;
+}
+
+double pfd_distribution::mean() const noexcept {
+  double m = 0.0;
+  for (const auto& a : atoms_) m += a.value * a.prob;
+  return m;
+}
+
+double pfd_distribution::variance() const noexcept {
+  const double mu = mean();
+  double v = 0.0;
+  for (const auto& a : atoms_) v += (a.value - mu) * (a.value - mu) * a.prob;
+  return v;
+}
+
+double pfd_distribution::stddev() const noexcept { return std::sqrt(variance()); }
+
+double pfd_distribution::prob_zero() const noexcept {
+  return (!atoms_.empty() && atoms_.front().value == 0.0) ? atoms_.front().prob : 0.0;
+}
+
+double pfd_distribution::exceedance(double x) const noexcept { return 1.0 - cdf(x); }
+
+double pfd_distribution::min_value() const {
+  if (atoms_.empty()) throw std::domain_error("pfd_distribution::min_value: empty");
+  return atoms_.front().value;
+}
+
+double pfd_distribution::max_value() const {
+  if (atoms_.empty()) throw std::domain_error("pfd_distribution::max_value: empty");
+  return atoms_.back().value;
+}
+
+pfd_distribution exact_pfd_distribution(const fault_universe& u, unsigned m) {
+  if (u.size() > 24) {
+    throw std::invalid_argument(
+        "exact_pfd_distribution: n > 24 would enumerate > 16M subsets; use "
+        "pruned_pfd_distribution or grid_pfd_distribution");
+  }
+  const auto probs = presence_probs(u, m);
+  std::vector<pfd_distribution::atom> atoms{{0.0, 1.0}};
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double p = probs[i];
+    const double q = u[i].q;
+    const std::size_t sz = atoms.size();
+    atoms.reserve(sz * 2);
+    for (std::size_t j = 0; j < sz; ++j) {
+      atoms.push_back({atoms[j].value + q, atoms[j].prob * p});
+      atoms[j].prob *= (1.0 - p);
+    }
+  }
+  return pfd_distribution(std::move(atoms));
+}
+
+pfd_distribution pruned_pfd_distribution(const fault_universe& u, unsigned m,
+                                         double prune_eps, double value_tol) {
+  if (!(prune_eps >= 0.0) || prune_eps >= 1e-3) {
+    throw std::invalid_argument("pruned_pfd_distribution: prune_eps must be in [0, 1e-3)");
+  }
+  if (value_tol < 0.0) {
+    throw std::invalid_argument("pruned_pfd_distribution: value_tol must be >= 0");
+  }
+  const auto probs = presence_probs(u, m);
+  // Defensive cap: a too-small prune_eps on a dense universe would grow the
+  // atom set combinatorially; fail fast instead of exhausting memory.
+  constexpr std::size_t kMaxAtoms = 4'000'000;
+  std::vector<pfd_distribution::atom> atoms{{0.0, 1.0}};
+  std::vector<pfd_distribution::atom> next;
+  double lost = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    if (atoms.size() > kMaxAtoms) {
+      throw std::runtime_error(
+          "pruned_pfd_distribution: atom set exceeds 4M; increase prune_eps or "
+          "value_tol, or use grid_pfd_distribution");
+    }
+    const double p = probs[i];
+    const double q = u[i].q;
+    next.clear();
+    next.reserve(atoms.size() * 2);
+    for (const auto& a : atoms) {
+      next.push_back({a.value, a.prob * (1.0 - p)});
+      next.push_back({a.value + q, a.prob * p});
+    }
+    // Sort, merge near-equal values, prune tiny masses.
+    std::sort(next.begin(), next.end(),
+              [](const auto& a, const auto& b) { return a.value < b.value; });
+    atoms.clear();
+    for (const auto& a : next) {
+      if (a.prob < prune_eps) {
+        lost += a.prob;
+        continue;
+      }
+      if (!atoms.empty() && a.value - atoms.back().value <= value_tol) {
+        // Merge into the existing atom, keeping the probability-weighted value.
+        auto& b = atoms.back();
+        const double w = b.prob + a.prob;
+        b.value = (b.value * b.prob + a.value * a.prob) / w;
+        b.prob = w;
+      } else {
+        atoms.push_back(a);
+      }
+    }
+  }
+  return pfd_distribution(std::move(atoms), lost);
+}
+
+pfd_distribution grid_pfd_distribution(const fault_universe& u, unsigned m,
+                                       std::size_t bins) {
+  if (bins < 2) throw std::invalid_argument("grid_pfd_distribution: bins >= 2");
+  const auto probs = presence_probs(u, m);
+  const double span = u.q_total();
+  if (span <= 0.0) {
+    return pfd_distribution({{0.0, 1.0}});
+  }
+  const double cell = span / static_cast<double>(bins - 1);
+  std::vector<double> mass(bins, 0.0);
+  mass[0] = 1.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double p = probs[i];
+    if (p == 0.0) continue;
+    const auto shift = static_cast<std::size_t>(std::llround(u[i].q / cell));
+    if (shift == 0) continue;  // contribution below grid resolution
+    // In-place update from the top down (like the Poisson-binomial DP).
+    for (std::size_t j = bins; j-- > 0;) {
+      const double moving = mass[j] * p;
+      if (moving == 0.0) continue;
+      mass[j] -= moving;
+      const std::size_t dst = std::min(j + shift, bins - 1);
+      mass[dst] += moving;
+    }
+  }
+  std::vector<pfd_distribution::atom> atoms;
+  atoms.reserve(bins);
+  for (std::size_t j = 0; j < bins; ++j) {
+    if (mass[j] > 0.0) atoms.push_back({static_cast<double>(j) * cell, mass[j]});
+  }
+  return pfd_distribution(std::move(atoms));
+}
+
+double normal_approximation::cdf(double x) const {
+  if (sigma <= 0.0) return x >= mu ? 1.0 : 0.0;
+  return stats::normal_cdf(x, mu, sigma);
+}
+
+double normal_approximation::quantile(double alpha) const {
+  if (sigma <= 0.0) return mu;
+  return stats::normal_quantile(alpha, mu, sigma);
+}
+
+normal_approximation normal_approx(const fault_universe& u, unsigned m) {
+  const pfd_moments mom = one_out_of_m_moments(u, m);
+  return {mom.mean, mom.stddev()};
+}
+
+double normal_approximation_distance(const pfd_distribution& exact,
+                                     const normal_approximation& approx) {
+  // The exact CDF is a step function: the sup distance to a continuous CDF
+  // is attained just before or at a jump.
+  double d = 0.0;
+  double cum = 0.0;
+  for (const auto& a : exact.atoms()) {
+    const double g = approx.cdf(a.value);
+    d = std::max(d, std::fabs(g - cum));  // just below the jump
+    cum += a.prob;
+    d = std::max(d, std::fabs(g - cum));  // at the jump
+  }
+  return d;
+}
+
+}  // namespace reldiv::core

@@ -1,0 +1,103 @@
+#pragma once
+// The full probability distribution of the PFD random variables Θ1 / Θ2 /
+// Θ(1-out-of-m).
+//
+// In the model, Θ = Σ_i X_i q_i with X_i ~ Bernoulli(p_i^m) independent, so
+// the law of Θ is a discrete mixture over fault subsets.  The paper works
+// with (a) the two moments and (b) a normal (CLT) approximation for the
+// "many small faults" regime (§5), and with P(Θ = 0) for the "probably
+// fault-free" regime (§4).  This module computes the *exact* law three ways
+// so that both regimes — and the quality of the paper's normal
+// approximation (experiment E9) — can be checked rather than assumed:
+//
+//   * exact subset enumeration           n <= 24          (2^n atoms)
+//   * sparse DP with probability pruning n large, E[N] small
+//   * fixed-grid convolution DP          n large, E[N] large
+//
+// All three return the same `pfd_distribution` value type.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/fault_universe.hpp"
+#include "core/moments.hpp"
+
+namespace reldiv::core {
+
+/// A discrete probability distribution over PFD values.
+class pfd_distribution {
+ public:
+  struct atom {
+    double value = 0.0;
+    double prob = 0.0;
+  };
+
+  /// Atoms need not be sorted or unique on input; the constructor sorts and
+  /// coalesces.  `lost_mass` records probability discarded by pruning: all
+  /// probability statements are then exact within ±lost_mass.
+  explicit pfd_distribution(std::vector<atom> atoms, double lost_mass = 0.0);
+
+  [[nodiscard]] const std::vector<atom>& atoms() const noexcept { return atoms_; }
+  [[nodiscard]] double lost_mass() const noexcept { return lost_mass_; }
+
+  /// P(Θ <= x) (lower bound if mass was pruned).
+  [[nodiscard]] double cdf(double x) const noexcept;
+  /// Smallest atom value v with P(Θ <= v) >= alpha.
+  [[nodiscard]] double quantile(double alpha) const;
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// P(Θ = 0) — the §4 fault-free probability.
+  [[nodiscard]] double prob_zero() const noexcept;
+  /// P(Θ > x).
+  [[nodiscard]] double exceedance(double x) const noexcept;
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] std::size_t size() const noexcept { return atoms_.size(); }
+
+ private:
+  std::vector<atom> atoms_;  ///< sorted by value, coalesced
+  double lost_mass_ = 0.0;
+};
+
+/// Exact law of Θ for a 1-out-of-m system by subset enumeration.
+/// Throws std::invalid_argument for n > 24 (use the DP variants instead).
+[[nodiscard]] pfd_distribution exact_pfd_distribution(const fault_universe& u,
+                                                      unsigned m = 1);
+
+/// Sparse dynamic programme: exact except that partial sums with probability
+/// below `prune_eps` are dropped (recorded in lost_mass), and values closer
+/// than `value_tol` are merged.  Suits large n with few expected faults.
+[[nodiscard]] pfd_distribution pruned_pfd_distribution(const fault_universe& u, unsigned m,
+                                                       double prune_eps = 1e-14,
+                                                       double value_tol = 0.0);
+
+/// Fixed-grid convolution over `bins` equal-width cells of [0, Σq]: each
+/// fault's contribution is rounded to the nearest cell.  Suits the §5
+/// "very many possible faults" regime.
+[[nodiscard]] pfd_distribution grid_pfd_distribution(const fault_universe& u, unsigned m,
+                                                     std::size_t bins = 4096);
+
+/// The §5 normal approximation N(µ, σ²) of a PFD law.
+struct normal_approximation {
+  double mu = 0.0;
+  double sigma = 0.0;
+
+  [[nodiscard]] double cdf(double x) const;
+  /// Φ⁻¹-based quantile; for sigma == 0 returns mu for any alpha.
+  [[nodiscard]] double quantile(double alpha) const;
+  /// µ + kσ.
+  [[nodiscard]] double bound(double k) const noexcept { return mu + k * sigma; }
+};
+
+/// Normal approximation of Θ for the 1-out-of-m system (m = 1: single
+/// version; m = 2: the paper's diverse pair).
+[[nodiscard]] normal_approximation normal_approx(const fault_universe& u, unsigned m);
+
+/// Kolmogorov distance sup_x |F_exact(x) − Φ((x−µ)/σ)| between an exact PFD
+/// law and its moment-matched normal approximation (experiment E9's measure
+/// of CLT quality).
+[[nodiscard]] double normal_approximation_distance(const pfd_distribution& exact,
+                                                   const normal_approximation& approx);
+
+}  // namespace reldiv::core

@@ -1,0 +1,122 @@
+#include "demand/binding.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace reldiv::demand {
+
+hit_estimate estimate_hit_probability(const region& reg, const demand_profile& profile,
+                                      std::uint64_t samples, std::uint64_t seed) {
+  if (samples == 0) throw std::invalid_argument("estimate_hit_probability: samples > 0");
+  stats::rng r(seed);
+  std::uint64_t hits = 0;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    if (reg.contains(profile.sample(r))) ++hits;
+  }
+  hit_estimate e;
+  e.q = static_cast<double>(hits) / static_cast<double>(samples);
+  e.ci = stats::wilson(hits, samples, 0.99);
+  e.samples = samples;
+  return e;
+}
+
+double exact_box_hit_probability(const box_region& reg, const uniform_profile& profile) {
+  const box& inner = reg.bounds();
+  const box& outer = profile.domain();
+  if (inner.dims() != outer.dims()) {
+    throw std::invalid_argument("exact_box_hit_probability: dim mismatch");
+  }
+  double measure = 1.0;
+  for (std::size_t d = 0; d < inner.dims(); ++d) {
+    const double lo = std::max(inner.lo[d], outer.lo[d]);
+    const double hi = std::min(inner.hi[d], outer.hi[d]);
+    if (hi <= lo) return 0.0;
+    measure *= (hi - lo) / (outer.hi[d] - outer.lo[d]);
+  }
+  return measure;
+}
+
+bound_universe bind_universe(const std::vector<region_fault>& faults,
+                             const demand_profile& profile, std::uint64_t samples,
+                             std::uint64_t seed) {
+  if (faults.empty()) throw std::invalid_argument("bind_universe: no faults");
+  if (samples == 0) throw std::invalid_argument("bind_universe: samples > 0");
+  for (const auto& f : faults) {
+    if (!f.footprint) throw std::invalid_argument("bind_universe: null region");
+    if (!(f.p >= 0.0) || !(f.p <= 1.0)) {
+      throw std::invalid_argument("bind_universe: p out of [0,1]");
+    }
+  }
+  const std::size_t n = faults.size();
+  std::vector<std::uint64_t> hits(n, 0);
+  std::vector<std::vector<std::uint64_t>> joint(n, std::vector<std::uint64_t>(n, 0));
+  stats::rng r(seed);
+  std::vector<bool> in(n, false);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const point x = profile.sample(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      in[i] = faults[i].footprint->contains(x);
+      if (in[i]) ++hits[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (in[j]) ++joint[i][j];
+      }
+    }
+  }
+
+  std::vector<core::fault_atom> atoms(n);
+  std::vector<hit_estimate> estimates(n);
+  const auto total = static_cast<double>(samples);
+  for (std::size_t i = 0; i < n; ++i) {
+    estimates[i].q = static_cast<double>(hits[i]) / total;
+    estimates[i].ci = stats::wilson(hits[i], samples, 0.99);
+    estimates[i].samples = samples;
+    atoms[i] = {faults[i].p, estimates[i].q};
+  }
+
+  bound_universe out{
+      // Overlapping regions can push Σq past 1; that is precisely what the
+      // §6.2 study measures, so the constructor must not reject it.
+      core::fault_universe(std::move(atoms), /*allow_q_overflow=*/true),
+      std::move(estimates),
+      std::vector<std::vector<double>>(n, std::vector<double>(n, 0.0)),
+      0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double ov = static_cast<double>(joint[i][j]) / total;
+      out.overlap[i][j] = ov;
+      out.overlap[j][i] = ov;
+      out.max_pairwise_overlap = std::max(out.max_pairwise_overlap, ov);
+    }
+  }
+  return out;
+}
+
+overlap_comparison compare_overlap_pfd(const std::vector<region_ptr>& present,
+                                       const demand_profile& profile,
+                                       std::uint64_t samples, std::uint64_t seed) {
+  if (samples == 0) throw std::invalid_argument("compare_overlap_pfd: samples > 0");
+  stats::rng r(seed);
+  std::uint64_t union_hits = 0;
+  std::vector<std::uint64_t> individual(present.size(), 0);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const point x = profile.sample(r);
+    bool any = false;
+    for (std::size_t i = 0; i < present.size(); ++i) {
+      if (present[i]->contains(x)) {
+        any = true;
+        ++individual[i];
+      }
+    }
+    if (any) ++union_hits;
+  }
+  overlap_comparison out;
+  const auto total = static_cast<double>(samples);
+  for (const std::uint64_t h : individual) out.sum_of_q += static_cast<double>(h) / total;
+  out.union_measure = static_cast<double>(union_hits) / total;
+  return out;
+}
+
+}  // namespace reldiv::demand

@@ -1,0 +1,73 @@
+#pragma once
+// Binding geometry to the abstract model: given failure regions with
+// introduction probabilities and a demand profile, estimate the q_i (the
+// profile measure of each region), check the disjointness assumption, and
+// quantify what overlap does to the PFD (the §6.2 sensitivity study).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fault_universe.hpp"
+#include "demand/profile.hpp"
+#include "demand/region.hpp"
+#include "stats/confint.hpp"
+
+namespace reldiv::demand {
+
+/// A potential fault with spatial extent: its failure region plus the
+/// probability of being introduced.
+struct region_fault {
+  region_ptr footprint;
+  double p = 0.0;
+};
+
+/// Monte-Carlo estimate of the profile measure of one region.
+struct hit_estimate {
+  double q = 0.0;
+  stats::interval ci;  ///< 99% Wilson interval
+  std::uint64_t samples = 0;
+};
+
+[[nodiscard]] hit_estimate estimate_hit_probability(const region& reg,
+                                                    const demand_profile& profile,
+                                                    std::uint64_t samples,
+                                                    std::uint64_t seed);
+
+/// Exact hit probability of a box region under a uniform profile (ground
+/// truth for validating the Monte-Carlo estimator).
+[[nodiscard]] double exact_box_hit_probability(const box_region& reg,
+                                               const uniform_profile& profile);
+
+/// Everything the binding produces for a set of region faults.
+struct bound_universe {
+  core::fault_universe universe;         ///< abstract model with estimated q_i
+  std::vector<hit_estimate> estimates;   ///< per-region detail
+  /// overlap[i][j] = estimated P(demand in F_i AND F_j), i < j; symmetric
+  /// entries are stored in a flat row-major (full) matrix.
+  std::vector<std::vector<double>> overlap;
+  double max_pairwise_overlap = 0.0;
+};
+
+/// Estimate q_i for every region fault and the pairwise overlap matrix.
+[[nodiscard]] bound_universe bind_universe(const std::vector<region_fault>& faults,
+                                           const demand_profile& profile,
+                                           std::uint64_t samples, std::uint64_t seed);
+
+/// §6.2: the PFD of a version that contains the given regions, computed two
+/// ways — the model's sum-of-q (treats regions as disjoint; pessimistic if
+/// they overlap) and the true union measure.
+struct overlap_comparison {
+  double sum_of_q = 0.0;     ///< model's disjoint-assumption PFD
+  double union_measure = 0.0;  ///< true PFD (MC estimate of the union)
+  /// Pessimism factor sum/union (>= 1 up to MC noise).
+  [[nodiscard]] double pessimism() const {
+    return union_measure > 0.0 ? sum_of_q / union_measure : 1.0;
+  }
+};
+
+[[nodiscard]] overlap_comparison compare_overlap_pfd(const std::vector<region_ptr>& present,
+                                                     const demand_profile& profile,
+                                                     std::uint64_t samples,
+                                                     std::uint64_t seed);
+
+}  // namespace reldiv::demand

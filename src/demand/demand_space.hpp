@@ -1,0 +1,53 @@
+#pragma once
+// The demand space (paper §2.1): the set of all possible demands on the
+// protection system.  A demand is a point in a k-dimensional box of sensed
+// state variables ("a single reading of two input variables, var1 and var2"
+// in the paper's Fig. 2 example; possibly many more in reality).
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace reldiv::demand {
+
+/// A demand: one reading of the sensed state variables.
+using point = std::vector<double>;
+
+/// Axis-aligned box, the domain of the demand space.
+struct box {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  box() = default;
+  box(std::vector<double> lo_, std::vector<double> hi_) : lo(std::move(lo_)), hi(std::move(hi_)) {
+    if (lo.size() != hi.size() || lo.empty()) {
+      throw std::invalid_argument("box: lo/hi size mismatch or empty");
+    }
+    for (std::size_t d = 0; d < lo.size(); ++d) {
+      if (!(lo[d] < hi[d])) throw std::invalid_argument("box: require lo < hi per axis");
+    }
+  }
+
+  /// The unit hypercube [0,1]^dims.
+  static box unit(std::size_t dims) {
+    return box(std::vector<double>(dims, 0.0), std::vector<double>(dims, 1.0));
+  }
+
+  [[nodiscard]] std::size_t dims() const noexcept { return lo.size(); }
+
+  [[nodiscard]] bool contains(const point& x) const {
+    if (x.size() != lo.size()) throw std::invalid_argument("box::contains: dim mismatch");
+    for (std::size_t d = 0; d < lo.size(); ++d) {
+      if (x[d] < lo[d] || x[d] > hi[d]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] double volume() const noexcept {
+    double v = 1.0;
+    for (std::size_t d = 0; d < lo.size(); ++d) v *= (hi[d] - lo[d]);
+    return v;
+  }
+};
+
+}  // namespace reldiv::demand

@@ -1,0 +1,98 @@
+#include "demand/profile.hpp"
+
+#include <stdexcept>
+
+namespace reldiv::demand {
+
+uniform_profile::uniform_profile(box domain) : domain_(std::move(domain)) {}
+
+point uniform_profile::sample(stats::rng& r) const {
+  point x(domain_.dims());
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    x[d] = r.uniform(domain_.lo[d], domain_.hi[d]);
+  }
+  return x;
+}
+
+truncated_normal_profile::truncated_normal_profile(box domain, point mean,
+                                                   std::vector<double> sd)
+    : domain_(std::move(domain)), mean_(std::move(mean)), sd_(std::move(sd)) {
+  if (mean_.size() != domain_.dims() || sd_.size() != domain_.dims()) {
+    throw std::invalid_argument("truncated_normal_profile: dim mismatch");
+  }
+  for (const double s : sd_) {
+    if (!(s > 0.0)) throw std::invalid_argument("truncated_normal_profile: sd must be > 0");
+  }
+  if (!domain_.contains(mean_)) {
+    throw std::invalid_argument("truncated_normal_profile: mean outside domain");
+  }
+}
+
+point truncated_normal_profile::sample(stats::rng& r) const {
+  point x(domain_.dims());
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    // Per-axis rejection; the mean lies inside the domain, so acceptance is
+    // bounded away from zero.
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      const double v = mean_[d] + sd_[d] * stats::normal_deviate(r);
+      if (v >= domain_.lo[d] && v <= domain_.hi[d]) {
+        x[d] = v;
+        break;
+      }
+      if (attempt == 999) x[d] = mean_[d];  // pathological sd: fall back to the mean
+    }
+  }
+  return x;
+}
+
+mixture_profile::mixture_profile(std::vector<profile_ptr> components,
+                                 std::vector<double> weights)
+    : components_(std::move(components)) {
+  if (components_.empty() || components_.size() != weights.size()) {
+    throw std::invalid_argument("mixture_profile: component/weight mismatch or empty");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (!(w >= 0.0)) throw std::invalid_argument("mixture_profile: negative weight");
+    total += w;
+  }
+  if (!(total > 0.0)) throw std::invalid_argument("mixture_profile: zero total weight");
+  const std::size_t d0 = components_.front()->dims();
+  for (const auto& c : components_) {
+    if (!c) throw std::invalid_argument("mixture_profile: null component");
+    if (c->dims() != d0) throw std::invalid_argument("mixture_profile: dim mismatch");
+  }
+  cumulative_.reserve(weights.size());
+  double cum = 0.0;
+  for (const double w : weights) {
+    cum += w / total;
+    cumulative_.push_back(cum);
+  }
+  cumulative_.back() = 1.0;
+}
+
+point mixture_profile::sample(stats::rng& r) const {
+  const double u = r.uniform();
+  for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+    if (u <= cumulative_[i]) return components_[i]->sample(r);
+  }
+  return components_.back()->sample(r);
+}
+
+std::size_t mixture_profile::dims() const noexcept { return components_.front()->dims(); }
+
+profile_ptr make_uniform_profile(box domain) {
+  return std::make_shared<uniform_profile>(std::move(domain));
+}
+
+profile_ptr make_truncated_normal_profile(box domain, point mean, std::vector<double> sd) {
+  return std::make_shared<truncated_normal_profile>(std::move(domain), std::move(mean),
+                                                    std::move(sd));
+}
+
+profile_ptr make_mixture_profile(std::vector<profile_ptr> components,
+                                 std::vector<double> weights) {
+  return std::make_shared<mixture_profile>(std::move(components), std::move(weights));
+}
+
+}  // namespace reldiv::demand

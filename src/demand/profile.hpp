@@ -1,0 +1,85 @@
+#pragma once
+// Demand profiles: the probability distribution of demands during operation
+// ("Each demand in the demand space has a certain (possibly unknown)
+// probability of happening", §2.1).  The q_i parameters are exactly the
+// profile measure of the failure regions, so the same fault can have very
+// different q under different plants — which is why profiles are explicit
+// objects here.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "demand/demand_space.hpp"
+#include "stats/random.hpp"
+
+namespace reldiv::demand {
+
+class demand_profile {
+ public:
+  virtual ~demand_profile() = default;
+
+  /// Draw one demand.
+  [[nodiscard]] virtual point sample(stats::rng& r) const = 0;
+  [[nodiscard]] virtual std::size_t dims() const noexcept = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+ protected:
+  demand_profile() = default;
+  demand_profile(const demand_profile&) = default;
+  demand_profile& operator=(const demand_profile&) = default;
+};
+
+using profile_ptr = std::shared_ptr<const demand_profile>;
+
+/// Uniform over a box.
+class uniform_profile final : public demand_profile {
+ public:
+  explicit uniform_profile(box domain);
+
+  [[nodiscard]] point sample(stats::rng& r) const override;
+  [[nodiscard]] std::size_t dims() const noexcept override { return domain_.dims(); }
+  [[nodiscard]] std::string describe() const override { return "uniform"; }
+  [[nodiscard]] const box& domain() const noexcept { return domain_; }
+
+ private:
+  box domain_;
+};
+
+/// Independent normals per axis, truncated to a box by rejection (plants
+/// spend most time near an operating point; demands cluster around it).
+class truncated_normal_profile final : public demand_profile {
+ public:
+  truncated_normal_profile(box domain, point mean, std::vector<double> sd);
+
+  [[nodiscard]] point sample(stats::rng& r) const override;
+  [[nodiscard]] std::size_t dims() const noexcept override { return domain_.dims(); }
+  [[nodiscard]] std::string describe() const override { return "truncated_normal"; }
+
+ private:
+  box domain_;
+  point mean_;
+  std::vector<double> sd_;
+};
+
+/// Finite mixture of profiles (e.g. normal operation + rare transients).
+class mixture_profile final : public demand_profile {
+ public:
+  mixture_profile(std::vector<profile_ptr> components, std::vector<double> weights);
+
+  [[nodiscard]] point sample(stats::rng& r) const override;
+  [[nodiscard]] std::size_t dims() const noexcept override;
+  [[nodiscard]] std::string describe() const override { return "mixture"; }
+
+ private:
+  std::vector<profile_ptr> components_;
+  std::vector<double> cumulative_;
+};
+
+[[nodiscard]] profile_ptr make_uniform_profile(box domain);
+[[nodiscard]] profile_ptr make_truncated_normal_profile(box domain, point mean,
+                                                        std::vector<double> sd);
+[[nodiscard]] profile_ptr make_mixture_profile(std::vector<profile_ptr> components,
+                                               std::vector<double> weights);
+
+}  // namespace reldiv::demand

@@ -1,0 +1,154 @@
+#include "demand/raster.hpp"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace reldiv::demand {
+
+raster_region::raster_region(box domain, std::size_t cols, std::size_t rows)
+    : domain_(std::move(domain)),
+      cols_(cols),
+      rows_(rows),
+      bits_((cols * rows + 63) / 64, 0) {
+  if (domain_.dims() != 2) {
+    throw std::invalid_argument("raster_region: only 2-D domains are supported");
+  }
+  if (cols == 0 || rows == 0) {
+    throw std::invalid_argument("raster_region: need cols > 0 and rows > 0");
+  }
+}
+
+raster_region raster_region::rasterize(const region& source, const box& domain,
+                                       std::size_t cols, std::size_t rows) {
+  if (source.dims() != 2) {
+    throw std::invalid_argument("raster_region::rasterize: source must be 2-D");
+  }
+  raster_region out(domain, cols, rows);
+  point x(2);
+  for (std::size_t r = 0; r < rows; ++r) {
+    x[1] = domain.lo[1] + (domain.hi[1] - domain.lo[1]) *
+                              (static_cast<double>(r) + 0.5) / static_cast<double>(rows);
+    for (std::size_t c = 0; c < cols; ++c) {
+      x[0] = domain.lo[0] + (domain.hi[0] - domain.lo[0]) *
+                                (static_cast<double>(c) + 0.5) / static_cast<double>(cols);
+      if (source.contains(x)) out.set_cell(c, r, true);
+    }
+  }
+  return out;
+}
+
+std::size_t raster_region::index(std::size_t col, std::size_t row) const {
+  if (col >= cols_ || row >= rows_) throw std::out_of_range("raster_region: cell index");
+  return row * cols_ + col;
+}
+
+bool raster_region::cell(std::size_t col, std::size_t row) const {
+  const std::size_t i = index(col, row);
+  return (bits_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+void raster_region::set_cell(std::size_t col, std::size_t row, bool on) {
+  const std::size_t i = index(col, row);
+  if (on) {
+    bits_[i / 64] |= (1ULL << (i % 64));
+  } else {
+    bits_[i / 64] &= ~(1ULL << (i % 64));
+  }
+}
+
+bool raster_region::contains(const point& x) const {
+  if (x.size() != 2) throw std::invalid_argument("raster_region::contains: dim mismatch");
+  if (!domain_.contains(x)) return false;
+  auto col = static_cast<std::size_t>((x[0] - domain_.lo[0]) /
+                                      (domain_.hi[0] - domain_.lo[0]) *
+                                      static_cast<double>(cols_));
+  auto row = static_cast<std::size_t>((x[1] - domain_.lo[1]) /
+                                      (domain_.hi[1] - domain_.lo[1]) *
+                                      static_cast<double>(rows_));
+  if (col >= cols_) col = cols_ - 1;
+  if (row >= rows_) row = rows_ - 1;
+  return cell(col, row);
+}
+
+std::string raster_region::describe() const {
+  std::ostringstream out;
+  out << "raster[" << cols_ << "x" << rows_ << ", " << set_cells() << " cells]";
+  return out.str();
+}
+
+std::size_t raster_region::set_cells() const noexcept {
+  std::size_t n = 0;
+  for (const auto word : bits_) n += static_cast<std::size_t>(std::popcount(word));
+  return n;
+}
+
+double raster_region::uniform_measure() const noexcept {
+  return static_cast<double>(set_cells()) / static_cast<double>(cell_count());
+}
+
+void raster_region::check_compatible(const raster_region& other) const {
+  if (cols_ != other.cols_ || rows_ != other.rows_) {
+    throw std::invalid_argument("raster_region: grid size mismatch");
+  }
+  for (std::size_t d = 0; d < 2; ++d) {
+    if (domain_.lo[d] != other.domain_.lo[d] || domain_.hi[d] != other.domain_.hi[d]) {
+      throw std::invalid_argument("raster_region: domain mismatch");
+    }
+  }
+}
+
+raster_region raster_region::unite(const raster_region& other) const {
+  check_compatible(other);
+  raster_region out = *this;
+  for (std::size_t w = 0; w < bits_.size(); ++w) out.bits_[w] |= other.bits_[w];
+  return out;
+}
+
+raster_region raster_region::intersect(const raster_region& other) const {
+  check_compatible(other);
+  raster_region out = *this;
+  for (std::size_t w = 0; w < bits_.size(); ++w) out.bits_[w] &= other.bits_[w];
+  return out;
+}
+
+raster_region raster_region::subtract(const raster_region& other) const {
+  check_compatible(other);
+  raster_region out = *this;
+  for (std::size_t w = 0; w < bits_.size(); ++w) out.bits_[w] &= ~other.bits_[w];
+  return out;
+}
+
+bool raster_region::disjoint_with(const raster_region& other) const {
+  check_compatible(other);
+  for (std::size_t w = 0; w < bits_.size(); ++w) {
+    if (bits_[w] & other.bits_[w]) return false;
+  }
+  return true;
+}
+
+double raster_region::jaccard(const raster_region& other) const {
+  check_compatible(other);
+  std::size_t inter = 0;
+  std::size_t uni = 0;
+  for (std::size_t w = 0; w < bits_.size(); ++w) {
+    inter += static_cast<std::size_t>(std::popcount(bits_[w] & other.bits_[w]));
+    uni += static_cast<std::size_t>(std::popcount(bits_[w] | other.bits_[w]));
+  }
+  return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni) : 0.0;
+}
+
+raster_overlap_comparison raster_overlap(const std::vector<raster_region>& regions) {
+  if (regions.empty()) throw std::invalid_argument("raster_overlap: no regions");
+  raster_overlap_comparison out;
+  raster_region acc(regions.front().domain(), regions.front().cols(),
+                    regions.front().rows());
+  for (const auto& r : regions) {
+    out.sum_of_measures += r.uniform_measure();
+    acc = acc.unite(r);
+  }
+  out.union_measure = acc.uniform_measure();
+  return out;
+}
+
+}  // namespace reldiv::demand

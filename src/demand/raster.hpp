@@ -1,0 +1,79 @@
+#pragma once
+// Rasterized 2-D failure regions: a bitmap over a uniform cell grid of the
+// demand-space box.  Complements the analytic shapes in region.hpp with
+// exact (cell-resolution) set algebra — union, intersection, difference —
+// and exact measure under a uniform profile, which turns the §6.2 overlap
+// analysis from Monte-Carlo estimates into exact arithmetic at raster
+// resolution.  Any analytic region can be rasterized, and a raster is
+// itself a `region`, so the two representations compose.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "demand/demand_space.hpp"
+#include "demand/region.hpp"
+
+namespace reldiv::demand {
+
+class raster_region final : public region {
+ public:
+  /// Empty raster over `domain` with cols x rows cells.
+  raster_region(box domain, std::size_t cols, std::size_t rows);
+
+  /// Rasterize an analytic region by sampling each cell's centre.
+  static raster_region rasterize(const region& source, const box& domain,
+                                 std::size_t cols, std::size_t rows);
+
+  // region interface --------------------------------------------------------
+  [[nodiscard]] bool contains(const point& x) const override;
+  [[nodiscard]] std::size_t dims() const noexcept override { return 2; }
+  [[nodiscard]] std::string describe() const override;
+
+  // raster accessors ---------------------------------------------------------
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] const box& domain() const noexcept { return domain_; }
+  [[nodiscard]] bool cell(std::size_t col, std::size_t row) const;
+  void set_cell(std::size_t col, std::size_t row, bool on);
+  [[nodiscard]] std::size_t cell_count() const noexcept { return cols_ * rows_; }
+  [[nodiscard]] std::size_t set_cells() const noexcept;
+
+  /// Exact measure under a UNIFORM profile over the domain: set cells /
+  /// total cells.
+  [[nodiscard]] double uniform_measure() const noexcept;
+
+  // set algebra (domains and grids must match; throws otherwise) -------------
+  [[nodiscard]] raster_region unite(const raster_region& other) const;
+  [[nodiscard]] raster_region intersect(const raster_region& other) const;
+  [[nodiscard]] raster_region subtract(const raster_region& other) const;
+  [[nodiscard]] bool disjoint_with(const raster_region& other) const;
+
+  /// Jaccard overlap |A∩B| / |A∪B| (0 when both empty).
+  [[nodiscard]] double jaccard(const raster_region& other) const;
+
+ private:
+  void check_compatible(const raster_region& other) const;
+  [[nodiscard]] std::size_t index(std::size_t col, std::size_t row) const;
+
+  box domain_;
+  std::size_t cols_;
+  std::size_t rows_;
+  std::vector<std::uint64_t> bits_;  ///< packed row-major bitmap
+};
+
+/// Exact sum-of-q vs union-measure comparison at raster resolution (the
+/// §6.2 pessimism, without Monte-Carlo noise).
+struct raster_overlap_comparison {
+  double sum_of_measures = 0.0;
+  double union_measure = 0.0;
+  [[nodiscard]] double pessimism() const {
+    return union_measure > 0.0 ? sum_of_measures / union_measure : 1.0;
+  }
+};
+
+[[nodiscard]] raster_overlap_comparison raster_overlap(
+    const std::vector<raster_region>& regions);
+
+}  // namespace reldiv::demand

@@ -1,0 +1,198 @@
+#include "demand/region.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace reldiv::demand {
+
+box_region::box_region(box b) : bounds_(std::move(b)) {}
+
+bool box_region::contains(const point& x) const { return bounds_.contains(x); }
+
+std::string box_region::describe() const {
+  std::ostringstream out;
+  out << "box[";
+  for (std::size_t d = 0; d < bounds_.dims(); ++d) {
+    if (d) out << " x ";
+    out << "(" << bounds_.lo[d] << "," << bounds_.hi[d] << ")";
+  }
+  out << "]";
+  return out.str();
+}
+
+ellipsoid_region::ellipsoid_region(point centre, std::vector<double> radii)
+    : centre_(std::move(centre)), radii_(std::move(radii)) {
+  if (centre_.size() != radii_.size() || centre_.empty()) {
+    throw std::invalid_argument("ellipsoid_region: centre/radii size mismatch or empty");
+  }
+  for (const double r : radii_) {
+    if (!(r > 0.0)) throw std::invalid_argument("ellipsoid_region: radii must be > 0");
+  }
+}
+
+bool ellipsoid_region::contains(const point& x) const {
+  if (x.size() != centre_.size()) {
+    throw std::invalid_argument("ellipsoid_region::contains: dim mismatch");
+  }
+  double s = 0.0;
+  for (std::size_t d = 0; d < centre_.size(); ++d) {
+    const double z = (x[d] - centre_[d]) / radii_[d];
+    s += z * z;
+  }
+  return s <= 1.0;
+}
+
+std::string ellipsoid_region::describe() const {
+  std::ostringstream out;
+  out << "ellipsoid[dims=" << centre_.size() << ", r0=" << radii_[0] << "]";
+  return out.str();
+}
+
+point_array_region::point_array_region(std::vector<point> seeds, double radius)
+    : seeds_(std::move(seeds)), radius_(radius) {
+  if (seeds_.empty()) throw std::invalid_argument("point_array_region: no seeds");
+  if (!(radius > 0.0)) throw std::invalid_argument("point_array_region: radius must be > 0");
+  const std::size_t d0 = seeds_.front().size();
+  for (const auto& s : seeds_) {
+    if (s.size() != d0 || s.empty()) {
+      throw std::invalid_argument("point_array_region: inconsistent seed dims");
+    }
+  }
+}
+
+bool point_array_region::contains(const point& x) const {
+  if (x.size() != seeds_.front().size()) {
+    throw std::invalid_argument("point_array_region::contains: dim mismatch");
+  }
+  const double r2 = radius_ * radius_;
+  for (const auto& s : seeds_) {
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < s.size(); ++d) {
+      const double z = x[d] - s[d];
+      d2 += z * z;
+      if (d2 > r2) break;
+    }
+    if (d2 <= r2) return true;
+  }
+  return false;
+}
+
+std::size_t point_array_region::dims() const noexcept { return seeds_.front().size(); }
+
+std::string point_array_region::describe() const {
+  std::ostringstream out;
+  out << "point_array[" << seeds_.size() << " seeds, r=" << radius_ << "]";
+  return out.str();
+}
+
+stripe_region::stripe_region(std::size_t dims, std::size_t axis, double period,
+                             double width, double phase)
+    : dims_(dims), axis_(axis), period_(period), width_(width), phase_(phase) {
+  if (dims == 0 || axis >= dims) throw std::invalid_argument("stripe_region: bad axis/dims");
+  if (!(period > 0.0) || !(width > 0.0) || width > period) {
+    throw std::invalid_argument("stripe_region: require 0 < width <= period");
+  }
+}
+
+bool stripe_region::contains(const point& x) const {
+  if (x.size() != dims_) throw std::invalid_argument("stripe_region::contains: dim mismatch");
+  double t = std::fmod(x[axis_] - phase_, period_);
+  if (t < 0.0) t += period_;
+  return t < width_;
+}
+
+std::string stripe_region::describe() const {
+  std::ostringstream out;
+  out << "stripes[axis=" << axis_ << ", period=" << period_ << ", width=" << width_ << "]";
+  return out.str();
+}
+
+union_region::union_region(std::vector<region_ptr> parts) : parts_(std::move(parts)) {
+  if (parts_.empty()) throw std::invalid_argument("union_region: no parts");
+  for (const auto& p : parts_) {
+    if (!p) throw std::invalid_argument("union_region: null part");
+    if (p->dims() != parts_.front()->dims()) {
+      throw std::invalid_argument("union_region: dimension mismatch between parts");
+    }
+  }
+}
+
+bool union_region::contains(const point& x) const {
+  for (const auto& p : parts_) {
+    if (p->contains(x)) return true;
+  }
+  return false;
+}
+
+std::size_t union_region::dims() const noexcept { return parts_.front()->dims(); }
+
+std::string union_region::describe() const {
+  std::ostringstream out;
+  out << "union[" << parts_.size() << " parts]";
+  return out.str();
+}
+
+region_ptr make_box_region(box b) { return std::make_shared<box_region>(std::move(b)); }
+
+region_ptr make_ellipsoid_region(point centre, std::vector<double> radii) {
+  return std::make_shared<ellipsoid_region>(std::move(centre), std::move(radii));
+}
+
+region_ptr make_point_array_region(std::vector<point> seeds, double radius) {
+  return std::make_shared<point_array_region>(std::move(seeds), radius);
+}
+
+region_ptr make_stripe_region(std::size_t dims, std::size_t axis, double period,
+                              double width, double phase) {
+  return std::make_shared<stripe_region>(dims, axis, period, width, phase);
+}
+
+region_ptr make_union_region(std::vector<region_ptr> parts) {
+  return std::make_shared<union_region>(std::move(parts));
+}
+
+std::string render_regions_ascii(const std::vector<region_ptr>& regions, const box& domain,
+                                 std::size_t cols, std::size_t rows) {
+  if (domain.dims() < 2) {
+    throw std::invalid_argument("render_regions_ascii: need a >= 2-D domain");
+  }
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Render top row = high var2 so the picture has conventional orientation.
+    const double y = domain.lo[1] + (domain.hi[1] - domain.lo[1]) *
+                                        (static_cast<double>(rows - 1 - r) + 0.5) /
+                                        static_cast<double>(rows);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double x = domain.lo[0] + (domain.hi[0] - domain.lo[0]) *
+                                          (static_cast<double>(c) + 0.5) /
+                                          static_cast<double>(cols);
+      point pt(domain.dims(), 0.0);
+      pt[0] = x;
+      pt[1] = y;
+      // Any further dimensions sit at the domain centre for the slice.
+      for (std::size_t d = 2; d < domain.dims(); ++d) {
+        pt[d] = 0.5 * (domain.lo[d] + domain.hi[d]);
+      }
+      int hits = 0;
+      std::size_t first = 0;
+      for (std::size_t i = 0; i < regions.size(); ++i) {
+        if (regions[i]->contains(pt)) {
+          if (hits == 0) first = i;
+          ++hits;
+        }
+      }
+      if (hits == 0) {
+        out << '.';
+      } else if (hits > 1) {
+        out << '*';
+      } else {
+        out << static_cast<char>(first < 9 ? '1' + first : 'a' + (first - 9));
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace reldiv::demand

@@ -1,0 +1,127 @@
+#pragma once
+// Failure regions (paper §2.1 and Fig. 2): sets of demands on which a
+// version containing a given fault fails.  The literature the paper cites
+// [9,10,11] reports simple blobs *and* non-intuitive shapes — arrays of
+// separate points, thin lines/stripes — so the shape library covers both.
+// Regions are immutable; shared_ptr<const region> is the handle type.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "demand/demand_space.hpp"
+
+namespace reldiv::demand {
+
+class region {
+ public:
+  virtual ~region() = default;
+
+  /// Is demand x a failure point of this region?
+  [[nodiscard]] virtual bool contains(const point& x) const = 0;
+  [[nodiscard]] virtual std::size_t dims() const noexcept = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+ protected:
+  region() = default;
+  region(const region&) = default;
+  region& operator=(const region&) = default;
+};
+
+using region_ptr = std::shared_ptr<const region>;
+
+/// Axis-aligned box region ("region 1/2 style" blobs in Fig. 2).
+class box_region final : public region {
+ public:
+  explicit box_region(box b);
+
+  [[nodiscard]] bool contains(const point& x) const override;
+  [[nodiscard]] std::size_t dims() const noexcept override { return bounds_.dims(); }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] const box& bounds() const noexcept { return bounds_; }
+
+ private:
+  box bounds_;
+};
+
+/// Axis-aligned ellipsoid: Σ ((x_d − c_d)/r_d)² <= 1.
+class ellipsoid_region final : public region {
+ public:
+  ellipsoid_region(point centre, std::vector<double> radii);
+
+  [[nodiscard]] bool contains(const point& x) const override;
+  [[nodiscard]] std::size_t dims() const noexcept override { return centre_.size(); }
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  point centre_;
+  std::vector<double> radii_;
+};
+
+/// Non-connected array of isolated hyper-balls (the "arrays of separate
+/// points" shape from the literature): failure within `radius` of any seed.
+class point_array_region final : public region {
+ public:
+  point_array_region(std::vector<point> seeds, double radius);
+
+  [[nodiscard]] bool contains(const point& x) const override;
+  [[nodiscard]] std::size_t dims() const noexcept override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::size_t seed_count() const noexcept { return seeds_.size(); }
+
+ private:
+  std::vector<point> seeds_;
+  double radius_;
+};
+
+/// Periodic stripes along one axis: fails when fmod(x[axis]−phase, period)
+/// lands within [0, width).  Models the "lines" shapes (e.g. boundary or
+/// quantization faults recurring across the range).
+class stripe_region final : public region {
+ public:
+  stripe_region(std::size_t dims, std::size_t axis, double period, double width,
+                double phase);
+
+  [[nodiscard]] bool contains(const point& x) const override;
+  [[nodiscard]] std::size_t dims() const noexcept override { return dims_; }
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::size_t dims_;
+  std::size_t axis_;
+  double period_;
+  double width_;
+  double phase_;
+};
+
+/// Union of sub-regions (used for merged faults and overlap studies).
+class union_region final : public region {
+ public:
+  explicit union_region(std::vector<region_ptr> parts);
+
+  [[nodiscard]] bool contains(const point& x) const override;
+  [[nodiscard]] std::size_t dims() const noexcept override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::vector<region_ptr> parts_;
+};
+
+/// Convenience factories.
+[[nodiscard]] region_ptr make_box_region(box b);
+[[nodiscard]] region_ptr make_ellipsoid_region(point centre, std::vector<double> radii);
+[[nodiscard]] region_ptr make_point_array_region(std::vector<point> seeds, double radius);
+[[nodiscard]] region_ptr make_stripe_region(std::size_t dims, std::size_t axis,
+                                            double period, double width, double phase);
+[[nodiscard]] region_ptr make_union_region(std::vector<region_ptr> parts);
+
+/// Render a 2-D slice of a set of regions as an ASCII grid: each cell shows
+/// the 1-based index of the first region containing its centre ('.' if
+/// none, '*' if more than one — an overlap).  Used by bench E11 to redraw
+/// Fig. 2.
+[[nodiscard]] std::string render_regions_ascii(const std::vector<region_ptr>& regions,
+                                               const box& domain, std::size_t cols = 64,
+                                               std::size_t rows = 24);
+
+}  // namespace reldiv::demand

@@ -1,0 +1,92 @@
+#include "elm/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/random.hpp"
+
+namespace reldiv::elm {
+
+el_decomposition decompose_el(const core::fault_universe& u) {
+  el_decomposition d;
+  for (const auto& [p, q] : u) {
+    d.mean_single += p * q;
+    d.mean_pair += p * p * q;
+  }
+  d.independent_pair = d.mean_single * d.mean_single;
+  d.difficulty_variance = d.mean_pair - d.independent_pair;
+  return d;
+}
+
+lm_result pair_lm(const core::fault_universe& a, const core::fault_universe& b,
+                  double q_tolerance) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("pair_lm: universes must have the same fault set");
+  }
+  lm_result r;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i].q - b[i].q) > q_tolerance) {
+      throw std::invalid_argument(
+          "pair_lm: universes must agree on q (same failure regions)");
+    }
+    r.mean_a += a[i].p * a[i].q;
+    r.mean_b += b[i].p * b[i].q;
+    r.mean_pair += a[i].p * b[i].p * a[i].q;
+  }
+  r.independent = r.mean_a * r.mean_b;
+  return r;
+}
+
+core::fault_universe complementary_methodology(const core::fault_universe& u,
+                                               double p_max_cap, double scale) {
+  if (!(p_max_cap > 0.0) || !(p_max_cap <= 1.0)) {
+    throw std::invalid_argument("complementary_methodology: p_max_cap in (0,1]");
+  }
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("complementary_methodology: scale must be > 0");
+  }
+  std::vector<core::fault_atom> atoms;
+  atoms.reserve(u.size());
+  for (const auto& [p, q] : u) {
+    const double flipped = std::clamp(scale * (p_max_cap - p), 0.0, 1.0);
+    atoms.push_back({flipped, q});
+  }
+  return core::fault_universe(std::move(atoms));
+}
+
+difficulty_function::difficulty_function(std::vector<demand::region_fault> faults)
+    : faults_(std::move(faults)) {
+  if (faults_.empty()) throw std::invalid_argument("difficulty_function: no faults");
+  for (const auto& f : faults_) {
+    if (!f.footprint) throw std::invalid_argument("difficulty_function: null region");
+    if (!(f.p >= 0.0) || !(f.p <= 1.0)) {
+      throw std::invalid_argument("difficulty_function: p out of [0,1]");
+    }
+  }
+}
+
+double difficulty_function::operator()(const demand::point& x) const {
+  double survive = 1.0;
+  for (const auto& f : faults_) {
+    if (f.footprint->contains(x)) survive *= (1.0 - f.p);
+  }
+  return 1.0 - survive;
+}
+
+difficulty_function::moments difficulty_function::estimate_moments(
+    const demand::demand_profile& profile, std::uint64_t samples, std::uint64_t seed) const {
+  if (samples == 0) throw std::invalid_argument("estimate_moments: samples > 0");
+  stats::rng r(seed);
+  moments m;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const double theta = (*this)(profile.sample(r));
+    m.mean += theta;
+    m.mean_square += theta * theta;
+  }
+  m.mean /= static_cast<double>(samples);
+  m.mean_square /= static_cast<double>(samples);
+  return m;
+}
+
+}  // namespace reldiv::elm

@@ -1,0 +1,93 @@
+#pragma once
+// The Eckhardt-Lee (EL) and Littlewood-Miller (LM) models [3,4], which the
+// paper's model refines ("this model is the same as the EL and LM models,
+// except in being coarser-grained", §2.2).
+//
+// EL view: the "difficulty function" θ(x) is the probability that a randomly
+// chosen version fails on demand x.  Under the paper's disjoint-region
+// model θ(x) = p_i for x in region i (0 elsewhere), so
+//
+//   E[Θ1]      = E_X[θ(X)]   = Σ q_i p_i          (eq. 1 left)
+//   E[Θpair]   = E_X[θ(X)²]  = Σ q_i p_i²         (eq. 1 right)
+//   E[Θpair] − E[Θ1]² = Var_X[θ(X)] ≥ 0,
+//
+// re-deriving the EL headline: independently developed versions fail
+// *dependently*, with excess equal to the variance of difficulty.
+//
+// LM view: the two channels may be built by *different* methodologies A and
+// B (forced diversity), with per-fault probabilities pA_i, pB_i over the
+// same region set.  Then E[Θpair] = Σ q_i pA_i pB_i, which can be LESS than
+// E[ΘA]·E[ΘB] when the methodologies' difficulty profiles are negatively
+// correlated across faults — the LM result that forced diversity can beat
+// failure independence.
+
+#include <vector>
+
+#include "core/fault_universe.hpp"
+#include "demand/binding.hpp"
+#include "demand/profile.hpp"
+#include "demand/region.hpp"
+
+namespace reldiv::elm {
+
+/// EL decomposition of the paper's model.
+struct el_decomposition {
+  double mean_single = 0.0;        ///< E_X[θ(X)] = µ1
+  double mean_pair = 0.0;          ///< E_X[θ(X)²] = µ2
+  double independent_pair = 0.0;   ///< (E[Θ1])² — the naive independence claim
+  double difficulty_variance = 0.0;  ///< Var_X[θ(X)] = µ2 − µ1²
+
+  /// Ratio E[Θ2]/(E[Θ1])²: how many times worse than the independence claim.
+  [[nodiscard]] double dependence_factor() const {
+    return independent_pair > 0.0 ? mean_pair / independent_pair : 1.0;
+  }
+};
+
+[[nodiscard]] el_decomposition decompose_el(const core::fault_universe& u);
+
+/// LM two-methodology pairing: universes must agree on q (same region set).
+/// Throws std::invalid_argument otherwise.
+struct lm_result {
+  double mean_a = 0.0;        ///< E[ΘA]
+  double mean_b = 0.0;        ///< E[ΘB]
+  double mean_pair = 0.0;     ///< E[Θpair] = Σ q pA pB
+  double independent = 0.0;   ///< E[ΘA]·E[ΘB]
+
+  /// < 1 means forced diversity beats independence (the LM possibility).
+  [[nodiscard]] double dependence_factor() const {
+    return independent > 0.0 ? mean_pair / independent : 1.0;
+  }
+};
+
+[[nodiscard]] lm_result pair_lm(const core::fault_universe& a,
+                                const core::fault_universe& b, double q_tolerance = 1e-12);
+
+/// Construct a "complementary" methodology for LM studies: fault i's
+/// probability becomes  p'_i = scale · (p_max_cap − p_i), i.e. what one
+/// methodology finds hard the other finds easy.  Clamped to [0,1].
+[[nodiscard]] core::fault_universe complementary_methodology(const core::fault_universe& u,
+                                                             double p_max_cap,
+                                                             double scale);
+
+/// Spatial difficulty function over a demand space: θ(x) = 1 − Π over
+/// regions containing x of (1 − p_i).  (Equals p_i inside disjoint region i,
+/// and composes correctly where study regions overlap.)
+class difficulty_function {
+ public:
+  difficulty_function(std::vector<demand::region_fault> faults);
+
+  [[nodiscard]] double operator()(const demand::point& x) const;
+
+  /// Monte-Carlo estimates of E[θ(X)] and E[θ(X)²] under a profile.
+  struct moments {
+    double mean = 0.0;
+    double mean_square = 0.0;
+  };
+  [[nodiscard]] moments estimate_moments(const demand::demand_profile& profile,
+                                         std::uint64_t samples, std::uint64_t seed) const;
+
+ private:
+  std::vector<demand::region_fault> faults_;
+};
+
+}  // namespace reldiv::elm

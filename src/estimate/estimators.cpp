@@ -1,0 +1,219 @@
+#include "estimate/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mc/sampler.hpp"
+#include "stats/random.hpp"
+
+namespace reldiv::estimate {
+
+fault_incidence::fault_incidence(std::size_t versions, std::size_t faults)
+    : versions_(versions), faults_(faults), cells_(versions * faults, 0) {
+  if (versions == 0 || faults == 0) {
+    throw std::invalid_argument("fault_incidence: need versions > 0 and faults > 0");
+  }
+}
+
+fault_incidence fault_incidence::from_versions(const std::vector<mc::version>& versions,
+                                               std::size_t fault_count) {
+  if (versions.empty()) {
+    throw std::invalid_argument("fault_incidence::from_versions: empty sample");
+  }
+  fault_incidence data(versions.size(), fault_count);
+  for (std::size_t v = 0; v < versions.size(); ++v) {
+    for (const auto f : versions[v].faults) {
+      data.set(v, f, true);
+    }
+  }
+  return data;
+}
+
+void fault_incidence::set(std::size_t version, std::size_t fault, bool present) {
+  if (version >= versions_ || fault >= faults_) {
+    throw std::out_of_range("fault_incidence::set");
+  }
+  cells_[version * faults_ + fault] = present ? 1 : 0;
+}
+
+bool fault_incidence::contains(std::size_t version, std::size_t fault) const {
+  if (version >= versions_ || fault >= faults_) {
+    throw std::out_of_range("fault_incidence::contains");
+  }
+  return cells_[version * faults_ + fault] != 0;
+}
+
+std::size_t fault_incidence::fault_count(std::size_t fault) const {
+  if (fault >= faults_) throw std::out_of_range("fault_incidence::fault_count");
+  std::size_t n = 0;
+  for (std::size_t v = 0; v < versions_; ++v) n += cells_[v * faults_ + fault];
+  return n;
+}
+
+std::size_t fault_incidence::joint_count(std::size_t i, std::size_t j) const {
+  if (i >= faults_ || j >= faults_) throw std::out_of_range("fault_incidence::joint_count");
+  std::size_t n = 0;
+  for (std::size_t v = 0; v < versions_; ++v) {
+    n += cells_[v * faults_ + i] & cells_[v * faults_ + j];
+  }
+  return n;
+}
+
+std::size_t fault_incidence::version_fault_count(std::size_t version) const {
+  if (version >= versions_) {
+    throw std::out_of_range("fault_incidence::version_fault_count");
+  }
+  std::size_t n = 0;
+  for (std::size_t f = 0; f < faults_; ++f) n += cells_[version * faults_ + f];
+  return n;
+}
+
+std::vector<p_estimate> estimate_p(const fault_incidence& data, double ci_level) {
+  std::vector<p_estimate> out(data.faults());
+  for (std::size_t f = 0; f < data.faults(); ++f) {
+    const std::size_t k = data.fault_count(f);
+    out[f].p_hat = static_cast<double>(k) / static_cast<double>(data.versions());
+    out[f].ci = stats::wilson(k, data.versions(), ci_level);
+  }
+  return out;
+}
+
+independence_diagnostic diagnose_independence(const fault_incidence& data) {
+  independence_diagnostic d;
+  const auto v = static_cast<double>(data.versions());
+  std::vector<double> observed;
+  std::vector<double> expected;
+  for (std::size_t i = 0; i < data.faults(); ++i) {
+    const double pi = static_cast<double>(data.fault_count(i)) / v;
+    if (pi <= 0.0 || pi >= 1.0) continue;
+    for (std::size_t j = i + 1; j < data.faults(); ++j) {
+      const double pj = static_cast<double>(data.fault_count(j)) / v;
+      if (pj <= 0.0 || pj >= 1.0) continue;
+      const double joint = static_cast<double>(data.joint_count(i, j));
+      const double exp_joint = v * pi * pj;
+      const double phi = (joint / v - pi * pj) /
+                         std::sqrt(pi * (1.0 - pi) * pj * (1.0 - pj));
+      d.max_abs_phi = std::max(d.max_abs_phi, std::fabs(phi));
+      // Only include cells with adequate expected counts in the chi-square
+      // (the usual >= 5 rule of thumb).
+      if (exp_joint >= 5.0 && v - exp_joint >= 5.0) {
+        observed.push_back(joint);
+        expected.push_back(exp_joint);
+        observed.push_back(v - joint);
+        expected.push_back(v - exp_joint);
+        ++d.pairs_tested;
+      }
+    }
+  }
+  if (!observed.empty()) {
+    d.chi_square = stats::chi_square_gof(observed, expected,
+                                         /*df_reduction=*/static_cast<int>(d.pairs_tested) + 1);
+    d.independence_rejected = d.chi_square.reject_at_05;
+  }
+  return d;
+}
+
+moment_estimate estimate_pfd_moments(const std::vector<std::uint64_t>& failures,
+                                     std::uint64_t demands) {
+  if (failures.size() < 2) {
+    throw std::invalid_argument("estimate_pfd_moments: need >= 2 versions");
+  }
+  if (demands == 0) throw std::invalid_argument("estimate_pfd_moments: demands > 0");
+  const auto t = static_cast<double>(demands);
+  const auto n = static_cast<double>(failures.size());
+  double mean = 0.0;
+  for (const auto f : failures) {
+    if (f > demands) throw std::invalid_argument("estimate_pfd_moments: failures > demands");
+    mean += static_cast<double>(f) / t;
+  }
+  mean /= n;
+  double var = 0.0;
+  double noise = 0.0;
+  for (const auto f : failures) {
+    const double x = static_cast<double>(f) / t;
+    var += (x - mean) * (x - mean);
+    noise += x * (1.0 - x) / t;
+  }
+  var /= (n - 1.0);
+  noise /= n;
+  moment_estimate out;
+  out.mean = mean;
+  out.stddev_raw = std::sqrt(var);
+  out.stddev_corrected = std::sqrt(std::max(0.0, var - noise));
+  out.mean_ci = stats::mean_ci(mean, out.stddev_raw, failures.size(), 0.95);
+  return out;
+}
+
+pair_prediction predict_pair(const std::vector<p_estimate>& p, const std::vector<double>& q) {
+  if (p.size() != q.size() || p.empty()) {
+    throw std::invalid_argument("predict_pair: p/q size mismatch or empty");
+  }
+  pair_prediction out;
+  double log_no_common = 0.0;
+  double log_no_fault = 0.0;
+  bool common_certain = false;
+  bool fault_certain = false;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double ph = p[i].p_hat;
+    out.mean_pair_pfd += ph * ph * q[i];
+    if (ph * ph >= 1.0) {
+      common_certain = true;
+    } else if (ph > 0.0) {
+      log_no_common += std::log1p(-ph * ph);
+    }
+    if (ph >= 1.0) {
+      fault_certain = true;
+    } else if (ph > 0.0) {
+      log_no_fault += std::log1p(-ph);
+    }
+  }
+  out.prob_no_common_fault = common_certain ? 0.0 : std::exp(log_no_common);
+  const double p_some_fault = fault_certain ? 1.0 : -std::expm1(log_no_fault);
+  out.risk_ratio =
+      p_some_fault > 0.0 ? (1.0 - out.prob_no_common_fault) / p_some_fault : 0.0;
+  return out;
+}
+
+validation_report split_sample_validation(const core::fault_universe& u,
+                                          std::size_t versions, std::uint64_t seed) {
+  if (versions < 4) {
+    throw std::invalid_argument("split_sample_validation: need >= 4 versions");
+  }
+  stats::rng r(seed);
+  std::vector<mc::version> sample;
+  sample.reserve(versions);
+  for (std::size_t v = 0; v < versions; ++v) sample.push_back(mc::sample_version(u, r));
+
+  const std::size_t train_n = versions / 2;
+  const std::vector<mc::version> train(sample.begin(),
+                                       sample.begin() + static_cast<std::ptrdiff_t>(train_n));
+  const std::vector<mc::version> holdout(sample.begin() + static_cast<std::ptrdiff_t>(train_n),
+                                         sample.end());
+
+  const auto data = fault_incidence::from_versions(train, u.size());
+  const auto p_hat = estimate_p(data);
+
+  validation_report rep;
+  rep.predicted = predict_pair(p_hat, u.q_values());
+  rep.training_versions = train_n;
+
+  double sum = 0.0;
+  std::size_t no_common = 0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < holdout.size(); ++i) {
+    for (std::size_t j = i + 1; j < holdout.size(); ++j) {
+      const double pfd = mc::pair_pfd(holdout[i], holdout[j], u);
+      sum += pfd;
+      if (mc::common_faults(holdout[i], holdout[j]).empty()) ++no_common;
+      ++pairs;
+    }
+  }
+  rep.holdout_pairs = pairs;
+  rep.observed_pair_mean = pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
+  rep.observed_no_common_fraction =
+      pairs > 0 ? static_cast<double>(no_common) / static_cast<double>(pairs) : 0.0;
+  return rep;
+}
+
+}  // namespace reldiv::estimate

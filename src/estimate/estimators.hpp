@@ -1,0 +1,114 @@
+#pragma once
+// Calibrating the model from data — the paper's validation programme:
+// "validation of any general prediction about probability distributions
+// would depend on sophisticated collation of data from many projects" (§7).
+// Given what an experimenter CAN observe (a sample of independently
+// developed versions: which identified faults each contains, and/or failure
+// counts from testing), this module estimates the model parameters,
+// diagnoses the independent-introduction assumption (§6.1), and predicts
+// pair behaviour for out-of-sample validation.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fault_universe.hpp"
+#include "mc/sampler.hpp"
+#include "stats/confint.hpp"
+#include "stats/gof_tests.hpp"
+
+namespace reldiv::estimate {
+
+/// Versions-by-faults incidence data: row v, column i is "version v contains
+/// fault i".
+class fault_incidence {
+ public:
+  fault_incidence(std::size_t versions, std::size_t faults);
+
+  /// Build from sampled versions over a universe of `fault_count` faults.
+  static fault_incidence from_versions(const std::vector<mc::version>& versions,
+                                       std::size_t fault_count);
+
+  void set(std::size_t version, std::size_t fault, bool present);
+  [[nodiscard]] bool contains(std::size_t version, std::size_t fault) const;
+  [[nodiscard]] std::size_t versions() const noexcept { return versions_; }
+  [[nodiscard]] std::size_t faults() const noexcept { return faults_; }
+
+  /// Number of versions containing fault i.
+  [[nodiscard]] std::size_t fault_count(std::size_t fault) const;
+  /// Number of versions containing both faults i and j.
+  [[nodiscard]] std::size_t joint_count(std::size_t i, std::size_t j) const;
+  /// Number of faults in version v.
+  [[nodiscard]] std::size_t version_fault_count(std::size_t version) const;
+
+ private:
+  std::size_t versions_;
+  std::size_t faults_;
+  std::vector<std::uint8_t> cells_;  ///< row-major
+};
+
+/// One estimated parameter with its uncertainty.
+struct p_estimate {
+  double p_hat = 0.0;
+  stats::interval ci;  ///< Wilson, at the level passed to estimate_p
+};
+
+/// MLE p̂_i = (#versions with fault i)/V, with Wilson intervals.
+[[nodiscard]] std::vector<p_estimate> estimate_p(const fault_incidence& data,
+                                                 double ci_level = 0.95);
+
+/// §6.1 diagnostic: does the data reject independent fault introduction?
+/// Pairwise phi coefficients plus an aggregate chi-square over all fault
+/// pairs with adequate expected counts.
+struct independence_diagnostic {
+  double max_abs_phi = 0.0;         ///< largest |pairwise correlation|
+  std::size_t pairs_tested = 0;
+  stats::gof_result chi_square;     ///< aggregate co-occurrence test
+  bool independence_rejected = false;
+};
+
+[[nodiscard]] independence_diagnostic diagnose_independence(const fault_incidence& data);
+
+/// PFD-moment estimation from testing campaigns alone (no fault
+/// identification): versions scored with `failures[v]` failures in
+/// `demands` demands each.  The raw sample variance of the failure
+/// fractions overstates var(Θ) by the mean binomial noise E[Θ(1−Θ)]/t;
+/// we return both raw and noise-corrected estimates.
+struct moment_estimate {
+  double mean = 0.0;
+  double stddev_raw = 0.0;        ///< sample sd of the failure fractions
+  double stddev_corrected = 0.0;  ///< binomial-noise-corrected sd estimate
+  stats::interval mean_ci;        ///< 95% CI on the mean
+};
+
+[[nodiscard]] moment_estimate estimate_pfd_moments(const std::vector<std::uint64_t>& failures,
+                                                   std::uint64_t demands);
+
+/// Predicted pair statistics from estimates: Σ p̂_i² q_i and the eq. (10)
+/// products, i.e. what the calibrated model says a diverse pair will do.
+struct pair_prediction {
+  double mean_pair_pfd = 0.0;          ///< Σ p̂² q
+  double prob_no_common_fault = 0.0;   ///< Π(1 − p̂²)
+  double risk_ratio = 0.0;             ///< eq. (10) with p̂
+};
+
+[[nodiscard]] pair_prediction predict_pair(const std::vector<p_estimate>& p,
+                                           const std::vector<double>& q);
+
+/// End-to-end calibration check: split `versions` into a training half
+/// (parameter estimation) and a holdout half (all holdout pairs scored
+/// exactly against `u`'s q values); returns predicted vs observed pair mean
+/// PFD.  The universe is used ONLY for the q values and holdout scoring —
+/// the p's come from the training incidence data.
+struct validation_report {
+  pair_prediction predicted;           ///< from the training half
+  double observed_pair_mean = 0.0;     ///< holdout pairs, exact scoring
+  double observed_no_common_fraction = 0.0;
+  std::size_t training_versions = 0;
+  std::size_t holdout_pairs = 0;
+};
+
+[[nodiscard]] validation_report split_sample_validation(const core::fault_universe& u,
+                                                        std::size_t versions,
+                                                        std::uint64_t seed);
+
+}  // namespace reldiv::estimate

@@ -1,0 +1,119 @@
+#include "forced/forced_diversity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/no_common_fault.hpp"
+
+namespace reldiv::forced {
+
+forced_pair::forced_pair(core::fault_universe a, core::fault_universe b,
+                         double q_tolerance)
+    : a_(std::move(a)), b_(std::move(b)) {
+  if (a_.size() != b_.size()) {
+    throw std::invalid_argument("forced_pair: channels must share the fault set");
+  }
+  for (std::size_t i = 0; i < a_.size(); ++i) {
+    if (std::fabs(a_[i].q - b_[i].q) > q_tolerance) {
+      throw std::invalid_argument("forced_pair: channels must agree on q");
+    }
+  }
+}
+
+core::pfd_moments forced_pair::pair_moments() const {
+  core::pfd_moments m;
+  for (std::size_t i = 0; i < a_.size(); ++i) {
+    const double pc = a_[i].p * b_[i].p;  // fault common to both channels
+    const double q = a_[i].q;
+    m.mean += pc * q;
+    m.variance += pc * (1.0 - pc) * q * q;
+  }
+  return m;
+}
+
+double forced_pair::prob_no_common_fault() const {
+  double log_prod = 0.0;
+  for (std::size_t i = 0; i < a_.size(); ++i) {
+    const double pc = a_[i].p * b_[i].p;
+    if (pc >= 1.0) return 0.0;
+    if (pc > 0.0) log_prod += std::log1p(-pc);
+  }
+  return std::exp(log_prod);
+}
+
+double forced_pair::risk_ratio_vs_best_channel() const {
+  const double pa = core::prob_some_fault(a_);
+  const double pb = core::prob_some_fault(b_);
+  const double best = std::min(pa, pb);
+  if (best <= 0.0) {
+    throw std::domain_error("risk_ratio_vs_best_channel: a channel never has faults");
+  }
+  return (1.0 - prob_no_common_fault()) / best;
+}
+
+double forced_pair::mean_bound() const {
+  const double mu_a = core::single_version_moments(a_).mean;
+  const double mu_b = core::single_version_moments(b_).mean;
+  return std::min(b_.p_max() * mu_a, a_.p_max() * mu_b);
+}
+
+functional_pair::functional_pair(forced_pair base, std::vector<double> overlap)
+    : base_(std::move(base)), overlap_(std::move(overlap)) {
+  if (overlap_.size() != base_.size()) {
+    throw std::invalid_argument("functional_pair: overlap vector size mismatch");
+  }
+  for (const double w : overlap_) {
+    if (!(w >= 0.0) || !(w <= 1.0)) {
+      throw std::invalid_argument("functional_pair: overlap must be in [0,1]");
+    }
+  }
+}
+
+core::pfd_moments functional_pair::pair_moments() const {
+  core::pfd_moments m;
+  const auto& a = base_.channel_a();
+  const auto& b = base_.channel_b();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double pc = a[i].p * b[i].p;
+    const double q_shared = overlap_[i] * a[i].q;
+    m.mean += pc * q_shared;
+    m.variance += pc * (1.0 - pc) * q_shared * q_shared;
+  }
+  return m;
+}
+
+double functional_pair::prob_no_common_failure_point() const {
+  const auto& a = base_.channel_a();
+  const auto& b = base_.channel_b();
+  double log_prod = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // A fault pair contributes a common failure point only if both present
+    // and the regions actually share mass.
+    const double pc = (overlap_[i] > 0.0) ? a[i].p * b[i].p : 0.0;
+    if (pc >= 1.0) return 0.0;
+    if (pc > 0.0) log_prod += std::log1p(-pc);
+  }
+  return std::exp(log_prod);
+}
+
+diversity_comparison compare_against_non_forced(const functional_pair& pair) {
+  const auto& a = pair.base().channel_a();
+  const auto& b = pair.base().channel_b();
+  // Conservative non-forced baseline: both channels developed under the
+  // element-wise WORSE of the two regimes, identical regions (omega = 1).
+  std::vector<core::fault_atom> worse;
+  worse.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worse.push_back({std::max(a[i].p, b[i].p), a[i].q});
+  }
+  const core::fault_universe non_forced(std::move(worse), true);
+
+  diversity_comparison out;
+  out.non_forced_mean = core::pair_moments(non_forced).mean;
+  out.forced_mean = pair.base().pair_moments().mean;
+  out.functional_mean = pair.pair_moments().mean;
+  return out;
+}
+
+}  // namespace reldiv::forced

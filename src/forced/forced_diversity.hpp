@@ -1,0 +1,101 @@
+#pragma once
+// Forced and functional diversity — the paper's declared "desirable
+// extensions" (§7) and the premise for treating non-forced diversity as a
+// worst case ("These are expected to be superior to non-forced diversity,
+// but the degree of superiority is unknown: hence the utility of studying a
+// limiting case", §1).
+//
+// Two mechanisms:
+//  * FORCED diversity: the channels are developed under different regimes
+//    (methods, notations, tools), so fault i has probability pA_i in
+//    channel A and pB_i in channel B over the SAME failure regions.  A
+//    fault is common with probability pA_i·pB_i.
+//  * FUNCTIONAL diversity: the channels additionally monitor different
+//    state variables, so their failure-region sets only partially coincide.
+//    We model this with an overlap coefficient per fault: omega_i in [0,1]
+//    is the probability-mass fraction of fault i's region that channel B's
+//    corresponding fault shares with channel A's.  The pair PFD contribution
+//    becomes pA_i pB_i (omega_i q_i) — omega = 1 recovers forced diversity,
+//    omega = 0 a fault pair that can never coincide.  (The paper's [8]
+//    argues functional diversity belongs on exactly this continuum.)
+
+#include <vector>
+
+#include "core/fault_universe.hpp"
+#include "core/moments.hpp"
+
+namespace reldiv::forced {
+
+/// A two-channel forced-diversity model: shared regions, per-channel p.
+class forced_pair {
+ public:
+  /// Universes must agree on q (same failure regions); throws otherwise.
+  forced_pair(core::fault_universe a, core::fault_universe b, double q_tolerance = 1e-12);
+
+  [[nodiscard]] const core::fault_universe& channel_a() const noexcept { return a_; }
+  [[nodiscard]] const core::fault_universe& channel_b() const noexcept { return b_; }
+  [[nodiscard]] std::size_t size() const noexcept { return a_.size(); }
+
+  /// Mean and variance of the pair PFD: per fault, Bernoulli(pA·pB) times q.
+  [[nodiscard]] core::pfd_moments pair_moments() const;
+
+  /// P(no common fault) = Π(1 − pA_i·pB_i).
+  [[nodiscard]] double prob_no_common_fault() const;
+
+  /// Risk ratio vs the BETTER single channel: P(common fault) / min over
+  /// channels of P(channel has a fault).
+  [[nodiscard]] double risk_ratio_vs_best_channel() const;
+
+  /// eq. (4) analogue: µ2 <= sqrt(pmaxA·pmaxB) · sqrt(µA·µB) does NOT hold
+  /// in general; what does hold is µ2 <= min(pmaxB·µA, pmaxA·µB).  Returns
+  /// that bound.
+  [[nodiscard]] double mean_bound() const;
+
+ private:
+  core::fault_universe a_;
+  core::fault_universe b_;
+};
+
+/// Functional diversity on top of forced diversity: per-fault region-overlap
+/// coefficients omega_i in [0,1].
+class functional_pair {
+ public:
+  functional_pair(forced_pair base, std::vector<double> overlap);
+
+  [[nodiscard]] const forced_pair& base() const noexcept { return base_; }
+  [[nodiscard]] const std::vector<double>& overlap() const noexcept { return overlap_; }
+
+  /// Pair PFD moments with the overlap-thinned coincidence masses.
+  [[nodiscard]] core::pfd_moments pair_moments() const;
+
+  /// P(the pair never coincides on any demand): per fault, coincidence
+  /// requires both faults present AND the demand in the shared fraction;
+  /// "no common failure point" needs, per fault, NOT(both present and
+  /// omega_i > 0).
+  [[nodiscard]] double prob_no_common_failure_point() const;
+
+ private:
+  forced_pair base_;
+  std::vector<double> overlap_;
+};
+
+/// The §1 worst-case claim, quantified: the gain of a forced/functional pair
+/// relative to the non-forced pair built from the element-wise max process
+/// max(pA, pB) (the conservative "same regime for both channels" baseline).
+struct diversity_comparison {
+  double non_forced_mean = 0.0;   ///< E[Θ2] for the max-process non-forced pair
+  double forced_mean = 0.0;       ///< E[Θ2] for the forced pair
+  double functional_mean = 0.0;   ///< E[Θ2] with region overlap thinning
+
+  [[nodiscard]] double forced_gain() const {
+    return forced_mean > 0.0 ? non_forced_mean / forced_mean : 1.0;
+  }
+  [[nodiscard]] double functional_gain() const {
+    return functional_mean > 0.0 ? non_forced_mean / functional_mean : 1.0;
+  }
+};
+
+[[nodiscard]] diversity_comparison compare_against_non_forced(
+    const functional_pair& pair);
+
+}  // namespace reldiv::forced

@@ -1,0 +1,114 @@
+#pragma once
+// Section 6.1 sensitivity machinery: the model assumes mistakes are made
+// independently ("as though the design team ... tossed dice").  The paper
+// argues both positive correlation (common conceptual errors) and negative
+// correlation (effort trade-offs under schedule pressure) are plausible,
+// and that predictions should be checked against them.  Two correlated
+// fault-introduction samplers:
+//
+// * common_cause_mixture — with probability rho a development is "stressed"
+//   and every p_i is inflated by a factor (capped at 1); otherwise p_i is
+//   deflated so the *marginal* presence probability stays exactly p_i.
+//   Induces positive pairwise correlation between fault indicators within a
+//   version.
+//
+// * gaussian_copula — latent equicorrelated normals Z_i = sqrt(|rho|)·Z0 ±
+//   sqrt(1−|rho|)·E_i thresholded at Φ⁻¹(p_i).  rho > 0 gives positive
+//   association, rho < 0 is emulated by flipping the shared factor's sign
+//   for alternate faults (an antithetic construction producing negative
+//   pairwise association while preserving marginals).
+
+#include "core/fault_universe.hpp"
+#include "mc/sampler.hpp"
+#include "stats/random.hpp"
+
+namespace reldiv::mc {
+
+/// Common-cause mixture with exact marginals.
+///
+/// With probability `rho` the version is developed under a common stress
+/// that multiplies every presence probability by `stress` (capped at 1);
+/// with probability 1−rho the probabilities are deflated to keep the
+/// marginal P(fault i present) == p_i.  Requires rho in [0,1),
+/// stress >= 1, and rho*min(stress*p_i,1) <= p_i for deflation feasibility
+/// (throws std::invalid_argument otherwise).
+class common_cause_mixture {
+ public:
+  common_cause_mixture(const core::fault_universe& u, double rho, double stress);
+
+  [[nodiscard]] version sample(stats::rng& r) const;
+  /// Exact marginal presence probability of fault i (== u[i].p by design).
+  [[nodiscard]] double marginal(std::size_t i) const;
+  /// Exact pairwise correlation of the presence indicators of faults i, j.
+  [[nodiscard]] double indicator_correlation(std::size_t i, std::size_t j) const;
+
+ private:
+  const core::fault_universe* u_;
+  double rho_;
+  std::vector<double> stressed_p_;
+  std::vector<double> relaxed_p_;
+};
+
+/// Gaussian-copula sampler with equicorrelation |rho| and sign(rho)
+/// association; marginals are exact.
+class gaussian_copula_sampler {
+ public:
+  gaussian_copula_sampler(const core::fault_universe& u, double rho);
+
+  [[nodiscard]] version sample(stats::rng& r) const;
+
+ private:
+  const core::fault_universe* u_;
+  double rho_;
+  std::vector<double> thresholds_;  ///< Φ⁻¹(p_i)
+};
+
+/// Correlated-development experiment: same outputs as run_experiment but
+/// versions are drawn from `sampler` (anything with
+/// `version sample(stats::rng&) const`).
+struct correlated_result {
+  double mean_theta1 = 0.0;
+  double mean_theta2 = 0.0;
+  double prob_n1_positive = 0.0;
+  double prob_n2_positive = 0.0;
+  double risk_ratio = 0.0;  ///< empirical eq. (10)
+  std::uint64_t samples = 0;
+};
+
+template <typename Sampler>
+[[nodiscard]] correlated_result run_correlated(const core::fault_universe& u,
+                                               const Sampler& sampler,
+                                               std::uint64_t samples, std::uint64_t seed) {
+  stats::rng r(seed);
+  correlated_result out;
+  out.samples = samples;
+  std::uint64_t n1_pos = 0;
+  std::uint64_t n2_pos = 0;
+  double sum1 = 0.0;
+  double sum2 = 0.0;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const version a = sampler.sample(r);
+    const version b = sampler.sample(r);
+    sum1 += pfd_of(a, u);
+    sum2 += pair_pfd(a, b, u);
+    if (a.has_fault()) ++n1_pos;
+    if (!common_faults(a, b).empty()) ++n2_pos;
+  }
+  const auto n = static_cast<double>(samples);
+  out.mean_theta1 = sum1 / n;
+  out.mean_theta2 = sum2 / n;
+  out.prob_n1_positive = static_cast<double>(n1_pos) / n;
+  out.prob_n2_positive = static_cast<double>(n2_pos) / n;
+  out.risk_ratio = n1_pos > 0 ? static_cast<double>(n2_pos) / static_cast<double>(n1_pos)
+                              : 0.0;
+  return out;
+}
+
+/// The §6.1 "merge positively correlated faults" approximation: collapse
+/// groups of faults into single super-faults whose failure region is the
+/// union (q summed, p set to the group maximum — the perfectly-correlated
+/// limit where the group occurs together).
+[[nodiscard]] core::fault_universe merge_fault_groups(
+    const core::fault_universe& u, const std::vector<std::vector<std::size_t>>& groups);
+
+}  // namespace reldiv::mc

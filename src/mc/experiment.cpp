@@ -1,0 +1,129 @@
+#include "mc/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "mc/sampler.hpp"
+#include "stats/random.hpp"
+
+namespace reldiv::mc {
+
+namespace {
+
+struct shard_result {
+  stats::running_moments theta1;
+  stats::running_moments theta2;
+  std::uint64_t n1_positive = 0;
+  std::uint64_t n2_positive = 0;
+  std::uint64_t n1_zero_pfd = 0;
+  std::uint64_t n2_zero_pfd = 0;
+  std::vector<double> theta1_samples;
+  std::vector<double> theta2_samples;
+};
+
+shard_result run_shard(const core::fault_universe& u, std::uint64_t samples,
+                       stats::rng r, bool keep_samples) {
+  shard_result out;
+  if (keep_samples) {
+    out.theta1_samples.reserve(samples);
+    out.theta2_samples.reserve(samples);
+  }
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const version a = sample_version(u, r);
+    const version b = sample_version(u, r);
+    const double t1 = pfd_of(a, u);
+    const double t2 = pair_pfd(a, b, u);
+    out.theta1.add(t1);
+    out.theta2.add(t2);
+    if (a.has_fault()) ++out.n1_positive;
+    if (!common_faults(a, b).empty()) ++out.n2_positive;
+    if (t1 == 0.0) ++out.n1_zero_pfd;
+    if (t2 == 0.0) ++out.n2_zero_pfd;
+    if (keep_samples) {
+      out.theta1_samples.push_back(t1);
+      out.theta2_samples.push_back(t2);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+estimate experiment_result::mean_theta1() const {
+  return {theta1.mean(),
+          stats::mean_ci(theta1.mean(), theta1.stddev(), theta1.count(), ci_level)};
+}
+
+estimate experiment_result::mean_theta2() const {
+  return {theta2.mean(),
+          stats::mean_ci(theta2.mean(), theta2.stddev(), theta2.count(), ci_level)};
+}
+
+estimate experiment_result::prob_n1_positive() const {
+  return {static_cast<double>(n1_positive) / static_cast<double>(samples),
+          stats::wilson(n1_positive, samples, ci_level)};
+}
+
+estimate experiment_result::prob_n2_positive() const {
+  return {static_cast<double>(n2_positive) / static_cast<double>(samples),
+          stats::wilson(n2_positive, samples, ci_level)};
+}
+
+double experiment_result::risk_ratio() const {
+  if (n1_positive == 0) return 0.0;
+  return static_cast<double>(n2_positive) / static_cast<double>(n1_positive);
+}
+
+experiment_result run_experiment(const core::fault_universe& u,
+                                 const experiment_config& config) {
+  if (config.samples == 0) throw std::invalid_argument("run_experiment: samples > 0");
+  unsigned threads = config.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(
+      std::min<std::uint64_t>(threads, config.samples));
+
+  std::vector<shard_result> shards(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const std::uint64_t per_thread = config.samples / threads;
+  const std::uint64_t remainder = config.samples % threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::uint64_t count = per_thread + (t < remainder ? 1 : 0);
+    // Independent streams via xoshiro jump: stream t of the master seed.
+    pool.emplace_back([&u, &shards, t, count, &config] {
+      shards[t] = run_shard(u, count, stats::rng::stream(config.seed, t),
+                            config.keep_samples);
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  experiment_result result;
+  result.samples = config.samples;
+  result.ci_level = config.ci_level;
+  if (config.keep_samples) {
+    result.theta1_samples.emplace();
+    result.theta2_samples.emplace();
+    result.theta1_samples->reserve(config.samples);
+    result.theta2_samples->reserve(config.samples);
+  }
+  for (auto& s : shards) {
+    result.theta1.merge(s.theta1);
+    result.theta2.merge(s.theta2);
+    result.n1_positive += s.n1_positive;
+    result.n2_positive += s.n2_positive;
+    result.n1_zero_pfd += s.n1_zero_pfd;
+    result.n2_zero_pfd += s.n2_zero_pfd;
+    if (config.keep_samples) {
+      result.theta1_samples->insert(result.theta1_samples->end(), s.theta1_samples.begin(),
+                                    s.theta1_samples.end());
+      result.theta2_samples->insert(result.theta2_samples->end(), s.theta2_samples.begin(),
+                                    s.theta2_samples.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace reldiv::mc

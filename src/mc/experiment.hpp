@@ -1,0 +1,63 @@
+#pragma once
+// Multithreaded Monte-Carlo experiment runner: estimates every quantity the
+// paper derives in closed form (means, σs, P(N>0), full PFD distributions)
+// by simulating large populations of independently developed versions and
+// pairs.  The benches use it to validate the analytics; the sensitivity
+// studies (§6) use it where no closed form exists.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/fault_universe.hpp"
+#include "stats/confint.hpp"
+#include "stats/descriptive.hpp"
+
+namespace reldiv::mc {
+
+struct experiment_config {
+  std::uint64_t samples = 100'000;   ///< number of version-pairs to draw
+  std::uint64_t seed = 1;
+  unsigned threads = 0;              ///< 0 = hardware_concurrency
+  bool keep_samples = false;         ///< retain per-sample PFDs (memory!)
+  double ci_level = 0.99;            ///< level for the reported intervals
+};
+
+struct estimate {
+  double value = 0.0;
+  stats::interval ci;                ///< CI at experiment_config::ci_level
+};
+
+struct experiment_result {
+  std::uint64_t samples = 0;
+
+  // Single-version statistics (channel A of each simulated pair).
+  stats::running_moments theta1;
+  // Pair (1-out-of-2) statistics.
+  stats::running_moments theta2;
+
+  std::uint64_t n1_positive = 0;  ///< count of versions with >= 1 fault
+  std::uint64_t n2_positive = 0;  ///< count of pairs with >= 1 common fault
+  std::uint64_t n1_zero_pfd = 0;  ///< versions with PFD == 0
+  std::uint64_t n2_zero_pfd = 0;  ///< pairs with PFD == 0
+
+  double ci_level = 0.99;
+
+  std::optional<std::vector<double>> theta1_samples;
+  std::optional<std::vector<double>> theta2_samples;
+
+  [[nodiscard]] estimate mean_theta1() const;
+  [[nodiscard]] estimate mean_theta2() const;
+  [[nodiscard]] double stddev_theta1() const { return theta1.stddev(); }
+  [[nodiscard]] double stddev_theta2() const { return theta2.stddev(); }
+  [[nodiscard]] estimate prob_n1_positive() const;
+  [[nodiscard]] estimate prob_n2_positive() const;
+  /// Empirical eq. (10) ratio.
+  [[nodiscard]] double risk_ratio() const;
+};
+
+/// Simulate `config.samples` independent pairs of versions from `u`.
+[[nodiscard]] experiment_result run_experiment(const core::fault_universe& u,
+                                               const experiment_config& config);
+
+}  // namespace reldiv::mc

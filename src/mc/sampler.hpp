@@ -1,0 +1,49 @@
+#pragma once
+// Sampling the paper's generative story: "developing versions ... means
+// choosing, randomly and independently, possible subsets of this set of
+// possible faults" (§2.2).  A sampled `version` is the subset of fault
+// indices present; its PFD is the sum of the q_i of present faults
+// (disjoint-region assumption).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fault_universe.hpp"
+#include "stats/random.hpp"
+
+namespace reldiv::mc {
+
+/// A developed version: indices of the faults it contains (sorted).
+struct version {
+  std::vector<std::uint32_t> faults;
+
+  [[nodiscard]] bool has_fault() const noexcept { return !faults.empty(); }
+  [[nodiscard]] std::size_t fault_count() const noexcept { return faults.size(); }
+};
+
+/// Draw one version: fault i included independently with probability p_i.
+[[nodiscard]] version sample_version(const core::fault_universe& u, stats::rng& r);
+
+/// PFD of a version under the disjoint-region model: Σ q_i over present faults.
+[[nodiscard]] double pfd_of(const version& v, const core::fault_universe& u);
+
+/// Faults common to two versions (sorted intersection).
+[[nodiscard]] std::vector<std::uint32_t> common_faults(const version& a, const version& b);
+
+/// PFD of the 1-out-of-2 system built from versions a and b: Σ q_i over
+/// faults present in *both* (the system fails only where both channels fail).
+[[nodiscard]] double pair_pfd(const version& a, const version& b,
+                              const core::fault_universe& u);
+
+/// PFD of a 1-out-of-m system: Σ q_i over faults present in *all* versions.
+[[nodiscard]] double tuple_pfd(const std::vector<version>& versions,
+                               const core::fault_universe& u);
+
+/// Empirical PFD: execute `demands` random demands against a version, where
+/// a demand lands in fault i's failure region with probability q_i (regions
+/// disjoint).  Returns the failure fraction — this is what a testing
+/// campaign would observe, as opposed to the exact pfd_of().
+[[nodiscard]] double empirical_pfd(const version& v, const core::fault_universe& u,
+                                   std::uint64_t demands, stats::rng& r);
+
+}  // namespace reldiv::mc

@@ -1,0 +1,183 @@
+#include "process/pipeline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/random.hpp"
+
+namespace reldiv::process {
+
+std::string_view to_string(fault_class c) {
+  switch (c) {
+    case fault_class::requirements: return "requirements";
+    case fault_class::logic: return "logic";
+    case fault_class::boundary: return "boundary";
+    case fault_class::numerical: return "numerical";
+    case fault_class::interface: return "interface";
+    case fault_class::omission: return "omission";
+  }
+  return "unknown";
+}
+
+std::array<fault_class, kFaultClassCount> all_fault_classes() {
+  return {fault_class::requirements, fault_class::logic,     fault_class::boundary,
+          fault_class::numerical,    fault_class::interface, fault_class::omission};
+}
+
+double vnv_stage::detection_for(fault_class c) const {
+  return detection[static_cast<std::size_t>(c)];
+}
+
+void vnv_stage::set_detection(fault_class c, double d) {
+  if (!(d >= 0.0) || !(d <= 1.0)) {
+    throw std::invalid_argument("vnv_stage: detection must be in [0,1]");
+  }
+  detection[static_cast<std::size_t>(c)] = d;
+}
+
+development_process::development_process(std::vector<vnv_stage> stages)
+    : stages_(std::move(stages)) {
+  for (const auto& s : stages_) {
+    for (const double d : s.detection) {
+      if (!(d >= 0.0) || !(d <= 1.0)) {
+        throw std::invalid_argument("development_process: detection out of [0,1]");
+      }
+    }
+  }
+}
+
+void development_process::add_stage(vnv_stage stage) {
+  for (const double d : stage.detection) {
+    if (!(d >= 0.0) || !(d <= 1.0)) {
+      throw std::invalid_argument("add_stage: detection out of [0,1]");
+    }
+  }
+  stages_.push_back(std::move(stage));
+}
+
+double development_process::survival_probability(fault_class c) const {
+  double survive = 1.0;
+  for (const auto& s : stages_) survive *= (1.0 - s.detection_for(c));
+  return survive;
+}
+
+double development_process::delivered_p(const potential_fault& f) const {
+  if (!(f.introduction_probability >= 0.0) || !(f.introduction_probability <= 1.0)) {
+    throw std::invalid_argument("delivered_p: introduction probability out of [0,1]");
+  }
+  return f.introduction_probability * survival_probability(f.cls);
+}
+
+core::fault_universe development_process::synthesize(
+    const std::vector<potential_fault>& faults) const {
+  std::vector<core::fault_atom> atoms;
+  atoms.reserve(faults.size());
+  for (const auto& f : faults) atoms.push_back({delivered_p(f), f.q});
+  return core::fault_universe(std::move(atoms));
+}
+
+development_process development_process::strengthen_stage(std::size_t stage, fault_class c,
+                                                          double factor) const {
+  if (stage >= stages_.size()) throw std::out_of_range("strengthen_stage: stage index");
+  if (!(factor >= 0.0) || !(factor <= 1.0)) {
+    throw std::invalid_argument("strengthen_stage: factor must be in [0,1]");
+  }
+  development_process out = *this;
+  auto& s = out.stages_[stage];
+  const double escape = 1.0 - s.detection_for(c);
+  s.set_detection(c, 1.0 - escape * factor);
+  return out;
+}
+
+development_process development_process::strengthen_all(double factor) const {
+  if (!(factor >= 0.0) || !(factor <= 1.0)) {
+    throw std::invalid_argument("strengthen_all: factor must be in [0,1]");
+  }
+  development_process out = *this;
+  for (auto& s : out.stages_) {
+    for (const fault_class c : all_fault_classes()) {
+      const double escape = 1.0 - s.detection_for(c);
+      s.set_detection(c, 1.0 - escape * factor);
+    }
+  }
+  return out;
+}
+
+development_process development_process::add_screening_stage(std::string name,
+                                                             double d) const {
+  if (!(d >= 0.0) || !(d <= 1.0)) {
+    throw std::invalid_argument("add_screening_stage: detection must be in [0,1]");
+  }
+  development_process out = *this;
+  vnv_stage stage;
+  stage.name = std::move(name);
+  stage.detection.fill(d);
+  out.stages_.push_back(std::move(stage));
+  return out;
+}
+
+std::vector<potential_fault> make_fault_catalogue(std::size_t n, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("make_fault_catalogue: n must be > 0");
+  stats::rng r(seed);
+  const auto classes = all_fault_classes();
+  std::vector<potential_fault> out;
+  out.reserve(n);
+  // q weights: log-uniform spanning three decades, normalized to sum 0.5
+  // (leaving profile headroom so that Σq <= 1 holds comfortably).
+  std::vector<double> q_raw(n);
+  double q_sum = 0.0;
+  for (auto& q : q_raw) {
+    q = std::exp(r.uniform(std::log(1e-3), std::log(1.0)));
+    q_sum += q;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    potential_fault f;
+    f.cls = classes[r.below(classes.size())];
+    // Introduction probabilities: most mistakes are uncommon, a few likely.
+    f.introduction_probability = 0.02 + 0.48 * r.uniform() * r.uniform();
+    f.q = q_raw[i] / q_sum * 0.5;
+    out.push_back(f);
+  }
+  return out;
+}
+
+development_process make_process_at_level(int level) {
+  if (level < 1 || level > 4) {
+    throw std::invalid_argument("make_process_at_level: level must be in 1..4");
+  }
+  // Detection rates per class for each stage family; higher levels both
+  // strengthen stages and add stages.
+  auto stage = [](std::string name, double req, double logic, double boundary,
+                  double numerical, double interface_d, double omission) {
+    vnv_stage s;
+    s.name = std::move(name);
+    s.set_detection(fault_class::requirements, req);
+    s.set_detection(fault_class::logic, logic);
+    s.set_detection(fault_class::boundary, boundary);
+    s.set_detection(fault_class::numerical, numerical);
+    s.set_detection(fault_class::interface, interface_d);
+    s.set_detection(fault_class::omission, omission);
+    return s;
+  };
+
+  const double lift = 0.06 * static_cast<double>(level - 1);
+  development_process p;
+  p.add_stage(stage("peer review", 0.30 + lift, 0.40 + lift, 0.35 + lift, 0.25 + lift,
+                    0.30 + lift, 0.20 + lift));
+  p.add_stage(stage("unit test", 0.10 + lift, 0.55 + lift, 0.60 + lift, 0.50 + lift,
+                    0.25 + lift, 0.15 + lift));
+  if (level >= 2) {
+    p.add_stage(stage("integration test", 0.20 + lift, 0.35 + lift, 0.30 + lift,
+                      0.30 + lift, 0.60 + lift, 0.25 + lift));
+  }
+  if (level >= 3) {
+    p.add_stage(stage("requirements-based system test", 0.55 + lift, 0.30 + lift,
+                      0.25 + lift, 0.25 + lift, 0.35 + lift, 0.45 + lift));
+  }
+  if (level >= 4) {
+    p.add_stage(stage("statistical/operational test", 0.35, 0.40, 0.40, 0.40, 0.35, 0.35));
+  }
+  return p;
+}
+
+}  // namespace reldiv::process

@@ -1,0 +1,118 @@
+#pragma once
+// Development-process model.
+//
+// The paper stresses that its parameters p_i "have intuitive meanings
+// relating to developers' experiences" — the probability that a mistake is
+// made AND survives every inspection, test and debugging stage ("a mistake
+// of the whole development process", §2.2).  This module makes that story
+// executable: a potential fault has a class (requirements, logic, boundary,
+// …), a process has per-class mistake-introduction probabilities and a
+// pipeline of V&V stages with per-class detection probabilities, and the
+// delivered p_i is
+//
+//   p_i = introduction(class_i) · Π_stages (1 − detection(stage, class_i)).
+//
+// Improvement scenarios (§4.2) then act on concrete levers: strengthening
+// one stage for one class (targeted, §4.2.1) or raising every detection
+// rate (uniform, §4.2.2), and the core-model machinery quantifies what each
+// does to the gain from diversity.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/fault_universe.hpp"
+
+namespace reldiv::process {
+
+/// Fault taxonomy, loosely after the defect-type taxonomies used in
+/// industrial defect classification.
+enum class fault_class : std::uint8_t {
+  requirements,  ///< misunderstood/ambiguous specification clause
+  logic,         ///< wrong algorithm/decision structure
+  boundary,      ///< off-by-one, range-edge handling
+  numerical,     ///< precision, overflow, unit errors
+  interface,     ///< wrong assumptions between components
+  omission,      ///< missing case/behaviour
+};
+
+inline constexpr std::size_t kFaultClassCount = 6;
+
+[[nodiscard]] std::string_view to_string(fault_class c);
+[[nodiscard]] std::array<fault_class, kFaultClassCount> all_fault_classes();
+
+/// A potential fault in process terms.
+struct potential_fault {
+  fault_class cls = fault_class::logic;
+  double introduction_probability = 0.0;  ///< P(mistake made during construction)
+  double q = 0.0;                         ///< failure-region hit probability
+};
+
+/// One V&V stage with per-class detection effectiveness in [0,1].
+struct vnv_stage {
+  std::string name;
+  std::array<double, kFaultClassCount> detection{};  ///< indexed by fault_class
+
+  [[nodiscard]] double detection_for(fault_class c) const;
+  void set_detection(fault_class c, double d);
+};
+
+/// A development process: construction (introduction rates are carried by
+/// the potential faults) followed by a V&V pipeline.
+class development_process {
+ public:
+  development_process() = default;
+  explicit development_process(std::vector<vnv_stage> stages);
+
+  [[nodiscard]] const std::vector<vnv_stage>& stages() const noexcept { return stages_; }
+  [[nodiscard]] std::size_t stage_count() const noexcept { return stages_.size(); }
+
+  void add_stage(vnv_stage stage);
+
+  /// Delivered probability that a fault of class c survives into the product.
+  [[nodiscard]] double survival_probability(fault_class c) const;
+
+  /// Delivered p for one potential fault.
+  [[nodiscard]] double delivered_p(const potential_fault& f) const;
+
+  /// Synthesize the abstract model: p_i = delivered_p(fault_i), q_i as given.
+  [[nodiscard]] core::fault_universe synthesize(
+      const std::vector<potential_fault>& faults) const;
+
+  // --- improvement levers -------------------------------------------------
+
+  /// Multiply the *escape* probability (1 − detection) of one stage for one
+  /// class by `factor` in [0,1] — a targeted §4.2.1-style improvement.
+  [[nodiscard]] development_process strengthen_stage(std::size_t stage, fault_class c,
+                                                     double factor) const;
+
+  /// Multiply every stage's escape probability for every class by `factor`
+  /// — a uniform §4.2.2-style improvement (all delivered p_i scale by
+  /// factor^stage_count at most; exactly proportional when applied to a
+  /// single added stage, see add_screening_stage).
+  [[nodiscard]] development_process strengthen_all(double factor) const;
+
+  /// Append a class-blind screening stage with detection d for every class:
+  /// multiplies every delivered p_i by exactly (1 − d) — the cleanest
+  /// physical realization of the paper's proportional improvement p_i = k·b_i.
+  [[nodiscard]] development_process add_screening_stage(std::string name, double d) const;
+
+ private:
+  std::vector<vnv_stage> stages_;
+};
+
+// --- presets ----------------------------------------------------------------
+
+/// A catalogue of potential faults for a protection-system-style application:
+/// `n` faults spread across classes, introduction probabilities and q values
+/// drawn reproducibly from `seed`.
+[[nodiscard]] std::vector<potential_fault> make_fault_catalogue(std::size_t n,
+                                                                std::uint64_t seed);
+
+/// Processes of increasing rigour, loosely mirroring SIL bands: each level
+/// adds stages and raises detection rates.
+[[nodiscard]] development_process make_process_at_level(int level);
+
+}  // namespace reldiv::process

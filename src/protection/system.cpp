@@ -1,0 +1,128 @@
+#include "protection/system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reldiv::protection {
+
+plant::plant(config cfg) : cfg_(cfg), state_(cfg.dims, 0.0) {
+  if (cfg_.dims == 0) throw std::invalid_argument("plant: dims must be > 0");
+  if (!(cfg_.reversion >= 0.0) || cfg_.reversion > 1.0) {
+    throw std::invalid_argument("plant: reversion must be in [0,1]");
+  }
+  if (!(cfg_.volatility > 0.0)) throw std::invalid_argument("plant: volatility must be > 0");
+  if (!(cfg_.trip_threshold > 0.0)) {
+    throw std::invalid_argument("plant: trip_threshold must be > 0");
+  }
+}
+
+demand::point plant::next_demand(stats::rng& r) {
+  for (std::uint64_t step = 0; step < cfg_.max_steps_per_demand; ++step) {
+    bool tripped = false;
+    for (auto& s : state_) {
+      s += -cfg_.reversion * s + cfg_.volatility * stats::normal_deviate(r);
+      if (r.bernoulli(cfg_.transient_rate)) {
+        s += cfg_.transient_size * (r.bernoulli(0.5) ? 1.0 : -1.0);
+      }
+      if (std::fabs(s) >= cfg_.trip_threshold) tripped = true;
+    }
+    if (tripped) {
+      // Normalize the excursion snapshot to the unit box: map deviation in
+      // [-2*threshold, 2*threshold] to [0,1], clamped.
+      demand::point x(state_.size());
+      for (std::size_t d = 0; d < state_.size(); ++d) {
+        x[d] = std::clamp(0.5 + state_[d] / (4.0 * cfg_.trip_threshold), 0.0, 1.0);
+      }
+      // Reset toward normal operation after the event.
+      std::fill(state_.begin(), state_.end(), 0.0);
+      return x;
+    }
+  }
+  throw std::runtime_error("plant: no demand within max_steps_per_demand");
+}
+
+software_channel::software_channel(std::vector<demand::region_ptr> failure_regions)
+    : regions_(std::move(failure_regions)) {
+  for (const auto& reg : regions_) {
+    if (!reg) throw std::invalid_argument("software_channel: null region");
+  }
+}
+
+bool software_channel::responds_correctly(const demand::point& x) const {
+  for (const auto& reg : regions_) {
+    if (reg->contains(x)) return false;
+  }
+  return true;
+}
+
+software_channel develop_channel(const std::vector<demand::region_fault>& potential_faults,
+                                 stats::rng& r) {
+  std::vector<demand::region_ptr> present;
+  for (const auto& f : potential_faults) {
+    if (!f.footprint) throw std::invalid_argument("develop_channel: null region");
+    if (r.bernoulli(f.p)) present.push_back(f.footprint);
+  }
+  return software_channel(std::move(present));
+}
+
+one_out_of_two::one_out_of_two(software_channel a, software_channel b)
+    : a_(std::move(a)), b_(std::move(b)) {}
+
+bool one_out_of_two::responds_correctly(const demand::point& x) const {
+  // OR adjudication: shut-down if either channel demands it.
+  return a_.responds_correctly(x) || b_.responds_correctly(x);
+}
+
+double campaign_result::channel_a_pfd() const {
+  return demands > 0 ? static_cast<double>(channel_a_failures) / static_cast<double>(demands)
+                     : 0.0;
+}
+
+double campaign_result::channel_b_pfd() const {
+  return demands > 0 ? static_cast<double>(channel_b_failures) / static_cast<double>(demands)
+                     : 0.0;
+}
+
+double campaign_result::system_pfd() const {
+  return demands > 0 ? static_cast<double>(system_failures) / static_cast<double>(demands)
+                     : 0.0;
+}
+
+stats::interval campaign_result::system_pfd_ci(double level) const {
+  return stats::wilson(system_failures, demands, level);
+}
+
+namespace {
+
+template <typename DemandSource>
+campaign_result run_generic(DemandSource&& next, const one_out_of_two& system,
+                            std::uint64_t demands) {
+  if (demands == 0) throw std::invalid_argument("run_campaign: demands must be > 0");
+  campaign_result out;
+  out.demands = demands;
+  for (std::uint64_t d = 0; d < demands; ++d) {
+    const demand::point x = next();
+    const bool a_ok = system.channel_a().responds_correctly(x);
+    const bool b_ok = system.channel_b().responds_correctly(x);
+    if (!a_ok) ++out.channel_a_failures;
+    if (!b_ok) ++out.channel_b_failures;
+    if (!a_ok && !b_ok) ++out.system_failures;
+  }
+  return out;
+}
+
+}  // namespace
+
+campaign_result run_campaign(plant& pl, const one_out_of_two& system, std::uint64_t demands,
+                             stats::rng& r) {
+  return run_generic([&] { return pl.next_demand(r); }, system, demands);
+}
+
+campaign_result run_profile_campaign(const demand::demand_profile& profile,
+                                     const one_out_of_two& system, std::uint64_t demands,
+                                     stats::rng& r) {
+  return run_generic([&] { return profile.sample(r); }, system, demands);
+}
+
+}  // namespace reldiv::protection

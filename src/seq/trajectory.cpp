@@ -1,0 +1,268 @@
+#include "seq/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace reldiv::seq {
+
+namespace {
+
+void check_trajectory_dim(const trajectory& t, std::size_t dim) {
+  if (t.samples.empty()) throw std::invalid_argument("trajectory_region: empty trajectory");
+  if (dim >= t.samples.front().size()) {
+    throw std::invalid_argument("trajectory_region: dimension out of range");
+  }
+}
+
+class sustained_excursion_region final : public trajectory_region {
+ public:
+  sustained_excursion_region(std::size_t dim, double threshold, std::size_t run_length)
+      : dim_(dim), threshold_(threshold), run_length_(run_length) {
+    if (run_length == 0) {
+      throw std::invalid_argument("sustained_excursion_region: run_length must be > 0");
+    }
+  }
+
+  [[nodiscard]] bool contains(const trajectory& t) const override {
+    check_trajectory_dim(t, dim_);
+    std::size_t run = 0;
+    for (const auto& s : t.samples) {
+      run = (s[dim_] > threshold_) ? run + 1 : 0;
+      if (run >= run_length_) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream out;
+    out << "sustained_excursion[dim=" << dim_ << ", thr=" << threshold_
+        << ", run=" << run_length_ << "]";
+    return out.str();
+  }
+
+ private:
+  std::size_t dim_;
+  double threshold_;
+  std::size_t run_length_;
+};
+
+class rate_limit_region final : public trajectory_region {
+ public:
+  rate_limit_region(std::size_t dim, double max_rate) : dim_(dim), max_rate_(max_rate) {
+    if (!(max_rate > 0.0)) {
+      throw std::invalid_argument("rate_limit_region: max_rate must be > 0");
+    }
+  }
+
+  [[nodiscard]] bool contains(const trajectory& t) const override {
+    check_trajectory_dim(t, dim_);
+    for (std::size_t k = 1; k < t.samples.size(); ++k) {
+      if (std::fabs(t.samples[k][dim_] - t.samples[k - 1][dim_]) > max_rate_) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream out;
+    out << "rate_limit[dim=" << dim_ << ", rate=" << max_rate_ << "]";
+    return out.str();
+  }
+
+ private:
+  std::size_t dim_;
+  double max_rate_;
+};
+
+class chatter_region final : public trajectory_region {
+ public:
+  chatter_region(std::size_t dim, double threshold, std::size_t max_crossings)
+      : dim_(dim), threshold_(threshold), max_crossings_(max_crossings) {}
+
+  [[nodiscard]] bool contains(const trajectory& t) const override {
+    check_trajectory_dim(t, dim_);
+    std::size_t crossings = 0;
+    for (std::size_t k = 1; k < t.samples.size(); ++k) {
+      if (t.samples[k - 1][dim_] <= threshold_ && t.samples[k][dim_] > threshold_) {
+        if (++crossings > max_crossings_) return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream out;
+    out << "chatter[dim=" << dim_ << ", thr=" << threshold_ << ", max=" << max_crossings_
+        << "]";
+    return out.str();
+  }
+
+ private:
+  std::size_t dim_;
+  double threshold_;
+  std::size_t max_crossings_;
+};
+
+class mean_band_region final : public trajectory_region {
+ public:
+  mean_band_region(std::size_t dim, double band_lo, double band_hi)
+      : dim_(dim), band_lo_(band_lo), band_hi_(band_hi) {
+    if (!(band_lo < band_hi)) {
+      throw std::invalid_argument("mean_band_region: require band_lo < band_hi");
+    }
+  }
+
+  [[nodiscard]] bool contains(const trajectory& t) const override {
+    check_trajectory_dim(t, dim_);
+    double mean = 0.0;
+    for (const auto& s : t.samples) mean += s[dim_];
+    mean /= static_cast<double>(t.samples.size());
+    return mean >= band_lo_ && mean <= band_hi_;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream out;
+    out << "mean_band[dim=" << dim_ << ", (" << band_lo_ << "," << band_hi_ << ")]";
+    return out.str();
+  }
+
+ private:
+  std::size_t dim_;
+  double band_lo_;
+  double band_hi_;
+};
+
+}  // namespace
+
+trajectory_region_ptr make_sustained_excursion_region(std::size_t dim, double threshold,
+                                                      std::size_t run_length) {
+  return std::make_shared<sustained_excursion_region>(dim, threshold, run_length);
+}
+
+trajectory_region_ptr make_rate_limit_region(std::size_t dim, double max_rate) {
+  return std::make_shared<rate_limit_region>(dim, max_rate);
+}
+
+trajectory_region_ptr make_chatter_region(std::size_t dim, double threshold,
+                                          std::size_t max_crossings) {
+  return std::make_shared<chatter_region>(dim, threshold, max_crossings);
+}
+
+trajectory_region_ptr make_mean_band_region(std::size_t dim, double band_lo,
+                                            double band_hi) {
+  return std::make_shared<mean_band_region>(dim, band_lo, band_hi);
+}
+
+episode_generator::episode_generator(config cfg) : cfg_(cfg) {
+  if (cfg_.dims == 0 || cfg_.length < 2) {
+    throw std::invalid_argument("episode_generator: need dims > 0 and length >= 2");
+  }
+  if (!(cfg_.volatility > 0.0)) {
+    throw std::invalid_argument("episode_generator: volatility must be > 0");
+  }
+}
+
+trajectory episode_generator::sample(stats::rng& r) const {
+  trajectory t;
+  t.samples.assign(cfg_.length, std::vector<double>(cfg_.dims, 0.0));
+  const bool ramping = r.bernoulli(cfg_.ramp_probability);
+  const std::size_t ramp_dim = ramping ? r.below(cfg_.dims) : 0;
+  for (std::size_t k = 1; k < cfg_.length; ++k) {
+    for (std::size_t d = 0; d < cfg_.dims; ++d) {
+      double x = t.samples[k - 1][d];
+      x += -cfg_.reversion * x + cfg_.volatility * stats::normal_deviate(r);
+      if (ramping && d == ramp_dim) x += cfg_.ramp_rate;
+      t.samples[k][d] = x;
+    }
+  }
+  return t;
+}
+
+bound_trajectory_universe bind_trajectory_universe(
+    const std::vector<trajectory_fault>& faults, const episode_generator& gen,
+    std::uint64_t episodes, std::uint64_t seed) {
+  if (faults.empty()) throw std::invalid_argument("bind_trajectory_universe: no faults");
+  if (episodes == 0) throw std::invalid_argument("bind_trajectory_universe: episodes > 0");
+  for (const auto& f : faults) {
+    if (!f.footprint) throw std::invalid_argument("bind_trajectory_universe: null region");
+    if (!(f.p >= 0.0) || !(f.p <= 1.0)) {
+      throw std::invalid_argument("bind_trajectory_universe: p out of [0,1]");
+    }
+  }
+  stats::rng r(seed);
+  const std::size_t n = faults.size();
+  std::vector<std::uint64_t> hits(n, 0);
+  std::vector<std::vector<std::uint64_t>> joint(n, std::vector<std::uint64_t>(n, 0));
+  std::vector<bool> in(n, false);
+  for (std::uint64_t e = 0; e < episodes; ++e) {
+    const trajectory t = gen.sample(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      in[i] = faults[i].footprint->contains(t);
+      if (in[i]) ++hits[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (in[j]) ++joint[i][j];
+      }
+    }
+  }
+  std::vector<core::fault_atom> atoms(n);
+  std::vector<stats::interval> cis(n);
+  double max_overlap = 0.0;
+  const auto total = static_cast<double>(episodes);
+  for (std::size_t i = 0; i < n; ++i) {
+    atoms[i] = {faults[i].p, static_cast<double>(hits[i]) / total};
+    cis[i] = stats::wilson(hits[i], episodes, 0.99);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      max_overlap = std::max(max_overlap, static_cast<double>(joint[i][j]) / total);
+    }
+  }
+  return {core::fault_universe(std::move(atoms), /*allow_q_overflow=*/true),
+          std::move(cis), max_overlap};
+}
+
+trajectory_channel::trajectory_channel(std::vector<trajectory_region_ptr> faults)
+    : faults_(std::move(faults)) {
+  for (const auto& f : faults_) {
+    if (!f) throw std::invalid_argument("trajectory_channel: null region");
+  }
+}
+
+bool trajectory_channel::responds_correctly(const trajectory& t) const {
+  for (const auto& f : faults_) {
+    if (f->contains(t)) return false;
+  }
+  return true;
+}
+
+trajectory_channel develop_trajectory_channel(const std::vector<trajectory_fault>& faults,
+                                              stats::rng& r) {
+  std::vector<trajectory_region_ptr> present;
+  for (const auto& f : faults) {
+    if (!f.footprint) throw std::invalid_argument("develop_trajectory_channel: null region");
+    if (r.bernoulli(f.p)) present.push_back(f.footprint);
+  }
+  return trajectory_channel(std::move(present));
+}
+
+trajectory_campaign_result run_trajectory_campaign(const trajectory_channel& a,
+                                                   const trajectory_channel& b,
+                                                   const episode_generator& gen,
+                                                   std::uint64_t episodes, stats::rng& r) {
+  if (episodes == 0) throw std::invalid_argument("run_trajectory_campaign: episodes > 0");
+  trajectory_campaign_result out;
+  out.episodes = episodes;
+  for (std::uint64_t e = 0; e < episodes; ++e) {
+    const trajectory t = gen.sample(r);
+    const bool a_ok = a.responds_correctly(t);
+    const bool b_ok = b.responds_correctly(t);
+    if (!a_ok) ++out.channel_a_failures;
+    if (!b_ok) ++out.channel_b_failures;
+    if (!a_ok && !b_ok) ++out.system_failures;
+  }
+  return out;
+}
+
+}  // namespace reldiv::seq

@@ -1,0 +1,148 @@
+#pragma once
+// Demands as trajectories.
+//
+// Footnote 2 of the paper is explicit that a demand need not be a single
+// reading: "A 'demand', as defined here, may be a sequence of multiple
+// samples of many input variables.  Our analysis refers to systems whose
+// operation can be seen as a series of demands, possibly separated by idle
+// periods."  The point-based demand/ module covers the common Fig. 2 view;
+// this module covers the sequence view: a demand is a finite trajectory of
+// state samples, a failure region is a PREDICATE over trajectories (e.g.
+// "ramp rate exceeded for k consecutive samples" — the kind of condition a
+// protection algorithm with memory can get wrong), and the q_i are measures
+// of trajectory sets under a stochastic episode generator.  Everything then
+// plugs into the same abstract fault_universe machinery.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fault_universe.hpp"
+#include "stats/confint.hpp"
+#include "stats/random.hpp"
+
+namespace reldiv::seq {
+
+/// One demand episode: a fixed-rate sequence of scalar-vector samples.
+struct trajectory {
+  std::vector<std::vector<double>> samples;  ///< samples[t][dim]
+
+  [[nodiscard]] std::size_t length() const noexcept { return samples.size(); }
+  [[nodiscard]] std::size_t dims() const { return samples.empty() ? 0 : samples[0].size(); }
+};
+
+/// A failure region in trajectory space: the set of demand episodes on
+/// which a version carrying this fault responds incorrectly.
+class trajectory_region {
+ public:
+  virtual ~trajectory_region() = default;
+  [[nodiscard]] virtual bool contains(const trajectory& t) const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+ protected:
+  trajectory_region() = default;
+  trajectory_region(const trajectory_region&) = default;
+  trajectory_region& operator=(const trajectory_region&) = default;
+};
+
+using trajectory_region_ptr = std::shared_ptr<const trajectory_region>;
+
+/// Fails when variable `dim` exceeds `threshold` for at least `run_length`
+/// consecutive samples (missed-trip on sustained excursions: a debounce/
+/// hysteresis bug).
+[[nodiscard]] trajectory_region_ptr make_sustained_excursion_region(std::size_t dim,
+                                                                    double threshold,
+                                                                    std::size_t run_length);
+
+/// Fails when the sample-to-sample increment of variable `dim` ever exceeds
+/// `max_rate` (rate-of-change handling bug).
+[[nodiscard]] trajectory_region_ptr make_rate_limit_region(std::size_t dim, double max_rate);
+
+/// Fails when variable `dim` crosses `threshold` upward more than
+/// `max_crossings` times (oscillation/chatter handling bug).
+[[nodiscard]] trajectory_region_ptr make_chatter_region(std::size_t dim, double threshold,
+                                                        std::size_t max_crossings);
+
+/// Fails when the time-average of variable `dim` lies inside
+/// [band_lo, band_hi] (integral-computation bug: slow drifts missed).
+[[nodiscard]] trajectory_region_ptr make_mean_band_region(std::size_t dim, double band_lo,
+                                                          double band_hi);
+
+/// Stochastic episode generator: an AR(1) path with occasional ramps, the
+/// sequence analogue of the demand profile.
+class episode_generator {
+ public:
+  struct config {
+    std::size_t dims = 2;
+    std::size_t length = 64;
+    double reversion = 0.15;
+    double volatility = 0.12;
+    double ramp_probability = 0.3;  ///< episode contains a sustained ramp
+    double ramp_rate = 0.05;
+  };
+
+  explicit episode_generator(config cfg);
+
+  [[nodiscard]] trajectory sample(stats::rng& r) const;
+  [[nodiscard]] const config& parameters() const noexcept { return cfg_; }
+
+ private:
+  config cfg_;
+};
+
+/// A trajectory fault: region + introduction probability.
+struct trajectory_fault {
+  trajectory_region_ptr footprint;
+  double p = 0.0;
+};
+
+/// Estimate q_i for each trajectory fault under the episode generator and
+/// assemble the abstract fault universe (the seq analogue of
+/// demand::bind_universe).  Also reports pairwise overlap measures, since
+/// trajectory predicates overlap easily (§6.2 applies here too).
+struct bound_trajectory_universe {
+  core::fault_universe universe;
+  std::vector<stats::interval> q_intervals;  ///< 99% Wilson CIs on each q
+  double max_pairwise_overlap = 0.0;
+};
+
+[[nodiscard]] bound_trajectory_universe bind_trajectory_universe(
+    const std::vector<trajectory_fault>& faults, const episode_generator& gen,
+    std::uint64_t episodes, std::uint64_t seed);
+
+/// Channel over trajectories (the version's present faults) and the
+/// 1-out-of-2 campaign, mirroring protection::run_profile_campaign.
+class trajectory_channel {
+ public:
+  trajectory_channel() = default;
+  explicit trajectory_channel(std::vector<trajectory_region_ptr> faults);
+
+  [[nodiscard]] bool responds_correctly(const trajectory& t) const;
+  [[nodiscard]] std::size_t fault_count() const noexcept { return faults_.size(); }
+
+ private:
+  std::vector<trajectory_region_ptr> faults_;
+};
+
+[[nodiscard]] trajectory_channel develop_trajectory_channel(
+    const std::vector<trajectory_fault>& faults, stats::rng& r);
+
+struct trajectory_campaign_result {
+  std::uint64_t episodes = 0;
+  std::uint64_t channel_a_failures = 0;
+  std::uint64_t channel_b_failures = 0;
+  std::uint64_t system_failures = 0;  ///< both channels fail on the episode
+
+  [[nodiscard]] double system_pfd() const {
+    return episodes > 0 ? static_cast<double>(system_failures) /
+                              static_cast<double>(episodes)
+                        : 0.0;
+  }
+};
+
+[[nodiscard]] trajectory_campaign_result run_trajectory_campaign(
+    const trajectory_channel& a, const trajectory_channel& b, const episode_generator& gen,
+    std::uint64_t episodes, stats::rng& r);
+
+}  // namespace reldiv::seq

@@ -1,0 +1,85 @@
+#include "stats/confint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+#include "stats/random.hpp"
+#include "stats/special_functions.hpp"
+
+namespace reldiv::stats {
+
+namespace {
+
+void check_level(double level) {
+  if (!(level > 0.0) || !(level < 1.0)) {
+    throw std::invalid_argument("confidence level must be in (0,1)");
+  }
+}
+
+}  // namespace
+
+interval wilson(std::uint64_t successes, std::uint64_t trials, double level) {
+  check_level(level);
+  if (trials == 0) throw std::invalid_argument("wilson: trials must be > 0");
+  if (successes > trials) throw std::invalid_argument("wilson: successes > trials");
+  const double z = normal_quantile(0.5 + level / 2.0);
+  const auto n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (phat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, centre - half), std::min(1.0, centre + half)};
+}
+
+interval clopper_pearson(std::uint64_t successes, std::uint64_t trials, double level) {
+  check_level(level);
+  if (trials == 0) throw std::invalid_argument("clopper_pearson: trials must be > 0");
+  if (successes > trials) throw std::invalid_argument("clopper_pearson: successes > trials");
+  const double alpha = 1.0 - level;
+  const auto k = static_cast<double>(successes);
+  const auto n = static_cast<double>(trials);
+  interval ci;
+  ci.lo = (successes == 0)
+              ? 0.0
+              : inverse_incomplete_beta(k, n - k + 1.0, alpha / 2.0);
+  ci.hi = (successes == trials)
+              ? 1.0
+              : inverse_incomplete_beta(k + 1.0, n - k, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+interval mean_ci(double mean, double stddev, std::uint64_t n, double level) {
+  check_level(level);
+  if (n == 0) throw std::invalid_argument("mean_ci: n must be > 0");
+  const double z = normal_quantile(0.5 + level / 2.0);
+  const double half = z * stddev / std::sqrt(static_cast<double>(n));
+  return {mean - half, mean + half};
+}
+
+interval bootstrap_percentile(const std::vector<double>& sample,
+                              double (*statistic)(const std::vector<double>&),
+                              int replicates, double level, std::uint64_t seed) {
+  check_level(level);
+  if (sample.empty()) throw std::invalid_argument("bootstrap: empty sample");
+  if (replicates < 10) throw std::invalid_argument("bootstrap: need >= 10 replicates");
+  rng r(seed);
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(replicates));
+  std::vector<double> resample(sample.size());
+  for (int b = 0; b < replicates; ++b) {
+    for (auto& x : resample) x = sample[r.below(sample.size())];
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = 1.0 - level;
+  const auto m = static_cast<double>(stats.size() - 1);
+  const auto lo_idx = static_cast<std::size_t>(alpha / 2.0 * m);
+  const auto hi_idx = static_cast<std::size_t>((1.0 - alpha / 2.0) * m);
+  return {stats[lo_idx], stats[hi_idx]};
+}
+
+}  // namespace reldiv::stats

@@ -1,0 +1,38 @@
+#pragma once
+// Confidence intervals for binomial proportions and means.  Monte-Carlo
+// estimators throughout the library report Wilson intervals so that bench
+// tables can state "exact value inside the 99% CI" rather than bare point
+// estimates.
+
+#include <cstdint>
+#include <vector>
+
+namespace reldiv::stats {
+
+struct interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] bool contains(double x) const noexcept { return x >= lo && x <= hi; }
+  [[nodiscard]] double width() const noexcept { return hi - lo; }
+};
+
+/// Wilson score interval for a binomial proportion (successes out of trials)
+/// at confidence `level` (e.g. 0.99).
+[[nodiscard]] interval wilson(std::uint64_t successes, std::uint64_t trials, double level);
+
+/// Clopper-Pearson "exact" interval via beta quantiles.
+[[nodiscard]] interval clopper_pearson(std::uint64_t successes, std::uint64_t trials,
+                                       double level);
+
+/// Normal-approximation CI for a mean given sample mean, sample stddev, n.
+[[nodiscard]] interval mean_ci(double mean, double stddev, std::uint64_t n, double level);
+
+/// Percentile bootstrap CI for an arbitrary statistic of a sample.
+/// `statistic` maps a resample to a double; `replicates` resamples are drawn
+/// with the given seed.
+[[nodiscard]] interval bootstrap_percentile(
+    const std::vector<double>& sample, double (*statistic)(const std::vector<double>&),
+    int replicates, double level, std::uint64_t seed);
+
+}  // namespace reldiv::stats

@@ -1,0 +1,187 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace reldiv::stats {
+
+void running_moments::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const auto n1 = static_cast<double>(n_);
+  ++n_;
+  const auto n = static_cast<double>(n_);
+  const double delta = x - m1_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  m1_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void running_moments::merge(const running_moments& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.m1_ - m1_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+
+  running_moments out;
+  out.n_ = n_ + other.n_;
+  out.m1_ = (na * m1_ + nb * other.m1_) / n;
+  out.m2_ = m2_ + other.m2_ + delta2 * na * nb / n;
+  out.m3_ = m3_ + other.m3_ + delta3 * na * nb * (na - nb) / (n * n) +
+            3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  out.m4_ = m4_ + other.m4_ +
+            delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+            6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+            4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+  out.min_ = std::min(min_, other.min_);
+  out.max_ = std::max(max_, other.max_);
+  *this = out;
+}
+
+double running_moments::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double running_moments::stddev() const noexcept { return std::sqrt(variance()); }
+
+double running_moments::population_variance() const noexcept {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double running_moments::skewness() const noexcept {
+  if (n_ < 2 || m2_ <= 0.0) return 0.0;
+  const auto n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double running_moments::excess_kurtosis() const noexcept {
+  if (n_ < 2 || m2_ <= 0.0) return 0.0;
+  const auto n = static_cast<double>(n_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+double running_moments::standard_error() const noexcept {
+  return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q must be in [0,1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double quantile(std::vector<double> sample, double q) {
+  std::sort(sample.begin(), sample.end());
+  return quantile_sorted(sample, q);
+}
+
+sample_summary summarize(std::vector<double> sample) {
+  if (sample.empty()) throw std::invalid_argument("summarize: empty sample");
+  std::sort(sample.begin(), sample.end());
+  running_moments rm;
+  for (const double x : sample) rm.add(x);
+  sample_summary s;
+  s.n = sample.size();
+  s.mean = rm.mean();
+  s.stddev = rm.stddev();
+  s.min = sample.front();
+  s.q25 = quantile_sorted(sample, 0.25);
+  s.median = quantile_sorted(sample, 0.50);
+  s.q75 = quantile_sorted(sample, 0.75);
+  s.q99 = quantile_sorted(sample, 0.99);
+  s.max = sample.back();
+  return s;
+}
+
+empirical_cdf::empirical_cdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+  if (sorted_.empty()) throw std::invalid_argument("empirical_cdf: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double empirical_cdf::operator()(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double empirical_cdf::quantile(double q) const { return quantile_sorted(sorted_, q); }
+
+histogram::histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("histogram: require hi > lo");
+  if (bins == 0) throw std::invalid_argument("histogram: require bins > 0");
+}
+
+void histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    // The top edge is inclusive so that add(hi) lands in the last bin.
+    if (x == hi_) {
+      ++counts_.back();
+    } else {
+      ++overflow_;
+    }
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+}
+
+std::size_t histogram::bin_count(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("histogram::bin_count");
+  return counts_[bin];
+}
+
+double histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("histogram::bin_lo");
+  return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+double histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + bin_width_; }
+
+std::string histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    out.setf(std::ios::scientific);
+    out.precision(3);
+    out << "[" << bin_lo(b) << ", " << bin_hi(b) << ") ";
+    out << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace reldiv::stats

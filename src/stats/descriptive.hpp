@@ -1,0 +1,105 @@
+#pragma once
+// Descriptive statistics: single-pass (Welford) accumulators with higher
+// moments, order statistics over stored samples, empirical CDFs and ASCII
+// histograms for the bench harness output.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace reldiv::stats {
+
+/// Numerically stable single-pass accumulator for mean/variance/skewness/
+/// excess kurtosis (Welford / Pébay update formulas).
+class running_moments {
+ public:
+  void add(double x) noexcept;
+  void merge(const running_moments& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? m1_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when n < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Population variance (n denominator).
+  [[nodiscard]] double population_variance() const noexcept;
+  [[nodiscard]] double skewness() const noexcept;
+  [[nodiscard]] double excess_kurtosis() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Standard error of the mean.
+  [[nodiscard]] double standard_error() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double m1_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample via linear interpolation of order statistics
+/// (type-7, the numpy/R default).  The input need not be sorted.
+[[nodiscard]] double quantile(std::vector<double> sample, double q);
+
+/// Quantile of an already sorted sample (no copy).
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Summary bundle used by the bench tables.
+struct sample_summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double q99 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] sample_summary summarize(std::vector<double> sample);
+
+/// Empirical CDF: fraction of sample <= x.
+class empirical_cdf {
+ public:
+  explicit empirical_cdf(std::vector<double> sample);
+
+  [[nodiscard]] double operator()(double x) const noexcept;
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] const std::vector<double>& sorted_sample() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width histogram over [lo, hi] with ASCII rendering for benches.
+class histogram {
+ public:
+  histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Multi-line ASCII bar chart (used by the figure-reproduction benches).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace reldiv::stats

@@ -1,0 +1,144 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special_functions.hpp"
+
+namespace reldiv::stats {
+
+namespace {
+
+/// Acklam's rational approximation to Φ⁻¹ (relative error < 1.15e-9 before
+/// refinement).
+double acklam_quantile(double p) {
+  static constexpr double a[6] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                  -2.759285104469687e+02, 1.383577518672690e+02,
+                                  -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[5] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                  -1.556989798598866e+02, 6.680131188771972e+01,
+                                  -1.328068155288572e+01};
+  static constexpr double c[6] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                  -2.400758277161838e+00, -2.549732539343734e+00,
+                                  4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[4] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                  2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log1p(-p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+double normal_pdf(double x) { return std::exp(-0.5 * x * x) / kSqrt2Pi; }
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / kSqrt2); }
+
+double normal_quantile(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("normal_quantile: p must be in (0,1)");
+  }
+  double x = acklam_quantile(p);
+  // One Halley refinement step drives the result to machine precision.
+  const double e = normal_cdf(x) - p;
+  const double u = e * kSqrt2Pi * std::exp(0.5 * x * x);
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double normal_pdf(double x, double mu, double sigma) {
+  if (!(sigma > 0.0)) throw std::invalid_argument("normal_pdf: sigma must be > 0");
+  return normal_pdf((x - mu) / sigma) / sigma;
+}
+
+double normal_cdf(double x, double mu, double sigma) {
+  if (!(sigma > 0.0)) throw std::invalid_argument("normal_cdf: sigma must be > 0");
+  return normal_cdf((x - mu) / sigma);
+}
+
+double normal_quantile(double p, double mu, double sigma) {
+  if (!(sigma > 0.0)) throw std::invalid_argument("normal_quantile: sigma must be > 0");
+  return mu + sigma * normal_quantile(p);
+}
+
+double one_sided_k(double alpha) { return normal_quantile(alpha); }
+
+double confidence_from_k(double k) { return normal_cdf(k); }
+
+double beta_distribution::pdf(double x) const {
+  if (x < 0.0 || x > 1.0) return 0.0;
+  if (x == 0.0 || x == 1.0) {
+    // Degenerate edges: finite only when the corresponding exponent is >= 1.
+    if (x == 0.0 && a < 1.0) return INFINITY;
+    if (x == 1.0 && b < 1.0) return INFINITY;
+    if (x == 0.0 && a > 1.0) return 0.0;
+    if (x == 1.0 && b > 1.0) return 0.0;
+  }
+  return std::exp((a - 1.0) * std::log(x) + (b - 1.0) * std::log1p(-x) - log_beta(a, b));
+}
+
+double beta_distribution::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return incomplete_beta(a, b, x);
+}
+
+double beta_distribution::quantile(double p) const {
+  return inverse_incomplete_beta(a, b, p);
+}
+
+double lognormal_distribution::pdf(double x) const {
+  if (!(x > 0.0)) return 0.0;
+  const double z = (std::log(x) - mu) / sigma;
+  return std::exp(-0.5 * z * z) / (x * sigma * kSqrt2Pi);
+}
+
+double lognormal_distribution::cdf(double x) const {
+  if (!(x > 0.0)) return 0.0;
+  return normal_cdf((std::log(x) - mu) / sigma);
+}
+
+double lognormal_distribution::quantile(double p) const {
+  return std::exp(mu + sigma * normal_quantile(p));
+}
+
+double lognormal_distribution::mean() const { return std::exp(mu + 0.5 * sigma * sigma); }
+
+double binomial_cdf(std::int64_t k, std::int64_t n, double p) {
+  if (n < 0) throw std::invalid_argument("binomial_cdf: n must be >= 0");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("binomial_cdf: p must be in [0,1]");
+  if (k < 0) return 0.0;
+  if (k >= n) return 1.0;
+  // P(X <= k) = I_{1-p}(n-k, k+1)
+  return incomplete_beta(static_cast<double>(n - k), static_cast<double>(k + 1), 1.0 - p);
+}
+
+double log_choose(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n) throw std::invalid_argument("log_choose: require 0 <= k <= n");
+  return log_gamma(static_cast<double>(n) + 1.0) - log_gamma(static_cast<double>(k) + 1.0) -
+         log_gamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::int64_t k, std::int64_t n, double p) {
+  if (k < 0 || k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  return std::exp(log_choose(n, k) + static_cast<double>(k) * std::log(p) +
+                  static_cast<double>(n - k) * std::log1p(-p));
+}
+
+}  // namespace reldiv::stats

@@ -1,0 +1,90 @@
+#pragma once
+// Probability distributions used throughout the library.
+//
+// The normal distribution is the centrepiece: Section 5 of the paper builds
+// its confidence-bound machinery on Φ and Φ⁻¹ ("The inverse function of the
+// normal cumulative distribution function is widely available", §5.1).  We
+// provide both to ~1e-15 (CDF, via erfc) and ~1e-9 refined to machine
+// precision with one Halley step (quantile, via Acklam's rational
+// approximation).
+
+#include <cstdint>
+
+namespace reldiv::stats {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kSqrt2 = 1.41421356237309504880;
+inline constexpr double kSqrt2Pi = 2.50662827463100050242;
+
+// ---------------------------------------------------------------------------
+// Standard normal
+// ---------------------------------------------------------------------------
+
+/// Standard normal density φ(x).
+[[nodiscard]] double normal_pdf(double x);
+
+/// Standard normal CDF Φ(x), accurate over the full double range.
+[[nodiscard]] double normal_cdf(double x);
+
+/// Standard normal quantile Φ⁻¹(p), p in (0, 1).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Density / CDF / quantile of N(mu, sigma²); sigma > 0.
+[[nodiscard]] double normal_pdf(double x, double mu, double sigma);
+[[nodiscard]] double normal_cdf(double x, double mu, double sigma);
+[[nodiscard]] double normal_quantile(double p, double mu, double sigma);
+
+/// Confidence level alpha -> one-sided k such that P(Θ <= µ+kσ) = alpha.
+/// (E.g. alpha = 0.99 -> k ≈ 2.326; the paper quotes 2.33.)
+[[nodiscard]] double one_sided_k(double alpha);
+
+/// One-sided confidence from k: P(Θ <= µ+kσ).
+/// (E.g. k = 3 -> 0.99865, the paper's P(Θ≤µ+3σ)=0.99865003.)
+[[nodiscard]] double confidence_from_k(double k);
+
+// ---------------------------------------------------------------------------
+// Beta
+// ---------------------------------------------------------------------------
+
+struct beta_distribution {
+  double a = 1.0;
+  double b = 1.0;
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double mean() const { return a / (a + b); }
+  [[nodiscard]] double variance() const {
+    const double s = a + b;
+    return a * b / (s * s * (s + 1.0));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Lognormal (used by universe generators for heavy-tailed q_i spectra)
+// ---------------------------------------------------------------------------
+
+struct lognormal_distribution {
+  double mu = 0.0;     ///< mean of log
+  double sigma = 1.0;  ///< std dev of log
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double mean() const;
+};
+
+// ---------------------------------------------------------------------------
+// Binomial helpers (closed forms; sampling lives in random.hpp users)
+// ---------------------------------------------------------------------------
+
+/// P(X <= k) for X ~ Binomial(n, p), via the incomplete beta identity.
+[[nodiscard]] double binomial_cdf(std::int64_t k, std::int64_t n, double p);
+
+/// log C(n, k).
+[[nodiscard]] double log_choose(std::int64_t n, std::int64_t k);
+
+/// Exact binomial pmf.
+[[nodiscard]] double binomial_pmf(std::int64_t k, std::int64_t n, double p);
+
+}  // namespace reldiv::stats

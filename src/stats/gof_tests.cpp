@@ -1,0 +1,147 @@
+#include "stats/gof_tests.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+#include "stats/special_functions.hpp"
+
+namespace reldiv::stats {
+
+double kolmogorov_sf(double x) {
+  if (x <= 0.0) return 1.0;
+  // Alternating series; converges very fast for x > 0.2.
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * x * x);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+double ks_distance(std::vector<double> sample, const std::function<double(double)>& cdf) {
+  if (sample.empty()) throw std::invalid_argument("ks_distance: empty sample");
+  std::sort(sample.begin(), sample.end());
+  const auto n = static_cast<double>(sample.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const double f = cdf(sample[i]);
+    const double hi = static_cast<double>(i + 1) / n - f;
+    const double lo = f - static_cast<double>(i) / n;
+    d = std::max({d, hi, lo});
+  }
+  return d;
+}
+
+gof_result kolmogorov_smirnov(std::vector<double> sample,
+                              const std::function<double(double)>& cdf) {
+  const auto n = static_cast<double>(sample.size());
+  const double d = ks_distance(std::move(sample), cdf);
+  gof_result r;
+  r.statistic = d;
+  // Stephens' finite-sample adjustment before the asymptotic Kolmogorov SF.
+  const double sqrt_n = std::sqrt(n);
+  r.p_value = kolmogorov_sf(d * (sqrt_n + 0.12 + 0.11 / sqrt_n));
+  r.reject_at_05 = r.p_value < 0.05;
+  return r;
+}
+
+gof_result anderson_darling_normal(std::vector<double> sample) {
+  if (sample.size() < 8) {
+    throw std::invalid_argument("anderson_darling_normal: need at least 8 observations");
+  }
+  std::sort(sample.begin(), sample.end());
+  running_moments rm;
+  for (const double x : sample) rm.add(x);
+  const double mu = rm.mean();
+  const double sd = rm.stddev();
+  if (!(sd > 0.0)) throw std::invalid_argument("anderson_darling_normal: zero variance");
+
+  const auto n = static_cast<double>(sample.size());
+  double a2 = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const double zi = normal_cdf((sample[i] - mu) / sd);
+    const double zrev = normal_cdf((sample[sample.size() - 1 - i] - mu) / sd);
+    const double fi = std::clamp(zi, 1e-15, 1.0 - 1e-15);
+    const double fr = std::clamp(zrev, 1e-15, 1.0 - 1e-15);
+    a2 += (2.0 * static_cast<double>(i) + 1.0) * (std::log(fi) + std::log1p(-fr));
+  }
+  a2 = -n - a2 / n;
+  // Stephens' correction for estimated mean and variance.
+  const double a2_star = a2 * (1.0 + 0.75 / n + 2.25 / (n * n));
+
+  // D'Agostino & Stephens (1986) p-value approximation for A*².
+  double p = 0.0;
+  if (a2_star < 0.2) {
+    p = 1.0 - std::exp(-13.436 + 101.14 * a2_star - 223.73 * a2_star * a2_star);
+  } else if (a2_star < 0.34) {
+    p = 1.0 - std::exp(-8.318 + 42.796 * a2_star - 59.938 * a2_star * a2_star);
+  } else if (a2_star < 0.6) {
+    p = std::exp(0.9177 - 4.279 * a2_star - 1.38 * a2_star * a2_star);
+  } else {
+    p = std::exp(1.2937 - 5.709 * a2_star + 0.0186 * a2_star * a2_star);
+  }
+  p = std::clamp(p, 0.0, 1.0);
+
+  gof_result r;
+  r.statistic = a2_star;
+  r.p_value = p;
+  r.reject_at_05 = p < 0.05;
+  return r;
+}
+
+gof_result ks_two_sample(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_two_sample: empty sample");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+  double d = 0.0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) ++ia;
+    while (ib < b.size() && b[ib] <= x) ++ib;
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na - static_cast<double>(ib) / nb));
+  }
+  const double ne = na * nb / (na + nb);
+  gof_result r;
+  r.statistic = d;
+  const double sqrt_ne = std::sqrt(ne);
+  r.p_value = kolmogorov_sf(d * (sqrt_ne + 0.12 + 0.11 / sqrt_ne));
+  r.reject_at_05 = r.p_value < 0.05;
+  return r;
+}
+
+gof_result chi_square_gof(const std::vector<double>& observed,
+                          const std::vector<double>& expected, int df_reduction) {
+  if (observed.size() != expected.size() || observed.empty()) {
+    throw std::invalid_argument("chi_square_gof: size mismatch or empty");
+  }
+  const auto bins = static_cast<int>(observed.size());
+  if (bins <= df_reduction) {
+    throw std::invalid_argument("chi_square_gof: not enough bins for the degrees of freedom");
+  }
+  double x2 = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (!(expected[i] > 0.0)) {
+      throw std::invalid_argument("chi_square_gof: expected counts must be positive");
+    }
+    const double diff = observed[i] - expected[i];
+    x2 += diff * diff / expected[i];
+  }
+  const double df = static_cast<double>(bins - df_reduction);
+  gof_result r;
+  r.statistic = x2;
+  r.p_value = gamma_q(0.5 * df, 0.5 * x2);
+  r.reject_at_05 = r.p_value < 0.05;
+  return r;
+}
+
+}  // namespace reldiv::stats

@@ -1,0 +1,47 @@
+#pragma once
+// Goodness-of-fit tests.  Section 5 of the paper leans on the central limit
+// theorem ("we will not know in practice how good an approximation it is in
+// a specific case"); experiment E9 quantifies exactly that with these tests,
+// and E15 reproduces the paper's observation that the Knight-Leveson PFD
+// data do *not* fit a normal.
+
+#include <functional>
+#include <vector>
+
+namespace reldiv::stats {
+
+struct gof_result {
+  double statistic = 0.0;  ///< test statistic (D for KS, A² for AD, X² for chi²)
+  double p_value = 0.0;    ///< asymptotic p-value
+  bool reject_at_05 = false;
+};
+
+/// One-sample Kolmogorov-Smirnov test of `sample` against the continuous
+/// CDF `cdf`.  Asymptotic p-value via the Kolmogorov distribution with the
+/// Stephens small-sample correction.
+[[nodiscard]] gof_result kolmogorov_smirnov(std::vector<double> sample,
+                                            const std::function<double(double)>& cdf);
+
+/// KS distance only (no p-value), against an arbitrary CDF.
+[[nodiscard]] double ks_distance(std::vector<double> sample,
+                                 const std::function<double(double)>& cdf);
+
+/// Anderson-Darling test for normality with estimated parameters
+/// (case 3 in Stephens' tables; A*² correction applied).
+[[nodiscard]] gof_result anderson_darling_normal(std::vector<double> sample);
+
+/// Chi-square goodness of fit for binned counts against expected counts.
+/// `df_reduction` = number of parameters estimated from the data + 1.
+[[nodiscard]] gof_result chi_square_gof(const std::vector<double>& observed,
+                                        const std::vector<double>& expected,
+                                        int df_reduction = 1);
+
+/// Survival function of the Kolmogorov distribution: P(K > x).
+[[nodiscard]] double kolmogorov_sf(double x);
+
+/// Two-sample Kolmogorov-Smirnov test: are the two samples drawn from the
+/// same continuous distribution?  Used to compare PFD populations across
+/// processes/architectures (e.g. E15-style version sets).
+[[nodiscard]] gof_result ks_two_sample(std::vector<double> a, std::vector<double> b);
+
+}  // namespace reldiv::stats

@@ -1,0 +1,68 @@
+#include "stats/poisson_binomial.hpp"
+
+#include <stdexcept>
+
+#include "stats/special_functions.hpp"
+
+namespace reldiv::stats {
+
+poisson_binomial::poisson_binomial(std::vector<double> probs) : probs_(std::move(probs)) {
+  for (const double p : probs_) {
+    if (!(p >= 0.0) || !(p <= 1.0)) {
+      throw std::invalid_argument("poisson_binomial: probabilities must be in [0,1]");
+    }
+  }
+  // DP over trials: pmf after adding trial i is a mixture of shift-by-one
+  // (success) and stay (failure).
+  pmf_.assign(probs_.size() + 1, 0.0);
+  pmf_[0] = 1.0;
+  std::size_t upper = 0;  // highest index with non-zero mass so far
+  for (const double p : probs_) {
+    ++upper;
+    for (std::size_t k = upper; k > 0; --k) {
+      pmf_[k] = pmf_[k] * (1.0 - p) + pmf_[k - 1] * p;
+    }
+    pmf_[0] *= (1.0 - p);
+  }
+}
+
+double poisson_binomial::pmf(std::size_t k) const {
+  if (k >= pmf_.size()) return 0.0;
+  return pmf_[k];
+}
+
+double poisson_binomial::cdf(std::size_t k) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i <= k && i < pmf_.size(); ++i) sum += pmf_[i];
+  return sum > 1.0 ? 1.0 : sum;
+}
+
+double poisson_binomial::prob_positive() const {
+  return one_minus_prod_one_minus(probs_.begin(), probs_.end());
+}
+
+double poisson_binomial::mean() const {
+  double m = 0.0;
+  for (const double p : probs_) m += p;
+  return m;
+}
+
+std::size_t poisson_binomial::quantile(double alpha) const {
+  if (!(alpha >= 0.0) || !(alpha <= 1.0)) {
+    throw std::invalid_argument("poisson_binomial::quantile: alpha must be in [0,1]");
+  }
+  double cum = 0.0;
+  for (std::size_t k = 0; k < pmf_.size(); ++k) {
+    cum += pmf_[k];
+    if (cum + 1e-15 >= alpha) return k;
+  }
+  return pmf_.size() - 1;
+}
+
+double poisson_binomial::variance() const {
+  double v = 0.0;
+  for (const double p : probs_) v += p * (1.0 - p);
+  return v;
+}
+
+}  // namespace reldiv::stats

@@ -1,0 +1,37 @@
+#pragma once
+// Poisson-binomial distribution: the law of N = sum of independent Bernoulli
+// trials with heterogeneous probabilities.
+//
+// In the paper's model the number of faults N1 in a version (and the number
+// of common faults N2 in a pair, with probabilities p_i²) is exactly
+// Poisson-binomial.  Section 4 works with P(N > 0); this module provides the
+// full exact pmf via the standard O(n²) dynamic programme so the test suite
+// and benches can validate every tail statement, not just the first moment.
+
+#include <cstddef>
+#include <vector>
+
+namespace reldiv::stats {
+
+class poisson_binomial {
+ public:
+  /// probs[i] in [0,1]; throws std::invalid_argument otherwise.
+  explicit poisson_binomial(std::vector<double> probs);
+
+  [[nodiscard]] std::size_t trials() const noexcept { return probs_.size(); }
+  [[nodiscard]] double pmf(std::size_t k) const;
+  [[nodiscard]] double cdf(std::size_t k) const;
+  /// P(N > 0) = 1 - prod(1 - p_i), computed stably (not from the pmf).
+  [[nodiscard]] double prob_positive() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+  /// Smallest k with P(N <= k) >= alpha; alpha in [0,1].
+  [[nodiscard]] std::size_t quantile(double alpha) const;
+  [[nodiscard]] const std::vector<double>& pmf_table() const noexcept { return pmf_; }
+
+ private:
+  std::vector<double> probs_;
+  std::vector<double> pmf_;  ///< pmf_[k] = P(N = k), k = 0..n
+};
+
+}  // namespace reldiv::stats

@@ -1,0 +1,54 @@
+#include "stats/random.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace reldiv::stats {
+
+double normal_deviate(rng& r) noexcept {
+  // Marsaglia polar method (uncached variant: one deviate per call; the
+  // sampling loops that need bulk normals use vector fills elsewhere).
+  for (;;) {
+    const double u = 2.0 * r.uniform() - 1.0;
+    const double v = 2.0 * r.uniform() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double gamma_deviate(rng& r, double shape) {
+  if (!(shape > 0.0)) throw std::invalid_argument("gamma_deviate: shape must be > 0");
+  if (shape < 1.0) {
+    // Boost shape above 1 and correct with the standard power-of-uniform trick.
+    const double g = gamma_deviate(r, shape + 1.0);
+    const double u = r.uniform();
+    return g * std::pow(u <= 0.0 ? 1e-300 : u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000) squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal_deviate(r);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = r.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+double beta_deviate(rng& r, double a, double b) {
+  if (!(a > 0.0) || !(b > 0.0)) throw std::invalid_argument("beta_deviate: a, b must be > 0");
+  const double x = gamma_deviate(r, a);
+  const double y = gamma_deviate(r, b);
+  const double sum = x + y;
+  return sum > 0.0 ? x / sum : 0.5;
+}
+
+}  // namespace reldiv::stats

@@ -1,0 +1,167 @@
+#include "stats/special_functions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace reldiv::stats {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEps = 3.0e-15;
+constexpr double kFpMin = std::numeric_limits<double>::min() / kEps;
+
+/// Continued fraction for the incomplete beta (Lentz's algorithm).
+double beta_continued_fraction(double a, double b, double x) {
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) <= kEps) return h;
+  }
+  throw std::runtime_error("incomplete_beta: continued fraction failed to converge");
+}
+
+/// Series for P(a, x), valid for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 1; n <= kMaxIterations; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) {
+      return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+    }
+  }
+  throw std::runtime_error("gamma_p: series failed to converge");
+}
+
+/// Continued fraction for Q(a, x), valid for x >= a + 1.
+double gamma_q_cf(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) <= kEps) {
+      return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
+    }
+  }
+  throw std::runtime_error("gamma_q: continued fraction failed to converge");
+}
+
+}  // namespace
+
+double log_gamma(double x) {
+  if (!(x > 0.0)) throw std::invalid_argument("log_gamma: x must be > 0");
+  return std::lgamma(x);
+}
+
+double log_beta(double a, double b) {
+  return log_gamma(a) + log_gamma(b) - log_gamma(a + b);
+}
+
+double gamma_p(double a, double x) {
+  if (!(a > 0.0)) throw std::invalid_argument("gamma_p: a must be > 0");
+  if (x < 0.0) throw std::invalid_argument("gamma_p: x must be >= 0");
+  if (x == 0.0) return 0.0;
+  return (x < a + 1.0) ? gamma_p_series(a, x) : 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) {
+  if (!(a > 0.0)) throw std::invalid_argument("gamma_q: a must be > 0");
+  if (x < 0.0) throw std::invalid_argument("gamma_q: x must be >= 0");
+  if (x == 0.0) return 1.0;
+  return (x < a + 1.0) ? 1.0 - gamma_p_series(a, x) : gamma_q_cf(a, x);
+}
+
+double incomplete_beta(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::invalid_argument("incomplete_beta: a, b must be > 0");
+  }
+  if (x < 0.0 || x > 1.0) throw std::invalid_argument("incomplete_beta: x must be in [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_front =
+      a * std::log(x) + b * std::log1p(-x) - log_beta(a, b);
+  const double front = std::exp(log_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double inverse_incomplete_beta(double a, double b, double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("inverse_incomplete_beta: p must be in [0,1]");
+  }
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  // Bisection with Newton acceleration; the beta CDF is monotone in x.
+  double lo = 0.0;
+  double hi = 1.0;
+  double x = a / (a + b);  // start at the mean
+  for (int iter = 0; iter < 200; ++iter) {
+    const double f = incomplete_beta(a, b, x) - p;
+    if (std::fabs(f) < 1e-14) break;
+    if (f > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    // Newton step using the beta density; fall back to bisection if it
+    // leaves the bracket.
+    const double log_pdf =
+        (a - 1.0) * std::log(x) + (b - 1.0) * std::log1p(-x) - log_beta(a, b);
+    const double pdf = std::exp(log_pdf);
+    double next = (pdf > 0.0 && std::isfinite(pdf)) ? x - f / pdf : 0.5 * (lo + hi);
+    if (!(next > lo) || !(next < hi)) next = 0.5 * (lo + hi);
+    if (std::fabs(next - x) < 1e-16) {
+      x = next;
+      break;
+    }
+    x = next;
+  }
+  return x;
+}
+
+double log1m_exp(double x) {
+  if (x >= 0.0) throw std::invalid_argument("log1m_exp: x must be < 0");
+  // Mächler's switchover for accuracy.
+  return (x > -0.6931471805599453) ? std::log(-std::expm1(x)) : std::log1p(-std::exp(x));
+}
+
+}  // namespace reldiv::stats

@@ -1,0 +1,59 @@
+#pragma once
+// Special functions underlying the distribution machinery: regularized
+// incomplete gamma and beta functions, log-beta, and the inverse of the
+// regularized incomplete beta (used for Clopper-Pearson intervals and Beta
+// quantiles in the Bayesian module).
+//
+// Implementations follow the classic continued-fraction / series splits
+// (Numerical Recipes style) with modern guard rails; accuracy is ~1e-12
+// relative over the parameter ranges used in this library, which the test
+// suite checks against high-precision reference values.
+
+namespace reldiv::stats {
+
+/// ln Γ(x), x > 0.  Thin wrapper over std::lgamma kept for a single audit point.
+[[nodiscard]] double log_gamma(double x);
+
+/// ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a+b); a, b > 0.
+[[nodiscard]] double log_beta(double a, double b);
+
+/// Regularized lower incomplete gamma P(a, x); a > 0, x >= 0.
+[[nodiscard]] double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 − P(a, x).
+[[nodiscard]] double gamma_q(double a, double x);
+
+/// Regularized incomplete beta I_x(a, b); a, b > 0, x in [0, 1].
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// Inverse of I_x(a, b) in x: returns x such that I_x(a, b) = p.
+[[nodiscard]] double inverse_incomplete_beta(double a, double b, double p);
+
+/// log(1 - exp(x)) for x < 0, numerically stable near 0.
+[[nodiscard]] double log1m_exp(double x);
+
+/// Numerically stable computation of 1 - prod(1 - p_i) ("at least one event"
+/// probability) given iterators over probabilities in [0, 1].  Works in log
+/// space when the complement underflows.
+template <typename It>
+[[nodiscard]] double one_minus_prod_one_minus(It first, It last);
+
+}  // namespace reldiv::stats
+
+#include <cmath>
+
+namespace reldiv::stats {
+
+template <typename It>
+double one_minus_prod_one_minus(It first, It last) {
+  // Accumulate sum of log1p(-p); exact when any p == 1.
+  double log_complement = 0.0;
+  for (It it = first; it != last; ++it) {
+    const double p = *it;
+    if (p >= 1.0) return 1.0;
+    if (p > 0.0) log_complement += std::log1p(-p);
+  }
+  return -std::expm1(log_complement);
+}
+
+}  // namespace reldiv::stats

@@ -1,0 +1,135 @@
+// Extended Bayesian inference: failure evidence, importance sampling,
+// channel-to-pair transfer, and the demands-needed inverse problem.
+
+#include "bayes/inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/assessment.hpp"
+#include "core/generators.hpp"
+
+namespace {
+
+using namespace reldiv;
+using namespace reldiv::bayes;
+
+core::fault_universe tiny() {
+  return core::fault_universe({{0.3, 0.01}, {0.1, 0.001}});
+}
+
+TEST(PosteriorWithFailures, FailureFreeMatchesAssessmentModule) {
+  const auto u = tiny();
+  const auto a = posterior_pfd(u, 1, 700);
+  const auto b = posterior_pfd_with_failures(u, 1, {700, 0});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.atoms().size(); ++i) {
+    EXPECT_NEAR(a.atoms()[i].prob, b.atoms()[i].prob, 1e-12);
+  }
+}
+
+TEST(PosteriorWithFailures, ObservedFailuresKillTheZeroAtom) {
+  const auto u = tiny();
+  const auto post = posterior_pfd_with_failures(u, 1, {1000, 3});
+  // A failure was observed, so PFD = 0 is impossible a posteriori.
+  EXPECT_DOUBLE_EQ(post.prob_zero(), 0.0);
+  // And the posterior mean must sit above the failure-free posterior's.
+  const auto clean = posterior_pfd_with_failures(u, 1, {1000, 0});
+  EXPECT_GT(post.mean(), clean.mean());
+}
+
+TEST(PosteriorWithFailures, ConcentratesOnTheCompatibleAtom) {
+  // With enough evidence at failure fraction ~0.01, the posterior must
+  // concentrate on the subset whose PFD is 0.01 (fault 1 only).
+  const auto u = tiny();
+  const auto post = posterior_pfd_with_failures(u, 1, {100000, 1000});
+  EXPECT_NEAR(post.mean(), 0.01, 5e-4);
+  EXPECT_NEAR(post.cdf(0.0105) - post.cdf(0.0095), 1.0, 1e-3);
+}
+
+TEST(PosteriorWithFailures, ImpossibleEvidenceThrows) {
+  core::fault_universe never_fails({{0.5, 0.0}});  // every subset has PFD 0
+  EXPECT_THROW((void)posterior_pfd_with_failures(never_fails, 1, {100, 5}),
+               std::domain_error);
+  EXPECT_THROW((void)posterior_pfd_with_failures(tiny(), 1, {10, 20}),
+               std::invalid_argument);
+}
+
+TEST(ImportancePosterior, AgreesWithExactOnSmallUniverse) {
+  const auto u = core::make_random_universe(10, 0.4, 0.5, 21);
+  const test_record ev{2000, 0};
+  const auto exact = posterior_pfd_with_failures(u, 1, ev);
+  const auto is = importance_posterior(u, 1, ev, 400000, 22);
+  EXPECT_NEAR(is.mean_pfd, exact.mean(), 0.05 * exact.mean() + 1e-5);
+  EXPECT_NEAR(is.prob_zero, exact.prob_zero(), 0.01);
+  EXPECT_GT(is.effective_sample_size, 1000.0);
+  EXPECT_THROW((void)importance_posterior(u, 1, ev, 0, 1), std::invalid_argument);
+}
+
+TEST(ImportancePosterior, ScalesToLargeUniverses) {
+  // 200 faults: exact enumeration impossible; IS must still produce a
+  // coherent posterior whose mean drops with evidence.
+  const auto u = core::make_safety_grade_universe(200, 0.0, 0.02, 0.6, 23);
+  const auto weak = importance_posterior(u, 1, {0, 0}, 100000, 24);
+  const auto strong = importance_posterior(u, 1, {20000, 0}, 100000, 24);
+  EXPECT_LT(strong.mean_pfd, weak.mean_pfd);
+  EXPECT_GT(strong.prob_zero, weak.prob_zero);
+  EXPECT_EQ(weak.samples, 100000u);
+}
+
+TEST(ChannelPairAssessment, NoEvidenceReducesToPriorPrediction) {
+  const auto u = tiny();
+  const auto a = assess_pair_from_channel_tests(u, {0, 0}, {0, 0});
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_NEAR(a.posterior_p_a[i], u[i].p, 1e-10) << i;
+    EXPECT_NEAR(a.posterior_p_b[i], u[i].p, 1e-10) << i;
+  }
+  double expected_pair = 0.0;
+  for (const auto& [p, q] : u) expected_pair += p * p * q;
+  EXPECT_NEAR(a.pair_mean_pfd, expected_pair, 1e-10);
+}
+
+TEST(ChannelPairAssessment, CleanChannelTestingImprovesThePairClaim) {
+  const auto u = tiny();
+  const auto before = assess_pair_from_channel_tests(u, {0, 0}, {0, 0});
+  const auto after = assess_pair_from_channel_tests(u, {20000, 0}, {20000, 0});
+  EXPECT_LT(after.pair_mean_pfd, before.pair_mean_pfd);
+  EXPECT_GT(after.prob_no_common_fault, before.prob_no_common_fault);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_LT(after.posterior_p_a[i], u[i].p) << i;
+  }
+}
+
+TEST(ChannelPairAssessment, AsymmetricEvidence) {
+  const auto u = tiny();
+  const auto a = assess_pair_from_channel_tests(u, {50000, 0}, {0, 0});
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_LT(a.posterior_p_a[i], a.posterior_p_b[i]) << i;
+  }
+  const auto big = core::make_random_universe(30, 0.3, 0.5, 25);
+  EXPECT_THROW((void)assess_pair_from_channel_tests(big, {0, 0}, {0, 0}),
+               std::invalid_argument);
+}
+
+TEST(DemandsNeeded, MonotoneAndConsistent) {
+  const auto u = tiny();
+  // Prior pair 99% bound:
+  const auto prior_bound = posterior_pfd(u, 2, 0).quantile(0.99);
+  ASSERT_GT(prior_bound, 1e-4);
+  const auto needed = demands_needed_for_target(u, 2, 1e-4, 0.99, 10'000'000);
+  ASSERT_GT(needed, 0u);
+  ASSERT_LE(needed, 10'000'000u);
+  // The returned count meets the target; one less does not.
+  EXPECT_LE(posterior_pfd_with_failures(u, 2, {needed, 0}).quantile(0.99), 1e-4);
+  EXPECT_GT(posterior_pfd_with_failures(u, 2, {needed - 1, 0}).quantile(0.99), 1e-4);
+  // Already-met target returns 0.
+  EXPECT_EQ(demands_needed_for_target(u, 2, 0.5, 0.99, 1000), 0u);
+  // Unreachable target within a small budget flags max+1.  (Given enough
+  // demands ANY positive target is reachable here, because the posterior
+  // eventually puts >= 99% mass on the PFD = 0 atom.)
+  EXPECT_EQ(demands_needed_for_target(u, 2, 1e-15, 0.99, 10), 11u);
+  EXPECT_THROW((void)demands_needed_for_target(u, 2, 0.0, 0.99, 10), std::invalid_argument);
+}
+
+}  // namespace

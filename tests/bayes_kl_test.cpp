@@ -1,0 +1,156 @@
+// Bayesian assessment on the model prior (§7 / [14]) and the synthetic
+// Knight-Leveson replication.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/assessment.hpp"
+#include "core/generators.hpp"
+#include "kl/experiment.hpp"
+
+namespace {
+
+using namespace reldiv;
+
+core::fault_universe tiny_universe() {
+  return core::fault_universe({{0.3, 0.01}, {0.1, 0.001}});
+}
+
+TEST(BayesPosterior, NoEvidenceLeavesPriorUnchanged) {
+  const auto u = tiny_universe();
+  const auto prior = core::exact_pfd_distribution(u, 1);
+  const auto post = bayes::posterior_pfd(u, 1, 0);
+  ASSERT_EQ(prior.size(), post.size());
+  for (std::size_t i = 0; i < prior.atoms().size(); ++i) {
+    EXPECT_NEAR(prior.atoms()[i].prob, post.atoms()[i].prob, 1e-14);
+  }
+}
+
+TEST(BayesPosterior, MatchesHandReweighting) {
+  const auto u = tiny_universe();
+  const std::uint64_t t = 500;
+  const auto post = bayes::posterior_pfd(u, 1, t);
+  // Hand computation over the 4 subsets.
+  struct atom {
+    double v;
+    double prior;
+  };
+  const std::vector<atom> subsets = {
+      {0.0, 0.7 * 0.9}, {0.001, 0.7 * 0.1}, {0.01, 0.3 * 0.9}, {0.011, 0.3 * 0.1}};
+  double z = 0.0;
+  for (const auto& s : subsets) z += s.prior * std::pow(1.0 - s.v, t);
+  for (const auto& s : subsets) {
+    const double expected = s.prior * std::pow(1.0 - s.v, t) / z;
+    EXPECT_NEAR(post.cdf(s.v) - post.cdf(s.v - 1e-9), expected, 1e-10) << s.v;
+  }
+}
+
+TEST(BayesPosterior, SurvivalEvidenceImprovesBeliefs) {
+  const auto u = tiny_universe();
+  double prev_mean = 1.0;
+  double prev_zero = 0.0;
+  for (const std::uint64_t t : {0ull, 100ull, 1000ull, 10000ull}) {
+    const auto a = bayes::assess(u, 1, t);
+    EXPECT_LT(a.posterior_mean, prev_mean) << "t=" << t;
+    EXPECT_GT(a.posterior_prob_zero, prev_zero - 1e-15) << "t=" << t;
+    prev_mean = a.posterior_mean;
+    prev_zero = a.posterior_prob_zero;
+  }
+}
+
+TEST(BayesPosterior, PairPosteriorDominatesSingle) {
+  const auto u = tiny_universe();
+  const auto single = bayes::assess(u, 1, 1000);
+  const auto pair = bayes::assess(u, 2, 1000);
+  EXPECT_LT(pair.posterior_mean, single.posterior_mean);
+  EXPECT_GT(pair.posterior_prob_zero, single.posterior_prob_zero);
+}
+
+TEST(BayesPosterior, ImpossibleEvidenceThrows) {
+  core::fault_universe certain({{1.0, 1.0}});  // PFD == 1 with certainty
+  EXPECT_THROW((void)bayes::posterior_pfd(certain, 1, 10), std::domain_error);
+}
+
+TEST(BayesBeta, ConjugateUpdate) {
+  const auto a = bayes::assess_beta(1.0, 1.0, 999);
+  EXPECT_NEAR(a.posterior_mean, 1.0 / 1001.0, 1e-12);
+  EXPECT_GT(a.posterior_q99, a.posterior_mean);
+  EXPECT_THROW((void)bayes::assess_beta(0.0, 1.0, 10), std::invalid_argument);
+}
+
+TEST(BayesBeta, MomentMatchedPriorAgreesOnMoments) {
+  const auto u = core::make_random_universe(12, 0.4, 0.6, 3);
+  const auto beta = bayes::moment_matched_beta(u, 1);
+  const auto mom = core::single_version_moments(u);
+  EXPECT_NEAR(beta.mean(), mom.mean, 1e-12);
+  EXPECT_NEAR(beta.variance(), mom.variance, 1e-12);
+  core::fault_universe impossible({{0.0, 0.5}});
+  EXPECT_THROW((void)bayes::moment_matched_beta(impossible, 1), std::domain_error);
+}
+
+TEST(BayesBeta, ModelPriorBeatsVaguePriorGivenGoodProcess) {
+  // With a physically-informed prior (most mass at PFD=0), the posterior
+  // 99% bound after modest evidence is far tighter than from Beta(1,1).
+  const auto u = tiny_universe();
+  const auto model = bayes::assess(u, 1, 1000);
+  const auto vague = bayes::assess_beta(1.0, 1.0, 1000);
+  EXPECT_LT(model.posterior_q99, vague.posterior_q99);
+}
+
+TEST(KnightLeveson, ShapesAndSizes) {
+  const auto u = core::make_knight_leveson_like_universe(1);
+  kl::kl_config cfg;
+  cfg.demands = 20000;  // keep the unit test fast
+  const auto res = kl::run_kl_experiment(u, cfg);
+  EXPECT_EQ(res.version_pfd.size(), 27u);
+  EXPECT_EQ(res.pair_pfd.size(), 27u * 26u / 2u);
+  EXPECT_EQ(res.version_pfd_hat.size(), 27u);
+  EXPECT_EQ(res.pair_pfd_hat.size(), res.pair_pfd.size());
+}
+
+TEST(KnightLeveson, DiversityReducesMeanAndStdDev) {
+  // The paper's §7 qualitative check: "diversity reduced not only the
+  // sample mean of the PFD ... but also – greatly – its standard deviation".
+  const auto u = core::make_knight_leveson_like_universe(1);
+  kl::kl_config cfg;
+  cfg.score_empirically = false;
+  const auto res = kl::run_kl_experiment(u, cfg);
+  EXPECT_LT(res.pair_summary.mean, res.version_summary.mean);
+  EXPECT_LT(res.pair_summary.stddev, res.version_summary.stddev);
+  EXPECT_GT(res.mean_reduction, 1.0);
+  EXPECT_GT(res.sd_reduction, 1.0);
+}
+
+TEST(KnightLeveson, EmpiricalScoresTrackExactScores) {
+  const auto u = core::make_knight_leveson_like_universe(2);
+  kl::kl_config cfg;
+  cfg.demands = 200000;
+  const auto res = kl::run_kl_experiment(u, cfg);
+  for (std::size_t v = 0; v < res.version_pfd.size(); ++v) {
+    EXPECT_NEAR(res.version_pfd_hat[v], res.version_pfd[v],
+                4.0 * std::sqrt(res.version_pfd[v] / 200000.0) + 5e-4)
+        << "v=" << v;
+  }
+}
+
+TEST(KnightLeveson, DeterministicInSeed) {
+  const auto u = core::make_knight_leveson_like_universe(3);
+  kl::kl_config cfg;
+  cfg.score_empirically = false;
+  const auto a = kl::run_kl_experiment(u, cfg);
+  const auto b = kl::run_kl_experiment(u, cfg);
+  EXPECT_EQ(a.version_pfd, b.version_pfd);
+}
+
+TEST(KnightLeveson, Validation) {
+  const auto u = core::make_knight_leveson_like_universe(4);
+  kl::kl_config cfg;
+  cfg.versions = 1;
+  EXPECT_THROW((void)kl::run_kl_experiment(u, cfg), std::invalid_argument);
+  kl::kl_config cfg2;
+  cfg2.demands = 0;
+  EXPECT_THROW((void)kl::run_kl_experiment(u, cfg2), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Reliability-allocation inverse problems and the SIL mapping.
+
+#include "core/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/generators.hpp"
+#include "stats/gof_tests.hpp"
+#include "stats/poisson_binomial.hpp"
+#include "stats/random.hpp"
+
+namespace {
+
+using namespace reldiv;
+using namespace reldiv::core;
+
+TEST(PmaxForGainFactor, InvertsTheForwardFactor) {
+  for (const double pmax : {0.01, 0.1, 0.5, 0.9}) {
+    const double f = sigma_ratio_factor(pmax);
+    EXPECT_NEAR(pmax_for_gain_factor(f), pmax, 1e-12) << "pmax=" << pmax;
+  }
+  EXPECT_THROW((void)pmax_for_gain_factor(0.0), std::invalid_argument);
+  EXPECT_THROW((void)pmax_for_gain_factor(1.5), std::invalid_argument);
+}
+
+TEST(RequiredPmax, PaperTableBackwards) {
+  // The §5.1 table read backwards: to buy a 10x bound reduction via eq. (12)
+  // the assessor must defend pmax <= ~0.01.
+  const double pmax = required_pmax(1.0, 0.1);
+  EXPECT_NEAR(sigma_ratio_factor(pmax), 0.1, 1e-12);
+  EXPECT_NEAR(pmax, 0.00990, 5e-5);
+  // A ~3x reduction needs pmax ~ 0.1.
+  EXPECT_NEAR(required_pmax(1.0, 0.332), 0.1, 0.001);
+  // No reduction needed: any pmax.
+  EXPECT_DOUBLE_EQ(required_pmax(1e-4, 1e-3), 1.0);
+  EXPECT_THROW((void)required_pmax(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)required_pmax(1.0, 0.0), std::domain_error);
+}
+
+TEST(AllowedMu1, ForwardBackwardConsistency) {
+  const double target = 1e-3;
+  const double pmax = 0.05;
+  const double k = 2.33;
+  const double cv = 0.2;
+  const double mu1 = allowed_mu1(target, pmax, k, cv);
+  // Plugging back into eq. (11) with sigma1 = cv*mu1 must hit the target.
+  EXPECT_NEAR(pair_bound_from_moments(mu1, cv * mu1, k, pmax), target, 1e-15);
+  EXPECT_THROW((void)allowed_mu1(0.0, pmax, k, cv), std::invalid_argument);
+  EXPECT_THROW((void)allowed_mu1(target, 0.0, k, cv), std::invalid_argument);
+  EXPECT_THROW((void)allowed_mu1(target, pmax, -1.0, cv), std::invalid_argument);
+}
+
+TEST(SilBand, StandardBands) {
+  EXPECT_EQ(sil_band(0.5), 0);
+  EXPECT_EQ(sil_band(0.05), 1);
+  EXPECT_EQ(sil_band(5e-3), 2);
+  EXPECT_EQ(sil_band(5e-4), 3);
+  EXPECT_EQ(sil_band(5e-5), 4);
+  EXPECT_EQ(sil_band(1e-9), 4);  // capped
+  EXPECT_EQ(sil_band(1e-2), 1);  // band lower edges are inclusive
+  EXPECT_THROW((void)sil_band(-1.0), std::invalid_argument);
+}
+
+TEST(AllocateSil, DiversityBuysBands) {
+  // A universe whose single version sits around SIL 1-2 but whose pair is
+  // much better: the allocation must show the SIL step-up, and the
+  // pmax-only guaranteed route must never claim more than the actual.
+  const auto u = make_safety_grade_universe(30, 0.0, 0.05, 0.3, 77);
+  const auto a = allocate_sil(u, 0.99);
+  EXPECT_GE(a.pair_sil_actual, a.single_version_sil);
+  EXPECT_GE(a.pair_sil_actual, a.pair_sil_guaranteed);
+  EXPECT_LE(a.pair_bound_actual, a.pair_bound_guaranteed + 1e-15);
+  EXPECT_EQ(sil_band(a.single_bound), a.single_version_sil);
+}
+
+TEST(PoissonBinomialQuantile, StepFunction) {
+  stats::poisson_binomial pb({0.5, 0.5});
+  EXPECT_EQ(pb.quantile(0.0), 0u);
+  EXPECT_EQ(pb.quantile(0.25), 0u);
+  EXPECT_EQ(pb.quantile(0.5), 1u);
+  EXPECT_EQ(pb.quantile(0.75), 1u);
+  EXPECT_EQ(pb.quantile(1.0), 2u);
+  EXPECT_THROW((void)pb.quantile(1.5), std::invalid_argument);
+}
+
+TEST(KsTwoSample, SameDistributionAccepted) {
+  stats::rng r(5);
+  std::vector<double> a(800);
+  std::vector<double> b(600);
+  for (auto& x : a) x = stats::normal_deviate(r);
+  for (auto& x : b) x = stats::normal_deviate(r);
+  const auto res = stats::ks_two_sample(a, b);
+  EXPECT_GT(res.p_value, 0.05);
+}
+
+TEST(KsTwoSample, ShiftedDistributionRejected) {
+  stats::rng r(6);
+  std::vector<double> a(800);
+  std::vector<double> b(800);
+  for (auto& x : a) x = stats::normal_deviate(r);
+  for (auto& x : b) x = 0.5 + stats::normal_deviate(r);
+  const auto res = stats::ks_two_sample(a, b);
+  EXPECT_LT(res.p_value, 1e-6);
+  EXPECT_TRUE(res.reject_at_05);
+  EXPECT_THROW((void)stats::ks_two_sample({}, {1.0}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// The paper's bounds: eq. (4) µ2 <= pmax·µ1, eq. (9) σ2 < sqrt(pmax(1+pmax))·σ1,
+// and the §5.1 confidence bounds eqs. (11)-(12), including the worked
+// example and the pmax table values quoted in the paper.
+
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generators.hpp"
+#include "stats/distributions.hpp"
+
+namespace {
+
+using namespace reldiv::core;
+
+TEST(SigmaRatioFactor, PaperTableValues) {
+  // §5.1 table: pmax -> sqrt(pmax(1+pmax))
+  EXPECT_NEAR(sigma_ratio_factor(0.5), 0.866, 5e-4);
+  EXPECT_NEAR(sigma_ratio_factor(0.1), 0.332, 5e-4);
+  EXPECT_NEAR(sigma_ratio_factor(0.01), 0.100, 5e-4);
+  // "For even lower values of pmax, clearly sqrt(pmax(1+pmax)) ≈ sqrt(pmax)".
+  EXPECT_NEAR(sigma_ratio_factor(1e-6), std::sqrt(1e-6), 1e-9);
+}
+
+TEST(SigmaRatioFactor, Validation) {
+  EXPECT_THROW((void)sigma_ratio_factor(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)sigma_ratio_factor(1.1), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(sigma_ratio_factor(0.0), 0.0);
+}
+
+TEST(WorkedExample, Section51Numbers) {
+  // §5.1: µ1 = 0.01, σ1 = 0.001, 84% bound (k = 1) -> one-version bound 0.011.
+  const double mu1 = 0.01;
+  const double sigma1 = 0.001;
+  const double k = 1.0;
+  const double pmax = 0.1;
+  const double one_version = mu1 + k * sigma1;
+  EXPECT_NEAR(one_version, 0.011, 1e-12);
+  // "our upper bound is 0.001 (an improvement by an order of magnitude) if
+  // we use our first formula" — eq. (11), quoted to one significant digit.
+  const double eq11 = pair_bound_from_moments(mu1, sigma1, k, pmax);
+  EXPECT_NEAR(eq11, 0.1 * 0.01 + std::sqrt(0.11) * 0.001, 1e-12);
+  EXPECT_NEAR(eq11, 0.001, 4e-4);  // paper rounds 0.00133 to 0.001
+  // "a more modest 0.004 if we use the second formula" — eq. (12).
+  const double eq12 = pair_bound_from_bound(one_version, pmax);
+  EXPECT_NEAR(eq12, std::sqrt(0.11) * 0.011, 1e-12);
+  EXPECT_NEAR(eq12, 0.004, 4e-4);  // paper rounds 0.00365 to 0.004
+  // eq. (11) is tighter than eq. (12).
+  EXPECT_LT(eq11, eq12);
+}
+
+TEST(Bounds, Validation) {
+  EXPECT_THROW((void)mean_bound(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)sigma_bound(1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)pair_bound_from_bound(-0.1, 0.5), std::invalid_argument);
+}
+
+TEST(AssessorView, ConsistentAcrossRepresentations) {
+  const auto u = make_many_small_faults_universe(60, 0.0, 0.2, 0.5, 0.3, 77);
+  const auto v = make_assessor_view(u, 2.0);
+  EXPECT_NEAR(v.confidence, reldiv::stats::normal_cdf(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(v.one_version.value(), v.one_version.mu + 2.0 * v.one_version.sigma);
+  // The view built from a confidence level must agree.
+  const auto w = make_assessor_view_at_confidence(u, v.confidence);
+  EXPECT_NEAR(w.k, 2.0, 1e-9);
+  EXPECT_NEAR(w.bound_eq11, v.bound_eq11, 1e-12);
+  EXPECT_THROW((void)make_assessor_view(u, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)make_assessor_view_at_confidence(u, 0.3), std::invalid_argument);
+}
+
+// --- property sweeps: the bounds must hold for every valid universe ---------
+
+class BoundsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundsPropertyTest, MeanBoundEq4AlwaysHolds) {
+  // eq. (4) requires nothing but pmax <= 1; test across the full p range.
+  const auto u = make_random_universe(35, 1.0, 0.9, GetParam());
+  const double mu1 = single_version_moments(u).mean;
+  const double mu2 = pair_moments(u).mean;
+  EXPECT_LE(mu2, mean_bound(mu1, u.p_max()) + 1e-15);
+}
+
+TEST_P(BoundsPropertyTest, SigmaBoundEq9HoldsBelowGoldenThreshold) {
+  const auto u = make_random_universe(35, kGoldenThreshold, 0.9, GetParam() + 500);
+  ASSERT_TRUE(u.all_p_below(kGoldenThreshold));
+  const double s1 = single_version_moments(u).stddev();
+  const double s2 = pair_moments(u).stddev();
+  EXPECT_LE(s2, sigma_bound(s1, u.p_max()) + 1e-15);
+}
+
+TEST_P(BoundsPropertyTest, ConfidenceBoundsEq11Eq12Hold) {
+  const auto u = make_random_universe(35, kGoldenThreshold, 0.9, GetParam() + 900);
+  for (const double k : {0.0, 1.0, 2.33, 3.0}) {
+    const auto view = make_assessor_view(u, k);
+    const double actual = view.two_version.value();
+    EXPECT_LE(actual, view.bound_eq11 + 1e-15) << "k=" << k;
+    EXPECT_LE(actual, view.bound_eq12 + 1e-15) << "k=" << k;
+    // eq. (12) is derived by loosening eq. (11).
+    EXPECT_LE(view.bound_eq11, view.bound_eq12 + 1e-15) << "k=" << k;
+  }
+}
+
+TEST_P(BoundsPropertyTest, SigmaSummandInequalityCanReverseAboveThreshold) {
+  // §3.1.2: p²(1−p²) <= p(1−p) iff p <= 0.618...; above the threshold the
+  // per-fault variance contribution of the pair EXCEEDS the single's.
+  const double p = 0.7 + 0.2 * static_cast<double>(GetParam() % 10) / 10.0;
+  fault_universe u({{p, 0.5}});
+  const double s1 = single_version_moments(u).variance;
+  const double s2 = pair_moments(u).variance;
+  EXPECT_GT(s2, s1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace

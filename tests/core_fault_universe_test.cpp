@@ -1,0 +1,105 @@
+// fault_universe value-type tests: validation, accessors, invariants.
+
+#include "core/fault_universe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace {
+
+using reldiv::core::fault_atom;
+using reldiv::core::fault_universe;
+
+TEST(FaultUniverse, DefaultIsEmpty) {
+  fault_universe u;
+  EXPECT_TRUE(u.empty());
+  EXPECT_EQ(u.size(), 0u);
+  EXPECT_DOUBLE_EQ(u.p_max(), 0.0);
+  EXPECT_DOUBLE_EQ(u.q_total(), 0.0);
+  EXPECT_DOUBLE_EQ(u.expected_fault_count(), 0.0);
+}
+
+TEST(FaultUniverse, BasicAccessors) {
+  fault_universe u({{0.1, 0.02}, {0.3, 0.01}, {0.05, 0.5}});
+  EXPECT_EQ(u.size(), 3u);
+  EXPECT_DOUBLE_EQ(u.p_max(), 0.3);
+  EXPECT_DOUBLE_EQ(u.q_max(), 0.5);
+  EXPECT_NEAR(u.q_total(), 0.53, 1e-15);
+  EXPECT_NEAR(u.expected_fault_count(), 0.45, 1e-15);
+  EXPECT_DOUBLE_EQ(u[1].p, 0.3);
+  EXPECT_DOUBLE_EQ(u[1].q, 0.01);
+}
+
+TEST(FaultUniverse, ValidationRejectsBadParameters) {
+  EXPECT_THROW(fault_universe({{-0.1, 0.1}}), std::invalid_argument);
+  EXPECT_THROW(fault_universe({{1.1, 0.1}}), std::invalid_argument);
+  EXPECT_THROW(fault_universe({{0.5, -0.1}}), std::invalid_argument);
+  EXPECT_THROW(fault_universe({{0.5, 1.1}}), std::invalid_argument);
+  EXPECT_THROW((void)fault_universe({{0.5, std::nan("")}}), std::invalid_argument);
+}
+
+TEST(FaultUniverse, DisjointnessConstraintOnQ) {
+  // Σq > 1 violates the disjoint-region assumption (§6.2) by default...
+  EXPECT_THROW(fault_universe({{0.5, 0.7}, {0.5, 0.7}}), std::invalid_argument);
+  // ...but is allowed for deliberate pessimistic studies.
+  EXPECT_NO_THROW(fault_universe({{0.5, 0.7}, {0.5, 0.7}}, true));
+  // Σq == 1 exactly is fine.
+  EXPECT_NO_THROW(fault_universe({{0.5, 0.5}, {0.5, 0.5}}));
+}
+
+TEST(FaultUniverse, FromArrays) {
+  const double p[] = {0.1, 0.2};
+  const double q[] = {0.3, 0.4};
+  const auto u = fault_universe::from_arrays(p, q);
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_DOUBLE_EQ(u[0].p, 0.1);
+  EXPECT_DOUBLE_EQ(u[1].q, 0.4);
+  const double short_q[] = {0.3};
+  EXPECT_THROW((void)fault_universe::from_arrays(p, short_q), std::invalid_argument);
+}
+
+TEST(FaultUniverse, AllPBelowThreshold) {
+  fault_universe u({{0.1, 0.1}, {0.6, 0.1}});
+  EXPECT_TRUE(u.all_p_below(reldiv::core::kGoldenThreshold));
+  EXPECT_FALSE(u.all_p_below(0.5));
+  fault_universe v({{0.7, 0.1}});
+  EXPECT_FALSE(v.all_p_below(reldiv::core::kGoldenThreshold));
+}
+
+TEST(FaultUniverse, GoldenThresholdIsTheFixedPoint) {
+  // p²(1−p²) = p(1−p) exactly at p = (√5−1)/2.
+  const double g = reldiv::core::kGoldenThreshold;
+  EXPECT_NEAR(g * g * (1.0 - g * g), g * (1.0 - g), 1e-15);
+  // Strictly below for smaller p, strictly above for larger p.
+  const double lo = g - 0.01;
+  EXPECT_LT(lo * lo * (1.0 - lo * lo), lo * (1.0 - lo));
+  const double hi = g + 0.01;
+  EXPECT_GT(hi * hi * (1.0 - hi * hi), hi * (1.0 - hi));
+}
+
+TEST(FaultUniverse, EqualityAndIteration) {
+  fault_universe a({{0.1, 0.2}, {0.3, 0.4}});
+  fault_universe b({{0.1, 0.2}, {0.3, 0.4}});
+  fault_universe c({{0.1, 0.2}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  double p_sum = 0.0;
+  for (const auto& atom : a) p_sum += atom.p;
+  EXPECT_NEAR(p_sum, 0.4, 1e-15);
+}
+
+TEST(FaultUniverse, DescribeMentionsKeyNumbers) {
+  fault_universe u({{0.25, 0.1}});
+  const auto text = u.describe();
+  EXPECT_NE(text.find("n=1"), std::string::npos);
+  EXPECT_NE(text.find("0.25"), std::string::npos);
+}
+
+TEST(FaultUniverse, OutOfRangeIndexThrows) {
+  fault_universe u({{0.1, 0.1}});
+  EXPECT_THROW((void)u[5], std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Process-improvement operators (§4.2) and the universe generators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generators.hpp"
+#include "core/improvement.hpp"
+#include "core/moments.hpp"
+#include "core/no_common_fault.hpp"
+
+namespace {
+
+using namespace reldiv::core;
+
+TEST(Improvement, SingleAndAllOperators) {
+  fault_universe u({{0.4, 0.1}, {0.2, 0.2}});
+  const auto single = improve_single(u, 0, 0.5);
+  EXPECT_DOUBLE_EQ(single[0].p, 0.2);
+  EXPECT_DOUBLE_EQ(single[1].p, 0.2);
+  const auto all = improve_all(u, 0.25);
+  EXPECT_DOUBLE_EQ(all[0].p, 0.1);
+  EXPECT_DOUBLE_EQ(all[1].p, 0.05);
+  EXPECT_THROW((void)improve_single(u, 5, 0.5), std::out_of_range);
+  EXPECT_THROW((void)improve_single(u, 0, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)improve_all(u, -0.1), std::invalid_argument);
+}
+
+TEST(Improvement, ClassOperatorAndTransform) {
+  fault_universe u({{0.4, 0.1}, {0.2, 0.2}, {0.6, 0.1}});
+  const auto cls = improve_class(u, {0, 2}, 0.5);
+  EXPECT_DOUBLE_EQ(cls[0].p, 0.2);
+  EXPECT_DOUBLE_EQ(cls[1].p, 0.2);
+  EXPECT_DOUBLE_EQ(cls[2].p, 0.3);
+  const auto t = transform_p(u, [](double p, double, std::size_t) { return p * p; });
+  EXPECT_DOUBLE_EQ(t[0].p, 0.16);
+  EXPECT_THROW(
+      (void)transform_p(u, [](double, double, std::size_t) { return 2.0; }),
+      std::invalid_argument);
+  const auto w = with_p(u, 1, 0.9);
+  EXPECT_DOUBLE_EQ(w[1].p, 0.9);
+}
+
+TEST(Improvement, StepApplyAndScenario) {
+  fault_universe u({{0.4, 0.1}, {0.2, 0.2}});
+  improvement_step s1{improvement_step::kind::single, 0.5, 0, {}, "target fault 0"};
+  improvement_step s2{improvement_step::kind::proportional, 0.5, 0, {}, "uniform"};
+  const auto after = apply_scenario(u, {s1, s2});
+  EXPECT_DOUBLE_EQ(after[0].p, 0.1);
+  EXPECT_DOUBLE_EQ(after[1].p, 0.1);
+}
+
+TEST(Improvement, EvaluateStepDetectsTrendReversal) {
+  // Appendix A setting: p2 = 0.5 fixed; fault 0 sits BELOW the reversal
+  // point, so improving it improves reliability but REDUCES the diversity
+  // gain (risk ratio goes up).
+  const double p2 = 0.5;
+  const double below_root = appendix_a_root(p2) * 0.5;
+  fault_universe u({{below_root, 0.1}, {p2, 0.1}});
+  improvement_step step{improvement_step::kind::single, 0.5, 0, {}, "v&v on fault 0"};
+  const auto e = evaluate_step(u, step);
+  EXPECT_TRUE(e.reliability_improved);
+  EXPECT_FALSE(e.diversity_gain_improved);  // the counterintuitive §4.2.1 result
+  // Whereas a proportional improvement always improves the gain (Appendix B).
+  improvement_step uniform{improvement_step::kind::proportional, 0.5, 0, {}, "uniform"};
+  const auto e2 = evaluate_step(u, uniform);
+  EXPECT_TRUE(e2.reliability_improved);
+  EXPECT_TRUE(e2.diversity_gain_improved);
+}
+
+TEST(Generators, ProduceValidUniversesReproducibly) {
+  const auto a = make_random_universe(50, 0.8, 0.9, 123);
+  const auto b = make_random_universe(50, 0.8, 0.9, 123);
+  EXPECT_EQ(a, b);  // deterministic in the seed
+  const auto c = make_random_universe(50, 0.8, 0.9, 124);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 50u);
+  EXPECT_LE(a.p_max(), 0.8);
+  EXPECT_NEAR(a.q_total(), 0.9, 1e-9);
+}
+
+TEST(Generators, SafetyGradeShape) {
+  const auto u = make_safety_grade_universe(100, 0.0, 0.01, 0.5, 7);
+  EXPECT_LE(u.p_max(), 0.01);
+  EXPECT_NEAR(u.q_total(), 0.5, 1e-9);
+  EXPECT_LT(u.expected_fault_count(), 1.0);  // "high chance of having no fault"
+}
+
+TEST(Generators, ManySmallFaultsShape) {
+  const auto u = make_many_small_faults_universe(500, 0.05, 0.2, 0.8, 0.3, 9);
+  EXPECT_EQ(u.size(), 500u);
+  EXPECT_GE(u.expected_fault_count(), 500 * 0.05);
+  // q roughly equal: max within (1 +- jitter)*avg bounds.
+  const double avg_q = u.q_total() / 500.0;
+  EXPECT_LT(u.q_max(), avg_q * 1.4 / 0.7);
+}
+
+TEST(Generators, DominantFaultShape) {
+  const auto u = make_dominant_fault_universe(20, 0.3, 0.05, 0.6, 4);
+  EXPECT_DOUBLE_EQ(u[0].p, 0.3);
+  EXPECT_DOUBLE_EQ(u.p_max(), 0.3);
+  EXPECT_GT(u[0].q, u[1].q);  // the dominant fault has the largest region
+}
+
+TEST(Generators, HomogeneousClosedForms) {
+  const auto u = make_homogeneous_universe(10, 0.2, 0.05);
+  EXPECT_NEAR(single_version_moments(u).mean, 10 * 0.2 * 0.05, 1e-15);
+  EXPECT_NEAR(prob_no_fault(u), std::pow(0.8, 10), 1e-12);
+  EXPECT_THROW((void)make_homogeneous_universe(10, 0.2, 0.2), std::invalid_argument);
+  EXPECT_THROW((void)make_homogeneous_universe(0, 0.2, 0.05), std::invalid_argument);
+}
+
+TEST(Generators, KnightLevesonLikeUniverse) {
+  const auto u = make_knight_leveson_like_universe(1);
+  EXPECT_EQ(u.size(), 12u);
+  EXPECT_LE(u.p_max(), 0.5);
+  EXPECT_LE(u.q_total(), 1.0);
+  // Expected number of faults per version is modest (a few).
+  EXPECT_LT(u.expected_fault_count(), 3.0);
+  EXPECT_GT(u.expected_fault_count(), 0.5);
+}
+
+TEST(Generators, Validation) {
+  EXPECT_THROW((void)make_random_universe(0, 0.5, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_random_universe(5, 1.5, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_random_universe(5, 0.5, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_many_small_faults_universe(5, 0.1, 0.2, 0.5, 1.5, 1),
+               std::invalid_argument);
+}
+
+}  // namespace

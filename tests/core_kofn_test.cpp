@@ -1,0 +1,161 @@
+// m-out-of-n architecture generalization: defeat probabilities, moment/
+// bound machinery reuse, spurious-action duality.
+
+#include "core/kofn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generators.hpp"
+#include "core/moments.hpp"
+#include "core/no_common_fault.hpp"
+
+namespace {
+
+using namespace reldiv::core;
+
+TEST(DefeatProbability, ClosedFormsForSmallArchitectures) {
+  const double p = 0.3;
+  EXPECT_NEAR(defeat_probability(p, architecture::simplex()), p, 1e-15);
+  EXPECT_NEAR(defeat_probability(p, architecture::one_out_of_two()), p * p, 1e-15);
+  // 2oo3: 3p²(1−p) + p³
+  EXPECT_NEAR(defeat_probability(p, architecture::two_out_of_three()),
+              3 * p * p * (1 - p) + p * p * p, 1e-15);
+  // 1oo3 (all three must fail): p³
+  EXPECT_NEAR(defeat_probability(p, architecture{3, 3}), p * p * p, 1e-15);
+  // n-of-n with m=1: 1 − (1−p)^n
+  EXPECT_NEAR(defeat_probability(p, architecture{4, 1}), 1 - std::pow(1 - p, 4), 1e-12);
+}
+
+TEST(DefeatProbability, EdgesAndValidation) {
+  EXPECT_DOUBLE_EQ(defeat_probability(0.0, architecture::two_out_of_three()), 0.0);
+  EXPECT_DOUBLE_EQ(defeat_probability(1.0, architecture::two_out_of_three()), 1.0);
+  EXPECT_THROW((void)defeat_probability(1.5, architecture::simplex()),
+               std::invalid_argument);
+  EXPECT_THROW((void)defeat_probability(0.5, architecture{0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)defeat_probability(0.5, architecture{2, 3}), std::invalid_argument);
+}
+
+TEST(DefeatProbability, StableForTinyP) {
+  // Leading term of 1oo2 at p = 1e-9 is 1e-18; naive 1-(1-p)^2 style
+  // computation would lose it entirely.
+  EXPECT_NEAR(defeat_probability(1e-9, architecture::one_out_of_two()), 1e-18, 1e-22);
+  EXPECT_NEAR(defeat_probability(1e-6, architecture::two_out_of_three()), 3e-12, 1e-15);
+}
+
+TEST(ArchitectureUniverse, MatchesPairMachineryForOneOutOfTwo) {
+  const auto u = make_random_universe(20, 0.5, 0.7, 9);
+  const auto m_arch = architecture_moments(u, architecture::one_out_of_two());
+  const auto m_pair = pair_moments(u);
+  EXPECT_NEAR(m_arch.mean, m_pair.mean, 1e-14);
+  EXPECT_NEAR(m_arch.variance, m_pair.variance, 1e-14);
+  EXPECT_NEAR(prob_architecture_fault_free(u, architecture::one_out_of_two()),
+              prob_no_common_fault(u), 1e-12);
+  EXPECT_NEAR(architecture_risk_ratio(u, architecture::one_out_of_two()), risk_ratio(u),
+              1e-12);
+}
+
+TEST(ArchitectureMoments, OrderingAcrossArchitectures) {
+  const auto u = make_random_universe(20, 0.4, 0.7, 11);
+  const double simplex = architecture_moments(u, architecture::simplex()).mean;
+  const double tmr = architecture_moments(u, architecture::two_out_of_three()).mean;
+  const double pair = architecture_moments(u, architecture::one_out_of_two()).mean;
+  const double oo3 = architecture_moments(u, architecture{3, 3}).mean;
+  // For p < 0.5: 1oo3 < 1oo2 < 2oo3 < simplex.
+  EXPECT_LT(oo3, pair);
+  EXPECT_LT(pair, tmr);
+  EXPECT_LT(tmr, simplex);
+}
+
+TEST(ArchitectureDistribution, ExactLawMatchesMoments) {
+  const auto u = make_random_universe(10, 0.4, 0.6, 13);
+  const auto arch = architecture::two_out_of_three();
+  const auto law = architecture_pfd_distribution(u, arch);
+  const auto mom = architecture_moments(u, arch);
+  EXPECT_NEAR(law.mean(), mom.mean, 1e-12);
+  EXPECT_NEAR(law.variance(), mom.variance, 1e-12);
+  EXPECT_NEAR(law.prob_zero(), prob_architecture_fault_free(u, arch), 1e-12);
+}
+
+TEST(SpuriousAction, DualityWithDefeat) {
+  // 1oo2 protection (votes_to_defeat = 2): ANY single channel's spurious
+  // region causes a spurious trip -> dual is {2, 1}.
+  const double p = 0.2;
+  EXPECT_NEAR(spurious_action_probability(p, architecture::one_out_of_two()),
+              1 - (1 - p) * (1 - p), 1e-15);
+  // 2oo3: spurious trip needs >= 2 spurious channels, same as defeat.
+  EXPECT_NEAR(spurious_action_probability(p, architecture::two_out_of_three()),
+              defeat_probability(p, architecture::two_out_of_three()), 1e-15);
+  // simplex: trivially p.
+  EXPECT_NEAR(spurious_action_probability(p, architecture::simplex()), p, 1e-15);
+}
+
+TEST(SpuriousAction, TheAvailabilityTradeOff) {
+  // The classic result this machinery must reproduce: going 1oo2 improves
+  // demand-failure PFD but WORSENS spurious trips; 2oo3 sits between.
+  const auto demand_faults = make_random_universe(15, 0.3, 0.5, 17);
+  const auto spurious_faults = make_random_universe(10, 0.3, 0.4, 18);
+  const auto pfd_simplex = architecture_moments(demand_faults, architecture::simplex()).mean;
+  const auto pfd_1oo2 =
+      architecture_moments(demand_faults, architecture::one_out_of_two()).mean;
+  const auto pfd_2oo3 =
+      architecture_moments(demand_faults, architecture::two_out_of_three()).mean;
+  const auto sp_simplex = mean_spurious_rate(spurious_faults, architecture::simplex());
+  const auto sp_1oo2 = mean_spurious_rate(spurious_faults, architecture::one_out_of_two());
+  const auto sp_2oo3 = mean_spurious_rate(spurious_faults, architecture::two_out_of_three());
+  EXPECT_LT(pfd_1oo2, pfd_simplex);
+  EXPECT_GT(sp_1oo2, sp_simplex);  // the availability price
+  EXPECT_LT(pfd_2oo3, pfd_simplex);
+  EXPECT_LT(sp_2oo3, sp_1oo2);  // the industrial compromise
+}
+
+TEST(Architecture, DescribeNames) {
+  EXPECT_STREQ(architecture::simplex().describe(), "simplex");
+  EXPECT_STREQ(architecture::two_out_of_three().describe(), "2oo3 (TMR majority)");
+  EXPECT_STREQ((architecture{5, 3}).describe(), "m-out-of-n");
+}
+
+class KofnPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KofnPropertyTest, MoreVotesToDefeatNeverHurts) {
+  const auto u = make_random_universe(15, 0.6, 0.6, GetParam());
+  for (unsigned n = 2; n <= 4; ++n) {
+    double prev = 1.0;
+    for (unsigned m = 1; m <= n; ++m) {
+      const double mean = architecture_moments(u, architecture{n, m}).mean;
+      EXPECT_LE(mean, prev + 1e-15) << "n=" << n << " m=" << m;
+      prev = mean;
+    }
+  }
+}
+
+TEST_P(KofnPropertyTest, RiskRatioAtMostOneWhereRedundancyHelps) {
+  // Unanimity architectures (m == n) dominate a single version for ANY p;
+  // majority-style voters only for p <= 1/2 (above it voting AMPLIFIES the
+  // defeat probability — see VotingAmplification below).
+  const auto any_p = make_random_universe(15, 0.95, 0.6, GetParam() + 50);
+  for (const auto arch : {architecture::one_out_of_two(), architecture{3, 3}}) {
+    EXPECT_LE(architecture_risk_ratio(any_p, arch), 1.0 + 1e-12) << arch.describe();
+  }
+  // Majority-or-stricter voters (m >= (n+1)/2) dominate for p <= 1/2; a
+  // {4,2} voter needs only two faulty versions and its dominance threshold
+  // sits far below 1/2, so it is deliberately NOT in this list.
+  const auto below_half = make_random_universe(15, 0.5, 0.6, GetParam() + 60);
+  for (const auto arch : {architecture::two_out_of_three(), architecture{4, 3}}) {
+    EXPECT_LE(architecture_risk_ratio(below_half, arch), 1.0 + 1e-12) << arch.describe();
+  }
+}
+
+TEST(VotingAmplification, MajorityVotingHurtsAboveOneHalf) {
+  // The classic reliability-theory reversal, reproduced by the fault model:
+  // for p > 1/2, 2oo3 is MORE likely to be defeated than a single version.
+  EXPECT_GT(defeat_probability(0.8, architecture::two_out_of_three()), 0.8);
+  EXPECT_LT(defeat_probability(0.3, architecture::two_out_of_three()), 0.3);
+  // p = 1/2 is the fixed point.
+  EXPECT_NEAR(defeat_probability(0.5, architecture::two_out_of_three()), 0.5, 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KofnPropertyTest, ::testing::Values(3, 7, 31, 127, 8191));
+
+}  // namespace

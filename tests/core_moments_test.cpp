@@ -1,0 +1,125 @@
+// Equations (1)-(3) of the paper: exact moments of Θ1 and Θ2, the 1-out-of-m
+// generalization, and the EL/LM coincident-failure excess.  Includes
+// parameterized property sweeps over randomized universes.
+
+#include "core/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/generators.hpp"
+
+namespace {
+
+using namespace reldiv::core;
+
+TEST(Moments, HandComputedTwoFaultCase) {
+  // p = (0.1, 0.3), q = (0.02, 0.05)
+  fault_universe u({{0.1, 0.02}, {0.3, 0.05}});
+  const auto m1 = single_version_moments(u);
+  const auto m2 = pair_moments(u);
+  EXPECT_NEAR(m1.mean, 0.1 * 0.02 + 0.3 * 0.05, 1e-15);                       // eq. (1)
+  EXPECT_NEAR(m2.mean, 0.01 * 0.02 + 0.09 * 0.05, 1e-15);                     // eq. (1)
+  EXPECT_NEAR(m1.variance, 0.1 * 0.9 * 0.02 * 0.02 + 0.3 * 0.7 * 0.05 * 0.05,
+              1e-15);                                                          // eq. (2)
+  EXPECT_NEAR(m2.variance,
+              0.01 * (1.0 - 0.01) * 0.02 * 0.02 + 0.09 * (1.0 - 0.09) * 0.05 * 0.05,
+              1e-15);                                                          // eq. (2)
+}
+
+TEST(Moments, EmptyUniverseIsPerfect) {
+  fault_universe u;
+  EXPECT_DOUBLE_EQ(single_version_moments(u).mean, 0.0);
+  EXPECT_DOUBLE_EQ(pair_moments(u).variance, 0.0);
+}
+
+TEST(Moments, CertainFaultHasNoVariance) {
+  fault_universe u({{1.0, 0.3}});
+  const auto m1 = single_version_moments(u);
+  const auto m2 = pair_moments(u);
+  EXPECT_DOUBLE_EQ(m1.mean, 0.3);
+  EXPECT_DOUBLE_EQ(m1.variance, 0.0);
+  EXPECT_DOUBLE_EQ(m2.mean, 0.3);  // both versions always contain it
+  EXPECT_DOUBLE_EQ(m2.variance, 0.0);
+}
+
+TEST(Moments, OneOutOfMReductions) {
+  fault_universe u({{0.2, 0.1}, {0.05, 0.2}});
+  const auto m1 = one_out_of_m_moments(u, 1);
+  const auto m2 = one_out_of_m_moments(u, 2);
+  const auto m3 = one_out_of_m_moments(u, 3);
+  EXPECT_NEAR(m3.mean, 0.008 * 0.1 + 0.000125 * 0.2, 1e-15);
+  // Adding channels can only reduce the mean PFD.
+  EXPECT_LT(m3.mean, m2.mean);
+  EXPECT_LT(m2.mean, m1.mean);
+  EXPECT_THROW((void)one_out_of_m_moments(u, 0), std::invalid_argument);
+}
+
+TEST(Moments, StddevAndCv) {
+  fault_universe u({{0.5, 0.4}});
+  const auto m = single_version_moments(u);
+  EXPECT_NEAR(m.stddev(), std::sqrt(0.25) * 0.4, 1e-15);
+  EXPECT_NEAR(m.cv(), m.stddev() / m.mean, 1e-15);
+  EXPECT_DOUBLE_EQ(pfd_moments{}.cv(), 0.0);
+}
+
+TEST(Moments, IndependenceShortfallHandCase) {
+  fault_universe u({{0.1, 0.02}, {0.3, 0.05}});
+  const double mu1 = single_version_moments(u).mean;
+  const double mu2 = pair_moments(u).mean;
+  EXPECT_NEAR(independence_shortfall(u), mu2 - mu1 * mu1, 1e-15);
+  EXPECT_GT(independence_shortfall(u), 0.0);  // versions fail dependently
+}
+
+TEST(Moments, MeanGain) {
+  fault_universe u({{0.1, 0.5}});
+  // µ1 = 0.05, µ2 = 0.005: the gain is exactly 1/p = 10 for a single fault.
+  EXPECT_NEAR(mean_gain(u), 10.0, 1e-12);
+  fault_universe perfect({{0.0, 0.5}});
+  EXPECT_DOUBLE_EQ(mean_gain(perfect), 1.0);
+  fault_universe certain_fault({{1.0, 0.0}, {0.2, 0.5}});
+  EXPECT_GT(mean_gain(certain_fault), 1.0);
+}
+
+// --- property sweeps --------------------------------------------------------
+
+class MomentsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MomentsPropertyTest, PairNeverWorseThanSingleAndShortfallNonNegative) {
+  const auto u = make_random_universe(40, 0.8, 0.9, GetParam());
+  const auto m1 = single_version_moments(u);
+  const auto m2 = pair_moments(u);
+  // µ2 <= µ1 always (p² <= p).
+  EXPECT_LE(m2.mean, m1.mean + 1e-15);
+  // E[Θ2] >= (E[Θ1])²: the EL coincident-failure excess (Σq <= 1 here).
+  EXPECT_GE(independence_shortfall(u), -1e-15);
+}
+
+TEST_P(MomentsPropertyTest, MomentsMatchDirectSummation) {
+  const auto u = make_random_universe(25, 0.6, 0.8, GetParam() + 1000);
+  double mu1 = 0.0;
+  double var2 = 0.0;
+  for (const auto& [p, q] : u) {
+    mu1 += p * q;
+    var2 += p * p * (1.0 - p * p) * q * q;
+  }
+  EXPECT_NEAR(single_version_moments(u).mean, mu1, 1e-15);
+  EXPECT_NEAR(pair_moments(u).variance, var2, 1e-15);
+}
+
+TEST_P(MomentsPropertyTest, OneOutOfMMonotoneInM) {
+  const auto u = make_random_universe(30, 0.9, 0.7, GetParam() + 2000);
+  double prev = std::numeric_limits<double>::infinity();
+  for (unsigned m = 1; m <= 5; ++m) {
+    const double mean = one_out_of_m_moments(u, m).mean;
+    EXPECT_LE(mean, prev + 1e-15) << "m=" << m;
+    prev = mean;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MomentsPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Section 4 of the paper: P(no fault), P(no common fault), the eq. (10)
+// risk ratio, the footnote-5 success ratio, and the Appendix A / B process-
+// improvement results (trend reversal and proportional monotonicity).
+
+#include "core/no_common_fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generators.hpp"
+#include "stats/random.hpp"
+
+namespace {
+
+using namespace reldiv::core;
+
+TEST(NoCommonFault, HandComputedProbabilities) {
+  fault_universe u({{0.1, 0.0}, {0.2, 0.0}});
+  EXPECT_NEAR(prob_no_fault(u), 0.9 * 0.8, 1e-15);
+  EXPECT_NEAR(prob_no_common_fault(u), (1.0 - 0.01) * (1.0 - 0.04), 1e-15);
+  EXPECT_NEAR(prob_some_fault(u), 1.0 - 0.72, 1e-15);
+  EXPECT_NEAR(prob_some_common_fault(u), 1.0 - 0.99 * 0.96, 1e-15);
+}
+
+TEST(NoCommonFault, OneOutOfMGeneralization) {
+  fault_universe u({{0.5, 0.0}});
+  EXPECT_NEAR(prob_no_common_fault_m(u, 1), 0.5, 1e-15);
+  EXPECT_NEAR(prob_no_common_fault_m(u, 2), 0.75, 1e-15);
+  EXPECT_NEAR(prob_no_common_fault_m(u, 3), 0.875, 1e-15);
+  EXPECT_THROW((void)prob_no_common_fault_m(u, 0), std::invalid_argument);
+}
+
+TEST(NoCommonFault, TinyProbabilitiesAreStable) {
+  // 1000 faults of p = 1e-9: P(N1>0) ~ 1e-6, P(N2>0) ~ 1e-15.
+  fault_universe u(std::vector<fault_atom>(1000, fault_atom{1e-9, 0.0}));
+  EXPECT_NEAR(prob_some_fault(u), 1e-6, 1e-9);
+  EXPECT_NEAR(prob_some_common_fault(u), 1e-15, 1e-18);
+  EXPECT_NEAR(risk_ratio(u), 1e-9, 1e-11);
+}
+
+TEST(RiskRatio, HandComputedAndDegenerate) {
+  fault_universe u({{0.5, 0.0}});
+  // (1-(1-0.25))/(1-(1-0.5)) = 0.25/0.5 = 0.5 = p for a single fault.
+  EXPECT_NEAR(risk_ratio(u), 0.5, 1e-15);
+  fault_universe none({{0.0, 0.0}});
+  EXPECT_THROW((void)risk_ratio(none), std::domain_error);
+  fault_universe certain({{1.0, 0.0}});
+  EXPECT_DOUBLE_EQ(risk_ratio(certain), 1.0);  // diversity buys nothing
+}
+
+TEST(SuccessRatio, Footnote5Formula) {
+  fault_universe u({{0.1, 0.0}, {0.25, 0.0}});
+  EXPECT_NEAR(success_ratio(u), 1.1 * 1.25, 1e-15);
+  // P(N2=0)/P(N1=0) must equal Π(1+p_i) (footnote 5 identity).
+  EXPECT_NEAR(prob_no_common_fault(u) / prob_no_fault(u), success_ratio(u), 1e-12);
+  EXPECT_GE(success_ratio(u), 1.0);
+}
+
+TEST(RiskRatioDerivative, MatchesNumericDerivative) {
+  fault_universe u({{0.15, 0.0}, {0.4, 0.0}, {0.05, 0.0}});
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double analytic = risk_ratio_derivative(u, i);
+    const double numeric = risk_ratio_derivative_numeric(u, i);
+    EXPECT_NEAR(analytic, numeric, 1e-5) << "i=" << i;
+  }
+  EXPECT_THROW((void)risk_ratio_derivative(u, 7), std::out_of_range);
+}
+
+TEST(AppendixA, ClosedFormRootMatchesNumericZero) {
+  for (const double p2 : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double root = appendix_a_root(p2);
+    ASSERT_GT(root, 0.0) << "p2=" << p2;
+    ASSERT_LT(root, 1.0) << "p2=" << p2;
+    // The analytic derivative must vanish at the closed-form root.
+    fault_universe u({{root, 0.0}, {p2, 0.0}});
+    EXPECT_NEAR(risk_ratio_derivative(u, 0), 0.0, 1e-10) << "p2=" << p2;
+    // And the numeric zero-finder must land on the same point.
+    const double numeric = find_derivative_zero(u, 0);
+    EXPECT_NEAR(numeric, root, 1e-8) << "p2=" << p2;
+  }
+  EXPECT_THROW((void)appendix_a_root(0.0), std::invalid_argument);
+  EXPECT_THROW((void)appendix_a_root(1.0), std::invalid_argument);
+}
+
+TEST(AppendixA, TrendReversalSignPattern) {
+  // Below the root the derivative is negative (improving p1 there REDUCES
+  // the diversity gain); above it, positive.
+  const double p2 = 0.5;
+  const double root = appendix_a_root(p2);
+  fault_universe below({{root * 0.5, 0.0}, {p2, 0.0}});
+  EXPECT_LT(risk_ratio_derivative(below, 0), 0.0);
+  fault_universe above({{std::min(0.99, root * 2.0), 0.0}, {p2, 0.0}});
+  EXPECT_GT(risk_ratio_derivative(above, 0), 0.0);
+  // Consequence, as the paper puts it: "decreasing p1 below p1z will
+  // increase the ratio (i.e. reduce the gain from fault tolerance)".
+  const double ratio_at_root = risk_ratio_two_faults(root, p2);
+  const double ratio_below = risk_ratio_two_faults(root * 0.3, p2);
+  EXPECT_GT(ratio_below, ratio_at_root);
+}
+
+TEST(AppendixA, RootIsInteriorMinimumOfTheRatio) {
+  const double p2 = 0.4;
+  const double root = appendix_a_root(p2);
+  const double at_root = risk_ratio_two_faults(root, p2);
+  for (const double p1 : {0.01, 0.1, 0.3, 0.6, 0.9}) {
+    EXPECT_GE(risk_ratio_two_faults(p1, p2), at_root - 1e-12) << "p1=" << p1;
+  }
+}
+
+TEST(FindDerivativeZero, ReportsNoSignChange) {
+  // With a single fault, R = p1 is monotone: derivative never vanishes.
+  fault_universe u({{0.5, 0.0}});
+  EXPECT_LT(find_derivative_zero(u, 0), 0.0);
+}
+
+TEST(AppendixB, ScaledRatioAndValidation) {
+  const std::vector<double> b = {0.2, 0.5, 0.1};
+  EXPECT_NO_THROW((void)risk_ratio_scaled(b, 1.0));
+  EXPECT_THROW((void)risk_ratio_scaled(b, 3.0), std::invalid_argument);  // k*0.5 > 1
+  EXPECT_THROW((void)risk_ratio_scaled(b, -1.0), std::invalid_argument);
+  // k -> 0 drives the ratio toward 0 (huge gain) for multiple faults.
+  EXPECT_LT(risk_ratio_scaled(b, 0.01), risk_ratio_scaled(b, 1.0));
+}
+
+// --- property sweeps ---------------------------------------------------------
+
+class RiskRatioPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RiskRatioPropertyTest, RatioIsInUnitIntervalEq10) {
+  const auto u = make_random_universe(30, 0.95, 0.5, GetParam());
+  const double r = risk_ratio(u);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LE(r, 1.0 + 1e-12);
+}
+
+TEST_P(RiskRatioPropertyTest, AnalyticDerivativeMatchesNumericEverywhere) {
+  const auto u = make_random_universe(8, 0.9, 0.5, GetParam() + 100);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    if (u[i].p < 1e-4 || u[i].p > 1.0 - 1e-4) continue;
+    EXPECT_NEAR(risk_ratio_derivative(u, i), risk_ratio_derivative_numeric(u, i), 1e-4)
+        << "i=" << i;
+  }
+}
+
+TEST_P(RiskRatioPropertyTest, AppendixBMonotoneInK) {
+  // Appendix B theorem: dR/dk >= 0 for any b and any feasible k.
+  reldiv::stats::rng r(GetParam());
+  std::vector<double> b(12);
+  for (auto& x : b) x = 0.9 * r.uniform();
+  EXPECT_TRUE(appendix_b_monotone_on_grid(b, 0.01, 1.0, 64));
+  // Spot-check the derivative itself at random interior points.
+  for (int rep = 0; rep < 5; ++rep) {
+    const double k = r.uniform(0.05, 0.95);
+    EXPECT_GE(risk_ratio_scale_derivative(b, k), -1e-9) << "k=" << k;
+  }
+}
+
+TEST_P(RiskRatioPropertyTest, MoreChannelsNeverHurt) {
+  const auto u = make_random_universe(20, 0.9, 0.5, GetParam() + 300);
+  double prev = 0.0;
+  for (unsigned m = 1; m <= 4; ++m) {
+    const double p_ok = prob_no_common_fault_m(u, m);
+    EXPECT_GE(p_ok, prev - 1e-15) << "m=" << m;
+    prev = p_ok;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RiskRatioPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace

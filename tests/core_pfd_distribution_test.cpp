@@ -1,0 +1,159 @@
+// Exact PFD laws: enumeration vs the closed-form moments of eqs. (1)-(2),
+// agreement between the three computation strategies, and the behaviour of
+// the §5 normal approximation.
+
+#include "core/pfd_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generators.hpp"
+#include "core/no_common_fault.hpp"
+
+namespace {
+
+using namespace reldiv::core;
+
+TEST(ExactDistribution, TwoFaultEnumerationByHand) {
+  fault_universe u({{0.5, 0.2}, {0.1, 0.3}});
+  const auto d = exact_pfd_distribution(u, 1);
+  ASSERT_EQ(d.size(), 4u);  // {}, {1}, {2}, {1,2}
+  EXPECT_NEAR(d.prob_zero(), 0.5 * 0.9, 1e-15);
+  EXPECT_NEAR(d.cdf(0.2), 0.45 + 0.45, 1e-15);         // {} and {F1}
+  EXPECT_NEAR(d.cdf(0.3), 0.45 + 0.45 + 0.05, 1e-15);  // + {F2}
+  EXPECT_NEAR(d.cdf(0.5), 1.0, 1e-15);
+  EXPECT_NEAR(d.max_value(), 0.5, 1e-15);
+}
+
+TEST(ExactDistribution, MomentsMatchClosedForms) {
+  const auto u = make_random_universe(12, 0.7, 0.8, 42);
+  for (const unsigned m : {1u, 2u, 3u}) {
+    const auto d = exact_pfd_distribution(u, m);
+    const auto mom = one_out_of_m_moments(u, m);
+    EXPECT_NEAR(d.mean(), mom.mean, 1e-12) << "m=" << m;
+    EXPECT_NEAR(d.variance(), mom.variance, 1e-12) << "m=" << m;
+  }
+}
+
+TEST(ExactDistribution, ProbZeroMatchesSection4) {
+  const auto u = make_random_universe(10, 0.5, 0.6, 7);
+  const auto d1 = exact_pfd_distribution(u, 1);
+  const auto d2 = exact_pfd_distribution(u, 2);
+  // With all q > 0 (true for this generator), PFD = 0 iff no fault present.
+  EXPECT_NEAR(d1.prob_zero(), prob_no_fault(u), 1e-12);
+  EXPECT_NEAR(d2.prob_zero(), prob_no_common_fault(u), 1e-12);
+}
+
+TEST(ExactDistribution, RejectsLargeN) {
+  const auto u = make_random_universe(30, 0.5, 0.5, 1);
+  EXPECT_THROW((void)exact_pfd_distribution(u, 1), std::invalid_argument);
+}
+
+TEST(ExactDistribution, QuantileSemantics) {
+  fault_universe u({{0.5, 0.2}});
+  const auto d = exact_pfd_distribution(u, 1);
+  EXPECT_DOUBLE_EQ(d.quantile(0.25), 0.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.75), 0.2);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 0.2);
+  EXPECT_THROW((void)d.quantile(1.5), std::invalid_argument);
+}
+
+TEST(PrunedDistribution, AgreesWithEnumeration) {
+  const auto u = make_random_universe(14, 0.4, 0.7, 99);
+  const auto exact = exact_pfd_distribution(u, 1);
+  const auto pruned = pruned_pfd_distribution(u, 1, 1e-14);
+  EXPECT_LT(pruned.lost_mass(), 1e-9);
+  EXPECT_NEAR(pruned.mean(), exact.mean(), 1e-9);
+  EXPECT_NEAR(pruned.variance(), exact.variance(), 1e-9);
+  for (const double alpha : {0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(pruned.quantile(alpha), exact.quantile(alpha), 1e-9) << alpha;
+  }
+}
+
+TEST(PrunedDistribution, HandlesLargeSparseUniverses) {
+  // 60 faults, tiny p: enumeration impossible (2^60 subsets), pruning easily
+  // exact enough since subsets of >3 faults carry negligible mass.
+  const auto u = make_safety_grade_universe(60, 0.0, 0.01, 0.9, 5);
+  const auto d = pruned_pfd_distribution(u, 1, 1e-9);
+  EXPECT_LT(d.lost_mass(), 1e-3);
+  const auto mom = single_version_moments(u);
+  // Pruned mass bounds every error: |mean error| <= lost_mass * max PFD.
+  EXPECT_NEAR(d.mean(), mom.mean, d.lost_mass() * u.q_total() + 1e-12);
+  EXPECT_NEAR(d.prob_zero(), prob_no_fault(u), d.lost_mass() + 1e-12);
+}
+
+TEST(PrunedDistribution, AtomExplosionFailsFastInsteadOfOom) {
+  // A dense universe with a microscopic prune threshold must throw, not
+  // exhaust memory.
+  const auto u = make_many_small_faults_universe(400, 0.3, 0.5, 0.9, 0.2, 6);
+  EXPECT_THROW((void)pruned_pfd_distribution(u, 1, 0.0), std::runtime_error);
+}
+
+TEST(PrunedDistribution, Validation) {
+  const auto u = make_random_universe(5, 0.5, 0.5, 1);
+  EXPECT_THROW((void)pruned_pfd_distribution(u, 1, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)pruned_pfd_distribution(u, 1, 1e-14, -1.0), std::invalid_argument);
+}
+
+TEST(GridDistribution, AgreesWithEnumerationOnMoments) {
+  const auto u = make_many_small_faults_universe(18, 0.1, 0.4, 0.8, 0.2, 3);
+  const auto exact = exact_pfd_distribution(u, 2);
+  const auto grid = grid_pfd_distribution(u, 2, 8192);
+  EXPECT_NEAR(grid.mean(), exact.mean(), 2e-4);
+  EXPECT_NEAR(grid.stddev(), exact.stddev(), 2e-4);
+  EXPECT_NEAR(grid.cdf(exact.quantile(0.9)), exact.cdf(exact.quantile(0.9)), 0.02);
+}
+
+TEST(GridDistribution, DegenerateAndValidation) {
+  fault_universe empty;
+  const auto d = grid_pfd_distribution(empty, 1);
+  EXPECT_DOUBLE_EQ(d.prob_zero(), 1.0);
+  const auto u = make_random_universe(5, 0.5, 0.5, 1);
+  EXPECT_THROW((void)grid_pfd_distribution(u, 1, 1), std::invalid_argument);
+}
+
+TEST(NormalApproximation, MatchesMomentsAndQuantiles) {
+  const auto u = make_many_small_faults_universe(150, 0.05, 0.25, 0.9, 0.3, 8);
+  const auto approx = normal_approx(u, 1);
+  const auto mom = single_version_moments(u);
+  EXPECT_NEAR(approx.mu, mom.mean, 1e-15);
+  EXPECT_NEAR(approx.sigma, mom.stddev(), 1e-15);
+  EXPECT_NEAR(approx.quantile(0.99), approx.mu + 2.3263 * approx.sigma, 1e-4 * approx.sigma);
+  EXPECT_NEAR(approx.bound(3.0), approx.mu + 3.0 * approx.sigma, 1e-18);
+  EXPECT_NEAR(approx.cdf(approx.mu), 0.5, 1e-12);
+}
+
+TEST(NormalApproximation, DegenerateSigma) {
+  const normal_approximation d{0.5, 0.0};
+  EXPECT_DOUBLE_EQ(d.cdf(0.4), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.99), 0.5);
+}
+
+TEST(NormalApproximation, DistanceShrinksWithMoreFaults) {
+  // The CLT at work: more comparable summands -> closer to normal.  This is
+  // the paper's §5 rationale made quantitative.
+  double prev = 1.0;
+  for (const std::size_t n : {4u, 16u, 64u}) {
+    const auto u = make_many_small_faults_universe(n, 0.3, 0.5, 0.9, 0.1, 11);
+    const auto exact =
+        n <= 24 ? exact_pfd_distribution(u, 1) : grid_pfd_distribution(u, 1, 4096);
+    const double dist = normal_approximation_distance(exact, normal_approx(u, 1));
+    EXPECT_LT(dist, prev) << "n=" << n;
+    prev = dist;
+  }
+  EXPECT_LT(prev, 0.08);
+}
+
+TEST(PfdDistributionType, CoalescesAndValidates) {
+  pfd_distribution d({{0.1, 0.25}, {0.1, 0.25}, {0.0, 0.5}});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.prob_zero(), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(0.1), 1.0);
+  EXPECT_THROW(pfd_distribution({{0.0, 0.4}}), std::invalid_argument);        // sums to 0.4
+  EXPECT_THROW(pfd_distribution({{0.0, 1.0}}, -0.1), std::invalid_argument);  // bad lost mass
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Demand-space geometry: region shapes (Fig. 2), profiles, hit-probability
+// estimation and the §6.2 overlap machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "demand/binding.hpp"
+#include "demand/profile.hpp"
+#include "demand/region.hpp"
+
+namespace {
+
+using namespace reldiv;
+using namespace reldiv::demand;
+
+TEST(Box, ContainsAndVolume) {
+  const box b({0.0, 0.0}, {2.0, 0.5});
+  EXPECT_TRUE(b.contains({1.0, 0.25}));
+  EXPECT_TRUE(b.contains({0.0, 0.5}));  // closed edges
+  EXPECT_FALSE(b.contains({2.1, 0.25}));
+  EXPECT_NEAR(b.volume(), 1.0, 1e-15);
+  EXPECT_EQ(box::unit(3).dims(), 3u);
+  EXPECT_THROW(box({0.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(box({0.0, 0.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)b.contains({0.5}), std::invalid_argument);
+}
+
+TEST(BoxRegion, Basics) {
+  const auto r = make_box_region(box({0.2, 0.2}, {0.4, 0.4}));
+  EXPECT_TRUE(r->contains({0.3, 0.3}));
+  EXPECT_FALSE(r->contains({0.5, 0.3}));
+  EXPECT_EQ(r->dims(), 2u);
+  EXPECT_NE(r->describe().find("box"), std::string::npos);
+}
+
+TEST(EllipsoidRegion, ContainsAndValidation) {
+  const auto r = make_ellipsoid_region({0.5, 0.5}, {0.2, 0.1});
+  EXPECT_TRUE(r->contains({0.5, 0.5}));
+  EXPECT_TRUE(r->contains({0.7, 0.5}));    // on the boundary
+  EXPECT_FALSE(r->contains({0.71, 0.5}));
+  EXPECT_FALSE(r->contains({0.5, 0.65}));
+  EXPECT_THROW(ellipsoid_region({0.5}, {0.1, 0.2}), std::invalid_argument);
+  EXPECT_THROW(ellipsoid_region({0.5}, {0.0}), std::invalid_argument);
+}
+
+TEST(PointArrayRegion, NonConnectedShape) {
+  // The Fig. 2 commentary: "non-connected regions like arrays of separate
+  // points".
+  const auto r = make_point_array_region({{0.1, 0.1}, {0.9, 0.9}}, 0.05);
+  EXPECT_TRUE(r->contains({0.1, 0.12}));
+  EXPECT_TRUE(r->contains({0.9, 0.9}));
+  EXPECT_FALSE(r->contains({0.5, 0.5}));  // between the islands
+  EXPECT_EQ(std::dynamic_pointer_cast<const point_array_region>(r)->seed_count(), 2u);
+  EXPECT_THROW(point_array_region({}, 0.1), std::invalid_argument);
+  EXPECT_THROW(point_array_region({{0.1, 0.1}, {0.2}}, 0.1), std::invalid_argument);
+}
+
+TEST(StripeRegion, PeriodicBands) {
+  const auto r = make_stripe_region(2, 0, 0.25, 0.05, 0.0);
+  EXPECT_TRUE(r->contains({0.01, 0.5}));
+  EXPECT_FALSE(r->contains({0.1, 0.5}));
+  EXPECT_TRUE(r->contains({0.26, 0.5}));  // next band
+  EXPECT_TRUE(r->contains({0.51, 0.9}));
+  EXPECT_THROW(stripe_region(2, 5, 0.25, 0.05, 0.0), std::invalid_argument);
+  EXPECT_THROW(stripe_region(2, 0, 0.25, 0.3, 0.0), std::invalid_argument);
+}
+
+TEST(UnionRegion, CombinesParts) {
+  const auto u = make_union_region({make_box_region(box({0.0, 0.0}, {0.1, 0.1})),
+                                    make_box_region(box({0.8, 0.8}, {0.9, 0.9}))});
+  EXPECT_TRUE(u->contains({0.05, 0.05}));
+  EXPECT_TRUE(u->contains({0.85, 0.85}));
+  EXPECT_FALSE(u->contains({0.5, 0.5}));
+  EXPECT_THROW(union_region({}), std::invalid_argument);
+}
+
+TEST(RenderAscii, MarksRegionsAndOverlap) {
+  const std::vector<region_ptr> regions = {
+      make_box_region(box({0.0, 0.0}, {0.5, 0.5})),
+      make_box_region(box({0.4, 0.4}, {0.9, 0.9}))};
+  const auto art = render_regions_ascii(regions, box::unit(2), 32, 12);
+  EXPECT_NE(art.find('1'), std::string::npos);
+  EXPECT_NE(art.find('2'), std::string::npos);
+  EXPECT_NE(art.find('*'), std::string::npos);  // the overlap zone
+  EXPECT_NE(art.find('.'), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 12);
+}
+
+TEST(UniformProfile, SamplesInsideDomain) {
+  const uniform_profile prof(box({1.0, -1.0}, {2.0, 1.0}));
+  stats::rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = prof.sample(r);
+    ASSERT_TRUE(prof.domain().contains(x));
+  }
+}
+
+TEST(TruncatedNormalProfile, SamplesInsideDomainAndClusters) {
+  const auto prof =
+      make_truncated_normal_profile(box::unit(2), {0.5, 0.5}, {0.1, 0.1});
+  stats::rng r(2);
+  int near_centre = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = prof->sample(r);
+    ASSERT_GE(x[0], 0.0);
+    ASSERT_LE(x[0], 1.0);
+    if (std::fabs(x[0] - 0.5) < 0.2 && std::fabs(x[1] - 0.5) < 0.2) ++near_centre;
+  }
+  EXPECT_GT(near_centre, 1500);  // ~(0.95)^2 of mass within 2 sd
+  EXPECT_THROW(
+      truncated_normal_profile(box::unit(2), {2.0, 0.5}, {0.1, 0.1}),
+      std::invalid_argument);
+}
+
+TEST(MixtureProfile, RespectsWeights) {
+  const auto left = make_uniform_profile(box({0.0, 0.0}, {0.1, 1.0}));
+  const auto right = make_uniform_profile(box({0.9, 0.0}, {1.0, 1.0}));
+  const auto mix = make_mixture_profile({left, right}, {0.8, 0.2});
+  stats::rng r(3);
+  int left_count = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (mix->sample(r)[0] < 0.5) ++left_count;
+  }
+  EXPECT_NEAR(left_count / static_cast<double>(n), 0.8, 0.02);
+  EXPECT_THROW(mixture_profile({left}, {0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(mixture_profile({left, right}, {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(HitProbability, McMatchesExactForBoxUnderUniform) {
+  const box_region reg(box({0.2, 0.3}, {0.5, 0.7}));
+  const uniform_profile prof(box::unit(2));
+  const double exact = exact_box_hit_probability(reg, prof);
+  EXPECT_NEAR(exact, 0.3 * 0.4, 1e-15);
+  const auto est = estimate_hit_probability(reg, prof, 200000, 4);
+  EXPECT_TRUE(est.ci.contains(exact)) << est.q << " vs " << exact;
+}
+
+TEST(BindUniverse, EstimatesQAndOverlap) {
+  const std::vector<region_fault> faults = {
+      {make_box_region(box({0.0, 0.0}, {0.5, 0.5})), 0.2},
+      {make_box_region(box({0.4, 0.4}, {0.9, 0.9})), 0.3},
+      {make_box_region(box({0.95, 0.95}, {1.0, 1.0})), 0.1}};
+  const uniform_profile prof(box::unit(2));
+  const auto bound = bind_universe(faults, prof, 200000, 5);
+  ASSERT_EQ(bound.universe.size(), 3u);
+  EXPECT_NEAR(bound.universe[0].q, 0.25, 0.01);
+  EXPECT_NEAR(bound.universe[1].q, 0.25, 0.01);
+  EXPECT_NEAR(bound.universe[2].q, 0.0025, 0.001);
+  EXPECT_DOUBLE_EQ(bound.universe[0].p, 0.2);
+  // Regions 0 and 1 overlap on [0.4,0.5]² = 0.01 of the space.
+  EXPECT_NEAR(bound.overlap[0][1], 0.01, 0.004);
+  EXPECT_DOUBLE_EQ(bound.overlap[0][1], bound.overlap[1][0]);
+  EXPECT_NEAR(bound.max_pairwise_overlap, 0.01, 0.004);
+  // Regions 0 and 2 are disjoint.
+  EXPECT_NEAR(bound.overlap[0][2], 0.0, 1e-6);
+}
+
+TEST(OverlapComparison, SumOfQIsPessimistic) {
+  // §6.2: "assuming that failure regions do not overlap is a pessimistic
+  // assumption".
+  const std::vector<region_ptr> present = {
+      make_box_region(box({0.1, 0.1}, {0.6, 0.6})),
+      make_box_region(box({0.3, 0.3}, {0.8, 0.8}))};
+  const uniform_profile prof(box::unit(2));
+  const auto cmp = compare_overlap_pfd(present, prof, 200000, 6);
+  EXPECT_GT(cmp.sum_of_q, cmp.union_measure);
+  EXPECT_GE(cmp.pessimism(), 1.0);
+  EXPECT_NEAR(cmp.sum_of_q, 0.5, 0.01);                   // 0.25 + 0.25
+  EXPECT_NEAR(cmp.union_measure, 0.25 + 0.25 - 0.09, 0.01);  // minus the overlap
+}
+
+TEST(Binding, Validation) {
+  const uniform_profile prof(box::unit(2));
+  EXPECT_THROW((void)bind_universe({}, prof, 100, 1), std::invalid_argument);
+  const std::vector<region_fault> bad = {{nullptr, 0.2}};
+  EXPECT_THROW((void)bind_universe(bad, prof, 100, 1), std::invalid_argument);
+  const std::vector<region_fault> bad_p = {
+      {make_box_region(box::unit(2)), 1.5}};
+  EXPECT_THROW((void)bind_universe(bad_p, prof, 100, 1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Rasterized failure regions: set algebra, exact measures, rasterization
+// fidelity against analytic shapes.
+
+#include "demand/raster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace reldiv::demand;
+
+raster_region quarter(std::size_t grid = 64) {
+  // Lower-left quarter of the unit square.
+  return raster_region::rasterize(box_region(box({0.0, 0.0}, {0.5, 0.5})), box::unit(2),
+                                  grid, grid);
+}
+
+TEST(Raster, ConstructionAndCells) {
+  raster_region r(box::unit(2), 8, 4);
+  EXPECT_EQ(r.cols(), 8u);
+  EXPECT_EQ(r.rows(), 4u);
+  EXPECT_EQ(r.set_cells(), 0u);
+  r.set_cell(3, 2, true);
+  EXPECT_TRUE(r.cell(3, 2));
+  r.set_cell(3, 2, false);
+  EXPECT_FALSE(r.cell(3, 2));
+  EXPECT_THROW((void)r.cell(8, 0), std::out_of_range);
+  EXPECT_THROW(raster_region(box::unit(2), 0, 4), std::invalid_argument);
+  EXPECT_THROW(raster_region(box::unit(3), 4, 4), std::invalid_argument);
+}
+
+TEST(Raster, RasterizationMeasureMatchesAnalytic) {
+  const auto r = quarter(128);
+  EXPECT_NEAR(r.uniform_measure(), 0.25, 1e-6);
+  // An ellipse's area converges at raster resolution.
+  const auto e = raster_region::rasterize(ellipsoid_region({0.5, 0.5}, {0.3, 0.2}),
+                                          box::unit(2), 256, 256);
+  EXPECT_NEAR(e.uniform_measure(), 3.14159265358979 * 0.3 * 0.2, 0.002);
+}
+
+TEST(Raster, ContainsAgreesWithSource) {
+  const auto r = quarter(64);
+  EXPECT_TRUE(r.contains({0.1, 0.1}));
+  EXPECT_FALSE(r.contains({0.9, 0.9}));
+  EXPECT_FALSE(r.contains({2.0, 0.1}));  // outside the domain
+  EXPECT_THROW((void)r.contains({0.5}), std::invalid_argument);
+}
+
+TEST(Raster, SetAlgebra) {
+  const auto a = quarter(64);
+  const auto b = raster_region::rasterize(box_region(box({0.25, 0.25}, {0.75, 0.75})),
+                                          box::unit(2), 64, 64);
+  const auto u = a.unite(b);
+  const auto i = a.intersect(b);
+  const auto d = a.subtract(b);
+  EXPECT_NEAR(u.uniform_measure(), 0.25 + 0.25 - 0.0625, 1e-9);
+  EXPECT_NEAR(i.uniform_measure(), 0.0625, 1e-9);
+  EXPECT_NEAR(d.uniform_measure(), 0.25 - 0.0625, 1e-9);
+  // Inclusion-exclusion at raster exactness: |A| + |B| = |A∪B| + |A∩B|.
+  EXPECT_NEAR(a.uniform_measure() + b.uniform_measure(),
+              u.uniform_measure() + i.uniform_measure(), 1e-12);
+  EXPECT_FALSE(a.disjoint_with(b));
+  const auto far = raster_region::rasterize(box_region(box({0.8, 0.8}, {0.95, 0.95})),
+                                            box::unit(2), 64, 64);
+  EXPECT_TRUE(a.disjoint_with(far));
+}
+
+TEST(Raster, Jaccard) {
+  const auto a = quarter(64);
+  EXPECT_NEAR(a.jaccard(a), 1.0, 1e-12);
+  const auto b = raster_region::rasterize(box_region(box({0.25, 0.25}, {0.75, 0.75})),
+                                          box::unit(2), 64, 64);
+  EXPECT_NEAR(a.jaccard(b), 0.0625 / (0.5 - 0.0625), 1e-9);
+  raster_region empty(box::unit(2), 64, 64);
+  EXPECT_DOUBLE_EQ(empty.jaccard(empty), 0.0);
+}
+
+TEST(Raster, IncompatibleGridsThrow) {
+  const auto a = quarter(64);
+  const auto b = quarter(32);
+  EXPECT_THROW((void)a.unite(b), std::invalid_argument);
+  raster_region other_domain(box({0.0, 0.0}, {2.0, 2.0}), 64, 64);
+  EXPECT_THROW((void)a.intersect(other_domain), std::invalid_argument);
+}
+
+TEST(RasterOverlap, ExactPessimismWithoutMonteCarlo) {
+  // The §6.2 comparison, now exact at raster resolution.
+  std::vector<raster_region> regions;
+  regions.push_back(raster_region::rasterize(box_region(box({0.1, 0.1}, {0.6, 0.6})),
+                                             box::unit(2), 200, 200));
+  regions.push_back(raster_region::rasterize(box_region(box({0.3, 0.3}, {0.8, 0.8})),
+                                             box::unit(2), 200, 200));
+  const auto cmp = raster_overlap(regions);
+  EXPECT_NEAR(cmp.sum_of_measures, 0.5, 1e-9);
+  EXPECT_NEAR(cmp.union_measure, 0.5 - 0.09, 1e-9);
+  EXPECT_NEAR(cmp.pessimism(), 0.5 / 0.41, 1e-6);
+  EXPECT_THROW((void)raster_overlap({}), std::invalid_argument);
+}
+
+TEST(Raster, ComposesWithAnalyticRegionsAsARegion) {
+  // A raster is itself a region: it can participate in unions with analytic
+  // shapes through the region interface.
+  auto r = std::make_shared<raster_region>(quarter(64));
+  const auto u = make_union_region({r, make_box_region(box({0.8, 0.8}, {0.9, 0.9}))});
+  EXPECT_TRUE(u->contains({0.1, 0.1}));
+  EXPECT_TRUE(u->contains({0.85, 0.85}));
+  EXPECT_FALSE(u->contains({0.7, 0.7}));
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// EL/LM bridge: the coincident-failure excess, the forced-diversity
+// possibility, and the spatial difficulty function.
+
+#include "elm/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generators.hpp"
+#include "core/moments.hpp"
+
+namespace {
+
+using namespace reldiv;
+using namespace reldiv::elm;
+
+TEST(ElDecomposition, MatchesCoreMoments) {
+  const auto u = core::make_random_universe(30, 0.6, 0.8, 12);
+  const auto d = decompose_el(u);
+  EXPECT_NEAR(d.mean_single, core::single_version_moments(u).mean, 1e-15);
+  EXPECT_NEAR(d.mean_pair, core::pair_moments(u).mean, 1e-15);
+  EXPECT_NEAR(d.difficulty_variance, core::independence_shortfall(u), 1e-15);
+}
+
+TEST(ElDecomposition, DependenceFactorAtLeastOne) {
+  // EL headline: E[Θpair] >= (E[Θ1])² — versions fail dependently.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const auto u = core::make_random_universe(25, 0.7, 0.9, seed);
+    const auto d = decompose_el(u);
+    EXPECT_GE(d.dependence_factor(), 1.0 - 1e-12) << "seed=" << seed;
+    EXPECT_GE(d.difficulty_variance, -1e-15);
+  }
+}
+
+TEST(ElDecomposition, IndependenceOnlyWhenDifficultyIsFlat) {
+  // If every fault has the same p and the qs sum to 1, θ(x) is constant,
+  // difficulty variance vanishes and independence holds exactly.
+  core::fault_universe flat({{0.3, 0.5}, {0.3, 0.5}});
+  const auto d = decompose_el(flat);
+  EXPECT_NEAR(d.difficulty_variance, 0.0, 1e-15);
+  EXPECT_NEAR(d.dependence_factor(), 1.0, 1e-12);
+}
+
+TEST(PairLm, AgreesWithElForIdenticalMethodologies) {
+  const auto u = core::make_random_universe(15, 0.5, 0.7, 33);
+  const auto lm = pair_lm(u, u);
+  const auto el = decompose_el(u);
+  EXPECT_NEAR(lm.mean_pair, el.mean_pair, 1e-15);
+  EXPECT_NEAR(lm.independent, el.independent_pair, 1e-15);
+}
+
+TEST(PairLm, ComplementaryMethodologiesBeatIndependence) {
+  // The LM result: if methodology B finds easy what A finds hard, the
+  // forced-diverse pair can do BETTER than the independence product.
+  core::fault_universe a({{0.4, 0.25}, {0.01, 0.25}, {0.4, 0.25}, {0.01, 0.25}});
+  const auto b = complementary_methodology(a, 0.41, 1.0);
+  const auto lm = pair_lm(a, b);
+  EXPECT_LT(lm.dependence_factor(), 1.0);
+  EXPECT_LT(lm.mean_pair, lm.independent);
+}
+
+TEST(PairLm, Validation) {
+  core::fault_universe a({{0.4, 0.25}, {0.2, 0.25}});
+  core::fault_universe short_b({{0.4, 0.25}});
+  EXPECT_THROW((void)pair_lm(a, short_b), std::invalid_argument);
+  core::fault_universe wrong_q({{0.4, 0.30}, {0.2, 0.25}});
+  EXPECT_THROW((void)pair_lm(a, wrong_q), std::invalid_argument);
+}
+
+TEST(ComplementaryMethodology, FlipsAndClamps) {
+  core::fault_universe u({{0.4, 0.2}, {0.05, 0.2}});
+  const auto c = complementary_methodology(u, 0.4, 1.0);
+  EXPECT_NEAR(c[0].p, 0.0, 1e-15);
+  EXPECT_NEAR(c[1].p, 0.35, 1e-15);
+  EXPECT_DOUBLE_EQ(c[0].q, 0.2);
+  EXPECT_THROW((void)complementary_methodology(u, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)complementary_methodology(u, 0.4, -1.0), std::invalid_argument);
+}
+
+TEST(DifficultyFunction, EqualsPInsideDisjointRegion) {
+  using namespace reldiv::demand;
+  std::vector<region_fault> faults = {
+      {make_box_region(box({0.0, 0.0}, {0.3, 0.3})), 0.2},
+      {make_box_region(box({0.6, 0.6}, {0.9, 0.9})), 0.5}};
+  const difficulty_function theta(faults);
+  EXPECT_NEAR(theta({0.1, 0.1}), 0.2, 1e-15);
+  EXPECT_NEAR(theta({0.7, 0.7}), 0.5, 1e-15);
+  EXPECT_DOUBLE_EQ(theta({0.45, 0.45}), 0.0);
+}
+
+TEST(DifficultyFunction, ComposesOverOverlaps) {
+  using namespace reldiv::demand;
+  std::vector<region_fault> faults = {
+      {make_box_region(box({0.0, 0.0}, {0.5, 0.5})), 0.2},
+      {make_box_region(box({0.2, 0.2}, {0.7, 0.7})), 0.5}};
+  const difficulty_function theta(faults);
+  // In the overlap, failure iff either fault present: 1 - 0.8*0.5.
+  EXPECT_NEAR(theta({0.3, 0.3}), 1.0 - 0.8 * 0.5, 1e-15);
+}
+
+TEST(DifficultyFunction, MomentEstimatesMatchModel) {
+  using namespace reldiv::demand;
+  // Disjoint boxes under a uniform profile: E[θ] = Σ q p, E[θ²] = Σ q p².
+  std::vector<region_fault> faults = {
+      {make_box_region(box({0.0, 0.0}, {0.5, 0.4})), 0.3},   // q = 0.2
+      {make_box_region(box({0.6, 0.5}, {1.0, 1.0})), 0.1}};  // q = 0.2
+  const difficulty_function theta(faults);
+  const uniform_profile prof(box::unit(2));
+  const auto m = theta.estimate_moments(prof, 300000, 9);
+  EXPECT_NEAR(m.mean, 0.2 * 0.3 + 0.2 * 0.1, 0.002);
+  EXPECT_NEAR(m.mean_square, 0.2 * 0.09 + 0.2 * 0.01, 0.001);
+  EXPECT_THROW((void)theta.estimate_moments(prof, 0, 1), std::invalid_argument);
+}
+
+TEST(DifficultyFunction, Validation) {
+  using namespace reldiv::demand;
+  EXPECT_THROW(difficulty_function{std::vector<region_fault>{}}, std::invalid_argument);
+  std::vector<region_fault> null_region = {{nullptr, 0.2}};
+  EXPECT_THROW(difficulty_function{null_region}, std::invalid_argument);
+}
+
+}  // namespace

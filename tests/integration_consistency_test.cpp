@@ -1,0 +1,149 @@
+// Cross-module integration tests: the same physical quantity computed
+// through different layers (analytics, Monte-Carlo sampling, geometric
+// simulation, process synthesis) must agree.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/generators.hpp"
+#include "core/moments.hpp"
+#include "core/no_common_fault.hpp"
+#include "core/pfd_distribution.hpp"
+#include "demand/binding.hpp"
+#include "elm/models.hpp"
+#include "mc/experiment.hpp"
+#include "process/pipeline.hpp"
+#include "protection/system.hpp"
+#include "stats/poisson_binomial.hpp"
+
+namespace {
+
+using namespace reldiv;
+
+TEST(Integration, PoissonBinomialAgreesWithSection4Products) {
+  // N1 and N2 are Poisson-binomial; their P(N>0) must match the §4 products.
+  const auto u = core::make_random_universe(25, 0.6, 0.8, 41);
+  stats::poisson_binomial n1(u.p_values());
+  std::vector<double> p2;
+  for (const auto& a : u) p2.push_back(a.p * a.p);
+  stats::poisson_binomial n2(p2);
+  EXPECT_NEAR(n1.prob_positive(), core::prob_some_fault(u), 1e-12);
+  EXPECT_NEAR(n2.prob_positive(), core::prob_some_common_fault(u), 1e-12);
+  EXPECT_NEAR(n1.pmf(0), core::prob_no_fault(u), 1e-12);
+  EXPECT_NEAR(n1.mean(), u.expected_fault_count(), 1e-12);
+}
+
+TEST(Integration, ProcessSynthesisFeedsWholeAnalyticsStack) {
+  // process -> universe -> moments/bounds/eq.10 -> MC validation.
+  const auto faults = process::make_fault_catalogue(30, 51);
+  const auto proc = process::make_process_at_level(3);
+  const auto u = proc.synthesize(faults);
+
+  const auto view = core::make_assessor_view(u, 2.33);
+  EXPECT_LE(view.two_version.value(), view.bound_eq11 + 1e-15);
+  EXPECT_LE(view.bound_eq11, view.bound_eq12 + 1e-15);
+
+  mc::experiment_config cfg;
+  cfg.samples = 100000;
+  cfg.seed = 52;
+  const auto res = mc::run_experiment(u, cfg);
+  EXPECT_TRUE(res.mean_theta1().ci.contains(core::single_version_moments(u).mean));
+  EXPECT_TRUE(res.prob_n2_positive().ci.contains(core::prob_some_common_fault(u)));
+}
+
+TEST(Integration, ImprovedProcessImprovesBothMeasuresUniformly) {
+  // A screening stage = proportional improvement: reliability AND the
+  // diversity gain (eq. 10) must both improve — the Appendix B story told
+  // through the process layer.
+  const auto faults = process::make_fault_catalogue(30, 61);
+  const auto base = process::make_process_at_level(2);
+  const auto better = base.add_screening_stage("extra analysis", 0.4);
+  const auto u0 = base.synthesize(faults);
+  const auto u1 = better.synthesize(faults);
+  EXPECT_LT(core::single_version_moments(u1).mean, core::single_version_moments(u0).mean);
+  EXPECT_LT(core::risk_ratio(u1), core::risk_ratio(u0));
+}
+
+TEST(Integration, GeometryBoundUniverseMatchesProtectionCampaign) {
+  // Build disjoint failure regions, bind q_i from geometry, then verify the
+  // protection simulator reproduces the model's PFDs for FIXED channels.
+  using demand::box;
+  using demand::make_box_region;
+  const std::vector<demand::region_fault> faults = {
+      {make_box_region(box({0.00, 0.00}, {0.20, 0.25})), 1.0},  // q = 0.05
+      {make_box_region(box({0.50, 0.50}, {0.90, 0.75})), 1.0},  // q = 0.10
+      {make_box_region(box({0.30, 0.90}, {0.70, 0.95})), 0.0}};
+  const demand::uniform_profile prof(demand::box::unit(2));
+  const auto bound = demand::bind_universe(faults, prof, 300000, 71);
+  EXPECT_NEAR(bound.universe[0].q, 0.05, 0.003);
+  EXPECT_NEAR(bound.universe[1].q, 0.10, 0.004);
+  EXPECT_LT(bound.max_pairwise_overlap, 1e-9);  // disjoint by construction
+
+  // Both channels got faults 0 and 1 (p = 1), neither got fault 2.
+  stats::rng dev(72);
+  protection::one_out_of_two sys(protection::develop_channel(faults, dev),
+                                 protection::develop_channel(faults, dev));
+  stats::rng op(73);
+  const auto campaign = protection::run_profile_campaign(prof, sys, 300000, op);
+  EXPECT_NEAR(campaign.channel_a_pfd(), 0.15, 0.004);
+  EXPECT_NEAR(campaign.system_pfd(), 0.15, 0.004);  // identical faults -> no gain
+}
+
+TEST(Integration, ProtectionCampaignMatchesPairMomentsOverManyDevelopments) {
+  // Average the system PFD over independently developed channel pairs and
+  // compare with E[Θ2] = Σ p² q.
+  using demand::box;
+  using demand::make_box_region;
+  const std::vector<demand::region_fault> faults = {
+      {make_box_region(box({0.0, 0.0}, {0.3, 0.5})), 0.4},   // q = 0.15
+      {make_box_region(box({0.5, 0.5}, {0.9, 0.8})), 0.25},  // q = 0.12
+      {make_box_region(box({0.4, 0.0}, {0.8, 0.2})), 0.6}};  // q = 0.08
+  std::vector<core::fault_atom> atoms = {{0.4, 0.15}, {0.25, 0.12}, {0.6, 0.08}};
+  const core::fault_universe u(atoms);
+
+  const demand::uniform_profile prof(demand::box::unit(2));
+  stats::rng dev(81);
+  stats::rng op(82);
+  double total_pfd = 0.0;
+  const int developments = 400;
+  const std::uint64_t demands_each = 3000;
+  for (int d = 0; d < developments; ++d) {
+    protection::one_out_of_two sys(protection::develop_channel(faults, dev),
+                                   protection::develop_channel(faults, dev));
+    total_pfd +=
+        protection::run_profile_campaign(prof, sys, demands_each, op).system_pfd();
+  }
+  const double mc_mean = total_pfd / developments;
+  const double exact = core::pair_moments(u).mean;
+  EXPECT_NEAR(mc_mean, exact, 0.006) << "exact E[Theta2] = " << exact;
+}
+
+TEST(Integration, ElDifficultyMomentsMatchGeometricEstimates) {
+  using demand::box;
+  using demand::make_box_region;
+  const std::vector<demand::region_fault> faults = {
+      {make_box_region(box({0.0, 0.0}, {0.5, 0.4})), 0.3},
+      {make_box_region(box({0.6, 0.5}, {1.0, 1.0})), 0.1}};
+  const core::fault_universe u({{0.3, 0.2}, {0.1, 0.2}});
+  const elm::difficulty_function theta(faults);
+  const demand::uniform_profile prof(demand::box::unit(2));
+  const auto est = theta.estimate_moments(prof, 400000, 91);
+  const auto el = elm::decompose_el(u);
+  EXPECT_NEAR(est.mean, el.mean_single, 0.002);
+  EXPECT_NEAR(est.mean_square, el.mean_pair, 0.001);
+}
+
+TEST(Integration, ExactDistributionQuantileBeatsNormalBoundForSkewedLaw) {
+  // For a safety-grade universe (mass concentrated at 0) the §5 normal
+  // approximation is conservative at high quantiles; the exact law must
+  // give a quantile no larger than µ+2.33σ once P(Θ=0) > 0.99.
+  const auto u = core::make_safety_grade_universe(18, 0.0, 5e-4, 0.8, 101);
+  const auto exact = core::exact_pfd_distribution(u, 2);
+  ASSERT_GT(exact.prob_zero(), 0.99);
+  const auto approx = core::normal_approx(u, 2);
+  EXPECT_LE(exact.quantile(0.99), approx.bound(2.33) + 1e-18);
+}
+
+}  // namespace

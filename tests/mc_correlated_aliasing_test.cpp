@@ -1,0 +1,166 @@
+// Section 6 sensitivity machinery: correlated fault introduction (§6.1) and
+// many-to-one fault/region aliasing (§6.3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generators.hpp"
+#include "core/moments.hpp"
+#include "core/no_common_fault.hpp"
+#include "mc/aliasing.hpp"
+#include "mc/correlated.hpp"
+
+namespace {
+
+using namespace reldiv;
+using namespace reldiv::mc;
+
+core::fault_universe small_universe() {
+  return core::fault_universe({{0.2, 0.1}, {0.3, 0.2}, {0.1, 0.05}});
+}
+
+TEST(CommonCauseMixture, PreservesMarginalsExactly) {
+  const auto u = small_universe();
+  common_cause_mixture mix(u, 0.3, 2.0);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_NEAR(mix.marginal(i), u[i].p, 1e-12) << "i=" << i;
+  }
+}
+
+TEST(CommonCauseMixture, EmpiricalMarginalsMatch) {
+  const auto u = small_universe();
+  common_cause_mixture mix(u, 0.25, 2.5);
+  stats::rng r(1);
+  std::vector<int> counts(u.size(), 0);
+  const int n = 100000;
+  for (int s = 0; s < n; ++s) {
+    for (const auto i : mix.sample(r).faults) ++counts[i];
+  }
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), u[i].p, 0.01) << "i=" << i;
+  }
+}
+
+TEST(CommonCauseMixture, InducesPositiveCorrelation) {
+  const auto u = small_universe();
+  common_cause_mixture mix(u, 0.3, 2.0);
+  EXPECT_GT(mix.indicator_correlation(0, 1), 0.0);
+  EXPECT_GT(mix.indicator_correlation(1, 2), 0.0);
+  // rho = 0 degenerates to independence.
+  common_cause_mixture indep(u, 0.0, 2.0);
+  EXPECT_NEAR(indep.indicator_correlation(0, 1), 0.0, 1e-12);
+}
+
+TEST(CommonCauseMixture, Validation) {
+  const auto u = small_universe();
+  EXPECT_THROW(common_cause_mixture(u, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(common_cause_mixture(u, 0.5, 0.5), std::invalid_argument);
+  // Infeasible marginal preservation: rho close to 1 with huge stress.
+  EXPECT_THROW(common_cause_mixture(u, 0.9, 10.0), std::invalid_argument);
+}
+
+TEST(CommonCauseMixture, CorrelationEffectsHaveTheFkgDirection) {
+  // §6.1 quantified.  With marginals preserved and the two developments
+  // still independent of each other:
+  //  * E[Θ1] and E[Θ2] are UNCHANGED (they depend only on marginals);
+  //  * positive association within a version clusters faults, so
+  //    P(N1 > 0) and P(N2 > 0) both DECREASE relative to independence
+  //    (FKG: E[Π(1−X_i)] >= Π E[1−X_i] under positive association).
+  const auto u = core::make_random_universe(10, 0.3, 0.5, 3);
+  common_cause_mixture mix(u, 0.4, 2.0);
+  const auto corr = run_correlated(u, mix, 200000, 5);
+  EXPECT_NEAR(corr.mean_theta1, core::single_version_moments(u).mean, 5e-4);
+  EXPECT_NEAR(corr.mean_theta2, core::pair_moments(u).mean, 5e-4);
+  EXPECT_LT(corr.prob_n1_positive, core::prob_some_fault(u) + 0.003);
+  EXPECT_LT(corr.prob_n2_positive, core::prob_some_common_fault(u) + 0.003);
+}
+
+TEST(GaussianCopula, MarginalsPreserved) {
+  const auto u = small_universe();
+  gaussian_copula_sampler cop(u, 0.5);
+  stats::rng r(7);
+  std::vector<int> counts(u.size(), 0);
+  const int n = 100000;
+  for (int s = 0; s < n; ++s) {
+    for (const auto i : cop.sample(r).faults) ++counts[i];
+  }
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), u[i].p, 0.012) << "i=" << i;
+  }
+  EXPECT_THROW(gaussian_copula_sampler(u, 1.0), std::invalid_argument);
+}
+
+TEST(GaussianCopula, DegenerateProbabilities) {
+  core::fault_universe u({{0.0, 0.1}, {1.0, 0.1}});
+  gaussian_copula_sampler cop(u, 0.3);
+  stats::rng r(9);
+  for (int s = 0; s < 100; ++s) {
+    const auto v = cop.sample(r);
+    ASSERT_EQ(v.faults.size(), 1u);
+    ASSERT_EQ(v.faults[0], 1u);
+  }
+}
+
+TEST(MergeFaultGroups, PerfectlyCorrelatedLimit) {
+  // §6.1: "two mistakes that can only occur together ... can be considered
+  // as one mistake, with a failure region which is the union".
+  core::fault_universe u({{0.2, 0.1}, {0.2, 0.15}, {0.05, 0.2}});
+  const auto merged = merge_fault_groups(u, {{0, 1}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].p, 0.2);            // group max
+  EXPECT_NEAR(merged[0].q, 0.25, 1e-15);         // union of disjoint regions
+  EXPECT_DOUBLE_EQ(merged[1].p, 0.05);           // untouched fault kept
+  EXPECT_THROW((void)merge_fault_groups(u, {{0}, {0}}), std::invalid_argument);
+  EXPECT_THROW((void)merge_fault_groups(u, {{7}}), std::out_of_range);
+}
+
+TEST(Aliasing, SplitPreservesRegionPresence) {
+  const auto u = small_universe();
+  for (const std::size_t k : {1u, 2u, 5u}) {
+    const auto model = split_into_mistakes(u, k);
+    const auto eff = model.effective_universe();
+    ASSERT_EQ(eff.size(), u.size());
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      EXPECT_NEAR(eff[i].p, u[i].p, 1e-12) << "k=" << k << " i=" << i;
+      EXPECT_DOUBLE_EQ(eff[i].q, u[i].q);
+    }
+  }
+  EXPECT_THROW((void)split_into_mistakes(u, 0), std::invalid_argument);
+}
+
+TEST(Aliasing, NaiveAssessorUnderestimatesPmax) {
+  // The §6.3 warning: per-mistake probabilities understate the region
+  // presence probability, increasingly so with more aliased mistakes.
+  const auto u = small_universe();
+  double prev_naive = 1.0;
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    const auto model = split_into_mistakes(u, k);
+    EXPECT_NEAR(model.true_p_max(), u.p_max(), 1e-12);
+    EXPECT_LT(model.naive_p_max(), model.true_p_max()) << "k=" << k;
+    EXPECT_LT(model.naive_p_max(), prev_naive) << "k=" << k;
+    prev_naive = model.naive_p_max();
+  }
+}
+
+TEST(Aliasing, SampleMarginalsMatchEffectiveUniverse) {
+  const auto u = small_universe();
+  const auto model = split_into_mistakes(u, 3);
+  stats::rng r(11);
+  std::vector<int> counts(u.size(), 0);
+  const int n = 100000;
+  for (int s = 0; s < n; ++s) {
+    for (const auto i : model.sample(r).faults) ++counts[i];
+  }
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), u[i].p, 0.01) << "i=" << i;
+  }
+}
+
+TEST(Aliasing, Validation) {
+  EXPECT_THROW(aliased_model({aliased_region{{}, 0.1}}), std::invalid_argument);
+  EXPECT_THROW(aliased_model({aliased_region{{1.5}, 0.1}}), std::invalid_argument);
+  EXPECT_THROW(aliased_model({aliased_region{{0.5}, 1.5}}), std::invalid_argument);
+}
+
+}  // namespace

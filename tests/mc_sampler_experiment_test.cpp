@@ -1,0 +1,144 @@
+// Monte-Carlo engine: sampler marginals, pair/tuple PFD algebra, and
+// agreement of the multithreaded experiment runner with the closed forms of
+// Sections 3 and 4.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generators.hpp"
+#include "core/moments.hpp"
+#include "core/no_common_fault.hpp"
+#include "mc/experiment.hpp"
+#include "mc/sampler.hpp"
+
+namespace {
+
+using namespace reldiv;
+using namespace reldiv::mc;
+
+TEST(Sampler, MarginalPresenceFrequencies) {
+  core::fault_universe u({{0.3, 0.1}, {0.05, 0.1}, {0.8, 0.1}});
+  stats::rng r(1);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int s = 0; s < n; ++s) {
+    const version v = sample_version(u, r);
+    for (const auto i : v.faults) ++counts[i];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.05, 0.005);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.8, 0.01);
+}
+
+TEST(Sampler, PfdAndCommonFaultAlgebra) {
+  core::fault_universe u({{0.5, 0.1}, {0.5, 0.2}, {0.5, 0.3}});
+  version a{{0, 2}};
+  version b{{1, 2}};
+  EXPECT_NEAR(pfd_of(a, u), 0.4, 1e-15);
+  EXPECT_NEAR(pfd_of(b, u), 0.5, 1e-15);
+  const auto common = common_faults(a, b);
+  ASSERT_EQ(common.size(), 1u);
+  EXPECT_EQ(common[0], 2u);
+  EXPECT_NEAR(pair_pfd(a, b, u), 0.3, 1e-15);
+  // Tuple of three: intersection empty -> PFD 0.
+  version c{{0, 1}};
+  EXPECT_DOUBLE_EQ(tuple_pfd({a, b, c}, u), 0.0);
+  EXPECT_NEAR(tuple_pfd({a, a}, u), 0.4, 1e-15);
+  EXPECT_THROW((void)tuple_pfd({}, u), std::invalid_argument);
+}
+
+TEST(Sampler, OutOfUniverseIndicesThrow) {
+  core::fault_universe u({{0.5, 0.1}});
+  version bad{{3}};
+  EXPECT_THROW((void)pfd_of(bad, u), std::out_of_range);
+  EXPECT_THROW((void)pair_pfd(bad, bad, u), std::out_of_range);
+}
+
+TEST(Sampler, EmpiricalPfdApproximatesExact) {
+  core::fault_universe u({{1.0, 0.05}, {1.0, 0.02}});
+  version v{{0, 1}};  // PFD = 0.07
+  stats::rng r(3);
+  const double hat = empirical_pfd(v, u, 200000, r);
+  EXPECT_NEAR(hat, 0.07, 0.003);
+  EXPECT_THROW((void)empirical_pfd(v, u, 0, r), std::invalid_argument);
+}
+
+TEST(Experiment, EstimatesMatchClosedFormsWithinCi) {
+  const auto u = core::make_random_universe(20, 0.4, 0.8, 17);
+  experiment_config cfg;
+  cfg.samples = 200000;
+  cfg.seed = 5;
+  const auto res = run_experiment(u, cfg);
+
+  const auto m1 = core::single_version_moments(u);
+  const auto m2 = core::pair_moments(u);
+  EXPECT_TRUE(res.mean_theta1().ci.contains(m1.mean))
+      << res.mean_theta1().value << " vs " << m1.mean;
+  EXPECT_TRUE(res.mean_theta2().ci.contains(m2.mean))
+      << res.mean_theta2().value << " vs " << m2.mean;
+  EXPECT_NEAR(res.stddev_theta1(), m1.stddev(), 0.02 * m1.stddev() + 1e-4);
+  EXPECT_NEAR(res.stddev_theta2(), m2.stddev(), 0.03 * m2.stddev() + 1e-4);
+  EXPECT_TRUE(res.prob_n1_positive().ci.contains(core::prob_some_fault(u)));
+  EXPECT_TRUE(res.prob_n2_positive().ci.contains(core::prob_some_common_fault(u)));
+  EXPECT_NEAR(res.risk_ratio(), core::risk_ratio(u), 0.02);
+}
+
+TEST(Experiment, SingleThreadMatchesClosedFormsToo) {
+  const auto u = core::make_random_universe(10, 0.3, 0.5, 21);
+  experiment_config cfg;
+  cfg.samples = 50000;
+  cfg.threads = 1;
+  cfg.seed = 9;
+  const auto res = run_experiment(u, cfg);
+  EXPECT_TRUE(res.mean_theta1().ci.contains(core::single_version_moments(u).mean));
+  EXPECT_EQ(res.samples, 50000u);
+}
+
+TEST(Experiment, DeterministicForFixedSeedAndThreads) {
+  const auto u = core::make_random_universe(10, 0.3, 0.5, 22);
+  experiment_config cfg;
+  cfg.samples = 20000;
+  cfg.threads = 4;
+  cfg.seed = 77;
+  const auto a = run_experiment(u, cfg);
+  const auto b = run_experiment(u, cfg);
+  EXPECT_DOUBLE_EQ(a.theta1.mean(), b.theta1.mean());
+  EXPECT_EQ(a.n2_positive, b.n2_positive);
+}
+
+TEST(Experiment, KeepSamplesReturnsFullVectors) {
+  const auto u = core::make_random_universe(8, 0.4, 0.5, 23);
+  experiment_config cfg;
+  cfg.samples = 5000;
+  cfg.keep_samples = true;
+  const auto res = run_experiment(u, cfg);
+  ASSERT_TRUE(res.theta1_samples.has_value());
+  ASSERT_TRUE(res.theta2_samples.has_value());
+  EXPECT_EQ(res.theta1_samples->size(), 5000u);
+  EXPECT_EQ(res.theta2_samples->size(), 5000u);
+  // Sample mean must agree with the accumulator.
+  double sum = 0.0;
+  for (const double x : *res.theta1_samples) sum += x;
+  EXPECT_NEAR(sum / 5000.0, res.theta1.mean(), 1e-12);
+}
+
+TEST(Experiment, Validation) {
+  const auto u = core::make_random_universe(5, 0.4, 0.5, 2);
+  experiment_config cfg;
+  cfg.samples = 0;
+  EXPECT_THROW((void)run_experiment(u, cfg), std::invalid_argument);
+}
+
+TEST(Experiment, ZeroPfdCountsConsistent) {
+  // All q > 0, so PFD == 0 exactly when no fault (version) / no common
+  // fault (pair).
+  const auto u = core::make_random_universe(12, 0.5, 0.6, 31);
+  experiment_config cfg;
+  cfg.samples = 30000;
+  const auto res = run_experiment(u, cfg);
+  EXPECT_EQ(res.n1_zero_pfd, res.samples - res.n1_positive);
+  EXPECT_EQ(res.n2_zero_pfd, res.samples - res.n2_positive);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// The paper contract: every numeric claim printed in Popov & Strigini
+// (DSN 2001), asserted verbatim in one place.  If any of these fail, the
+// reproduction no longer reproduces the paper — regardless of what the rest
+// of the suite thinks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/fault_universe.hpp"
+#include "core/no_common_fault.hpp"
+#include "stats/distributions.hpp"
+
+namespace {
+
+using namespace reldiv;
+using namespace reldiv::core;
+
+// --- §3.1.2 -----------------------------------------------------------------
+
+TEST(PaperContract, GoldenRatioThreshold_0_618033987) {
+  // "p2(1-p2) <= p(1-p), iff p <= (-1+5^0.5)/2 = 0.618033987".  The true
+  // value is 0.6180339887...; the paper TRUNCATED rather than rounded the
+  // last digit, hence the 2e-9 tolerance.
+  EXPECT_NEAR(kGoldenThreshold, 0.618033987, 2e-9);
+  EXPECT_NEAR((std::sqrt(5.0) - 1.0) / 2.0, kGoldenThreshold, 1e-15);
+}
+
+// --- §5 ----------------------------------------------------------------------
+
+TEST(PaperContract, NormalTailQuote_0_99865003) {
+  // "P(Θ≤µ+3σ)=0.99865003" — the true value is 0.9986501019683699; the
+  // paper's printed digits are a rounding artefact, good to ~1e-7.
+  EXPECT_NEAR(stats::confidence_from_k(3.0), 0.99865003, 1e-7);
+}
+
+TEST(PaperContract, NinetyNinePercentMultiplier_2_33) {
+  // "the 99% confidence level corresponds to ϑ=µ+2.33σ"
+  EXPECT_NEAR(stats::one_sided_k(0.99), 2.33, 0.005);
+}
+
+// --- §5.1 table ---------------------------------------------------------------
+
+TEST(PaperContract, PmaxTableRow_0_5_to_0_866) {
+  EXPECT_NEAR(sigma_ratio_factor(0.5), 0.866, 5e-4);
+}
+
+TEST(PaperContract, PmaxTableRow_0_1_to_0_332) {
+  EXPECT_NEAR(sigma_ratio_factor(0.1), 0.332, 5e-4);
+}
+
+TEST(PaperContract, PmaxTableRow_0_01_to_0_100) {
+  EXPECT_NEAR(sigma_ratio_factor(0.01), 0.100, 5e-4);
+}
+
+TEST(PaperContract, SmallPmaxFactorIsSqrtPmax) {
+  // "For even lower values of pmax, clearly sqrt(pmax(1+pmax)) ≈ sqrt(pmax)"
+  EXPECT_NEAR(sigma_ratio_factor(1e-8) / std::sqrt(1e-8), 1.0, 1e-7);
+}
+
+// --- §5.1 worked example -------------------------------------------------------
+
+TEST(PaperContract, WorkedExampleOneVersionBound_0_011) {
+  // "if we know that µ1=0.01 and σ1=0.001, and we are interested in an 84%
+  //  confidence bound (k=1), this is 0.011 for one version"
+  EXPECT_NEAR(0.01 + 1.0 * 0.001, 0.011, 1e-12);
+}
+
+TEST(PaperContract, WorkedExampleEq11Bound_0_001) {
+  // "...our upper bound is 0.001 (an improvement by an order of magnitude)
+  //  if we use our first formula" — 0.00133 printed to one significant digit.
+  const double bound = pair_bound_from_moments(0.01, 0.001, 1.0, 0.1);
+  EXPECT_NEAR(bound, 0.001, 4e-4);
+  EXPECT_NEAR(bound, 0.1 * 0.01 + std::sqrt(0.1 * 1.1) * 0.001, 1e-15);
+}
+
+TEST(PaperContract, WorkedExampleEq12Bound_0_004) {
+  // "...but a more modest 0.004 if we use the second formula"
+  const double bound = pair_bound_from_bound(0.011, 0.1);
+  EXPECT_NEAR(bound, 0.004, 4e-4);
+  EXPECT_NEAR(bound, std::sqrt(0.11) * 0.011, 1e-15);
+}
+
+// --- §3.1.1 -------------------------------------------------------------------
+
+TEST(PaperContract, TenTimesBetterAtPmax10Percent) {
+  // "a two-version system from that developer has, on average, at least 10
+  //  times better PFD than a single version" at pmax = 0.1.
+  fault_universe u(std::vector<fault_atom>(10, fault_atom{0.1, 0.05}));
+  const double mu1 = 10 * 0.1 * 0.05;
+  const double mu2 = 10 * 0.01 * 0.05;
+  EXPECT_NEAR(mu1 / mu2, 10.0, 1e-9);
+  EXPECT_LE(mu2, mean_bound(mu1, 0.1) + 1e-15);
+}
+
+// --- §4.1 / footnote 5 ---------------------------------------------------------
+
+TEST(PaperContract, Eq10RatioAtMostOneAndFootnote5AtLeastOne) {
+  fault_universe u({{0.2, 0.0}, {0.05, 0.0}, {0.4, 0.0}});
+  EXPECT_LE(risk_ratio(u), 1.0);
+  EXPECT_GE(success_ratio(u), 1.0);
+}
+
+// --- Appendix A (re-derived; DESIGN.md §2) --------------------------------------
+
+TEST(PaperContract, AppendixAHasBothDerivativeSigns) {
+  // "A potential exists to have both positive and negative derivative" —
+  // the paper's qualitative headline.
+  fault_universe low({{0.02, 0.0}, {0.5, 0.0}});
+  fault_universe high({{0.45, 0.0}, {0.5, 0.0}});
+  EXPECT_LT(risk_ratio_derivative(low, 0), 0.0);
+  EXPECT_GT(risk_ratio_derivative(high, 0), 0.0);
+}
+
+TEST(PaperContract, AppendixAExactlyOneInteriorRoot) {
+  // "there is exactly one value p1z of p1 where the partial derivative
+  //  becomes 0" (for fixed p2).
+  for (const double p2 : {0.2, 0.5, 0.8}) {
+    const double root = appendix_a_root(p2);
+    fault_universe u({{root, 0.0}, {p2, 0.0}});
+    EXPECT_NEAR(risk_ratio_derivative(u, 0), 0.0, 1e-10) << p2;
+    // Derivative is monotone in p1 around the root: strictly negative below,
+    // strictly positive above (checked at the midpoints).
+    fault_universe below({{root / 2, 0.0}, {p2, 0.0}});
+    fault_universe above({{(root + 1.0) / 2, 0.0}, {p2, 0.0}});
+    EXPECT_LT(risk_ratio_derivative(below, 0), 0.0) << p2;
+    EXPECT_GT(risk_ratio_derivative(above, 0), 0.0) << p2;
+  }
+}
+
+// --- Appendix B -----------------------------------------------------------------
+
+TEST(PaperContract, AppendixBDerivativeNonNegative) {
+  // "for any number of possible faults and any values of parameters such
+  //  that 0 <= k b_i <= 1, the derivative wrt k remains non-negative"
+  const std::vector<double> b = {0.9, 0.05, 0.3, 0.3, 0.01, 0.66, 0.2};
+  for (const double k : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_GE(risk_ratio_scale_derivative(b, k), -1e-9) << k;
+  }
+}
+
+}  // namespace

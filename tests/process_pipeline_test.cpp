@@ -1,0 +1,137 @@
+// Development-process model: delivered-p synthesis, improvement levers and
+// their exact correspondence to the paper's §4.2 operators.
+
+#include "process/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/moments.hpp"
+#include "core/no_common_fault.hpp"
+
+namespace {
+
+using namespace reldiv;
+using namespace reldiv::process;
+
+vnv_stage uniform_stage(std::string name, double d) {
+  vnv_stage s;
+  s.name = std::move(name);
+  s.detection.fill(d);
+  return s;
+}
+
+TEST(Pipeline, SurvivalProbabilityMultiplies) {
+  development_process p({uniform_stage("review", 0.5), uniform_stage("test", 0.6)});
+  for (const fault_class c : all_fault_classes()) {
+    EXPECT_NEAR(p.survival_probability(c), 0.5 * 0.4, 1e-15);
+  }
+  potential_fault f{fault_class::logic, 0.3, 0.01};
+  EXPECT_NEAR(p.delivered_p(f), 0.3 * 0.2, 1e-15);
+}
+
+TEST(Pipeline, PerClassDetectionDiffers) {
+  vnv_stage s = uniform_stage("unit test", 0.2);
+  s.set_detection(fault_class::boundary, 0.9);
+  development_process p({s});
+  EXPECT_NEAR(p.survival_probability(fault_class::boundary), 0.1, 1e-15);
+  EXPECT_NEAR(p.survival_probability(fault_class::logic), 0.8, 1e-15);
+  EXPECT_THROW(s.set_detection(fault_class::logic, 1.5), std::invalid_argument);
+}
+
+TEST(Pipeline, SynthesizeBuildsUniverse) {
+  development_process p({uniform_stage("review", 0.5)});
+  const std::vector<potential_fault> faults = {
+      {fault_class::logic, 0.4, 0.1}, {fault_class::boundary, 0.2, 0.2}};
+  const auto u = p.synthesize(faults);
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_NEAR(u[0].p, 0.2, 1e-15);
+  EXPECT_NEAR(u[1].p, 0.1, 1e-15);
+  EXPECT_DOUBLE_EQ(u[0].q, 0.1);
+}
+
+TEST(Pipeline, StrengthenStageIsTargetedImprovement) {
+  development_process p({uniform_stage("review", 0.5), uniform_stage("test", 0.5)});
+  const auto improved = p.strengthen_stage(0, fault_class::logic, 0.5);
+  // Escape of the review stage for logic faults halves: 0.5 -> 0.25.
+  EXPECT_NEAR(improved.survival_probability(fault_class::logic), 0.25 * 0.5, 1e-15);
+  // Other classes untouched.
+  EXPECT_NEAR(improved.survival_probability(fault_class::boundary), 0.25, 1e-15);
+  EXPECT_THROW((void)p.strengthen_stage(9, fault_class::logic, 0.5), std::out_of_range);
+  EXPECT_THROW((void)p.strengthen_stage(0, fault_class::logic, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, ScreeningStageIsExactlyProportional) {
+  // The paper's §4.2.2 "p_i = k b_i" scaling realized physically: a
+  // class-blind screening stage multiplies EVERY delivered p by (1-d).
+  development_process p({uniform_stage("review", 0.3)});
+  const auto screened = p.add_screening_stage("extra screening", 0.25);
+  const std::vector<potential_fault> faults = {
+      {fault_class::logic, 0.4, 0.1}, {fault_class::omission, 0.1, 0.2}};
+  const auto before = p.synthesize(faults);
+  const auto after = screened.synthesize(faults);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(after[i].p, 0.75 * before[i].p, 1e-15) << "i=" << i;
+  }
+  // And therefore the Appendix B conclusion holds: the diversity gain from
+  // eq. (10) improves (ratio decreases).
+  EXPECT_LT(core::risk_ratio(after), core::risk_ratio(before));
+}
+
+TEST(Pipeline, StrengthenAllImprovesEveryClass) {
+  development_process p({uniform_stage("review", 0.4), uniform_stage("test", 0.2)});
+  const auto improved = p.strengthen_all(0.5);
+  for (const fault_class c : all_fault_classes()) {
+    EXPECT_LT(improved.survival_probability(c), p.survival_probability(c));
+  }
+}
+
+TEST(Pipeline, FaultCatalogueIsValidAndReproducible) {
+  const auto a = make_fault_catalogue(40, 5);
+  const auto b = make_fault_catalogue(40, 5);
+  ASSERT_EQ(a.size(), 40u);
+  double q_sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cls, b[i].cls);
+    EXPECT_DOUBLE_EQ(a[i].introduction_probability, b[i].introduction_probability);
+    EXPECT_GE(a[i].introduction_probability, 0.0);
+    EXPECT_LE(a[i].introduction_probability, 0.5);
+    q_sum += a[i].q;
+  }
+  EXPECT_NEAR(q_sum, 0.5, 1e-9);
+  EXPECT_THROW((void)make_fault_catalogue(0, 1), std::invalid_argument);
+}
+
+TEST(Pipeline, HigherProcessLevelsDeliverBetterSoftware) {
+  const auto faults = make_fault_catalogue(60, 6);
+  double prev_mu = 1.0;
+  for (int level = 1; level <= 4; ++level) {
+    const auto u = make_process_at_level(level).synthesize(faults);
+    const double mu = core::single_version_moments(u).mean;
+    EXPECT_LT(mu, prev_mu) << "level=" << level;
+    prev_mu = mu;
+  }
+  EXPECT_THROW((void)make_process_at_level(0), std::invalid_argument);
+  EXPECT_THROW((void)make_process_at_level(5), std::invalid_argument);
+}
+
+TEST(Pipeline, Validation) {
+  vnv_stage bad;
+  bad.detection.fill(2.0);
+  EXPECT_THROW(development_process({bad}), std::invalid_argument);
+  development_process p;
+  EXPECT_THROW(p.add_stage(bad), std::invalid_argument);
+  EXPECT_THROW((void)p.add_screening_stage("x", 1.5), std::invalid_argument);
+  potential_fault f{fault_class::logic, 1.5, 0.1};
+  EXPECT_THROW((void)p.delivered_p(f), std::invalid_argument);
+}
+
+TEST(Taxonomy, NamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (const fault_class c : all_fault_classes()) names.insert(to_string(c));
+  EXPECT_EQ(names.size(), kFaultClassCount);
+}
+
+}  // namespace

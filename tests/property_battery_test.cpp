@@ -1,0 +1,152 @@
+// Cross-cutting property battery: for randomized universes, every layer of
+// the library must tell the same story.  Each TEST_P seed checks ~20
+// invariants spanning core, stats, mc, elm, forced, kofn and bayes — the
+// consistency net that catches any module drifting from the model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/assessment.hpp"
+#include "core/bounds.hpp"
+#include "core/generators.hpp"
+#include "core/improvement.hpp"
+#include "core/kofn.hpp"
+#include "core/moments.hpp"
+#include "core/no_common_fault.hpp"
+#include "core/pfd_distribution.hpp"
+#include "elm/models.hpp"
+#include "forced/forced_diversity.hpp"
+#include "stats/poisson_binomial.hpp"
+#include "mc/experiment.hpp"
+#include "stats/random.hpp"
+
+namespace {
+
+using namespace reldiv;
+using namespace reldiv::core;
+
+class PropertyBattery : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  [[nodiscard]] fault_universe universe() const {
+    stats::rng r(GetParam());
+    const std::size_t n = 5 + r.below(14);  // keep n <= 18 for enumeration
+    return make_random_universe(n, 0.05 + 0.55 * r.uniform(), 0.3 + 0.6 * r.uniform(),
+                                GetParam() * 7919 + 17);
+  }
+};
+
+TEST_P(PropertyBattery, MomentAndBoundConsistency) {
+  const auto u = universe();
+  const auto m1 = single_version_moments(u);
+  const auto m2 = pair_moments(u);
+
+  // Ordering and eq. (4).
+  EXPECT_LE(m2.mean, m1.mean + 1e-15);
+  EXPECT_LE(m2.mean, mean_bound(m1.mean, u.p_max()) + 1e-15);
+  // eq. (9) under its precondition.
+  if (u.all_p_below(kGoldenThreshold)) {
+    EXPECT_LE(m2.stddev(), sigma_bound(m1.stddev(), u.p_max()) + 1e-15);
+  }
+  // eqs. (11)/(12) at several k.
+  for (const double k : {0.5, 1.0, 2.33}) {
+    const double actual = m2.mean + k * m2.stddev();
+    if (u.all_p_below(kGoldenThreshold)) {
+      EXPECT_LE(actual, pair_bound_from_moments(m1.mean, m1.stddev(), k, u.p_max()) + 1e-15);
+      EXPECT_LE(actual,
+                pair_bound_from_bound(m1.mean + k * m1.stddev(), u.p_max()) + 1e-15);
+    }
+  }
+}
+
+TEST_P(PropertyBattery, DistributionLayerAgreesWithMomentLayer) {
+  const auto u = universe();
+  for (const unsigned m : {1u, 2u}) {
+    const auto law = exact_pfd_distribution(u, m);
+    const auto mom = one_out_of_m_moments(u, m);
+    EXPECT_NEAR(law.mean(), mom.mean, 1e-11);
+    EXPECT_NEAR(law.variance(), mom.variance, 1e-11);
+    EXPECT_NEAR(law.prob_zero(), prob_no_common_fault_m(u, m), 1e-10);
+    // CDF is monotone and hits 1 at the top.
+    EXPECT_NEAR(law.cdf(law.max_value()), 1.0, 1e-10);
+    // Quantile/CDF duality at a few levels.
+    for (const double alpha : {0.5, 0.9, 0.99}) {
+      const double x = law.quantile(alpha);
+      EXPECT_GE(law.cdf(x) + 1e-12, alpha);
+    }
+  }
+}
+
+TEST_P(PropertyBattery, CountLayerAgreesWithProductFormulas) {
+  const auto u = universe();
+  const stats::poisson_binomial n1(u.p_values());
+  std::vector<double> p2;
+  for (const auto& a : u) p2.push_back(a.p * a.p);
+  const stats::poisson_binomial n2(p2);
+  EXPECT_NEAR(n1.pmf(0), prob_no_fault(u), 1e-11);
+  EXPECT_NEAR(n2.pmf(0), prob_no_common_fault(u), 1e-11);
+  EXPECT_NEAR(n1.prob_positive(), prob_some_fault(u), 1e-11);
+  // eq. (10) two ways.
+  EXPECT_NEAR(risk_ratio(u), n2.prob_positive() / n1.prob_positive(), 1e-10);
+  // Footnote 5 identity.
+  EXPECT_NEAR(success_ratio(u), prob_no_common_fault(u) / prob_no_fault(u),
+              1e-9 * success_ratio(u));
+}
+
+TEST_P(PropertyBattery, ArchitectureElmForcedCrossChecks) {
+  const auto u = universe();
+  // kofn reduces to the pair machinery.
+  EXPECT_NEAR(architecture_moments(u, architecture::one_out_of_two()).mean,
+              pair_moments(u).mean, 1e-14);
+  // EL decomposition consistency.
+  const auto el = elm::decompose_el(u);
+  EXPECT_NEAR(el.mean_pair, pair_moments(u).mean, 1e-14);
+  EXPECT_GE(el.difficulty_variance, -1e-14);
+  // forced_pair with identical channels = non-forced pair.
+  const forced::forced_pair fp(u, u);
+  EXPECT_NEAR(fp.pair_moments().mean, pair_moments(u).mean, 1e-14);
+  EXPECT_NEAR(fp.prob_no_common_fault(), prob_no_common_fault(u), 1e-11);
+}
+
+TEST_P(PropertyBattery, ImprovementDirectionsAreLawful) {
+  const auto u = universe();
+  // Proportional improvement: reliability up AND diversity gain up (App. B).
+  const auto uniform = improve_all(u, 0.5);
+  EXPECT_LT(single_version_moments(uniform).mean, single_version_moments(u).mean);
+  EXPECT_LE(risk_ratio(uniform), risk_ratio(u) + 1e-12);
+  // Any improvement leaves the bounds ordered.
+  EXPECT_LE(pair_moments(uniform).mean,
+            mean_bound(single_version_moments(uniform).mean, uniform.p_max()) + 1e-15);
+}
+
+TEST_P(PropertyBattery, BayesNoEvidenceIdentityAndMonotonicity) {
+  const auto u = universe();
+  const auto prior = exact_pfd_distribution(u, 2);
+  const auto post0 = bayes::posterior_pfd(u, 2, 0);
+  EXPECT_NEAR(post0.mean(), prior.mean(), 1e-12);
+  // Survival evidence can only improve the posterior mean and P(0).
+  const auto post = bayes::posterior_pfd(u, 2, 2000);
+  EXPECT_LE(post.mean(), prior.mean() + 1e-15);
+  EXPECT_GE(post.prob_zero(), prior.prob_zero() - 1e-15);
+}
+
+TEST_P(PropertyBattery, MonteCarloBracketsTheAnalytics) {
+  const auto u = universe();
+  mc::experiment_config cfg;
+  cfg.samples = 60000;
+  cfg.seed = GetParam() + 5;
+  // 48 containment checks run across the seed sweep: use 99.99% intervals
+  // so a clean suite is the overwhelmingly likely outcome.
+  cfg.ci_level = 0.9999;
+  const auto res = mc::run_experiment(u, cfg);
+  EXPECT_TRUE(res.mean_theta1().ci.contains(single_version_moments(u).mean));
+  EXPECT_TRUE(res.mean_theta2().ci.contains(pair_moments(u).mean));
+  EXPECT_TRUE(res.prob_n1_positive().ci.contains(prob_some_fault(u)));
+  EXPECT_TRUE(res.prob_n2_positive().ci.contains(prob_some_common_fault(u)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyBattery,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+                                           2048));
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Protection-system simulator (Fig. 1): channel semantics, OR adjudication,
+// and the integration property that campaign PFDs match the geometric model.
+
+#include "protection/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace reldiv;
+using namespace reldiv::protection;
+using reldiv::demand::box;
+using reldiv::demand::make_box_region;
+
+TEST(SoftwareChannel, FailsExactlyInsideItsRegions) {
+  software_channel ch({make_box_region(box({0.0, 0.0}, {0.2, 0.2}))});
+  EXPECT_FALSE(ch.responds_correctly({0.1, 0.1}));
+  EXPECT_TRUE(ch.responds_correctly({0.5, 0.5}));
+  EXPECT_EQ(ch.fault_count(), 1u);
+  software_channel perfect;
+  EXPECT_TRUE(perfect.responds_correctly({0.1, 0.1}));
+}
+
+TEST(OneOutOfTwo, OrAdjudication) {
+  software_channel a({make_box_region(box({0.0, 0.0}, {0.5, 1.0}))});  // fails left half
+  software_channel b({make_box_region(box({0.25, 0.0}, {0.75, 1.0}))});
+  one_out_of_two sys(a, b);
+  EXPECT_TRUE(sys.responds_correctly({0.1, 0.5}));   // b ok
+  EXPECT_TRUE(sys.responds_correctly({0.6, 0.5}));   // a ok
+  EXPECT_FALSE(sys.responds_correctly({0.3, 0.5}));  // both fail: common region
+  EXPECT_TRUE(sys.responds_correctly({0.9, 0.5}));   // both ok
+}
+
+TEST(DevelopChannel, RespectsFaultProbabilities) {
+  const std::vector<demand::region_fault> faults = {
+      {make_box_region(box({0.0, 0.0}, {0.1, 0.1})), 1.0},
+      {make_box_region(box({0.5, 0.5}, {0.6, 0.6})), 0.0}};
+  stats::rng r(1);
+  const auto ch = develop_channel(faults, r);
+  EXPECT_EQ(ch.fault_count(), 1u);
+  EXPECT_FALSE(ch.responds_correctly({0.05, 0.05}));
+  EXPECT_TRUE(ch.responds_correctly({0.55, 0.55}));
+}
+
+TEST(Campaign, PfdsMatchGeometryUnderUniformDemands) {
+  // Channel A fails on a 0.1-measure strip, channel B on a 0.1-measure
+  // strip overlapping A on 0.05: the system PFD is the overlap measure.
+  software_channel a({make_box_region(box({0.0, 0.0}, {0.1, 1.0}))});
+  software_channel b({make_box_region(box({0.05, 0.0}, {0.15, 1.0}))});
+  one_out_of_two sys(a, b);
+  const demand::uniform_profile prof(box::unit(2));
+  stats::rng r(2);
+  const auto res = run_profile_campaign(prof, sys, 400000, r);
+  EXPECT_NEAR(res.channel_a_pfd(), 0.10, 0.003);
+  EXPECT_NEAR(res.channel_b_pfd(), 0.10, 0.003);
+  EXPECT_NEAR(res.system_pfd(), 0.05, 0.002);
+  EXPECT_TRUE(res.system_pfd_ci(0.99).contains(0.05));
+  // 1-out-of-2 never does worse than either channel.
+  EXPECT_LE(res.system_pfd(), std::min(res.channel_a_pfd(), res.channel_b_pfd()));
+}
+
+TEST(Campaign, IdenticalChannelsGainNothing) {
+  // The degenerate "no diversity" case: both channels carry the same fault.
+  const auto region = make_box_region(box({0.4, 0.4}, {0.6, 0.6}));
+  software_channel a({region});
+  software_channel b({region});
+  one_out_of_two sys(a, b);
+  const demand::uniform_profile prof(box::unit(2));
+  stats::rng r(3);
+  const auto res = run_profile_campaign(prof, sys, 100000, r);
+  EXPECT_EQ(res.system_failures, res.channel_a_failures);
+  EXPECT_EQ(res.system_failures, res.channel_b_failures);
+}
+
+TEST(Plant, ProducesDemandsInUnitBox) {
+  plant::config cfg;
+  plant pl(cfg);
+  stats::rng r(4);
+  for (int i = 0; i < 200; ++i) {
+    const auto x = pl.next_demand(r);
+    ASSERT_EQ(x.size(), cfg.dims);
+    for (const double v : x) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Plant, DemandsClusterNearTripBoundary) {
+  // Demands are threshold crossings, so the normalized coordinates should
+  // concentrate away from the centre (0.5 would be the setpoint).
+  plant::config cfg;
+  plant pl(cfg);
+  stats::rng r(5);
+  int extreme = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const auto x = pl.next_demand(r);
+    for (const double v : x) {
+      if (std::fabs(v - 0.5) >= 0.19) {  // |state| >= ~0.76*threshold
+        ++extreme;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(extreme, n / 2);
+}
+
+TEST(Plant, Validation) {
+  plant::config bad;
+  bad.dims = 0;
+  EXPECT_THROW(plant{bad}, std::invalid_argument);
+  plant::config bad2;
+  bad2.volatility = 0.0;
+  EXPECT_THROW(plant{bad2}, std::invalid_argument);
+  plant::config stuck;
+  stuck.volatility = 1e-9;
+  stuck.transient_rate = 0.0;
+  stuck.max_steps_per_demand = 100;
+  plant pl(stuck);
+  stats::rng r(6);
+  EXPECT_THROW((void)pl.next_demand(r), std::runtime_error);
+}
+
+TEST(Campaign, PlantDrivenRunsEndToEnd) {
+  const std::vector<demand::region_fault> faults = {
+      {make_box_region(box({0.0, 0.0}, {0.3, 0.3})), 0.5},
+      {make_box_region(box({0.7, 0.7}, {1.0, 1.0})), 0.5}};
+  stats::rng dev_rng(7);
+  one_out_of_two sys(develop_channel(faults, dev_rng), develop_channel(faults, dev_rng));
+  plant::config cfg;
+  plant pl(cfg);
+  stats::rng op_rng(8);
+  const auto res = run_campaign(pl, sys, 2000, op_rng);
+  EXPECT_EQ(res.demands, 2000u);
+  EXPECT_LE(res.system_failures, res.channel_a_failures);
+  EXPECT_LE(res.system_failures, res.channel_b_failures);
+}
+
+TEST(Campaign, Validation) {
+  one_out_of_two sys{software_channel{}, software_channel{}};
+  const demand::uniform_profile prof(box::unit(2));
+  stats::rng r(9);
+  EXPECT_THROW((void)run_profile_campaign(prof, sys, 0, r), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Trajectory-demand substrate (paper footnote 2): predicate regions,
+// episode generation, binding and campaigns.
+
+#include "seq/trajectory.hpp"
+
+#include "core/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace reldiv;
+using namespace reldiv::seq;
+
+trajectory make_traj(std::initializer_list<double> xs) {
+  trajectory t;
+  for (const double x : xs) t.samples.push_back({x, 0.0});
+  return t;
+}
+
+TEST(SustainedExcursion, DetectsRuns) {
+  const auto reg = make_sustained_excursion_region(0, 1.0, 3);
+  EXPECT_TRUE(reg->contains(make_traj({0.0, 1.1, 1.2, 1.3, 0.0})));
+  EXPECT_FALSE(reg->contains(make_traj({0.0, 1.1, 1.2, 0.9, 1.3, 1.4})));  // run broken
+  EXPECT_FALSE(reg->contains(make_traj({2.0, 0.0, 2.0, 0.0, 2.0})));
+  EXPECT_THROW((void)make_sustained_excursion_region(0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)reg->contains(trajectory{}), std::invalid_argument);
+}
+
+TEST(RateLimit, DetectsJumps) {
+  const auto reg = make_rate_limit_region(0, 0.5);
+  EXPECT_TRUE(reg->contains(make_traj({0.0, 0.8})));
+  EXPECT_TRUE(reg->contains(make_traj({0.0, 0.3, -0.4})));  // |-0.7| jump
+  EXPECT_FALSE(reg->contains(make_traj({0.0, 0.4, 0.8, 1.2})));
+  EXPECT_THROW((void)make_rate_limit_region(0, 0.0), std::invalid_argument);
+}
+
+TEST(Chatter, CountsUpwardCrossings) {
+  const auto reg = make_chatter_region(0, 0.5, 2);
+  EXPECT_FALSE(reg->contains(make_traj({0.0, 1.0, 0.0, 1.0})));          // 2 crossings
+  EXPECT_TRUE(reg->contains(make_traj({0.0, 1.0, 0.0, 1.0, 0.0, 1.0})));  // 3 crossings
+  EXPECT_FALSE(reg->contains(make_traj({1.0, 1.0, 1.0})));               // never crosses up
+}
+
+TEST(MeanBand, AveragesOverTheEpisode) {
+  const auto reg = make_mean_band_region(0, 0.4, 0.6);
+  EXPECT_TRUE(reg->contains(make_traj({0.5, 0.5, 0.5})));
+  EXPECT_TRUE(reg->contains(make_traj({0.0, 1.0, 0.5})));  // mean 0.5
+  EXPECT_FALSE(reg->contains(make_traj({0.0, 0.1, 0.2})));
+  EXPECT_THROW((void)make_mean_band_region(0, 0.6, 0.4), std::invalid_argument);
+}
+
+TEST(EpisodeGenerator, ShapeAndDeterminism) {
+  episode_generator::config cfg;
+  cfg.dims = 3;
+  cfg.length = 32;
+  episode_generator gen(cfg);
+  stats::rng r1(5);
+  stats::rng r2(5);
+  const auto a = gen.sample(r1);
+  const auto b = gen.sample(r2);
+  EXPECT_EQ(a.length(), 32u);
+  EXPECT_EQ(a.dims(), 3u);
+  EXPECT_EQ(a.samples, b.samples);
+  episode_generator::config bad;
+  bad.length = 1;
+  EXPECT_THROW(episode_generator{bad}, std::invalid_argument);
+}
+
+TEST(BindTrajectoryUniverse, EstimatesPlausibleQ) {
+  episode_generator gen({});
+  const std::vector<trajectory_fault> faults = {
+      {make_sustained_excursion_region(0, 0.5, 8), 0.3},
+      {make_rate_limit_region(1, 0.6), 0.2},
+      {make_chatter_region(0, 0.3, 5), 0.1},
+  };
+  const auto bound = bind_trajectory_universe(faults, gen, 20000, 7);
+  ASSERT_EQ(bound.universe.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(bound.universe[i].q, 0.0);
+    EXPECT_LE(bound.universe[i].q, 1.0);
+    EXPECT_TRUE(bound.q_intervals[i].contains(bound.universe[i].q));
+  }
+  EXPECT_DOUBLE_EQ(bound.universe[0].p, 0.3);
+  // Trajectory predicates overlap; the binder must report it rather than
+  // pretend disjointness.
+  EXPECT_GE(bound.max_pairwise_overlap, 0.0);
+  EXPECT_THROW((void)bind_trajectory_universe({}, gen, 100, 1), std::invalid_argument);
+  EXPECT_THROW((void)bind_trajectory_universe(faults, gen, 0, 1), std::invalid_argument);
+}
+
+TEST(TrajectoryCampaign, OneOutOfTwoSemantics) {
+  episode_generator gen({});
+  // Channel A fails on sustained excursions, channel B on rate jumps: the
+  // system fails only on episodes exhibiting BOTH phenomena.
+  const trajectory_channel a({make_sustained_excursion_region(0, 0.4, 6)});
+  const trajectory_channel b({make_rate_limit_region(0, 0.55)});
+  stats::rng r(9);
+  const auto res = run_trajectory_campaign(a, b, gen, 20000, r);
+  EXPECT_EQ(res.episodes, 20000u);
+  EXPECT_LE(res.system_failures, res.channel_a_failures);
+  EXPECT_LE(res.system_failures, res.channel_b_failures);
+  EXPECT_GT(res.channel_a_failures, 0u);
+  EXPECT_GT(res.channel_b_failures, 0u);
+}
+
+TEST(TrajectoryCampaign, IdenticalChannelsShareAllFailures) {
+  episode_generator gen({});
+  const auto reg = make_sustained_excursion_region(0, 0.4, 6);
+  const trajectory_channel a({reg});
+  const trajectory_channel b({reg});
+  stats::rng r(11);
+  const auto res = run_trajectory_campaign(a, b, gen, 5000, r);
+  EXPECT_EQ(res.system_failures, res.channel_a_failures);
+  EXPECT_EQ(res.system_failures, res.channel_b_failures);
+}
+
+TEST(DevelopTrajectoryChannel, RespectsP) {
+  const std::vector<trajectory_fault> faults = {
+      {make_rate_limit_region(0, 0.5), 1.0},
+      {make_chatter_region(0, 0.5, 1), 0.0},
+  };
+  stats::rng r(13);
+  const auto ch = develop_trajectory_channel(faults, r);
+  EXPECT_EQ(ch.fault_count(), 1u);
+}
+
+TEST(TrajectoryCampaign, MatchesBoundUniverseMoments) {
+  // Integration: average system PFD over many developed pairs must match
+  // E[Theta2] computed from the bound universe (within MC noise), PROVIDED
+  // the regions are (near-)disjoint.  Use predicates on different dims with
+  // low overlap.
+  episode_generator::config cfg;
+  cfg.dims = 2;
+  episode_generator gen(cfg);
+  const std::vector<trajectory_fault> faults = {
+      {make_sustained_excursion_region(0, 0.9, 10), 0.5},
+      {make_rate_limit_region(1, 0.75), 0.4},
+  };
+  const auto bound = bind_trajectory_universe(faults, gen, 40000, 15);
+  // Overlap must be small for the disjoint-model comparison to be fair.
+  ASSERT_LT(bound.max_pairwise_overlap,
+            0.2 * std::min(bound.universe[0].q, bound.universe[1].q) + 5e-4);
+
+  stats::rng dev(16);
+  stats::rng op(17);
+  double total = 0.0;
+  const int developments = 150;
+  for (int d = 0; d < developments; ++d) {
+    const auto a = develop_trajectory_channel(faults, dev);
+    const auto b = develop_trajectory_channel(faults, dev);
+    total += run_trajectory_campaign(a, b, gen, 1500, op).system_pfd();
+  }
+  const double simulated = total / developments;
+  const double predicted = core::pair_moments(bound.universe).mean;
+  EXPECT_NEAR(simulated, predicted, 0.35 * predicted + 2e-3);
+}
+
+}  // namespace

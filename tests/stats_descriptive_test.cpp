@@ -1,0 +1,170 @@
+// Descriptive-statistics substrate tests: Welford accumulator against direct
+// two-pass computation, merge correctness, order statistics, ECDF, histogram.
+
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/random.hpp"
+
+namespace {
+
+using namespace reldiv::stats;
+
+std::vector<double> test_sample(std::size_t n, std::uint64_t seed) {
+  rng r(seed);
+  std::vector<double> out(n);
+  for (auto& x : out) x = r.uniform(-2.0, 5.0) + normal_deviate(r);
+  return out;
+}
+
+TEST(RunningMoments, MatchesTwoPassComputation) {
+  const auto xs = test_sample(5000, 11);
+  running_moments m;
+  for (const double x : xs) m.add(x);
+
+  const double mean = std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+  double var = 0.0;
+  double skew = 0.0;
+  double kurt = 0.0;
+  for (const double x : xs) {
+    var += (x - mean) * (x - mean);
+    skew += std::pow(x - mean, 3);
+    kurt += std::pow(x - mean, 4);
+  }
+  const double m2 = var / xs.size();
+  var /= (xs.size() - 1);
+  skew = (skew / xs.size()) / std::pow(m2, 1.5);
+  kurt = (kurt / xs.size()) / (m2 * m2) - 3.0;
+
+  EXPECT_NEAR(m.mean(), mean, 1e-10);
+  EXPECT_NEAR(m.variance(), var, 1e-9);
+  EXPECT_NEAR(m.skewness(), skew, 1e-8);
+  EXPECT_NEAR(m.excess_kurtosis(), kurt, 1e-7);
+  EXPECT_EQ(m.count(), xs.size());
+}
+
+TEST(RunningMoments, MergeEqualsConcatenation) {
+  const auto xs = test_sample(3000, 21);
+  const auto ys = test_sample(1700, 22);
+  running_moments merged;
+  running_moments a;
+  running_moments b;
+  for (const double x : xs) {
+    merged.add(x);
+    a.add(x);
+  }
+  for (const double y : ys) {
+    merged.add(y);
+    b.add(y);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), merged.count());
+  EXPECT_NEAR(a.mean(), merged.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), merged.variance(), 1e-9);
+  EXPECT_NEAR(a.skewness(), merged.skewness(), 1e-7);
+  EXPECT_NEAR(a.excess_kurtosis(), merged.excess_kurtosis(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), merged.min());
+  EXPECT_DOUBLE_EQ(a.max(), merged.max());
+}
+
+TEST(RunningMoments, MergeWithEmptySides) {
+  running_moments empty;
+  running_moments a;
+  a.add(1.0);
+  a.add(3.0);
+  running_moments a_copy = a;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a_copy);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningMoments, DegenerateCounts) {
+  running_moments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  m.add(4.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.standard_error(), 0.0);
+}
+
+TEST(Quantile, InterpolatesType7) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, Validation) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile({1.0}, 1.5), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.9), 7.0);
+}
+
+TEST(Summarize, BasicFields) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(EmpiricalCdf, StepsAndQuantiles) {
+  const empirical_cdf F({3.0, 1.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(F(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(F(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(F(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(F(2.5), 0.75);
+  EXPECT_DOUBLE_EQ(F(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(F(99.0), 1.0);
+  EXPECT_DOUBLE_EQ(F.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(F.quantile(1.0), 3.0);
+}
+
+TEST(Histogram, BinningAndEdges) {
+  histogram h(0.0, 10.0, 10);
+  h.add(-1.0);   // underflow
+  h.add(0.0);    // first bin
+  h.add(5.0);    // bin 5
+  h.add(9.999);  // last bin
+  h.add(10.0);   // inclusive top edge -> last bin
+  h.add(11.0);   // overflow
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBin) {
+  histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 100; ++i) h.add(0.1);
+  const std::string art = h.render(20);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(histogram(0.0, 1.0, 0), std::invalid_argument);
+  histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.bin_count(5), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Distribution-layer tests, anchored on the exact numbers the paper quotes:
+// P(Θ <= µ+3σ) = 0.99865003 and the 99% one-sided multiplier k = 2.33 (§5.1).
+
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace {
+
+using namespace reldiv::stats;
+
+TEST(NormalCdf, PaperQuotedValues) {
+  // §5.1: "P(Θ≤µ+3σ)=0.99865003".  The true value is 0.998650102; the
+  // paper's last printed digits are off by 7e-8 (a table-rounding artefact),
+  // so we check agreement to the accuracy the paper can actually claim.
+  EXPECT_NEAR(normal_cdf(3.0), 0.99865003, 1e-7);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-12);  // true value
+  // §5.1: "the 99% confidence level corresponds to ϑ=µ+2.33σ"
+  EXPECT_NEAR(one_sided_k(0.99), 2.33, 0.005);
+}
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-12);
+  EXPECT_NEAR(normal_cdf(5.0), 0.9999997133484281, 1e-12);
+}
+
+TEST(NormalPdf, KnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-14);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-14);
+  EXPECT_NEAR(normal_pdf(2.0, 2.0, 1.0), 0.3989422804014327, 1e-14);
+}
+
+TEST(NormalQuantile, RoundTripOverWideRange) {
+  for (double p = 1e-10; p < 1.0; p = p < 0.5 ? p * 10.0 : (1.0 + p) / 2.0) {
+    const double x = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(x), p, 1e-12 + 1e-9 * p) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.84134474606854293), 1.0, 1e-9);
+}
+
+TEST(NormalQuantile, RejectsEdges) {
+  EXPECT_THROW((void)normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile(-0.5), std::invalid_argument);
+}
+
+TEST(NormalScaled, LocationScale) {
+  EXPECT_NEAR(normal_cdf(0.011, 0.01, 0.001), normal_cdf(1.0), 1e-12);
+  EXPECT_NEAR(normal_quantile(0.99, 0.01, 0.001), 0.01 + 0.001 * normal_quantile(0.99),
+              1e-12);
+  EXPECT_THROW((void)normal_cdf(0.0, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(ConfidenceHelpers, Inverses) {
+  for (const double k : {0.0, 1.0, 2.0, 3.0}) {
+    EXPECT_NEAR(one_sided_k(confidence_from_k(k)), k, 1e-9);
+  }
+}
+
+TEST(BetaDistribution, UniformSpecialCase) {
+  const beta_distribution u{1.0, 1.0};
+  EXPECT_NEAR(u.cdf(0.3), 0.3, 1e-13);
+  EXPECT_NEAR(u.pdf(0.3), 1.0, 1e-13);
+  EXPECT_NEAR(u.quantile(0.7), 0.7, 1e-10);
+  EXPECT_DOUBLE_EQ(u.mean(), 0.5);
+}
+
+TEST(BetaDistribution, MomentsAndQuantileRoundTrip) {
+  const beta_distribution b{2.5, 7.5};
+  EXPECT_NEAR(b.mean(), 0.25, 1e-14);
+  EXPECT_NEAR(b.variance(), 0.25 * 0.75 / 11.0, 1e-14);
+  for (const double p : {0.05, 0.5, 0.95}) {
+    EXPECT_NEAR(b.cdf(b.quantile(p)), p, 1e-9);
+  }
+}
+
+TEST(BetaDistribution, CdfBounds) {
+  const beta_distribution b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(b.cdf(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(b.cdf(1.5), 1.0);
+}
+
+TEST(LognormalDistribution, KnownRelations) {
+  const lognormal_distribution ln{0.0, 1.0};
+  EXPECT_NEAR(ln.cdf(1.0), 0.5, 1e-13);  // median at e^mu
+  EXPECT_NEAR(ln.mean(), std::exp(0.5), 1e-12);
+  EXPECT_NEAR(ln.quantile(0.5), 1.0, 1e-10);
+  EXPECT_DOUBLE_EQ(ln.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ln.pdf(-1.0), 0.0);
+}
+
+TEST(BinomialCdf, MatchesDirectSum) {
+  const std::int64_t n = 12;
+  const double p = 0.3;
+  double direct = 0.0;
+  for (std::int64_t k = 0; k <= n; ++k) {
+    direct += binomial_pmf(k, n, p);
+    EXPECT_NEAR(binomial_cdf(k, n, p), direct, 1e-12) << "k=" << k;
+  }
+  EXPECT_NEAR(direct, 1.0, 1e-12);
+}
+
+TEST(BinomialCdf, Edges) {
+  EXPECT_DOUBLE_EQ(binomial_cdf(-1, 5, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(5, 5, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(0, 5, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(7, 5, 0.5), 0.0);
+}
+
+TEST(LogChoose, KnownValues) {
+  EXPECT_NEAR(log_choose(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(log_choose(52, 5), std::log(2598960.0), 1e-9);
+  EXPECT_THROW((void)log_choose(3, 5), std::invalid_argument);
+}
+
+}  // namespace

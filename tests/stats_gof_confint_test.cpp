@@ -1,0 +1,174 @@
+// Goodness-of-fit and confidence-interval substrate tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/confint.hpp"
+#include "stats/distributions.hpp"
+#include "stats/gof_tests.hpp"
+#include "stats/random.hpp"
+
+namespace {
+
+using namespace reldiv::stats;
+
+std::vector<double> normal_sample(std::size_t n, std::uint64_t seed) {
+  rng r(seed);
+  std::vector<double> out(n);
+  for (auto& x : out) x = 2.0 + 0.5 * normal_deviate(r);
+  return out;
+}
+
+std::vector<double> uniform_sample(std::size_t n, std::uint64_t seed) {
+  rng r(seed);
+  std::vector<double> out(n);
+  for (auto& x : out) x = r.uniform();
+  return out;
+}
+
+TEST(KolmogorovSf, KnownValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_sf(0.0), 1.0);
+  // K(1.36) ~ 0.05 (the classic 5% critical value)
+  EXPECT_NEAR(kolmogorov_sf(1.36), 0.05, 0.002);
+  EXPECT_LT(kolmogorov_sf(2.0), 1e-3);
+}
+
+TEST(KsDistance, PerfectFitIsSmall) {
+  const auto xs = uniform_sample(2000, 3);
+  const double d = ks_distance(xs, [](double x) { return std::clamp(x, 0.0, 1.0); });
+  EXPECT_LT(d, 0.035);  // ~1.36/sqrt(2000) at 5%
+}
+
+TEST(KsDistance, DetectsWrongDistribution) {
+  const auto xs = uniform_sample(2000, 4);
+  // Claim the sample is N(0,1): distance should be gross.
+  const double d = ks_distance(xs, [](double x) { return normal_cdf(x); });
+  EXPECT_GT(d, 0.3);
+}
+
+TEST(KolmogorovSmirnov, AcceptsTrueNull) {
+  const auto xs = normal_sample(1000, 5);
+  const auto res =
+      kolmogorov_smirnov(xs, [](double x) { return normal_cdf(x, 2.0, 0.5); });
+  EXPECT_GT(res.p_value, 0.05);
+  EXPECT_FALSE(res.reject_at_05);
+}
+
+TEST(KolmogorovSmirnov, RejectsFalseNull) {
+  const auto xs = normal_sample(1000, 6);
+  const auto res = kolmogorov_smirnov(xs, [](double x) { return normal_cdf(x); });
+  EXPECT_LT(res.p_value, 1e-6);
+  EXPECT_TRUE(res.reject_at_05);
+}
+
+TEST(AndersonDarling, AcceptsNormalSample) {
+  const auto res = anderson_darling_normal(normal_sample(500, 7));
+  EXPECT_GT(res.p_value, 0.05);
+}
+
+TEST(AndersonDarling, RejectsExponentialSample) {
+  rng r(8);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = -std::log(1.0 - r.uniform());
+  const auto res = anderson_darling_normal(xs);
+  EXPECT_LT(res.p_value, 0.001);
+  EXPECT_TRUE(res.reject_at_05);
+}
+
+TEST(AndersonDarling, Validation) {
+  EXPECT_THROW((void)anderson_darling_normal({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)anderson_darling_normal(std::vector<double>(20, 3.0)),
+               std::invalid_argument);
+}
+
+TEST(ChiSquare, AcceptsMatchingCounts) {
+  const std::vector<double> expected = {100, 100, 100, 100};
+  const std::vector<double> observed = {105, 96, 99, 100};
+  const auto res = chi_square_gof(observed, expected);
+  EXPECT_GT(res.p_value, 0.5);
+}
+
+TEST(ChiSquare, RejectsMismatchedCounts) {
+  const std::vector<double> expected = {100, 100, 100, 100};
+  const std::vector<double> observed = {160, 40, 150, 50};
+  const auto res = chi_square_gof(observed, expected);
+  EXPECT_LT(res.p_value, 1e-10);
+}
+
+TEST(ChiSquare, Validation) {
+  EXPECT_THROW((void)chi_square_gof({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)chi_square_gof({1.0, 2.0}, {1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)chi_square_gof({1.0}, {1.0}, 1), std::invalid_argument);
+}
+
+TEST(Wilson, ContainsTrueProportionTypically) {
+  // 99% intervals over 200 replications of Binomial(500, 0.07): expect at
+  // most a few misses.
+  rng r(9);
+  int misses = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    std::uint64_t hits = 0;
+    for (int i = 0; i < 500; ++i) {
+      if (r.bernoulli(0.07)) ++hits;
+    }
+    if (!wilson(hits, 500, 0.99).contains(0.07)) ++misses;
+  }
+  EXPECT_LE(misses, 8);
+}
+
+TEST(Wilson, EdgeCounts) {
+  const auto zero = wilson(0, 100, 0.95);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const auto all = wilson(100, 100, 0.95);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_THROW((void)wilson(5, 0, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)wilson(5, 4, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)wilson(1, 4, 1.5), std::invalid_argument);
+}
+
+TEST(ClopperPearson, WiderThanWilson) {
+  const auto cp = clopper_pearson(7, 100, 0.95);
+  const auto w = wilson(7, 100, 0.95);
+  EXPECT_LE(cp.lo, w.lo + 1e-9);
+  EXPECT_GE(cp.hi, w.hi - 1e-9);
+  EXPECT_TRUE(cp.contains(0.07));
+}
+
+TEST(ClopperPearson, Edges) {
+  const auto zero = clopper_pearson(0, 50, 0.99);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  const auto all = clopper_pearson(50, 50, 0.99);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+}
+
+TEST(MeanCi, ShrinksWithN) {
+  const auto small = mean_ci(1.0, 2.0, 100, 0.95);
+  const auto big = mean_ci(1.0, 2.0, 10000, 0.95);
+  EXPECT_LT(big.width(), small.width());
+  EXPECT_TRUE(small.contains(1.0));
+}
+
+TEST(Bootstrap, RecoversMedianOfSymmetricSample) {
+  const auto xs = normal_sample(400, 10);
+  const auto ci = bootstrap_percentile(
+      xs,
+      [](const std::vector<double>& s) {
+        std::vector<double> copy = s;
+        std::nth_element(copy.begin(), copy.begin() + copy.size() / 2, copy.end());
+        return copy[copy.size() / 2];
+      },
+      500, 0.95, 42);
+  EXPECT_TRUE(ci.contains(2.0));
+  EXPECT_LT(ci.width(), 0.3);
+}
+
+TEST(Bootstrap, Validation) {
+  EXPECT_THROW((void)bootstrap_percentile({}, nullptr, 100, 0.95, 1),
+               std::invalid_argument);
+}
+
+}  // namespace

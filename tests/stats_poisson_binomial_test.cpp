@@ -1,0 +1,100 @@
+// Poisson-binomial law: exact pmf checks against binomial special cases,
+// brute-force enumeration, and the paper's P(N > 0) product formula.
+
+#include "stats/poisson_binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.hpp"
+
+namespace {
+
+using reldiv::stats::poisson_binomial;
+
+TEST(PoissonBinomial, ReducesToBinomialForEqualProbs) {
+  const double p = 0.23;
+  const int n = 9;
+  poisson_binomial pb(std::vector<double>(n, p));
+  for (int k = 0; k <= n; ++k) {
+    EXPECT_NEAR(pb.pmf(static_cast<std::size_t>(k)),
+                reldiv::stats::binomial_pmf(k, n, p), 1e-13)
+        << "k=" << k;
+  }
+}
+
+TEST(PoissonBinomial, MatchesBruteForceEnumeration) {
+  const std::vector<double> p = {0.1, 0.5, 0.9, 0.25};
+  poisson_binomial pb(p);
+  std::vector<double> brute(p.size() + 1, 0.0);
+  for (unsigned mask = 0; mask < (1u << p.size()); ++mask) {
+    double prob = 1.0;
+    int bits = 0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (mask & (1u << i)) {
+        prob *= p[i];
+        ++bits;
+      } else {
+        prob *= 1.0 - p[i];
+      }
+    }
+    brute[bits] += prob;
+  }
+  for (std::size_t k = 0; k <= p.size(); ++k) {
+    EXPECT_NEAR(pb.pmf(k), brute[k], 1e-14) << "k=" << k;
+  }
+}
+
+TEST(PoissonBinomial, PmfSumsToOne) {
+  poisson_binomial pb({0.01, 0.2, 0.8, 0.5, 0.03, 0.97});
+  double total = 0.0;
+  for (std::size_t k = 0; k <= 6; ++k) total += pb.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-13);
+  EXPECT_DOUBLE_EQ(pb.pmf(7), 0.0);
+  EXPECT_NEAR(pb.cdf(6), 1.0, 1e-13);
+}
+
+TEST(PoissonBinomial, ProbPositiveMatchesProductFormula) {
+  const std::vector<double> p = {0.05, 0.02, 0.11};
+  poisson_binomial pb(p);
+  const double expected = 1.0 - (1.0 - 0.05) * (1.0 - 0.02) * (1.0 - 0.11);
+  EXPECT_NEAR(pb.prob_positive(), expected, 1e-14);
+  EXPECT_NEAR(pb.prob_positive(), 1.0 - pb.pmf(0), 1e-13);
+}
+
+TEST(PoissonBinomial, MeanAndVariance) {
+  const std::vector<double> p = {0.1, 0.4, 0.7};
+  poisson_binomial pb(p);
+  EXPECT_NEAR(pb.mean(), 1.2, 1e-14);
+  EXPECT_NEAR(pb.variance(), 0.1 * 0.9 + 0.4 * 0.6 + 0.7 * 0.3, 1e-14);
+  // Cross-check variance against the pmf.
+  double var = 0.0;
+  for (std::size_t k = 0; k <= 3; ++k) {
+    const double d = static_cast<double>(k) - 1.2;
+    var += d * d * pb.pmf(k);
+  }
+  EXPECT_NEAR(pb.variance(), var, 1e-13);
+}
+
+TEST(PoissonBinomial, DegenerateInputs) {
+  poisson_binomial empty(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(empty.pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(empty.prob_positive(), 0.0);
+
+  poisson_binomial certain({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(certain.pmf(2), 1.0);
+  EXPECT_DOUBLE_EQ(certain.prob_positive(), 1.0);
+
+  EXPECT_THROW(poisson_binomial({0.5, 1.2}), std::invalid_argument);
+  EXPECT_THROW(poisson_binomial({-0.1}), std::invalid_argument);
+}
+
+TEST(PoissonBinomial, TinyProbabilitiesAreStable) {
+  // P(N>0) for 100 faults of 1e-10 each must be ~1e-8, not 0.
+  poisson_binomial pb(std::vector<double>(100, 1e-10));
+  EXPECT_NEAR(pb.prob_positive(), 1e-8, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Accuracy tests for the special-function layer against high-precision
+// reference values (computed independently with mpmath).
+
+#include "stats/special_functions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using namespace reldiv::stats;
+
+TEST(LogGamma, KnownValues) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-14);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-14);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(log_gamma(0.5), 0.5723649429247001, 1e-12);  // ln sqrt(pi)
+}
+
+TEST(LogGamma, RejectsNonPositive) {
+  EXPECT_THROW((void)log_gamma(0.0), std::invalid_argument);
+  EXPECT_THROW((void)log_gamma(-3.0), std::invalid_argument);
+}
+
+TEST(LogBeta, KnownValues) {
+  // B(2,3) = 1/12
+  EXPECT_NEAR(log_beta(2.0, 3.0), std::log(1.0 / 12.0), 1e-12);
+  // B(0.5,0.5) = pi
+  EXPECT_NEAR(log_beta(0.5, 0.5), std::log(3.14159265358979323846), 1e-12);
+}
+
+TEST(GammaP, KnownValues) {
+  // P(1, x) = 1 - e^-x
+  for (const double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12) << "x=" << x;
+  }
+  // P(0.5, x) = erf(sqrt(x))
+  for (const double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(GammaPq, Complementarity) {
+  for (const double a : {0.3, 1.0, 2.7, 15.0}) {
+    for (const double x : {0.0, 0.5, 2.0, 20.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12) << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaP, EdgeCases) {
+  EXPECT_DOUBLE_EQ(gamma_p(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gamma_q(2.0, 0.0), 1.0);
+  EXPECT_THROW((void)gamma_p(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)gamma_p(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1,1) = x
+  for (const double x : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-13) << "x=" << x;
+  }
+  // I_x(2,2) = x^2 (3 - 2x)
+  for (const double x : {0.2, 0.5, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(2.0, 2.0, x), x * x * (3.0 - 2.0 * x), 1e-12);
+  }
+  // I_x(0.5, 0.5) = (2/pi) asin(sqrt(x))
+  for (const double x : {0.1, 0.5, 0.8}) {
+    EXPECT_NEAR(incomplete_beta(0.5, 0.5, x),
+                2.0 / 3.14159265358979323846 * std::asin(std::sqrt(x)), 1e-11);
+  }
+}
+
+TEST(IncompleteBeta, Symmetry) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a)
+  for (const double a : {0.7, 2.0, 8.0}) {
+    for (const double b : {0.4, 3.0}) {
+      for (const double x : {0.1, 0.5, 0.9}) {
+        EXPECT_NEAR(incomplete_beta(a, b, x), 1.0 - incomplete_beta(b, a, 1.0 - x), 1e-11);
+      }
+    }
+  }
+}
+
+TEST(IncompleteBeta, RejectsBadArguments) {
+  EXPECT_THROW((void)incomplete_beta(0.0, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)incomplete_beta(1.0, 1.0, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)incomplete_beta(1.0, 1.0, 1.1), std::invalid_argument);
+}
+
+TEST(InverseIncompleteBeta, RoundTrip) {
+  for (const double a : {0.5, 1.0, 2.0, 10.0}) {
+    for (const double b : {0.5, 3.0, 20.0}) {
+      for (const double p : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+        const double x = inverse_incomplete_beta(a, b, p);
+        EXPECT_NEAR(incomplete_beta(a, b, x), p, 1e-9)
+            << "a=" << a << " b=" << b << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(InverseIncompleteBeta, Edges) {
+  EXPECT_DOUBLE_EQ(inverse_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(inverse_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+  EXPECT_THROW((void)inverse_incomplete_beta(2.0, 3.0, -0.1), std::invalid_argument);
+}
+
+TEST(Log1mExp, MatchesAccurateReference) {
+  // Reference via expm1 (accurate for small |x|; for very negative x the
+  // reference itself rounds to 0 in doubles, hence the absolute term).
+  for (const double x : {-1e-8, -0.1, -0.5, -1.0, -5.0, -50.0}) {
+    const double ref = std::log(-std::expm1(x));
+    EXPECT_NEAR(log1m_exp(x), ref, 1e-12 * std::fabs(ref) + 1e-21) << "x=" << x;
+  }
+  // Deep tail: log1m_exp(x) ~ -e^x.
+  EXPECT_NEAR(log1m_exp(-50.0), -std::exp(-50.0), 1e-30);
+}
+
+TEST(Log1mExp, RejectsNonNegative) {
+  EXPECT_THROW((void)log1m_exp(0.0), std::invalid_argument);
+  EXPECT_THROW((void)log1m_exp(1.0), std::invalid_argument);
+}
+
+TEST(OneMinusProdOneMinus, SmallProbabilitiesAreStable) {
+  // With 3 probabilities of 1e-12, naive computation in doubles loses
+  // precision; the stable version must return ~3e-12.
+  std::vector<double> p(3, 1e-12);
+  EXPECT_NEAR(one_minus_prod_one_minus(p.begin(), p.end()), 3e-12, 1e-17);
+}
+
+TEST(OneMinusProdOneMinus, ExactCases) {
+  std::vector<double> none;
+  EXPECT_DOUBLE_EQ(one_minus_prod_one_minus(none.begin(), none.end()), 0.0);
+  std::vector<double> certain = {0.2, 1.0, 0.3};
+  EXPECT_DOUBLE_EQ(one_minus_prod_one_minus(certain.begin(), certain.end()), 1.0);
+  std::vector<double> two = {0.5, 0.5};
+  EXPECT_NEAR(one_minus_prod_one_minus(two.begin(), two.end()), 0.75, 1e-15);
+}
+
+}  // namespace
