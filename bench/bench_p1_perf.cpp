@@ -8,6 +8,7 @@
 #include "core/moments.hpp"
 #include "core/no_common_fault.hpp"
 #include "core/pfd_distribution.hpp"
+#include "mc/experiment.hpp"
 #include "mc/sampler.hpp"
 #include "stats/poisson_binomial.hpp"
 #include "stats/random.hpp"
@@ -62,6 +63,144 @@ void BM_SampleVersion(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SampleVersion)->Range(16, 1024);
+
+// Bitset engine: exact-stream mask sampler (bit-compatible with
+// BM_SampleVersion's rng decisions, but allocation-free and word-packed).
+void BM_SampleVersionMaskExact(benchmark::State& state) {
+  const auto u = core::make_random_universe(static_cast<std::size_t>(state.range(0)), 0.3,
+                                            0.8, 5);
+  stats::rng r(6);
+  core::fault_mask m(u.size());
+  for (auto _ : state) {
+    mc::sample_version_mask(u, r, m);
+    benchmark::DoNotOptimize(m.words());
+  }
+}
+BENCHMARK(BM_SampleVersionMaskExact)->Range(16, 1024);
+
+// Bitset engine: paired sampler — one rng word yields a presence bit for
+// both versions of a pair, so time per *version* is half the per-word cost.
+void BM_SampleVersionPairFast(benchmark::State& state) {
+  const auto u = core::make_random_universe(static_cast<std::size_t>(state.range(0)), 0.3,
+                                            0.8, 5);
+  stats::rng r(6);
+  core::fault_mask a(u.size());
+  core::fault_mask b(u.size());
+  for (auto _ : state) {
+    mc::sample_version_pair_fast(u, r, a, b);
+    benchmark::DoNotOptimize(a.words());
+    benchmark::DoNotOptimize(b.words());
+  }
+}
+BENCHMARK(BM_SampleVersionPairFast)->Range(16, 1024);
+
+// Bitset engine: word-parallel sampler for uniform-p universes (64 presence
+// bits per bit-slice pass).
+void BM_SampleVersionMaskUniform(benchmark::State& state) {
+  const auto u = core::make_homogeneous_universe(
+      static_cast<std::size_t>(state.range(0)), 0.3, 0.8 / static_cast<double>(state.range(0)));
+  stats::rng r(6);
+  core::fault_mask m(u.size());
+  for (auto _ : state) {
+    mc::sample_version_mask_uniform(u, r, m);
+    benchmark::DoNotOptimize(m.words());
+  }
+}
+BENCHMARK(BM_SampleVersionMaskUniform)->Range(16, 1024);
+
+// Pair PFD: sparse sorted-merge vs fused word-AND + masked q gather.
+void BM_PairPfdSparse(benchmark::State& state) {
+  const auto u = core::make_random_universe(static_cast<std::size_t>(state.range(0)), 0.3,
+                                            0.8, 5);
+  stats::rng r(6);
+  const auto a = mc::sample_version(u, r);
+  const auto b = mc::sample_version(u, r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::pair_pfd(a, b, u));
+    benchmark::DoNotOptimize(mc::common_faults(a, b).empty());
+  }
+}
+BENCHMARK(BM_PairPfdSparse)->Range(16, 1024);
+
+void BM_PairPfdMask(benchmark::State& state) {
+  const auto u = core::make_random_universe(static_cast<std::size_t>(state.range(0)), 0.3,
+                                            0.8, 5);
+  stats::rng r(6);
+  const auto a = mc::sample_version(u, r);
+  const auto b = mc::sample_version(u, r);
+  const auto ma = mc::to_mask(a, u.size());
+  const auto mb = mc::to_mask(b, u.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::pair_pfd_stats(ma, mb, u));
+  }
+}
+BENCHMARK(BM_PairPfdMask)->Range(16, 1024);
+
+// End-to-end experiment throughput at the ISSUE's reference size n=1024:
+// single-threaded so the engine comparison is apples-to-apples (threading
+// multiplies all engines alike).  Items processed = sampled version pairs.
+void run_experiment_bench(benchmark::State& state, mc::sampling_engine engine) {
+  const auto u = core::make_random_universe(1024, 0.3, 0.8, 5);
+  mc::experiment_config cfg;
+  cfg.samples = 2048;
+  cfg.threads = 1;
+  cfg.engine = engine;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(mc::run_experiment(u, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.samples));
+}
+
+void BM_RunExperimentLegacy(benchmark::State& state) {
+  run_experiment_bench(state, mc::sampling_engine::legacy);
+}
+BENCHMARK(BM_RunExperimentLegacy)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_RunExperimentExact(benchmark::State& state) {
+  run_experiment_bench(state, mc::sampling_engine::exact);
+}
+BENCHMARK(BM_RunExperimentExact)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_RunExperimentFast(benchmark::State& state) {
+  run_experiment_bench(state, mc::sampling_engine::fast);
+}
+BENCHMARK(BM_RunExperimentFast)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Uniform-p end-to-end variant: with p = 0.5 the fast engine's word-parallel
+// kernel needs a single rng word per 64 faults.
+void BM_RunExperimentFastUniformP(benchmark::State& state) {
+  const auto u = core::make_homogeneous_universe(1024, 0.5, 0.8 / 1024.0);
+  mc::experiment_config cfg;
+  cfg.samples = 2048;
+  cfg.threads = 1;
+  cfg.engine = mc::sampling_engine::fast;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(mc::run_experiment(u, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.samples));
+}
+BENCHMARK(BM_RunExperimentFastUniformP)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Word-parallel sampler at p = 0.5 (single rng word per 64 faults): the
+// upper end of the sampling speedup.
+void BM_SampleVersionMaskUniformHalf(benchmark::State& state) {
+  const auto u = core::make_homogeneous_universe(
+      static_cast<std::size_t>(state.range(0)), 0.5,
+      0.8 / static_cast<double>(state.range(0)));
+  stats::rng r(6);
+  core::fault_mask m(u.size());
+  for (auto _ : state) {
+    mc::sample_version_mask_uniform(u, r, m);
+    benchmark::DoNotOptimize(m.words());
+  }
+}
+BENCHMARK(BM_SampleVersionMaskUniformHalf)->Range(16, 1024);
 
 void BM_PoissonBinomial(benchmark::State& state) {
   const auto u = core::make_random_universe(static_cast<std::size_t>(state.range(0)), 0.3,

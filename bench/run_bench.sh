@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Reproducible perf pipeline: build Release, run the P1 microbenchmarks, and
+# record BENCH_p1.json (google-benchmark JSON) so the perf trajectory is
+# tracked across PRs.  The end-to-end engine comparison lives in the same
+# file: BM_RunExperimentLegacy is the pre-bitset baseline, BM_RunExperimentFast
+# the shipping engine.
+#
+# Usage: bench/run_bench.sh [build-dir] [output-json]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build-bench}"
+out_json="${2:-$repo_root/BENCH_p1.json}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
+      -DRELDIV_BUILD_TESTS=OFF -DRELDIV_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$build_dir" -j --target bench_p1_perf >/dev/null
+
+"$build_dir/bench_p1_perf" \
+  --benchmark_format=json \
+  --benchmark_out="$out_json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo
+echo "Wrote $out_json"
+# Headline ratio: legacy vs fast end-to-end run_experiment (n=1024).
+python3 - "$out_json" <<'EOF' || true
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+times = {b["name"]: b["real_time"] for b in data["benchmarks"] if "real_time" in b}
+legacy = times.get("BM_RunExperimentLegacy/real_time")
+fast = times.get("BM_RunExperimentFast/real_time")
+if legacy and fast:
+    print(f"run_experiment n=1024: legacy {legacy:.2f}ms -> fast {fast:.2f}ms "
+          f"({legacy / fast:.2f}x)")
+EOF

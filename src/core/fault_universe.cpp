@@ -28,6 +28,47 @@ fault_universe::fault_universe(std::vector<fault_atom> atoms, bool allow_q_overf
         "fault_universe: sum of q exceeds 1 (violates the disjoint-failure-region "
         "assumption; pass allow_q_overflow=true for deliberate pessimistic models)");
   }
+  rebuild_soa();
+}
+
+void fault_universe::rebuild_soa() {
+  const std::size_t n = atoms_.size();
+  p_soa_.resize(n);
+  q_soa_.resize(n);
+  thresh53_.resize(n);
+  thresh32_.resize(n);
+  // The 32-bit fast samplers realize p_i as thresh32_[i]/2^32 (rounded up,
+  // inflation < 2^-32 per fault).  That is harmless while the aggregate
+  // inflation stays negligible against the aggregate signal, but a universe
+  // of faults all rarer than the grid (e.g. every p = 1e-12) would have its
+  // fault counts and PFDs inflated by orders of magnitude — so gate on the
+  // relative inflation of E[N1] = Σp and E[Θ1] = Σpq.
+  constexpr double kFast32Tolerance = 1e-6;
+  double inflation_p = 0.0;   // Σ (realized - p)
+  double inflation_pq = 0.0;  // Σ (realized - p) q
+  double sum_p = 0.0;
+  double sum_pq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = atoms_[i].p;
+    const double q = atoms_[i].q;
+    p_soa_[i] = p;
+    q_soa_[i] = q;
+    thresh53_[i] = bernoulli_threshold(p);
+    thresh32_[i] = bernoulli_threshold32(p);
+    const double realized =
+        p >= 1.0 ? 1.0 : static_cast<double>(thresh32_[i]) * 0x1.0p-32;
+    inflation_p += realized - p;
+    inflation_pq += (realized - p) * q;
+    sum_p += p;
+    sum_pq += p * q;
+  }
+  fast32_safe_ = inflation_p <= kFast32Tolerance * sum_p &&
+                 inflation_pq <= kFast32Tolerance * sum_pq;
+  uniform_p_ = n > 0;
+  uniform_p_value_ = n > 0 ? atoms_[0].p : 0.0;
+  for (std::size_t i = 1; i < n && uniform_p_; ++i) {
+    uniform_p_ = atoms_[i].p == uniform_p_value_;
+  }
 }
 
 fault_universe fault_universe::from_arrays(std::span<const double> p,

@@ -8,10 +8,14 @@
 // operators (improvement.hpp) return transformed copies, matching the
 // paper's treatment of "a process" as a parameter vector.
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "core/fault_mask.hpp"
 
 namespace reldiv::core {
 
@@ -39,7 +43,14 @@ class fault_universe {
 
   [[nodiscard]] std::size_t size() const noexcept { return atoms_.size(); }
   [[nodiscard]] bool empty() const noexcept { return atoms_.empty(); }
-  [[nodiscard]] const fault_atom& operator[](std::size_t i) const { return atoms_.at(i); }
+  /// Unchecked (debug-asserted) access: this sits on the Monte-Carlo hot
+  /// path, so no bounds check in release builds.  Use at() for checked access.
+  [[nodiscard]] const fault_atom& operator[](std::size_t i) const noexcept {
+    assert(i < atoms_.size());
+    return atoms_[i];
+  }
+  /// Checked access; throws std::out_of_range.
+  [[nodiscard]] const fault_atom& at(std::size_t i) const { return atoms_.at(i); }
   [[nodiscard]] const std::vector<fault_atom>& atoms() const noexcept { return atoms_; }
 
   [[nodiscard]] auto begin() const noexcept { return atoms_.begin(); }
@@ -64,10 +75,61 @@ class fault_universe {
   /// Human-readable one-line description for bench output.
   [[nodiscard]] std::string describe() const;
 
-  friend bool operator==(const fault_universe&, const fault_universe&) = default;
+  // --- SoA view for the bitset Monte-Carlo engine -------------------------
+  // Contiguous parallel arrays cached at construction (the universe is an
+  // immutable value type, so they never go stale): per-fault p and q for
+  // vectorizable kernels, plus precomputed integer Bernoulli thresholds so
+  // sampling is one rng word + one integer compare per fault, with no
+  // double-precision path.
+
+  /// Contiguous p array (parallel to atoms()).
+  [[nodiscard]] std::span<const double> p_array() const noexcept { return p_soa_; }
+  /// Contiguous q array (parallel to atoms()); the masked-dot-product target
+  /// of fault_mask PFD kernels.
+  [[nodiscard]] std::span<const double> q_array() const noexcept { return q_soa_; }
+  /// 53-bit thresholds: (rng() >> 11) < threshold[i] is decision-for-decision
+  /// identical to rng.bernoulli(p_i).
+  [[nodiscard]] std::span<const std::uint64_t> bernoulli_thresholds() const noexcept {
+    return thresh53_;
+  }
+  /// 32-bit thresholds for halved-draw samplers (p rounded to the 2^-32 grid).
+  [[nodiscard]] std::span<const std::uint64_t> bernoulli_thresholds32() const noexcept {
+    return thresh32_;
+  }
+  /// True iff realizing every p on the 2^-32 grid (rounded up) inflates the
+  /// aggregate statistics E[N1] = Σp and E[Θ1] = Σpq by less than a 1e-6
+  /// relative factor.  False for universes dominated by faults rarer than
+  /// the grid resolves — e.g. every p = 1e-12 would be sampled as
+  /// 2^-32 ≈ 2.3e-10, a ~233x oversample — in which case engines must fall
+  /// back to the 53-bit kernels.
+  [[nodiscard]] bool fast32_grid_safe() const noexcept { return fast32_safe_; }
+  /// True iff every fault shares one p value (enables the word-parallel
+  /// sampling path); vacuously false for the empty universe.
+  [[nodiscard]] bool has_uniform_p() const noexcept { return uniform_p_; }
+  /// The shared p when has_uniform_p(); unspecified otherwise.
+  [[nodiscard]] double uniform_p() const noexcept { return uniform_p_value_; }
+  /// Words a fault_mask over this universe occupies.
+  [[nodiscard]] std::size_t mask_words() const noexcept {
+    return fault_mask::words_needed(atoms_.size());
+  }
+
+  /// Universes are equal iff their atom vectors are (the SoA caches are
+  /// derived data).
+  friend bool operator==(const fault_universe& a, const fault_universe& b) {
+    return a.atoms_ == b.atoms_;
+  }
 
  private:
+  void rebuild_soa();
+
   std::vector<fault_atom> atoms_;
+  std::vector<double> p_soa_;
+  std::vector<double> q_soa_;
+  std::vector<std::uint64_t> thresh53_;
+  std::vector<std::uint64_t> thresh32_;
+  bool uniform_p_ = false;
+  bool fast32_safe_ = true;
+  double uniform_p_value_ = 0.0;
 };
 
 /// The golden-ratio threshold (√5−1)/2 at which p²(1−p²) = p(1−p): below it

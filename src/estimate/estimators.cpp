@@ -30,6 +30,18 @@ fault_incidence fault_incidence::from_versions(const std::vector<mc::version>& v
   return data;
 }
 
+fault_incidence fault_incidence::from_masks(const std::vector<core::fault_mask>& versions,
+                                            std::size_t fault_count) {
+  if (versions.empty()) {
+    throw std::invalid_argument("fault_incidence::from_masks: empty sample");
+  }
+  fault_incidence data(versions.size(), fault_count);
+  for (std::size_t v = 0; v < versions.size(); ++v) {
+    for (const auto f : versions[v].to_indices()) data.set(v, f, true);
+  }
+  return data;
+}
+
 void fault_incidence::set(std::size_t version, std::size_t fault, bool present) {
   if (version >= versions_ || fault >= faults_) {
     throw std::out_of_range("fault_incidence::set");
@@ -181,17 +193,18 @@ validation_report split_sample_validation(const core::fault_universe& u,
     throw std::invalid_argument("split_sample_validation: need >= 4 versions");
   }
   stats::rng r(seed);
-  std::vector<mc::version> sample;
-  sample.reserve(versions);
-  for (std::size_t v = 0; v < versions; ++v) sample.push_back(mc::sample_version(u, r));
+  // Exact-stream mask sampling: the drawn fault sets match the historical
+  // sparse implementation for a given seed.
+  std::vector<core::fault_mask> sample(versions);
+  for (auto& v : sample) mc::sample_version_mask(u, r, v);
 
   const std::size_t train_n = versions / 2;
-  const std::vector<mc::version> train(sample.begin(),
-                                       sample.begin() + static_cast<std::ptrdiff_t>(train_n));
-  const std::vector<mc::version> holdout(sample.begin() + static_cast<std::ptrdiff_t>(train_n),
-                                         sample.end());
+  const std::vector<core::fault_mask> train(
+      sample.begin(), sample.begin() + static_cast<std::ptrdiff_t>(train_n));
+  const std::vector<core::fault_mask> holdout(
+      sample.begin() + static_cast<std::ptrdiff_t>(train_n), sample.end());
 
-  const auto data = fault_incidence::from_versions(train, u.size());
+  const auto data = fault_incidence::from_masks(train, u.size());
   const auto p_hat = estimate_p(data);
 
   validation_report rep;
@@ -203,9 +216,9 @@ validation_report split_sample_validation(const core::fault_universe& u,
   std::size_t pairs = 0;
   for (std::size_t i = 0; i < holdout.size(); ++i) {
     for (std::size_t j = i + 1; j < holdout.size(); ++j) {
-      const double pfd = mc::pair_pfd(holdout[i], holdout[j], u);
-      sum += pfd;
-      if (mc::common_faults(holdout[i], holdout[j]).empty()) ++no_common;
+      const auto pair = mc::pair_pfd_stats(holdout[i], holdout[j], u);
+      sum += pair.pfd;
+      if (!pair.any_common) ++no_common;
       ++pairs;
     }
   }

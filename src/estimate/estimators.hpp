@@ -28,6 +28,10 @@ class fault_incidence {
   static fault_incidence from_versions(const std::vector<mc::version>& versions,
                                        std::size_t fault_count);
 
+  /// Build from packed mask versions (the bitset Monte-Carlo representation).
+  static fault_incidence from_masks(const std::vector<core::fault_mask>& versions,
+                                    std::size_t fault_count);
+
   void set(std::size_t version, std::size_t fault, bool present);
   [[nodiscard]] bool contains(std::size_t version, std::size_t fault) const;
   [[nodiscard]] std::size_t versions() const noexcept { return versions_; }

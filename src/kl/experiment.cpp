@@ -13,11 +13,11 @@ kl_result run_kl_experiment(const core::fault_universe& u, const kl_config& conf
   }
   stats::rng r(config.seed);
 
-  std::vector<mc::version> versions;
-  versions.reserve(config.versions);
-  for (std::size_t v = 0; v < config.versions; ++v) {
-    versions.push_back(mc::sample_version(u, r));
-  }
+  // Versions live as packed fault masks; the exact-stream sampler keeps the
+  // drawn fault sets identical to the historical sparse implementation for a
+  // given seed.
+  std::vector<core::fault_mask> versions(config.versions);
+  for (auto& v : versions) mc::sample_version_mask(u, r, v);
 
   kl_result out;
   out.version_pfd.reserve(config.versions);
@@ -34,21 +34,19 @@ kl_result run_kl_experiment(const core::fault_universe& u, const kl_config& conf
     if (config.demands == 0) {
       throw std::invalid_argument("run_kl_experiment: demands must be > 0");
     }
+    // Regions are disjoint, so a campaign's failure count over the demands
+    // is one Binomial(demands, pfd) draw — for versions and pairs alike.
     out.version_pfd_hat.reserve(versions.size());
-    for (const auto& v : versions) {
-      out.version_pfd_hat.push_back(mc::empirical_pfd(v, u, config.demands, r));
+    for (const double pfd : out.version_pfd) {
+      out.version_pfd_hat.push_back(
+          static_cast<double>(stats::binomial_deviate(r, config.demands, pfd)) /
+          static_cast<double>(config.demands));
     }
-    // Empirical pair scoring via the exact pair PFD driven through a
-    // Bernoulli campaign (regions disjoint, so the union probability is the
-    // sum — same demand semantics as the version scoring).
     out.pair_pfd_hat.reserve(out.pair_pfd.size());
     for (const double pfd : out.pair_pfd) {
-      std::uint64_t failures = 0;
-      for (std::uint64_t d = 0; d < config.demands; ++d) {
-        if (r.bernoulli(pfd)) ++failures;
-      }
-      out.pair_pfd_hat.push_back(static_cast<double>(failures) /
-                                 static_cast<double>(config.demands));
+      out.pair_pfd_hat.push_back(
+          static_cast<double>(stats::binomial_deviate(r, config.demands, pfd)) /
+          static_cast<double>(config.demands));
     }
   }
 

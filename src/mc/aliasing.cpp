@@ -70,16 +70,22 @@ double aliased_model::true_p_max() const {
 }
 
 version aliased_model::sample(stats::rng& r) const {
-  version v;
-  for (std::uint32_t i = 0; i < regions_.size(); ++i) {
+  core::fault_mask m;
+  sample_mask(r, m);
+  return to_version(m);
+}
+
+void aliased_model::sample_mask(stats::rng& r, core::fault_mask& out) const {
+  if (out.bit_size() != regions_.size()) out.resize(regions_.size());
+  out.clear();
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
     for (const double p : regions_[i].mistake_probs) {
       if (r.bernoulli(p)) {
-        v.faults.push_back(i);
+        out.set(i);
         break;  // region already present; further mistakes change nothing
       }
     }
   }
-  return v;
 }
 
 aliased_model split_into_mistakes(const core::fault_universe& u,

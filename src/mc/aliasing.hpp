@@ -54,6 +54,10 @@ class aliased_model {
   /// mistakes fires).  Fault indices refer to regions.
   [[nodiscard]] version sample(stats::rng& r) const;
 
+  /// Mask-based sampling: same rng decisions as sample() (bit-exact); bit i
+  /// of `out` is region i's presence.
+  void sample_mask(stats::rng& r, core::fault_mask& out) const;
+
  private:
   std::vector<aliased_region> regions_;
 };

@@ -30,16 +30,23 @@ common_cause_mixture::common_cause_mixture(const core::fault_universe& u, double
     stressed_p_.push_back(hi);
     relaxed_p_.push_back(std::max(0.0, lo));
   }
+  stressed_thresh_.reserve(stressed_p_.size());
+  relaxed_thresh_.reserve(relaxed_p_.size());
+  for (const double p : stressed_p_) stressed_thresh_.push_back(core::bernoulli_threshold(p));
+  for (const double p : relaxed_p_) relaxed_thresh_.push_back(core::bernoulli_threshold(p));
 }
 
 version common_cause_mixture::sample(stats::rng& r) const {
+  // Delegate to the mask sampler so the sparse and packed paths cannot
+  // diverge: identical rng consumption, indices emitted in ascending order.
+  core::fault_mask m;
+  sample_mask(r, m);
+  return to_version(m);
+}
+
+void common_cause_mixture::sample_mask(stats::rng& r, core::fault_mask& out) const {
   const bool stressed = r.bernoulli(rho_);
-  const auto& probs = stressed ? stressed_p_ : relaxed_p_;
-  version v;
-  for (std::uint32_t i = 0; i < probs.size(); ++i) {
-    if (r.bernoulli(probs[i])) v.faults.push_back(i);
-  }
-  return v;
+  sample_mask_from_thresholds(stressed ? stressed_thresh_ : relaxed_thresh_, r, out);
 }
 
 double common_cause_mixture::marginal(std::size_t i) const {
@@ -79,20 +86,27 @@ gaussian_copula_sampler::gaussian_copula_sampler(const core::fault_universe& u, 
 }
 
 version gaussian_copula_sampler::sample(stats::rng& r) const {
+  core::fault_mask m;
+  sample_mask(r, m);
+  return to_version(m);
+}
+
+void gaussian_copula_sampler::sample_mask(stats::rng& r, core::fault_mask& out) const {
+  const std::size_t n = thresholds_.size();
+  if (out.bit_size() != n) out.resize(n);
+  out.clear();
   const double shared = stats::normal_deviate(r);
   const double abs_rho = std::fabs(rho_);
   const double w_shared = std::sqrt(abs_rho);
   const double w_own = std::sqrt(1.0 - abs_rho);
-  version v;
-  for (std::uint32_t i = 0; i < thresholds_.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     // Negative rho: alternate the shared factor's sign across faults, which
     // yields negative association between odd/even fault pairs while
     // preserving the standard-normal latent marginal.
     const double sign = (rho_ < 0.0 && (i % 2 == 1)) ? -1.0 : 1.0;
     const double z = sign * w_shared * shared + w_own * stats::normal_deviate(r);
-    if (z < thresholds_[i]) v.faults.push_back(i);
+    if (z < thresholds_[i]) out.set(i);
   }
-  return v;
 }
 
 core::fault_universe merge_fault_groups(const core::fault_universe& u,

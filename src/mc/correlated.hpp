@@ -18,6 +18,8 @@
 //   for alternate faults (an antithetic construction producing negative
 //   pairwise association while preserving marginals).
 
+#include <stdexcept>
+
 #include "core/fault_universe.hpp"
 #include "mc/sampler.hpp"
 #include "stats/random.hpp"
@@ -37,6 +39,9 @@ class common_cause_mixture {
   common_cause_mixture(const core::fault_universe& u, double rho, double stress);
 
   [[nodiscard]] version sample(stats::rng& r) const;
+  /// Mask-based sampling: same rng decisions as sample() (bit-exact), writes
+  /// presence bits into `out` with no allocation in steady-state reuse.
+  void sample_mask(stats::rng& r, core::fault_mask& out) const;
   /// Exact marginal presence probability of fault i (== u[i].p by design).
   [[nodiscard]] double marginal(std::size_t i) const;
   /// Exact pairwise correlation of the presence indicators of faults i, j.
@@ -47,6 +52,8 @@ class common_cause_mixture {
   double rho_;
   std::vector<double> stressed_p_;
   std::vector<double> relaxed_p_;
+  std::vector<std::uint64_t> stressed_thresh_;  ///< bernoulli_threshold(stressed_p_)
+  std::vector<std::uint64_t> relaxed_thresh_;   ///< bernoulli_threshold(relaxed_p_)
 };
 
 /// Gaussian-copula sampler with equicorrelation |rho| and sign(rho)
@@ -56,6 +63,8 @@ class gaussian_copula_sampler {
   gaussian_copula_sampler(const core::fault_universe& u, double rho);
 
   [[nodiscard]] version sample(stats::rng& r) const;
+  /// Mask-based sampling: same rng decisions as sample() (bit-exact).
+  void sample_mask(stats::rng& r, core::fault_mask& out) const;
 
  private:
   const core::fault_universe* u_;
@@ -86,13 +95,36 @@ template <typename Sampler>
   std::uint64_t n2_pos = 0;
   double sum1 = 0.0;
   double sum2 = 0.0;
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    const version a = sampler.sample(r);
-    const version b = sampler.sample(r);
-    sum1 += pfd_of(a, u);
-    sum2 += pair_pfd(a, b, u);
-    if (a.has_fault()) ++n1_pos;
-    if (!common_faults(a, b).empty()) ++n2_pos;
+  constexpr bool has_mask_path =
+      requires(const Sampler& s, stats::rng& rr, core::fault_mask& m) {
+        s.sample_mask(rr, m);
+      };
+  if constexpr (has_mask_path) {
+    // Bitset path: two reused scratch masks, allocation-free steady state.
+    core::fault_mask a(u.size());
+    core::fault_mask b(u.size());
+    for (std::uint64_t s = 0; s < samples; ++s) {
+      sampler.sample_mask(r, a);
+      sampler.sample_mask(r, b);
+      if (a.bit_size() != u.size() || b.bit_size() != u.size()) {
+        // Same guard the sparse path gets from pfd_of's range check.
+        throw std::out_of_range("run_correlated: sampler does not match universe");
+      }
+      sum1 += core::masked_q_sum(a, u.q_array());
+      const auto pair = core::intersect_q_sum(a, b, u.q_array());
+      sum2 += pair.pfd;
+      if (a.any()) ++n1_pos;
+      if (pair.any_common) ++n2_pos;
+    }
+  } else {
+    for (std::uint64_t s = 0; s < samples; ++s) {
+      const version a = sampler.sample(r);
+      const version b = sampler.sample(r);
+      sum1 += pfd_of(a, u);
+      sum2 += pair_pfd(a, b, u);
+      if (a.has_fault()) ++n1_pos;
+      if (!common_faults(a, b).empty()) ++n2_pos;
+    }
   }
   const auto n = static_cast<double>(samples);
   out.mean_theta1 = sum1 / n;

@@ -1,6 +1,7 @@
 #include "mc/experiment.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <thread>
 
@@ -22,8 +23,11 @@ struct shard_result {
   std::vector<double> theta2_samples;
 };
 
-shard_result run_shard(const core::fault_universe& u, std::uint64_t samples,
-                       stats::rng r, bool keep_samples) {
+/// Legacy sparse shard: per-sample heap-allocated index vectors and scalar
+/// merges.  Retained as the benchmark/regression baseline for the bitset
+/// engine.
+shard_result run_shard_legacy(const core::fault_universe& u, std::uint64_t samples,
+                              stats::rng r, bool keep_samples) {
   shard_result out;
   if (keep_samples) {
     out.theta1_samples.reserve(samples);
@@ -46,6 +50,73 @@ shard_result run_shard(const core::fault_universe& u, std::uint64_t samples,
     }
   }
   return out;
+}
+
+/// Bitset shard: the two scratch masks are allocated once up front and
+/// rewritten in place, so the steady-state loop performs zero heap
+/// allocations; n2_positive falls out of the fused intersection kernel.
+shard_result run_shard_mask(const core::fault_universe& u, std::uint64_t samples,
+                            stats::rng r, bool keep_samples, bool exact_stream) {
+  shard_result out;
+  if (keep_samples) {
+    out.theta1_samples.reserve(samples);
+    out.theta2_samples.reserve(samples);
+  }
+  core::fault_mask a(u.size());
+  core::fault_mask b(u.size());
+  // Word-parallel sampling costs 53 - countr_zero(threshold) rng words per
+  // 64 faults per version; the paired sampler costs 64 per 64 faults per
+  // PAIR.  Pick bit-slice only when the shared p's threshold makes it the
+  // cheaper of the two (e.g. p = 0.5 needs a single word per 64 faults).
+  bool word_parallel = false;
+  if (!exact_stream && u.has_uniform_p()) {
+    const std::uint64_t t = core::bernoulli_threshold(u.uniform_p());
+    word_parallel = t == 0 || t == (std::uint64_t{1} << core::kBernoulliBits) ||
+                    std::countr_zero(t) >= core::kBernoulliBits - 32;
+  }
+  // The paired sampler realizes p on the 2^-32 grid; for universes with
+  // faults rarer than that grid resolves (relative error > 1e-6) fall back
+  // to the 53-bit exact-stream kernel rather than silently oversample them.
+  const bool use_exact_kernel = exact_stream || (!word_parallel && !u.fast32_grid_safe());
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    if (use_exact_kernel) {
+      sample_version_mask(u, r, a);
+      sample_version_mask(u, r, b);
+    } else if (word_parallel) {
+      sample_version_mask_uniform(u, r, a);
+      sample_version_mask_uniform(u, r, b);
+    } else {
+      sample_version_pair_fast(u, r, a, b);
+    }
+    const double t1 = core::masked_q_sum(a, u.q_array());
+    const auto pair = core::intersect_q_sum(a, b, u.q_array());
+    out.theta1.add(t1);
+    out.theta2.add(pair.pfd);
+    if (a.any()) ++out.n1_positive;
+    if (pair.any_common) ++out.n2_positive;
+    if (t1 == 0.0) ++out.n1_zero_pfd;
+    if (pair.pfd == 0.0) ++out.n2_zero_pfd;
+    if (keep_samples) {
+      out.theta1_samples.push_back(t1);
+      out.theta2_samples.push_back(pair.pfd);
+    }
+  }
+  return out;
+}
+
+shard_result run_shard(const core::fault_universe& u, std::uint64_t samples,
+                       stats::rng r, bool keep_samples, sampling_engine engine) {
+  switch (engine) {
+    case sampling_engine::legacy:
+      return run_shard_legacy(u, samples, std::move(r), keep_samples);
+    case sampling_engine::exact:
+      return run_shard_mask(u, samples, std::move(r), keep_samples,
+                            /*exact_stream=*/true);
+    case sampling_engine::fast:
+    default:
+      return run_shard_mask(u, samples, std::move(r), keep_samples,
+                            /*exact_stream=*/false);
+  }
 }
 
 }  // namespace
@@ -95,7 +166,7 @@ experiment_result run_experiment(const core::fault_universe& u,
     // Independent streams via xoshiro jump: stream t of the master seed.
     pool.emplace_back([&u, &shards, t, count, &config] {
       shards[t] = run_shard(u, count, stats::rng::stream(config.seed, t),
-                            config.keep_samples);
+                            config.keep_samples, config.engine);
     });
   }
   for (auto& th : pool) th.join();

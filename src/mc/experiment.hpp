@@ -15,12 +15,31 @@
 
 namespace reldiv::mc {
 
+/// Which inner sampling kernel drives the experiment.  All three draw from
+/// the same distribution; they differ in speed and rng-stream layout.
+enum class sampling_engine {
+  /// Packed bitmask kernels with halved rng draws (paired 32-bit thresholds;
+  /// word-parallel bit-slice when all faults share one p).  Fastest; the
+  /// per-fault probabilities are realized to at worst the 2^-32 grid, and
+  /// the engine falls back to the exact 53-bit kernel when any p is too
+  /// small for that grid (see fault_universe::fast32_grid_safe).
+  fast,
+  /// Packed bitmask kernels consuming the rng stream decision-for-decision
+  /// like the original sparse sampler: results are bit-identical to the
+  /// legacy engine (and to pre-bitset releases) for a given seed.
+  exact,
+  /// The original sparse std::vector<uint32_t> path.  Kept as the
+  /// regression/benchmark baseline.
+  legacy,
+};
+
 struct experiment_config {
   std::uint64_t samples = 100'000;   ///< number of version-pairs to draw
   std::uint64_t seed = 1;
   unsigned threads = 0;              ///< 0 = hardware_concurrency
   bool keep_samples = false;         ///< retain per-sample PFDs (memory!)
   double ci_level = 0.99;            ///< level for the reported intervals
+  sampling_engine engine = sampling_engine::fast;
 };
 
 struct estimate {

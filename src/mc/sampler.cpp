@@ -68,14 +68,146 @@ double tuple_pfd(const std::vector<version>& versions, const core::fault_univers
 double empirical_pfd(const version& v, const core::fault_universe& u,
                      std::uint64_t demands, stats::rng& r) {
   if (demands == 0) throw std::invalid_argument("empirical_pfd: demands must be > 0");
+  // Disjoint regions: each demand fails with probability Σ q_i over present
+  // faults, so the failure count is one Binomial(demands, pfd) draw.
   const double true_pfd = pfd_of(v, u);
-  std::uint64_t failures = 0;
-  for (std::uint64_t d = 0; d < demands; ++d) {
-    // Disjoint regions: a demand is a failure point with total probability
-    // equal to the sum of the present regions' hit probabilities.
-    if (r.bernoulli(true_pfd)) ++failures;
-  }
+  const std::uint64_t failures = stats::binomial_deviate(r, demands, true_pfd);
   return static_cast<double>(failures) / static_cast<double>(demands);
+}
+
+// ---------------------------------------------------------------------------
+// Packed-bitmask engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+inline void ensure_sized(core::fault_mask& m, std::size_t bits) {
+  if (m.bit_size() != bits) m.resize(bits);
+}
+
+}  // namespace
+
+void sample_mask_from_thresholds(std::span<const std::uint64_t> thresholds,
+                                 stats::rng& r, core::fault_mask& out) {
+  const std::size_t n = thresholds.size();
+  ensure_sized(out, n);
+  const std::uint64_t* t = thresholds.data();
+  std::uint64_t* words = out.words();
+  std::size_t i = 0;
+  for (std::size_t blk = 0; blk < out.word_count(); ++blk) {
+    std::uint64_t w = 0;
+    const std::size_t hi = std::min<std::size_t>(n, i + 64);
+    for (std::size_t k = 0; i < hi; ++i, ++k) {
+      w |= static_cast<std::uint64_t>((r() >> 11) < t[i]) << k;
+    }
+    words[blk] = w;
+  }
+}
+
+void sample_version_mask(const core::fault_universe& u, stats::rng& r,
+                         core::fault_mask& out) {
+  sample_mask_from_thresholds(u.bernoulli_thresholds(), r, out);
+}
+
+void sample_version_pair_fast(const core::fault_universe& u, stats::rng& r,
+                              core::fault_mask& a, core::fault_mask& b) {
+  const std::size_t n = u.size();
+  ensure_sized(a, n);
+  ensure_sized(b, n);
+  const std::uint64_t* t = u.bernoulli_thresholds32().data();
+  std::uint64_t* wa = a.words();
+  std::uint64_t* wb = b.words();
+  std::size_t i = 0;
+  for (std::size_t blk = 0; blk < a.word_count(); ++blk) {
+    std::uint64_t word_a = 0;
+    std::uint64_t word_b = 0;
+    const std::size_t hi = std::min<std::size_t>(n, i + 64);
+    for (std::size_t k = 0; i < hi; ++i, ++k) {
+      const std::uint64_t x = r();
+      word_a |= static_cast<std::uint64_t>((x >> 32) < t[i]) << k;
+      word_b |= static_cast<std::uint64_t>((x & 0xffffffffULL) < t[i]) << k;
+    }
+    wa[blk] = word_a;
+    wb[blk] = word_b;
+  }
+}
+
+void sample_version_mask_uniform(const core::fault_universe& u, stats::rng& r,
+                                 core::fault_mask& out) {
+  if (!u.has_uniform_p()) {
+    throw std::invalid_argument("sample_version_mask_uniform: p not uniform");
+  }
+  const std::size_t n = u.size();
+  ensure_sized(out, n);
+  std::uint64_t* words = out.words();
+  const std::uint64_t threshold = core::bernoulli_threshold(u.uniform_p());
+  if (threshold == 0) {
+    out.clear();
+    return;
+  }
+  if (threshold == (std::uint64_t{1} << core::kBernoulliBits)) {
+    for (std::size_t blk = 0; blk < out.word_count(); ++blk) words[blk] = ~std::uint64_t{0};
+    words[out.word_count() - 1] &= out.tail_mask();
+    return;
+  }
+  // Bit-slice Bernoulli: with the threshold's binary digits b_52..b_0
+  // (weight of b_j is 2^(j-53)), folding fresh rng words from the lowest set
+  // digit upward via acc = b_j ? (acc | rng) : (acc & rng) leaves every lane
+  // set with probability threshold / 2^53 — exactly P((r()>>11) < threshold).
+  const int low = std::countr_zero(threshold);
+  for (std::size_t blk = 0; blk < out.word_count(); ++blk) {
+    std::uint64_t acc = r();
+    for (int j = low + 1; j < core::kBernoulliBits; ++j) {
+      acc = ((threshold >> j) & 1) ? (acc | r()) : (acc & r());
+    }
+    words[blk] = acc;
+  }
+  words[out.word_count() - 1] &= out.tail_mask();
+}
+
+double pfd_of(const core::fault_mask& v, const core::fault_universe& u) {
+  if (v.bit_size() != u.size()) {
+    throw std::invalid_argument("pfd_of: mask size does not match universe");
+  }
+  return core::masked_q_sum(v, u.q_array());
+}
+
+core::pair_intersection_result pair_pfd_stats(const core::fault_mask& a,
+                                              const core::fault_mask& b,
+                                              const core::fault_universe& u) {
+  if (a.bit_size() != u.size() || b.bit_size() != u.size()) {
+    throw std::invalid_argument("pair_pfd_stats: mask size does not match universe");
+  }
+  return core::intersect_q_sum(a, b, u.q_array());
+}
+
+double pair_pfd(const core::fault_mask& a, const core::fault_mask& b,
+                const core::fault_universe& u) {
+  return pair_pfd_stats(a, b, u).pfd;
+}
+
+double tuple_pfd(std::span<const core::fault_mask> versions,
+                 const core::fault_universe& u, core::fault_mask& scratch) {
+  if (versions.empty()) throw std::invalid_argument("tuple_pfd: empty tuple");
+  for (const auto& v : versions) {
+    if (v.bit_size() != u.size()) {
+      throw std::invalid_argument("tuple_pfd: mask size does not match universe");
+    }
+  }
+  if (scratch.bit_size() != u.size()) scratch.resize(u.size());
+  const core::fault_mask* acc = &versions.front();
+  if (versions.size() > 1) {
+    scratch.intersect(versions[0], versions[1]);
+    for (std::size_t k = 2; k < versions.size(); ++k) scratch &= versions[k];
+    acc = &scratch;
+  }
+  return core::masked_q_sum(*acc, u.q_array());
+}
+
+version to_version(const core::fault_mask& m) { return version{m.to_indices()}; }
+
+core::fault_mask to_mask(const version& v, std::size_t universe_size) {
+  return core::fault_mask::from_indices(v.faults, universe_size);
 }
 
 }  // namespace reldiv::mc

@@ -6,8 +6,10 @@
 // (disjoint-region assumption).
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "core/fault_mask.hpp"
 #include "core/fault_universe.hpp"
 #include "stats/random.hpp"
 
@@ -42,8 +44,74 @@ struct version {
 /// Empirical PFD: execute `demands` random demands against a version, where
 /// a demand lands in fault i's failure region with probability q_i (regions
 /// disjoint).  Returns the failure fraction — this is what a testing
-/// campaign would observe, as opposed to the exact pfd_of().
+/// campaign would observe, as opposed to the exact pfd_of().  Implemented as
+/// a single Binomial(demands, pfd) draw (O(log demands) work), not a
+/// demand-by-demand Bernoulli loop.
 [[nodiscard]] double empirical_pfd(const version& v, const core::fault_universe& u,
                                    std::uint64_t demands, stats::rng& r);
+
+// ---------------------------------------------------------------------------
+// Packed-bitmask engine.  A fault set is a core::fault_mask over the
+// universe; sampling writes presence bits word-by-word and the PFD algebra
+// runs as word-AND + masked dot-product against the universe's contiguous q
+// array.  The sparse `version` API above remains as a thin adapter
+// (to_version / to_mask) for callers that want explicit index lists.
+// ---------------------------------------------------------------------------
+
+/// Core threshold kernel: bit i of `out` is set iff (r() >> 11) <
+/// thresholds[i], one rng word per threshold in index order — the same
+/// decision r.bernoulli(p_i) makes when thresholds come from
+/// core::bernoulli_threshold.  `out` is resized to thresholds.size() only
+/// when its size differs (steady-state reuse performs no allocation).
+/// Shared by every sampler that carries the bit-exactness contract.
+void sample_mask_from_thresholds(std::span<const std::uint64_t> thresholds,
+                                 stats::rng& r, core::fault_mask& out);
+
+/// Bit-exact mask sampler: consumes exactly one rng word per fault, in fault
+/// order, making the same decision as r.bernoulli(p_i) — so for a given rng
+/// state it reproduces sample_version() exactly (to_indices == faults).
+/// `out` is resized to u.size() only when its size differs (steady-state
+/// reuse performs no allocation).
+void sample_version_mask(const core::fault_universe& u, stats::rng& r,
+                         core::fault_mask& out);
+
+/// Fast paired sampler: one rng word per fault yields the presence bit for
+/// BOTH versions of a pair (high/low 32-bit slices against 32-bit
+/// thresholds).  Statistically equivalent (p rounded to the 2^-32 grid) but
+/// NOT stream-compatible with sample_version().
+void sample_version_pair_fast(const core::fault_universe& u, stats::rng& r,
+                              core::fault_mask& a, core::fault_mask& b);
+
+/// Word-parallel sampler for uniform-p universes: builds 64 presence bits at
+/// a time via the bit-slice Bernoulli recurrence over the shared 53-bit
+/// threshold, consuming (53 - trailing zero bits) rng words per 64 faults
+/// (e.g. a single word for p = 0.5).  Exact marginal probability (identical
+/// to rng.bernoulli(p)); NOT stream-compatible with sample_version().
+/// Requires u.has_uniform_p().
+void sample_version_mask_uniform(const core::fault_universe& u, stats::rng& r,
+                                 core::fault_mask& out);
+
+/// PFD of a mask version: masked dot-product against the contiguous q array
+/// (bitwise-identical accumulation order to the sparse pfd_of).
+[[nodiscard]] double pfd_of(const core::fault_mask& v, const core::fault_universe& u);
+
+/// Fused 1-out-of-2 kernel: intersection PFD and non-emptiness in one pass.
+[[nodiscard]] core::pair_intersection_result pair_pfd_stats(
+    const core::fault_mask& a, const core::fault_mask& b,
+    const core::fault_universe& u);
+
+/// PFD of the 1-out-of-2 system built from mask versions a and b.
+[[nodiscard]] double pair_pfd(const core::fault_mask& a, const core::fault_mask& b,
+                              const core::fault_universe& u);
+
+/// PFD of a 1-out-of-m system over mask versions.  `scratch` holds the
+/// running intersection (resized as needed, reusable across calls).
+[[nodiscard]] double tuple_pfd(std::span<const core::fault_mask> versions,
+                               const core::fault_universe& u,
+                               core::fault_mask& scratch);
+
+/// Adapters between the sparse and packed representations.
+[[nodiscard]] version to_version(const core::fault_mask& m);
+[[nodiscard]] core::fault_mask to_mask(const version& v, std::size_t universe_size);
 
 }  // namespace reldiv::mc

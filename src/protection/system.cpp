@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/fault_mask.hpp"
+
 namespace reldiv::protection {
 
 plant::plant(config cfg) : cfg_(cfg), state_(cfg.dims, 0.0) {
@@ -61,7 +63,9 @@ software_channel develop_channel(const std::vector<demand::region_fault>& potent
   std::vector<demand::region_ptr> present;
   for (const auto& f : potential_faults) {
     if (!f.footprint) throw std::invalid_argument("develop_channel: null region");
-    if (r.bernoulli(f.p)) present.push_back(f.footprint);
+    // Same integer-threshold compare the Monte-Carlo engine uses; decisions
+    // are identical to r.bernoulli(f.p) in fault order.
+    if ((r() >> 11) < core::bernoulli_threshold(f.p)) present.push_back(f.footprint);
   }
   return software_channel(std::move(present));
 }

@@ -51,4 +51,34 @@ double beta_deviate(rng& r, double a, double b) {
   return sum > 0.0 ? x / sum : 0.5;
 }
 
+std::uint64_t binomial_deviate(rng& r, std::uint64_t trials, double p) {
+  std::uint64_t count = 0;
+  // Split until the remaining problem is small: the a-th order statistic X of
+  // n uniforms is Beta(a, n+1-a).  If X <= p, the a smallest uniforms are all
+  // below p and each of the other n-a lands below p independently with
+  // probability (p-X)/(1-X); if X > p, only the a-1 uniforms below X can be
+  // below p, each with probability p/X.
+  while (trials > 64) {
+    if (p <= 0.0) return count;
+    if (p >= 1.0) return count + trials;
+    const std::uint64_t a = 1 + trials / 2;
+    const double x = beta_deviate(r, static_cast<double>(a),
+                                  static_cast<double>(trials + 1 - a));
+    if (x <= p) {
+      count += a;
+      trials -= a;
+      p = (p - x) / (1.0 - x);
+    } else {
+      trials = a - 1;
+      p = p / x;
+    }
+  }
+  if (p <= 0.0) return count;
+  if (p >= 1.0) return count + trials;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    if (r.bernoulli(p)) ++count;
+  }
+  return count;
+}
+
 }  // namespace reldiv::stats

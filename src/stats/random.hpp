@@ -126,4 +126,11 @@ class rng {
 /// Beta(a, b) deviate; a, b > 0.
 [[nodiscard]] double beta_deviate(rng& r, double a, double b);
 
+/// Binomial(trials, p) deviate.  Beta-splitting recursion (the median order
+/// statistic of `trials` uniforms is Beta-distributed, so one beta draw
+/// halves the problem): O(log trials) beta draws instead of `trials`
+/// Bernoulli draws, which makes million-demand testing campaigns cheap.
+/// p outside [0,1] is clamped.
+[[nodiscard]] std::uint64_t binomial_deviate(rng& r, std::uint64_t trials, double p);
+
 }  // namespace reldiv::stats

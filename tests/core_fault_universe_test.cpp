@@ -97,9 +97,13 @@ TEST(FaultUniverse, DescribeMentionsKeyNumbers) {
   EXPECT_NE(text.find("0.25"), std::string::npos);
 }
 
-TEST(FaultUniverse, OutOfRangeIndexThrows) {
+TEST(FaultUniverse, CheckedAccessThrowsOutOfRange) {
+  // operator[] is unchecked on the Monte-Carlo hot path (debug-asserted
+  // only); the checked accessor is at().
   fault_universe u({{0.1, 0.1}});
-  EXPECT_THROW((void)u[5], std::out_of_range);
+  EXPECT_THROW((void)u.at(5), std::out_of_range);
+  EXPECT_DOUBLE_EQ(u.at(0).p, 0.1);
+  EXPECT_DOUBLE_EQ(u[0].p, 0.1);
 }
 
 }  // namespace

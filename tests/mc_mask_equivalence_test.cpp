@@ -1,0 +1,335 @@
+// Equivalence and property tests for the packed-bitmask Monte-Carlo engine:
+// the exact-stream mask sampler must reproduce the legacy sparse sampler
+// decision-for-decision (same seed -> identical fault sets and identical
+// theta1/theta2 streams), fault_mask algebra must agree with the
+// set_intersection reference, and the fast samplers must have the right
+// marginals.  Also covers stats::binomial_deviate, which now backs
+// empirical_pfd.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/fault_mask.hpp"
+#include "core/generators.hpp"
+#include "core/moments.hpp"
+#include "core/no_common_fault.hpp"
+#include "mc/aliasing.hpp"
+#include "mc/correlated.hpp"
+#include "mc/experiment.hpp"
+#include "mc/sampler.hpp"
+#include "stats/random.hpp"
+
+namespace {
+
+using namespace reldiv;
+using namespace reldiv::mc;
+
+// --------------------------------------------------------------------------
+// Bit-exact equivalence with the legacy sparse sampler
+// --------------------------------------------------------------------------
+
+TEST(MaskEquivalence, ExactSamplerReproducesSparseSamplerFaultSets) {
+  // Word-boundary sizes included deliberately (1, 63, 64, 65, ...).
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, std::size_t{200}}) {
+    const auto u = core::make_random_universe(n, 0.5, 0.8, 1000 + n);
+    stats::rng r_sparse(42);
+    stats::rng r_mask(42);
+    core::fault_mask m;
+    for (int iter = 0; iter < 200; ++iter) {
+      const version v = sample_version(u, r_sparse);
+      sample_version_mask(u, r_mask, m);
+      EXPECT_EQ(m.to_indices(), v.faults) << "n=" << n << " iter=" << iter;
+      EXPECT_EQ(m.popcount(), v.fault_count());
+      EXPECT_EQ(m.any(), v.has_fault());
+    }
+  }
+}
+
+TEST(MaskEquivalence, ExactSamplerReproducesLegacyThetaStreamsBitwise) {
+  const auto u = core::make_random_universe(130, 0.4, 0.8, 99);
+  stats::rng r_sparse(7);
+  stats::rng r_mask(7);
+  core::fault_mask a;
+  core::fault_mask b;
+  for (int s = 0; s < 500; ++s) {
+    const version va = sample_version(u, r_sparse);
+    const version vb = sample_version(u, r_sparse);
+    const double t1_sparse = pfd_of(va, u);
+    const double t2_sparse = pair_pfd(va, vb, u);
+
+    sample_version_mask(u, r_mask, a);
+    sample_version_mask(u, r_mask, b);
+    const double t1_mask = pfd_of(a, u);
+    const auto pair = pair_pfd_stats(a, b, u);
+
+    // Same accumulation order -> bitwise-identical doubles, not just close.
+    EXPECT_EQ(t1_sparse, t1_mask);
+    EXPECT_EQ(t2_sparse, pair.pfd);
+    EXPECT_EQ(!common_faults(va, vb).empty(), pair.any_common);
+  }
+}
+
+TEST(MaskEquivalence, ExactEngineMatchesLegacyEngineExactly) {
+  const auto u = core::make_random_universe(64, 0.4, 0.7, 123);
+  experiment_config cfg;
+  cfg.samples = 20000;
+  cfg.threads = 4;
+  cfg.seed = 2024;
+  cfg.keep_samples = true;
+
+  cfg.engine = sampling_engine::legacy;
+  const auto legacy = run_experiment(u, cfg);
+  cfg.engine = sampling_engine::exact;
+  const auto exact = run_experiment(u, cfg);
+
+  EXPECT_EQ(legacy.theta1.mean(), exact.theta1.mean());
+  EXPECT_EQ(legacy.theta2.mean(), exact.theta2.mean());
+  EXPECT_EQ(legacy.theta1.stddev(), exact.theta1.stddev());
+  EXPECT_EQ(legacy.theta2.stddev(), exact.theta2.stddev());
+  EXPECT_EQ(legacy.n1_positive, exact.n1_positive);
+  EXPECT_EQ(legacy.n2_positive, exact.n2_positive);
+  EXPECT_EQ(legacy.n1_zero_pfd, exact.n1_zero_pfd);
+  EXPECT_EQ(legacy.n2_zero_pfd, exact.n2_zero_pfd);
+  ASSERT_TRUE(legacy.theta1_samples.has_value() && exact.theta1_samples.has_value());
+  EXPECT_EQ(*legacy.theta1_samples, *exact.theta1_samples);
+  EXPECT_EQ(*legacy.theta2_samples, *exact.theta2_samples);
+}
+
+// --------------------------------------------------------------------------
+// fault_mask algebra vs the sparse set_intersection reference
+// --------------------------------------------------------------------------
+
+TEST(FaultMask, IntersectionPopcountAndDotMatchSparseReference) {
+  stats::rng r(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(r.below(300));
+    const auto u = core::make_random_universe(n, 0.6, 0.9, 77 + trial);
+    const version va = sample_version(u, r);
+    const version vb = sample_version(u, r);
+    const auto ma = to_mask(va, n);
+    const auto mb = to_mask(vb, n);
+
+    // Round trip through the adapters.
+    EXPECT_EQ(to_version(ma).faults, va.faults);
+
+    // Intersection vs set_intersection.
+    core::fault_mask mi(n);
+    mi.intersect(ma, mb);
+    EXPECT_EQ(mi.to_indices(), common_faults(va, vb));
+    EXPECT_EQ(mi.popcount(), common_faults(va, vb).size());
+    EXPECT_EQ(mi.any(), !common_faults(va, vb).empty());
+
+    // PFD algebra, bitwise.
+    EXPECT_EQ(pfd_of(ma, u), pfd_of(va, u));
+    EXPECT_EQ(pair_pfd(ma, mb, u), pair_pfd(va, vb, u));
+
+    // Tuple intersection over three versions.
+    const version vc = sample_version(u, r);
+    const auto mc_mask = to_mask(vc, n);
+    const std::vector<core::fault_mask> tuple{ma, mb, mc_mask};
+    core::fault_mask scratch;
+    EXPECT_EQ(tuple_pfd(tuple, u, scratch), tuple_pfd({va, vb, vc}, u));
+  }
+}
+
+TEST(FaultMask, TailBitsStayZeroAndEdgeSizesWork) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, std::size_t{127}, std::size_t{128}}) {
+    core::fault_mask m(n);
+    EXPECT_EQ(m.word_count(), (n + 63) / 64);
+    EXPECT_TRUE(m.none());
+    for (std::size_t i = 0; i < n; ++i) m.set(i);
+    EXPECT_EQ(m.popcount(), n);  // no phantom tail bits
+    EXPECT_TRUE(m.test(n - 1));
+  }
+  // The all-present uniform sampler must respect the tail invariant too.
+  const auto u = core::make_homogeneous_universe(70, 1.0, 0.01);
+  stats::rng r(3);
+  core::fault_mask m;
+  sample_version_mask_uniform(u, r, m);
+  EXPECT_EQ(m.popcount(), 70u);
+}
+
+TEST(FaultMask, BernoulliThresholdMatchesUniformCompare) {
+  // The threshold construction is what bit-exactness rests on: check the
+  // comparison agrees with the double path across the 53-bit draw space
+  // boundary values for an assortment of p.
+  stats::rng r(11);
+  for (const double p : {0.0, 1e-12, 0.05, 0.3, 0.5, 1 - 1e-12, 1.0}) {
+    const std::uint64_t t = core::bernoulli_threshold(p);
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t word = r();
+      const std::uint64_t k = word >> 11;
+      const bool via_double = static_cast<double>(k) * 0x1.0p-53 < p;
+      EXPECT_EQ(k < t, via_double) << "p=" << p << " k=" << k;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Fast (non-stream-compatible) samplers: marginals
+// --------------------------------------------------------------------------
+
+TEST(FastSamplers, WordParallelUniformSamplerHasExactMarginals) {
+  const double p = 0.37;
+  const auto u = core::make_homogeneous_universe(150, p, 0.005);
+  ASSERT_TRUE(u.has_uniform_p());
+  stats::rng r(17);
+  core::fault_mask m;
+  const int iters = 40000;
+  std::uint64_t present = 0;
+  for (int i = 0; i < iters; ++i) {
+    sample_version_mask_uniform(u, r, m);
+    present += m.popcount();
+  }
+  const double freq =
+      static_cast<double>(present) / (static_cast<double>(iters) * u.size());
+  // sd of the frequency ~ sqrt(p(1-p)/(iters*n)) ~ 2e-4; allow 5 sigma.
+  EXPECT_NEAR(freq, p, 1e-3);
+}
+
+TEST(FastSamplers, PairedSamplerHasPerFaultMarginals) {
+  const auto u = core::make_random_universe(40, 0.6, 0.8, 31);
+  stats::rng r(23);
+  core::fault_mask a;
+  core::fault_mask b;
+  const int iters = 60000;
+  std::vector<int> count_a(u.size(), 0);
+  std::vector<int> count_b(u.size(), 0);
+  for (int i = 0; i < iters; ++i) {
+    sample_version_pair_fast(u, r, a, b);
+    for (std::size_t f = 0; f < u.size(); ++f) {
+      count_a[f] += a.test(f);
+      count_b[f] += b.test(f);
+    }
+  }
+  for (std::size_t f = 0; f < u.size(); ++f) {
+    const double p = u[f].p;
+    const double tol = 5.0 * std::sqrt(p * (1.0 - p) / iters) + 1e-9;
+    EXPECT_NEAR(count_a[f] / static_cast<double>(iters), p, tol) << "fault " << f;
+    EXPECT_NEAR(count_b[f] / static_cast<double>(iters), p, tol) << "fault " << f;
+  }
+}
+
+TEST(FastSamplers, FastEngineBracketsClosedFormsOnUniformAndGenericUniverses) {
+  // Uniform p exercises the word-parallel path; generic p the paired path.
+  const auto uniform_u = core::make_homogeneous_universe(100, 0.3, 0.005);
+  const auto generic_u = core::make_random_universe(100, 0.4, 0.8, 61);
+  for (const auto* u : {&uniform_u, &generic_u}) {
+    experiment_config cfg;
+    cfg.samples = 150000;
+    cfg.seed = 9;
+    cfg.engine = sampling_engine::fast;
+    cfg.ci_level = 0.9999;
+    const auto res = run_experiment(*u, cfg);
+    EXPECT_TRUE(res.mean_theta1().ci.contains(core::single_version_moments(*u).mean));
+    EXPECT_TRUE(res.mean_theta2().ci.contains(core::pair_moments(*u).mean));
+    EXPECT_TRUE(res.prob_n1_positive().ci.contains(core::prob_some_fault(*u)));
+    EXPECT_TRUE(res.prob_n2_positive().ci.contains(core::prob_some_common_fault(*u)));
+  }
+}
+
+TEST(FastSamplers, RareFaultUniverseFallsBackToExactKernel) {
+  // Every fault far below the 2^-32 grid the paired sampler uses: the fast
+  // engine must fall back to the 53-bit kernel rather than realize each
+  // fault at p = 2^-32 (a ~233x oversample of the whole universe).  The
+  // fallback consumes the rng stream exactly like the legacy engine, so
+  // results are bit-identical.  (p values differ so the word-parallel
+  // uniform path is out too.)
+  std::vector<core::fault_atom> atoms(50, core::fault_atom{1e-12, 0.01});
+  for (std::size_t i = 0; i < atoms.size(); i += 2) atoms[i].p = 2e-12;
+  const core::fault_universe u(std::move(atoms));
+  EXPECT_FALSE(u.fast32_grid_safe());
+  EXPECT_TRUE(core::make_random_universe(64, 0.4, 0.7, 3).fast32_grid_safe());
+  // A single negligible-weight rare fault must NOT force the slow path.
+  std::vector<core::fault_atom> mixed(50, core::fault_atom{0.1, 0.01});
+  mixed[3].p = 1e-12;
+  EXPECT_TRUE(core::fault_universe(std::move(mixed)).fast32_grid_safe());
+
+  experiment_config cfg;
+  cfg.samples = 5000;
+  cfg.threads = 2;
+  cfg.seed = 31;
+  cfg.engine = sampling_engine::fast;
+  const auto fast = run_experiment(u, cfg);
+  cfg.engine = sampling_engine::legacy;
+  const auto legacy = run_experiment(u, cfg);
+  EXPECT_EQ(fast.theta1.mean(), legacy.theta1.mean());
+  EXPECT_EQ(fast.n1_positive, legacy.n1_positive);
+  EXPECT_EQ(fast.n2_positive, legacy.n2_positive);
+}
+
+TEST(CorrelatedSamplers, SparseAndMaskPathsShareOneRngStream) {
+  // sample() delegates to sample_mask(), so the two representations cannot
+  // diverge; this pins the contract against future reimplementation.
+  const auto u = core::make_random_universe(90, 0.4, 0.8, 55);
+  const common_cause_mixture mix(u, 0.3, 1.5);
+  const gaussian_copula_sampler cop(u, 0.4);
+  const auto aliased = split_into_mistakes(u, 3);
+  core::fault_mask m;
+  stats::rng r1(5);
+  stats::rng r2(5);
+  for (int i = 0; i < 100; ++i) {
+    mix.sample_mask(r1, m);
+    EXPECT_EQ(m.to_indices(), mix.sample(r2).faults);
+    cop.sample_mask(r1, m);
+    EXPECT_EQ(m.to_indices(), cop.sample(r2).faults);
+    aliased.sample_mask(r1, m);
+    EXPECT_EQ(m.to_indices(), aliased.sample(r2).faults);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Binomial deviate (the new empirical_pfd backend)
+// --------------------------------------------------------------------------
+
+TEST(BinomialDeviate, EdgesAndDeterminism) {
+  stats::rng r(1);
+  EXPECT_EQ(stats::binomial_deviate(r, 1000000, 0.0), 0u);
+  EXPECT_EQ(stats::binomial_deviate(r, 1000000, 1.0), 1000000u);
+  EXPECT_EQ(stats::binomial_deviate(r, 0, 0.5), 0u);
+  stats::rng r1(77);
+  stats::rng r2(77);
+  EXPECT_EQ(stats::binomial_deviate(r1, 123456, 0.123),
+            stats::binomial_deviate(r2, 123456, 0.123));
+}
+
+TEST(BinomialDeviate, MomentsMatchBinomialLaw) {
+  stats::rng r(8);
+  const std::uint64_t trials = 1'000'000;
+  const double p = 0.0007;
+  const int reps = 400;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const auto k = static_cast<double>(stats::binomial_deviate(r, trials, p));
+    sum += k;
+    sum_sq += k * k;
+  }
+  const double mean = sum / reps;
+  const double var = sum_sq / reps - mean * mean;
+  const double expect_mean = static_cast<double>(trials) * p;  // 700
+  const double expect_var = expect_mean * (1.0 - p);
+  // 5-sigma bands on the Monte-Carlo estimates.
+  EXPECT_NEAR(mean, expect_mean, 5.0 * std::sqrt(expect_var / reps));
+  EXPECT_NEAR(var, expect_var, 0.35 * expect_var);
+}
+
+TEST(BinomialDeviate, SmallTrialsPathMatchesLaw) {
+  stats::rng r(13);
+  const std::uint64_t trials = 50;  // below the splitting cutoff
+  const double p = 0.2;
+  const int reps = 30000;
+  double sum = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    sum += static_cast<double>(stats::binomial_deviate(r, trials, p));
+  }
+  const double mean = sum / reps;
+  EXPECT_NEAR(mean, 10.0, 5.0 * std::sqrt(trials * p * (1.0 - p) / reps));
+}
+
+}  // namespace
