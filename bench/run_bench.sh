@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
-# Reproducible perf pipeline: build Release, run the P1 microbenchmarks, and
-# record BENCH_p1.json (google-benchmark JSON) so the perf trajectory is
-# tracked across PRs.  The end-to-end engine comparison lives in the same
-# file: BM_RunExperimentLegacy is the pre-bitset baseline, BM_RunExperimentFast
-# the shipping engine.
+# Reproducible perf pipeline: build Release, run the perf microbenchmarks,
+# and record google-benchmark JSON so the perf trajectory is tracked across
+# PRs:
+#   BENCH_p1.json — kernel + end-to-end engine comparison (bench_p1_perf;
+#                   BM_RunExperimentLegacy is the pre-bitset baseline,
+#                   BM_RunExperimentFast the shipping engine).
+#   BENCH_p2.json — deterministic sharded-runner throughput vs the serial
+#                   single-stream baseline (bench_runner_scaling; the
+#                   correlated runner's serial loop is the pre-shard-runner
+#                   baseline).
 #
-# Usage: bench/run_bench.sh [build-dir] [output-json]
+# Usage: bench/run_bench.sh [build-dir] [p1-json] [p2-json]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-$repo_root/build-bench}"
 out_json="${2:-$repo_root/BENCH_p1.json}"
+out_json_p2="${3:-$repo_root/BENCH_p2.json}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
       -DRELDIV_BUILD_TESTS=OFF -DRELDIV_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "$build_dir" -j --target bench_p1_perf >/dev/null
+cmake --build "$build_dir" -j --target bench_p1_perf --target bench_runner_scaling >/dev/null
 
 "$build_dir/bench_p1_perf" \
   --benchmark_format=json \
@@ -23,16 +29,36 @@ cmake --build "$build_dir" -j --target bench_p1_perf >/dev/null
   --benchmark_min_time=0.2
 
 echo
+"$build_dir/bench_runner_scaling" \
+  --benchmark_format=json \
+  --benchmark_out="$out_json_p2" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo
 echo "Wrote $out_json"
-# Headline ratio: legacy vs fast end-to-end run_experiment (n=1024).
-python3 - "$out_json" <<'EOF' || true
+echo "Wrote $out_json_p2"
+# Headline ratios: legacy vs fast end-to-end run_experiment (n=1024), and
+# serial vs sharded run_correlated (n=256).
+python3 - "$out_json" "$out_json_p2" <<'EOF' || true
 import json, sys
-with open(sys.argv[1]) as f:
-    data = json.load(f)
-times = {b["name"]: b["real_time"] for b in data["benchmarks"] if "real_time" in b}
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {b["name"]: b["real_time"] for b in data["benchmarks"] if "real_time" in b}
+
+times = load(sys.argv[1])
 legacy = times.get("BM_RunExperimentLegacy/real_time")
 fast = times.get("BM_RunExperimentFast/real_time")
 if legacy and fast:
     print(f"run_experiment n=1024: legacy {legacy:.2f}ms -> fast {fast:.2f}ms "
           f"({legacy / fast:.2f}x)")
+
+p2 = load(sys.argv[2])
+serial = p2.get("BM_RunCorrelatedSerial/real_time")
+sharded = p2.get("BM_RunCorrelatedSharded/0/real_time")  # 0 = hardware threads
+if serial and sharded:
+    print(f"run_correlated n=256: serial {serial:.2f}ms -> sharded(hw) {sharded:.2f}ms "
+          f"({serial / sharded:.2f}x)")
 EOF

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "mc/sampler.hpp"
+#include "stats/descriptive.hpp"
 #include "stats/random.hpp"
 
 namespace reldiv::estimate {
@@ -211,21 +212,21 @@ validation_report split_sample_validation(const core::fault_universe& u,
   rep.predicted = predict_pair(p_hat, u.q_values());
   rep.training_versions = train_n;
 
-  double sum = 0.0;
+  stats::running_moments pair_pfds;
   std::size_t no_common = 0;
-  std::size_t pairs = 0;
   for (std::size_t i = 0; i < holdout.size(); ++i) {
     for (std::size_t j = i + 1; j < holdout.size(); ++j) {
       const auto pair = mc::pair_pfd_stats(holdout[i], holdout[j], u);
-      sum += pair.pfd;
+      pair_pfds.add(pair.pfd);
       if (!pair.any_common) ++no_common;
-      ++pairs;
     }
   }
-  rep.holdout_pairs = pairs;
-  rep.observed_pair_mean = pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
+  rep.holdout_pairs = pair_pfds.count();
+  rep.observed_pair_mean = pair_pfds.mean();
   rep.observed_no_common_fraction =
-      pairs > 0 ? static_cast<double>(no_common) / static_cast<double>(pairs) : 0.0;
+      pair_pfds.count() > 0
+          ? static_cast<double>(no_common) / static_cast<double>(pair_pfds.count())
+          : 0.0;
   return rep;
 }
 

@@ -1,5 +1,6 @@
 #include "kl/experiment.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "mc/sampler.hpp"
@@ -52,13 +53,25 @@ kl_result run_kl_experiment(const core::fault_universe& u, const kl_config& conf
 
   out.version_summary = stats::summarize(out.version_pfd);
   out.pair_summary = stats::summarize(out.pair_pfd);
-  out.mean_reduction = out.pair_summary.mean > 0.0
-                           ? out.version_summary.mean / out.pair_summary.mean
-                           : 0.0;
-  out.sd_reduction = out.pair_summary.stddev > 0.0
-                         ? out.version_summary.stddev / out.pair_summary.stddev
-                         : 0.0;
-  out.version_normality = stats::anderson_darling_normal(out.version_pfd);
+  // A zero denominator under a positive numerator means the reduction is
+  // unbounded, which +inf states honestly — 0.0 would read as "diversity
+  // bought nothing" when it actually bought everything.  0/0 (versions
+  // never fail either, or both distributions degenerate) is indeterminate:
+  // NaN, not a fake verdict in either direction.
+  const auto reduction = [](double numerator, double denominator) {
+    if (denominator > 0.0) return numerator / denominator;
+    return numerator > 0.0 ? std::numeric_limits<double>::infinity()
+                           : std::numeric_limits<double>::quiet_NaN();
+  };
+  out.mean_reduction = reduction(out.version_summary.mean, out.pair_summary.mean);
+  out.sd_reduction = reduction(out.version_summary.stddev, out.pair_summary.stddev);
+  if (out.version_summary.stddev > 0.0) {
+    out.version_normality = stats::anderson_darling_normal(out.version_pfd);
+  } else {
+    // A degenerate (point-mass) PFD sample cannot be normal: report a
+    // rejection instead of tripping the AD statistic's zero-variance guard.
+    out.version_normality = {std::numeric_limits<double>::infinity(), 0.0, true};
+  }
   return out;
 }
 

@@ -35,8 +35,11 @@ struct kl_result {
   stats::sample_summary version_summary;
   stats::sample_summary pair_summary;
 
-  /// Reduction factors mean(version)/mean(pair), sd(version)/sd(pair)
-  /// (∞-safe: 0-denominator yields 0).
+  /// Reduction factors mean(version)/mean(pair), sd(version)/sd(pair).
+  /// A zero denominator under a positive numerator yields +infinity — the
+  /// reduction is unbounded, not absent (for the mean ratio that means
+  /// pairs never fail; for the sd ratio it also covers a degenerate pair
+  /// distribution).  0/0 yields NaN (indeterminate).
   double mean_reduction = 0.0;
   double sd_reduction = 0.0;
 

@@ -17,6 +17,7 @@ common_cause_mixture::common_cause_mixture(const core::fault_universe& u, double
   if (!(stress >= 1.0)) {
     throw std::invalid_argument("common_cause_mixture: stress must be >= 1");
   }
+  marginal_.reserve(u.size());
   stressed_p_.reserve(u.size());
   relaxed_p_.reserve(u.size());
   for (const auto& a : u) {
@@ -27,6 +28,10 @@ common_cause_mixture::common_cause_mixture(const core::fault_universe& u, double
       throw std::invalid_argument(
           "common_cause_mixture: marginal preservation infeasible (rho*stress too large)");
     }
+    // The marginal the construction preserves is a.p itself; recomputing it
+    // from the clamped relaxed probability would drift near the feasibility
+    // boundary (where lo rounds to a hair below 0 and is clamped away).
+    marginal_.push_back(a.p);
     stressed_p_.push_back(hi);
     relaxed_p_.push_back(std::max(0.0, lo));
   }
@@ -50,8 +55,8 @@ void common_cause_mixture::sample_mask(stats::rng& r, core::fault_mask& out) con
 }
 
 double common_cause_mixture::marginal(std::size_t i) const {
-  if (i >= stressed_p_.size()) throw std::out_of_range("common_cause_mixture::marginal");
-  return rho_ * stressed_p_[i] + (1.0 - rho_) * relaxed_p_[i];
+  if (i >= marginal_.size()) throw std::out_of_range("common_cause_mixture::marginal");
+  return marginal_[i];
 }
 
 double common_cause_mixture::indicator_correlation(std::size_t i, std::size_t j) const {
@@ -122,6 +127,11 @@ core::fault_universe merge_fault_groups(const core::fault_universe& u,
       used[i] = true;
       merged.p = std::max(merged.p, u[i].p);  // perfectly-correlated limit
       merged.q += u[i].q;                     // union of disjoint regions
+    }
+    if (merged.q > 1.0) {
+      throw std::invalid_argument(
+          "merge_fault_groups: group q sum exceeds 1 (failure regions cannot be "
+          "disjoint probabilities)");
     }
     atoms.push_back(merged);
   }

@@ -21,7 +21,9 @@
 #include <stdexcept>
 
 #include "core/fault_universe.hpp"
+#include "mc/experiment.hpp"
 #include "mc/sampler.hpp"
+#include "mc/shard_runner.hpp"
 #include "stats/random.hpp"
 
 namespace reldiv::mc {
@@ -50,6 +52,7 @@ class common_cause_mixture {
  private:
   const core::fault_universe* u_;
   double rho_;
+  std::vector<double> marginal_;  ///< preserved marginals (== u[i].p exactly)
   std::vector<double> stressed_p_;
   std::vector<double> relaxed_p_;
   std::vector<std::uint64_t> stressed_thresh_;  ///< bernoulli_threshold(stressed_p_)
@@ -84,17 +87,24 @@ struct correlated_result {
   std::uint64_t samples = 0;
 };
 
+/// Runner knobs for run_correlated.  Like run_experiment, thread count is a
+/// throughput knob only: results are bit-identical for a given (seed,
+/// samples, shards) across any `threads` value.
+struct correlated_config {
+  unsigned threads = 0;  ///< workers; 0 = hardware_concurrency
+  unsigned shards = 0;   ///< logical rng streams; 0 = kDefaultLogicalShards
+                         ///< (capped at samples)
+};
+
+namespace detail {
+
+/// Shared inner loop of the serial and sharded correlated runners: draw
+/// `samples` pairs from `sampler` using `r` and fold them into `acc`.
+/// Prefers the allocation-free mask path when the sampler provides one.
 template <typename Sampler>
-[[nodiscard]] correlated_result run_correlated(const core::fault_universe& u,
-                                               const Sampler& sampler,
-                                               std::uint64_t samples, std::uint64_t seed) {
-  stats::rng r(seed);
-  correlated_result out;
-  out.samples = samples;
-  std::uint64_t n1_pos = 0;
-  std::uint64_t n2_pos = 0;
-  double sum1 = 0.0;
-  double sum2 = 0.0;
+void accumulate_correlated(const core::fault_universe& u, const Sampler& sampler,
+                           std::uint64_t samples, stats::rng& r,
+                           experiment_accumulator& acc) {
   constexpr bool has_mask_path =
       requires(const Sampler& s, stats::rng& rr, core::fault_mask& m) {
         s.sample_mask(rr, m);
@@ -110,36 +120,84 @@ template <typename Sampler>
         // Same guard the sparse path gets from pfd_of's range check.
         throw std::out_of_range("run_correlated: sampler does not match universe");
       }
-      sum1 += core::masked_q_sum(a, u.q_array());
+      const double t1 = core::masked_q_sum(a, u.q_array());
       const auto pair = core::intersect_q_sum(a, b, u.q_array());
-      sum2 += pair.pfd;
-      if (a.any()) ++n1_pos;
-      if (pair.any_common) ++n2_pos;
+      acc.add(t1, pair.pfd, a.any(), pair.any_common);
     }
   } else {
     for (std::uint64_t s = 0; s < samples; ++s) {
       const version a = sampler.sample(r);
       const version b = sampler.sample(r);
-      sum1 += pfd_of(a, u);
-      sum2 += pair_pfd(a, b, u);
-      if (a.has_fault()) ++n1_pos;
-      if (!common_faults(a, b).empty()) ++n2_pos;
+      acc.add(pfd_of(a, u), pair_pfd(a, b, u), a.has_fault(),
+              !common_faults(a, b).empty());
     }
   }
-  const auto n = static_cast<double>(samples);
-  out.mean_theta1 = sum1 / n;
-  out.mean_theta2 = sum2 / n;
-  out.prob_n1_positive = static_cast<double>(n1_pos) / n;
-  out.prob_n2_positive = static_cast<double>(n2_pos) / n;
-  out.risk_ratio = n1_pos > 0 ? static_cast<double>(n2_pos) / static_cast<double>(n1_pos)
-                              : 0.0;
+}
+
+[[nodiscard]] inline correlated_result to_correlated_result(
+    const experiment_accumulator& acc) {
+  correlated_result out;
+  out.samples = acc.samples();
+  const auto n = static_cast<double>(acc.samples());
+  out.mean_theta1 = acc.theta1().mean();
+  out.mean_theta2 = acc.theta2().mean();
+  out.prob_n1_positive = static_cast<double>(acc.n1_positive()) / n;
+  out.prob_n2_positive = static_cast<double>(acc.n2_positive()) / n;
+  out.risk_ratio = acc.n1_positive() > 0
+                       ? static_cast<double>(acc.n2_positive()) /
+                             static_cast<double>(acc.n1_positive())
+                       : 0.0;
   return out;
+}
+
+}  // namespace detail
+
+/// Multithreaded correlated runner on the shard_runner subsystem: the sample
+/// budget is split over fixed logical shards, each with its own
+/// stats::rng::stream(seed, shard), so results do not depend on
+/// cfg.threads.  `Sampler::sample(_mask)` must be const-thread-safe (all
+/// samplers in this library are: their const methods only read immutable
+/// tables).
+template <typename Sampler>
+[[nodiscard]] correlated_result run_correlated(const core::fault_universe& u,
+                                               const Sampler& sampler,
+                                               std::uint64_t samples, std::uint64_t seed,
+                                               const correlated_config& cfg = {}) {
+  if (samples == 0) throw std::invalid_argument("run_correlated: samples > 0");
+  const shard_plan plan = make_shard_plan(samples, cfg.shards);
+  experiment_accumulator total;
+  run_shards(
+      plan, seed, cfg.threads,
+      [&u, &sampler](unsigned /*shard*/, std::uint64_t count, stats::rng& r) {
+        experiment_accumulator acc;
+        detail::accumulate_correlated(u, sampler, count, r, acc);
+        return acc;
+      },
+      [&total](unsigned /*shard*/, experiment_accumulator&& acc) { total.merge(acc); });
+  return detail::to_correlated_result(total);
+}
+
+/// Single-threaded single-stream reference runner (the pre-shard-runner
+/// layout: one rng(seed) consumed sequentially).  Kept as the statistical
+/// baseline the sharded runner is tested and benchmarked against.
+template <typename Sampler>
+[[nodiscard]] correlated_result run_correlated_serial(const core::fault_universe& u,
+                                                      const Sampler& sampler,
+                                                      std::uint64_t samples,
+                                                      std::uint64_t seed) {
+  if (samples == 0) throw std::invalid_argument("run_correlated: samples > 0");
+  stats::rng r(seed);
+  experiment_accumulator acc;
+  detail::accumulate_correlated(u, sampler, samples, r, acc);
+  return detail::to_correlated_result(acc);
 }
 
 /// The §6.1 "merge positively correlated faults" approximation: collapse
 /// groups of faults into single super-faults whose failure region is the
 /// union (q summed, p set to the group maximum — the perfectly-correlated
-/// limit where the group occurs together).
+/// limit where the group occurs together).  A group whose q's sum past 1
+/// would not be a probability (the regions cannot be disjoint): throws
+/// std::invalid_argument.
 [[nodiscard]] core::fault_universe merge_fault_groups(
     const core::fault_universe& u, const std::vector<std::vector<std::size_t>>& groups);
 

@@ -1,9 +1,7 @@
 #include "mc/experiment.hpp"
 
-#include <algorithm>
 #include <bit>
 #include <stdexcept>
-#include <thread>
 
 #include "mc/sampler.hpp"
 #include "stats/random.hpp"
@@ -12,56 +10,30 @@ namespace reldiv::mc {
 
 namespace {
 
-struct shard_result {
-  stats::running_moments theta1;
-  stats::running_moments theta2;
-  std::uint64_t n1_positive = 0;
-  std::uint64_t n2_positive = 0;
-  std::uint64_t n1_zero_pfd = 0;
-  std::uint64_t n2_zero_pfd = 0;
-  std::vector<double> theta1_samples;
-  std::vector<double> theta2_samples;
-};
-
 /// Legacy sparse shard: per-sample heap-allocated index vectors and scalar
 /// merges.  Retained as the benchmark/regression baseline for the bitset
 /// engine.
-shard_result run_shard_legacy(const core::fault_universe& u, std::uint64_t samples,
-                              stats::rng r, bool keep_samples) {
-  shard_result out;
-  if (keep_samples) {
-    out.theta1_samples.reserve(samples);
-    out.theta2_samples.reserve(samples);
-  }
+experiment_accumulator run_shard_legacy(const core::fault_universe& u,
+                                        std::uint64_t samples, stats::rng r,
+                                        bool keep_samples) {
+  experiment_accumulator acc(keep_samples);
   for (std::uint64_t s = 0; s < samples; ++s) {
     const version a = sample_version(u, r);
     const version b = sample_version(u, r);
     const double t1 = pfd_of(a, u);
     const double t2 = pair_pfd(a, b, u);
-    out.theta1.add(t1);
-    out.theta2.add(t2);
-    if (a.has_fault()) ++out.n1_positive;
-    if (!common_faults(a, b).empty()) ++out.n2_positive;
-    if (t1 == 0.0) ++out.n1_zero_pfd;
-    if (t2 == 0.0) ++out.n2_zero_pfd;
-    if (keep_samples) {
-      out.theta1_samples.push_back(t1);
-      out.theta2_samples.push_back(t2);
-    }
+    acc.add(t1, t2, a.has_fault(), !common_faults(a, b).empty());
   }
-  return out;
+  return acc;
 }
 
 /// Bitset shard: the two scratch masks are allocated once up front and
 /// rewritten in place, so the steady-state loop performs zero heap
 /// allocations; n2_positive falls out of the fused intersection kernel.
-shard_result run_shard_mask(const core::fault_universe& u, std::uint64_t samples,
-                            stats::rng r, bool keep_samples, bool exact_stream) {
-  shard_result out;
-  if (keep_samples) {
-    out.theta1_samples.reserve(samples);
-    out.theta2_samples.reserve(samples);
-  }
+experiment_accumulator run_shard_mask(const core::fault_universe& u,
+                                      std::uint64_t samples, stats::rng r,
+                                      bool keep_samples, bool exact_stream) {
+  experiment_accumulator acc(keep_samples);
   core::fault_mask a(u.size());
   core::fault_mask b(u.size());
   // Word-parallel sampling costs 53 - countr_zero(threshold) rng words per
@@ -90,22 +62,14 @@ shard_result run_shard_mask(const core::fault_universe& u, std::uint64_t samples
     }
     const double t1 = core::masked_q_sum(a, u.q_array());
     const auto pair = core::intersect_q_sum(a, b, u.q_array());
-    out.theta1.add(t1);
-    out.theta2.add(pair.pfd);
-    if (a.any()) ++out.n1_positive;
-    if (pair.any_common) ++out.n2_positive;
-    if (t1 == 0.0) ++out.n1_zero_pfd;
-    if (pair.pfd == 0.0) ++out.n2_zero_pfd;
-    if (keep_samples) {
-      out.theta1_samples.push_back(t1);
-      out.theta2_samples.push_back(pair.pfd);
-    }
+    acc.add(t1, pair.pfd, a.any(), pair.any_common);
   }
-  return out;
+  return acc;
 }
 
-shard_result run_shard(const core::fault_universe& u, std::uint64_t samples,
-                       stats::rng r, bool keep_samples, sampling_engine engine) {
+experiment_accumulator run_shard(const core::fault_universe& u, std::uint64_t samples,
+                                 stats::rng r, bool keep_samples,
+                                 sampling_engine engine) {
   switch (engine) {
     case sampling_engine::legacy:
       return run_shard_legacy(u, samples, std::move(r), keep_samples);
@@ -120,6 +84,89 @@ shard_result run_shard(const core::fault_universe& u, std::uint64_t samples,
 }
 
 }  // namespace
+
+void experiment_accumulator::add(double theta1, double theta2,
+                                 bool version_has_fault, bool pair_has_common_fault) {
+  ++samples_;
+  theta1_.add(theta1);
+  theta2_.add(theta2);
+  if (version_has_fault) ++n1_positive_;
+  if (pair_has_common_fault) ++n2_positive_;
+  if (theta1 == 0.0) ++n1_zero_pfd_;
+  if (theta2 == 0.0) ++n2_zero_pfd_;
+  if (keep_samples_) {
+    theta1_samples_.push_back(theta1);
+    theta2_samples_.push_back(theta2);
+  }
+}
+
+void experiment_accumulator::merge(const experiment_accumulator& other) {
+  if (keep_samples_ != other.keep_samples_) {
+    // Merging mismatched modes would silently break the "kept vectors hold
+    // every accumulated sample" invariant.
+    throw std::invalid_argument(
+        "experiment_accumulator::merge: keep-samples mode mismatch");
+  }
+  samples_ += other.samples_;
+  theta1_.merge(other.theta1_);
+  theta2_.merge(other.theta2_);
+  n1_positive_ += other.n1_positive_;
+  n2_positive_ += other.n2_positive_;
+  n1_zero_pfd_ += other.n1_zero_pfd_;
+  n2_zero_pfd_ += other.n2_zero_pfd_;
+  if (keep_samples_) {
+    theta1_samples_.insert(theta1_samples_.end(), other.theta1_samples_.begin(),
+                           other.theta1_samples_.end());
+    theta2_samples_.insert(theta2_samples_.end(), other.theta2_samples_.begin(),
+                           other.theta2_samples_.end());
+  }
+}
+
+accumulator_state experiment_accumulator::state() const {
+  accumulator_state s;
+  s.samples = samples_;
+  s.theta1 = theta1_.state();
+  s.theta2 = theta2_.state();
+  s.n1_positive = n1_positive_;
+  s.n2_positive = n2_positive_;
+  s.n1_zero_pfd = n1_zero_pfd_;
+  s.n2_zero_pfd = n2_zero_pfd_;
+  s.keeping_samples = keep_samples_;
+  s.theta1_samples = theta1_samples_;
+  s.theta2_samples = theta2_samples_;
+  return s;
+}
+
+experiment_accumulator experiment_accumulator::from_state(const accumulator_state& s) {
+  experiment_accumulator acc(s.keeping_samples);
+  acc.samples_ = s.samples;
+  acc.theta1_ = stats::running_moments::from_state(s.theta1);
+  acc.theta2_ = stats::running_moments::from_state(s.theta2);
+  acc.n1_positive_ = s.n1_positive;
+  acc.n2_positive_ = s.n2_positive;
+  acc.n1_zero_pfd_ = s.n1_zero_pfd;
+  acc.n2_zero_pfd_ = s.n2_zero_pfd;
+  acc.theta1_samples_ = s.theta1_samples;
+  acc.theta2_samples_ = s.theta2_samples;
+  return acc;
+}
+
+experiment_result experiment_accumulator::to_result(double ci_level) const {
+  experiment_result result;
+  result.samples = samples_;
+  result.ci_level = ci_level;
+  result.theta1 = theta1_;
+  result.theta2 = theta2_;
+  result.n1_positive = n1_positive_;
+  result.n2_positive = n2_positive_;
+  result.n1_zero_pfd = n1_zero_pfd_;
+  result.n2_zero_pfd = n2_zero_pfd_;
+  if (keep_samples_) {
+    result.theta1_samples = theta1_samples_;
+    result.theta2_samples = theta2_samples_;
+  }
+  return result;
+}
 
 estimate experiment_result::mean_theta1() const {
   return {theta1.mean(),
@@ -146,55 +193,32 @@ double experiment_result::risk_ratio() const {
   return static_cast<double>(n2_positive) / static_cast<double>(n1_positive);
 }
 
+unsigned experiment_shard_count(const experiment_config& config) {
+  return make_shard_plan(config.samples, config.shards).shard_count;
+}
+
+void run_experiment_shards(const core::fault_universe& u,
+                           const experiment_config& config, unsigned shard_begin,
+                           unsigned shard_end, experiment_accumulator& acc) {
+  if (config.samples == 0) {
+    throw std::invalid_argument("run_experiment: samples > 0");
+  }
+  const shard_plan plan = make_shard_plan(config.samples, config.shards);
+  run_shards(
+      plan, config.seed, shard_begin, shard_end, config.threads,
+      [&u, &config](unsigned /*shard*/, std::uint64_t samples, stats::rng& r) {
+        return run_shard(u, samples, r, config.keep_samples, config.engine);
+      },
+      [&acc](unsigned /*shard*/, experiment_accumulator&& shard_acc) {
+        acc.merge(shard_acc);
+      });
+}
+
 experiment_result run_experiment(const core::fault_universe& u,
                                  const experiment_config& config) {
-  if (config.samples == 0) throw std::invalid_argument("run_experiment: samples > 0");
-  unsigned threads = config.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = static_cast<unsigned>(
-      std::min<std::uint64_t>(threads, config.samples));
-
-  std::vector<shard_result> shards(threads);
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  const std::uint64_t per_thread = config.samples / threads;
-  const std::uint64_t remainder = config.samples % threads;
-  for (unsigned t = 0; t < threads; ++t) {
-    const std::uint64_t count = per_thread + (t < remainder ? 1 : 0);
-    // Independent streams via xoshiro jump: stream t of the master seed.
-    pool.emplace_back([&u, &shards, t, count, &config] {
-      shards[t] = run_shard(u, count, stats::rng::stream(config.seed, t),
-                            config.keep_samples, config.engine);
-    });
-  }
-  for (auto& th : pool) th.join();
-
-  experiment_result result;
-  result.samples = config.samples;
-  result.ci_level = config.ci_level;
-  if (config.keep_samples) {
-    result.theta1_samples.emplace();
-    result.theta2_samples.emplace();
-    result.theta1_samples->reserve(config.samples);
-    result.theta2_samples->reserve(config.samples);
-  }
-  for (auto& s : shards) {
-    result.theta1.merge(s.theta1);
-    result.theta2.merge(s.theta2);
-    result.n1_positive += s.n1_positive;
-    result.n2_positive += s.n2_positive;
-    result.n1_zero_pfd += s.n1_zero_pfd;
-    result.n2_zero_pfd += s.n2_zero_pfd;
-    if (config.keep_samples) {
-      result.theta1_samples->insert(result.theta1_samples->end(), s.theta1_samples.begin(),
-                                    s.theta1_samples.end());
-      result.theta2_samples->insert(result.theta2_samples->end(), s.theta2_samples.begin(),
-                                    s.theta2_samples.end());
-    }
-  }
-  return result;
+  experiment_accumulator acc(config.keep_samples);
+  run_experiment_shards(u, config, 0, experiment_shard_count(config), acc);
+  return acc.to_result(config.ci_level);
 }
 
 }  // namespace reldiv::mc

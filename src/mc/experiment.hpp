@@ -4,12 +4,20 @@
 // by simulating large populations of independently developed versions and
 // pairs.  The benches use it to validate the analytics; the sensitivity
 // studies (§6) use it where no closed form exists.
+//
+// Determinism contract: the sample budget is decomposed into a fixed number
+// of logical rng shards (experiment_config::shards, default
+// kDefaultLogicalShards) executed by the shard_runner subsystem, so for a
+// given (seed, samples, shards, engine) the result is bit-identical
+// regardless of experiment_config::threads or the machine's core count.
+// Thread count is a throughput knob, never a results knob.
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "core/fault_universe.hpp"
+#include "mc/shard_runner.hpp"
 #include "stats/confint.hpp"
 #include "stats/descriptive.hpp"
 
@@ -26,7 +34,7 @@ enum class sampling_engine {
   fast,
   /// Packed bitmask kernels consuming the rng stream decision-for-decision
   /// like the original sparse sampler: results are bit-identical to the
-  /// legacy engine (and to pre-bitset releases) for a given seed.
+  /// legacy engine for a given seed and shard layout.
   exact,
   /// The original sparse std::vector<uint32_t> path.  Kept as the
   /// regression/benchmark baseline.
@@ -36,11 +44,19 @@ enum class sampling_engine {
 struct experiment_config {
   std::uint64_t samples = 100'000;   ///< number of version-pairs to draw
   std::uint64_t seed = 1;
-  unsigned threads = 0;              ///< 0 = hardware_concurrency
+  unsigned threads = 0;              ///< workers; 0 = hardware_concurrency.
+                                     ///< Affects throughput only, never results.
+  unsigned shards = 0;               ///< logical rng streams; 0 = kDefaultLogicalShards
+                                     ///< (capped at samples).  Part of the result's
+                                     ///< identity: changing it changes the rng layout.
   bool keep_samples = false;         ///< retain per-sample PFDs (memory!)
   double ci_level = 0.99;            ///< level for the reported intervals
   sampling_engine engine = sampling_engine::fast;
 };
+
+/// Effective logical shard count for a config (resolves the 0 default and
+/// the cap at `samples`).
+[[nodiscard]] unsigned experiment_shard_count(const experiment_config& config);
 
 struct estimate {
   double value = 0.0;
@@ -74,6 +90,76 @@ struct experiment_result {
   /// Empirical eq. (10) ratio.
   [[nodiscard]] double risk_ratio() const;
 };
+
+/// Plain serializable snapshot of an experiment_accumulator: write the
+/// fields to any medium, read them back, and experiment_accumulator::
+/// from_state resumes the accumulation bit-exactly.  The sample vectors are
+/// empty unless the accumulator was keeping samples.
+struct accumulator_state {
+  std::uint64_t samples = 0;
+  stats::running_moments_state theta1;
+  stats::running_moments_state theta2;
+  std::uint64_t n1_positive = 0;
+  std::uint64_t n2_positive = 0;
+  std::uint64_t n1_zero_pfd = 0;
+  std::uint64_t n2_zero_pfd = 0;
+  bool keeping_samples = false;
+  std::vector<double> theta1_samples;
+  std::vector<double> theta2_samples;
+};
+
+/// Streaming accumulator for pair experiments: feed (θ1, θ2, N1>0, N2>0)
+/// observations in any number of chunks, merge accumulators built
+/// elsewhere, checkpoint to a plain struct and resume.  This is the unit
+/// every shard of the sharded runners produces, and the API >10^9-sample
+/// studies drive directly.
+class experiment_accumulator {
+ public:
+  experiment_accumulator() = default;
+  explicit experiment_accumulator(bool keep_samples) : keep_samples_(keep_samples) {}
+
+  /// Record one simulated pair.
+  void add(double theta1, double theta2, bool version_has_fault,
+           bool pair_has_common_fault);
+  /// Fold another accumulator in (its samples logically follow this one's).
+  void merge(const experiment_accumulator& other);
+
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+  [[nodiscard]] bool keeping_samples() const noexcept { return keep_samples_; }
+  [[nodiscard]] const stats::running_moments& theta1() const noexcept { return theta1_; }
+  [[nodiscard]] const stats::running_moments& theta2() const noexcept { return theta2_; }
+  [[nodiscard]] std::uint64_t n1_positive() const noexcept { return n1_positive_; }
+  [[nodiscard]] std::uint64_t n2_positive() const noexcept { return n2_positive_; }
+
+  /// Checkpoint / resume.
+  [[nodiscard]] accumulator_state state() const;
+  [[nodiscard]] static experiment_accumulator from_state(const accumulator_state& s);
+
+  /// Package the accumulated statistics as an experiment_result.
+  [[nodiscard]] experiment_result to_result(double ci_level = 0.99) const;
+
+ private:
+  std::uint64_t samples_ = 0;
+  stats::running_moments theta1_;
+  stats::running_moments theta2_;
+  std::uint64_t n1_positive_ = 0;
+  std::uint64_t n2_positive_ = 0;
+  std::uint64_t n1_zero_pfd_ = 0;
+  std::uint64_t n2_zero_pfd_ = 0;
+  bool keep_samples_ = false;
+  std::vector<double> theta1_samples_;
+  std::vector<double> theta2_samples_;
+};
+
+/// Streaming building block: run logical shards [shard_begin, shard_end) of
+/// the experiment `config` defines (its shard layout comes from
+/// experiment_shard_count) and merge the per-shard results into `acc` in
+/// ascending shard order.  Running all shards — in one call or split across
+/// any sequence of calls with checkpoints in between — produces exactly the
+/// run_experiment result for the same config.
+void run_experiment_shards(const core::fault_universe& u,
+                           const experiment_config& config, unsigned shard_begin,
+                           unsigned shard_end, experiment_accumulator& acc);
 
 /// Simulate `config.samples` independent pairs of versions from `u`.
 [[nodiscard]] experiment_result run_experiment(const core::fault_universe& u,

@@ -1,0 +1,22 @@
+#include "mc/shard_runner.hpp"
+
+namespace reldiv::mc {
+
+shard_plan make_shard_plan(std::uint64_t samples, unsigned requested_shards) {
+  if (samples == 0) {
+    throw std::invalid_argument("make_shard_plan: samples must be > 0");
+  }
+  const unsigned requested = requested_shards == 0 ? kDefaultLogicalShards : requested_shards;
+  shard_plan plan;
+  plan.total_samples = samples;
+  plan.shard_count = static_cast<unsigned>(std::min<std::uint64_t>(requested, samples));
+  return plan;
+}
+
+unsigned resolve_threads(unsigned requested, std::uint64_t jobs) {
+  unsigned threads = requested;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(std::min<std::uint64_t>(threads, std::max<std::uint64_t>(jobs, 1)));
+}
+
+}  // namespace reldiv::mc

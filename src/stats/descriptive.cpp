@@ -58,6 +58,22 @@ void running_moments::merge(const running_moments& other) noexcept {
   *this = out;
 }
 
+running_moments_state running_moments::state() const noexcept {
+  return {static_cast<std::uint64_t>(n_), m1_, m2_, m3_, m4_, min_, max_};
+}
+
+running_moments running_moments::from_state(const running_moments_state& s) noexcept {
+  running_moments out;
+  out.n_ = static_cast<std::size_t>(s.count);
+  out.m1_ = s.m1;
+  out.m2_ = s.m2;
+  out.m3_ = s.m3;
+  out.m4_ = s.m4;
+  out.min_ = s.min;
+  out.max_ = s.max;
+  return out;
+}
+
 double running_moments::variance() const noexcept {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }

@@ -4,10 +4,25 @@
 // histograms for the bench harness output.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace reldiv::stats {
+
+/// Plain serializable snapshot of a running_moments accumulator — the
+/// checkpoint currency for streaming experiments (mc::experiment_accumulator
+/// round-trips through it).  Field-for-field copy of the internal state, so
+/// from_state(state()) resumes the accumulation bit-exactly.
+struct running_moments_state {
+  std::uint64_t count = 0;
+  double m1 = 0.0;
+  double m2 = 0.0;
+  double m3 = 0.0;
+  double m4 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
 
 /// Numerically stable single-pass accumulator for mean/variance/skewness/
 /// excess kurtosis (Welford / Pébay update formulas).
@@ -15,6 +30,10 @@ class running_moments {
  public:
   void add(double x) noexcept;
   void merge(const running_moments& other) noexcept;
+
+  /// Checkpoint support: exact snapshot / restore of the accumulator state.
+  [[nodiscard]] running_moments_state state() const noexcept;
+  [[nodiscard]] static running_moments from_state(const running_moments_state& s) noexcept;
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ > 0 ? m1_ : 0.0; }

@@ -122,6 +122,41 @@ TEST(KnightLeveson, DiversityReducesMeanAndStdDev) {
   EXPECT_GT(res.sd_reduction, 1.0);
 }
 
+TEST(KnightLeveson, PairsThatNeverFailYieldInfiniteReduction) {
+  // A sparse universe where (for this seed) versions do carry faults but no
+  // pair of the 27 shares one: θ2 is identically zero.  A zero denominator
+  // means the reduction is unbounded — +inf — not 0.0, which would read as
+  // "diversity bought nothing" when it bought everything.
+  std::vector<core::fault_atom> atoms(500, core::fault_atom{0.0005, 0.001});
+  const core::fault_universe u{std::move(atoms)};
+  kl::kl_config cfg;
+  cfg.score_empirically = false;
+  cfg.seed = 5;
+  const auto res = kl::run_kl_experiment(u, cfg);
+  ASSERT_GT(res.version_summary.mean, 0.0);  // seed draws some faults...
+  ASSERT_EQ(res.pair_summary.mean, 0.0);     // ...but no pair shares one
+  EXPECT_TRUE(std::isinf(res.mean_reduction));
+  EXPECT_GT(res.mean_reduction, 0.0);
+  EXPECT_TRUE(std::isinf(res.sd_reduction));
+}
+
+TEST(KnightLeveson, NothingEverFailsYieldsIndeterminateReduction) {
+  // 0/0 — versions never fail either — is indeterminate, not an unbounded
+  // benefit: NaN, so neither a "no reduction" nor an "infinite reduction"
+  // verdict can be read off vacuously.
+  std::vector<core::fault_atom> atoms(20, core::fault_atom{0.0, 0.01});
+  const core::fault_universe u{std::move(atoms)};
+  kl::kl_config cfg;
+  cfg.score_empirically = false;
+  const auto res = kl::run_kl_experiment(u, cfg);
+  ASSERT_EQ(res.version_summary.mean, 0.0);
+  EXPECT_TRUE(std::isnan(res.mean_reduction));
+  EXPECT_TRUE(std::isnan(res.sd_reduction));
+  // The degenerate point-mass sample is reported as non-normal rather than
+  // tripping the AD statistic's zero-variance guard.
+  EXPECT_TRUE(res.version_normality.reject_at_05);
+}
+
 TEST(KnightLeveson, EmpiricalScoresTrackExactScores) {
   const auto u = core::make_knight_leveson_like_universe(2);
   kl::kl_config cfg;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "core/generators.hpp"
 #include "core/moments.hpp"
@@ -50,6 +51,34 @@ TEST(CommonCauseMixture, InducesPositiveCorrelation) {
   // rho = 0 degenerates to independence.
   common_cause_mixture indep(u, 0.0, 2.0);
   EXPECT_NEAR(indep.indicator_correlation(0, 1), 0.0, 1e-12);
+}
+
+TEST(CommonCauseMixture, MarginalIsPreservedExactlyAtTheFeasibilityBoundary) {
+  // marginal() must return the preserved marginal itself, not recompute it
+  // from the clamped relaxed probability: near the feasibility boundary the
+  // relaxed p rounds to a hair below zero and is clamped away, and away from
+  // it the deflate-then-recombine arithmetic rounds off the last ulp.
+  // Saturated regime: stress*p > 1 clamps the stressed p to 1.
+  const core::fault_universe saturated({{0.5, 0.1}, {0.35, 0.2}, {0.9, 0.05}});
+  const common_cause_mixture sat(saturated, 0.3, 1e6);
+  for (std::size_t i = 0; i < saturated.size(); ++i) {
+    EXPECT_EQ(sat.marginal(i), saturated[i].p) << "i=" << i;
+  }
+  // Boundary regime: rho*stress == 1 up to rounding, so the relaxed p is a
+  // rounding-error-sized number that the constructor clamps to [0, p].
+  const core::fault_universe boundary({{0.1, 0.1}, {0.07, 0.2}, {0.013, 0.05}});
+  const double rho = 0.3;
+  const common_cause_mixture mix(boundary, rho, 1.0 / rho);
+  for (std::size_t i = 0; i < boundary.size(); ++i) {
+    EXPECT_EQ(mix.marginal(i), boundary[i].p) << "i=" << i;
+  }
+  // Generic (non-boundary) parameters must be exact too, not just 1e-12
+  // close.
+  const auto u = core::make_random_universe(40, 0.45, 0.8, 77);
+  const common_cause_mixture generic(u, 0.37, 1.9);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_EQ(generic.marginal(i), u[i].p) << "i=" << i;
+  }
 }
 
 TEST(CommonCauseMixture, Validation) {
@@ -113,6 +142,28 @@ TEST(MergeFaultGroups, PerfectlyCorrelatedLimit) {
   EXPECT_DOUBLE_EQ(merged[1].p, 0.05);           // untouched fault kept
   EXPECT_THROW((void)merge_fault_groups(u, {{0}, {0}}), std::invalid_argument);
   EXPECT_THROW((void)merge_fault_groups(u, {{7}}), std::out_of_range);
+}
+
+TEST(MergeFaultGroups, RejectsGroupWhoseRegionUnionExceedsProbabilityOne) {
+  // q's are probabilities of disjoint regions; a merged super-fault whose
+  // summed q passes 1 is not a probability and must be rejected up front
+  // (with a message naming the group sum, not a generic universe error).
+  core::fault_universe u({{0.2, 0.6}, {0.2, 0.6}, {0.05, 0.2}},
+                         /*allow_q_overflow=*/true);
+  try {
+    (void)merge_fault_groups(u, {{0, 1}});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The merge itself must diagnose the group, not defer to a downstream
+    // universe-construction error.
+    EXPECT_NE(std::string(e.what()).find("merge_fault_groups"), std::string::npos)
+        << e.what();
+  }
+  // A group summing to exactly 1 is still a valid probability.
+  core::fault_universe ok({{0.2, 0.5}, {0.2, 0.5}}, /*allow_q_overflow=*/true);
+  const auto merged = merge_fault_groups(ok, {{0, 1}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged[0].q, 1.0);
 }
 
 TEST(Aliasing, SplitPreservesRegionPresence) {

@@ -1,0 +1,354 @@
+// The deterministic sharded runner subsystem: results must be a pure
+// function of (seed, samples, shards) — bit-identical across thread counts
+// and machines — and the streaming accumulator must checkpoint/resume
+// exactly.  This file pins the determinism contract the README documents.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/generators.hpp"
+#include "core/moments.hpp"
+#include "mc/correlated.hpp"
+#include "mc/experiment.hpp"
+#include "mc/shard_runner.hpp"
+#include "stats/random.hpp"
+
+namespace {
+
+using namespace reldiv;
+using namespace reldiv::mc;
+
+// Thread counts the regression tests sweep: serial, small, odd (to shake out
+// divisibility assumptions), and whatever this machine's core count is.
+const std::vector<unsigned> kThreadSweep = {1, 2, 7, 0};
+
+// --------------------------------------------------------------------------
+// shard_plan / run_shards primitives
+// --------------------------------------------------------------------------
+
+TEST(ShardPlan, PartitionsTheSampleBudgetExactly) {
+  for (const std::uint64_t samples : {1ull, 7ull, 255ull, 256ull, 257ull, 100000ull}) {
+    const auto plan = make_shard_plan(samples);
+    EXPECT_LE(plan.shard_count, kDefaultLogicalShards);
+    EXPECT_GE(plan.shard_count, 1u);
+    std::uint64_t total = 0;
+    for (unsigned s = 0; s < plan.shard_count; ++s) {
+      EXPECT_EQ(plan.shard_offset(s), total) << "shard " << s;
+      total += plan.shard_samples(s);
+    }
+    EXPECT_EQ(total, samples);
+  }
+  // The shard count is capped at the sample budget, never at the thread
+  // count: a 10-sample run has 10 single-sample shards.
+  EXPECT_EQ(make_shard_plan(10).shard_count, 10u);
+  EXPECT_EQ(make_shard_plan(1u << 20, 64).shard_count, 64u);
+  EXPECT_THROW((void)make_shard_plan(0), std::invalid_argument);
+}
+
+TEST(RunShards, MergesInShardOrderAndDerivesCanonicalStreams) {
+  const auto plan = make_shard_plan(1000, 16);
+  for (const unsigned threads : kThreadSweep) {
+    std::vector<unsigned> merge_order;
+    std::vector<std::uint64_t> first_draws(plan.shard_count);
+    std::vector<std::uint64_t> samples_seen(plan.shard_count);
+    run_shards(
+        plan, /*seed=*/99, threads,
+        // Workers write only their own shard's slots (no gtest assertions in
+        // here: they are not thread-safe); everything is checked post-join.
+        [&](unsigned shard, std::uint64_t samples, stats::rng& r) {
+          samples_seen[shard] = samples;
+          first_draws[shard] = r();
+          return shard;
+        },
+        [&](unsigned shard, unsigned&& body_result) {
+          EXPECT_EQ(shard, body_result);
+          merge_order.push_back(shard);
+        });
+    ASSERT_EQ(merge_order.size(), plan.shard_count);
+    for (unsigned s = 0; s < plan.shard_count; ++s) {
+      EXPECT_EQ(merge_order[s], s);
+      EXPECT_EQ(samples_seen[s], plan.shard_samples(s));
+      // Shard s always sees stats::rng::stream(seed, s), however many
+      // workers pulled shards off the queue.
+      stats::rng reference = stats::rng::stream(99, s);
+      EXPECT_EQ(first_draws[s], reference()) << "shard " << s;
+    }
+  }
+}
+
+TEST(RunShards, BodyExceptionIsRethrownOnTheCallingThread) {
+  const auto plan = make_shard_plan(64, 8);
+  EXPECT_THROW(
+      run_shards(
+          plan, 1, /*threads=*/3,
+          [](unsigned shard, std::uint64_t, stats::rng&) -> int {
+            if (shard == 5) throw std::runtime_error("boom");
+            return 0;
+          },
+          [](unsigned, int&&) {}),
+      std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// The headline regression: results must not depend on the thread count
+// --------------------------------------------------------------------------
+
+void expect_identical(const experiment_result& a, const experiment_result& b,
+                      const char* label) {
+  EXPECT_EQ(a.theta1.mean(), b.theta1.mean()) << label;
+  EXPECT_EQ(a.theta2.mean(), b.theta2.mean()) << label;
+  EXPECT_EQ(a.theta1.stddev(), b.theta1.stddev()) << label;
+  EXPECT_EQ(a.theta2.stddev(), b.theta2.stddev()) << label;
+  EXPECT_EQ(a.theta1.skewness(), b.theta1.skewness()) << label;
+  EXPECT_EQ(a.n1_positive, b.n1_positive) << label;
+  EXPECT_EQ(a.n2_positive, b.n2_positive) << label;
+  EXPECT_EQ(a.n1_zero_pfd, b.n1_zero_pfd) << label;
+  EXPECT_EQ(a.n2_zero_pfd, b.n2_zero_pfd) << label;
+  ASSERT_EQ(a.theta1_samples.has_value(), b.theta1_samples.has_value()) << label;
+  if (a.theta1_samples) {
+    EXPECT_EQ(*a.theta1_samples, *b.theta1_samples) << label;
+    EXPECT_EQ(*a.theta2_samples, *b.theta2_samples) << label;
+  }
+}
+
+TEST(ShardedExperiment, ResultsAreBitIdenticalAcrossThreadCounts) {
+  const auto u = core::make_random_universe(130, 0.4, 0.8, 99);
+  for (const auto engine :
+       {sampling_engine::fast, sampling_engine::exact, sampling_engine::legacy}) {
+    experiment_config cfg;
+    cfg.samples = 20000;
+    cfg.seed = 2024;
+    cfg.engine = engine;
+    cfg.keep_samples = true;
+    cfg.threads = 1;
+    const auto reference = run_experiment(u, cfg);
+    for (const unsigned threads : kThreadSweep) {
+      cfg.threads = threads;
+      const auto res = run_experiment(u, cfg);
+      expect_identical(reference, res,
+                       threads == 0 ? "threads=hardware" : "threads=explicit");
+    }
+  }
+}
+
+TEST(ShardedExperiment, UniformPWordParallelPathIsAlsoThreadInvariant) {
+  // The word-parallel bit-slice sampler has its own rng cadence; make sure
+  // its shard layout is thread-invariant too.
+  const auto u = core::make_homogeneous_universe(128, 0.5, 0.8 / 128.0);
+  experiment_config cfg;
+  cfg.samples = 30000;
+  cfg.seed = 7;
+  cfg.engine = sampling_engine::fast;
+  cfg.threads = 1;
+  const auto reference = run_experiment(u, cfg);
+  for (const unsigned threads : kThreadSweep) {
+    cfg.threads = threads;
+    const auto res = run_experiment(u, cfg);
+    expect_identical(reference, res, "uniform-p");
+  }
+}
+
+TEST(ShardedCorrelated, ResultsAreBitIdenticalAcrossThreadCounts) {
+  const auto u = core::make_random_universe(90, 0.4, 0.8, 55);
+  const common_cause_mixture mix(u, 0.3, 1.5);
+  const gaussian_copula_sampler cop(u, 0.4);
+  correlated_config cfg;
+  cfg.threads = 1;
+  const auto ref_mix = run_correlated(u, mix, 30000, 5, cfg);
+  const auto ref_cop = run_correlated(u, cop, 30000, 5, cfg);
+  for (const unsigned threads : kThreadSweep) {
+    cfg.threads = threads;
+    const auto res_mix = run_correlated(u, mix, 30000, 5, cfg);
+    EXPECT_EQ(res_mix.mean_theta1, ref_mix.mean_theta1);
+    EXPECT_EQ(res_mix.mean_theta2, ref_mix.mean_theta2);
+    EXPECT_EQ(res_mix.prob_n1_positive, ref_mix.prob_n1_positive);
+    EXPECT_EQ(res_mix.prob_n2_positive, ref_mix.prob_n2_positive);
+    EXPECT_EQ(res_mix.risk_ratio, ref_mix.risk_ratio);
+    const auto res_cop = run_correlated(u, cop, 30000, 5, cfg);
+    EXPECT_EQ(res_cop.mean_theta1, ref_cop.mean_theta1);
+    EXPECT_EQ(res_cop.mean_theta2, ref_cop.mean_theta2);
+    EXPECT_EQ(res_cop.prob_n2_positive, ref_cop.prob_n2_positive);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Correlated runner migration: sharded vs serial, mask vs sparse
+// --------------------------------------------------------------------------
+
+TEST(ShardedCorrelated, MatchesSerialReferenceWithinCi) {
+  // The sharded runner uses a different rng layout than the historical
+  // serial loop, so agreement is statistical: both must sit on the closed
+  // forms that the marginal-preserving mixture pins (E[Θ1], E[Θ2]
+  // depend only on marginals), and on each other within Monte-Carlo noise.
+  const auto u = core::make_random_universe(10, 0.3, 0.5, 3);
+  const common_cause_mixture mix(u, 0.4, 2.0);
+  const std::uint64_t samples = 200000;
+  const auto serial = run_correlated_serial(u, mix, samples, 5);
+  const auto sharded = run_correlated(u, mix, samples, 5);
+  EXPECT_EQ(sharded.samples, samples);
+  const double exact_t1 = core::single_version_moments(u).mean;
+  const double exact_t2 = core::pair_moments(u).mean;
+  EXPECT_NEAR(serial.mean_theta1, exact_t1, 5e-4);
+  EXPECT_NEAR(sharded.mean_theta1, exact_t1, 5e-4);
+  EXPECT_NEAR(serial.mean_theta2, exact_t2, 5e-4);
+  EXPECT_NEAR(sharded.mean_theta2, exact_t2, 5e-4);
+  EXPECT_NEAR(sharded.prob_n1_positive, serial.prob_n1_positive, 0.01);
+  EXPECT_NEAR(sharded.prob_n2_positive, serial.prob_n2_positive, 0.01);
+  EXPECT_NEAR(sharded.risk_ratio, serial.risk_ratio, 0.02);
+}
+
+// A sampler adapter that hides the mask path, forcing run_correlated onto
+// the sparse version loop.
+struct sparse_only_adapter {
+  const common_cause_mixture* inner;
+  [[nodiscard]] version sample(stats::rng& r) const { return inner->sample(r); }
+};
+
+TEST(ShardedCorrelated, MaskAndSparseSamplerPathsAgreeBitwise) {
+  // sample() delegates to sample_mask() and the mask/sparse PFD kernels
+  // accumulate in the same order, so the two run_correlated code paths must
+  // produce bit-identical results — per shard and therefore in aggregate.
+  const auto u = core::make_random_universe(90, 0.4, 0.8, 55);
+  const common_cause_mixture mix(u, 0.3, 1.5);
+  const sparse_only_adapter sparse{&mix};
+  for (const unsigned threads : {1u, 3u}) {
+    correlated_config cfg;
+    cfg.threads = threads;
+    const auto via_mask = run_correlated(u, mix, 20000, 11, cfg);
+    const auto via_sparse = run_correlated(u, sparse, 20000, 11, cfg);
+    EXPECT_EQ(via_mask.mean_theta1, via_sparse.mean_theta1);
+    EXPECT_EQ(via_mask.mean_theta2, via_sparse.mean_theta2);
+    EXPECT_EQ(via_mask.prob_n1_positive, via_sparse.prob_n1_positive);
+    EXPECT_EQ(via_mask.prob_n2_positive, via_sparse.prob_n2_positive);
+    EXPECT_EQ(via_mask.risk_ratio, via_sparse.risk_ratio);
+  }
+}
+
+TEST(ShardedCorrelated, MismatchedSamplerThrowsAcrossThreads) {
+  // The mask-size guard must propagate out of worker threads.
+  const auto u = core::make_random_universe(20, 0.4, 0.8, 1);
+  const auto other = core::make_random_universe(10, 0.4, 0.8, 2);
+  const gaussian_copula_sampler wrong(other, 0.3);
+  for (const unsigned threads : {1u, 4u}) {
+    correlated_config cfg;
+    cfg.threads = threads;
+    EXPECT_THROW((void)run_correlated(u, wrong, 1000, 3, cfg), std::out_of_range);
+  }
+  EXPECT_THROW((void)run_correlated(u, wrong, 0, 3), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Streaming accumulator: chunked feeding, checkpoint/resume
+// --------------------------------------------------------------------------
+
+TEST(ExperimentAccumulator, StateRoundTripResumesExactly) {
+  experiment_accumulator a(/*keep_samples=*/true);
+  stats::rng r(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double t1 = r.uniform();
+    a.add(t1, t1 * r.uniform(), r.bernoulli(0.7), r.bernoulli(0.2));
+  }
+  // Serialize, restore, and continue feeding both in lockstep: the restored
+  // accumulator must stay bit-identical to the original.
+  auto b = experiment_accumulator::from_state(a.state());
+  stats::rng ra(31);
+  stats::rng rb(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double t1a = ra.uniform();
+    a.add(t1a, t1a * ra.uniform(), ra.bernoulli(0.7), ra.bernoulli(0.2));
+    const double t1b = rb.uniform();
+    b.add(t1b, t1b * rb.uniform(), rb.bernoulli(0.7), rb.bernoulli(0.2));
+  }
+  const auto res_a = a.to_result();
+  const auto res_b = b.to_result();
+  EXPECT_EQ(res_a.samples, res_b.samples);
+  expect_identical(res_a, res_b, "state round trip");
+}
+
+TEST(ExperimentAccumulator, MergeRejectsKeepSamplesModeMismatch) {
+  // A mismatch would silently break the "kept vectors hold every
+  // accumulated sample" invariant (samples_ grows, the vectors don't).
+  experiment_accumulator keeping(/*keep_samples=*/true);
+  experiment_accumulator counting;
+  counting.add(0.1, 0.05, true, false);
+  EXPECT_THROW(keeping.merge(counting), std::invalid_argument);
+  EXPECT_THROW(counting.merge(keeping), std::invalid_argument);
+}
+
+TEST(ExperimentAccumulator, MergeMatchesSequentialFeeding) {
+  experiment_accumulator whole;
+  experiment_accumulator left;
+  experiment_accumulator right;
+  stats::rng r(23);
+  for (int i = 0; i < 2000; ++i) {
+    const double t1 = r.uniform();
+    const double t2 = t1 * r.uniform();
+    const bool n1 = r.bernoulli(0.6);
+    const bool n2 = r.bernoulli(0.1);
+    whole.add(t1, t2, n1, n2);
+    (i < 1200 ? left : right).add(t1, t2, n1, n2);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.samples(), whole.samples());
+  EXPECT_EQ(left.n1_positive(), whole.n1_positive());
+  EXPECT_EQ(left.n2_positive(), whole.n2_positive());
+  EXPECT_EQ(left.theta1().count(), whole.theta1().count());
+  // Counts and means agree to float noise (the merge uses the Pébay
+  // pairwise-combination formulas, not per-sample replay).
+  EXPECT_NEAR(left.theta1().mean(), whole.theta1().mean(), 1e-13);
+  EXPECT_NEAR(left.theta2().variance(), whole.theta2().variance(), 1e-13);
+}
+
+TEST(StreamingExperiment, CheckpointedChunksMatchUninterruptedRunExactly) {
+  const auto u = core::make_random_universe(64, 0.4, 0.7, 123);
+  experiment_config cfg;
+  cfg.samples = 10007;  // exercises the remainder distribution
+  cfg.seed = 404;
+  cfg.keep_samples = true;
+  const auto uninterrupted = run_experiment(u, cfg);
+  const unsigned shard_count = experiment_shard_count(cfg);
+  ASSERT_EQ(shard_count, kDefaultLogicalShards);
+
+  // Process the shards in three chunks with a serialize/restore between
+  // each — as a >10^9-sample study spread over multiple job slots would.
+  experiment_accumulator acc(cfg.keep_samples);
+  run_experiment_shards(u, cfg, 0, 100, acc);
+  auto resumed = experiment_accumulator::from_state(acc.state());
+  run_experiment_shards(u, cfg, 100, 101, resumed);
+  auto resumed2 = experiment_accumulator::from_state(resumed.state());
+  run_experiment_shards(u, cfg, 101, shard_count, resumed2);
+
+  EXPECT_EQ(resumed2.samples(), cfg.samples);
+  expect_identical(uninterrupted, resumed2.to_result(cfg.ci_level), "checkpointed");
+}
+
+TEST(StreamingExperiment, ShardWindowValidation) {
+  const auto u = core::make_random_universe(8, 0.4, 0.5, 3);
+  experiment_config cfg;
+  cfg.samples = 1000;
+  experiment_accumulator acc;
+  EXPECT_THROW(run_experiment_shards(u, cfg, 10, 5, acc), std::invalid_argument);
+  EXPECT_THROW(run_experiment_shards(u, cfg, 0, experiment_shard_count(cfg) + 1, acc),
+               std::invalid_argument);
+  cfg.samples = 0;
+  EXPECT_THROW(run_experiment_shards(u, cfg, 0, 1, acc), std::invalid_argument);
+}
+
+TEST(StreamingExperiment, CustomShardCountIsHonoredAndDeterministic) {
+  const auto u = core::make_random_universe(32, 0.4, 0.6, 9);
+  experiment_config cfg;
+  cfg.samples = 5000;
+  cfg.seed = 1;
+  cfg.shards = 16;
+  EXPECT_EQ(experiment_shard_count(cfg), 16u);
+  cfg.threads = 1;
+  const auto a = run_experiment(u, cfg);
+  cfg.threads = 5;
+  const auto b = run_experiment(u, cfg);
+  expect_identical(a, b, "custom shards");
+}
+
+}  // namespace
