@@ -7,14 +7,43 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "core/generators.hpp"
+#include "core/moments.hpp"
 #include "demand/binding.hpp"
 #include "demand/profile.hpp"
 #include "demand/region.hpp"
+#include "mc/scenario.hpp"
 
 int main() {
   using namespace reldiv;
   using namespace reldiv::demand;
   benchutil::title("E13", "Section 6.2 — sensitivity to overlapping failure regions");
+
+  benchutil::section("model-level overlap sweep (scenario grid, omega axis)");
+  // Channel pairs whose regions only partially coincide: the coincidence
+  // mass of every fault is thinned by omega.  One declarative sweep on the
+  // campaign layer replaces the historical hand loop.
+  const auto mu = core::make_random_universe(15, 0.25, 0.6, 131);
+  mc::scenario_axes axes;
+  axes.universes.emplace_back("random15", mu);
+  axes.overlaps = {1.0, 0.75, 0.5, 0.25, 0.0};
+  axes.budgets = {200000};
+  const auto grid = mc::run_scenario_grid(axes, {.seed = 13});
+  const double full_overlap_t2 = core::pair_moments(mu).mean;
+  benchutil::table g({"omega", "E[Theta2] (MC)", "omega * exact", "P(N2>0)"});
+  bool omega_scales = true;
+  for (const auto& cell : grid.cells) {
+    const double expected = cell.cell.omega * full_overlap_t2;
+    omega_scales = omega_scales && std::abs(cell.mean_theta2 - expected) <
+                                       5e-4 + 0.05 * expected;
+    g.row({benchutil::fmt(cell.cell.omega, "%.2f"), benchutil::sci(cell.mean_theta2),
+           benchutil::sci(expected), benchutil::sci(cell.prob_n2_positive)});
+  }
+  g.print();
+  benchutil::verdict(omega_scales,
+                     "the pair PFD scales linearly with the shared-region fraction: the "
+                     "omega=1 model is the worst case over every overlap level, so the "
+                     "disjointness assumption errs on the safe side for diverse pairs");
 
   const uniform_profile prof(box::unit(2));
 

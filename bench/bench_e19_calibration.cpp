@@ -19,12 +19,17 @@ int main() {
   const auto u = core::make_random_universe(15, 0.35, 0.6, 191);
 
   benchutil::section("split-sample validation: train on half, predict holdout pairs");
-  benchutil::table t({"versions", "predicted E[pair PFD]", "observed (holdout)", "ratio",
-                      "pred P(no common)", "obs fraction"});
+  benchutil::table t({"versions", "predicted E[pair PFD]", "observed (holdout)",
+                      "observed (campaign)", "ratio", "pred P(no common)", "obs fraction"});
   for (const std::size_t versions : {30u, 100u, 400u, 2000u}) {
-    const auto rep = estimate::split_sample_validation(u, versions, 192);
+    estimate::validation_config vcfg;
+    vcfg.versions = versions;
+    vcfg.seed = 192;
+    vcfg.demands = 100'000;  // holdout pairs also scored empirically (campaign layer)
+    const auto rep = estimate::split_sample_validation(u, vcfg);
     t.row({std::to_string(versions), benchutil::sci(rep.predicted.mean_pair_pfd),
            benchutil::sci(rep.observed_pair_mean),
+           benchutil::sci(rep.observed_pair_mean_hat),
            benchutil::fmt(rep.observed_pair_mean / rep.predicted.mean_pair_pfd, "%.2f"),
            benchutil::fmt(rep.predicted.prob_no_common_fault, "%.4f"),
            benchutil::fmt(rep.observed_no_common_fraction, "%.4f")});
@@ -37,16 +42,16 @@ int main() {
 
   benchutil::section("the §6.1 independence diagnostic");
   stats::rng r(193);
-  std::vector<mc::version> indep;
-  for (int v = 0; v < 2000; ++v) indep.push_back(mc::sample_version(u, r));
+  std::vector<core::fault_mask> indep(2000);
+  for (auto& v : indep) mc::sample_version_mask(u, r, v);
   const auto d_indep = estimate::diagnose_independence(
-      estimate::fault_incidence::from_versions(indep, u.size()));
+      estimate::fault_incidence::from_masks(indep, u.size()));
 
   const mc::common_cause_mixture mix(u, 0.4, 2.0);
-  std::vector<mc::version> corr;
-  for (int v = 0; v < 2000; ++v) corr.push_back(mix.sample(r));
+  std::vector<core::fault_mask> corr(2000);
+  for (auto& v : corr) mix.sample_mask(r, v);
   const auto d_corr = estimate::diagnose_independence(
-      estimate::fault_incidence::from_versions(corr, u.size()));
+      estimate::fault_incidence::from_masks(corr, u.size()));
 
   benchutil::table d({"data", "max |phi|", "chi^2 p-value", "independence"});
   d.row({"independent process", benchutil::fmt(d_indep.max_abs_phi, "%.3f"),

@@ -9,18 +9,24 @@
 #                   single-stream baseline (bench_runner_scaling; the
 #                   correlated runner's serial loop is the pre-shard-runner
 #                   baseline).
+#   BENCH_p3.json — unified campaign layer (bench_campaign_scaling): KL
+#                   empirical scoring serial baseline vs the multithreaded
+#                   demand campaign, grouped-universe sampling vs the paired
+#                   kernel, and scenario-grid cell throughput.
 #
-# Usage: bench/run_bench.sh [build-dir] [p1-json] [p2-json]
+# Usage: bench/run_bench.sh [build-dir] [p1-json] [p2-json] [p3-json]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-$repo_root/build-bench}"
 out_json="${2:-$repo_root/BENCH_p1.json}"
 out_json_p2="${3:-$repo_root/BENCH_p2.json}"
+out_json_p3="${4:-$repo_root/BENCH_p3.json}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
       -DRELDIV_BUILD_TESTS=OFF -DRELDIV_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "$build_dir" -j --target bench_p1_perf --target bench_runner_scaling >/dev/null
+cmake --build "$build_dir" -j --target bench_p1_perf --target bench_runner_scaling \
+      --target bench_campaign_scaling >/dev/null
 
 "$build_dir/bench_p1_perf" \
   --benchmark_format=json \
@@ -36,11 +42,20 @@ echo
   --benchmark_min_time=0.2
 
 echo
+"$build_dir/bench_campaign_scaling" \
+  --benchmark_format=json \
+  --benchmark_out="$out_json_p3" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo
 echo "Wrote $out_json"
 echo "Wrote $out_json_p2"
-# Headline ratios: legacy vs fast end-to-end run_experiment (n=1024), and
-# serial vs sharded run_correlated (n=256).
-python3 - "$out_json" "$out_json_p2" <<'EOF' || true
+echo "Wrote $out_json_p3"
+# Headline ratios: legacy vs fast end-to-end run_experiment (n=1024),
+# serial vs sharded run_correlated (n=256), and serial vs campaign KL
+# empirical scoring (378 targets, 1M demands each).
+python3 - "$out_json" "$out_json_p2" "$out_json_p3" <<'EOF' || true
 import json, sys
 
 def load(path):
@@ -61,4 +76,16 @@ sharded = p2.get("BM_RunCorrelatedSharded/0/real_time")  # 0 = hardware threads
 if serial and sharded:
     print(f"run_correlated n=256: serial {serial:.2f}ms -> sharded(hw) {sharded:.2f}ms "
           f"({serial / sharded:.2f}x)")
+
+p3 = load(sys.argv[3])
+kl_serial = p3.get("BM_KLScoreSerialBaseline/real_time")
+kl_campaign = p3.get("BM_KLScoreCampaign/0/real_time")  # 0 = hardware threads
+if kl_serial and kl_campaign:
+    print(f"KL empirical scoring (378 targets x 1M demands): serial {kl_serial:.2f}ms "
+          f"-> campaign(hw) {kl_campaign:.2f}ms ({kl_serial / kl_campaign:.2f}x)")
+grouped = p3.get("BM_RunExperimentGrouped/real_time")
+paired = p3.get("BM_RunExperimentPairedShuffled/real_time")
+if grouped and paired:
+    print(f"grouped-universe sampling n=256: paired {paired:.2f}ms -> "
+          f"bit-slice {grouped:.2f}ms ({paired / grouped:.2f}x)")
 EOF

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "mc/campaign.hpp"
 #include "mc/sampler.hpp"
 #include "stats/random.hpp"
 
@@ -66,32 +67,49 @@ core::pfd_distribution posterior_pfd_with_failures(const core::fault_universe& u
 
 is_posterior importance_posterior(const core::fault_universe& u, unsigned m,
                                   const test_record& evidence, std::uint64_t samples,
-                                  std::uint64_t seed) {
+                                  std::uint64_t seed, unsigned threads) {
   if (samples == 0) throw std::invalid_argument("importance_posterior: samples > 0");
-  stats::rng r(seed);
 
   // Sample architecture-level fault subsets directly: fault i is common to
-  // all m versions with probability p_i^m.
-  std::vector<double> presence(u.size());
+  // all m versions with probability p_i^m.  Precompute the 53-bit Bernoulli
+  // thresholds so each draw is one mask-sampler pass (decision-identical to
+  // r.bernoulli per fault) plus a masked q dot-product.
+  std::vector<std::uint64_t> presence_thresh(u.size());
   for (std::size_t i = 0; i < u.size(); ++i) {
-    presence[i] = std::pow(u[i].p, static_cast<double>(m));
+    presence_thresh[i] =
+        core::bernoulli_threshold(std::pow(u[i].p, static_cast<double>(m)));
   }
 
   struct draw {
     double pfd;
     double log_w;
   };
+  // Deterministic campaign fan-out: each shard draws its slice from its own
+  // stream, shard draw-vectors are concatenated in shard order — the final
+  // draw sequence (and every reduction below) is a pure function of
+  // (seed, samples, shard layout), never of the thread count.
+  const mc::shard_plan plan = mc::make_shard_plan(samples);
   std::vector<draw> draws;
   draws.reserve(samples);
+  mc::run_shards(
+      plan, seed, threads,
+      [&](unsigned /*shard*/, std::uint64_t count, stats::rng& r) {
+        std::vector<draw> local;
+        local.reserve(count);
+        core::fault_mask subset(u.size());
+        for (std::uint64_t s = 0; s < count; ++s) {
+          mc::sample_mask_from_thresholds(presence_thresh, r, subset);
+          const double pfd = core::masked_q_sum(subset, u.q_array());
+          local.push_back({pfd, log_likelihood(std::min(pfd, 1.0), evidence)});
+        }
+        return local;
+      },
+      [&draws](unsigned /*shard*/, std::vector<draw>&& local) {
+        draws.insert(draws.end(), local.begin(), local.end());
+      });
   double best = -std::numeric_limits<double>::infinity();
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    double pfd = 0.0;
-    for (std::size_t i = 0; i < u.size(); ++i) {
-      if (r.bernoulli(presence[i])) pfd += u[i].q;
-    }
-    const double lw = log_likelihood(std::min(pfd, 1.0), evidence);
-    draws.push_back({pfd, lw});
-    if (std::isfinite(lw)) best = std::max(best, lw);
+  for (const auto& d : draws) {
+    if (std::isfinite(d.log_w)) best = std::max(best, d.log_w);
   }
   if (!std::isfinite(best)) {
     throw std::domain_error("importance_posterior: evidence impossible in every draw");
@@ -111,6 +129,7 @@ is_posterior importance_posterior(const core::fault_universe& u, unsigned m,
   }
   is_posterior out;
   out.samples = samples;
+  out.shards = plan.shard_count;
   out.mean_pfd = mean / w_sum;
   out.prob_zero = zero / w_sum;
   out.effective_sample_size = w_sum * w_sum / w2_sum;

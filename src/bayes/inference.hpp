@@ -44,11 +44,17 @@ struct is_posterior {
   double quantile99 = 0.0;        ///< weighted 99th percentile of sampled PFDs
   double effective_sample_size = 0.0;  ///< 1/Σw̃² — reliability diagnostic
   std::uint64_t samples = 0;
+  unsigned shards = 0;            ///< campaign shard layout (result identity)
 };
 
+/// Runs on the deterministic campaign layer: the sample budget is split
+/// over budget-scaled logical rng shards, per-shard draws merged in shard
+/// order, so for a given (seed, samples) the summary is bit-identical
+/// across `threads` values (throughput knob only).
 [[nodiscard]] is_posterior importance_posterior(const core::fault_universe& u, unsigned m,
                                                 const test_record& evidence,
-                                                std::uint64_t samples, std::uint64_t seed);
+                                                std::uint64_t samples, std::uint64_t seed,
+                                                unsigned threads = 0);
 
 /// Channel-level evidence propagated to the pair.
 ///

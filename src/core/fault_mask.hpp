@@ -65,6 +65,11 @@ class fault_mask {
     words_[i >> 6] |= std::uint64_t{1} << (i & 63);
   }
 
+  void reset(std::size_t i) noexcept {
+    assert(i < bits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
   [[nodiscard]] bool test(std::size_t i) const noexcept {
     assert(i < bits_);
     return (words_[i >> 6] >> (i & 63)) & 1;
@@ -157,6 +162,19 @@ class fault_mask {
     }
   }
   return pfd;
+}
+
+/// |a ∩ b|: word-parallel popcount of the intersection, no scratch mask.
+[[nodiscard]] inline std::size_t intersection_popcount(const fault_mask& a,
+                                                       const fault_mask& b) noexcept {
+  assert(a.bit_size() == b.bit_size());
+  std::size_t n = 0;
+  const std::uint64_t* wa = a.words();
+  const std::uint64_t* wb = b.words();
+  for (std::size_t blk = 0; blk < a.word_count(); ++blk) {
+    n += static_cast<std::size_t>(std::popcount(wa[blk] & wb[blk]));
+  }
+  return n;
 }
 
 struct pair_intersection_result {

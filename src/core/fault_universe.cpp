@@ -1,6 +1,7 @@
 #include "core/fault_universe.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -69,6 +70,39 @@ void fault_universe::rebuild_soa() {
   for (std::size_t i = 1; i < n && uniform_p_; ++i) {
     uniform_p_ = atoms_[i].p == uniform_p_value_;
   }
+  // Per-word sampling plan for the grouped bit-slice path: a word is
+  // sliceable when all its faults share one p AND the shared threshold
+  // costs at most as many rng words per 64 presence bits (53 − trailing
+  // zero bits) as the paired 32-bit sampler would (32 per version).
+  blocks_.assign(mask_words(), {});
+  grouped_p_ = false;
+  for (std::size_t blk = 0; blk < blocks_.size(); ++blk) {
+    const std::size_t lo = blk << 6;
+    const std::size_t hi = std::min<std::size_t>(n, lo + 64);
+    bool word_uniform = true;
+    for (std::size_t i = lo + 1; i < hi && word_uniform; ++i) {
+      word_uniform = atoms_[i].p == atoms_[lo].p;
+    }
+    if (!word_uniform) continue;
+    sample_block& b = blocks_[blk];
+    b.uniform = true;
+    b.threshold = thresh53_[lo];
+    // Break-even against the paired kernel, which costs one rng word per
+    // fault per PAIR — i.e. occupancy/2 words per version for this word.
+    // Degenerate thresholds (never/always) cost nothing; otherwise the
+    // bit-slice recurrence costs 53 − trailing-zero-bits words for all 64
+    // lanes regardless of how many faults actually occupy the word, so a
+    // short tail word must clear a proportionally higher bar.
+    if (b.threshold == 0 || b.threshold == (std::uint64_t{1} << kBernoulliBits)) {
+      b.sliceable = true;
+    } else {
+      const int slice_cost = kBernoulliBits - std::countr_zero(b.threshold);
+      b.sliceable = 2 * slice_cost <= static_cast<int>(hi - lo);
+    }
+    if (b.sliceable) grouped_p_ = true;
+  }
+  if (uniform_p_) grouped_p_ = false;  // fully-uniform universes use the
+                                       // dedicated single-threshold path
 }
 
 fault_universe fault_universe::from_arrays(std::span<const double> p,

@@ -19,6 +19,20 @@
 
 namespace reldiv::core {
 
+/// Per-64-fault-word sampling plan entry: when every fault in the word
+/// shares one p, the word-parallel bit-slice sampler can emit all 64
+/// presence bits from (53 − trailing-zero-bits) rng words; otherwise the
+/// word falls back to a per-fault kernel.  Computed once at construction
+/// (the universe is immutable), purely from the p layout — never from
+/// hardware — so kernel selection is part of the deterministic result
+/// identity.
+struct sample_block {
+  bool uniform = false;          ///< all faults in this word share one p
+  bool sliceable = false;        ///< uniform AND the threshold is cheap enough
+                                 ///< that bit-slicing beats the paired sampler
+  std::uint64_t threshold = 0;   ///< 53-bit Bernoulli threshold of the shared p
+};
+
 /// One potential fault: (p, q) as defined in the paper's Table 1.
 struct fault_atom {
   double p = 0.0;  ///< probability the fault is present in a random version
@@ -108,6 +122,16 @@ class fault_universe {
   [[nodiscard]] bool has_uniform_p() const noexcept { return uniform_p_; }
   /// The shared p when has_uniform_p(); unspecified otherwise.
   [[nodiscard]] double uniform_p() const noexcept { return uniform_p_value_; }
+  /// Per-word sampling plan (one entry per mask word): which words can run
+  /// the word-parallel bit-slice recurrence because all their faults share
+  /// one p (runs of equal p, e.g. concatenated make_homogeneous blocks).
+  [[nodiscard]] std::span<const sample_block> sample_blocks() const noexcept {
+    return blocks_;
+  }
+  /// True iff at least one word is bit-sliceable but the universe is not
+  /// globally uniform-p: the grouped sampler saves rng draws on the
+  /// sliceable words and falls back to the paired kernel elsewhere.
+  [[nodiscard]] bool has_grouped_p() const noexcept { return grouped_p_; }
   /// Words a fault_mask over this universe occupies.
   [[nodiscard]] std::size_t mask_words() const noexcept {
     return fault_mask::words_needed(atoms_.size());
@@ -127,6 +151,8 @@ class fault_universe {
   std::vector<double> q_soa_;
   std::vector<std::uint64_t> thresh53_;
   std::vector<std::uint64_t> thresh32_;
+  std::vector<sample_block> blocks_;
+  bool grouped_p_ = false;
   bool uniform_p_ = false;
   bool fast32_safe_ = true;
   double uniform_p_value_ = 0.0;

@@ -113,6 +113,16 @@ fault_universe make_homogeneous_universe(std::size_t n, double p, double q) {
   return fault_universe(std::vector<fault_atom>(n, fault_atom{p, q}));
 }
 
+fault_universe make_grouped_universe(std::span<const fault_block> blocks) {
+  if (blocks.empty()) throw std::invalid_argument("generator: need >= 1 block");
+  std::vector<fault_atom> atoms;
+  for (const auto& b : blocks) {
+    if (b.n == 0) throw std::invalid_argument("generator: empty block");
+    atoms.insert(atoms.end(), b.n, fault_atom{b.p, b.q});
+  }
+  return fault_universe(std::move(atoms));
+}
+
 fault_universe make_knight_leveson_like_universe(std::uint64_t seed) {
   // The KL experiment found a small number of distinct faults across 27
   // versions, with per-version failure probabilities spanning roughly

@@ -8,6 +8,7 @@
 // randomized universes for property tests.  All generation is seeded.
 
 #include <cstdint>
+#include <span>
 
 #include "core/fault_universe.hpp"
 
@@ -42,6 +43,18 @@ namespace reldiv::core {
 /// Equal-parameter universe: all (p, q) identical (closed forms are simple,
 /// used heavily in unit tests).
 [[nodiscard]] fault_universe make_homogeneous_universe(std::size_t n, double p, double q);
+
+/// One homogeneous run of a grouped universe: `n` faults sharing (p, q).
+struct fault_block {
+  std::size_t n = 0;
+  double p = 0.0;
+  double q = 0.0;  ///< per fault
+};
+
+/// Concatenation of homogeneous blocks — the "runs of equal p" shape the
+/// grouped word-parallel sampler accelerates (fault_universe::has_grouped_p
+/// is true when runs cover whole 64-fault words with sliceable thresholds).
+[[nodiscard]] fault_universe make_grouped_universe(std::span<const fault_block> blocks);
 
 /// A universe calibrated to reproduce the scale of the Knight-Leveson
 /// experiment (used by the kl module): a handful of faults whose p_i are

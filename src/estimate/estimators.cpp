@@ -1,9 +1,11 @@
 #include "estimate/estimators.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
+#include "mc/campaign.hpp"
 #include "mc/sampler.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/random.hpp"
@@ -11,24 +13,11 @@
 namespace reldiv::estimate {
 
 fault_incidence::fault_incidence(std::size_t versions, std::size_t faults)
-    : versions_(versions), faults_(faults), cells_(versions * faults, 0) {
+    : versions_(versions), faults_(faults),
+      columns_(faults, core::fault_mask(versions)) {
   if (versions == 0 || faults == 0) {
     throw std::invalid_argument("fault_incidence: need versions > 0 and faults > 0");
   }
-}
-
-fault_incidence fault_incidence::from_versions(const std::vector<mc::version>& versions,
-                                               std::size_t fault_count) {
-  if (versions.empty()) {
-    throw std::invalid_argument("fault_incidence::from_versions: empty sample");
-  }
-  fault_incidence data(versions.size(), fault_count);
-  for (std::size_t v = 0; v < versions.size(); ++v) {
-    for (const auto f : versions[v].faults) {
-      data.set(v, f, true);
-    }
-  }
-  return data;
 }
 
 fault_incidence fault_incidence::from_masks(const std::vector<core::fault_mask>& versions,
@@ -37,8 +26,22 @@ fault_incidence fault_incidence::from_masks(const std::vector<core::fault_mask>&
     throw std::invalid_argument("fault_incidence::from_masks: empty sample");
   }
   fault_incidence data(versions.size(), fault_count);
+  // Transpose version rows into fault columns word-by-word — no sparse
+  // index-vector detour.
   for (std::size_t v = 0; v < versions.size(); ++v) {
-    for (const auto f : versions[v].to_indices()) data.set(v, f, true);
+    const auto& row = versions[v];
+    if (row.bit_size() != fault_count) {
+      throw std::invalid_argument("fault_incidence::from_masks: mask size mismatch");
+    }
+    const std::uint64_t* words = row.words();
+    for (std::size_t blk = 0; blk < row.word_count(); ++blk) {
+      std::uint64_t w = words[blk];
+      while (w != 0) {
+        const std::size_t f = (blk << 6) + static_cast<std::size_t>(std::countr_zero(w));
+        data.columns_[f].set(v);
+        w &= w - 1;
+      }
+    }
   }
   return data;
 }
@@ -47,30 +50,28 @@ void fault_incidence::set(std::size_t version, std::size_t fault, bool present) 
   if (version >= versions_ || fault >= faults_) {
     throw std::out_of_range("fault_incidence::set");
   }
-  cells_[version * faults_ + fault] = present ? 1 : 0;
+  if (present) {
+    columns_[fault].set(version);
+  } else {
+    columns_[fault].reset(version);
+  }
 }
 
 bool fault_incidence::contains(std::size_t version, std::size_t fault) const {
   if (version >= versions_ || fault >= faults_) {
     throw std::out_of_range("fault_incidence::contains");
   }
-  return cells_[version * faults_ + fault] != 0;
+  return columns_[fault].test(version);
 }
 
 std::size_t fault_incidence::fault_count(std::size_t fault) const {
   if (fault >= faults_) throw std::out_of_range("fault_incidence::fault_count");
-  std::size_t n = 0;
-  for (std::size_t v = 0; v < versions_; ++v) n += cells_[v * faults_ + fault];
-  return n;
+  return columns_[fault].popcount();
 }
 
 std::size_t fault_incidence::joint_count(std::size_t i, std::size_t j) const {
   if (i >= faults_ || j >= faults_) throw std::out_of_range("fault_incidence::joint_count");
-  std::size_t n = 0;
-  for (std::size_t v = 0; v < versions_; ++v) {
-    n += cells_[v * faults_ + i] & cells_[v * faults_ + j];
-  }
-  return n;
+  return core::intersection_popcount(columns_[i], columns_[j]);
 }
 
 std::size_t fault_incidence::version_fault_count(std::size_t version) const {
@@ -78,7 +79,7 @@ std::size_t fault_incidence::version_fault_count(std::size_t version) const {
     throw std::out_of_range("fault_incidence::version_fault_count");
   }
   std::size_t n = 0;
-  for (std::size_t f = 0; f < faults_; ++f) n += cells_[version * faults_ + f];
+  for (std::size_t f = 0; f < faults_; ++f) n += columns_[f].test(version) ? 1 : 0;
   return n;
 }
 
@@ -189,17 +190,17 @@ pair_prediction predict_pair(const std::vector<p_estimate>& p, const std::vector
 }
 
 validation_report split_sample_validation(const core::fault_universe& u,
-                                          std::size_t versions, std::uint64_t seed) {
-  if (versions < 4) {
+                                          const validation_config& cfg) {
+  if (cfg.versions < 4) {
     throw std::invalid_argument("split_sample_validation: need >= 4 versions");
   }
-  stats::rng r(seed);
+  stats::rng r(cfg.seed);
   // Exact-stream mask sampling: the drawn fault sets match the historical
   // sparse implementation for a given seed.
-  std::vector<core::fault_mask> sample(versions);
+  std::vector<core::fault_mask> sample(cfg.versions);
   for (auto& v : sample) mc::sample_version_mask(u, r, v);
 
-  const std::size_t train_n = versions / 2;
+  const std::size_t train_n = cfg.versions / 2;
   const std::vector<core::fault_mask> train(
       sample.begin(), sample.begin() + static_cast<std::ptrdiff_t>(train_n));
   const std::vector<core::fault_mask> holdout(
@@ -212,22 +213,68 @@ validation_report split_sample_validation(const core::fault_universe& u,
   rep.predicted = predict_pair(p_hat, u.q_values());
   rep.training_versions = train_n;
 
+  // Holdout pair scoring on the campaign worker pool: one job per first
+  // index i (all pairs (i, j > i)), per-job accumulators merged in ascending
+  // i order — deterministic regardless of the thread count.
+  struct holdout_block {
+    stats::running_moments pair_pfds;
+    std::size_t no_common = 0;
+    std::vector<double> pfds;  ///< (i,j)-ordered, kept only for the campaign
+  };
+  const bool keep_pfds = cfg.demands > 0;
   stats::running_moments pair_pfds;
   std::size_t no_common = 0;
-  for (std::size_t i = 0; i < holdout.size(); ++i) {
-    for (std::size_t j = i + 1; j < holdout.size(); ++j) {
-      const auto pair = mc::pair_pfd_stats(holdout[i], holdout[j], u);
-      pair_pfds.add(pair.pfd);
-      if (!pair.any_common) ++no_common;
-    }
-  }
+  std::vector<double> holdout_pair_pfds;
+  mc::run_jobs(
+      0, holdout.empty() ? 0 : holdout.size() - 1, cfg.threads,
+      [&](std::size_t i) {
+        holdout_block block;
+        for (std::size_t j = i + 1; j < holdout.size(); ++j) {
+          const auto pair = mc::pair_pfd_stats(holdout[i], holdout[j], u);
+          block.pair_pfds.add(pair.pfd);
+          if (!pair.any_common) ++block.no_common;
+          if (keep_pfds) block.pfds.push_back(pair.pfd);
+        }
+        return block;
+      },
+      [&](std::size_t /*i*/, holdout_block&& block) {
+        pair_pfds.merge(block.pair_pfds);
+        no_common += block.no_common;
+        holdout_pair_pfds.insert(holdout_pair_pfds.end(), block.pfds.begin(),
+                                 block.pfds.end());
+      });
   rep.holdout_pairs = pair_pfds.count();
   rep.observed_pair_mean = pair_pfds.mean();
   rep.observed_no_common_fraction =
       pair_pfds.count() > 0
           ? static_cast<double>(no_common) / static_cast<double>(pair_pfds.count())
           : 0.0;
+
+  if (cfg.demands > 0 && !holdout_pair_pfds.empty()) {
+    // Empirical validation: what a testing campaign of cfg.demands demands
+    // per holdout pair would observe.  The campaign master seed is split off
+    // cfg.seed so its per-pair streams cannot collide with the
+    // version-drawing stream rng(cfg.seed).
+    mc::campaign_config campaign;
+    std::uint64_t split = cfg.seed;
+    campaign.seed = stats::splitmix64_next(split);
+    campaign.threads = cfg.threads;
+    const auto tally = mc::run_demand_campaign(holdout_pair_pfds, cfg.demands, campaign);
+    double mean_hat = 0.0;
+    for (const auto f : tally.failures) mean_hat += static_cast<double>(f);
+    rep.observed_pair_mean_hat = mean_hat / static_cast<double>(cfg.demands) /
+                                 static_cast<double>(tally.failures.size());
+    rep.demands = cfg.demands;
+  }
   return rep;
+}
+
+validation_report split_sample_validation(const core::fault_universe& u,
+                                          std::size_t versions, std::uint64_t seed) {
+  validation_config cfg;
+  cfg.versions = versions;
+  cfg.seed = seed;
+  return split_sample_validation(u, cfg);
 }
 
 }  // namespace reldiv::estimate

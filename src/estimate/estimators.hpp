@@ -11,22 +11,21 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/fault_mask.hpp"
 #include "core/fault_universe.hpp"
-#include "mc/sampler.hpp"
 #include "stats/confint.hpp"
 #include "stats/gof_tests.hpp"
 
 namespace reldiv::estimate {
 
-/// Versions-by-faults incidence data: row v, column i is "version v contains
-/// fault i".
+/// Versions-by-faults incidence data: cell (v, i) is "version v contains
+/// fault i".  Stored as one packed bitmask per FAULT over the version
+/// sample, so the estimator hot loops (per-fault counts, pairwise joint
+/// counts for the §6.1 diagnostic) run as word-parallel popcounts instead
+/// of per-cell byte scans.
 class fault_incidence {
  public:
   fault_incidence(std::size_t versions, std::size_t faults);
-
-  /// Build from sampled versions over a universe of `fault_count` faults.
-  static fault_incidence from_versions(const std::vector<mc::version>& versions,
-                                       std::size_t fault_count);
 
   /// Build from packed mask versions (the bitset Monte-Carlo representation).
   static fault_incidence from_masks(const std::vector<core::fault_mask>& versions,
@@ -37,9 +36,9 @@ class fault_incidence {
   [[nodiscard]] std::size_t versions() const noexcept { return versions_; }
   [[nodiscard]] std::size_t faults() const noexcept { return faults_; }
 
-  /// Number of versions containing fault i.
+  /// Number of versions containing fault i (word-parallel popcount).
   [[nodiscard]] std::size_t fault_count(std::size_t fault) const;
-  /// Number of versions containing both faults i and j.
+  /// Number of versions containing both faults i and j (AND + popcount).
   [[nodiscard]] std::size_t joint_count(std::size_t i, std::size_t j) const;
   /// Number of faults in version v.
   [[nodiscard]] std::size_t version_fault_count(std::size_t version) const;
@@ -47,7 +46,7 @@ class fault_incidence {
  private:
   std::size_t versions_;
   std::size_t faults_;
-  std::vector<std::uint8_t> cells_;  ///< row-major
+  std::vector<core::fault_mask> columns_;  ///< per fault, bit v = version v has it
 };
 
 /// One estimated parameter with its uncertainty.
@@ -103,14 +102,33 @@ struct pair_prediction {
 /// exactly against `u`'s q values); returns predicted vs observed pair mean
 /// PFD.  The universe is used ONLY for the q values and holdout scoring —
 /// the p's come from the training incidence data.
+struct validation_config {
+  std::size_t versions = 400;
+  std::uint64_t seed = 1;
+  /// When > 0, the holdout pairs are ALSO scored empirically: each pair is
+  /// run through a `demands`-demand testing campaign on the deterministic
+  /// campaign layer (one rng stream per pair), yielding the PFD estimate an
+  /// experimenter without fault-identification data would see.
+  std::uint64_t demands = 0;
+  unsigned threads = 0;  ///< campaign workers; throughput only, never results
+};
+
 struct validation_report {
   pair_prediction predicted;           ///< from the training half
   double observed_pair_mean = 0.0;     ///< holdout pairs, exact scoring
   double observed_no_common_fraction = 0.0;
+  /// Mean of the empirical (campaign-scored) holdout pair PFDs; 0 when
+  /// validation_config::demands == 0.
+  double observed_pair_mean_hat = 0.0;
+  std::uint64_t demands = 0;           ///< campaign length behind the _hat figure
   std::size_t training_versions = 0;
   std::size_t holdout_pairs = 0;
 };
 
+[[nodiscard]] validation_report split_sample_validation(const core::fault_universe& u,
+                                                        const validation_config& cfg);
+
+/// Exact-scoring-only convenience overload (historical signature).
 [[nodiscard]] validation_report split_sample_validation(const core::fault_universe& u,
                                                         std::size_t versions,
                                                         std::uint64_t seed);

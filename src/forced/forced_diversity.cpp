@@ -97,6 +97,23 @@ double functional_pair::prob_no_common_failure_point() const {
   return std::exp(log_prod);
 }
 
+mc::experiment_result score_empirically(const forced_pair& pair, std::uint64_t samples,
+                                        const mc::campaign_config& cfg) {
+  return mc::run_pair_campaign(pair.channel_a(), pair.channel_b(),
+                               pair.channel_a().q_array(), samples, cfg);
+}
+
+mc::experiment_result score_empirically(const functional_pair& pair,
+                                        std::uint64_t samples,
+                                        const mc::campaign_config& cfg) {
+  const auto& a = pair.base().channel_a();
+  std::vector<double> coincidence_q(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    coincidence_q[i] = pair.overlap()[i] * a[i].q;
+  }
+  return mc::run_pair_campaign(a, pair.base().channel_b(), coincidence_q, samples, cfg);
+}
+
 diversity_comparison compare_against_non_forced(const functional_pair& pair) {
   const auto& a = pair.base().channel_a();
   const auto& b = pair.base().channel_b();

@@ -23,6 +23,7 @@
 
 #include "core/fault_universe.hpp"
 #include "core/moments.hpp"
+#include "mc/campaign.hpp"
 
 namespace reldiv::forced {
 
@@ -97,5 +98,20 @@ struct diversity_comparison {
 
 [[nodiscard]] diversity_comparison compare_against_non_forced(
     const functional_pair& pair);
+
+/// Monte-Carlo scoring of a forced pair on the deterministic campaign layer:
+/// θ1 is channel A's per-version PFD, θ2 the pair PFD over the shared
+/// regions.  Bit-identical across thread counts for a given (seed, samples,
+/// shards); the chosen shard layout is recorded in the result.
+[[nodiscard]] mc::experiment_result score_empirically(const forced_pair& pair,
+                                                      std::uint64_t samples,
+                                                      const mc::campaign_config& cfg = {});
+
+/// Same for a functional pair: the coincidence masses are thinned by the
+/// per-fault overlaps (θ2 sums ω_i·q_i over common faults, and a pair counts
+/// toward N2 > 0 only via faults with ω_i > 0).
+[[nodiscard]] mc::experiment_result score_empirically(const functional_pair& pair,
+                                                      std::uint64_t samples,
+                                                      const mc::campaign_config& cfg = {});
 
 }  // namespace reldiv::forced

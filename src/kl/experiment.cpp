@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "mc/campaign.hpp"
 #include "mc/sampler.hpp"
 #include "stats/random.hpp"
 
@@ -37,18 +38,24 @@ kl_result run_kl_experiment(const core::fault_universe& u, const kl_config& conf
     }
     // Regions are disjoint, so a campaign's failure count over the demands
     // is one Binomial(demands, pfd) draw — for versions and pairs alike.
-    out.version_pfd_hat.reserve(versions.size());
-    for (const double pfd : out.version_pfd) {
-      out.version_pfd_hat.push_back(
-          static_cast<double>(stats::binomial_deviate(r, config.demands, pfd)) /
-          static_cast<double>(config.demands));
-    }
-    out.pair_pfd_hat.reserve(out.pair_pfd.size());
-    for (const double pfd : out.pair_pfd) {
-      out.pair_pfd_hat.push_back(
-          static_cast<double>(stats::binomial_deviate(r, config.demands, pfd)) /
-          static_cast<double>(config.demands));
-    }
+    // The demand campaign scores the whole roster (versions first, then the
+    // 351 pairs) multithreaded with one rng stream per target; its master
+    // seed is split off config.seed so the campaign streams cannot collide
+    // with the version-drawing stream rng(config.seed) above.
+    std::vector<double> roster;
+    roster.reserve(out.version_pfd.size() + out.pair_pfd.size());
+    roster.insert(roster.end(), out.version_pfd.begin(), out.version_pfd.end());
+    roster.insert(roster.end(), out.pair_pfd.begin(), out.pair_pfd.end());
+    mc::campaign_config campaign;
+    std::uint64_t split = config.seed;
+    campaign.seed = stats::splitmix64_next(split);
+    campaign.threads = config.threads;
+    const auto rates = mc::run_demand_campaign(roster, config.demands, campaign).rates();
+    out.version_pfd_hat.assign(rates.begin(),
+                               rates.begin() + static_cast<std::ptrdiff_t>(
+                                                   out.version_pfd.size()));
+    out.pair_pfd_hat.assign(
+        rates.begin() + static_cast<std::ptrdiff_t>(out.version_pfd.size()), rates.end());
   }
 
   out.version_summary = stats::summarize(out.version_pfd);

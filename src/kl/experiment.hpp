@@ -24,6 +24,12 @@ struct kl_config {
   std::uint64_t demands = 1'000'000;    ///< empirical scoring campaign length
   std::uint64_t seed = 20010704;        ///< DSN 2001 conference date
   bool score_empirically = true;        ///< also run the demand campaign
+  unsigned threads = 0;                 ///< campaign workers; 0 = hardware.
+                                        ///< Throughput only — the empirical
+                                        ///< scores are bit-identical across
+                                        ///< thread counts (each of the
+                                        ///< versions + pairs targets owns its
+                                        ///< own campaign rng stream).
 };
 
 struct kl_result {

@@ -1,0 +1,123 @@
+#include "mc/campaign.hpp"
+
+#include "mc/sampler.hpp"
+
+namespace reldiv::mc {
+
+std::vector<double> demand_tally::rates() const {
+  std::vector<double> out;
+  out.reserve(failures.size());
+  for (const auto f : failures) {
+    out.push_back(static_cast<double>(f) / static_cast<double>(demands));
+  }
+  return out;
+}
+
+void demand_tally::merge(const demand_tally& other) {
+  if (failures.size() != other.failures.size() || demands != other.demands) {
+    throw std::invalid_argument("demand_tally::merge: roster/budget mismatch");
+  }
+  for (std::size_t t = 0; t < failures.size(); ++t) failures[t] += other.failures[t];
+}
+
+void run_demand_campaign_window(std::span<const double> target_pfd, std::uint64_t demands,
+                                const campaign_config& cfg, std::size_t target_begin,
+                                std::size_t target_end, demand_tally& out) {
+  if (target_begin > target_end || target_end > target_pfd.size()) {
+    throw std::invalid_argument("run_demand_campaign: target window out of range");
+  }
+  if (demands == 0) {
+    throw std::invalid_argument("run_demand_campaign: demands must be > 0");
+  }
+  if (out.failures.size() != target_pfd.size() || out.demands != demands) {
+    throw std::invalid_argument("run_demand_campaign: tally does not match campaign");
+  }
+  if (target_begin == target_end) return;
+
+  run_jobs(
+      target_begin, target_end, cfg.threads,
+      [&](std::size_t target) {
+        // O(1) per-target stream derivation: workers seed their own streams,
+        // so there is no serial jump walk to amortize and any window of a
+        // huge roster starts instantly.
+        stats::rng r(target_stream_seed(cfg.seed, target));
+        return stats::binomial_deviate(r, demands, target_pfd[target]);
+      },
+      [&out](std::size_t target, std::uint64_t&& fails) { out.failures[target] = fails; });
+}
+
+demand_tally run_demand_campaign(std::span<const double> target_pfd, std::uint64_t demands,
+                                 const campaign_config& cfg) {
+  if (target_pfd.empty()) {
+    throw std::invalid_argument("run_demand_campaign: empty target roster");
+  }
+  demand_tally out;
+  out.demands = demands;
+  out.failures.assign(target_pfd.size(), 0);
+  run_demand_campaign_window(target_pfd, demands, cfg, 0, target_pfd.size(), out);
+  return out;
+}
+
+namespace {
+
+/// Σ w[i] over faults common to a and b, plus "some common fault has
+/// positive weight" — the coincidence-weighted sibling of
+/// core::intersect_q_sum (a common fault with w == 0 never produces a
+/// common failure point, so it must not count toward N2 > 0).
+core::pair_intersection_result intersect_weighted_sum(const core::fault_mask& a,
+                                                      const core::fault_mask& b,
+                                                      std::span<const double> w) noexcept {
+  core::pair_intersection_result out;
+  const std::uint64_t* wa = a.words();
+  const std::uint64_t* wb = b.words();
+  for (std::size_t blk = 0; blk < a.word_count(); ++blk) {
+    std::uint64_t common = wa[blk] & wb[blk];
+    while (common != 0) {
+      const double wi = w[(blk << 6) + static_cast<std::size_t>(std::countr_zero(common))];
+      out.pfd += wi;
+      if (wi > 0.0) out.any_common = true;
+      common &= common - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+experiment_result run_pair_campaign(const core::fault_universe& channel_a,
+                                    const core::fault_universe& channel_b,
+                                    std::span<const double> coincidence_q,
+                                    std::uint64_t samples, const campaign_config& cfg) {
+  if (channel_a.size() != channel_b.size()) {
+    throw std::invalid_argument("run_pair_campaign: channels must share the fault set");
+  }
+  if (coincidence_q.size() != channel_a.size()) {
+    throw std::invalid_argument("run_pair_campaign: coincidence weights size mismatch");
+  }
+  if (samples == 0) {
+    throw std::invalid_argument("run_pair_campaign: samples must be > 0");
+  }
+  const shard_plan plan = make_shard_plan(samples, cfg.shards);
+  experiment_accumulator total;
+  run_shards(
+      plan, cfg.seed, cfg.threads,
+      [&](unsigned /*shard*/, std::uint64_t count, stats::rng& r) {
+        experiment_accumulator acc;
+        core::fault_mask a(channel_a.size());
+        core::fault_mask b(channel_b.size());
+        for (std::uint64_t s = 0; s < count; ++s) {
+          sample_version_mask(channel_a, r, a);
+          sample_version_mask(channel_b, r, b);
+          const double t1 = core::masked_q_sum(a, channel_a.q_array());
+          const auto pair = intersect_weighted_sum(a, b, coincidence_q);
+          acc.add(t1, pair.pfd, a.any(), pair.any_common);
+        }
+        return acc;
+      },
+      [&total](unsigned /*shard*/, experiment_accumulator&& acc) { total.merge(acc); });
+  experiment_result result = total.to_result();
+  result.shards = plan.shard_count;
+  return result;
+}
+
+}  // namespace reldiv::mc

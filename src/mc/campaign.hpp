@@ -1,0 +1,194 @@
+#pragma once
+// mc::campaign — the unified deterministic demand-campaign layer.
+//
+// Every empirical study in this library is, at bottom, a demand campaign:
+// score a roster of targets (versions, pairs, channels, scenario cells)
+// against a budget of simulated demands or version draws.  This header
+// provides the one engine they all sit on, layered on shard_runner:
+//
+//  * run_jobs        — deterministic job fan-out: jobs are executed by any
+//                      number of workers but merged in ascending job order on
+//                      the calling thread, so thread count never leaks into
+//                      results.  The scenario grid fans sweep cells out
+//                      through it.
+//  * demand campaign — score a fixed roster of per-target hit probabilities
+//                      over a shared demand budget.  One rng stream PER
+//                      TARGET, seeded by target_stream_seed(seed, t) (a
+//                      splitmix64 hash — O(1) per target, unlike jump-based
+//                      streams whose derivation is serial in the target
+//                      index), so results are a pure function of (seed,
+//                      demands, roster order): bit-identical across thread
+//                      counts, shard groupings, and checkpoint/resume
+//                      windows.  kl empirical scoring and estimate holdout
+//                      scoring ride on it.
+//  * pair campaign   — Monte-Carlo scoring of a two-channel pair (possibly
+//                      with per-fault coincidence weights for functional
+//                      diversity): the sample budget is decomposed by
+//                      make_shard_plan (budget-scaled logical shards), each
+//                      shard owning stream(seed, shard), shard accumulators
+//                      merged in shard order into an experiment_accumulator.
+//                      forced/functional scoring and the scenario grid's
+//                      correlated cells ride on it.
+//
+// Determinism contract (inherited from shard_runner): thread count is a
+// throughput knob, never a results knob.  The chosen logical layout (shard
+// count / roster order) is part of the result's identity and is recorded in
+// the result structs.
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "core/fault_universe.hpp"
+#include "mc/experiment.hpp"
+#include "mc/shard_runner.hpp"
+#include "stats/random.hpp"
+
+namespace reldiv::mc {
+
+/// Runner knobs shared by every campaign.  `seed` and `shards` are part of
+/// the result's identity; `threads` affects throughput only.
+struct campaign_config {
+  std::uint64_t seed = 1;
+  unsigned threads = 0;  ///< workers; 0 = hardware_concurrency
+  unsigned shards = 0;   ///< logical rng streams for budget-sharded campaigns;
+                         ///< 0 = default_logical_shards(budget)
+};
+
+/// Run `body(job)` for every job in [job_begin, job_end), distributing jobs
+/// over `threads` workers, then call `merge(job, result)` in ascending job
+/// order on the calling thread.  The rng-free sibling of run_shards: each
+/// job derives whatever randomness it needs from its own index, so the set
+/// of per-job computations — and the merge sequence — is independent of the
+/// thread count.  `body` must not touch shared mutable state; `merge` runs
+/// serially.  The first exception thrown by a `body` invocation (lowest job
+/// index wins) is rethrown after all workers join.
+template <typename Body, typename Merge>
+void run_jobs(std::size_t job_begin, std::size_t job_end, unsigned threads, Body&& body,
+              Merge&& merge) {
+  using result_type = std::decay_t<std::invoke_result_t<Body&, std::size_t>>;
+  if (job_begin > job_end) {
+    throw std::invalid_argument("run_jobs: job window out of range");
+  }
+  const std::size_t jobs = job_end - job_begin;
+  if (jobs == 0) return;
+
+  std::vector<std::optional<result_type>> results(jobs);
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_job = jobs;
+
+  auto work = [&]() noexcept {
+    for (std::size_t j = next.fetch_add(1, std::memory_order_relaxed); j < jobs;
+         j = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        results[j].emplace(body(job_begin + j));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (j < first_error_job) {
+          first_error_job = j;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const unsigned workers = resolve_threads(threads, jobs);
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(work);
+    for (auto& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (std::size_t j = 0; j < jobs; ++j) {
+    merge(job_begin + j, std::move(*results[j]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Target-roster demand campaign
+// ---------------------------------------------------------------------------
+
+/// Mergeable, serializable tally of a demand campaign: per-target failure
+/// counts over a shared per-target demand budget.  Targets outside the
+/// windows accumulated so far hold 0; merging window tallies is plain
+/// element-wise addition, so a campaign interrupted at any target boundary
+/// and resumed from a serialized tally equals the uninterrupted run exactly.
+struct demand_tally {
+  std::uint64_t demands = 0;               ///< budget per target
+  std::vector<std::uint64_t> failures;     ///< roster order
+
+  /// Empirical failure rates failures[t] / demands.
+  [[nodiscard]] std::vector<double> rates() const;
+
+  /// Element-wise fold of another tally over the same roster and budget
+  /// (windows accumulated disjointly); throws std::invalid_argument on a
+  /// roster-size or budget mismatch.
+  void merge(const demand_tally& other);
+};
+
+/// Seed of target t's private campaign stream: a splitmix64 hash of
+/// (campaign seed, target index).  O(1) per target — any window of a huge
+/// roster can derive its streams without walking the prefix — and part of
+/// the campaign's result identity.
+[[nodiscard]] inline std::uint64_t target_stream_seed(std::uint64_t seed,
+                                                      std::uint64_t target) noexcept {
+  std::uint64_t state = seed + 0x9e3779b97f4a7c15ULL * (target + 1);
+  return stats::splitmix64_next(state);
+}
+
+/// Score targets [target_begin, target_end) of the roster: target t's
+/// failure count is one Binomial(demands, pfd[t]) draw from its OWN stream
+/// stats::rng(target_stream_seed(cfg.seed, t)), accumulated into `out`
+/// (which must already be sized to the full roster with out.demands ==
+/// demands).  The per-target streams make the result independent of both
+/// the thread count and how the roster is windowed across calls.
+void run_demand_campaign_window(std::span<const double> target_pfd, std::uint64_t demands,
+                                const campaign_config& cfg, std::size_t target_begin,
+                                std::size_t target_end, demand_tally& out);
+
+/// Score the whole roster: each target's campaign is `demands` demands
+/// against a region of hit probability pfd[t] (disjoint regions make the
+/// failure count one binomial draw).  Throws std::invalid_argument when the
+/// roster is empty or demands == 0.
+[[nodiscard]] demand_tally run_demand_campaign(std::span<const double> target_pfd,
+                                               std::uint64_t demands,
+                                               const campaign_config& cfg);
+
+// ---------------------------------------------------------------------------
+// Two-channel pair campaign
+// ---------------------------------------------------------------------------
+
+/// Monte-Carlo scoring of a 1-out-of-2 pair whose channels are developed by
+/// (possibly) different processes over the SAME failure regions: per sample,
+/// version A is drawn from `channel_a`, B from `channel_b` (53-bit
+/// exact-stream kernels), θ1 is A's PFD and θ2 is Σ coincidence_q[i] over
+/// faults present in both.  `coincidence_q` carries functional-diversity
+/// overlap thinning (ω_i·q_i); pass channel_a.q_array() for plain forced
+/// diversity.  A pair counts toward n2_positive only when some common fault
+/// has coincidence_q > 0 (a shared fault whose regions never coincide is not
+/// a common failure point).
+///
+/// The budget is decomposed by make_shard_plan(samples, cfg.shards); shard s
+/// draws from stream(cfg.seed, s) and accumulators merge in shard order —
+/// bit-identical across thread counts.  The layout is recorded in the
+/// result's `shards` field.
+[[nodiscard]] experiment_result run_pair_campaign(const core::fault_universe& channel_a,
+                                                  const core::fault_universe& channel_b,
+                                                  std::span<const double> coincidence_q,
+                                                  std::uint64_t samples,
+                                                  const campaign_config& cfg);
+
+}  // namespace reldiv::mc

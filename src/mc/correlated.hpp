@@ -85,6 +85,7 @@ struct correlated_result {
   double prob_n2_positive = 0.0;
   double risk_ratio = 0.0;  ///< empirical eq. (10)
   std::uint64_t samples = 0;
+  unsigned shards = 0;  ///< logical shard layout (result identity; 0 = serial)
 };
 
 /// Runner knobs for run_correlated.  Like run_experiment, thread count is a
@@ -92,8 +93,8 @@ struct correlated_result {
 /// samples, shards) across any `threads` value.
 struct correlated_config {
   unsigned threads = 0;  ///< workers; 0 = hardware_concurrency
-  unsigned shards = 0;   ///< logical rng streams; 0 = kDefaultLogicalShards
-                         ///< (capped at samples)
+  unsigned shards = 0;   ///< logical rng streams; 0 = the budget-scaled
+                         ///< default_logical_shards(samples)
 };
 
 namespace detail {
@@ -174,7 +175,9 @@ template <typename Sampler>
         return acc;
       },
       [&total](unsigned /*shard*/, experiment_accumulator&& acc) { total.merge(acc); });
-  return detail::to_correlated_result(total);
+  correlated_result out = detail::to_correlated_result(total);
+  out.shards = plan.shard_count;
+  return out;
 }
 
 /// Single-threaded single-stream reference runner (the pre-shard-runner

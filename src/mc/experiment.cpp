@@ -46,10 +46,16 @@ experiment_accumulator run_shard_mask(const core::fault_universe& u,
     word_parallel = t == 0 || t == (std::uint64_t{1} << core::kBernoulliBits) ||
                     std::countr_zero(t) >= core::kBernoulliBits - 32;
   }
-  // The paired sampler realizes p on the 2^-32 grid; for universes with
-  // faults rarer than that grid resolves (relative error > 1e-6) fall back
-  // to the 53-bit exact-stream kernel rather than silently oversample them.
-  const bool use_exact_kernel = exact_stream || (!word_parallel && !u.fast32_grid_safe());
+  // Grouped universes (runs of equal p covering whole mask words, e.g.
+  // concatenated make_homogeneous blocks) bit-slice the uniform words and
+  // fall back to the paired kernel elsewhere.  The paired kernel realizes p
+  // on the 2^-32 grid; for universes with faults rarer than that grid
+  // resolves (relative error > 1e-6) fall back to the 53-bit exact-stream
+  // kernel rather than silently oversample them.
+  const bool grouped = !exact_stream && !word_parallel && u.has_grouped_p() &&
+                       u.fast32_grid_safe();
+  const bool use_exact_kernel =
+      exact_stream || (!word_parallel && !grouped && !u.fast32_grid_safe());
   for (std::uint64_t s = 0; s < samples; ++s) {
     if (use_exact_kernel) {
       sample_version_mask(u, r, a);
@@ -57,6 +63,8 @@ experiment_accumulator run_shard_mask(const core::fault_universe& u,
     } else if (word_parallel) {
       sample_version_mask_uniform(u, r, a);
       sample_version_mask_uniform(u, r, b);
+    } else if (grouped) {
+      sample_version_pair_grouped(u, r, a, b);
     } else {
       sample_version_pair_fast(u, r, a, b);
     }
@@ -217,8 +225,11 @@ void run_experiment_shards(const core::fault_universe& u,
 experiment_result run_experiment(const core::fault_universe& u,
                                  const experiment_config& config) {
   experiment_accumulator acc(config.keep_samples);
-  run_experiment_shards(u, config, 0, experiment_shard_count(config), acc);
-  return acc.to_result(config.ci_level);
+  const unsigned shards = experiment_shard_count(config);
+  run_experiment_shards(u, config, 0, shards, acc);
+  experiment_result result = acc.to_result(config.ci_level);
+  result.shards = shards;
+  return result;
 }
 
 }  // namespace reldiv::mc

@@ -7,7 +7,7 @@
 //
 // Determinism contract: the sample budget is decomposed into a fixed number
 // of logical rng shards (experiment_config::shards, default
-// kDefaultLogicalShards) executed by the shard_runner subsystem, so for a
+// default_logical_shards(samples)) executed by the shard_runner subsystem, so for a
 // given (seed, samples, shards, engine) the result is bit-identical
 // regardless of experiment_config::threads or the machine's core count.
 // Thread count is a throughput knob, never a results knob.
@@ -46,9 +46,10 @@ struct experiment_config {
   std::uint64_t seed = 1;
   unsigned threads = 0;              ///< workers; 0 = hardware_concurrency.
                                      ///< Affects throughput only, never results.
-  unsigned shards = 0;               ///< logical rng streams; 0 = kDefaultLogicalShards
-                                     ///< (capped at samples).  Part of the result's
-                                     ///< identity: changing it changes the rng layout.
+  unsigned shards = 0;               ///< logical rng streams; 0 = the budget-scaled
+                                     ///< default_logical_shards(samples).  Part of the
+                                     ///< result's identity: changing it changes the
+                                     ///< rng layout.
   bool keep_samples = false;         ///< retain per-sample PFDs (memory!)
   double ci_level = 0.99;            ///< level for the reported intervals
   sampling_engine engine = sampling_engine::fast;
@@ -65,6 +66,9 @@ struct estimate {
 
 struct experiment_result {
   std::uint64_t samples = 0;
+  unsigned shards = 0;  ///< logical shard layout that produced the result
+                        ///< (part of its identity; 0 when accumulated
+                        ///< outside the sharded runners)
 
   // Single-version statistics (channel A of each simulated pair).
   stats::running_moments theta1;

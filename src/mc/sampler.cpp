@@ -85,6 +85,22 @@ inline void ensure_sized(core::fault_mask& m, std::size_t bits) {
   if (m.bit_size() != bits) m.resize(bits);
 }
 
+/// One word of 64 Bernoulli(threshold / 2^53) lanes via the bit-slice
+/// recurrence: with the threshold's binary digits b_52..b_0 (weight of b_j
+/// is 2^(j-53)), folding fresh rng words from the lowest set digit upward
+/// via acc = b_j ? (acc | rng) : (acc & rng) leaves every lane set with
+/// probability threshold / 2^53 — exactly P((r()>>11) < threshold).
+/// Requires threshold in (0, 2^53).
+inline std::uint64_t bitslice_bernoulli_word(stats::rng& r,
+                                             std::uint64_t threshold) noexcept {
+  const int low = std::countr_zero(threshold);
+  std::uint64_t acc = r();
+  for (int j = low + 1; j < core::kBernoulliBits; ++j) {
+    acc = ((threshold >> j) & 1) ? (acc | r()) : (acc & r());
+  }
+  return acc;
+}
+
 }  // namespace
 
 void sample_mask_from_thresholds(std::span<const std::uint64_t> thresholds,
@@ -150,19 +166,53 @@ void sample_version_mask_uniform(const core::fault_universe& u, stats::rng& r,
     words[out.word_count() - 1] &= out.tail_mask();
     return;
   }
-  // Bit-slice Bernoulli: with the threshold's binary digits b_52..b_0
-  // (weight of b_j is 2^(j-53)), folding fresh rng words from the lowest set
-  // digit upward via acc = b_j ? (acc | rng) : (acc & rng) leaves every lane
-  // set with probability threshold / 2^53 — exactly P((r()>>11) < threshold).
-  const int low = std::countr_zero(threshold);
   for (std::size_t blk = 0; blk < out.word_count(); ++blk) {
-    std::uint64_t acc = r();
-    for (int j = low + 1; j < core::kBernoulliBits; ++j) {
-      acc = ((threshold >> j) & 1) ? (acc | r()) : (acc & r());
-    }
-    words[blk] = acc;
+    words[blk] = bitslice_bernoulli_word(r, threshold);
   }
   words[out.word_count() - 1] &= out.tail_mask();
+}
+
+void sample_version_pair_grouped(const core::fault_universe& u, stats::rng& r,
+                                 core::fault_mask& a, core::fault_mask& b) {
+  if (!u.has_grouped_p()) {
+    throw std::invalid_argument("sample_version_pair_grouped: universe not grouped");
+  }
+  const std::size_t n = u.size();
+  ensure_sized(a, n);
+  ensure_sized(b, n);
+  const auto blocks = u.sample_blocks();
+  const std::uint64_t* t32 = u.bernoulli_thresholds32().data();
+  std::uint64_t* wa = a.words();
+  std::uint64_t* wb = b.words();
+  for (std::size_t blk = 0; blk < a.word_count(); ++blk) {
+    const core::sample_block& plan = blocks[blk];
+    if (plan.sliceable) {
+      if (plan.threshold == 0) {
+        wa[blk] = 0;
+        wb[blk] = 0;
+      } else if (plan.threshold == (std::uint64_t{1} << core::kBernoulliBits)) {
+        wa[blk] = ~std::uint64_t{0};
+        wb[blk] = ~std::uint64_t{0};
+      } else {
+        wa[blk] = bitslice_bernoulli_word(r, plan.threshold);
+        wb[blk] = bitslice_bernoulli_word(r, plan.threshold);
+      }
+    } else {
+      std::uint64_t word_a = 0;
+      std::uint64_t word_b = 0;
+      const std::size_t lo = blk << 6;
+      const std::size_t hi = std::min<std::size_t>(n, lo + 64);
+      for (std::size_t i = lo, k = 0; i < hi; ++i, ++k) {
+        const std::uint64_t x = r();
+        word_a |= static_cast<std::uint64_t>((x >> 32) < t32[i]) << k;
+        word_b |= static_cast<std::uint64_t>((x & 0xffffffffULL) < t32[i]) << k;
+      }
+      wa[blk] = word_a;
+      wb[blk] = word_b;
+    }
+  }
+  wa[a.word_count() - 1] &= a.tail_mask();
+  wb[b.word_count() - 1] &= b.tail_mask();
 }
 
 double pfd_of(const core::fault_mask& v, const core::fault_universe& u) {

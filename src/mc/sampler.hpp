@@ -91,6 +91,17 @@ void sample_version_pair_fast(const core::fault_universe& u, stats::rng& r,
 void sample_version_mask_uniform(const core::fault_universe& u, stats::rng& r,
                                  core::fault_mask& out);
 
+/// Grouped-universe paired sampler: for mask words whose 64 faults all share
+/// one p (runs of equal p, e.g. concatenated make_homogeneous blocks —
+/// fault_universe::sample_blocks), both versions' presence bits come from
+/// the word-parallel bit-slice recurrence over the shared 53-bit threshold;
+/// the remaining words use the paired 32-bit-threshold kernel.  Exact
+/// marginals on the sliceable words, 2^-32-grid marginals elsewhere (callers
+/// must check fault_universe::fast32_grid_safe); NOT stream-compatible with
+/// sample_version().  Requires u.has_grouped_p().
+void sample_version_pair_grouped(const core::fault_universe& u, stats::rng& r,
+                                 core::fault_mask& a, core::fault_mask& b);
+
 /// PFD of a mask version: masked dot-product against the contiguous q array
 /// (bitwise-identical accumulation order to the sparse pfd_of).
 [[nodiscard]] double pfd_of(const core::fault_mask& v, const core::fault_universe& u);

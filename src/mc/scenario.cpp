@@ -1,0 +1,232 @@
+#include "mc/scenario.hpp"
+
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+
+#include "mc/aliasing.hpp"
+#include "mc/campaign.hpp"
+#include "mc/correlated.hpp"
+#include "mc/shard_runner.hpp"
+#include "stats/random.hpp"
+
+namespace reldiv::mc {
+
+namespace {
+
+/// Cell campaign seed: a splitmix64 hash of (grid seed, cell index) — a pure
+/// function of the grid identity, uncorrelated across cells, and unrelated
+/// to any stream the cells themselves derive.
+std::uint64_t cell_seed(std::uint64_t grid_seed, std::size_t cell_index) {
+  std::uint64_t state = grid_seed;
+  const std::uint64_t mixed_seed = stats::splitmix64_next(state);
+  state = mixed_seed ^ static_cast<std::uint64_t>(cell_index);
+  return stats::splitmix64_next(state);
+}
+
+scenario_cell_result run_cell(const scenario_axes& axes, const scenario_config& cfg,
+                              const scenario_cell& cell, std::size_t cell_index) {
+  scenario_cell_result out;
+  out.cell = cell;
+  out.seed = cell_seed(cfg.seed, cell_index);
+
+  // §6.3 axis: under aliasing the trustworthy model is the region-level
+  // effective universe; the naive per-mistake pmax is recorded so the sweep
+  // quantifies what an assessor reading mistake-level data would claim.
+  // Only aliased cells materialize a universe of their own — everything
+  // else samples the axis universe in place.
+  const core::fault_universe& base = axes.universes[cell.universe_index].second;
+  std::optional<core::fault_universe> aliased;
+  out.p_max_naive = base.p_max();
+  if (cell.aliasing > 1) {
+    const aliased_model model = split_into_mistakes(base, cell.aliasing);
+    aliased.emplace(model.effective_universe());
+    out.p_max_naive = model.naive_p_max();
+  }
+  const core::fault_universe& effective = aliased ? *aliased : base;
+  out.p_max_true = effective.p_max();
+
+  // §6.1 axis: the marginal-preserving common-cause mixture (ρ = 0 is the
+  // independent baseline on the same code path).
+  const common_cause_mixture sampler(effective, cell.rho, axes.stress);
+
+  // Per-cell deterministic sharded campaign.  Cells already fan out over
+  // the grid's worker pool, so the inner campaign runs single-threaded —
+  // by the determinism contract that changes throughput only, never the
+  // per-cell result.
+  const shard_plan plan = make_shard_plan(cell.samples, cfg.shards);
+  out.shards = plan.shard_count;
+  const double omega = cell.omega;
+  experiment_accumulator acc;
+  run_shards(
+      plan, out.seed, /*threads=*/1,
+      [&](unsigned /*shard*/, std::uint64_t count, stats::rng& r) {
+        experiment_accumulator shard_acc;
+        core::fault_mask a(effective.size());
+        core::fault_mask b(effective.size());
+        for (std::uint64_t s = 0; s < count; ++s) {
+          sampler.sample_mask(r, a);
+          sampler.sample_mask(r, b);
+          const double t1 = core::masked_q_sum(a, effective.q_array());
+          const auto pair = core::intersect_q_sum(a, b, effective.q_array());
+          // §6.2 axis: only the shared fraction ω of each region produces
+          // coincident failures; ω = 0 pairs can share faults but never a
+          // failure point.
+          shard_acc.add(t1, omega * pair.pfd, a.any(),
+                        pair.any_common && omega > 0.0);
+        }
+        return shard_acc;
+      },
+      [&acc](unsigned /*shard*/, experiment_accumulator&& shard_acc) {
+        acc.merge(shard_acc);
+      });
+
+  out.state = acc.state();
+  const auto n = static_cast<double>(acc.samples());
+  out.mean_theta1 = acc.theta1().mean();
+  out.mean_theta2 = acc.theta2().mean();
+  out.prob_n1_positive = static_cast<double>(acc.n1_positive()) / n;
+  out.prob_n2_positive = static_cast<double>(acc.n2_positive()) / n;
+  out.risk_ratio = acc.n1_positive() > 0
+                       ? static_cast<double>(acc.n2_positive()) /
+                             static_cast<double>(acc.n1_positive())
+                       : 0.0;
+  return out;
+}
+
+void append(std::string& out, const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::vector<scenario_cell> enumerate_cells(const scenario_axes& axes) {
+  if (axes.universes.empty() || axes.correlations.empty() || axes.overlaps.empty() ||
+      axes.aliasing.empty() || axes.budgets.empty()) {
+    throw std::invalid_argument("scenario_grid: every axis needs >= 1 value");
+  }
+  for (const double w : axes.overlaps) {
+    if (!(w >= 0.0) || !(w <= 1.0)) {
+      throw std::invalid_argument("scenario_grid: overlap must be in [0,1]");
+    }
+  }
+  for (const std::size_t k : axes.aliasing) {
+    if (k == 0) throw std::invalid_argument("scenario_grid: aliasing must be >= 1");
+  }
+  for (const std::uint64_t s : axes.budgets) {
+    if (s == 0) throw std::invalid_argument("scenario_grid: budget must be > 0");
+  }
+  std::vector<scenario_cell> cells;
+  cells.reserve(axes.universes.size() * axes.correlations.size() * axes.overlaps.size() *
+                axes.aliasing.size() * axes.budgets.size());
+  for (std::size_t u = 0; u < axes.universes.size(); ++u) {
+    for (const double rho : axes.correlations) {
+      for (const double omega : axes.overlaps) {
+        for (const std::size_t k : axes.aliasing) {
+          for (const std::uint64_t samples : axes.budgets) {
+            cells.push_back({u, axes.universes[u].first, rho, omega, k, samples});
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+void run_cell_window(const scenario_axes& axes, const scenario_config& cfg,
+                     const std::vector<scenario_cell>& cells, std::size_t cell_begin,
+                     std::size_t cell_end, grid_result& out) {
+  if (cell_begin > cell_end || cell_end > cells.size()) {
+    throw std::invalid_argument("run_scenario_cells: cell window out of range");
+  }
+  if (out.cells.size() != cell_begin) {
+    throw std::invalid_argument(
+        "run_scenario_cells: result must hold exactly the checkpointed prefix");
+  }
+  out.cells.reserve(cell_end);
+  run_jobs(
+      cell_begin, cell_end, cfg.threads,
+      [&](std::size_t index) { return run_cell(axes, cfg, cells[index], index); },
+      [&out](std::size_t /*index*/, scenario_cell_result&& cell) {
+        out.cells.push_back(std::move(cell));
+      });
+}
+
+}  // namespace
+
+void run_scenario_cells(const scenario_axes& axes, const scenario_config& cfg,
+                        std::size_t cell_begin, std::size_t cell_end, grid_result& out) {
+  run_cell_window(axes, cfg, enumerate_cells(axes), cell_begin, cell_end, out);
+}
+
+grid_result run_scenario_grid(const scenario_axes& axes, const scenario_config& cfg) {
+  const auto cells = enumerate_cells(axes);
+  grid_result out;
+  run_cell_window(axes, cfg, cells, 0, cells.size(), out);
+  return out;
+}
+
+std::string grid_result::to_csv() const {
+  std::string out =
+      "universe,rho,omega,aliasing,samples,seed,shards,mean_theta1,mean_theta2,"
+      "prob_n1_positive,prob_n2_positive,risk_ratio,p_max_true,p_max_naive\n";
+  for (const auto& c : cells) {
+    out += c.cell.universe;
+    append(out, ",%.17g", c.cell.rho);
+    append(out, ",%.17g", c.cell.omega);
+    out += ',';
+    out += std::to_string(c.cell.aliasing);
+    out += ',';
+    out += std::to_string(c.cell.samples);
+    out += ',';
+    out += std::to_string(c.seed);
+    out += ',';
+    out += std::to_string(c.shards);
+    append(out, ",%.17g", c.mean_theta1);
+    append(out, ",%.17g", c.mean_theta2);
+    append(out, ",%.17g", c.prob_n1_positive);
+    append(out, ",%.17g", c.prob_n2_positive);
+    append(out, ",%.17g", c.risk_ratio);
+    append(out, ",%.17g", c.p_max_true);
+    append(out, ",%.17g", c.p_max_naive);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string grid_result::to_json() const {
+  std::string out = "{\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    if (i > 0) out += ",";
+    out += "{\"universe\":\"";
+    out += c.cell.universe;
+    out += '"';
+    append(out, ",\"rho\":%.17g", c.cell.rho);
+    append(out, ",\"omega\":%.17g", c.cell.omega);
+    out += ",\"aliasing\":";
+    out += std::to_string(c.cell.aliasing);
+    out += ",\"samples\":";
+    out += std::to_string(c.cell.samples);
+    out += ",\"seed\":";
+    out += std::to_string(c.seed);
+    out += ",\"shards\":";
+    out += std::to_string(c.shards);
+    append(out, ",\"mean_theta1\":%.17g", c.mean_theta1);
+    append(out, ",\"mean_theta2\":%.17g", c.mean_theta2);
+    append(out, ",\"prob_n1_positive\":%.17g", c.prob_n1_positive);
+    append(out, ",\"prob_n2_positive\":%.17g", c.prob_n2_positive);
+    append(out, ",\"risk_ratio\":%.17g", c.risk_ratio);
+    append(out, ",\"p_max_true\":%.17g", c.p_max_true);
+    append(out, ",\"p_max_naive\":%.17g", c.p_max_naive);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace reldiv::mc

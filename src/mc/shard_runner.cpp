@@ -6,7 +6,8 @@ shard_plan make_shard_plan(std::uint64_t samples, unsigned requested_shards) {
   if (samples == 0) {
     throw std::invalid_argument("make_shard_plan: samples must be > 0");
   }
-  const unsigned requested = requested_shards == 0 ? kDefaultLogicalShards : requested_shards;
+  const unsigned requested =
+      requested_shards == 0 ? default_logical_shards(samples) : requested_shards;
   shard_plan plan;
   plan.total_samples = samples;
   plan.shard_count = static_cast<unsigned>(std::min<std::uint64_t>(requested, samples));

@@ -35,10 +35,28 @@
 
 namespace reldiv::mc {
 
-/// Default number of logical rng streams per experiment.  Large enough to
-/// keep any plausible worker count busy, small enough that the per-shard
-/// stream-derivation and merge costs stay negligible.
+/// Ceiling on the default number of logical rng streams per experiment.
+/// Large enough to keep any plausible worker count busy, small enough that
+/// the per-shard stream-derivation and merge costs stay negligible.
 inline constexpr unsigned kDefaultLogicalShards = 256;
+
+/// Samples a default-layout shard targets: the default shard count grows
+/// with the budget (samples / kDefaultSamplesPerShard, clamped to
+/// [1, kDefaultLogicalShards]) so tiny campaigns are not dominated by
+/// stream-derivation and merge overhead.
+inline constexpr std::uint64_t kDefaultSamplesPerShard = 64;
+
+/// Default logical shard count for a `samples` budget.  A pure function of
+/// the budget — never of the machine — so the default layout is part of the
+/// result's identity and bit-identical everywhere: 1 shard up to 64 samples,
+/// then samples/64 up to the kDefaultLogicalShards ceiling (reached at 16384
+/// samples).
+[[nodiscard]] constexpr unsigned default_logical_shards(std::uint64_t samples) noexcept {
+  const std::uint64_t scaled = samples / kDefaultSamplesPerShard;
+  if (scaled <= 1) return 1;
+  if (scaled >= kDefaultLogicalShards) return kDefaultLogicalShards;
+  return static_cast<unsigned>(scaled);
+}
 
 /// Fixed decomposition of `total_samples` over `shard_count` logical shards:
 /// shard i draws total/shards samples plus one of the remainder for
@@ -59,9 +77,9 @@ struct shard_plan {
   }
 };
 
-/// Build the canonical plan: `requested_shards` (0 = kDefaultLogicalShards)
-/// capped at `samples` so no shard is empty.  Throws std::invalid_argument
-/// when samples == 0.
+/// Build the canonical plan: `requested_shards` (0 = the budget-scaled
+/// default_logical_shards(samples)) capped at `samples` so no shard is
+/// empty.  Throws std::invalid_argument when samples == 0.
 [[nodiscard]] shard_plan make_shard_plan(std::uint64_t samples,
                                          unsigned requested_shards = 0);
 

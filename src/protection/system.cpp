@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "core/fault_mask.hpp"
+#include "mc/sampler.hpp"
+#include "mc/shard_runner.hpp"
 
 namespace reldiv::protection {
 
@@ -60,12 +62,21 @@ bool software_channel::responds_correctly(const demand::point& x) const {
 
 software_channel develop_channel(const std::vector<demand::region_fault>& potential_faults,
                                  stats::rng& r) {
-  std::vector<demand::region_ptr> present;
+  // Channel development IS a version draw: run the Monte-Carlo engine's
+  // shared threshold kernel (one rng word + one integer compare per fault,
+  // decision-identical to r.bernoulli(f.p) in fault order) and materialize
+  // the set bits as the channel's failure regions.
+  std::vector<std::uint64_t> thresholds;
+  thresholds.reserve(potential_faults.size());
   for (const auto& f : potential_faults) {
     if (!f.footprint) throw std::invalid_argument("develop_channel: null region");
-    // Same integer-threshold compare the Monte-Carlo engine uses; decisions
-    // are identical to r.bernoulli(f.p) in fault order.
-    if ((r() >> 11) < core::bernoulli_threshold(f.p)) present.push_back(f.footprint);
+    thresholds.push_back(core::bernoulli_threshold(f.p));
+  }
+  core::fault_mask drawn;
+  mc::sample_mask_from_thresholds(thresholds, r, drawn);
+  std::vector<demand::region_ptr> present;
+  for (std::size_t i = 0; i < potential_faults.size(); ++i) {
+    if (drawn.test(i)) present.push_back(potential_faults[i].footprint);
   }
   return software_channel(std::move(present));
 }
@@ -127,6 +138,28 @@ campaign_result run_profile_campaign(const demand::demand_profile& profile,
                                      const one_out_of_two& system, std::uint64_t demands,
                                      stats::rng& r) {
   return run_generic([&] { return profile.sample(r); }, system, demands);
+}
+
+campaign_result run_profile_campaign(const demand::demand_profile& profile,
+                                     const one_out_of_two& system, std::uint64_t demands,
+                                     const mc::campaign_config& cfg) {
+  if (demands == 0) throw std::invalid_argument("run_campaign: demands must be > 0");
+  const mc::shard_plan plan = mc::make_shard_plan(demands, cfg.shards);
+  campaign_result total;
+  total.demands = demands;
+  mc::run_shards(
+      plan, cfg.seed, cfg.threads,
+      [&](unsigned /*shard*/, std::uint64_t count, stats::rng& r) {
+        campaign_result local =
+            run_generic([&] { return profile.sample(r); }, system, count);
+        return local;
+      },
+      [&total](unsigned /*shard*/, campaign_result&& local) {
+        total.channel_a_failures += local.channel_a_failures;
+        total.channel_b_failures += local.channel_b_failures;
+        total.system_failures += local.system_failures;
+      });
+  return total;
 }
 
 }  // namespace reldiv::protection

@@ -17,6 +17,7 @@
 #include "demand/binding.hpp"
 #include "demand/demand_space.hpp"
 #include "demand/region.hpp"
+#include "mc/campaign.hpp"
 #include "stats/confint.hpp"
 #include "stats/random.hpp"
 
@@ -111,5 +112,15 @@ struct campaign_result {
 [[nodiscard]] campaign_result run_profile_campaign(const demand::demand_profile& profile,
                                                    const one_out_of_two& system,
                                                    std::uint64_t demands, stats::rng& r);
+
+/// Deterministic campaign-layer variant: the demand budget is decomposed
+/// over budget-scaled logical rng shards (mc::make_shard_plan), each shard
+/// sampling its demands from stream(cfg.seed, shard), per-shard failure
+/// counts merged in shard order — multithreaded, and bit-identical across
+/// thread counts for a given (seed, demands, shards).
+[[nodiscard]] campaign_result run_profile_campaign(const demand::demand_profile& profile,
+                                                   const one_out_of_two& system,
+                                                   std::uint64_t demands,
+                                                   const mc::campaign_config& cfg);
 
 }  // namespace reldiv::protection

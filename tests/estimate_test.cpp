@@ -33,21 +33,62 @@ TEST(FaultIncidence, BasicAccessors) {
   EXPECT_THROW(fault_incidence(0, 4), std::invalid_argument);
 }
 
-TEST(FaultIncidence, FromVersions) {
-  std::vector<mc::version> vs = {{{0, 2}}, {{2}}, {{}}};
-  const auto data = fault_incidence::from_versions(vs, 3);
+TEST(FaultIncidence, FromMasks) {
+  std::vector<core::fault_mask> vs(3, core::fault_mask(3));
+  vs[0].set(0);
+  vs[0].set(2);
+  vs[1].set(2);
+  const auto data = fault_incidence::from_masks(vs, 3);
   EXPECT_EQ(data.versions(), 3u);
   EXPECT_EQ(data.fault_count(2), 2u);
   EXPECT_EQ(data.fault_count(1), 0u);
-  EXPECT_THROW((void)fault_incidence::from_versions({}, 3), std::invalid_argument);
+  EXPECT_THROW((void)fault_incidence::from_masks({}, 3), std::invalid_argument);
+  EXPECT_THROW((void)fault_incidence::from_masks(vs, 5), std::invalid_argument);
+}
+
+TEST(FaultIncidence, MaskBackedCountsMatchDenseReference) {
+  // Equivalence pin for the bitmask migration: every count the estimators
+  // read off the packed incidence matrix must equal the historical dense
+  // (cell-by-cell) computation on the same sample.
+  const auto u = core::make_random_universe(20, 0.5, 0.5, 77);
+  stats::rng r(78);
+  std::vector<core::fault_mask> sample(200);
+  for (auto& v : sample) mc::sample_version_mask(u, r, v);
+  const auto data = fault_incidence::from_masks(sample, u.size());
+
+  std::vector<std::uint8_t> cells(sample.size() * u.size(), 0);
+  for (std::size_t v = 0; v < sample.size(); ++v) {
+    for (std::size_t f = 0; f < u.size(); ++f) {
+      cells[v * u.size() + f] = sample[v].test(f) ? 1 : 0;
+    }
+  }
+  for (std::size_t f = 0; f < u.size(); ++f) {
+    std::size_t count = 0;
+    for (std::size_t v = 0; v < sample.size(); ++v) count += cells[v * u.size() + f];
+    EXPECT_EQ(data.fault_count(f), count) << "f=" << f;
+  }
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    for (std::size_t j = i + 1; j < u.size(); ++j) {
+      std::size_t joint = 0;
+      for (std::size_t v = 0; v < sample.size(); ++v) {
+        joint += cells[v * u.size() + i] & cells[v * u.size() + j];
+      }
+      EXPECT_EQ(data.joint_count(i, j), joint) << i << "," << j;
+    }
+  }
+  for (std::size_t v = 0; v < sample.size(); ++v) {
+    std::size_t n = 0;
+    for (std::size_t f = 0; f < u.size(); ++f) n += cells[v * u.size() + f];
+    EXPECT_EQ(data.version_fault_count(v), n) << "v=" << v;
+  }
 }
 
 TEST(EstimateP, RecoversTrueParameters) {
   const auto u = core::make_random_universe(10, 0.5, 0.5, 5);
   stats::rng r(6);
-  std::vector<mc::version> sample;
-  for (int v = 0; v < 5000; ++v) sample.push_back(mc::sample_version(u, r));
-  const auto data = fault_incidence::from_versions(sample, u.size());
+  std::vector<core::fault_mask> sample(5000);
+  for (auto& v : sample) mc::sample_version_mask(u, r, v);
+  const auto data = fault_incidence::from_masks(sample, u.size());
   const auto est = estimate_p(data, 0.99);
   int misses = 0;
   for (std::size_t i = 0; i < u.size(); ++i) {
@@ -60,9 +101,9 @@ TEST(EstimateP, RecoversTrueParameters) {
 TEST(DiagnoseIndependence, AcceptsIndependentData) {
   const auto u = core::make_random_universe(8, 0.4, 0.5, 7);
   stats::rng r(8);
-  std::vector<mc::version> sample;
-  for (int v = 0; v < 3000; ++v) sample.push_back(mc::sample_version(u, r));
-  const auto d = diagnose_independence(fault_incidence::from_versions(sample, u.size()));
+  std::vector<core::fault_mask> sample(3000);
+  for (auto& v : sample) mc::sample_version_mask(u, r, v);
+  const auto d = diagnose_independence(fault_incidence::from_masks(sample, u.size()));
   EXPECT_GT(d.pairs_tested, 0u);
   EXPECT_FALSE(d.independence_rejected);
   EXPECT_LT(d.max_abs_phi, 0.08);
@@ -73,9 +114,9 @@ TEST(DiagnoseIndependence, DetectsCommonCauseCorrelation) {
   const auto u = core::make_random_universe(8, 0.4, 0.5, 9);
   const mc::common_cause_mixture mix(u, 0.45, 2.0);
   stats::rng r(10);
-  std::vector<mc::version> sample;
-  for (int v = 0; v < 3000; ++v) sample.push_back(mix.sample(r));
-  const auto d = diagnose_independence(fault_incidence::from_versions(sample, u.size()));
+  std::vector<core::fault_mask> sample(3000);
+  for (auto& v : sample) mix.sample_mask(r, v);
+  const auto d = diagnose_independence(fault_incidence::from_masks(sample, u.size()));
   EXPECT_TRUE(d.independence_rejected);
   EXPECT_GT(d.max_abs_phi, 0.05);
 }
@@ -133,6 +174,41 @@ TEST(SplitSampleValidation, PredictionTracksHoldout) {
   EXPECT_GT(ratio, 0.7);
   EXPECT_LT(ratio, 1.4);
   EXPECT_THROW((void)split_sample_validation(u, 3, 1), std::invalid_argument);
+}
+
+TEST(SplitSampleValidation, BitIdenticalAcrossThreadCounts) {
+  // The holdout scoring now fans out over the campaign worker pool; the
+  // per-block merge order is fixed, so every field must be bit-identical
+  // whatever the thread count.
+  const auto u = core::make_random_universe(12, 0.4, 0.5, 15);
+  validation_config cfg;
+  cfg.versions = 120;
+  cfg.seed = 16;
+  cfg.demands = 50'000;
+  cfg.threads = 1;
+  const auto reference = split_sample_validation(u, cfg);
+  for (const unsigned threads : {2u, 7u, 0u}) {
+    cfg.threads = threads;
+    const auto rep = split_sample_validation(u, cfg);
+    EXPECT_EQ(rep.observed_pair_mean, reference.observed_pair_mean);
+    EXPECT_EQ(rep.observed_no_common_fraction, reference.observed_no_common_fraction);
+    EXPECT_EQ(rep.observed_pair_mean_hat, reference.observed_pair_mean_hat);
+    EXPECT_EQ(rep.predicted.mean_pair_pfd, reference.predicted.mean_pair_pfd);
+  }
+}
+
+TEST(SplitSampleValidation, EmpiricalScoringTracksExactScoring) {
+  const auto u = core::make_random_universe(12, 0.4, 0.5, 15);
+  validation_config cfg;
+  cfg.versions = 200;
+  cfg.seed = 17;
+  cfg.demands = 200'000;
+  const auto rep = split_sample_validation(u, cfg);
+  EXPECT_EQ(rep.demands, cfg.demands);
+  ASSERT_GT(rep.observed_pair_mean, 0.0);
+  // Campaign noise on the mean over ~5000 pairs is tiny at 2e5 demands each.
+  EXPECT_NEAR(rep.observed_pair_mean_hat, rep.observed_pair_mean,
+              0.05 * rep.observed_pair_mean + 1e-6);
 }
 
 }  // namespace

@@ -41,10 +41,16 @@ TEST(ShardPlan, PartitionsTheSampleBudgetExactly) {
     }
     EXPECT_EQ(total, samples);
   }
-  // The shard count is capped at the sample budget, never at the thread
-  // count: a 10-sample run has 10 single-sample shards.
-  EXPECT_EQ(make_shard_plan(10).shard_count, 10u);
+  // The default layout scales with the budget (default_logical_shards): a
+  // 10-sample run is one shard, 4096 samples get 64, and the ceiling is
+  // kDefaultLogicalShards from 16384 samples up.  Explicit requests are
+  // honored but capped at the sample budget, never at the thread count.
+  EXPECT_EQ(make_shard_plan(10).shard_count, default_logical_shards(10));
+  EXPECT_EQ(make_shard_plan(10).shard_count, 1u);
+  EXPECT_EQ(make_shard_plan(4096).shard_count, 64u);
+  EXPECT_EQ(make_shard_plan(1u << 20).shard_count, kDefaultLogicalShards);
   EXPECT_EQ(make_shard_plan(1u << 20, 64).shard_count, 64u);
+  EXPECT_EQ(make_shard_plan(10, 256).shard_count, 10u);
   EXPECT_THROW((void)make_shard_plan(0), std::invalid_argument);
 }
 
@@ -310,7 +316,8 @@ TEST(StreamingExperiment, CheckpointedChunksMatchUninterruptedRunExactly) {
   cfg.keep_samples = true;
   const auto uninterrupted = run_experiment(u, cfg);
   const unsigned shard_count = experiment_shard_count(cfg);
-  ASSERT_EQ(shard_count, kDefaultLogicalShards);
+  ASSERT_EQ(shard_count, default_logical_shards(cfg.samples));
+  ASSERT_GT(shard_count, 101u);  // the windows below assume a 3-way split
 
   // Process the shards in three chunks with a serialize/restore between
   // each — as a >10^9-sample study spread over multiple job slots would.
