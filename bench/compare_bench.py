@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff fresh google-benchmark JSON against the
+checked-in BENCH_p*.json baselines and fail on a real throughput regression.
+
+Two kinds of comparison:
+
+* KEY COUNTERS (gate): the speedup ratios of the optimized paths over their
+  in-file serial baselines — legacy vs fast engine, serial vs sharded
+  correlated runner, serial vs campaign KL scoring, paired vs grouped
+  sampling.  A single-threaded ratio divides out the machine, so a baseline
+  recorded on one host gates a fresh run on another: if the fast path's
+  advantage over its own baseline shrank by more than --max-regression
+  (default 25%), the optimization regressed and the job FAILS.  Ratios whose
+  fast side uses all hardware threads additionally scale with the core
+  count, so they gate only when baseline and fresh report the same
+  context.num_cpus and inform otherwise.
+
+* ABSOLUTE TIMES (warn): per-benchmark real_time deltas are reported, and
+  anything slower than --max-regression is a WARNING — absolute wall time is
+  machine-dependent, so it never fails the gate on its own.
+
+Usage:
+  compare_bench.py BASELINE.json FRESH.json [BASELINE2.json FRESH2.json ...]
+                   [--max-regression 0.25]
+
+Exit codes: 0 ok (possibly with warnings), 1 key-counter regression,
+2 usage / unreadable / unparseable input.
+"""
+
+import argparse
+import json
+import sys
+
+# (label, numerator benchmark, denominator benchmark, cpu_sensitive):
+# speedup = num / den.  A pair participates only when both names appear in
+# both the baseline and the fresh file, so one script serves BENCH_p1/p2/p3
+# alike.  cpu_sensitive marks ratios whose denominator uses all hardware
+# threads ("/0" variants): those only divide out the machine when baseline
+# and fresh ran on the same core count, so across differing core counts they
+# inform instead of gate (a 1-CPU baseline would otherwise never catch a
+# scaling regression, and a many-core baseline would permanently fail CI).
+KEY_RATIOS = [
+    ("run_experiment fast engine vs legacy",
+     "BM_RunExperimentLegacy/real_time", "BM_RunExperimentFast/real_time", False),
+    ("run_experiment exact engine vs legacy",
+     "BM_RunExperimentLegacy/real_time", "BM_RunExperimentExact/real_time", False),
+    ("uniform-p word-parallel sampler vs legacy",
+     "BM_RunExperimentLegacy/real_time", "BM_RunExperimentFastUniformP/real_time", False),
+    ("run_correlated sharded(hw) vs serial",
+     "BM_RunCorrelatedSerial/real_time", "BM_RunCorrelatedSharded/0/real_time", True),
+    ("KL empirical scoring campaign(hw) vs serial",
+     "BM_KLScoreSerialBaseline/real_time", "BM_KLScoreCampaign/0/real_time", True),
+    ("grouped-universe bit-slice vs paired kernel",
+     "BM_RunExperimentPairedShuffled/real_time", "BM_RunExperimentGrouped/real_time", False),
+]
+
+
+def load_times(path):
+    """(benchmark name -> real_time, num_cpus from the run context)."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"compare_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    benches = data.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        print(f"compare_bench: {path} holds no benchmarks", file=sys.stderr)
+        sys.exit(2)
+    times = {b["name"]: b["real_time"] for b in benches
+             if "real_time" in b and b.get("run_type", "iteration") == "iteration"}
+    return times, data.get("context", {}).get("num_cpus")
+
+
+def gate_key_ratios(base, fresh, base_cpus, fresh_cpus, max_regression):
+    """Compare machine-neutral speedup ratios.  Returns list of failures."""
+    failures = []
+    checked = 0
+    same_cpus = base_cpus is not None and base_cpus == fresh_cpus
+    for label, num, den, cpu_sensitive in KEY_RATIOS:
+        present = [k in base and k in fresh for k in (num, den)]
+        if not all(present):
+            # A renamed/deleted key benchmark must not silently disable its
+            # gate: if either side of the ratio exists anywhere in this file
+            # pair, the pair is this ratio's home and the hole is a failure.
+            if any(k in base or k in fresh for k in (num, den)):
+                print(f"  [key] {label}: MISSING benchmark "
+                      f"{num if not present[0] else den} — gate disabled FAIL")
+                failures.append(label + " (missing benchmark)")
+            continue
+        checked += 1
+        base_speedup = base[num] / base[den]
+        fresh_speedup = fresh[num] / fresh[den]
+        change = fresh_speedup / base_speedup - 1.0
+        gating = same_cpus or not cpu_sensitive
+        status = "ok"
+        if change < -max_regression:
+            if gating:
+                status = "FAIL"
+                failures.append(label)
+            else:
+                status = (f"info only (baseline {base_cpus} cpus vs fresh {fresh_cpus}: "
+                          f"hw-thread speedups don't transfer)")
+        print(f"  [key] {label}: speedup {base_speedup:.2f}x -> {fresh_speedup:.2f}x "
+              f"({change:+.1%}) {status}")
+    if checked == 0:
+        print("  [key] no key counters present in this file pair")
+    return failures
+
+
+def warn_absolute(base, fresh, max_regression):
+    shared = sorted(set(base) & set(fresh))
+    warned = 0
+    for name in shared:
+        if base[name] <= 0:
+            continue
+        change = fresh[name] / base[name] - 1.0
+        if change > max_regression:
+            warned += 1
+            print(f"  [warn] {name}: real_time {base[name]:.3g} -> {fresh[name]:.3g} "
+                  f"({change:+.1%}; absolute time is machine-dependent, not gating)")
+    print(f"  {len(shared)} shared benchmarks, {warned} above the "
+          f"{max_regression:.0%} absolute-time threshold")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+",
+                        help="alternating BASELINE.json FRESH.json pairs")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="fractional regression that fails a key counter "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args()
+    if len(args.files) % 2 != 0:
+        parser.error("expected alternating BASELINE FRESH pairs")
+
+    failures = []
+    for i in range(0, len(args.files), 2):
+        baseline_path, fresh_path = args.files[i], args.files[i + 1]
+        print(f"{baseline_path} (baseline) vs {fresh_path} (fresh):")
+        base, base_cpus = load_times(baseline_path)
+        fresh, fresh_cpus = load_times(fresh_path)
+        failures += gate_key_ratios(base, fresh, base_cpus, fresh_cpus,
+                                    args.max_regression)
+        warn_absolute(base, fresh, args.max_regression)
+        print()
+
+    if failures:
+        print(f"compare_bench: {len(failures)} key counter(s) regressed more than "
+              f"{args.max_regression:.0%}:", file=sys.stderr)
+        for label in failures:
+            print(f"  - {label}", file=sys.stderr)
+        sys.exit(1)
+    print("compare_bench: key counters within tolerance")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,14 @@
 #                   kernel, and scenario-grid cell throughput.
 #
 # Usage: bench/run_bench.sh [build-dir] [p1-json] [p2-json] [p3-json]
+#
+# Failure contract: every child failure is fatal — a broken build, a bench
+# binary that crashes or is killed, or a run that emits missing/empty/
+# unparseable JSON all exit nonzero.  No `|| true`, no output swallowing:
+# a green run means three validated result files exist.
 set -euo pipefail
+
+trap 'echo "run_bench.sh: FAILED at line $LINENO (exit $?)" >&2' ERR
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-$repo_root/build-bench}"
@@ -28,40 +35,43 @@ cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
 cmake --build "$build_dir" -j --target bench_p1_perf --target bench_runner_scaling \
       --target bench_campaign_scaling >/dev/null
 
-"$build_dir/bench_p1_perf" \
-  --benchmark_format=json \
-  --benchmark_out="$out_json" \
-  --benchmark_out_format=json \
-  --benchmark_min_time=0.2
+# Run a bench binary and insist its JSON landed: google-benchmark can exit 0
+# in some misconfiguration corners, so an existence check backs up the exit
+# status.
+run_bench() {
+  local binary="$1" out="$2"
+  rm -f "$out"
+  "$binary" \
+    --benchmark_format=json \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    --benchmark_min_time=0.2
+  [[ -s "$out" ]] || { echo "run_bench.sh: $binary produced no JSON at $out" >&2; exit 1; }
+}
 
+run_bench "$build_dir/bench_p1_perf" "$out_json"
 echo
-"$build_dir/bench_runner_scaling" \
-  --benchmark_format=json \
-  --benchmark_out="$out_json_p2" \
-  --benchmark_out_format=json \
-  --benchmark_min_time=0.2
-
+run_bench "$build_dir/bench_runner_scaling" "$out_json_p2"
 echo
-"$build_dir/bench_campaign_scaling" \
-  --benchmark_format=json \
-  --benchmark_out="$out_json_p3" \
-  --benchmark_out_format=json \
-  --benchmark_min_time=0.2
+run_bench "$build_dir/bench_campaign_scaling" "$out_json_p3"
 
 echo
 echo "Wrote $out_json"
 echo "Wrote $out_json_p2"
 echo "Wrote $out_json_p3"
-# Headline ratios: legacy vs fast end-to-end run_experiment (n=1024),
-# serial vs sharded run_correlated (n=256), and serial vs campaign KL
-# empirical scoring (378 targets, 1M demands each).
-python3 - "$out_json" "$out_json_p2" "$out_json_p3" <<'EOF' || true
+# Validate + summarize: the summary doubles as the JSON sanity gate, and its
+# failure fails the script (it used to be `|| true`-swallowed, so a bench
+# emitting garbage still yielded a green step).
+python3 - "$out_json" "$out_json_p2" "$out_json_p3" <<'EOF'
 import json, sys
 
 def load(path):
     with open(path) as f:
         data = json.load(f)
-    return {b["name"]: b["real_time"] for b in data["benchmarks"] if "real_time" in b}
+    benches = data.get("benchmarks", [])
+    if not benches:
+        sys.exit(f"run_bench.sh: {path} holds no benchmark entries")
+    return {b["name"]: b["real_time"] for b in benches if "real_time" in b}
 
 times = load(sys.argv[1])
 legacy = times.get("BM_RunExperimentLegacy/real_time")

@@ -1,0 +1,292 @@
+#include "mc/distributed.hpp"
+
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+extern char** environ;
+
+namespace reldiv::mc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// True iff cell `index` has a state file that validates against the run's
+/// fingerprint.  Any defect — absent, truncated, corrupt, wrong run, wrong
+/// index — reads as "not done", so the cell gets recomputed.  Uses the
+/// identity peek (container checks + checksum, no payload decode): this
+/// runs once per cell per scan, and kept-sample payloads can be large.
+bool cell_done(const fs::path& run_dir, std::uint64_t fingerprint, std::uint64_t index) {
+  const fs::path path = cell_state_path(run_dir, index);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return false;
+  try {
+    const cell_identity id = peek_cell_identity(read_file(path));
+    return id.fingerprint == fingerprint && id.cell_index == index;
+  } catch (const run_dir_error&) {
+    return false;
+  }
+}
+
+/// Try to take the claim marker for a cell.  O_CREAT|O_EXCL is atomic on a
+/// local filesystem: exactly one live worker wins.  Returns false when
+/// another worker holds the claim.
+bool try_claim(const fs::path& run_dir, std::uint64_t index) {
+  const fs::path path = cell_claim_path(run_dir, index);
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) return false;
+    throw run_dir_error("run_dir: cannot create claim " + path.string() + ": " +
+                        std::strerror(errno));
+  }
+  // Record the owner pid for operators debugging a wedged run.
+  const std::string pid = std::to_string(::getpid()) + "\n";
+  (void)!::write(fd, pid.data(), pid.size());
+  ::close(fd);
+  return true;
+}
+
+void release_claim(const fs::path& run_dir, std::uint64_t index) {
+  std::error_code ec;
+  fs::remove(cell_claim_path(run_dir, index), ec);
+}
+
+}  // namespace
+
+sweep_manifest init_run_dir(const scenario_axes& axes, const scenario_config& cfg,
+                            const fs::path& run_dir) {
+  sweep_manifest m;
+  m.axes = axes;
+  m.seed = cfg.seed;
+  m.shards = cfg.shards;
+  m.cell_count = enumerate_cells(axes).size();
+
+  std::error_code ec;
+  fs::create_directories(cells_dir(run_dir), ec);
+  if (ec) {
+    throw run_dir_error("run_dir: cannot create " + cells_dir(run_dir).string() + ": " +
+                        ec.message());
+  }
+
+  const fs::path mpath = manifest_path(run_dir);
+  const fs::path jpath = run_dir / "manifest.json";
+  if (fs::exists(mpath)) {
+    // Resume: the directory must belong to this exact sweep.
+    const sweep_manifest existing = decode_manifest(read_file(mpath));
+    if (manifest_fingerprint(existing) != manifest_fingerprint(m)) {
+      throw run_dir_error("run_dir: " + run_dir.string() +
+                          " holds a different sweep (manifest fingerprint mismatch); "
+                          "refusing to mix runs");
+    }
+    // Heal the human-readable mirror if a crash landed between the two
+    // writes (the binary manifest is the one that matters for correctness).
+    if (!fs::exists(jpath)) write_file_atomic(jpath, manifest_json(existing));
+    return existing;
+  }
+  // Mirror first: once the authoritative manifest exists the directory is
+  // live, and the mirror must already be in place for any later artifact
+  // upload or operator inspection.
+  write_file_atomic(jpath, manifest_json(m));
+  write_file_atomic(mpath, encode_manifest(m));
+  return m;
+}
+
+sweep_manifest load_run_manifest(const fs::path& run_dir) {
+  return decode_manifest(read_file(manifest_path(run_dir)));
+}
+
+void clean_stale_claims(const fs::path& run_dir) {
+  const fs::path dir = cells_dir(run_dir);
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".claim") || name.find(".tmp.") != std::string::npos) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+}
+
+std::vector<std::uint64_t> missing_cells(const fs::path& run_dir) {
+  const sweep_manifest m = load_run_manifest(run_dir);
+  const std::uint64_t fingerprint = manifest_fingerprint(m);
+  std::vector<std::uint64_t> missing;
+  for (std::uint64_t i = 0; i < m.cell_count; ++i) {
+    if (!cell_done(run_dir, fingerprint, i)) missing.push_back(i);
+  }
+  return missing;
+}
+
+worker_report run_pending_cells(const fs::path& run_dir, std::size_t max_cells) {
+  const sweep_manifest m = load_run_manifest(run_dir);
+  const std::uint64_t fingerprint = manifest_fingerprint(m);
+  const std::vector<scenario_cell> cells = enumerate_cells(m.axes);
+  const scenario_config cfg = m.config();
+
+  worker_report report;
+  for (std::uint64_t i = 0; i < cells.size(); ++i) {
+    if (max_cells > 0 && report.computed >= max_cells) break;
+    if (cell_done(run_dir, fingerprint, i)) {
+      ++report.skipped;
+      continue;
+    }
+    if (!try_claim(run_dir, i)) {
+      ++report.skipped;  // a live sibling owns it
+      continue;
+    }
+    // A sibling may have completed the cell between the done-check and our
+    // claim win; re-check before burning a cell's worth of compute on it.
+    if (cell_done(run_dir, fingerprint, i)) {
+      release_claim(run_dir, i);
+      ++report.skipped;
+      continue;
+    }
+    try {
+      cell_state state;
+      state.fingerprint = fingerprint;
+      state.cell_index = i;
+      state.result = run_scenario_cell(m.axes, cfg, cells[i], i);
+      write_file_atomic(cell_state_path(run_dir, i), encode_cell_state(state));
+    } catch (...) {
+      release_claim(run_dir, i);
+      throw;
+    }
+    release_claim(run_dir, i);
+    ++report.computed;
+  }
+  return report;
+}
+
+std::vector<int> spawn_sweep_workers(const std::string& worker_exe, const fs::path& run_dir,
+                                     unsigned workers, std::size_t max_cells) {
+  std::vector<std::string> args = {worker_exe, "--worker", "--run-dir", run_dir.string()};
+  if (max_cells > 0) {
+    args.emplace_back("--max-cells");
+    args.emplace_back(std::to_string(max_cells));
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  std::vector<int> pids;
+  pids.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pid_t pid = -1;
+    const int rc =
+        ::posix_spawn(&pid, worker_exe.c_str(), nullptr, nullptr, argv.data(), environ);
+    if (rc != 0) {
+      // Reap what we already launched before reporting: never leak workers.
+      (void)wait_sweep_workers(pids);
+      throw run_dir_error("run_dir: cannot spawn worker " + worker_exe + ": " +
+                          std::strerror(rc));
+    }
+    pids.push_back(static_cast<int>(pid));
+  }
+  return pids;
+}
+
+std::vector<int> wait_sweep_workers(const std::vector<int>& pids) {
+  std::vector<int> codes;
+  codes.reserve(pids.size());
+  for (const int pid : pids) {
+    int status = 0;
+    pid_t rc;
+    do {
+      rc = ::waitpid(static_cast<pid_t>(pid), &status, 0);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      codes.push_back(-1);
+    } else if (WIFEXITED(status)) {
+      codes.push_back(WEXITSTATUS(status));
+    } else if (WIFSIGNALED(status)) {
+      codes.push_back(128 + WTERMSIG(status));
+    } else {
+      codes.push_back(-1);
+    }
+  }
+  return codes;
+}
+
+grid_result merge_run_dir(const fs::path& run_dir) {
+  const sweep_manifest m = load_run_manifest(run_dir);
+  const std::uint64_t fingerprint = manifest_fingerprint(m);
+  const std::vector<scenario_cell> cells = enumerate_cells(m.axes);
+
+  grid_result out;
+  out.cells.reserve(cells.size());
+  for (std::uint64_t i = 0; i < cells.size(); ++i) {
+    cell_state state;
+    try {
+      state = decode_cell_state(read_file(cell_state_path(run_dir, i)));
+    } catch (const run_dir_error& e) {
+      throw run_dir_error("run_dir: cell " + std::to_string(i) +
+                          " missing or invalid — run is incomplete, rerun workers to "
+                          "resume (" +
+                          e.what() + ")");
+    }
+    if (state.fingerprint != fingerprint || state.cell_index != i) {
+      throw run_dir_error("run_dir: cell " + std::to_string(i) +
+                          " belongs to a different run or position");
+    }
+    // Belt and braces: the stored coordinates must be the enumerated ones
+    // (rho/omega compared as bits — they round-tripped through the wire
+    // format, and adjacent cells differ in exactly these float axes).
+    if (state.result.cell.universe_index != cells[i].universe_index ||
+        state.result.cell.universe != cells[i].universe ||
+        state.result.cell.samples != cells[i].samples ||
+        state.result.cell.aliasing != cells[i].aliasing ||
+        std::bit_cast<std::uint64_t>(state.result.cell.rho) !=
+            std::bit_cast<std::uint64_t>(cells[i].rho) ||
+        std::bit_cast<std::uint64_t>(state.result.cell.omega) !=
+            std::bit_cast<std::uint64_t>(cells[i].omega)) {
+      throw run_dir_error("run_dir: cell " + std::to_string(i) +
+                          " coordinates disagree with the manifest");
+    }
+    out.cells.push_back(std::move(state.result));
+  }
+  return out;
+}
+
+grid_result run_distributed_grid(const scenario_axes& axes, const scenario_config& cfg,
+                                 const distributed_config& dist,
+                                 const std::string& worker_exe) {
+  init_run_dir(axes, cfg, dist.run_dir);
+  clean_stale_claims(dist.run_dir);
+
+  const std::vector<std::uint64_t> pending = missing_cells(dist.run_dir);
+  if (!pending.empty()) {
+    if (dist.workers == 0) {
+      throw run_dir_error("run_dir: no workers requested but " +
+                          std::to_string(pending.size()) + " cells are pending");
+    }
+    // No point spawning more processes than there are pending cells.
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(dist.workers, pending.size()));
+    const std::vector<int> pids =
+        spawn_sweep_workers(worker_exe, dist.run_dir, workers, dist.max_cells);
+    const std::vector<int> codes = wait_sweep_workers(pids);
+
+    const std::vector<std::uint64_t> still_missing = missing_cells(dist.run_dir);
+    if (!still_missing.empty()) {
+      std::string detail = "worker exit codes:";
+      for (const int c : codes) detail += ' ' + std::to_string(c);
+      throw run_dir_error("run_dir: " + std::to_string(still_missing.size()) + " of " +
+                          std::to_string(enumerate_cells(axes).size()) +
+                          " cells still pending after workers finished (" + detail +
+                          "); rerun to resume");
+    }
+  }
+  return merge_run_dir(dist.run_dir);
+}
+
+}  // namespace reldiv::mc

@@ -1,0 +1,109 @@
+#pragma once
+// mc::distributed — the multi-process sweep driver (ROADMAP: "the missing
+// piece is a driver that fans cell/shard windows out to OS processes and
+// merges the serialized states").
+//
+// Execution model:
+//
+//   coordinator                    worker processes (reldiv_sweep --worker)
+//   -----------                    -------------------------------------
+//   init_run_dir(axes, cfg, dir)   load_run_manifest(dir)
+//   clean_stale_claims(dir)        for each cell index in manifest order:
+//   spawn N workers ------------->   skip if a valid state file exists
+//   waitpid all                      claim via O_CREAT|O_EXCL claim file
+//   merge_run_dir(dir)               run_scenario_cell(...)
+//                                    write state file atomically
+//                                    remove the claim
+//
+// The claim protocol is file-granular and crash-safe: a cell is DONE iff
+// its state file exists and validates (fingerprint + index + checksum); a
+// claim file only arbitrates between concurrently *live* workers.  A worker
+// SIGKILLed mid-cell leaves at worst a stale claim and a .tmp file, both
+// removed by clean_stale_claims on the next coordinator start — the cell is
+// simply recomputed.  Because every cell result is a pure function of
+// (manifest, cell index) and merge_run_dir assembles cells in ascending
+// index order, the merged grid_result is bit-identical to the
+// single-process run_scenario_grid for the same axes/config — regardless of
+// worker count, scheduling, or how many kill/resume cycles the run
+// suffered.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "mc/run_dir.hpp"
+#include "mc/scenario.hpp"
+
+namespace reldiv::mc {
+
+/// Create (or re-open) a run directory for the given sweep: make
+/// `<run_dir>/cells/`, write the binary manifest and its JSON mirror
+/// atomically.  Re-opening an existing directory is the resume path — the
+/// existing manifest must carry the same fingerprint, otherwise the
+/// directory belongs to a different sweep and run_dir_error is thrown.
+sweep_manifest init_run_dir(const scenario_axes& axes, const scenario_config& cfg,
+                            const std::filesystem::path& run_dir);
+
+/// Load and validate the manifest of an existing run directory.
+[[nodiscard]] sweep_manifest load_run_manifest(const std::filesystem::path& run_dir);
+
+/// Remove stale claim markers and orphaned .tmp files left by killed
+/// workers.  Only call when no worker is running against the directory (the
+/// coordinator calls it before spawning).
+void clean_stale_claims(const std::filesystem::path& run_dir);
+
+/// Cells whose state file is absent or fails validation, in ascending
+/// order.  Empty means the run directory is complete and mergeable.
+[[nodiscard]] std::vector<std::uint64_t> missing_cells(const std::filesystem::path& run_dir);
+
+struct worker_report {
+  std::size_t computed = 0;  ///< cells this worker claimed and wrote
+  std::size_t skipped = 0;   ///< cells already done or claimed by others
+};
+
+/// Worker body: walk the manifest's cells, claim-and-compute every cell
+/// that is not already done (a cell with an invalid/corrupt state file is
+/// recomputed and its file replaced).  Stops early after `max_cells`
+/// computed cells when max_cells > 0 — the deterministic-interruption hook
+/// the resume tests and CI use.  Safe to run concurrently from any number
+/// of processes on a shared filesystem.
+worker_report run_pending_cells(const std::filesystem::path& run_dir,
+                                std::size_t max_cells = 0);
+
+/// Spawn `workers` copies of `worker_exe --worker --run-dir <run_dir>`
+/// (plus `--max-cells N` when max_cells > 0) as detached OS processes.
+/// Returns their pids.
+[[nodiscard]] std::vector<int> spawn_sweep_workers(const std::string& worker_exe,
+                                                   const std::filesystem::path& run_dir,
+                                                   unsigned workers,
+                                                   std::size_t max_cells = 0);
+
+/// Wait for all pids; returns their exit codes (128+signal for a killed
+/// worker).
+[[nodiscard]] std::vector<int> wait_sweep_workers(const std::vector<int>& pids);
+
+/// Assemble the completed run directory into the exact single-process
+/// grid_result: read every cell state file in ascending index order,
+/// validate it against the manifest (fingerprint, index, cell coordinates),
+/// and append.  Throws run_dir_error if any cell is missing or invalid.
+[[nodiscard]] grid_result merge_run_dir(const std::filesystem::path& run_dir);
+
+struct distributed_config {
+  std::filesystem::path run_dir;
+  unsigned workers = 2;         ///< worker processes to spawn
+  std::size_t max_cells = 0;    ///< per-worker cell quota (0 = unlimited)
+};
+
+/// The full coordinator: init (or resume) the run directory, clean stale
+/// claims, fan the pending cells out to `cfg.workers` fresh processes of
+/// `worker_exe`, wait for them, and merge.  Throws run_dir_error when
+/// workers exit abnormally while cells are still missing, or when the
+/// directory is incomplete after the workers finish (e.g. a max_cells
+/// quota) — rerun to resume.
+[[nodiscard]] grid_result run_distributed_grid(const scenario_axes& axes,
+                                               const scenario_config& cfg,
+                                               const distributed_config& dist,
+                                               const std::string& worker_exe);
+
+}  // namespace reldiv::mc

@@ -1,0 +1,455 @@
+#include "mc/run_dir.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "stats/wire.hpp"
+
+namespace reldiv::mc {
+
+namespace fs = std::filesystem;
+using stats::wire_reader;
+using stats::wire_writer;
+
+namespace {
+
+// Vector codecs with a length sanity check: a mangled length prefix must
+// throw, not drive a multi-exabyte reserve.
+void write_f64_vec(wire_writer& w, const std::vector<double>& v) {
+  w.put_u64(v.size());
+  for (const double x : v) w.put_f64(x);
+}
+
+std::vector<double> read_f64_vec(wire_reader& r) {
+  const std::uint64_t n = r.get_u64();
+  if (n > r.remaining() / 8) throw stats::wire_error("wire: vector length exceeds buffer");
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.get_f64());
+  return v;
+}
+
+void write_u64_vec(wire_writer& w, const std::vector<std::uint64_t>& v) {
+  w.put_u64(v.size());
+  for (const std::uint64_t x : v) w.put_u64(x);
+}
+
+std::vector<std::uint64_t> read_u64_vec(wire_reader& r) {
+  const std::uint64_t n = r.get_u64();
+  if (n > r.remaining() / 8) throw stats::wire_error("wire: vector length exceeds buffer");
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.get_u64());
+  return v;
+}
+
+// Payload-level codecs (no container framing) so composite states can nest.
+
+void write_accumulator_payload(wire_writer& w, const accumulator_state& s) {
+  w.put_u64(s.samples);
+  stats::write_moments_state(w, s.theta1);
+  stats::write_moments_state(w, s.theta2);
+  w.put_u64(s.n1_positive);
+  w.put_u64(s.n2_positive);
+  w.put_u64(s.n1_zero_pfd);
+  w.put_u64(s.n2_zero_pfd);
+  w.put_u8(s.keeping_samples ? 1 : 0);
+  write_f64_vec(w, s.theta1_samples);
+  write_f64_vec(w, s.theta2_samples);
+}
+
+accumulator_state read_accumulator_payload(wire_reader& r) {
+  accumulator_state s;
+  s.samples = r.get_u64();
+  s.theta1 = stats::read_moments_state(r);
+  s.theta2 = stats::read_moments_state(r);
+  s.n1_positive = r.get_u64();
+  s.n2_positive = r.get_u64();
+  s.n1_zero_pfd = r.get_u64();
+  s.n2_zero_pfd = r.get_u64();
+  s.keeping_samples = r.get_u8() != 0;
+  s.theta1_samples = read_f64_vec(r);
+  s.theta2_samples = read_f64_vec(r);
+  return s;
+}
+
+void write_cell_payload(wire_writer& w, const cell_state& c) {
+  w.put_u64(c.fingerprint);
+  w.put_u64(c.cell_index);
+  const scenario_cell_result& res = c.result;
+  w.put_u64(res.cell.universe_index);
+  w.put_bytes(res.cell.universe);
+  w.put_f64(res.cell.rho);
+  w.put_f64(res.cell.omega);
+  w.put_u64(res.cell.aliasing);
+  w.put_u64(res.cell.samples);
+  w.put_u64(res.seed);
+  w.put_u32(res.shards);
+  write_accumulator_payload(w, res.state);
+  w.put_f64(res.mean_theta1);
+  w.put_f64(res.mean_theta2);
+  w.put_f64(res.prob_n1_positive);
+  w.put_f64(res.prob_n2_positive);
+  w.put_f64(res.risk_ratio);
+  w.put_f64(res.p_max_true);
+  w.put_f64(res.p_max_naive);
+}
+
+cell_state read_cell_payload(wire_reader& r) {
+  cell_state c;
+  c.fingerprint = r.get_u64();
+  c.cell_index = r.get_u64();
+  scenario_cell_result& res = c.result;
+  res.cell.universe_index = r.get_u64();
+  res.cell.universe = std::string(r.get_bytes());
+  res.cell.rho = r.get_f64();
+  res.cell.omega = r.get_f64();
+  res.cell.aliasing = r.get_u64();
+  res.cell.samples = r.get_u64();
+  res.seed = r.get_u64();
+  res.shards = r.get_u32();
+  res.state = read_accumulator_payload(r);
+  res.mean_theta1 = r.get_f64();
+  res.mean_theta2 = r.get_f64();
+  res.prob_n1_positive = r.get_f64();
+  res.prob_n2_positive = r.get_f64();
+  res.risk_ratio = r.get_f64();
+  res.p_max_true = r.get_f64();
+  res.p_max_naive = r.get_f64();
+  return c;
+}
+
+void write_manifest_payload(wire_writer& w, const sweep_manifest& m) {
+  w.put_u64(m.seed);
+  w.put_u32(m.shards);
+  w.put_f64(m.axes.stress);
+  w.put_u64(m.axes.universes.size());
+  for (const auto& [name, universe] : m.axes.universes) {
+    w.put_bytes(name);
+    w.put_u64(universe.size());
+    for (const auto& atom : universe.atoms()) {
+      w.put_f64(atom.p);
+      w.put_f64(atom.q);
+    }
+  }
+  write_f64_vec(w, m.axes.correlations);
+  write_f64_vec(w, m.axes.overlaps);
+  {
+    std::vector<std::uint64_t> aliasing(m.axes.aliasing.begin(), m.axes.aliasing.end());
+    write_u64_vec(w, aliasing);
+  }
+  write_u64_vec(w, m.axes.budgets);
+  w.put_u64(m.cell_count);
+}
+
+sweep_manifest read_manifest_payload(wire_reader& r) {
+  sweep_manifest m;
+  m.seed = r.get_u64();
+  m.shards = r.get_u32();
+  m.axes.stress = r.get_f64();
+  const std::uint64_t universes = r.get_u64();
+  if (universes > r.remaining() / 8) {
+    throw stats::wire_error("wire: universe count exceeds buffer");
+  }
+  m.axes.universes.reserve(universes);
+  for (std::uint64_t u = 0; u < universes; ++u) {
+    std::string name(r.get_bytes());
+    const std::uint64_t n = r.get_u64();
+    if (n > r.remaining() / 16) throw stats::wire_error("wire: universe size exceeds buffer");
+    std::vector<double> p;
+    std::vector<double> q;
+    p.reserve(n);
+    q.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      p.push_back(r.get_f64());
+      q.push_back(r.get_f64());
+    }
+    // allow_q_overflow: a deliberately pessimistic §6.2 universe must
+    // round-trip; per-atom range validation still applies.
+    m.axes.universes.emplace_back(
+        std::move(name), core::fault_universe::from_arrays(p, q, /*allow_q_overflow=*/true));
+  }
+  m.axes.correlations = read_f64_vec(r);
+  m.axes.overlaps = read_f64_vec(r);
+  {
+    const std::vector<std::uint64_t> aliasing = read_u64_vec(r);
+    m.axes.aliasing.assign(aliasing.begin(), aliasing.end());
+  }
+  m.axes.budgets = read_u64_vec(r);
+  m.cell_count = r.get_u64();
+  return m;
+}
+
+/// Decode a typed payload, translating wire/validation failures into
+/// run_dir_error (a payload that passed the checksum but fails to parse is a
+/// format bug or a version-1 file written by a newer incompatible writer).
+template <typename Fn>
+auto decode_payload(state_kind kind, std::string_view blob, Fn&& read) {
+  const std::string_view payload = decode_state_blob(kind, blob);
+  try {
+    wire_reader r(payload);
+    auto value = read(r);
+    r.expect_done();
+    return value;
+  } catch (const stats::wire_error& e) {
+    throw run_dir_error(std::string("run_dir: state payload malformed: ") + e.what());
+  } catch (const std::invalid_argument& e) {
+    throw run_dir_error(std::string("run_dir: state payload invalid: ") + e.what());
+  }
+}
+
+void append_json_f64_array(std::string& out, const std::vector<double>& v) {
+  out += '[';
+  char buf[64];
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof(buf), "%.17g", v[i]);
+    out += buf;
+  }
+  out += ']';
+}
+
+template <typename T>
+void append_json_u64_array(std::string& out, const std::vector<T>& v) {
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(static_cast<std::uint64_t>(v[i]));
+  }
+  out += ']';
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Container framing
+// ---------------------------------------------------------------------------
+
+std::string encode_state_blob(state_kind kind, std::string_view payload) {
+  wire_writer w;
+  for (const char c : kStateMagic) w.put_u8(static_cast<std::uint8_t>(c));
+  w.put_u32(kStateFormatVersion);
+  w.put_u32(static_cast<std::uint32_t>(kind));
+  w.put_u64(payload.size());
+  std::string blob = w.take();
+  blob.append(payload);
+  wire_writer checksum;
+  checksum.put_u64(stats::fnv1a64(blob));
+  blob.append(checksum.buffer());
+  return blob;
+}
+
+std::string_view decode_state_blob(state_kind expected_kind, std::string_view blob) {
+  constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8;  // magic + version + kind + length
+  constexpr std::size_t kChecksumSize = 8;
+  if (blob.size() < kHeaderSize + kChecksumSize) {
+    throw run_dir_error("run_dir: state file truncated (shorter than header)");
+  }
+  if (blob.substr(0, kStateMagic.size()) != kStateMagic) {
+    throw run_dir_error("run_dir: bad magic (not a reldiv state file)");
+  }
+  wire_reader header(blob.substr(kStateMagic.size()));
+  const std::uint32_t version = header.get_u32();
+  if (version != kStateFormatVersion) {
+    throw run_dir_error("run_dir: unsupported state format version " +
+                        std::to_string(version) + " (expected " +
+                        std::to_string(kStateFormatVersion) + ")");
+  }
+  const std::uint32_t kind = header.get_u32();
+  if (kind != static_cast<std::uint32_t>(expected_kind)) {
+    throw run_dir_error("run_dir: state kind mismatch (file holds kind " +
+                        std::to_string(kind) + ", expected " +
+                        std::to_string(static_cast<std::uint32_t>(expected_kind)) + ")");
+  }
+  const std::uint64_t payload_size = header.get_u64();
+  if (payload_size != blob.size() - kHeaderSize - kChecksumSize) {
+    throw run_dir_error("run_dir: state file truncated or padded (payload length " +
+                        std::to_string(payload_size) + " does not match file size)");
+  }
+  wire_reader trailer(blob.substr(blob.size() - kChecksumSize));
+  const std::uint64_t stored = trailer.get_u64();
+  const std::uint64_t actual = stats::fnv1a64(blob.substr(0, blob.size() - kChecksumSize));
+  if (stored != actual) {
+    throw run_dir_error("run_dir: state file checksum mismatch (corrupt)");
+  }
+  return blob.substr(kHeaderSize, payload_size);
+}
+
+// ---------------------------------------------------------------------------
+// Typed codecs
+// ---------------------------------------------------------------------------
+
+std::string encode_accumulator_state(const accumulator_state& s) {
+  wire_writer w;
+  write_accumulator_payload(w, s);
+  return encode_state_blob(state_kind::accumulator, w.buffer());
+}
+
+accumulator_state decode_accumulator_state(std::string_view blob) {
+  return decode_payload(state_kind::accumulator, blob,
+                        [](wire_reader& r) { return read_accumulator_payload(r); });
+}
+
+std::string encode_demand_tally(const demand_tally& t) {
+  wire_writer w;
+  w.put_u64(t.demands);
+  write_u64_vec(w, t.failures);
+  return encode_state_blob(state_kind::demand, w.buffer());
+}
+
+demand_tally decode_demand_tally(std::string_view blob) {
+  return decode_payload(state_kind::demand, blob, [](wire_reader& r) {
+    demand_tally t;
+    t.demands = r.get_u64();
+    t.failures = read_u64_vec(r);
+    return t;
+  });
+}
+
+std::string encode_cell_state(const cell_state& c) {
+  wire_writer w;
+  write_cell_payload(w, c);
+  return encode_state_blob(state_kind::scenario_cell, w.buffer());
+}
+
+cell_state decode_cell_state(std::string_view blob) {
+  return decode_payload(state_kind::scenario_cell, blob,
+                        [](wire_reader& r) { return read_cell_payload(r); });
+}
+
+cell_identity peek_cell_identity(std::string_view blob) {
+  const std::string_view payload = decode_state_blob(state_kind::scenario_cell, blob);
+  try {
+    wire_reader r(payload);
+    cell_identity id;
+    id.fingerprint = r.get_u64();
+    id.cell_index = r.get_u64();
+    return id;
+  } catch (const stats::wire_error& e) {
+    throw run_dir_error(std::string("run_dir: state payload malformed: ") + e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+std::string encode_manifest(const sweep_manifest& m) {
+  wire_writer w;
+  write_manifest_payload(w, m);
+  return encode_state_blob(state_kind::manifest, w.buffer());
+}
+
+sweep_manifest decode_manifest(std::string_view blob) {
+  sweep_manifest m = decode_payload(state_kind::manifest, blob,
+                                    [](wire_reader& r) { return read_manifest_payload(r); });
+  // The cell count is derived data; a mismatch means the axes and the count
+  // were written by disagreeing code, and no cell index can be trusted.
+  std::size_t expected = 0;
+  try {
+    expected = enumerate_cells(m.axes).size();
+  } catch (const std::invalid_argument& e) {
+    throw run_dir_error(std::string("run_dir: manifest axes invalid: ") + e.what());
+  }
+  if (expected != m.cell_count) {
+    throw run_dir_error("run_dir: manifest cell count " + std::to_string(m.cell_count) +
+                        " does not match its axes (" + std::to_string(expected) + " cells)");
+  }
+  return m;
+}
+
+std::uint64_t manifest_fingerprint(const sweep_manifest& m) {
+  wire_writer w;
+  write_manifest_payload(w, m);
+  return stats::fnv1a64(w.buffer());
+}
+
+std::string manifest_json(const sweep_manifest& m) {
+  std::string out = "{\n  \"format_version\": " + std::to_string(kStateFormatVersion);
+  out += ",\n  \"seed\": " + std::to_string(m.seed);
+  out += ",\n  \"shards\": " + std::to_string(m.shards);
+  out += ",\n  \"cell_count\": " + std::to_string(m.cell_count);
+  out += ",\n  \"fingerprint\": " + std::to_string(manifest_fingerprint(m));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", m.axes.stress);
+  out += ",\n  \"stress\": ";
+  out += buf;
+  out += ",\n  \"universes\": [";
+  for (std::size_t u = 0; u < m.axes.universes.size(); ++u) {
+    if (u > 0) out += ',';
+    out += "{\"name\":\"" + m.axes.universes[u].first +
+           "\",\"faults\":" + std::to_string(m.axes.universes[u].second.size()) + "}";
+  }
+  out += "]";
+  out += ",\n  \"correlations\": ";
+  append_json_f64_array(out, m.axes.correlations);
+  out += ",\n  \"overlaps\": ";
+  append_json_f64_array(out, m.axes.overlaps);
+  out += ",\n  \"aliasing\": ";
+  append_json_u64_array(out, m.axes.aliasing);
+  out += ",\n  \"budgets\": ";
+  append_json_u64_array(out, m.axes.budgets);
+  out += "\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem layer
+// ---------------------------------------------------------------------------
+
+void write_file_atomic(const fs::path& path, std::string_view contents) {
+  const fs::path tmp = path.string() + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw run_dir_error("run_dir: cannot open " + tmp.string() + " for writing");
+    f.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    f.flush();
+    if (!f) {
+      f.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw run_dir_error("run_dir: short write to " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw run_dir_error("run_dir: cannot rename " + tmp.string() + " into place");
+  }
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw run_dir_error("run_dir: cannot open " + path.string());
+  std::string contents((std::istreambuf_iterator<char>(f)),
+                       std::istreambuf_iterator<char>());
+  if (f.bad()) throw run_dir_error("run_dir: read error on " + path.string());
+  return contents;
+}
+
+fs::path manifest_path(const fs::path& run_dir) { return run_dir / "manifest.state"; }
+
+fs::path cells_dir(const fs::path& run_dir) { return run_dir / "cells"; }
+
+namespace {
+std::string cell_file_stem(std::uint64_t cell_index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "cell_%06llu",
+                static_cast<unsigned long long>(cell_index));
+  return buf;
+}
+}  // namespace
+
+fs::path cell_state_path(const fs::path& run_dir, std::uint64_t cell_index) {
+  return cells_dir(run_dir) / (cell_file_stem(cell_index) + ".state");
+}
+
+fs::path cell_claim_path(const fs::path& run_dir, std::uint64_t cell_index) {
+  return cells_dir(run_dir) / (cell_file_stem(cell_index) + ".claim");
+}
+
+}  // namespace reldiv::mc

@@ -1,0 +1,178 @@
+#pragma once
+// mc::run_dir — the versioned on-disk serialization layer of the
+// multi-process sweep driver (ROADMAP: "shard run_experiment / scenario
+// grids across *processes*.  accumulator_state / demand_tally are the wire
+// formats").
+//
+// Every state file is one self-describing container:
+//
+//   [0..7]   magic  "RELDIVST"
+//   [8..11]  u32 LE format version (kStateFormatVersion)
+//   [12..15] u32 LE state kind (state_kind enum)
+//   [16..23] u64 LE payload length
+//   [24..]   payload (stats::wire encoding of the state struct)
+//   [last 8] u64 LE FNV-1a checksum of every preceding byte
+//
+// decode rejects — with run_dir_error — short files, bad magic, unknown
+// versions, kind mismatches, length mismatches and checksum failures, so a
+// truncated or bit-rotted file from a killed worker can never silently
+// contribute to a merged result.
+//
+// A sweep *run directory* is:
+//
+//   <run_dir>/manifest.state      authoritative binary manifest (this
+//                                 container format, kind = manifest):
+//                                 the full scenario_axes (universes
+//                                 serialized atom-for-atom), grid seed and
+//                                 shard layout, and the enumerated cell
+//                                 count.  Its payload's FNV-1a hash is the
+//                                 run's *fingerprint*.
+//   <run_dir>/manifest.json       human-readable mirror (never parsed).
+//   <run_dir>/cells/cell_NNNNNN.state
+//                                 one completed cell: the run fingerprint,
+//                                 the cell index, and the full
+//                                 scenario_cell_result (coordinates, derived
+//                                 seed, shard layout, accumulator state,
+//                                 headline statistics — every double as its
+//                                 exact bit pattern).
+//   <run_dir>/cells/cell_NNNNNN.claim
+//                                 transient worker claim marker (see
+//                                 mc/distributed.hpp).
+//
+// Completed files are written atomically (write to a .tmp sibling, rename
+// into place), so a state file either exists in full or not at all — the
+// property mid-run SIGKILL + resume relies on.
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "mc/campaign.hpp"
+#include "mc/experiment.hpp"
+#include "mc/scenario.hpp"
+
+namespace reldiv::mc {
+
+/// Thrown on any malformed state file, manifest mismatch, or structurally
+/// invalid run directory.
+class run_dir_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::string_view kStateMagic = "RELDIVST";
+inline constexpr std::uint32_t kStateFormatVersion = 1;
+
+/// What a state-file container carries.  The kind is part of the header so
+/// a demand tally handed to the scenario-cell decoder fails loudly.
+enum class state_kind : std::uint32_t {
+  accumulator = 1,    ///< mc::accumulator_state
+  demand = 2,         ///< mc::demand_tally
+  scenario_cell = 3,  ///< mc::cell_state (fingerprint + index + result)
+  manifest = 4,       ///< mc::sweep_manifest
+};
+
+// ---------------------------------------------------------------------------
+// Container framing
+// ---------------------------------------------------------------------------
+
+/// Wrap a payload in the versioned, checksummed container.
+[[nodiscard]] std::string encode_state_blob(state_kind kind, std::string_view payload);
+
+/// Validate a container (magic, version, kind, length, checksum) and return
+/// its payload.  Throws run_dir_error on any defect.
+[[nodiscard]] std::string_view decode_state_blob(state_kind expected_kind,
+                                                 std::string_view blob);
+
+// ---------------------------------------------------------------------------
+// Typed state codecs (full container in, full container out)
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::string encode_accumulator_state(const accumulator_state& s);
+[[nodiscard]] accumulator_state decode_accumulator_state(std::string_view blob);
+
+[[nodiscard]] std::string encode_demand_tally(const demand_tally& t);
+[[nodiscard]] demand_tally decode_demand_tally(std::string_view blob);
+
+/// Payload of one completed scenario cell: which run it belongs to
+/// (manifest fingerprint), which cell it is, and the full result.
+struct cell_state {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t cell_index = 0;
+  scenario_cell_result result;
+};
+
+[[nodiscard]] std::string encode_cell_state(const cell_state& c);
+[[nodiscard]] cell_state decode_cell_state(std::string_view blob);
+
+/// A cell file's identity fields.  The fingerprint and index lead the
+/// payload precisely so done-ness scans can validate a file without
+/// materializing the full result (the accumulator's kept-sample vectors can
+/// dominate a large file).
+struct cell_identity {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t cell_index = 0;
+};
+
+/// Validate the container (magic, version, kind, length, checksum — the
+/// same integrity guarantees as decode_cell_state) and return just the
+/// identity prefix, with no payload decode or allocation.
+[[nodiscard]] cell_identity peek_cell_identity(std::string_view blob);
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// The run's identity: everything a worker process needs to reproduce the
+/// exact single-process grid — the full axes (universes atom-for-atom), the
+/// grid seed, the per-cell shard override, and the enumerated cell count
+/// (stored for validation; recomputed on load).
+struct sweep_manifest {
+  scenario_axes axes;
+  std::uint64_t seed = 1;
+  unsigned shards = 0;        ///< scenario_config::shards (0 = budget-scaled)
+  std::uint64_t cell_count = 0;
+
+  /// The scenario_config this manifest pins (threads left at the caller's
+  /// discretion — it is a throughput knob, never part of the identity).
+  [[nodiscard]] scenario_config config(unsigned threads = 0) const {
+    return scenario_config{.seed = seed, .threads = threads, .shards = shards};
+  }
+};
+
+[[nodiscard]] std::string encode_manifest(const sweep_manifest& m);
+[[nodiscard]] sweep_manifest decode_manifest(std::string_view blob);
+
+/// The run fingerprint: FNV-1a of the manifest *payload* bytes.  Recorded in
+/// every cell state file; a cell file from a different grid/seed/shard
+/// layout can never be merged into this run.
+[[nodiscard]] std::uint64_t manifest_fingerprint(const sweep_manifest& m);
+
+/// Human-readable JSON mirror of the manifest (axes summary + identity
+/// fields).  Written next to the binary manifest for operators and CI
+/// artifacts; never parsed back.
+[[nodiscard]] std::string manifest_json(const sweep_manifest& m);
+
+// ---------------------------------------------------------------------------
+// Filesystem layer
+// ---------------------------------------------------------------------------
+
+/// Write-temp + rename: `path` either holds the complete contents or is
+/// untouched, even if the writer is SIGKILLed mid-write.  The temp sibling
+/// lives in the same directory (rename is atomic only within a filesystem).
+void write_file_atomic(const std::filesystem::path& path, std::string_view contents);
+
+/// Read a whole file; throws run_dir_error if it cannot be opened/read.
+[[nodiscard]] std::string read_file(const std::filesystem::path& path);
+
+// Run-directory layout.
+[[nodiscard]] std::filesystem::path manifest_path(const std::filesystem::path& run_dir);
+[[nodiscard]] std::filesystem::path cells_dir(const std::filesystem::path& run_dir);
+[[nodiscard]] std::filesystem::path cell_state_path(const std::filesystem::path& run_dir,
+                                                    std::uint64_t cell_index);
+[[nodiscard]] std::filesystem::path cell_claim_path(const std::filesystem::path& run_dir,
+                                                    std::uint64_t cell_index);
+
+}  // namespace reldiv::mc

@@ -102,6 +102,11 @@ void append(std::string& out, const char* fmt, double v) {
 
 }  // namespace
 
+scenario_cell_result run_scenario_cell(const scenario_axes& axes, const scenario_config& cfg,
+                                       const scenario_cell& cell, std::size_t cell_index) {
+  return run_cell(axes, cfg, cell, cell_index);
+}
+
 std::vector<scenario_cell> enumerate_cells(const scenario_axes& axes) {
   if (axes.universes.empty() || axes.correlations.empty() || axes.overlaps.empty() ||
       axes.aliasing.empty() || axes.budgets.empty()) {

@@ -105,6 +105,16 @@ struct grid_result {
 /// for seeding and resume.
 [[nodiscard]] std::vector<scenario_cell> enumerate_cells(const scenario_axes& axes);
 
+/// Run one cell of the grid.  `cell` must be enumerate_cells(axes)[cell_index]
+/// — the index (not the coordinates) seeds the cell campaign, so the result
+/// is exactly the entry the full-grid run produces at that position.  This is
+/// the job unit the multi-process driver (mc::distributed) hands to worker
+/// processes.
+[[nodiscard]] scenario_cell_result run_scenario_cell(const scenario_axes& axes,
+                                                     const scenario_config& cfg,
+                                                     const scenario_cell& cell,
+                                                     std::size_t cell_index);
+
 /// Run cells [cell_begin, cell_end) of the grid, appending to `out.cells`
 /// (which must already hold exactly cell_begin results — the checkpointed
 /// prefix).  Cells execute on the shared worker pool but merge in ascending

@@ -1,0 +1,36 @@
+#include "stats/wire.hpp"
+
+namespace reldiv::stats {
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void write_moments_state(wire_writer& w, const running_moments_state& s) {
+  w.put_u64(s.count);
+  w.put_f64(s.m1);
+  w.put_f64(s.m2);
+  w.put_f64(s.m3);
+  w.put_f64(s.m4);
+  w.put_f64(s.min);
+  w.put_f64(s.max);
+}
+
+running_moments_state read_moments_state(wire_reader& r) {
+  running_moments_state s;
+  s.count = r.get_u64();
+  s.m1 = r.get_f64();
+  s.m2 = r.get_f64();
+  s.m3 = r.get_f64();
+  s.m4 = r.get_f64();
+  s.min = r.get_f64();
+  s.max = r.get_f64();
+  return s;
+}
+
+}  // namespace reldiv::stats

@@ -1,0 +1,119 @@
+#pragma once
+// Portable binary wire format for checkpoint/state files: fixed-width
+// little-endian integers and IEEE-754 doubles carried as their uint64 bit
+// patterns, so a state serialized on any host decodes bit-exactly on any
+// other.  This is the byte-level substrate of mc::run_dir — the on-disk
+// currency of the multi-process sweep driver — and of any future
+// cross-host transport of accumulator snapshots.
+//
+// The format is deliberately dumb: a writer appends scalars in declaration
+// order, a reader consumes them in the same order, and every read is
+// bounds-checked (a short or mangled buffer throws wire_error instead of
+// yielding garbage).  Framing, versioning and checksumming live one layer
+// up, in mc::run_dir.
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "stats/descriptive.hpp"
+
+namespace reldiv::stats {
+
+/// Thrown on any malformed wire buffer: truncation, oversized length
+/// prefixes, trailing bytes where none are allowed.
+class wire_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only little-endian encoder.
+class wire_writer {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  /// Doubles travel as their exact bit pattern: NaN payloads, signed zeros
+  /// and subnormals all round-trip.
+  void put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+  /// Length-prefixed byte string (u64 length + raw bytes).
+  void put_bytes(std::string_view bytes) {
+    put_u64(bytes.size());
+    buf_.append(bytes);
+  }
+
+  [[nodiscard]] const std::string& buffer() const noexcept { return buf_; }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed buffer.
+class wire_reader {
+ public:
+  explicit wire_reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t get_u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  [[nodiscard]] std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  [[nodiscard]] double get_f64() { return std::bit_cast<double>(get_u64()); }
+  [[nodiscard]] std::string_view get_bytes() {
+    const std::uint64_t n = get_u64();
+    need(n);
+    const std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  /// Require the buffer to be fully consumed (catches trailing garbage).
+  void expect_done() const {
+    if (!done()) throw wire_error("wire: trailing bytes after payload");
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > data_.size() - pos_) throw wire_error("wire: truncated buffer");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit hash — the state-file integrity checksum.  Not
+/// cryptographic; it guards against truncation and bit rot, not tampering.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Codec for the running_moments checkpoint snapshot (count + 4 moments +
+/// min/max), the innermost layer of every accumulator state file.
+void write_moments_state(wire_writer& w, const running_moments_state& s);
+[[nodiscard]] running_moments_state read_moments_state(wire_reader& r);
+
+}  // namespace reldiv::stats

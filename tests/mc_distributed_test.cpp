@@ -1,0 +1,226 @@
+// mc::distributed — the multi-process sweep driver.  The contract under
+// test: however a run directory gets filled (one process, many processes,
+// interrupted and resumed, corrupted and healed), the merged grid_result is
+// bit-identical to the single-process run_scenario_grid for the same
+// axes/config.
+#include "mc/distributed.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/generators.hpp"
+#include "mc/run_dir.hpp"
+#include "mc/scenario.hpp"
+
+namespace mc = reldiv::mc;
+namespace core = reldiv::core;
+namespace fs = std::filesystem;
+
+namespace {
+
+mc::scenario_axes test_axes() {
+  mc::scenario_axes axes;
+  axes.universes.emplace_back("grade",
+                              core::make_safety_grade_universe(24, 0.0, 0.05, 0.6, 5));
+  axes.universes.emplace_back("small",
+                              core::make_many_small_faults_universe(64, 0.05, 0.3, 0.8, 0.2, 6));
+  axes.correlations = {0.0, 0.4};
+  axes.overlaps = {1.0, 0.5};
+  axes.aliasing = {1, 2};
+  axes.budgets = {2'000};
+  return axes;  // 16 cells
+}
+
+mc::scenario_config test_config() { return {.seed = 31337, .threads = 2, .shards = 0}; }
+
+class DistributedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Pid-qualified so concurrent test processes (parallel CI builds on one
+    // runner) can't remove_all each other's live run directories.
+    dir_ = fs::temp_directory_path() /
+           ("reldiv_distributed_test_" + std::to_string(::getpid()) + "_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(DistributedTest, InitWritesManifestAndJsonMirror) {
+  const auto m = mc::init_run_dir(test_axes(), test_config(), dir_);
+  EXPECT_EQ(m.cell_count, 16u);
+  EXPECT_EQ(m.seed, 31337u);
+  EXPECT_TRUE(fs::exists(mc::manifest_path(dir_)));
+  EXPECT_TRUE(fs::exists(dir_ / "manifest.json"));
+  EXPECT_TRUE(fs::exists(mc::cells_dir(dir_)));
+
+  const auto loaded = mc::load_run_manifest(dir_);
+  EXPECT_EQ(mc::manifest_fingerprint(loaded), mc::manifest_fingerprint(m));
+
+  // Re-init with the same sweep resumes; with a different seed it refuses.
+  EXPECT_NO_THROW((void)mc::init_run_dir(test_axes(), test_config(), dir_));
+  mc::scenario_config other = test_config();
+  other.seed = 1;
+  EXPECT_THROW((void)mc::init_run_dir(test_axes(), other, dir_), mc::run_dir_error);
+  // threads is a throughput knob, not identity: changing it still resumes.
+  mc::scenario_config threads = test_config();
+  threads.threads = 7;
+  EXPECT_NO_THROW((void)mc::init_run_dir(test_axes(), threads, dir_));
+}
+
+TEST_F(DistributedTest, WorkerFillsDirectoryAndMergeEqualsSingleProcess) {
+  const auto axes = test_axes();
+  const auto cfg = test_config();
+  mc::init_run_dir(axes, cfg, dir_);
+
+  const auto report = mc::run_pending_cells(dir_);
+  EXPECT_EQ(report.computed, 16u);
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_TRUE(mc::missing_cells(dir_).empty());
+
+  const mc::grid_result merged = mc::merge_run_dir(dir_);
+  const mc::grid_result single = mc::run_scenario_grid(axes, cfg);
+  EXPECT_EQ(merged.to_csv(), single.to_csv());
+  EXPECT_EQ(merged.to_json(), single.to_json());
+
+  // A second worker pass is a no-op: everything reads as done.
+  const auto again = mc::run_pending_cells(dir_);
+  EXPECT_EQ(again.computed, 0u);
+  EXPECT_EQ(again.skipped, 16u);
+}
+
+TEST_F(DistributedTest, InterruptedRunResumesBitIdentical) {
+  const auto axes = test_axes();
+  const auto cfg = test_config();
+  mc::init_run_dir(axes, cfg, dir_);
+
+  // "Kill" the worker after 5 cells: exactly the surviving-state-files
+  // situation a SIGKILL leaves behind.
+  const auto partial = mc::run_pending_cells(dir_, /*max_cells=*/5);
+  EXPECT_EQ(partial.computed, 5u);
+  EXPECT_EQ(mc::missing_cells(dir_).size(), 11u);
+  EXPECT_THROW((void)mc::merge_run_dir(dir_), mc::run_dir_error);
+
+  const auto resumed = mc::run_pending_cells(dir_);
+  EXPECT_EQ(resumed.computed, 11u);
+  EXPECT_EQ(resumed.skipped, 5u);
+
+  const mc::grid_result merged = mc::merge_run_dir(dir_);
+  const mc::grid_result single = mc::run_scenario_grid(axes, cfg);
+  EXPECT_EQ(merged.to_csv(), single.to_csv());
+  EXPECT_EQ(merged.to_json(), single.to_json());
+}
+
+TEST_F(DistributedTest, StaleClaimsAreSkippedThenCleaned) {
+  const auto axes = test_axes();
+  const auto cfg = test_config();
+  mc::init_run_dir(axes, cfg, dir_);
+
+  // A claim left by a killed worker makes cell 2 look owned...
+  std::ofstream(mc::cell_claim_path(dir_, 2)) << "9999\n";
+  std::ofstream(mc::cells_dir(dir_) / "cell_000003.state.tmp.9999") << "partial";
+  const auto report = mc::run_pending_cells(dir_);
+  EXPECT_EQ(report.computed, 15u);
+  EXPECT_EQ(mc::missing_cells(dir_), std::vector<std::uint64_t>{2});
+
+  // ...until the coordinator sweeps stale claims and orphaned temps.
+  mc::clean_stale_claims(dir_);
+  EXPECT_FALSE(fs::exists(mc::cell_claim_path(dir_, 2)));
+  EXPECT_FALSE(fs::exists(mc::cells_dir(dir_) / "cell_000003.state.tmp.9999"));
+  (void)mc::run_pending_cells(dir_);
+  EXPECT_TRUE(mc::missing_cells(dir_).empty());
+  EXPECT_EQ(mc::merge_run_dir(dir_).to_csv(), mc::run_scenario_grid(axes, cfg).to_csv());
+}
+
+TEST_F(DistributedTest, CorruptCellFileIsRecomputed) {
+  const auto axes = test_axes();
+  const auto cfg = test_config();
+  mc::init_run_dir(axes, cfg, dir_);
+  (void)mc::run_pending_cells(dir_);
+
+  // Flip one byte in a completed cell: it must read as "not done" ...
+  const fs::path victim = mc::cell_state_path(dir_, 7);
+  std::string blob = mc::read_file(victim);
+  blob[blob.size() / 2] = static_cast<char>(blob[blob.size() / 2] ^ 0x10);
+  mc::write_file_atomic(victim, blob);
+  EXPECT_EQ(mc::missing_cells(dir_), std::vector<std::uint64_t>{7});
+  EXPECT_THROW((void)mc::merge_run_dir(dir_), mc::run_dir_error);
+
+  // ... and a resume heals it, landing on the exact single-process result.
+  const auto report = mc::run_pending_cells(dir_);
+  EXPECT_EQ(report.computed, 1u);
+  EXPECT_EQ(mc::merge_run_dir(dir_).to_csv(), mc::run_scenario_grid(axes, cfg).to_csv());
+}
+
+TEST_F(DistributedTest, ForeignCellFileRejected) {
+  const auto axes = test_axes();
+  mc::init_run_dir(axes, test_config(), dir_);
+  (void)mc::run_pending_cells(dir_);
+
+  // Plant cell 0 of a different sweep (other seed) at position 0.
+  const fs::path foreign_dir = dir_.string() + ".foreign";
+  mc::scenario_config other = test_config();
+  other.seed = 777;
+  mc::init_run_dir(axes, other, foreign_dir);
+  (void)mc::run_pending_cells(foreign_dir, 1);
+  fs::copy_file(mc::cell_state_path(foreign_dir, 0), mc::cell_state_path(dir_, 0),
+                fs::copy_options::overwrite_existing);
+  fs::remove_all(foreign_dir);
+
+  // The fingerprint check refuses to merge it, and resume recomputes it.
+  EXPECT_THROW((void)mc::merge_run_dir(dir_), mc::run_dir_error);
+  EXPECT_EQ(mc::missing_cells(dir_), std::vector<std::uint64_t>{0});
+  (void)mc::run_pending_cells(dir_);
+  EXPECT_EQ(mc::merge_run_dir(dir_).to_csv(),
+            mc::run_scenario_grid(axes, test_config()).to_csv());
+}
+
+#ifdef RELDIV_SWEEP_BIN
+
+TEST_F(DistributedTest, FourWorkerProcessesMatchSingleProcessBitForBit) {
+  const auto axes = test_axes();
+  const auto cfg = test_config();
+  const mc::distributed_config dist{.run_dir = dir_, .workers = 4};
+
+  const mc::grid_result merged =
+      mc::run_distributed_grid(axes, cfg, dist, RELDIV_SWEEP_BIN);
+  const mc::grid_result single = mc::run_scenario_grid(axes, cfg);
+  EXPECT_EQ(merged.to_csv(), single.to_csv());
+  EXPECT_EQ(merged.to_json(), single.to_json());
+}
+
+TEST_F(DistributedTest, KilledMultiProcessRunResumesBitIdentical) {
+  const auto axes = test_axes();
+  const auto cfg = test_config();
+  mc::init_run_dir(axes, cfg, dir_);
+
+  // First wave: 4 real worker processes, each quota'd to one cell — the
+  // deterministic stand-in for a SIGKILL that leaves 4 of 16 state files.
+  const auto pids = mc::spawn_sweep_workers(RELDIV_SWEEP_BIN, dir_, 4, /*max_cells=*/1);
+  const auto codes = mc::wait_sweep_workers(pids);
+  for (const int c : codes) EXPECT_EQ(c, 0);
+  EXPECT_EQ(mc::missing_cells(dir_).size(), 12u);
+
+  // Resume with a fresh coordinator: identical to the uninterrupted run.
+  const mc::distributed_config dist{.run_dir = dir_, .workers = 4};
+  const mc::grid_result merged =
+      mc::run_distributed_grid(axes, cfg, dist, RELDIV_SWEEP_BIN);
+  EXPECT_EQ(merged.to_csv(), mc::run_scenario_grid(axes, cfg).to_csv());
+}
+
+TEST_F(DistributedTest, MissingWorkerBinaryReportsCleanly) {
+  const auto axes = test_axes();
+  const mc::distributed_config dist{.run_dir = dir_, .workers = 2};
+  EXPECT_THROW(
+      (void)mc::run_distributed_grid(axes, test_config(), dist, "/nonexistent/worker"),
+      mc::run_dir_error);
+}
+
+#endif  // RELDIV_SWEEP_BIN
+
+}  // namespace

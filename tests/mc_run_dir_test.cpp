@@ -1,0 +1,341 @@
+// mc::run_dir — the versioned on-disk state-file layer of the multi-process
+// sweep driver: exact round-trips for all three state types, loud rejection
+// of truncated / version-mismatched / corrupt files, atomic writes, and the
+// manifest codec.
+#include "mc/run_dir.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "core/generators.hpp"
+#include "mc/scenario.hpp"
+#include "stats/wire.hpp"
+
+namespace mc = reldiv::mc;
+namespace core = reldiv::core;
+namespace fs = std::filesystem;
+
+namespace {
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+mc::accumulator_state sample_accumulator_state(bool keep_samples) {
+  mc::experiment_accumulator acc(keep_samples);
+  acc.add(1e-4, 2e-6, true, false);
+  acc.add(0.0, 0.0, false, false);
+  acc.add(3e-3, 1e-3, true, true);
+  return acc.state();
+}
+
+void expect_states_equal(const mc::accumulator_state& a, const mc::accumulator_state& b) {
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.theta1.count, b.theta1.count);
+  EXPECT_TRUE(bits_equal(a.theta1.m1, b.theta1.m1));
+  EXPECT_TRUE(bits_equal(a.theta1.m2, b.theta1.m2));
+  EXPECT_TRUE(bits_equal(a.theta2.m3, b.theta2.m3));
+  EXPECT_TRUE(bits_equal(a.theta2.m4, b.theta2.m4));
+  EXPECT_TRUE(bits_equal(a.theta2.min, b.theta2.min));
+  EXPECT_TRUE(bits_equal(a.theta2.max, b.theta2.max));
+  EXPECT_EQ(a.n1_positive, b.n1_positive);
+  EXPECT_EQ(a.n2_positive, b.n2_positive);
+  EXPECT_EQ(a.n1_zero_pfd, b.n1_zero_pfd);
+  EXPECT_EQ(a.n2_zero_pfd, b.n2_zero_pfd);
+  EXPECT_EQ(a.keeping_samples, b.keeping_samples);
+  EXPECT_EQ(a.theta1_samples, b.theta1_samples);
+  EXPECT_EQ(a.theta2_samples, b.theta2_samples);
+}
+
+mc::scenario_axes small_axes() {
+  mc::scenario_axes axes;
+  axes.universes.emplace_back("tiny",
+                              core::make_safety_grade_universe(16, 0.0, 0.05, 0.6, 3));
+  axes.correlations = {0.0, 0.25};
+  axes.overlaps = {1.0, 0.5};
+  axes.aliasing = {1, 2};
+  axes.budgets = {500};
+  return axes;
+}
+
+/// Patch raw bytes of a state blob and restore the trailing checksum, so a
+/// test can reach the header checks behind it.
+std::string patch_and_rechecksum(std::string blob, std::size_t offset, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    blob[offset + static_cast<std::size_t>(i)] =
+        static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  reldiv::stats::wire_writer w;
+  w.put_u64(reldiv::stats::fnv1a64(std::string_view(blob).substr(0, blob.size() - 8)));
+  blob.replace(blob.size() - 8, 8, w.buffer());
+  return blob;
+}
+
+class RunDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Pid-qualified so concurrent test processes can't clobber each other.
+    dir_ = fs::temp_directory_path() /
+           ("reldiv_run_dir_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+TEST(RunDirCodecTest, AccumulatorStateRoundTrip) {
+  const auto s = sample_accumulator_state(/*keep_samples=*/false);
+  const auto back = mc::decode_accumulator_state(mc::encode_accumulator_state(s));
+  expect_states_equal(s, back);
+
+  // The resumed accumulator equals the original exactly.
+  auto a = mc::experiment_accumulator::from_state(s);
+  auto b = mc::experiment_accumulator::from_state(back);
+  a.add(1e-5, 1e-7, true, true);
+  b.add(1e-5, 1e-7, true, true);
+  EXPECT_EQ(a.theta1().mean(), b.theta1().mean());
+  EXPECT_EQ(a.theta2().variance(), b.theta2().variance());
+}
+
+TEST(RunDirCodecTest, AccumulatorStateWithKeptSamplesRoundTrip) {
+  const auto s = sample_accumulator_state(/*keep_samples=*/true);
+  ASSERT_TRUE(s.keeping_samples);
+  ASSERT_FALSE(s.theta1_samples.empty());
+  expect_states_equal(s, mc::decode_accumulator_state(mc::encode_accumulator_state(s)));
+}
+
+TEST(RunDirCodecTest, DemandTallyRoundTrip) {
+  mc::demand_tally t;
+  t.demands = 1'000'000;
+  t.failures = {0, 17, 3, 999'999, 42};
+  const auto back = mc::decode_demand_tally(mc::encode_demand_tally(t));
+  EXPECT_EQ(back.demands, t.demands);
+  EXPECT_EQ(back.failures, t.failures);
+
+  // A decoded tally is a first-class checkpoint: merging works as before.
+  mc::demand_tally other;
+  other.demands = t.demands;
+  other.failures = {1, 1, 1, 1, 1};
+  mc::demand_tally merged = back;
+  merged.merge(other);
+  EXPECT_EQ(merged.failures[3], 1'000'000u);
+}
+
+TEST(RunDirCodecTest, CellStateRoundTrip) {
+  const mc::scenario_axes axes = small_axes();
+  const auto cells = mc::enumerate_cells(axes);
+  const mc::scenario_config cfg{.seed = 99, .threads = 1};
+  mc::cell_state cell;
+  cell.fingerprint = 0xfeedface;
+  cell.cell_index = 3;
+  cell.result = mc::run_scenario_cell(axes, cfg, cells[3], 3);
+
+  const auto back = mc::decode_cell_state(mc::encode_cell_state(cell));
+  EXPECT_EQ(back.fingerprint, cell.fingerprint);
+  EXPECT_EQ(back.cell_index, cell.cell_index);
+  EXPECT_EQ(back.result.cell.universe, cell.result.cell.universe);
+  EXPECT_EQ(back.result.cell.universe_index, cell.result.cell.universe_index);
+  EXPECT_TRUE(bits_equal(back.result.cell.rho, cell.result.cell.rho));
+  EXPECT_TRUE(bits_equal(back.result.cell.omega, cell.result.cell.omega));
+  EXPECT_EQ(back.result.cell.aliasing, cell.result.cell.aliasing);
+  EXPECT_EQ(back.result.cell.samples, cell.result.cell.samples);
+  EXPECT_EQ(back.result.seed, cell.result.seed);
+  EXPECT_EQ(back.result.shards, cell.result.shards);
+  expect_states_equal(back.result.state, cell.result.state);
+  EXPECT_TRUE(bits_equal(back.result.mean_theta1, cell.result.mean_theta1));
+  EXPECT_TRUE(bits_equal(back.result.mean_theta2, cell.result.mean_theta2));
+  EXPECT_TRUE(bits_equal(back.result.prob_n1_positive, cell.result.prob_n1_positive));
+  EXPECT_TRUE(bits_equal(back.result.prob_n2_positive, cell.result.prob_n2_positive));
+  EXPECT_TRUE(bits_equal(back.result.risk_ratio, cell.result.risk_ratio));
+  EXPECT_TRUE(bits_equal(back.result.p_max_true, cell.result.p_max_true));
+  EXPECT_TRUE(bits_equal(back.result.p_max_naive, cell.result.p_max_naive));
+}
+
+TEST(RunDirCodecTest, CellIdentityPeekMatchesFullDecode) {
+  const mc::scenario_axes axes = small_axes();
+  const auto cells = mc::enumerate_cells(axes);
+  mc::cell_state cell;
+  cell.fingerprint = 0xabad1deaULL;
+  cell.cell_index = 5;
+  cell.result = mc::run_scenario_cell(axes, {.seed = 4, .threads = 1}, cells[5], 5);
+  const std::string blob = mc::encode_cell_state(cell);
+
+  // The peek sees the same identity the full decode does...
+  const mc::cell_identity id = mc::peek_cell_identity(blob);
+  EXPECT_EQ(id.fingerprint, cell.fingerprint);
+  EXPECT_EQ(id.cell_index, cell.cell_index);
+
+  // ...with the full container integrity checks: corruption anywhere in the
+  // file (even deep in the payload the peek never parses) is rejected.
+  std::string corrupt = blob;
+  corrupt[corrupt.size() - 12] = static_cast<char>(corrupt[corrupt.size() - 12] ^ 0x01);
+  EXPECT_THROW((void)mc::peek_cell_identity(corrupt), mc::run_dir_error);
+  EXPECT_THROW((void)mc::peek_cell_identity(std::string_view(blob).substr(0, 30)),
+               mc::run_dir_error);
+}
+
+TEST(RunDirCodecTest, ManifestRoundTrip) {
+  mc::sweep_manifest m;
+  m.axes = small_axes();
+  m.seed = 424242;
+  m.shards = 8;
+  m.cell_count = mc::enumerate_cells(m.axes).size();
+
+  const auto back = mc::decode_manifest(mc::encode_manifest(m));
+  EXPECT_EQ(back.seed, m.seed);
+  EXPECT_EQ(back.shards, m.shards);
+  EXPECT_EQ(back.cell_count, m.cell_count);
+  EXPECT_TRUE(bits_equal(back.axes.stress, m.axes.stress));
+  ASSERT_EQ(back.axes.universes.size(), m.axes.universes.size());
+  EXPECT_EQ(back.axes.universes[0].first, "tiny");
+  // Universe equality is atom-wise — the SoA caches rebuild identically.
+  EXPECT_TRUE(back.axes.universes[0].second == m.axes.universes[0].second);
+  EXPECT_EQ(back.axes.correlations, m.axes.correlations);
+  EXPECT_EQ(back.axes.overlaps, m.axes.overlaps);
+  EXPECT_EQ(back.axes.aliasing, m.axes.aliasing);
+  EXPECT_EQ(back.axes.budgets, m.axes.budgets);
+
+  // Same identity -> same fingerprint; different seed -> different one.
+  EXPECT_EQ(mc::manifest_fingerprint(back), mc::manifest_fingerprint(m));
+  mc::sweep_manifest other = m;
+  other.seed = 7;
+  EXPECT_NE(mc::manifest_fingerprint(other), mc::manifest_fingerprint(m));
+}
+
+TEST(RunDirCodecTest, ManifestCellCountMismatchRejected) {
+  mc::sweep_manifest m;
+  m.axes = small_axes();
+  m.seed = 1;
+  m.cell_count = mc::enumerate_cells(m.axes).size() + 1;  // lie
+  EXPECT_THROW((void)mc::decode_manifest(mc::encode_manifest(m)), mc::run_dir_error);
+}
+
+// ---------------------------------------------------------------------------
+// Rejection: truncation, version, kind, corruption
+// ---------------------------------------------------------------------------
+
+TEST(RunDirCodecTest, TruncatedFilesRejected) {
+  const std::string blob = mc::encode_accumulator_state(sample_accumulator_state(false));
+  // Every strict prefix must be rejected: header-short, payload-short, and
+  // checksum-short files all read as "truncated", never as garbage data.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{7}, std::size_t{23},
+                                blob.size() / 2, blob.size() - 9, blob.size() - 1}) {
+    EXPECT_THROW((void)mc::decode_accumulator_state(std::string_view(blob).substr(0, cut)),
+                 mc::run_dir_error)
+        << "cut=" << cut;
+  }
+}
+
+TEST(RunDirCodecTest, TrailingGarbageRejected) {
+  std::string blob = mc::encode_accumulator_state(sample_accumulator_state(false));
+  blob += "extra";
+  EXPECT_THROW((void)mc::decode_accumulator_state(blob), mc::run_dir_error);
+}
+
+TEST(RunDirCodecTest, BadMagicRejected) {
+  std::string blob = mc::encode_accumulator_state(sample_accumulator_state(false));
+  blob[0] = 'X';
+  EXPECT_THROW((void)mc::decode_accumulator_state(blob), mc::run_dir_error);
+}
+
+TEST(RunDirCodecTest, VersionMismatchRejected) {
+  const std::string blob = mc::encode_accumulator_state(sample_accumulator_state(false));
+  // Bump the version field (offset 8) and repair the checksum so the version
+  // check itself — not the checksum — is what fires.
+  const std::string bumped =
+      patch_and_rechecksum(blob, 8, mc::kStateFormatVersion + 1);
+  try {
+    (void)mc::decode_accumulator_state(bumped);
+    FAIL() << "version mismatch not detected";
+  } catch (const mc::run_dir_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+  }
+}
+
+TEST(RunDirCodecTest, KindMismatchRejected) {
+  mc::demand_tally t;
+  t.demands = 10;
+  t.failures = {1, 2};
+  const std::string blob = mc::encode_demand_tally(t);
+  try {
+    (void)mc::decode_accumulator_state(blob);
+    FAIL() << "kind mismatch not detected";
+  } catch (const mc::run_dir_error& e) {
+    EXPECT_NE(std::string(e.what()).find("kind"), std::string::npos) << e.what();
+  }
+}
+
+TEST(RunDirCodecTest, CorruptPayloadRejected) {
+  std::string blob = mc::encode_accumulator_state(sample_accumulator_state(false));
+  blob[30] = static_cast<char>(blob[30] ^ 0x40);  // flip a payload bit
+  try {
+    (void)mc::decode_accumulator_state(blob);
+    FAIL() << "corruption not detected";
+  } catch (const mc::run_dir_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos) << e.what();
+  }
+}
+
+TEST(RunDirCodecTest, CorruptChecksumRejected) {
+  std::string blob = mc::encode_accumulator_state(sample_accumulator_state(false));
+  blob.back() = static_cast<char>(blob.back() ^ 0x01);
+  EXPECT_THROW((void)mc::decode_accumulator_state(blob), mc::run_dir_error);
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem layer
+// ---------------------------------------------------------------------------
+
+TEST_F(RunDirTest, AtomicWriteLeavesNoTemp) {
+  const fs::path target = dir_ / "state.bin";
+  mc::write_file_atomic(target, "payload-bytes");
+  EXPECT_EQ(mc::read_file(target), "payload-bytes");
+  // Overwrite goes through the same tmp+rename path.
+  mc::write_file_atomic(target, "second");
+  EXPECT_EQ(mc::read_file(target), "second");
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u) << "tmp sibling left behind";
+}
+
+TEST_F(RunDirTest, ReadMissingFileThrows) {
+  EXPECT_THROW((void)mc::read_file(dir_ / "nope.state"), mc::run_dir_error);
+}
+
+TEST_F(RunDirTest, CellPathsAreStable) {
+  EXPECT_EQ(mc::cell_state_path(dir_, 7).filename().string(), "cell_000007.state");
+  EXPECT_EQ(mc::cell_claim_path(dir_, 123456).filename().string(), "cell_123456.claim");
+  EXPECT_EQ(mc::manifest_path(dir_).filename().string(), "manifest.state");
+}
+
+TEST_F(RunDirTest, StateFileOnDiskRoundTrip) {
+  const auto s = sample_accumulator_state(true);
+  mc::write_file_atomic(dir_ / "acc.state", mc::encode_accumulator_state(s));
+  expect_states_equal(s, mc::decode_accumulator_state(mc::read_file(dir_ / "acc.state")));
+
+  // A file truncated on disk (killed writer without atomic rename) rejects.
+  const std::string blob = mc::encode_accumulator_state(s);
+  {
+    std::ofstream f(dir_ / "short.state", std::ios::binary);
+    f.write(blob.data(), static_cast<std::streamsize>(blob.size() / 2));
+  }
+  EXPECT_THROW((void)mc::decode_accumulator_state(mc::read_file(dir_ / "short.state")),
+               mc::run_dir_error);
+}
+
+}  // namespace

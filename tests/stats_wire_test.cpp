@@ -1,0 +1,115 @@
+// stats::wire — the little-endian byte codec under every state file.
+#include "stats/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace stats = reldiv::stats;
+
+TEST(WireTest, ScalarRoundTrip) {
+  stats::wire_writer w;
+  w.put_u8(0xab);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefULL);
+  w.put_f64(-0.125);
+  w.put_bytes("hello");
+
+  stats::wire_reader r(w.buffer());
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.get_f64(), -0.125);
+  EXPECT_EQ(r.get_bytes(), "hello");
+  EXPECT_TRUE(r.done());
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(WireTest, LittleEndianLayout) {
+  stats::wire_writer w;
+  w.put_u32(0x04030201u);
+  const std::string& b = w.buffer();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(b[3]), 0x04);
+}
+
+TEST(WireTest, DoubleBitPatternsSurvive) {
+  // Exact bit round-trip: signed zero, subnormal, infinities, NaN.
+  const double values[] = {-0.0, std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           0.1, 1e-300, 1e300};
+  stats::wire_writer w;
+  for (const double v : values) w.put_f64(v);
+  stats::wire_reader r(w.buffer());
+  for (const double v : values) {
+    const double got = r.get_f64();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got), std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(WireTest, TruncatedReadsThrow) {
+  stats::wire_writer w;
+  w.put_u64(7);
+  for (std::size_t cut = 0; cut < 8; ++cut) {
+    stats::wire_reader r(std::string_view(w.buffer()).substr(0, cut));
+    EXPECT_THROW((void)r.get_u64(), stats::wire_error) << "cut=" << cut;
+  }
+}
+
+TEST(WireTest, OversizedBytesLengthThrows) {
+  stats::wire_writer w;
+  w.put_u64(1'000'000);  // length prefix far beyond the buffer
+  w.put_u8(0);
+  stats::wire_reader r(w.buffer());
+  EXPECT_THROW((void)r.get_bytes(), stats::wire_error);
+}
+
+TEST(WireTest, TrailingBytesDetected) {
+  stats::wire_writer w;
+  w.put_u32(1);
+  w.put_u8(0);
+  stats::wire_reader r(w.buffer());
+  (void)r.get_u32();
+  EXPECT_FALSE(r.done());
+  EXPECT_THROW(r.expect_done(), stats::wire_error);
+}
+
+TEST(WireTest, Fnv1a64KnownVectors) {
+  // Reference values of the canonical 64-bit FNV-1a.
+  EXPECT_EQ(stats::fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(stats::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(stats::fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(WireTest, MomentsStateRoundTrip) {
+  reldiv::stats::running_moments m;
+  for (int i = 0; i < 1000; ++i) m.add(std::sin(i) * 1e-3);
+  const auto s = m.state();
+
+  stats::wire_writer w;
+  stats::write_moments_state(w, s);
+  stats::wire_reader r(w.buffer());
+  const auto back = stats::read_moments_state(r);
+  EXPECT_TRUE(r.done());
+
+  EXPECT_EQ(back.count, s.count);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.m1), std::bit_cast<std::uint64_t>(s.m1));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.m2), std::bit_cast<std::uint64_t>(s.m2));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.m3), std::bit_cast<std::uint64_t>(s.m3));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.m4), std::bit_cast<std::uint64_t>(s.m4));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.min), std::bit_cast<std::uint64_t>(s.min));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.max), std::bit_cast<std::uint64_t>(s.max));
+
+  // The resumed accumulator continues bit-exactly.
+  auto resumed = reldiv::stats::running_moments::from_state(back);
+  auto original = reldiv::stats::running_moments::from_state(s);
+  resumed.add(0.5);
+  original.add(0.5);
+  EXPECT_EQ(resumed.mean(), original.mean());
+  EXPECT_EQ(resumed.variance(), original.variance());
+}

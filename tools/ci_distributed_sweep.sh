@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# CI proof of the multi-process sweep driver: run a grid across 4 worker
+# processes, SIGKILL the whole process tree mid-run, resume from the
+# surviving state files, and require the merged CSV/JSON to be byte-equal to
+# the single-process oracle.
+#
+# Usage: tools/ci_distributed_sweep.sh SWEEP_BINARY [WORK_DIR] [BUDGET]
+#   SWEEP_BINARY  path to a built reldiv_sweep
+#   WORK_DIR      scratch directory (default: ./sweep-ci); the run directory
+#                 inside it is what CI uploads as an artifact
+#   BUDGET        samples per cell (default: the ci preset's 1000000; shrink
+#                 for fast local smoke runs)
+set -euo pipefail
+shopt -s nullglob  # an empty cells/ dir must count as 0, not as an ls error
+
+sweep="$(readlink -f "$1")"
+work_dir="${2:-sweep-ci}"
+budget="${3:-0}"   # 0 = preset default
+
+grid_args=(--preset ci --seed 20260731)
+if [[ "$budget" != "0" ]]; then grid_args+=(--budget "$budget"); fi
+
+rm -rf "$work_dir"
+mkdir -p "$work_dir"
+cd "$work_dir"
+
+echo "=== single-process oracle ==="
+"$sweep" --single "${grid_args[@]}" --out-csv single.csv --out-json single.json
+
+echo
+echo "=== distributed run, 4 workers, SIGKILL mid-run ==="
+# Own session/process group so one kill(-pgid) takes out the coordinator AND
+# its workers, exactly like an OOM-killer or node preemption would.
+setsid "$sweep" "${grid_args[@]}" --run-dir run.d --workers 4 \
+       --out-csv dist.csv --out-json dist.json &
+coordinator=$!
+
+count_states() {
+  local files=(run.d/cells/*.state)
+  echo "${#files[@]}"
+}
+
+# Wait until at least 2 cells are on disk, then kill the whole group.
+for _ in $(seq 1 600); do
+  done_cells=$(count_states)
+  if [[ "$done_cells" -ge 2 ]]; then break; fi
+  sleep 0.1
+done
+kill -9 -- "-$coordinator" 2>/dev/null || true
+wait "$coordinator" 2>/dev/null || true
+
+total_cells=24
+done_cells=$(count_states)
+echo "killed with $done_cells of $total_cells cell state files on disk"
+if [[ "$done_cells" -lt 2 ]]; then
+  echo "ERROR: no progress before the kill — the sweep never started" >&2
+  exit 1
+fi
+if [[ "$done_cells" -ge "$total_cells" ]]; then
+  # The run outraced the poll: the kill did not interrupt anything, so this
+  # job would prove nothing.  Fail loudly so the budget gets re-tuned.
+  echo "ERROR: sweep finished before the kill; raise BUDGET so it runs longer" >&2
+  exit 1
+fi
+
+echo
+echo "=== resume from the surviving state files ==="
+"$sweep" "${grid_args[@]}" --run-dir run.d --workers 4 \
+         --out-csv dist.csv --out-json dist.json
+
+echo
+echo "=== merged result must be byte-identical to the single-process run ==="
+cmp single.csv dist.csv
+cmp single.json dist.json
+echo "OK: kill+resume distributed sweep == single-process run, byte for byte"

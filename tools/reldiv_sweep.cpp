@@ -1,0 +1,286 @@
+// reldiv_sweep — the multi-process scenario-sweep CLI.
+//
+// One binary, three roles:
+//
+//   coordinator (default, needs --run-dir):
+//     reldiv_sweep --preset ci --seed 77 --run-dir run.d --workers 4
+//                  --out-csv grid.csv --out-json grid.json
+//     Initializes (or resumes) the run directory, fan/exec's N copies of
+//     itself as workers, waits, merges the cell state files in cell order
+//     and writes the results table.  Rerunning after a crash/SIGKILL
+//     resumes from the surviving state files; the final output is
+//     byte-identical to an uninterrupted — or single-process — run.
+//
+//   worker (spawned by the coordinator, or by an external scheduler):
+//     reldiv_sweep --worker --run-dir run.d [--max-cells K]
+//     Reads the manifest, claims pending cells one at a time, writes each
+//     completed cell atomically.  Any number of workers may run
+//     concurrently against the same directory.
+//
+//   single-process reference:
+//     reldiv_sweep --single --preset ci --seed 77 --out-json grid.json
+//     Runs the identical grid in-process via mc::run_scenario_grid — the
+//     oracle CI diffs the distributed output against.
+//
+//   merge-only:
+//     reldiv_sweep --merge-only --run-dir run.d --out-csv grid.csv
+//     Merges an already-complete directory without spawning workers.
+//
+// Exit codes: 0 success; 2 usage error; 1 anything else (incomplete run,
+// invalid state files, ...).
+
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include <unistd.h>
+
+#include "core/generators.hpp"
+#include "mc/distributed.hpp"
+#include "mc/run_dir.hpp"
+#include "mc/scenario.hpp"
+
+namespace {
+
+using namespace reldiv;
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: reldiv_sweep [mode] [grid options] [output options]\n"
+      "\n"
+      "modes (default: coordinator when --run-dir is given, else --single):\n"
+      "  --single             run the grid in-process (the reference oracle)\n"
+      "  --worker             claim+compute pending cells of --run-dir, then exit\n"
+      "  --merge-only         merge an existing complete --run-dir\n"
+      "\n"
+      "grid options (ignored by --worker/--merge-only, which read the manifest):\n"
+      "  --preset NAME        smoke (16 small cells, default) | ci (24 larger cells)\n"
+      "  --seed N             grid seed (default 2026)\n"
+      "  --shards N           per-cell logical shards (default 0 = budget-scaled)\n"
+      "  --budget N           override the preset's samples-per-cell\n"
+      "\n"
+      "distribution options:\n"
+      "  --run-dir DIR        on-disk run directory (state files + manifest)\n"
+      "  --workers N          worker processes to spawn (default 2)\n"
+      "  --max-cells K        per-worker quota of cells to compute (test hook)\n"
+      "  --threads N          in-process worker threads for --single (default 0 = hw)\n"
+      "\n"
+      "output options:\n"
+      "  --out-csv PATH       write the results table as CSV\n"
+      "  --out-json PATH      write the results table as JSON\n"
+      "  --quiet              suppress the progress summary on stdout\n",
+      out);
+}
+
+struct options {
+  bool worker = false;
+  bool single = false;
+  bool merge_only = false;
+  bool quiet = false;
+  std::string preset = "smoke";
+  std::uint64_t seed = 2026;
+  unsigned shards = 0;
+  unsigned threads = 0;
+  std::uint64_t budget = 0;  // 0 = preset default
+  std::string run_dir;
+  unsigned workers = 2;
+  std::size_t max_cells = 0;
+  std::string out_csv;
+  std::string out_json;
+};
+
+mc::scenario_axes make_axes(const options& opt) {
+  mc::scenario_axes axes;
+  if (opt.preset == "smoke") {
+    // The scenario_sweep example's grid: 2 x 2 x 2 x 2 x 1 = 16 quick cells.
+    axes.universes.emplace_back(
+        "safety_grade", core::make_safety_grade_universe(40, 0.0, 0.05, 0.6, 11));
+    axes.universes.emplace_back(
+        "many_small", core::make_many_small_faults_universe(256, 0.05, 0.3, 0.8, 0.2, 12));
+    axes.correlations = {0.0, 0.3};
+    axes.overlaps = {1.0, 0.5};
+    axes.aliasing = {1, 4};
+    axes.budgets = {opt.budget > 0 ? opt.budget : 20'000};
+  } else if (opt.preset == "ci") {
+    // Large enough that a 4-worker sweep takes several seconds — room for
+    // the CI job to SIGKILL it mid-run: 2 x 3 x 2 x 2 x 1 = 24 cells.
+    axes.universes.emplace_back(
+        "safety_grade", core::make_safety_grade_universe(40, 0.0, 0.05, 0.6, 11));
+    axes.universes.emplace_back(
+        "many_small", core::make_many_small_faults_universe(256, 0.05, 0.3, 0.8, 0.2, 12));
+    axes.correlations = {0.0, 0.25, 0.5};
+    axes.overlaps = {1.0, 0.6};
+    axes.aliasing = {1, 3};
+    axes.budgets = {opt.budget > 0 ? opt.budget : 1'000'000};
+  } else {
+    throw std::invalid_argument("unknown preset '" + opt.preset +
+                                "' (expected smoke or ci)");
+  }
+  return axes;
+}
+
+void write_outputs(const mc::grid_result& grid, const options& opt) {
+  if (!opt.out_csv.empty()) {
+    std::ofstream f(opt.out_csv, std::ios::binary | std::ios::trunc);
+    f << grid.to_csv();
+    if (!f) throw std::runtime_error("cannot write " + opt.out_csv);
+  }
+  if (!opt.out_json.empty()) {
+    std::ofstream f(opt.out_json, std::ios::binary | std::ios::trunc);
+    f << grid.to_json();
+    if (!f) throw std::runtime_error("cannot write " + opt.out_json);
+  }
+  if (!opt.quiet) {
+    std::printf("%zu cells merged", grid.cells.size());
+    if (!opt.out_csv.empty()) std::printf(", csv -> %s", opt.out_csv.c_str());
+    if (!opt.out_json.empty()) std::printf(", json -> %s", opt.out_json.c_str());
+    std::printf("\n");
+  }
+}
+
+/// The coordinator re-execs this very binary as its workers.
+std::string self_exe(const char* argv0) {
+  char buf[PATH_MAX];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+std::uint64_t parse_u64(const char* flag, const char* value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  // strtoull silently wraps "-1" to ULLONG_MAX-0: reject any non-digit lead.
+  if (end == value || *end != '\0' || value[0] == '-' || value[0] == '+' ||
+      errno == ERANGE) {
+    throw std::invalid_argument(std::string(flag) + " expects an unsigned integer, got '" +
+                                value + "'");
+  }
+  return v;
+}
+
+unsigned parse_u32(const char* flag, const char* value) {
+  const std::uint64_t v = parse_u64(flag, value);
+  if (v > std::numeric_limits<unsigned>::max()) {
+    throw std::invalid_argument(std::string(flag) + " value out of range: " + value);
+  }
+  return static_cast<unsigned>(v);
+}
+
+options parse_args(int argc, char** argv) {
+  options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " expects a value");
+      return argv[++i];
+    };
+    if (arg == "--worker") {
+      opt.worker = true;
+    } else if (arg == "--single") {
+      opt.single = true;
+    } else if (arg == "--merge-only") {
+      opt.merge_only = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--preset") {
+      opt.preset = value();
+    } else if (arg == "--seed") {
+      opt.seed = parse_u64("--seed", value());
+    } else if (arg == "--shards") {
+      opt.shards = parse_u32("--shards", value());
+    } else if (arg == "--threads") {
+      opt.threads = parse_u32("--threads", value());
+    } else if (arg == "--budget") {
+      opt.budget = parse_u64("--budget", value());
+    } else if (arg == "--run-dir") {
+      opt.run_dir = value();
+    } else if (arg == "--workers") {
+      opt.workers = parse_u32("--workers", value());
+    } else if (arg == "--max-cells") {
+      opt.max_cells = parse_u64("--max-cells", value());
+    } else if (arg == "--out-csv") {
+      opt.out_csv = value();
+    } else if (arg == "--out-json") {
+      opt.out_json = value();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      throw std::invalid_argument("unknown flag '" + arg + "' (see --help)");
+    }
+  }
+  if ((opt.worker || opt.merge_only) && opt.run_dir.empty()) {
+    throw std::invalid_argument("--worker/--merge-only need --run-dir");
+  }
+  if (opt.worker + opt.single + opt.merge_only > 1) {
+    throw std::invalid_argument("--worker, --single and --merge-only are exclusive");
+  }
+  if (!opt.single && !opt.worker && !opt.merge_only && opt.run_dir.empty()) {
+    opt.single = true;  // no run dir -> nothing to distribute
+  }
+  return opt;
+}
+
+int run(const options& opt, const char* argv0) {
+  if (opt.worker) {
+    const mc::worker_report report = mc::run_pending_cells(opt.run_dir, opt.max_cells);
+    if (!opt.quiet) {
+      std::printf("worker %d: computed %zu cells, skipped %zu\n", ::getpid(),
+                  report.computed, report.skipped);
+    }
+    return 0;
+  }
+
+  if (opt.merge_only) {
+    write_outputs(mc::merge_run_dir(opt.run_dir), opt);
+    return 0;
+  }
+
+  const mc::scenario_axes axes = make_axes(opt);
+  const mc::scenario_config cfg{.seed = opt.seed, .threads = opt.threads,
+                                .shards = opt.shards};
+
+  if (opt.single) {
+    write_outputs(mc::run_scenario_grid(axes, cfg), opt);
+    return 0;
+  }
+
+  const mc::distributed_config dist{.run_dir = opt.run_dir, .workers = opt.workers,
+                                    .max_cells = opt.max_cells};
+  if (!opt.quiet) {
+    // No pending-count scan here: run_distributed_grid does its own
+    // missing-cells pass, and a resumed directory can be large.
+    std::printf("coordinator: run dir %s, spawning up to %u workers\n",
+                opt.run_dir.c_str(), opt.workers);
+  }
+  write_outputs(mc::run_distributed_grid(axes, cfg, dist, self_exe(argv0)), opt);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opt;
+  try {
+    opt = parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "reldiv_sweep: %s\n", e.what());
+    usage(stderr);
+    return 2;
+  }
+  try {
+    return run(opt, argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "reldiv_sweep: %s\n", e.what());
+    return 1;
+  }
+}
