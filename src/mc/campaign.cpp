@@ -1,5 +1,7 @@
 #include "mc/campaign.hpp"
 
+#include <algorithm>
+
 #include "mc/sampler.hpp"
 
 namespace reldiv::mc {
@@ -55,6 +57,53 @@ demand_tally run_demand_campaign(std::span<const double> target_pfd, std::uint64
   out.demands = demands;
   out.failures.assign(target_pfd.size(), 0);
   run_demand_campaign_window(target_pfd, demands, cfg, 0, target_pfd.size(), out);
+  return out;
+}
+
+std::uint64_t demand_manifest::window_count() const {
+  validate();
+  return (target_pfd.size() + window - 1) / window;
+}
+
+std::pair<std::uint64_t, std::uint64_t> demand_manifest::window_bounds(
+    std::uint64_t index) const {
+  const std::uint64_t windows = window_count();
+  if (index >= windows) {
+    throw std::out_of_range("demand_manifest: window index " + std::to_string(index) +
+                            " out of range (windows: " + std::to_string(windows) + ")");
+  }
+  const std::uint64_t begin = index * window;
+  const std::uint64_t end = std::min<std::uint64_t>(begin + window, target_pfd.size());
+  return {begin, end};
+}
+
+void demand_manifest::validate() const {
+  if (target_pfd.empty()) {
+    throw std::invalid_argument("demand_manifest: empty target roster");
+  }
+  if (demands == 0) throw std::invalid_argument("demand_manifest: demands must be > 0");
+  if (window == 0) throw std::invalid_argument("demand_manifest: window must be > 0");
+  for (const double pfd : target_pfd) {
+    if (!(pfd >= 0.0 && pfd <= 1.0)) {
+      throw std::invalid_argument("demand_manifest: target pfd outside [0, 1]");
+    }
+  }
+}
+
+demand_window_result run_demand_window(const demand_manifest& m, std::uint64_t index,
+                                       unsigned threads) {
+  const auto [begin, end] = m.window_bounds(index);
+  demand_tally scratch;
+  scratch.demands = m.demands;
+  scratch.failures.assign(m.target_pfd.size(), 0);
+  run_demand_campaign_window(m.target_pfd, m.demands, m.config(threads), begin, end,
+                             scratch);
+  demand_window_result out;
+  out.target_begin = begin;
+  out.target_end = end;
+  out.demands = m.demands;
+  out.failures.assign(scratch.failures.begin() + static_cast<std::ptrdiff_t>(begin),
+                      scratch.failures.begin() + static_cast<std::ptrdiff_t>(end));
   return out;
 }
 

@@ -44,6 +44,7 @@
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/fault_universe.hpp"
@@ -166,6 +167,56 @@ void run_demand_campaign_window(std::span<const double> target_pfd, std::uint64_
 [[nodiscard]] demand_tally run_demand_campaign(std::span<const double> target_pfd,
                                                std::uint64_t demands,
                                                const campaign_config& cfg);
+
+// ---------------------------------------------------------------------------
+// Distributed demand campaign: the manifest + window job unit
+// ---------------------------------------------------------------------------
+
+/// Identity of a distributed demand campaign: the full roster atom-for-atom,
+/// the per-target budget, the campaign seed, and the window size that slices
+/// the roster into job units.  Window w covers targets
+/// [w*window, min((w+1)*window, roster)); because every target owns its own
+/// rng stream (target_stream_seed), a window result is a pure function of
+/// (manifest, window index) — the property the multi-process driver needs.
+struct demand_manifest {
+  std::vector<double> target_pfd;  ///< roster, in campaign order
+  std::uint64_t demands = 0;       ///< budget per target
+  std::uint64_t seed = 1;
+  std::uint64_t window = 0;        ///< targets per distributed window
+
+  /// The campaign_config this manifest pins (threads is a throughput knob,
+  /// never part of the identity).
+  [[nodiscard]] campaign_config config(unsigned threads = 0) const {
+    return campaign_config{.seed = seed, .threads = threads, .shards = 0};
+  }
+  /// ceil(roster / window).
+  [[nodiscard]] std::uint64_t window_count() const;
+  /// [target_begin, target_end) of window `index`; throws std::out_of_range
+  /// past window_count().
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> window_bounds(
+      std::uint64_t index) const;
+  /// Throws std::invalid_argument on an empty roster, demands == 0,
+  /// window == 0, or a pfd outside [0, 1].
+  void validate() const;
+};
+
+/// One computed window: the slice of per-target failure counts it owns.
+/// Slices over disjoint windows assemble into the exact run_demand_campaign
+/// tally — the counts are integers, so "merge" is plain placement.
+struct demand_window_result {
+  std::uint64_t target_begin = 0;
+  std::uint64_t target_end = 0;
+  std::uint64_t demands = 0;
+  std::vector<std::uint64_t> failures;  ///< targets [target_begin, target_end)
+};
+
+/// Pure job unit of the distributed demand driver, mirroring
+/// run_scenario_cell: compute window `index` of the manifest's campaign.
+/// Bit-identical to the corresponding slice of run_demand_campaign for the
+/// same (roster, demands, seed), regardless of threads or window layout.
+[[nodiscard]] demand_window_result run_demand_window(const demand_manifest& m,
+                                                     std::uint64_t index,
+                                                     unsigned threads = 0);
 
 // ---------------------------------------------------------------------------
 // Two-channel pair campaign

@@ -1,7 +1,12 @@
 #include "mc/distributed.hpp"
 
+#include "stats/wire.hpp"
+
 #include <fcntl.h>
+#include <signal.h>
 #include <spawn.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -9,6 +14,11 @@
 #include <bit>
 #include <cerrno>
 #include <cstring>
+#include <ctime>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 
@@ -20,44 +30,305 @@ namespace fs = std::filesystem;
 
 namespace {
 
-/// True iff cell `index` has a state file that validates against the run's
-/// fingerprint.  Any defect — absent, truncated, corrupt, wrong run, wrong
-/// index — reads as "not done", so the cell gets recomputed.  Uses the
-/// identity peek (container checks + checksum, no payload decode): this
-/// runs once per cell per scan, and kept-sample payloads can be large.
-bool cell_done(const fs::path& run_dir, std::uint64_t fingerprint, std::uint64_t index) {
+/// True iff cell `index` has a state file of the run's window kind that
+/// validates against the run's fingerprint.  Any defect — absent, truncated,
+/// corrupt, wrong kind, wrong run, wrong index — reads as "not done", so the
+/// cell gets recomputed.  Uses the identity peek (container checks +
+/// checksum, no payload decode): this runs once per cell per scan, and
+/// kept-sample payloads can be large.
+bool cell_done(const fs::path& run_dir, state_kind window_kind, std::uint64_t fingerprint,
+               std::uint64_t index) {
   const fs::path path = cell_state_path(run_dir, index);
   std::error_code ec;
   if (!fs::exists(path, ec)) return false;
   try {
-    const cell_identity id = peek_cell_identity(read_file(path));
+    const cell_identity id = peek_cell_identity(window_kind, read_file(path));
     return id.fingerprint == fingerprint && id.cell_index == index;
   } catch (const run_dir_error&) {
     return false;
   }
 }
 
-/// Try to take the claim marker for a cell.  O_CREAT|O_EXCL is atomic on a
-/// local filesystem: exactly one live worker wins.  Returns false when
+// RENAME_NOREPLACE from <linux/fs.h>, restated locally so no uapi header —
+// with its macro collisions — has to be dragged in.
+constexpr unsigned int kRenameNoReplace = 1;
+
+/// rename(2) that fails with EEXIST instead of clobbering an existing
+/// destination.  Returns 0 or -errno.  ENOSYS/EINVAL mean the kernel or the
+/// filesystem cannot do atomic no-replace renames — the caller falls back to
+/// link(2), whose "at most one winner" semantics are equally multi-host safe.
+int rename_noreplace(const char* from, const char* to) {
+#ifdef SYS_renameat2
+  if (::syscall(SYS_renameat2, AT_FDCWD, from, AT_FDCWD, to, kRenameNoReplace) == 0) {
+    return 0;
+  }
+  return -errno;
+#else
+  (void)from;
+  (void)to;
+  return -ENOSYS;
+#endif
+}
+
+/// Try to take the claim marker for a cell.  The claim's owner record (host,
+/// pid, wall-clock) is written to a uniquely-named sibling first, then moved
+/// onto the claim path with RENAME_NOREPLACE (falling back to link(2)):
+/// exactly one live worker — on any host sharing the filesystem — wins, and
+/// the claim file is never observable half-written.  Returns false when
 /// another worker holds the claim.
 bool try_claim(const fs::path& run_dir, std::uint64_t index) {
-  const fs::path path = cell_claim_path(run_dir, index);
-  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
-  if (fd < 0) {
-    if (errno == EEXIST) return false;
-    throw run_dir_error("run_dir: cannot create claim " + path.string() + ": " +
-                        std::strerror(errno));
+  const fs::path claim = cell_claim_path(run_dir, index);
+  const fs::path unique = claim.string() + ".tmp." + claim_host_name() + "." +
+                          std::to_string(::getpid());
+  const std::string body = "host " + claim_host_name() + "\npid " +
+                           std::to_string(::getpid()) + "\ntime " +
+                           std::to_string(static_cast<long long>(::time(nullptr))) + "\n";
+  {
+    const int fd = ::open(unique.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0) {
+      throw run_dir_error("run_dir: cannot create claim " + unique.string() + ": " +
+                          std::strerror(errno));
+    }
+    (void)!::write(fd, body.data(), body.size());
+    ::close(fd);
   }
-  // Record the owner pid for operators debugging a wedged run.
-  const std::string pid = std::to_string(::getpid()) + "\n";
-  (void)!::write(fd, pid.data(), pid.size());
-  ::close(fd);
-  return true;
+  std::error_code ec;
+  int rc = rename_noreplace(unique.c_str(), claim.c_str());
+  if (rc == -ENOSYS || rc == -EINVAL || rc == -ENOTSUP || rc == -EOPNOTSUPP) {
+    // link() never replaces its target either; the unique file stays behind
+    // as the extra hard link's source and is removed below in both outcomes.
+    rc = ::link(unique.c_str(), claim.c_str()) == 0 ? 0 : -errno;
+    fs::remove(unique, ec);
+  }
+  if (rc == 0) return true;
+  fs::remove(unique, ec);
+  if (rc == -EEXIST) return false;
+  throw run_dir_error("run_dir: cannot take claim " + claim.string() + ": " +
+                      std::strerror(-rc));
 }
 
 void release_claim(const fs::path& run_dir, std::uint64_t index) {
   std::error_code ec;
   fs::remove(cell_claim_path(run_dir, index), ec);
+}
+
+/// Owner record parsed from a claim file ("host H\npid P\ntime T\n").  A
+/// legacy or foreign-format claim parses to {host: "", pid: -1} and is
+/// handled by the TTL rule alone.
+struct claim_owner {
+  std::string host;
+  long pid = -1;
+};
+
+claim_owner parse_claim_owner(const std::string& body) {
+  claim_owner owner;
+  std::istringstream in(body);
+  std::string key;
+  while (in >> key) {
+    if (key == "host") {
+      in >> owner.host;
+    } else if (key == "pid") {
+      if (!(in >> owner.pid)) break;
+    } else {
+      std::string skip;
+      in >> skip;
+    }
+  }
+  return owner;
+}
+
+/// Owner of a `<name>.tmp.<host>.<pid>` (or legacy `<name>.tmp.<pid>`)
+/// orphan, recovered from the filename.
+claim_owner parse_tmp_owner(const std::string& filename) {
+  claim_owner owner;
+  const std::size_t tag = filename.rfind(".tmp.");
+  if (tag == std::string::npos) return owner;
+  const std::string suffix = filename.substr(tag + 5);
+  const std::size_t dot = suffix.rfind('.');
+  const std::string pid_text = dot == std::string::npos ? suffix : suffix.substr(dot + 1);
+  if (dot != std::string::npos) owner.host = suffix.substr(0, dot);
+  if (!pid_text.empty() &&
+      pid_text.find_first_not_of("0123456789") == std::string::npos) {
+    owner.pid = std::stol(pid_text);
+  }
+  return owner;
+}
+
+/// A pid is provably dead when kill(pid, 0) reports ESRCH — or when the pid
+/// still exists but only as a zombie (a SIGKILLed worker whose parent died
+/// with it is reparented and may never be reaped inside a container; it
+/// holds its pid forever but will never release its claim).  EPERM means a
+/// live process owned by someone else — alive for our purposes.
+bool local_pid_dead(long pid) {
+  if (pid <= 0) return false;
+  if (::kill(static_cast<pid_t>(pid), 0) != 0) return errno == ESRCH;
+#ifdef __linux__
+  std::ifstream stat("/proc/" + std::to_string(pid) + "/stat");
+  std::string line;
+  if (stat && std::getline(stat, line)) {
+    // "pid (comm) S ..." — comm may itself contain ') ', so the state char
+    // is the first non-space after the LAST ')'.
+    const std::size_t close = line.rfind(')');
+    const std::size_t state = line.find_first_not_of(' ', close + 1);
+    if (close != std::string::npos && state != std::string::npos) {
+      return line[state] == 'Z' || line[state] == 'X';
+    }
+  }
+#endif
+  return false;
+}
+
+/// "Now" according to the clock of the filesystem that holds `dir` — the
+/// same clock that stamps claim mtimes.  Touch a probe file and read its
+/// mtime back, so lease arithmetic never mixes a server-assigned timestamp
+/// with a skewed local clock.  Falls back to the local clock when the probe
+/// cannot be written (read-only mount during a post-mortem, say).
+fs::file_time_type filesystem_now(const fs::path& dir) {
+  const fs::path probe = dir / (".lease_probe.tmp." + claim_host_name() + "." +
+                                std::to_string(::getpid()));
+  std::error_code ec;
+  { std::ofstream touch(probe, std::ios::binary | std::ios::trunc); }
+  const fs::file_time_type t = fs::last_write_time(probe, ec);
+  std::error_code remove_ec;
+  fs::remove(probe, remove_ec);
+  if (!ec) return t;
+  return fs::file_time_type::clock::now();
+}
+
+/// The lease rule shared by claims and .tmp orphans: reap when the lease —
+/// the file's mtime measured against `now`, both assigned by the filesystem
+/// that holds the run directory — expired, or when the owner is provably
+/// dead on this host.  A young claim whose pid we cannot probe (another
+/// host, unparseable owner) is left alone.
+bool lease_expired_or_owner_dead(const fs::path& path, const claim_owner& owner,
+                                 std::chrono::seconds ttl, fs::file_time_type now) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(path, ec);
+  if (!ec && now - mtime > ttl) return true;
+  const bool local = owner.host.empty() || owner.host == claim_host_name();
+  return local && local_pid_dead(owner.pid);
+}
+
+/// Apply the lease rule to one cell's claim (the worker-side sibling of
+/// clean_stale_claims): reap it if its lease expired or its local owner is
+/// dead.  Returns true when the claim is gone afterwards — the caller may
+/// retry its own claim.  This is what lets a coordinator-less worker fleet
+/// (README's multi-host recipe) make progress past a lost host once its
+/// leases expire, instead of skipping the dead host's cells forever.
+bool reap_claim_if_stale(const fs::path& run_dir, std::uint64_t index,
+                         std::chrono::seconds ttl) {
+  const fs::path claim = cell_claim_path(run_dir, index);
+  claim_owner owner;
+  try {
+    owner = parse_claim_owner(read_file(claim));
+  } catch (const run_dir_error&) {
+    // Already released by its owner — gone is gone.
+    std::error_code ec;
+    return !fs::exists(claim, ec);
+  }
+  if (!lease_expired_or_owner_dead(claim, owner, ttl, filesystem_now(cells_dir(run_dir)))) {
+    return false;
+  }
+  std::error_code ec;
+  fs::remove(claim, ec);
+  return true;
+}
+
+/// Everything the generic worker/merge loops need to serve one run
+/// directory: the run's kind and identity, plus the pure cell function
+/// packaged as "index -> encoded state blob".
+struct job_driver {
+  job_kind kind = job_kind::scenario_grid;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t cell_count = 0;
+  std::function<std::string(std::uint64_t)> compute;
+};
+
+job_driver make_job_driver(const fs::path& run_dir) {
+  const std::string blob = read_file(manifest_path(run_dir));
+  job_driver d;
+  d.kind = manifest_job_kind(peek_state_kind(blob));
+  switch (d.kind) {
+    case job_kind::scenario_grid: {
+      auto m = std::make_shared<const sweep_manifest>(decode_manifest(blob));
+      auto cells =
+          std::make_shared<const std::vector<scenario_cell>>(enumerate_cells(m->axes));
+      d.fingerprint = manifest_fingerprint(*m);
+      d.cell_count = m->cell_count;
+      d.compute = [m, cells, fp = d.fingerprint](std::uint64_t index) {
+        cell_state state;
+        state.fingerprint = fp;
+        state.cell_index = index;
+        state.result = run_scenario_cell(m->axes, m->config(), (*cells)[index], index);
+        return encode_cell_state(state);
+      };
+      break;
+    }
+    case job_kind::demand_campaign: {
+      auto m = std::make_shared<const demand_manifest>(decode_demand_manifest(blob));
+      d.fingerprint = demand_manifest_fingerprint(*m);
+      d.cell_count = m->window_count();
+      d.compute = [m, fp = d.fingerprint](std::uint64_t index) {
+        demand_window_state state;
+        state.fingerprint = fp;
+        state.window_index = index;
+        state.result = run_demand_window(*m, index);
+        return encode_demand_window_state(state);
+      };
+      break;
+    }
+    case job_kind::experiment_shards: {
+      auto m =
+          std::make_shared<const experiment_manifest>(decode_experiment_manifest(blob));
+      d.fingerprint = experiment_manifest_fingerprint(*m);
+      d.cell_count = m->window_count();
+      d.compute = [m, fp = d.fingerprint](std::uint64_t index) {
+        experiment_window_state state;
+        state.fingerprint = fp;
+        state.window_index = index;
+        state.result = run_experiment_window(*m, index);
+        return encode_experiment_window_state(state);
+      };
+      break;
+    }
+  }
+  return d;
+}
+
+/// Shared init path: create the directory skeleton, then either adopt an
+/// existing manifest (same kind + fingerprint, else refuse) or write the new
+/// one with its JSON mirror.
+void init_run_dir_files(const fs::path& run_dir, state_kind manifest_kind,
+                        std::uint64_t fingerprint, const std::string& manifest_blob,
+                        const std::string& json_mirror) {
+  std::error_code ec;
+  fs::create_directories(cells_dir(run_dir), ec);
+  if (ec) {
+    throw run_dir_error("run_dir: cannot create " + cells_dir(run_dir).string() + ": " +
+                        ec.message());
+  }
+
+  const fs::path mpath = manifest_path(run_dir);
+  const fs::path jpath = run_dir / "manifest.json";
+  if (fs::exists(mpath)) {
+    // Resume: the directory must belong to this exact run.
+    const std::string existing = read_file(mpath);
+    if (peek_state_kind(existing) != manifest_kind ||
+        stats::fnv1a64(decode_state_blob(manifest_kind, existing)) != fingerprint) {
+      throw run_dir_error("run_dir: " + run_dir.string() +
+                          " holds a different run (manifest kind or fingerprint "
+                          "mismatch); refusing to mix runs");
+    }
+    // Heal the human-readable mirror if a crash landed between the two
+    // writes (the binary manifest is the one that matters for correctness).
+    if (!fs::exists(jpath)) write_file_atomic(jpath, json_mirror);
+    return;
+  }
+  // Mirror first: once the authoritative manifest exists the directory is
+  // live, and the mirror must already be in place for any later artifact
+  // upload or operator inspection.
+  write_file_atomic(jpath, json_mirror);
+  write_file_atomic(mpath, manifest_blob);
 }
 
 }  // namespace
@@ -69,93 +340,109 @@ sweep_manifest init_run_dir(const scenario_axes& axes, const scenario_config& cf
   m.seed = cfg.seed;
   m.shards = cfg.shards;
   m.cell_count = enumerate_cells(axes).size();
-
-  std::error_code ec;
-  fs::create_directories(cells_dir(run_dir), ec);
-  if (ec) {
-    throw run_dir_error("run_dir: cannot create " + cells_dir(run_dir).string() + ": " +
-                        ec.message());
-  }
-
-  const fs::path mpath = manifest_path(run_dir);
-  const fs::path jpath = run_dir / "manifest.json";
-  if (fs::exists(mpath)) {
-    // Resume: the directory must belong to this exact sweep.
-    const sweep_manifest existing = decode_manifest(read_file(mpath));
-    if (manifest_fingerprint(existing) != manifest_fingerprint(m)) {
-      throw run_dir_error("run_dir: " + run_dir.string() +
-                          " holds a different sweep (manifest fingerprint mismatch); "
-                          "refusing to mix runs");
-    }
-    // Heal the human-readable mirror if a crash landed between the two
-    // writes (the binary manifest is the one that matters for correctness).
-    if (!fs::exists(jpath)) write_file_atomic(jpath, manifest_json(existing));
-    return existing;
-  }
-  // Mirror first: once the authoritative manifest exists the directory is
-  // live, and the mirror must already be in place for any later artifact
-  // upload or operator inspection.
-  write_file_atomic(jpath, manifest_json(m));
-  write_file_atomic(mpath, encode_manifest(m));
+  init_run_dir_files(run_dir, state_kind::manifest, manifest_fingerprint(m),
+                     encode_manifest(m), manifest_json(m));
   return m;
+}
+
+demand_manifest init_demand_run_dir(const demand_manifest& m, const fs::path& run_dir) {
+  m.validate();
+  init_run_dir_files(run_dir, state_kind::demand_manifest, demand_manifest_fingerprint(m),
+                     encode_demand_manifest(m), demand_manifest_json(m));
+  return m;
+}
+
+experiment_manifest init_experiment_run_dir(const experiment_manifest& m,
+                                            const fs::path& run_dir) {
+  m.validate();
+  init_run_dir_files(run_dir, state_kind::experiment_manifest,
+                     experiment_manifest_fingerprint(m), encode_experiment_manifest(m),
+                     experiment_manifest_json(m));
+  return m;
+}
+
+job_kind load_run_kind(const fs::path& run_dir) {
+  return manifest_job_kind(peek_state_kind(read_file(manifest_path(run_dir))));
 }
 
 sweep_manifest load_run_manifest(const fs::path& run_dir) {
   return decode_manifest(read_file(manifest_path(run_dir)));
 }
 
-void clean_stale_claims(const fs::path& run_dir) {
+demand_manifest load_demand_manifest(const fs::path& run_dir) {
+  return decode_demand_manifest(read_file(manifest_path(run_dir)));
+}
+
+experiment_manifest load_experiment_manifest(const fs::path& run_dir) {
+  return decode_experiment_manifest(read_file(manifest_path(run_dir)));
+}
+
+void clean_stale_claims(const fs::path& run_dir, std::chrono::seconds ttl) {
   const fs::path dir = cells_dir(run_dir);
   std::error_code ec;
   if (!fs::exists(dir, ec)) return;
+  const fs::file_time_type now = filesystem_now(dir);
   for (const auto& entry : fs::directory_iterator(dir)) {
     const std::string name = entry.path().filename().string();
-    if (name.ends_with(".claim") || name.find(".tmp.") != std::string::npos) {
-      fs::remove(entry.path(), ec);
+    if (name.ends_with(".claim")) {
+      claim_owner owner;
+      try {
+        owner = parse_claim_owner(read_file(entry.path()));
+      } catch (const run_dir_error&) {
+        // Unreadable (e.g. already released by its owner): fall through to
+        // the lease rule with an unknown owner.
+      }
+      if (lease_expired_or_owner_dead(entry.path(), owner, ttl, now)) {
+        fs::remove(entry.path(), ec);
+      }
+    } else if (name.find(".tmp.") != std::string::npos) {
+      if (lease_expired_or_owner_dead(entry.path(), parse_tmp_owner(name), ttl, now)) {
+        fs::remove(entry.path(), ec);
+      }
     }
   }
 }
 
 std::vector<std::uint64_t> missing_cells(const fs::path& run_dir) {
-  const sweep_manifest m = load_run_manifest(run_dir);
-  const std::uint64_t fingerprint = manifest_fingerprint(m);
+  const job_driver d = make_job_driver(run_dir);
+  const state_kind window_kind = window_kind_of(d.kind);
   std::vector<std::uint64_t> missing;
-  for (std::uint64_t i = 0; i < m.cell_count; ++i) {
-    if (!cell_done(run_dir, fingerprint, i)) missing.push_back(i);
+  for (std::uint64_t i = 0; i < d.cell_count; ++i) {
+    if (!cell_done(run_dir, window_kind, d.fingerprint, i)) missing.push_back(i);
   }
   return missing;
 }
 
 worker_report run_pending_cells(const fs::path& run_dir, std::size_t max_cells) {
-  const sweep_manifest m = load_run_manifest(run_dir);
-  const std::uint64_t fingerprint = manifest_fingerprint(m);
-  const std::vector<scenario_cell> cells = enumerate_cells(m.axes);
-  const scenario_config cfg = m.config();
+  const job_driver d = make_job_driver(run_dir);
+  const state_kind window_kind = window_kind_of(d.kind);
 
   worker_report report;
-  for (std::uint64_t i = 0; i < cells.size(); ++i) {
+  for (std::uint64_t i = 0; i < d.cell_count; ++i) {
     if (max_cells > 0 && report.computed >= max_cells) break;
-    if (cell_done(run_dir, fingerprint, i)) {
+    if (cell_done(run_dir, window_kind, d.fingerprint, i)) {
       ++report.skipped;
       continue;
     }
     if (!try_claim(run_dir, i)) {
-      ++report.skipped;  // a live sibling owns it
-      continue;
+      // The holder may be a lost host's expired lease rather than a live
+      // sibling: apply the lease rule to this one claim and retry once, so
+      // a coordinator-less worker fleet recovers dead hosts' cells on its
+      // own.  A genuinely live claim is skipped as before.
+      if (!reap_claim_if_stale(run_dir, i, kClaimLeaseTtl) || !try_claim(run_dir, i)) {
+        ++report.skipped;
+        continue;
+      }
     }
     // A sibling may have completed the cell between the done-check and our
     // claim win; re-check before burning a cell's worth of compute on it.
-    if (cell_done(run_dir, fingerprint, i)) {
+    if (cell_done(run_dir, window_kind, d.fingerprint, i)) {
       release_claim(run_dir, i);
       ++report.skipped;
       continue;
     }
     try {
-      cell_state state;
-      state.fingerprint = fingerprint;
-      state.cell_index = i;
-      state.result = run_scenario_cell(m.axes, cfg, cells[i], i);
-      write_file_atomic(cell_state_path(run_dir, i), encode_cell_state(state));
+      write_file_atomic(cell_state_path(run_dir, i), d.compute(i));
     } catch (...) {
       release_claim(run_dir, i);
       throw;
@@ -217,6 +504,17 @@ std::vector<int> wait_sweep_workers(const std::vector<int>& pids) {
   return codes;
 }
 
+namespace {
+
+[[noreturn]] void throw_incomplete(std::uint64_t index, const run_dir_error& e) {
+  throw run_dir_error("run_dir: cell " + std::to_string(index) +
+                      " missing or invalid — run is incomplete, rerun workers to "
+                      "resume (" +
+                      e.what() + ")");
+}
+
+}  // namespace
+
 grid_result merge_run_dir(const fs::path& run_dir) {
   const sweep_manifest m = load_run_manifest(run_dir);
   const std::uint64_t fingerprint = manifest_fingerprint(m);
@@ -229,10 +527,7 @@ grid_result merge_run_dir(const fs::path& run_dir) {
     try {
       state = decode_cell_state(read_file(cell_state_path(run_dir, i)));
     } catch (const run_dir_error& e) {
-      throw run_dir_error("run_dir: cell " + std::to_string(i) +
-                          " missing or invalid — run is incomplete, rerun workers to "
-                          "resume (" +
-                          e.what() + ")");
+      throw_incomplete(i, e);
     }
     if (state.fingerprint != fingerprint || state.cell_index != i) {
       throw run_dir_error("run_dir: cell " + std::to_string(i) +
@@ -257,36 +552,128 @@ grid_result merge_run_dir(const fs::path& run_dir) {
   return out;
 }
 
+demand_tally merge_demand_run_dir(const fs::path& run_dir) {
+  const demand_manifest m = load_demand_manifest(run_dir);
+  const std::uint64_t fingerprint = demand_manifest_fingerprint(m);
+  const std::uint64_t windows = m.window_count();
+
+  demand_tally out;
+  out.demands = m.demands;
+  out.failures.assign(m.target_pfd.size(), 0);
+  for (std::uint64_t w = 0; w < windows; ++w) {
+    demand_window_state state;
+    try {
+      state = decode_demand_window_state(read_file(cell_state_path(run_dir, w)));
+    } catch (const run_dir_error& e) {
+      throw_incomplete(w, e);
+    }
+    if (state.fingerprint != fingerprint || state.window_index != w) {
+      throw run_dir_error("run_dir: window " + std::to_string(w) +
+                          " belongs to a different run or position");
+    }
+    const auto [begin, end] = m.window_bounds(w);
+    if (state.result.target_begin != begin || state.result.target_end != end ||
+        state.result.demands != m.demands) {
+      throw run_dir_error("run_dir: window " + std::to_string(w) +
+                          " bounds disagree with the manifest");
+    }
+    // Integer counts over disjoint target windows: placement IS the merge,
+    // so the assembled tally equals run_demand_campaign's exactly.
+    std::copy(state.result.failures.begin(), state.result.failures.end(),
+              out.failures.begin() + static_cast<std::ptrdiff_t>(begin));
+  }
+  return out;
+}
+
+experiment_result merge_experiment_run_dir(const fs::path& run_dir) {
+  const experiment_manifest m = load_experiment_manifest(run_dir);
+  const std::uint64_t fingerprint = experiment_manifest_fingerprint(m);
+  const std::uint64_t windows = m.window_count();
+
+  // Replay run_experiment's exact fold: an empty accumulator, then every
+  // shard's accumulator in ascending shard order.  The per-shard states are
+  // kept separate in the window files precisely because this pairwise fold
+  // is not floating-point-associative.
+  experiment_accumulator acc(m.keep_samples);
+  for (std::uint64_t w = 0; w < windows; ++w) {
+    experiment_window_state state;
+    try {
+      state = decode_experiment_window_state(read_file(cell_state_path(run_dir, w)));
+    } catch (const run_dir_error& e) {
+      throw_incomplete(w, e);
+    }
+    if (state.fingerprint != fingerprint || state.window_index != w) {
+      throw run_dir_error("run_dir: window " + std::to_string(w) +
+                          " belongs to a different run or position");
+    }
+    const auto [begin, end] = m.window_bounds(w);
+    if (state.result.shard_begin != begin || state.result.shard_end != end) {
+      throw run_dir_error("run_dir: window " + std::to_string(w) +
+                          " shard bounds disagree with the manifest");
+    }
+    for (const accumulator_state& shard : state.result.shard_states) {
+      acc.merge(experiment_accumulator::from_state(shard));
+    }
+  }
+  experiment_result result = acc.to_result(m.ci_level);
+  result.shards = m.shards;
+  return result;
+}
+
+namespace {
+
+/// The kind-agnostic middle of every coordinator: clean stale claims, fan
+/// pending cells out to worker processes, and demand completeness.
+void drive_pending_cells(const distributed_config& dist, const std::string& worker_exe) {
+  clean_stale_claims(dist.run_dir);
+
+  const std::vector<std::uint64_t> pending = missing_cells(dist.run_dir);
+  if (pending.empty()) return;
+  if (dist.workers == 0) {
+    throw run_dir_error("run_dir: no workers requested but " +
+                        std::to_string(pending.size()) + " cells are pending");
+  }
+  // No point spawning more processes than there are pending cells.
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(dist.workers, pending.size()));
+  const std::vector<int> pids =
+      spawn_sweep_workers(worker_exe, dist.run_dir, workers, dist.max_cells);
+  const std::vector<int> codes = wait_sweep_workers(pids);
+
+  const std::vector<std::uint64_t> still_missing = missing_cells(dist.run_dir);
+  if (!still_missing.empty()) {
+    std::string detail = "worker exit codes:";
+    for (const int c : codes) detail += ' ' + std::to_string(c);
+    throw run_dir_error("run_dir: " + std::to_string(still_missing.size()) +
+                        " cells still pending after workers finished (" + detail +
+                        "); rerun to resume");
+  }
+}
+
+}  // namespace
+
 grid_result run_distributed_grid(const scenario_axes& axes, const scenario_config& cfg,
                                  const distributed_config& dist,
                                  const std::string& worker_exe) {
   init_run_dir(axes, cfg, dist.run_dir);
-  clean_stale_claims(dist.run_dir);
-
-  const std::vector<std::uint64_t> pending = missing_cells(dist.run_dir);
-  if (!pending.empty()) {
-    if (dist.workers == 0) {
-      throw run_dir_error("run_dir: no workers requested but " +
-                          std::to_string(pending.size()) + " cells are pending");
-    }
-    // No point spawning more processes than there are pending cells.
-    const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(dist.workers, pending.size()));
-    const std::vector<int> pids =
-        spawn_sweep_workers(worker_exe, dist.run_dir, workers, dist.max_cells);
-    const std::vector<int> codes = wait_sweep_workers(pids);
-
-    const std::vector<std::uint64_t> still_missing = missing_cells(dist.run_dir);
-    if (!still_missing.empty()) {
-      std::string detail = "worker exit codes:";
-      for (const int c : codes) detail += ' ' + std::to_string(c);
-      throw run_dir_error("run_dir: " + std::to_string(still_missing.size()) + " of " +
-                          std::to_string(enumerate_cells(axes).size()) +
-                          " cells still pending after workers finished (" + detail +
-                          "); rerun to resume");
-    }
-  }
+  drive_pending_cells(dist, worker_exe);
   return merge_run_dir(dist.run_dir);
+}
+
+demand_tally run_distributed_demand(const demand_manifest& m,
+                                    const distributed_config& dist,
+                                    const std::string& worker_exe) {
+  init_demand_run_dir(m, dist.run_dir);
+  drive_pending_cells(dist, worker_exe);
+  return merge_demand_run_dir(dist.run_dir);
+}
+
+experiment_result run_distributed_experiment(const experiment_manifest& m,
+                                             const distributed_config& dist,
+                                             const std::string& worker_exe) {
+  init_experiment_run_dir(m, dist.run_dir);
+  drive_pending_cells(dist, worker_exe);
+  return merge_experiment_run_dir(dist.run_dir);
 }
 
 }  // namespace reldiv::mc

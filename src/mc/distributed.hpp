@@ -1,32 +1,51 @@
 #pragma once
-// mc::distributed — the multi-process sweep driver (ROADMAP: "the missing
-// piece is a driver that fans cell/shard windows out to OS processes and
-// merges the serialized states").
+// mc::distributed — the multi-process, multi-host job driver.  PR 4 built it
+// as a scenario-cell sweep driver; it is now polymorphic over three job
+// kinds (ROADMAP: "extend it to demand campaigns ... and to shard-window
+// distribution of a single huge run_experiment ... needs a claim story that
+// doesn't rely on O_EXCL semantics"):
 //
-// Execution model:
+//   job_kind::scenario_grid      cell = one scenario cell (run_scenario_cell)
+//   job_kind::demand_campaign    cell = one roster window (run_demand_window)
+//   job_kind::experiment_shards  cell = one shard window (run_experiment_window)
+//
+// Execution model (identical for every kind):
 //
 //   coordinator                    worker processes (reldiv_sweep --worker)
 //   -----------                    -------------------------------------
-//   init_run_dir(axes, cfg, dir)   load_run_manifest(dir)
+//   init_*_run_dir(manifest, dir)  load manifest, dispatch on its kind
 //   clean_stale_claims(dir)        for each cell index in manifest order:
 //   spawn N workers ------------->   skip if a valid state file exists
-//   waitpid all                      claim via O_CREAT|O_EXCL claim file
-//   merge_run_dir(dir)               run_scenario_cell(...)
+//   waitpid all                      claim via rename-based lease file
+//   merge_*_run_dir(dir)             compute the pure cell function
 //                                    write state file atomically
 //                                    remove the claim
 //
-// The claim protocol is file-granular and crash-safe: a cell is DONE iff
-// its state file exists and validates (fingerprint + index + checksum); a
-// claim file only arbitrates between concurrently *live* workers.  A worker
-// SIGKILLed mid-cell leaves at worst a stale claim and a .tmp file, both
-// removed by clean_stale_claims on the next coordinator start — the cell is
-// simply recomputed.  Because every cell result is a pure function of
-// (manifest, cell index) and merge_run_dir assembles cells in ascending
-// index order, the merged grid_result is bit-identical to the
-// single-process run_scenario_grid for the same axes/config — regardless of
-// worker count, scheduling, or how many kill/resume cycles the run
-// suffered.
+// The claim protocol is file-granular and crash-safe: a cell is DONE iff its
+// state file exists and validates (fingerprint + index + checksum); a claim
+// file only arbitrates between concurrently *live* workers.  Claims are
+// taken by writing a uniquely-named owner file (host + pid + timestamp) and
+// renaming it onto the claim path with RENAME_NOREPLACE — atomic on local
+// filesystems AND on shared network filesystems where O_CREAT|O_EXCL is
+// historically unreliable, which is what makes one run directory on NFS
+// safe for workers on many hosts.  A claim's lease timestamp is its file
+// mtime, and lease AGE is measured against the same filesystem's clock (a
+// freshly-touched probe file's mtime), so per-host clock skew cannot
+// corrupt the arithmetic.  A claim is reaped only when its owner pid is
+// provably dead on THIS host, or when its lease has been silent longer
+// than the TTL — a young claim from another host is never touched.  Both
+// the coordinator sweep (clean_stale_claims) and the workers themselves
+// (on claim conflict) apply this rule, so a coordinator-less fleet
+// recovers a lost host's cells on its own once the leases expire.  A
+// worker SIGKILLed mid-cell leaves at worst a stale claim and a .tmp file;
+// the cell is simply recomputed.  Because every cell result
+// is a pure function of (manifest, cell index) and the merges assemble cells
+// in ascending index order, the merged output is bit-identical to the
+// single-process oracle (run_scenario_grid / run_demand_campaign /
+// run_experiment) — regardless of worker count, host count, scheduling, or
+// how many kill/resume cycles the run suffered.
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -37,24 +56,53 @@
 
 namespace reldiv::mc {
 
-/// Create (or re-open) a run directory for the given sweep: make
+/// Create (or re-open) a run directory for the given scenario sweep: make
 /// `<run_dir>/cells/`, write the binary manifest and its JSON mirror
 /// atomically.  Re-opening an existing directory is the resume path — the
-/// existing manifest must carry the same fingerprint, otherwise the
-/// directory belongs to a different sweep and run_dir_error is thrown.
+/// existing manifest must carry the same kind and fingerprint, otherwise the
+/// directory belongs to a different run and run_dir_error is thrown.
 sweep_manifest init_run_dir(const scenario_axes& axes, const scenario_config& cfg,
                             const std::filesystem::path& run_dir);
 
-/// Load and validate the manifest of an existing run directory.
+/// Demand-campaign sibling of init_run_dir: `m` must validate().
+demand_manifest init_demand_run_dir(const demand_manifest& m,
+                                    const std::filesystem::path& run_dir);
+
+/// Experiment shard-window sibling of init_run_dir: `m` must validate()
+/// (build it with make_experiment_manifest).
+experiment_manifest init_experiment_run_dir(const experiment_manifest& m,
+                                            const std::filesystem::path& run_dir);
+
+/// Which job kind an existing run directory holds (from its manifest's
+/// container kind, after full integrity validation).
+[[nodiscard]] job_kind load_run_kind(const std::filesystem::path& run_dir);
+
+/// Load and validate the manifest of an existing run directory of the
+/// matching kind.
 [[nodiscard]] sweep_manifest load_run_manifest(const std::filesystem::path& run_dir);
+[[nodiscard]] demand_manifest load_demand_manifest(const std::filesystem::path& run_dir);
+[[nodiscard]] experiment_manifest load_experiment_manifest(
+    const std::filesystem::path& run_dir);
+
+/// Default claim lease: a claim (or orphaned .tmp file) whose owner cannot
+/// be probed — another host's worker — is only reaped after this long
+/// without its state file landing.
+inline constexpr std::chrono::seconds kClaimLeaseTtl{600};
 
 /// Remove stale claim markers and orphaned .tmp files left by killed
-/// workers.  Only call when no worker is running against the directory (the
-/// coordinator calls it before spawning).
-void clean_stale_claims(const std::filesystem::path& run_dir);
+/// workers.  Honors the lease protocol, so it is safe to call while workers
+/// — including workers on other hosts — are running:
+///   * a claim whose recorded host is THIS host and whose pid is dead is
+///     reaped immediately;
+///   * any other claim (unknown host, unparseable owner, live-looking pid)
+///     is reaped only once its mtime is older than `ttl`;
+///   * same rules for write_file_atomic .tmp orphans.
+void clean_stale_claims(const std::filesystem::path& run_dir,
+                        std::chrono::seconds ttl = kClaimLeaseTtl);
 
 /// Cells whose state file is absent or fails validation, in ascending
-/// order.  Empty means the run directory is complete and mergeable.
+/// order.  Empty means the run directory is complete and mergeable.  Works
+/// for every job kind.
 [[nodiscard]] std::vector<std::uint64_t> missing_cells(const std::filesystem::path& run_dir);
 
 struct worker_report {
@@ -64,10 +112,12 @@ struct worker_report {
 
 /// Worker body: walk the manifest's cells, claim-and-compute every cell
 /// that is not already done (a cell with an invalid/corrupt state file is
-/// recomputed and its file replaced).  Stops early after `max_cells`
-/// computed cells when max_cells > 0 — the deterministic-interruption hook
-/// the resume tests and CI use.  Safe to run concurrently from any number
-/// of processes on a shared filesystem.
+/// recomputed and its file replaced).  Dispatches on the directory's job
+/// kind — the same worker loop serves scenario grids, demand campaigns and
+/// experiment shard windows.  Stops early after `max_cells` computed cells
+/// when max_cells > 0 — the deterministic-interruption hook the resume
+/// tests and CI use.  Safe to run concurrently from any number of processes
+/// on any number of hosts sharing the directory's filesystem.
 worker_report run_pending_cells(const std::filesystem::path& run_dir,
                                 std::size_t max_cells = 0);
 
@@ -83,11 +133,24 @@ worker_report run_pending_cells(const std::filesystem::path& run_dir,
 /// worker).
 [[nodiscard]] std::vector<int> wait_sweep_workers(const std::vector<int>& pids);
 
-/// Assemble the completed run directory into the exact single-process
+/// Assemble a completed scenario run directory into the exact single-process
 /// grid_result: read every cell state file in ascending index order,
 /// validate it against the manifest (fingerprint, index, cell coordinates),
 /// and append.  Throws run_dir_error if any cell is missing or invalid.
 [[nodiscard]] grid_result merge_run_dir(const std::filesystem::path& run_dir);
+
+/// Assemble a completed demand run directory into the exact
+/// run_demand_campaign tally: window slices are placed (integer counts —
+/// placement IS the merge) in ascending window order after fingerprint and
+/// bounds validation.
+[[nodiscard]] demand_tally merge_demand_run_dir(const std::filesystem::path& run_dir);
+
+/// Assemble a completed experiment run directory into the exact
+/// run_experiment result: every window's per-shard accumulator states are
+/// folded — empty accumulator first, then ascending shard order — replaying
+/// run_experiment's left fold bit-for-bit.
+[[nodiscard]] experiment_result merge_experiment_run_dir(
+    const std::filesystem::path& run_dir);
 
 struct distributed_config {
   std::filesystem::path run_dir;
@@ -105,5 +168,16 @@ struct distributed_config {
                                                const scenario_config& cfg,
                                                const distributed_config& dist,
                                                const std::string& worker_exe);
+
+/// Demand-campaign coordinator, same contract as run_distributed_grid.
+[[nodiscard]] demand_tally run_distributed_demand(const demand_manifest& m,
+                                                  const distributed_config& dist,
+                                                  const std::string& worker_exe);
+
+/// Experiment shard-window coordinator, same contract as
+/// run_distributed_grid.
+[[nodiscard]] experiment_result run_distributed_experiment(
+    const experiment_manifest& m, const distributed_config& dist,
+    const std::string& worker_exe);
 
 }  // namespace reldiv::mc

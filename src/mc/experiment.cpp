@@ -1,5 +1,6 @@
 #include "mc/experiment.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
@@ -230,6 +231,84 @@ experiment_result run_experiment(const core::fault_universe& u,
   experiment_result result = acc.to_result(config.ci_level);
   result.shards = shards;
   return result;
+}
+
+std::uint64_t experiment_manifest::window_count() const {
+  validate();
+  return (static_cast<std::uint64_t>(shards) + window - 1) / window;
+}
+
+std::pair<unsigned, unsigned> experiment_manifest::window_bounds(
+    std::uint64_t index) const {
+  const std::uint64_t windows = window_count();
+  if (index >= windows) {
+    throw std::out_of_range("experiment_manifest: window index " + std::to_string(index) +
+                            " out of range (windows: " + std::to_string(windows) + ")");
+  }
+  const unsigned begin = static_cast<unsigned>(index * window);
+  const unsigned end = static_cast<unsigned>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(begin) + window, shards));
+  return {begin, end};
+}
+
+void experiment_manifest::validate() const {
+  if (samples == 0) throw std::invalid_argument("experiment_manifest: samples must be > 0");
+  if (window == 0) throw std::invalid_argument("experiment_manifest: window must be > 0");
+  if (!(ci_level > 0.0 && ci_level < 1.0)) {
+    throw std::invalid_argument("experiment_manifest: ci_level outside (0, 1)");
+  }
+  if (engine != sampling_engine::fast && engine != sampling_engine::exact &&
+      engine != sampling_engine::legacy) {
+    throw std::invalid_argument("experiment_manifest: unknown sampling engine");
+  }
+  if (shards == 0 || shards != experiment_shard_count(config())) {
+    throw std::invalid_argument(
+        "experiment_manifest: shard count does not match the resolved layout "
+        "(build manifests with make_experiment_manifest)");
+  }
+}
+
+experiment_manifest make_experiment_manifest(const core::fault_universe& u,
+                                             const experiment_config& config,
+                                             unsigned window) {
+  if (config.samples == 0) {
+    throw std::invalid_argument("experiment_manifest: samples must be > 0");
+  }
+  experiment_manifest m;
+  m.universe = u;
+  m.samples = config.samples;
+  m.seed = config.seed;
+  m.shards = experiment_shard_count(config);
+  m.engine = config.engine;
+  m.keep_samples = config.keep_samples;
+  m.ci_level = config.ci_level;
+  m.window = window == 0 ? m.shards : window;
+  m.validate();
+  return m;
+}
+
+experiment_window_result run_experiment_window(const experiment_manifest& m,
+                                               std::uint64_t index, unsigned threads) {
+  const auto [shard_begin, shard_end] = m.window_bounds(index);
+  const experiment_config cfg = m.config(threads);
+  const shard_plan plan = make_shard_plan(cfg.samples, cfg.shards);
+
+  experiment_window_result out;
+  out.shard_begin = shard_begin;
+  out.shard_end = shard_end;
+  out.shard_states.reserve(shard_end - shard_begin);
+  // Per-shard states stay separate (see experiment_window_result): run_shards
+  // already merges — here: appends — in ascending shard order regardless of
+  // the thread count.
+  run_shards(
+      plan, cfg.seed, shard_begin, shard_end, threads,
+      [&](unsigned /*shard*/, std::uint64_t samples, stats::rng& r) {
+        return run_shard(m.universe, samples, r, cfg.keep_samples, cfg.engine);
+      },
+      [&out](unsigned /*shard*/, experiment_accumulator&& acc) {
+        out.shard_states.push_back(acc.state());
+      });
+  return out;
 }
 
 }  // namespace reldiv::mc

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/fault_universe.hpp"
@@ -168,5 +169,74 @@ void run_experiment_shards(const core::fault_universe& u,
 /// Simulate `config.samples` independent pairs of versions from `u`.
 [[nodiscard]] experiment_result run_experiment(const core::fault_universe& u,
                                                const experiment_config& config);
+
+// ---------------------------------------------------------------------------
+// Distributed experiment: the manifest + shard-window job unit
+// ---------------------------------------------------------------------------
+
+/// Identity of one huge run_experiment distributed as shard windows: the
+/// universe atom-for-atom, the experiment identity knobs (samples, seed,
+/// RESOLVED logical shard count, engine, keep_samples, ci_level), and the
+/// window size that slices the shard range into job units.  Window w covers
+/// shards [w*window, min((w+1)*window, shards)); each shard is a pure
+/// function of (universe, config, shard index), so a window result is a pure
+/// function of (manifest, window index).
+struct experiment_manifest {
+  core::fault_universe universe;
+  std::uint64_t samples = 0;
+  std::uint64_t seed = 1;
+  unsigned shards = 0;  ///< resolved logical shard count (never 0 — use
+                        ///< make_experiment_manifest to resolve a config)
+  sampling_engine engine = sampling_engine::fast;
+  bool keep_samples = false;
+  double ci_level = 0.99;
+  unsigned window = 0;  ///< shards per distributed window
+
+  /// The experiment_config this manifest pins (threads is a throughput knob,
+  /// never part of the identity).
+  [[nodiscard]] experiment_config config(unsigned threads = 0) const {
+    return experiment_config{.samples = samples,
+                             .seed = seed,
+                             .threads = threads,
+                             .shards = shards,
+                             .keep_samples = keep_samples,
+                             .ci_level = ci_level,
+                             .engine = engine};
+  }
+  /// ceil(shards / window).
+  [[nodiscard]] std::uint64_t window_count() const;
+  /// [shard_begin, shard_end) of window `index`; throws std::out_of_range
+  /// past window_count().
+  [[nodiscard]] std::pair<unsigned, unsigned> window_bounds(std::uint64_t index) const;
+  /// Throws std::invalid_argument on samples == 0, window == 0, or a shard
+  /// count that disagrees with the config's resolved layout.
+  void validate() const;
+};
+
+/// Pin a (universe, config) pair as a distributable manifest: resolves the
+/// config's logical shard count (the 0 default is budget-scaled, so it must
+/// be frozen before windows can be enumerated) and records `window` shards
+/// per job unit (0 = one window spanning every shard).
+[[nodiscard]] experiment_manifest make_experiment_manifest(
+    const core::fault_universe& u, const experiment_config& config, unsigned window = 0);
+
+/// One computed shard window.  The per-shard accumulator states are kept
+/// SEPARATE: experiment_accumulator::merge is a Chan pairwise fold and is not
+/// floating-point-associative, so bit-identity with the single-process
+/// run_experiment requires the final merge to replay its exact left fold —
+/// empty accumulator, then every shard's accumulator in ascending shard
+/// order.  Window files therefore carry one state per shard and the merge
+/// walks them in order.
+struct experiment_window_result {
+  unsigned shard_begin = 0;
+  unsigned shard_end = 0;
+  std::vector<accumulator_state> shard_states;  ///< shards [begin, end), in order
+};
+
+/// Pure job unit of the distributed experiment driver, mirroring
+/// run_scenario_cell: compute every shard of window `index` independently.
+[[nodiscard]] experiment_window_result run_experiment_window(const experiment_manifest& m,
+                                                             std::uint64_t index,
+                                                             unsigned threads = 0);
 
 }  // namespace reldiv::mc

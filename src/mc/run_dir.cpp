@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <utility>
@@ -242,7 +243,11 @@ std::string encode_state_blob(state_kind kind, std::string_view payload) {
   return blob;
 }
 
-std::string_view decode_state_blob(state_kind expected_kind, std::string_view blob) {
+namespace {
+
+/// The integrity half of container decoding: everything except the kind
+/// comparison.  Returns (declared kind, payload).
+std::pair<std::uint32_t, std::string_view> decode_state_blob_any(std::string_view blob) {
   constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8;  // magic + version + kind + length
   constexpr std::size_t kChecksumSize = 8;
   if (blob.size() < kHeaderSize + kChecksumSize) {
@@ -259,11 +264,6 @@ std::string_view decode_state_blob(state_kind expected_kind, std::string_view bl
                         std::to_string(kStateFormatVersion) + ")");
   }
   const std::uint32_t kind = header.get_u32();
-  if (kind != static_cast<std::uint32_t>(expected_kind)) {
-    throw run_dir_error("run_dir: state kind mismatch (file holds kind " +
-                        std::to_string(kind) + ", expected " +
-                        std::to_string(static_cast<std::uint32_t>(expected_kind)) + ")");
-  }
   const std::uint64_t payload_size = header.get_u64();
   if (payload_size != blob.size() - kHeaderSize - kChecksumSize) {
     throw run_dir_error("run_dir: state file truncated or padded (payload length " +
@@ -275,7 +275,59 @@ std::string_view decode_state_blob(state_kind expected_kind, std::string_view bl
   if (stored != actual) {
     throw run_dir_error("run_dir: state file checksum mismatch (corrupt)");
   }
-  return blob.substr(kHeaderSize, payload_size);
+  return {kind, blob.substr(kHeaderSize, payload_size)};
+}
+
+}  // namespace
+
+std::string_view decode_state_blob(state_kind expected_kind, std::string_view blob) {
+  const auto [kind, payload] = decode_state_blob_any(blob);
+  if (kind != static_cast<std::uint32_t>(expected_kind)) {
+    throw run_dir_error("run_dir: state kind mismatch (file holds kind " +
+                        std::to_string(kind) + ", expected " +
+                        std::to_string(static_cast<std::uint32_t>(expected_kind)) + ")");
+  }
+  return payload;
+}
+
+state_kind peek_state_kind(std::string_view blob) {
+  const auto [kind, payload] = decode_state_blob_any(blob);
+  (void)payload;
+  if (kind < static_cast<std::uint32_t>(state_kind::accumulator) ||
+      kind > static_cast<std::uint32_t>(state_kind::experiment_window)) {
+    throw run_dir_error("run_dir: unknown state kind " + std::to_string(kind));
+  }
+  return static_cast<state_kind>(kind);
+}
+
+state_kind manifest_kind_of(job_kind kind) {
+  switch (kind) {
+    case job_kind::scenario_grid: return state_kind::manifest;
+    case job_kind::demand_campaign: return state_kind::demand_manifest;
+    case job_kind::experiment_shards: return state_kind::experiment_manifest;
+  }
+  throw run_dir_error("run_dir: unknown job kind");
+}
+
+job_kind manifest_job_kind(state_kind kind) {
+  switch (kind) {
+    case state_kind::manifest: return job_kind::scenario_grid;
+    case state_kind::demand_manifest: return job_kind::demand_campaign;
+    case state_kind::experiment_manifest: return job_kind::experiment_shards;
+    default:
+      throw run_dir_error("run_dir: state kind " +
+                          std::to_string(static_cast<std::uint32_t>(kind)) +
+                          " is not a manifest kind");
+  }
+}
+
+state_kind window_kind_of(job_kind kind) {
+  switch (kind) {
+    case job_kind::scenario_grid: return state_kind::scenario_cell;
+    case job_kind::demand_campaign: return state_kind::demand_window;
+    case job_kind::experiment_shards: return state_kind::experiment_window;
+  }
+  throw run_dir_error("run_dir: unknown job kind");
 }
 
 // ---------------------------------------------------------------------------
@@ -320,8 +372,8 @@ cell_state decode_cell_state(std::string_view blob) {
                         [](wire_reader& r) { return read_cell_payload(r); });
 }
 
-cell_identity peek_cell_identity(std::string_view blob) {
-  const std::string_view payload = decode_state_blob(state_kind::scenario_cell, blob);
+cell_identity peek_cell_identity(state_kind kind, std::string_view blob) {
+  const std::string_view payload = decode_state_blob(kind, blob);
   try {
     wire_reader r(payload);
     cell_identity id;
@@ -331,6 +383,80 @@ cell_identity peek_cell_identity(std::string_view blob) {
   } catch (const stats::wire_error& e) {
     throw run_dir_error(std::string("run_dir: state payload malformed: ") + e.what());
   }
+}
+
+cell_identity peek_cell_identity(std::string_view blob) {
+  return peek_cell_identity(state_kind::scenario_cell, blob);
+}
+
+// ---------------------------------------------------------------------------
+// Demand and experiment window states
+// ---------------------------------------------------------------------------
+
+std::string encode_demand_window_state(const demand_window_state& s) {
+  wire_writer w;
+  w.put_u64(s.fingerprint);
+  w.put_u64(s.window_index);
+  w.put_u64(s.result.target_begin);
+  w.put_u64(s.result.target_end);
+  w.put_u64(s.result.demands);
+  write_u64_vec(w, s.result.failures);
+  return encode_state_blob(state_kind::demand_window, w.buffer());
+}
+
+demand_window_state decode_demand_window_state(std::string_view blob) {
+  return decode_payload(state_kind::demand_window, blob, [](wire_reader& r) {
+    demand_window_state s;
+    s.fingerprint = r.get_u64();
+    s.window_index = r.get_u64();
+    s.result.target_begin = r.get_u64();
+    s.result.target_end = r.get_u64();
+    s.result.demands = r.get_u64();
+    s.result.failures = read_u64_vec(r);
+    if (s.result.target_begin > s.result.target_end ||
+        s.result.failures.size() != s.result.target_end - s.result.target_begin) {
+      throw stats::wire_error("wire: demand window bounds disagree with its counts");
+    }
+    return s;
+  });
+}
+
+std::string encode_experiment_window_state(const experiment_window_state& s) {
+  wire_writer w;
+  w.put_u64(s.fingerprint);
+  w.put_u64(s.window_index);
+  w.put_u32(s.result.shard_begin);
+  w.put_u32(s.result.shard_end);
+  w.put_u64(s.result.shard_states.size());
+  for (const accumulator_state& shard : s.result.shard_states) {
+    write_accumulator_payload(w, shard);
+  }
+  return encode_state_blob(state_kind::experiment_window, w.buffer());
+}
+
+experiment_window_state decode_experiment_window_state(std::string_view blob) {
+  return decode_payload(state_kind::experiment_window, blob, [](wire_reader& r) {
+    experiment_window_state s;
+    s.fingerprint = r.get_u64();
+    s.window_index = r.get_u64();
+    s.result.shard_begin = r.get_u32();
+    s.result.shard_end = r.get_u32();
+    const std::uint64_t n = r.get_u64();
+    // Each shard state is at least 8 bytes of counters on the wire; a
+    // mangled count must throw, not drive a huge reserve.
+    if (n > r.remaining() / 8) {
+      throw stats::wire_error("wire: shard state count exceeds buffer");
+    }
+    if (s.result.shard_begin > s.result.shard_end ||
+        n != s.result.shard_end - s.result.shard_begin) {
+      throw stats::wire_error("wire: shard window bounds disagree with its states");
+    }
+    s.result.shard_states.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      s.result.shard_states.push_back(read_accumulator_payload(r));
+    }
+    return s;
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -396,12 +522,189 @@ std::string manifest_json(const sweep_manifest& m) {
   return out;
 }
 
+namespace {
+
+// The demand and experiment manifest payloads lead with their job kind so
+// the three manifest payloads can never alias under the shared FNV-1a
+// fingerprint hash (the scenario payload predates the tag and keeps its
+// PR 4 layout for fingerprint stability).
+
+void write_demand_manifest_payload(wire_writer& w, const demand_manifest& m) {
+  w.put_u32(static_cast<std::uint32_t>(job_kind::demand_campaign));
+  w.put_u64(m.seed);
+  w.put_u64(m.demands);
+  w.put_u64(m.window);
+  write_f64_vec(w, m.target_pfd);
+}
+
+demand_manifest read_demand_manifest_payload(wire_reader& r) {
+  demand_manifest m;
+  if (r.get_u32() != static_cast<std::uint32_t>(job_kind::demand_campaign)) {
+    throw stats::wire_error("wire: demand manifest job-kind tag mismatch");
+  }
+  m.seed = r.get_u64();
+  m.demands = r.get_u64();
+  m.window = r.get_u64();
+  m.target_pfd = read_f64_vec(r);
+  m.validate();
+  return m;
+}
+
+void write_experiment_manifest_payload(wire_writer& w, const experiment_manifest& m) {
+  w.put_u32(static_cast<std::uint32_t>(job_kind::experiment_shards));
+  w.put_u64(m.seed);
+  w.put_u64(m.samples);
+  w.put_u32(m.shards);
+  w.put_u32(static_cast<std::uint32_t>(m.engine));
+  w.put_u8(m.keep_samples ? 1 : 0);
+  w.put_f64(m.ci_level);
+  w.put_u32(m.window);
+  w.put_u64(m.universe.size());
+  for (const auto& atom : m.universe.atoms()) {
+    w.put_f64(atom.p);
+    w.put_f64(atom.q);
+  }
+}
+
+experiment_manifest read_experiment_manifest_payload(wire_reader& r) {
+  experiment_manifest m;
+  if (r.get_u32() != static_cast<std::uint32_t>(job_kind::experiment_shards)) {
+    throw stats::wire_error("wire: experiment manifest job-kind tag mismatch");
+  }
+  m.seed = r.get_u64();
+  m.samples = r.get_u64();
+  m.shards = r.get_u32();
+  const std::uint32_t engine = r.get_u32();
+  if (engine > static_cast<std::uint32_t>(sampling_engine::legacy)) {
+    throw stats::wire_error("wire: unknown sampling engine " + std::to_string(engine));
+  }
+  m.engine = static_cast<sampling_engine>(engine);
+  m.keep_samples = r.get_u8() != 0;
+  m.ci_level = r.get_f64();
+  m.window = r.get_u32();
+  const std::uint64_t n = r.get_u64();
+  if (n > r.remaining() / 16) throw stats::wire_error("wire: universe size exceeds buffer");
+  std::vector<double> p;
+  std::vector<double> q;
+  p.reserve(n);
+  q.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    p.push_back(r.get_f64());
+    q.push_back(r.get_f64());
+  }
+  m.universe = core::fault_universe::from_arrays(p, q, /*allow_q_overflow=*/true);
+  m.validate();
+  return m;
+}
+
+}  // namespace
+
+std::string encode_demand_manifest(const demand_manifest& m) {
+  wire_writer w;
+  write_demand_manifest_payload(w, m);
+  return encode_state_blob(state_kind::demand_manifest, w.buffer());
+}
+
+demand_manifest decode_demand_manifest(std::string_view blob) {
+  return decode_payload(state_kind::demand_manifest, blob,
+                        [](wire_reader& r) { return read_demand_manifest_payload(r); });
+}
+
+std::uint64_t demand_manifest_fingerprint(const demand_manifest& m) {
+  wire_writer w;
+  write_demand_manifest_payload(w, m);
+  return stats::fnv1a64(w.buffer());
+}
+
+std::string demand_manifest_json(const demand_manifest& m) {
+  m.validate();
+  std::string out = "{\n  \"format_version\": " + std::to_string(kStateFormatVersion);
+  out += ",\n  \"job_kind\": \"demand_campaign\"";
+  out += ",\n  \"seed\": " + std::to_string(m.seed);
+  out += ",\n  \"demands\": " + std::to_string(m.demands);
+  out += ",\n  \"targets\": " + std::to_string(m.target_pfd.size());
+  out += ",\n  \"window\": " + std::to_string(m.window);
+  out += ",\n  \"window_count\": " + std::to_string(m.window_count());
+  out += ",\n  \"fingerprint\": " + std::to_string(demand_manifest_fingerprint(m));
+  const auto [lo, hi] =
+      std::minmax_element(m.target_pfd.begin(), m.target_pfd.end());
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", *lo);
+  out += ",\n  \"pfd_min\": ";
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%.17g", *hi);
+  out += ",\n  \"pfd_max\": ";
+  out += buf;
+  out += "\n}\n";
+  return out;
+}
+
+std::string encode_experiment_manifest(const experiment_manifest& m) {
+  wire_writer w;
+  write_experiment_manifest_payload(w, m);
+  return encode_state_blob(state_kind::experiment_manifest, w.buffer());
+}
+
+experiment_manifest decode_experiment_manifest(std::string_view blob) {
+  return decode_payload(state_kind::experiment_manifest, blob, [](wire_reader& r) {
+    return read_experiment_manifest_payload(r);
+  });
+}
+
+std::uint64_t experiment_manifest_fingerprint(const experiment_manifest& m) {
+  wire_writer w;
+  write_experiment_manifest_payload(w, m);
+  return stats::fnv1a64(w.buffer());
+}
+
+std::string experiment_manifest_json(const experiment_manifest& m) {
+  m.validate();
+  std::string out = "{\n  \"format_version\": " + std::to_string(kStateFormatVersion);
+  out += ",\n  \"job_kind\": \"experiment_shards\"";
+  out += ",\n  \"seed\": " + std::to_string(m.seed);
+  out += ",\n  \"samples\": " + std::to_string(m.samples);
+  out += ",\n  \"shards\": " + std::to_string(m.shards);
+  out += ",\n  \"engine\": " + std::to_string(static_cast<std::uint32_t>(m.engine));
+  out += ",\n  \"keep_samples\": ";
+  out += m.keep_samples ? "true" : "false";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", m.ci_level);
+  out += ",\n  \"ci_level\": ";
+  out += buf;
+  out += ",\n  \"window\": " + std::to_string(m.window);
+  out += ",\n  \"window_count\": " + std::to_string(m.window_count());
+  out += ",\n  \"faults\": " + std::to_string(m.universe.size());
+  out += ",\n  \"fingerprint\": " + std::to_string(experiment_manifest_fingerprint(m));
+  out += "\n}\n";
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Filesystem layer
 // ---------------------------------------------------------------------------
 
+const std::string& claim_host_name() {
+  static const std::string host = [] {
+    char buf[256] = {};
+    if (::gethostname(buf, sizeof(buf) - 1) != 0 || buf[0] == '\0') {
+      return std::string("localhost");
+    }
+    std::string name(buf);
+    // '.' separates the pid in .tmp suffixes and '/' is a path separator:
+    // map both (and anything else exotic) to '-'.
+    for (char& c : name) {
+      const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_';
+      if (!safe) c = '-';
+    }
+    return name;
+  }();
+  return host;
+}
+
 void write_file_atomic(const fs::path& path, std::string_view contents) {
-  const fs::path tmp = path.string() + ".tmp." + std::to_string(::getpid());
+  const fs::path tmp =
+      path.string() + ".tmp." + claim_host_name() + "." + std::to_string(::getpid());
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
     if (!f) throw run_dir_error("run_dir: cannot open " + tmp.string() + " for writing");

@@ -68,11 +68,31 @@ inline constexpr std::uint32_t kStateFormatVersion = 1;
 /// What a state-file container carries.  The kind is part of the header so
 /// a demand tally handed to the scenario-cell decoder fails loudly.
 enum class state_kind : std::uint32_t {
-  accumulator = 1,    ///< mc::accumulator_state
-  demand = 2,         ///< mc::demand_tally
-  scenario_cell = 3,  ///< mc::cell_state (fingerprint + index + result)
-  manifest = 4,       ///< mc::sweep_manifest
+  accumulator = 1,          ///< mc::accumulator_state
+  demand = 2,               ///< mc::demand_tally
+  scenario_cell = 3,        ///< mc::cell_state (fingerprint + index + result)
+  manifest = 4,             ///< mc::sweep_manifest (scenario-grid runs)
+  demand_manifest = 5,      ///< mc::demand_manifest (demand-campaign runs)
+  experiment_manifest = 6,  ///< mc::experiment_manifest (shard-window runs)
+  demand_window = 7,        ///< mc::demand_window_state
+  experiment_window = 8,    ///< mc::experiment_window_state
 };
+
+/// The three work units the distributed driver can fan out.  A run
+/// directory's kind is decided by which manifest kind its manifest.state
+/// holds; every cell/window file kind must match it.
+enum class job_kind : std::uint32_t {
+  scenario_grid = 1,      ///< cells are scenario cells (run_scenario_cell)
+  demand_campaign = 2,    ///< cells are roster windows (run_demand_window)
+  experiment_shards = 3,  ///< cells are shard windows (run_experiment_window)
+};
+
+/// Manifest state kind of a job kind, and back.  manifest_job_kind throws
+/// run_dir_error for a non-manifest state kind.
+[[nodiscard]] state_kind manifest_kind_of(job_kind kind);
+[[nodiscard]] job_kind manifest_job_kind(state_kind kind);
+/// Cell/window state kind the driver writes for a job kind.
+[[nodiscard]] state_kind window_kind_of(job_kind kind);
 
 // ---------------------------------------------------------------------------
 // Container framing
@@ -85,6 +105,12 @@ enum class state_kind : std::uint32_t {
 /// its payload.  Throws run_dir_error on any defect.
 [[nodiscard]] std::string_view decode_state_blob(state_kind expected_kind,
                                                  std::string_view blob);
+
+/// Validate a container's integrity (magic, version, length, checksum — every
+/// check decode_state_blob performs except the kind comparison) and return
+/// the kind it declares.  How the generic driver discovers what job kind a
+/// run directory holds before choosing a typed decoder.
+[[nodiscard]] state_kind peek_state_kind(std::string_view blob);
 
 // ---------------------------------------------------------------------------
 // Typed state codecs (full container in, full container out)
@@ -117,9 +143,41 @@ struct cell_identity {
 };
 
 /// Validate the container (magic, version, kind, length, checksum — the
-/// same integrity guarantees as decode_cell_state) and return just the
-/// identity prefix, with no payload decode or allocation.
+/// same integrity guarantees as the full decoder) and return just the
+/// identity prefix, with no payload decode or allocation.  Every cell/window
+/// payload leads with (fingerprint, index) precisely so done-ness scans can
+/// validate a file this cheaply; `kind` selects which window kind the file
+/// must hold.
+[[nodiscard]] cell_identity peek_cell_identity(state_kind kind, std::string_view blob);
+/// Scenario-cell shorthand (the original PR 4 entry point).
 [[nodiscard]] cell_identity peek_cell_identity(std::string_view blob);
+
+// ---------------------------------------------------------------------------
+// Demand-campaign and experiment shard-window state files
+// ---------------------------------------------------------------------------
+
+/// Payload of one completed demand window: which run it belongs to, which
+/// window it is, and the window's slice of the campaign tally.
+struct demand_window_state {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t window_index = 0;
+  demand_window_result result;
+};
+
+[[nodiscard]] std::string encode_demand_window_state(const demand_window_state& s);
+[[nodiscard]] demand_window_state decode_demand_window_state(std::string_view blob);
+
+/// Payload of one completed experiment shard window: run fingerprint, window
+/// index, and the per-shard accumulator states (kept separate so the merge
+/// can replay run_experiment's exact left fold — see experiment_window_result).
+struct experiment_window_state {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t window_index = 0;
+  experiment_window_result result;
+};
+
+[[nodiscard]] std::string encode_experiment_window_state(const experiment_window_state& s);
+[[nodiscard]] experiment_window_state decode_experiment_window_state(std::string_view blob);
 
 // ---------------------------------------------------------------------------
 // Manifest
@@ -155,13 +213,35 @@ struct sweep_manifest {
 /// artifacts; never parsed back.
 [[nodiscard]] std::string manifest_json(const sweep_manifest& m);
 
+// Demand-campaign manifest (kind = demand_manifest).  The payload leads with
+// the job kind so the three manifest payloads can never alias under the
+// fingerprint hash.
+[[nodiscard]] std::string encode_demand_manifest(const demand_manifest& m);
+[[nodiscard]] demand_manifest decode_demand_manifest(std::string_view blob);
+[[nodiscard]] std::uint64_t demand_manifest_fingerprint(const demand_manifest& m);
+[[nodiscard]] std::string demand_manifest_json(const demand_manifest& m);
+
+// Experiment shard-window manifest (kind = experiment_manifest).
+[[nodiscard]] std::string encode_experiment_manifest(const experiment_manifest& m);
+[[nodiscard]] experiment_manifest decode_experiment_manifest(std::string_view blob);
+[[nodiscard]] std::uint64_t experiment_manifest_fingerprint(const experiment_manifest& m);
+[[nodiscard]] std::string experiment_manifest_json(const experiment_manifest& m);
+
 // ---------------------------------------------------------------------------
 // Filesystem layer
 // ---------------------------------------------------------------------------
 
+/// This host's name as recorded in claim files and .tmp suffixes (cached
+/// gethostname, sanitized to a filename-safe token; "localhost" when the
+/// name cannot be read).
+[[nodiscard]] const std::string& claim_host_name();
+
 /// Write-temp + rename: `path` either holds the complete contents or is
 /// untouched, even if the writer is SIGKILLed mid-write.  The temp sibling
-/// lives in the same directory (rename is atomic only within a filesystem).
+/// lives in the same directory (rename is atomic only within a filesystem)
+/// and is named `<path>.tmp.<host>.<pid>` so concurrent writers — including
+/// same-pid writers on different hosts sharing the filesystem — never
+/// collide, and stale-claim sweeps can probe the owner.
 void write_file_atomic(const std::filesystem::path& path, std::string_view contents);
 
 /// Read a whole file; throws run_dir_error if it cannot be opened/read.

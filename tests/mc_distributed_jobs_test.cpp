@@ -1,0 +1,384 @@
+// mc::distributed — the demand-campaign and experiment shard-window job
+// kinds.  The contract under test mirrors tests/mc_distributed_test.cpp:
+// however a run directory gets filled (one process, many processes,
+// interrupted and resumed, corrupted and healed), the merged output is
+// bit-identical to the single-process oracle — run_demand_campaign for
+// demand windows, run_experiment for shard windows.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "core/generators.hpp"
+#include "mc/distributed.hpp"
+#include "mc/run_dir.hpp"
+
+namespace mc = reldiv::mc;
+namespace core = reldiv::core;
+namespace fs = std::filesystem;
+
+namespace {
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+mc::demand_manifest test_demand_manifest() {
+  mc::demand_manifest m;
+  m.target_pfd.reserve(600);
+  for (std::size_t t = 0; t < 600; ++t) {
+    m.target_pfd.push_back(1e-4 + 1e-6 * static_cast<double>(t % 97));
+  }
+  m.demands = 5'000;
+  m.seed = 424242;
+  m.window = 64;  // 10 windows, the last one ragged (600 = 9*64 + 24)
+  return m;
+}
+
+mc::experiment_manifest test_experiment_manifest(bool keep_samples = false) {
+  mc::experiment_config cfg;
+  cfg.samples = 4'000;
+  cfg.seed = 90210;
+  cfg.shards = 16;
+  cfg.keep_samples = keep_samples;
+  return mc::make_experiment_manifest(
+      core::make_safety_grade_universe(24, 0.0, 0.05, 0.6, 5), cfg, /*window=*/3);
+}
+
+void expect_results_equal(const mc::experiment_result& a, const mc::experiment_result& b) {
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.shards, b.shards);
+  const auto sa1 = a.theta1.state();
+  const auto sb1 = b.theta1.state();
+  const auto sa2 = a.theta2.state();
+  const auto sb2 = b.theta2.state();
+  EXPECT_EQ(sa1.count, sb1.count);
+  EXPECT_TRUE(bits_equal(sa1.m1, sb1.m1));
+  EXPECT_TRUE(bits_equal(sa1.m2, sb1.m2));
+  EXPECT_TRUE(bits_equal(sa1.m3, sb1.m3));
+  EXPECT_TRUE(bits_equal(sa1.m4, sb1.m4));
+  EXPECT_TRUE(bits_equal(sa2.m1, sb2.m1));
+  EXPECT_TRUE(bits_equal(sa2.m2, sb2.m2));
+  EXPECT_TRUE(bits_equal(sa2.min, sb2.min));
+  EXPECT_TRUE(bits_equal(sa2.max, sb2.max));
+  EXPECT_EQ(a.n1_positive, b.n1_positive);
+  EXPECT_EQ(a.n2_positive, b.n2_positive);
+  EXPECT_EQ(a.n1_zero_pfd, b.n1_zero_pfd);
+  EXPECT_EQ(a.n2_zero_pfd, b.n2_zero_pfd);
+  EXPECT_EQ(a.theta1_samples, b.theta1_samples);
+  EXPECT_EQ(a.theta2_samples, b.theta2_samples);
+}
+
+class DistributedJobsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("reldiv_distributed_jobs_test_" + std::to_string(::getpid()) + "_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Pure window entry points
+// ---------------------------------------------------------------------------
+
+TEST_F(DistributedJobsTest, DemandWindowsAssembleIntoTheFullCampaign) {
+  const mc::demand_manifest m = test_demand_manifest();
+  ASSERT_EQ(m.window_count(), 10u);
+  const mc::demand_tally whole =
+      mc::run_demand_campaign(m.target_pfd, m.demands, m.config());
+
+  mc::demand_tally assembled;
+  assembled.demands = m.demands;
+  assembled.failures.assign(m.target_pfd.size(), 0);
+  for (std::uint64_t w = 0; w < m.window_count(); ++w) {
+    const mc::demand_window_result win = mc::run_demand_window(m, w);
+    const auto [begin, end] = m.window_bounds(w);
+    ASSERT_EQ(win.target_begin, begin);
+    ASSERT_EQ(win.target_end, end);
+    ASSERT_EQ(win.failures.size(), end - begin);
+    for (std::uint64_t t = begin; t < end; ++t) {
+      assembled.failures[t] = win.failures[t - begin];
+    }
+  }
+  EXPECT_EQ(assembled.failures, whole.failures);
+
+  // The window function is thread-invariant (per-target streams).
+  const mc::demand_window_result serial = mc::run_demand_window(m, 3, /*threads=*/1);
+  const mc::demand_window_result wide = mc::run_demand_window(m, 3, /*threads=*/7);
+  EXPECT_EQ(serial.failures, wide.failures);
+
+  EXPECT_THROW((void)mc::run_demand_window(m, m.window_count()), std::out_of_range);
+}
+
+TEST_F(DistributedJobsTest, ExperimentWindowsReplayTheRunExperimentFold) {
+  const mc::experiment_manifest m = test_experiment_manifest();
+  ASSERT_EQ(m.shards, 16u);
+  ASSERT_EQ(m.window_count(), 6u);  // ceil(16 / 3)
+
+  mc::experiment_accumulator acc(m.keep_samples);
+  for (std::uint64_t w = 0; w < m.window_count(); ++w) {
+    const mc::experiment_window_result win = mc::run_experiment_window(m, w);
+    const auto [begin, end] = m.window_bounds(w);
+    ASSERT_EQ(win.shard_begin, begin);
+    ASSERT_EQ(win.shard_end, end);
+    ASSERT_EQ(win.shard_states.size(), end - begin);
+    for (const mc::accumulator_state& shard : win.shard_states) {
+      acc.merge(mc::experiment_accumulator::from_state(shard));
+    }
+  }
+  mc::experiment_result folded = acc.to_result(m.ci_level);
+  folded.shards = m.shards;
+  expect_results_equal(folded, mc::run_experiment(m.universe, m.config()));
+
+  // Thread count is a throughput knob inside a window too.
+  const mc::experiment_window_result serial = mc::run_experiment_window(m, 1, 1);
+  const mc::experiment_window_result wide = mc::run_experiment_window(m, 1, 7);
+  ASSERT_EQ(serial.shard_states.size(), wide.shard_states.size());
+  for (std::size_t s = 0; s < serial.shard_states.size(); ++s) {
+    EXPECT_TRUE(bits_equal(serial.shard_states[s].theta1.m1,
+                           wide.shard_states[s].theta1.m1));
+    EXPECT_EQ(serial.shard_states[s].samples, wide.shard_states[s].samples);
+  }
+}
+
+TEST_F(DistributedJobsTest, ManifestValidationRejectsBrokenIdentities) {
+  mc::demand_manifest d = test_demand_manifest();
+  d.window = 0;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d = test_demand_manifest();
+  d.demands = 0;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d = test_demand_manifest();
+  d.target_pfd[5] = 1.5;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+
+  mc::experiment_manifest e = test_experiment_manifest();
+  e.shards = 0;  // unresolved layout
+  EXPECT_THROW(e.validate(), std::invalid_argument);
+  e = test_experiment_manifest();
+  e.shards = static_cast<unsigned>(e.samples) + 1;  // more shards than samples —
+  EXPECT_THROW(e.validate(), std::invalid_argument);  // the plan caps, so it disagrees
+}
+
+// ---------------------------------------------------------------------------
+// Demand-campaign run directories
+// ---------------------------------------------------------------------------
+
+TEST_F(DistributedJobsTest, DemandInitResumeAndKindSafety) {
+  const mc::demand_manifest m = test_demand_manifest();
+  (void)mc::init_demand_run_dir(m, dir_);
+  EXPECT_EQ(mc::load_run_kind(dir_), mc::job_kind::demand_campaign);
+  EXPECT_TRUE(fs::exists(mc::manifest_path(dir_)));
+  EXPECT_TRUE(fs::exists(dir_ / "manifest.json"));
+
+  const mc::demand_manifest loaded = mc::load_demand_manifest(dir_);
+  EXPECT_EQ(mc::demand_manifest_fingerprint(loaded), mc::demand_manifest_fingerprint(m));
+
+  // Same campaign resumes; a different budget refuses; a different KIND
+  // refuses even before fingerprints are compared.
+  EXPECT_NO_THROW((void)mc::init_demand_run_dir(m, dir_));
+  mc::demand_manifest other = m;
+  other.demands += 1;
+  EXPECT_THROW((void)mc::init_demand_run_dir(other, dir_), mc::run_dir_error);
+  EXPECT_THROW((void)mc::init_experiment_run_dir(test_experiment_manifest(), dir_),
+               mc::run_dir_error);
+  EXPECT_THROW((void)mc::load_run_manifest(dir_), mc::run_dir_error);
+  EXPECT_THROW((void)mc::merge_run_dir(dir_), mc::run_dir_error);
+}
+
+TEST_F(DistributedJobsTest, DemandWorkerFillsDirectoryAndMergeEqualsSingleProcess) {
+  const mc::demand_manifest m = test_demand_manifest();
+  mc::init_demand_run_dir(m, dir_);
+
+  const auto report = mc::run_pending_cells(dir_);
+  EXPECT_EQ(report.computed, 10u);
+  EXPECT_TRUE(mc::missing_cells(dir_).empty());
+
+  const mc::demand_tally merged = mc::merge_demand_run_dir(dir_);
+  const mc::demand_tally single =
+      mc::run_demand_campaign(m.target_pfd, m.demands, m.config());
+  EXPECT_EQ(merged.demands, single.demands);
+  EXPECT_EQ(merged.failures, single.failures);
+
+  const auto again = mc::run_pending_cells(dir_);
+  EXPECT_EQ(again.computed, 0u);
+  EXPECT_EQ(again.skipped, 10u);
+}
+
+TEST_F(DistributedJobsTest, DemandInterruptedRunResumesBitIdentical) {
+  const mc::demand_manifest m = test_demand_manifest();
+  mc::init_demand_run_dir(m, dir_);
+
+  const auto partial = mc::run_pending_cells(dir_, /*max_cells=*/4);
+  EXPECT_EQ(partial.computed, 4u);
+  EXPECT_EQ(mc::missing_cells(dir_).size(), 6u);
+  EXPECT_THROW((void)mc::merge_demand_run_dir(dir_), mc::run_dir_error);
+
+  (void)mc::run_pending_cells(dir_);
+  EXPECT_EQ(mc::merge_demand_run_dir(dir_).failures,
+            mc::run_demand_campaign(m.target_pfd, m.demands, m.config()).failures);
+}
+
+TEST_F(DistributedJobsTest, DemandCorruptWindowIsRecomputed) {
+  const mc::demand_manifest m = test_demand_manifest();
+  mc::init_demand_run_dir(m, dir_);
+  (void)mc::run_pending_cells(dir_);
+
+  const fs::path victim = mc::cell_state_path(dir_, 5);
+  std::string blob = mc::read_file(victim);
+  blob[blob.size() / 2] = static_cast<char>(blob[blob.size() / 2] ^ 0x20);
+  mc::write_file_atomic(victim, blob);
+  EXPECT_EQ(mc::missing_cells(dir_), std::vector<std::uint64_t>{5});
+  EXPECT_THROW((void)mc::merge_demand_run_dir(dir_), mc::run_dir_error);
+
+  const auto report = mc::run_pending_cells(dir_);
+  EXPECT_EQ(report.computed, 1u);
+  EXPECT_EQ(mc::merge_demand_run_dir(dir_).failures,
+            mc::run_demand_campaign(m.target_pfd, m.demands, m.config()).failures);
+}
+
+TEST_F(DistributedJobsTest, DemandForeignWindowFileRejected) {
+  const mc::demand_manifest m = test_demand_manifest();
+  mc::init_demand_run_dir(m, dir_);
+  (void)mc::run_pending_cells(dir_);
+
+  const fs::path foreign_dir = dir_.string() + ".foreign";
+  mc::demand_manifest other = m;
+  other.seed = 777;
+  mc::init_demand_run_dir(other, foreign_dir);
+  (void)mc::run_pending_cells(foreign_dir, 1);
+  fs::copy_file(mc::cell_state_path(foreign_dir, 0), mc::cell_state_path(dir_, 0),
+                fs::copy_options::overwrite_existing);
+  fs::remove_all(foreign_dir);
+
+  EXPECT_THROW((void)mc::merge_demand_run_dir(dir_), mc::run_dir_error);
+  EXPECT_EQ(mc::missing_cells(dir_), std::vector<std::uint64_t>{0});
+  (void)mc::run_pending_cells(dir_);
+  EXPECT_EQ(mc::merge_demand_run_dir(dir_).failures,
+            mc::run_demand_campaign(m.target_pfd, m.demands, m.config()).failures);
+}
+
+// ---------------------------------------------------------------------------
+// Experiment shard-window run directories
+// ---------------------------------------------------------------------------
+
+TEST_F(DistributedJobsTest, ExperimentWorkerFillsDirectoryAndMergeEqualsRunExperiment) {
+  const mc::experiment_manifest m = test_experiment_manifest();
+  mc::init_experiment_run_dir(m, dir_);
+  EXPECT_EQ(mc::load_run_kind(dir_), mc::job_kind::experiment_shards);
+
+  const auto report = mc::run_pending_cells(dir_);
+  EXPECT_EQ(report.computed, 6u);
+  EXPECT_TRUE(mc::missing_cells(dir_).empty());
+
+  expect_results_equal(mc::merge_experiment_run_dir(dir_),
+                       mc::run_experiment(m.universe, m.config()));
+}
+
+TEST_F(DistributedJobsTest, ExperimentKeepSamplesRoundTripsThroughTheRunDir) {
+  const mc::experiment_manifest m = test_experiment_manifest(/*keep_samples=*/true);
+  mc::init_experiment_run_dir(m, dir_);
+  (void)mc::run_pending_cells(dir_);
+  const mc::experiment_result merged = mc::merge_experiment_run_dir(dir_);
+  const mc::experiment_result single = mc::run_experiment(m.universe, m.config());
+  ASSERT_TRUE(merged.theta1_samples.has_value());
+  expect_results_equal(merged, single);
+}
+
+TEST_F(DistributedJobsTest, ExperimentInterruptedRunResumesBitIdentical) {
+  const mc::experiment_manifest m = test_experiment_manifest();
+  mc::init_experiment_run_dir(m, dir_);
+
+  const auto partial = mc::run_pending_cells(dir_, /*max_cells=*/2);
+  EXPECT_EQ(partial.computed, 2u);
+  EXPECT_EQ(mc::missing_cells(dir_).size(), 4u);
+  EXPECT_THROW((void)mc::merge_experiment_run_dir(dir_), mc::run_dir_error);
+
+  (void)mc::run_pending_cells(dir_);
+  expect_results_equal(mc::merge_experiment_run_dir(dir_),
+                       mc::run_experiment(m.universe, m.config()));
+}
+
+TEST_F(DistributedJobsTest, ExperimentCorruptWindowIsRecomputed) {
+  const mc::experiment_manifest m = test_experiment_manifest();
+  mc::init_experiment_run_dir(m, dir_);
+  (void)mc::run_pending_cells(dir_);
+
+  const fs::path victim = mc::cell_state_path(dir_, 3);
+  std::string blob = mc::read_file(victim);
+  blob[blob.size() / 3] = static_cast<char>(blob[blob.size() / 3] ^ 0x04);
+  mc::write_file_atomic(victim, blob);
+  EXPECT_EQ(mc::missing_cells(dir_), std::vector<std::uint64_t>{3});
+
+  const auto report = mc::run_pending_cells(dir_);
+  EXPECT_EQ(report.computed, 1u);
+  expect_results_equal(mc::merge_experiment_run_dir(dir_),
+                       mc::run_experiment(m.universe, m.config()));
+}
+
+// ---------------------------------------------------------------------------
+// Real multi-process runs (worker = the built reldiv_sweep binary)
+// ---------------------------------------------------------------------------
+
+#ifdef RELDIV_SWEEP_BIN
+
+TEST_F(DistributedJobsTest, FourWorkerProcessesMatchSingleProcessDemandCampaign) {
+  const mc::demand_manifest m = test_demand_manifest();
+  const mc::distributed_config dist{.run_dir = dir_, .workers = 4};
+  const mc::demand_tally merged = mc::run_distributed_demand(m, dist, RELDIV_SWEEP_BIN);
+  const mc::demand_tally single =
+      mc::run_demand_campaign(m.target_pfd, m.demands, m.config());
+  EXPECT_EQ(merged.failures, single.failures);
+}
+
+TEST_F(DistributedJobsTest, KilledDemandRunResumesBitIdentical) {
+  const mc::demand_manifest m = test_demand_manifest();
+  mc::init_demand_run_dir(m, dir_);
+
+  // First wave: 4 real worker processes, each quota'd to one window — the
+  // deterministic stand-in for a SIGKILL that leaves 4 of 10 state files.
+  const auto pids = mc::spawn_sweep_workers(RELDIV_SWEEP_BIN, dir_, 4, /*max_cells=*/1);
+  const auto codes = mc::wait_sweep_workers(pids);
+  for (const int c : codes) EXPECT_EQ(c, 0);
+  EXPECT_EQ(mc::missing_cells(dir_).size(), 6u);
+
+  const mc::distributed_config dist{.run_dir = dir_, .workers = 4};
+  const mc::demand_tally merged = mc::run_distributed_demand(m, dist, RELDIV_SWEEP_BIN);
+  EXPECT_EQ(merged.failures,
+            mc::run_demand_campaign(m.target_pfd, m.demands, m.config()).failures);
+}
+
+TEST_F(DistributedJobsTest, FourWorkerProcessesMatchSingleProcessExperiment) {
+  const mc::experiment_manifest m = test_experiment_manifest();
+  const mc::distributed_config dist{.run_dir = dir_, .workers = 4};
+  const mc::experiment_result merged =
+      mc::run_distributed_experiment(m, dist, RELDIV_SWEEP_BIN);
+  expect_results_equal(merged, mc::run_experiment(m.universe, m.config()));
+}
+
+TEST_F(DistributedJobsTest, KilledExperimentRunResumesBitIdentical) {
+  const mc::experiment_manifest m = test_experiment_manifest();
+  mc::init_experiment_run_dir(m, dir_);
+
+  const auto pids = mc::spawn_sweep_workers(RELDIV_SWEEP_BIN, dir_, 4, /*max_cells=*/1);
+  const auto codes = mc::wait_sweep_workers(pids);
+  for (const int c : codes) EXPECT_EQ(c, 0);
+  EXPECT_EQ(mc::missing_cells(dir_).size(), 2u);
+
+  const mc::distributed_config dist{.run_dir = dir_, .workers = 4};
+  const mc::experiment_result merged =
+      mc::run_distributed_experiment(m, dist, RELDIV_SWEEP_BIN);
+  expect_results_equal(merged, mc::run_experiment(m.universe, m.config()));
+}
+
+#endif  // RELDIV_SWEEP_BIN
+
+}  // namespace

@@ -116,25 +116,87 @@ TEST_F(DistributedTest, InterruptedRunResumesBitIdentical) {
   EXPECT_EQ(merged.to_json(), single.to_json());
 }
 
+// A pid far past Linux's pid_max: kill(pid, 0) reports ESRCH, so a claim
+// recording it on THIS host is provably dead.
+constexpr long kDeadPid = 999'999'999;
+
 TEST_F(DistributedTest, StaleClaimsAreSkippedThenCleaned) {
   const auto axes = test_axes();
   const auto cfg = test_config();
   mc::init_run_dir(axes, cfg, dir_);
 
-  // A claim left by a killed worker makes cell 2 look owned...
-  std::ofstream(mc::cell_claim_path(dir_, 2)) << "9999\n";
-  std::ofstream(mc::cells_dir(dir_) / "cell_000003.state.tmp.9999") << "partial";
+  // A claim left by a killed local worker makes cell 2 look owned — but its
+  // recorded pid is provably dead on this host, so the worker reaps it
+  // inline (no lease wait, no coordinator) and computes every cell.
+  std::ofstream(mc::cell_claim_path(dir_, 2))
+      << "host " << mc::claim_host_name() << "\npid " << kDeadPid << "\ntime 0\n";
+  const fs::path orphan_tmp =
+      mc::cells_dir(dir_) / ("cell_000003.state.tmp." + mc::claim_host_name() + "." +
+                             std::to_string(kDeadPid));
+  std::ofstream(orphan_tmp) << "partial";
   const auto report = mc::run_pending_cells(dir_);
-  EXPECT_EQ(report.computed, 15u);
-  EXPECT_EQ(mc::missing_cells(dir_), std::vector<std::uint64_t>{2});
-
-  // ...until the coordinator sweeps stale claims and orphaned temps.
-  mc::clean_stale_claims(dir_);
-  EXPECT_FALSE(fs::exists(mc::cell_claim_path(dir_, 2)));
-  EXPECT_FALSE(fs::exists(mc::cells_dir(dir_) / "cell_000003.state.tmp.9999"));
-  (void)mc::run_pending_cells(dir_);
+  EXPECT_EQ(report.computed, 16u);
   EXPECT_TRUE(mc::missing_cells(dir_).empty());
+  EXPECT_FALSE(fs::exists(mc::cell_claim_path(dir_, 2)));
+
+  // The orphaned temp blocks nothing, so only the coordinator sweep — same
+  // dead-owner rule — bothers removing it.
+  EXPECT_TRUE(fs::exists(orphan_tmp));
+  mc::clean_stale_claims(dir_);
+  EXPECT_FALSE(fs::exists(orphan_tmp));
   EXPECT_EQ(mc::merge_run_dir(dir_).to_csv(), mc::run_scenario_grid(axes, cfg).to_csv());
+}
+
+TEST_F(DistributedTest, ForeignHostClaimHonorsLeaseTtl) {
+  mc::init_run_dir(test_axes(), test_config(), dir_);
+
+  // A claim from another host whose pid we cannot probe: inside its lease it
+  // must survive any clean_stale_claims sweep (the worker may be alive over
+  // there), and workers must keep skipping the cell it guards.
+  const fs::path claim = mc::cell_claim_path(dir_, 4);
+  std::ofstream(claim) << "host some-other-host\npid 1234\ntime 0\n";
+  mc::clean_stale_claims(dir_);
+  EXPECT_TRUE(fs::exists(claim));
+
+  (void)mc::run_pending_cells(dir_);
+  EXPECT_EQ(mc::missing_cells(dir_), std::vector<std::uint64_t>{4});
+
+  // Once the lease expires the claim is fair game even though its owner is
+  // unknown — and the WORKER reaps it itself (no coordinator sweep needed:
+  // a coordinator-less fleet must recover a lost host's cells on its own).
+  fs::last_write_time(claim,
+                      fs::file_time_type::clock::now() - 2 * mc::kClaimLeaseTtl);
+  (void)mc::run_pending_cells(dir_);
+  EXPECT_FALSE(fs::exists(claim));
+  EXPECT_TRUE(mc::missing_cells(dir_).empty());
+}
+
+TEST_F(DistributedTest, LiveLocalClaimIsNotReaped) {
+  mc::init_run_dir(test_axes(), test_config(), dir_);
+
+  // Our own live pid: clean_stale_claims must leave the claim alone — the
+  // rename-claim protocol's whole point is that live owners keep their cell.
+  const fs::path claim = mc::cell_claim_path(dir_, 0);
+  std::ofstream(claim) << "host " << mc::claim_host_name() << "\npid " << ::getpid()
+                       << "\ntime 0\n";
+  mc::clean_stale_claims(dir_);
+  EXPECT_TRUE(fs::exists(claim));
+  fs::remove(claim);
+}
+
+TEST_F(DistributedTest, UnparseableClaimFallsBackToLease) {
+  mc::init_run_dir(test_axes(), test_config(), dir_);
+
+  // Garbage content (e.g. a pre-lease-format claim): only the TTL rule may
+  // reap it.
+  const fs::path claim = mc::cell_claim_path(dir_, 1);
+  std::ofstream(claim) << "???";
+  mc::clean_stale_claims(dir_);
+  EXPECT_TRUE(fs::exists(claim));
+  fs::last_write_time(claim,
+                      fs::file_time_type::clock::now() - 2 * mc::kClaimLeaseTtl);
+  mc::clean_stale_claims(dir_);
+  EXPECT_FALSE(fs::exists(claim));
 }
 
 TEST_F(DistributedTest, CorruptCellFileIsRecomputed) {

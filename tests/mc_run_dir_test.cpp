@@ -223,6 +223,243 @@ TEST(RunDirCodecTest, ManifestCellCountMismatchRejected) {
 }
 
 // ---------------------------------------------------------------------------
+// Demand-window and experiment-window states (the PR 5 job kinds)
+// ---------------------------------------------------------------------------
+
+mc::demand_window_state sample_demand_window_state() {
+  mc::demand_window_state s;
+  s.fingerprint = 0xfeedface12345678ULL;
+  s.window_index = 3;
+  s.result.target_begin = 96;
+  s.result.target_end = 101;
+  s.result.demands = 50'000;
+  s.result.failures = {7, 0, 12, 999, 1};
+  return s;
+}
+
+mc::experiment_window_state sample_experiment_window_state(bool keep_samples) {
+  mc::experiment_window_state s;
+  s.fingerprint = 0xabcdef0122334455ULL;
+  s.window_index = 2;
+  s.result.shard_begin = 4;
+  s.result.shard_end = 6;
+  s.result.shard_states = {sample_accumulator_state(keep_samples),
+                           sample_accumulator_state(keep_samples)};
+  return s;
+}
+
+TEST(RunDirCodecTest, DemandWindowStateRoundTrip) {
+  const auto s = sample_demand_window_state();
+  const auto back = mc::decode_demand_window_state(mc::encode_demand_window_state(s));
+  EXPECT_EQ(back.fingerprint, s.fingerprint);
+  EXPECT_EQ(back.window_index, s.window_index);
+  EXPECT_EQ(back.result.target_begin, s.result.target_begin);
+  EXPECT_EQ(back.result.target_end, s.result.target_end);
+  EXPECT_EQ(back.result.demands, s.result.demands);
+  EXPECT_EQ(back.result.failures, s.result.failures);
+}
+
+TEST(RunDirCodecTest, ExperimentWindowStateRoundTrip) {
+  for (const bool keep : {false, true}) {
+    const auto s = sample_experiment_window_state(keep);
+    const auto back =
+        mc::decode_experiment_window_state(mc::encode_experiment_window_state(s));
+    EXPECT_EQ(back.fingerprint, s.fingerprint);
+    EXPECT_EQ(back.window_index, s.window_index);
+    EXPECT_EQ(back.result.shard_begin, s.result.shard_begin);
+    EXPECT_EQ(back.result.shard_end, s.result.shard_end);
+    ASSERT_EQ(back.result.shard_states.size(), s.result.shard_states.size());
+    for (std::size_t i = 0; i < s.result.shard_states.size(); ++i) {
+      expect_states_equal(back.result.shard_states[i], s.result.shard_states[i]);
+    }
+  }
+}
+
+TEST(RunDirCodecTest, WindowIdentityPeeksMatchFullDecode) {
+  const auto d = sample_demand_window_state();
+  const auto did = mc::peek_cell_identity(mc::state_kind::demand_window,
+                                          mc::encode_demand_window_state(d));
+  EXPECT_EQ(did.fingerprint, d.fingerprint);
+  EXPECT_EQ(did.cell_index, d.window_index);
+
+  const auto e = sample_experiment_window_state(false);
+  const auto eid = mc::peek_cell_identity(mc::state_kind::experiment_window,
+                                          mc::encode_experiment_window_state(e));
+  EXPECT_EQ(eid.fingerprint, e.fingerprint);
+  EXPECT_EQ(eid.cell_index, e.window_index);
+
+  // The peek still enforces the container kind.
+  EXPECT_THROW((void)mc::peek_cell_identity(mc::state_kind::experiment_window,
+                                            mc::encode_demand_window_state(d)),
+               mc::run_dir_error);
+}
+
+TEST(RunDirCodecTest, PeekStateKindValidatesIntegrityFirst) {
+  const std::string blob = mc::encode_demand_window_state(sample_demand_window_state());
+  EXPECT_EQ(mc::peek_state_kind(blob), mc::state_kind::demand_window);
+
+  std::string corrupt = blob;
+  corrupt[corrupt.size() / 2] = static_cast<char>(corrupt[corrupt.size() / 2] ^ 0x01);
+  EXPECT_THROW((void)mc::peek_state_kind(corrupt), mc::run_dir_error);
+  EXPECT_THROW((void)mc::peek_state_kind(std::string_view(blob).substr(0, 10)),
+               mc::run_dir_error);
+}
+
+TEST(RunDirCodecTest, DemandWindowTruncationAndCorruptionRejected) {
+  const std::string blob = mc::encode_demand_window_state(sample_demand_window_state());
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{12}, blob.size() / 2,
+                                blob.size() - 9, blob.size() - 1}) {
+    EXPECT_THROW(
+        (void)mc::decode_demand_window_state(std::string_view(blob).substr(0, cut)),
+        mc::run_dir_error)
+        << "cut=" << cut;
+  }
+  std::string corrupt = blob;
+  corrupt[corrupt.size() - 12] = static_cast<char>(corrupt[corrupt.size() - 12] ^ 0x08);
+  EXPECT_THROW((void)mc::decode_demand_window_state(corrupt), mc::run_dir_error);
+  // Wrong-kind container: an experiment window fed to the demand decoder.
+  EXPECT_THROW((void)mc::decode_demand_window_state(mc::encode_experiment_window_state(
+                   sample_experiment_window_state(false))),
+               mc::run_dir_error);
+}
+
+TEST(RunDirCodecTest, ExperimentWindowTruncationAndCorruptionRejected) {
+  const std::string blob =
+      mc::encode_experiment_window_state(sample_experiment_window_state(false));
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{12}, blob.size() / 2,
+                                blob.size() - 9, blob.size() - 1}) {
+    EXPECT_THROW(
+        (void)mc::decode_experiment_window_state(std::string_view(blob).substr(0, cut)),
+        mc::run_dir_error)
+        << "cut=" << cut;
+  }
+  std::string corrupt = blob;
+  corrupt[40] = static_cast<char>(corrupt[40] ^ 0x10);
+  EXPECT_THROW((void)mc::decode_experiment_window_state(corrupt), mc::run_dir_error);
+  EXPECT_THROW((void)mc::decode_experiment_window_state(
+                   mc::encode_demand_window_state(sample_demand_window_state())),
+               mc::run_dir_error);
+}
+
+TEST(RunDirCodecTest, DemandWindowBoundsMismatchRejected) {
+  // Bounds that disagree with the counts vector must not decode even though
+  // the container checksum is valid (a would-be writer bug, not bit rot).
+  auto s = sample_demand_window_state();
+  s.result.target_end += 1;  // 6-target window, 5 counts
+  EXPECT_THROW((void)mc::decode_demand_window_state(mc::encode_demand_window_state(s)),
+               mc::run_dir_error);
+
+  auto e = sample_experiment_window_state(false);
+  e.result.shard_end += 1;  // 3-shard window, 2 states
+  EXPECT_THROW(
+      (void)mc::decode_experiment_window_state(mc::encode_experiment_window_state(e)),
+      mc::run_dir_error);
+}
+
+// ---------------------------------------------------------------------------
+// Demand and experiment manifests
+// ---------------------------------------------------------------------------
+
+mc::demand_manifest small_demand_manifest() {
+  mc::demand_manifest m;
+  m.target_pfd = {1e-4, 2e-4, 5e-5, 0.0, 1e-3, 7e-4, 2e-6};
+  m.demands = 10'000;
+  m.seed = 77;
+  m.window = 3;
+  return m;
+}
+
+mc::experiment_manifest small_experiment_manifest() {
+  mc::experiment_config cfg;
+  cfg.samples = 2'000;
+  cfg.seed = 55;
+  cfg.shards = 8;
+  cfg.engine = mc::sampling_engine::exact;
+  return mc::make_experiment_manifest(
+      core::make_safety_grade_universe(12, 0.0, 0.05, 0.6, 3), cfg, /*window=*/2);
+}
+
+TEST(RunDirCodecTest, DemandManifestRoundTripAndFingerprint) {
+  const mc::demand_manifest m = small_demand_manifest();
+  const mc::demand_manifest back = mc::decode_demand_manifest(mc::encode_demand_manifest(m));
+  EXPECT_EQ(back.demands, m.demands);
+  EXPECT_EQ(back.seed, m.seed);
+  EXPECT_EQ(back.window, m.window);
+  ASSERT_EQ(back.target_pfd.size(), m.target_pfd.size());
+  for (std::size_t i = 0; i < m.target_pfd.size(); ++i) {
+    EXPECT_TRUE(bits_equal(back.target_pfd[i], m.target_pfd[i]));
+  }
+  EXPECT_EQ(mc::demand_manifest_fingerprint(back), mc::demand_manifest_fingerprint(m));
+
+  // Any identity knob moves the fingerprint.
+  mc::demand_manifest other = m;
+  other.window += 1;
+  EXPECT_NE(mc::demand_manifest_fingerprint(other), mc::demand_manifest_fingerprint(m));
+  other = m;
+  other.target_pfd[0] += 1e-9;
+  EXPECT_NE(mc::demand_manifest_fingerprint(other), mc::demand_manifest_fingerprint(m));
+
+  EXPECT_NE(mc::demand_manifest_json(m).find("\"demand_campaign\""), std::string::npos);
+}
+
+TEST(RunDirCodecTest, ExperimentManifestRoundTripAndFingerprint) {
+  const mc::experiment_manifest m = small_experiment_manifest();
+  const mc::experiment_manifest back =
+      mc::decode_experiment_manifest(mc::encode_experiment_manifest(m));
+  EXPECT_EQ(back.samples, m.samples);
+  EXPECT_EQ(back.seed, m.seed);
+  EXPECT_EQ(back.shards, m.shards);
+  EXPECT_EQ(back.engine, m.engine);
+  EXPECT_EQ(back.keep_samples, m.keep_samples);
+  EXPECT_TRUE(bits_equal(back.ci_level, m.ci_level));
+  EXPECT_EQ(back.window, m.window);
+  ASSERT_EQ(back.universe.size(), m.universe.size());
+  for (std::size_t i = 0; i < m.universe.size(); ++i) {
+    EXPECT_TRUE(bits_equal(back.universe[i].p, m.universe[i].p));
+    EXPECT_TRUE(bits_equal(back.universe[i].q, m.universe[i].q));
+  }
+  EXPECT_EQ(mc::experiment_manifest_fingerprint(back),
+            mc::experiment_manifest_fingerprint(m));
+
+  mc::experiment_manifest other = m;
+  other.seed += 1;
+  EXPECT_NE(mc::experiment_manifest_fingerprint(other),
+            mc::experiment_manifest_fingerprint(m));
+
+  EXPECT_NE(mc::experiment_manifest_json(m).find("\"experiment_shards\""),
+            std::string::npos);
+}
+
+TEST(RunDirCodecTest, ManifestKindsNeverCrossDecode) {
+  const std::string scenario = mc::encode_manifest([] {
+    mc::sweep_manifest m;
+    m.axes = small_axes();
+    m.cell_count = mc::enumerate_cells(m.axes).size();
+    return m;
+  }());
+  const std::string demand = mc::encode_demand_manifest(small_demand_manifest());
+  const std::string experiment =
+      mc::encode_experiment_manifest(small_experiment_manifest());
+
+  EXPECT_EQ(mc::peek_state_kind(scenario), mc::state_kind::manifest);
+  EXPECT_EQ(mc::peek_state_kind(demand), mc::state_kind::demand_manifest);
+  EXPECT_EQ(mc::peek_state_kind(experiment), mc::state_kind::experiment_manifest);
+
+  EXPECT_THROW((void)mc::decode_manifest(demand), mc::run_dir_error);
+  EXPECT_THROW((void)mc::decode_demand_manifest(experiment), mc::run_dir_error);
+  EXPECT_THROW((void)mc::decode_experiment_manifest(scenario), mc::run_dir_error);
+}
+
+TEST(RunDirCodecTest, InvalidManifestPayloadsRejected) {
+  // A checksum-valid container whose payload fails validation must still be
+  // rejected loudly (window = 0 can never enumerate cells).
+  mc::demand_manifest d = small_demand_manifest();
+  d.window = 0;
+  EXPECT_THROW((void)mc::decode_demand_manifest(mc::encode_demand_manifest(d)),
+               mc::run_dir_error);
+}
+
+// ---------------------------------------------------------------------------
 // Rejection: truncation, version, kind, corruption
 // ---------------------------------------------------------------------------
 

@@ -1,38 +1,65 @@
 #!/usr/bin/env bash
-# CI proof of the multi-process sweep driver: run a grid across 4 worker
-# processes, SIGKILL the whole process tree mid-run, resume from the
-# surviving state files, and require the merged CSV/JSON to be byte-equal to
-# the single-process oracle.
+# CI proof of the multi-process job driver, one job kind per invocation: run
+# the kind's ci preset across 4 worker processes, SIGKILL the whole process
+# tree mid-run, resume from the surviving state files, and require the merged
+# CSV/JSON to be byte-equal to the single-process oracle.
 #
-# Usage: tools/ci_distributed_sweep.sh SWEEP_BINARY [WORK_DIR] [BUDGET]
+# Usage: tools/ci_distributed_sweep.sh SWEEP_BINARY MODE [WORK_DIR] [BUDGET]
 #   SWEEP_BINARY  path to a built reldiv_sweep
-#   WORK_DIR      scratch directory (default: ./sweep-ci); the run directory
-#                 inside it is what CI uploads as an artifact
-#   BUDGET        samples per cell (default: the ci preset's 1000000; shrink
-#                 for fast local smoke runs)
+#   MODE          scenario | demand | experiment (the driver's three job kinds)
+#   WORK_DIR      scratch directory (default: ./sweep-ci-MODE); the run
+#                 directory inside it is what CI uploads as an artifact
+#   BUDGET        samples per cell / demands per target (default: the ci
+#                 preset's; shrink for fast local smoke runs)
+#
+# The first wave is BOTH killed and quota'd (--max-cells): the SIGKILL proves
+# the crash story on whatever the workers were doing at that instant, while
+# the per-worker quota guarantees the directory is partial when the wave
+# ends — so the "resume completes a partial run" leg can never be skipped by
+# a fast machine outracing the kill, for any job kind.
 set -euo pipefail
 shopt -s nullglob  # an empty cells/ dir must count as 0, not as an ls error
 
 sweep="$(readlink -f "$1")"
-work_dir="${2:-sweep-ci}"
-budget="${3:-0}"   # 0 = preset default
+mode="$2"
+work_dir="${3:-sweep-ci-$mode}"
+budget="${4:-0}"   # 0 = preset default
 
-grid_args=(--preset ci --seed 20260731)
+case "$mode" in
+  scenario)
+    total_cells=24   # 2 universes x 3 rho x 2 omega x 2 aliasing
+    quota=3          # 4 workers x 3 cells = at most 12 of 24 before exit
+    ;;
+  demand)
+    total_cells=49   # 100k-target roster in 2048-target windows
+    quota=8          # at most 32 of 49
+    ;;
+  experiment)
+    total_cells=16   # 256 logical shards in 16-shard windows
+    quota=2          # at most 8 of 16
+    ;;
+  *)
+    echo "ERROR: unknown mode '$mode' (expected scenario, demand or experiment)" >&2
+    exit 2
+    ;;
+esac
+
+grid_args=(--mode "$mode" --preset ci --seed 20260731)
 if [[ "$budget" != "0" ]]; then grid_args+=(--budget "$budget"); fi
 
 rm -rf "$work_dir"
 mkdir -p "$work_dir"
 cd "$work_dir"
 
-echo "=== single-process oracle ==="
+echo "=== [$mode] single-process oracle ==="
 "$sweep" --single "${grid_args[@]}" --out-csv single.csv --out-json single.json
 
 echo
-echo "=== distributed run, 4 workers, SIGKILL mid-run ==="
+echo "=== [$mode] distributed run, 4 workers, SIGKILL mid-run ==="
 # Own session/process group so one kill(-pgid) takes out the coordinator AND
 # its workers, exactly like an OOM-killer or node preemption would.
 setsid "$sweep" "${grid_args[@]}" --run-dir run.d --workers 4 \
-       --out-csv dist.csv --out-json dist.json &
+       --max-cells "$quota" &
 coordinator=$!
 
 count_states() {
@@ -40,7 +67,9 @@ count_states() {
   echo "${#files[@]}"
 }
 
-# Wait until at least 2 cells are on disk, then kill the whole group.
+# Wait until at least 2 cells are on disk, then kill the whole group (if the
+# quota'd wave already exited, the kill is a no-op and the quota has done the
+# interrupting for us).
 for _ in $(seq 1 600); do
   done_cells=$(count_states)
   if [[ "$done_cells" -ge 2 ]]; then break; fi
@@ -49,27 +78,36 @@ done
 kill -9 -- "-$coordinator" 2>/dev/null || true
 wait "$coordinator" 2>/dev/null || true
 
-total_cells=24
+# Drain the process group before resuming: the workers are not our children,
+# so `wait` can't reap them, and the lease protocol (correctly) refuses to
+# steal a claim whose owner might still be alive on this host.  This is the
+# same rule a multi-host operator follows — start the next wave only once
+# the previous wave's processes are gone or their leases have expired.
+for _ in $(seq 1 100); do
+  if ! ps -eo pgid= | grep -qw "$coordinator"; then break; fi
+  sleep 0.1
+done
+
 done_cells=$(count_states)
 echo "killed with $done_cells of $total_cells cell state files on disk"
 if [[ "$done_cells" -lt 2 ]]; then
-  echo "ERROR: no progress before the kill — the sweep never started" >&2
+  echo "ERROR: no progress before the kill — the run never started" >&2
   exit 1
 fi
 if [[ "$done_cells" -ge "$total_cells" ]]; then
-  # The run outraced the poll: the kill did not interrupt anything, so this
-  # job would prove nothing.  Fail loudly so the budget gets re-tuned.
-  echo "ERROR: sweep finished before the kill; raise BUDGET so it runs longer" >&2
+  # The quota math above guarantees this can't happen; if it does, the
+  # presets and this script have drifted apart and the job proves nothing.
+  echo "ERROR: run complete before the kill; re-tune the preset/quota pairing" >&2
   exit 1
 fi
 
 echo
-echo "=== resume from the surviving state files ==="
+echo "=== [$mode] resume from the surviving state files ==="
 "$sweep" "${grid_args[@]}" --run-dir run.d --workers 4 \
          --out-csv dist.csv --out-json dist.json
 
 echo
-echo "=== merged result must be byte-identical to the single-process run ==="
+echo "=== [$mode] merged result must be byte-identical to the single-process run ==="
 cmp single.csv dist.csv
 cmp single.json dist.json
-echo "OK: kill+resume distributed sweep == single-process run, byte for byte"
+echo "OK [$mode]: kill+resume distributed run == single-process run, byte for byte"

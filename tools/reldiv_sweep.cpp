@@ -1,10 +1,11 @@
-// reldiv_sweep — the multi-process scenario-sweep CLI.
+// reldiv_sweep — the multi-process campaign CLI.
 //
-// One binary, three roles:
+// One binary, three job kinds (--mode scenario|demand|experiment) and four
+// roles:
 //
 //   coordinator (default, needs --run-dir):
-//     reldiv_sweep --preset ci --seed 77 --run-dir run.d --workers 4
-//                  --out-csv grid.csv --out-json grid.json
+//     reldiv_sweep --mode demand --preset ci --seed 77 --run-dir run.d
+//                  --workers 4 --out-csv tally.csv --out-json tally.json
 //     Initializes (or resumes) the run directory, fan/exec's N copies of
 //     itself as workers, waits, merges the cell state files in cell order
 //     and writes the results table.  Rerunning after a crash/SIGKILL
@@ -13,30 +14,35 @@
 //
 //   worker (spawned by the coordinator, or by an external scheduler):
 //     reldiv_sweep --worker --run-dir run.d [--max-cells K]
-//     Reads the manifest, claims pending cells one at a time, writes each
-//     completed cell atomically.  Any number of workers may run
-//     concurrently against the same directory.
+//     Reads the manifest, learns the job kind FROM it (no --mode needed),
+//     claims pending cells one at a time, writes each completed cell
+//     atomically.  Any number of workers may run concurrently against the
+//     same directory — including workers on other hosts sharing it.
 //
 //   single-process reference:
-//     reldiv_sweep --single --preset ci --seed 77 --out-json grid.json
-//     Runs the identical grid in-process via mc::run_scenario_grid — the
-//     oracle CI diffs the distributed output against.
+//     reldiv_sweep --single --mode demand --preset ci --seed 77 --out-json t.json
+//     Runs the identical campaign in-process via mc::run_scenario_grid /
+//     mc::run_demand_campaign / mc::run_experiment — the oracle CI diffs
+//     the distributed output against.
 //
 //   merge-only:
-//     reldiv_sweep --merge-only --run-dir run.d --out-csv grid.csv
-//     Merges an already-complete directory without spawning workers.
+//     reldiv_sweep --merge-only --run-dir run.d --out-csv out.csv
+//     Merges an already-complete directory (any kind) without spawning
+//     workers.
 //
 // Exit codes: 0 success; 2 usage error; 1 anything else (incomplete run,
 // invalid state files, ...).
 
 #include <cerrno>
 #include <climits>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
@@ -44,6 +50,7 @@
 #include "mc/distributed.hpp"
 #include "mc/run_dir.hpp"
 #include "mc/scenario.hpp"
+#include "stats/random.hpp"
 
 namespace {
 
@@ -51,23 +58,25 @@ using namespace reldiv;
 
 void usage(std::FILE* out) {
   std::fputs(
-      "usage: reldiv_sweep [mode] [grid options] [output options]\n"
+      "usage: reldiv_sweep [role] [job options] [output options]\n"
       "\n"
-      "modes (default: coordinator when --run-dir is given, else --single):\n"
-      "  --single             run the grid in-process (the reference oracle)\n"
+      "roles (default: coordinator when --run-dir is given, else --single):\n"
+      "  --single             run the campaign in-process (the reference oracle)\n"
       "  --worker             claim+compute pending cells of --run-dir, then exit\n"
-      "  --merge-only         merge an existing complete --run-dir\n"
+      "                       (the job kind comes from the directory's manifest)\n"
+      "  --merge-only         merge an existing complete --run-dir (any kind)\n"
       "\n"
-      "grid options (ignored by --worker/--merge-only, which read the manifest):\n"
-      "  --preset NAME        smoke (16 small cells, default) | ci (24 larger cells)\n"
-      "  --seed N             grid seed (default 2026)\n"
-      "  --shards N           per-cell logical shards (default 0 = budget-scaled)\n"
-      "  --budget N           override the preset's samples-per-cell\n"
+      "job options (ignored by --worker/--merge-only, which read the manifest):\n"
+      "  --mode KIND          scenario (default) | demand | experiment\n"
+      "  --preset NAME        smoke (small, default) | ci (big enough to kill mid-run)\n"
+      "  --seed N             campaign seed (default 2026)\n"
+      "  --shards N           scenario: per-cell logical shards (0 = budget-scaled)\n"
+      "  --budget N           scenario/experiment: samples; demand: demands per target\n"
       "\n"
       "distribution options:\n"
       "  --run-dir DIR        on-disk run directory (state files + manifest)\n"
       "  --workers N          worker processes to spawn (default 2)\n"
-      "  --max-cells K        per-worker quota of cells to compute (test hook)\n"
+      "  --max-cells K        per-worker quota of cells to compute (test/CI hook)\n"
       "  --threads N          in-process worker threads for --single (default 0 = hw)\n"
       "\n"
       "output options:\n"
@@ -82,6 +91,7 @@ struct options {
   bool single = false;
   bool merge_only = false;
   bool quiet = false;
+  std::string mode = "scenario";
   std::string preset = "smoke";
   std::uint64_t seed = 2026;
   unsigned shards = 0;
@@ -124,23 +134,174 @@ mc::scenario_axes make_axes(const options& opt) {
   return axes;
 }
 
-void write_outputs(const mc::grid_result& grid, const options& opt) {
+// ---------------------------------------------------------------------------
+// Demand-campaign job: preset manifests + deterministic tally outputs
+// ---------------------------------------------------------------------------
+
+/// Deterministic log-uniform roster in [1e-6, 1e-3]: target t's pfd is a
+/// pure splitmix64 hash of (seed, t), so the oracle and every distributed
+/// worker reconstruct the same roster from the same flags.
+std::vector<double> make_demand_roster(std::size_t targets, std::uint64_t seed) {
+  std::vector<double> pfd;
+  pfd.reserve(targets);
+  for (std::size_t t = 0; t < targets; ++t) {
+    std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (t + 0x51ed2701ULL));
+    const double u =
+        static_cast<double>(reldiv::stats::splitmix64_next(state) >> 11) * 0x1.0p-53;
+    pfd.push_back(1e-6 * std::pow(1000.0, u));
+  }
+  return pfd;
+}
+
+mc::demand_manifest make_demand_manifest(const options& opt) {
+  mc::demand_manifest m;
+  m.seed = opt.seed;
+  if (opt.preset == "smoke") {
+    // 16 quick windows over a small roster.
+    m.target_pfd = make_demand_roster(2'000, opt.seed);
+    m.demands = opt.budget > 0 ? opt.budget : 100'000;
+    m.window = 125;
+  } else if (opt.preset == "ci") {
+    // 49 windows over a 100k-target roster: enough windows that a 4-worker
+    // run quota'd by --max-cells is provably partial when CI kills it.
+    m.target_pfd = make_demand_roster(100'000, opt.seed);
+    m.demands = opt.budget > 0 ? opt.budget : 10'000'000;
+    m.window = 2'048;
+  } else {
+    throw std::invalid_argument("unknown preset '" + opt.preset +
+                                "' (expected smoke or ci)");
+  }
+  return m;
+}
+
+std::string demand_tally_csv(const mc::demand_manifest& m, const mc::demand_tally& t) {
+  std::string out = "target,pfd,failures,rate\n";
+  char buf[96];
+  for (std::size_t i = 0; i < t.failures.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%zu,%.17g,%llu,%.17g\n", i, m.target_pfd[i],
+                  static_cast<unsigned long long>(t.failures[i]),
+                  static_cast<double>(t.failures[i]) / static_cast<double>(t.demands));
+    out += buf;
+  }
+  return out;
+}
+
+std::string demand_tally_json(const mc::demand_tally& t) {
+  std::string out = "{\n  \"demands\": " + std::to_string(t.demands);
+  out += ",\n  \"targets\": " + std::to_string(t.failures.size());
+  std::uint64_t total = 0;
+  for (const std::uint64_t f : t.failures) total += f;
+  out += ",\n  \"total_failures\": " + std::to_string(total);
+  out += ",\n  \"failures\": [";
+  for (std::size_t i = 0; i < t.failures.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(t.failures[i]);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment shard-window job: preset manifests + deterministic outputs
+// ---------------------------------------------------------------------------
+
+mc::experiment_manifest make_experiment_manifest_cli(const options& opt) {
+  mc::experiment_config cfg;
+  cfg.seed = opt.seed;
+  unsigned window = 0;
+  core::fault_universe universe;
+  if (opt.preset == "smoke") {
+    universe = core::make_safety_grade_universe(24, 0.0, 0.05, 0.6, 5);
+    cfg.samples = opt.budget > 0 ? opt.budget : 50'000;
+    window = 64;  // 256 logical shards -> 4 windows
+  } else if (opt.preset == "ci") {
+    // Big enough that a 4-worker run takes several seconds — room for the
+    // CI job to SIGKILL it mid-run: 256 logical shards -> 16 windows.
+    universe = core::make_many_small_faults_universe(256, 0.05, 0.3, 0.8, 0.2, 12);
+    cfg.samples = opt.budget > 0 ? opt.budget : 6'000'000;
+    window = 16;
+  } else {
+    throw std::invalid_argument("unknown preset '" + opt.preset +
+                                "' (expected smoke or ci)");
+  }
+  return mc::make_experiment_manifest(universe, cfg, window);
+}
+
+std::string experiment_result_csv(const mc::experiment_result& r) {
+  std::string out =
+      "samples,shards,mean_theta1,sd_theta1,mean_theta2,sd_theta2,"
+      "n1_positive,n2_positive,n1_zero_pfd,n2_zero_pfd,risk_ratio\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%llu,%u,%.17g,%.17g,%.17g,%.17g,%llu,%llu,%llu,%llu,%.17g\n",
+                static_cast<unsigned long long>(r.samples), r.shards, r.theta1.mean(),
+                r.stddev_theta1(), r.theta2.mean(), r.stddev_theta2(),
+                static_cast<unsigned long long>(r.n1_positive),
+                static_cast<unsigned long long>(r.n2_positive),
+                static_cast<unsigned long long>(r.n1_zero_pfd),
+                static_cast<unsigned long long>(r.n2_zero_pfd), r.risk_ratio());
+  out += buf;
+  return out;
+}
+
+std::string experiment_result_json(const mc::experiment_result& r) {
+  char buf[96];
+  std::string out = "{\n  \"samples\": " + std::to_string(r.samples);
+  out += ",\n  \"shards\": " + std::to_string(r.shards);
+  const auto field = [&](const char* name, double v) {
+    std::snprintf(buf, sizeof(buf), ",\n  \"%s\": %.17g", name, v);
+    out += buf;
+  };
+  field("mean_theta1", r.theta1.mean());
+  field("sd_theta1", r.stddev_theta1());
+  field("mean_theta2", r.theta2.mean());
+  field("sd_theta2", r.stddev_theta2());
+  out += ",\n  \"n1_positive\": " + std::to_string(r.n1_positive);
+  out += ",\n  \"n2_positive\": " + std::to_string(r.n2_positive);
+  out += ",\n  \"n1_zero_pfd\": " + std::to_string(r.n1_zero_pfd);
+  out += ",\n  \"n2_zero_pfd\": " + std::to_string(r.n2_zero_pfd);
+  field("risk_ratio", r.risk_ratio());
+  out += "\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Output plumbing
+// ---------------------------------------------------------------------------
+
+void write_text_outputs(const std::string& csv, const std::string& json,
+                        std::size_t cells, const options& opt) {
   if (!opt.out_csv.empty()) {
     std::ofstream f(opt.out_csv, std::ios::binary | std::ios::trunc);
-    f << grid.to_csv();
+    f << csv;
     if (!f) throw std::runtime_error("cannot write " + opt.out_csv);
   }
   if (!opt.out_json.empty()) {
     std::ofstream f(opt.out_json, std::ios::binary | std::ios::trunc);
-    f << grid.to_json();
+    f << json;
     if (!f) throw std::runtime_error("cannot write " + opt.out_json);
   }
   if (!opt.quiet) {
-    std::printf("%zu cells merged", grid.cells.size());
+    std::printf("%zu cells merged", cells);
     if (!opt.out_csv.empty()) std::printf(", csv -> %s", opt.out_csv.c_str());
     if (!opt.out_json.empty()) std::printf(", json -> %s", opt.out_json.c_str());
     std::printf("\n");
   }
+}
+
+void write_outputs(const mc::grid_result& grid, const options& opt) {
+  write_text_outputs(grid.to_csv(), grid.to_json(), grid.cells.size(), opt);
+}
+
+void write_outputs(const mc::demand_manifest& m, const mc::demand_tally& tally,
+                   const options& opt) {
+  write_text_outputs(demand_tally_csv(m, tally), demand_tally_json(tally),
+                     m.window_count(), opt);
+}
+
+void write_outputs(const mc::experiment_manifest& m, const mc::experiment_result& result,
+                   const options& opt) {
+  write_text_outputs(experiment_result_csv(result), experiment_result_json(result),
+                     m.window_count(), opt);
 }
 
 /// The coordinator re-execs this very binary as its workers.
@@ -185,6 +346,8 @@ options parse_args(int argc, char** argv) {
     };
     if (arg == "--worker") {
       opt.worker = true;
+    } else if (arg == "--mode") {
+      opt.mode = value();
     } else if (arg == "--single") {
       opt.single = true;
     } else if (arg == "--merge-only") {
@@ -227,11 +390,17 @@ options parse_args(int argc, char** argv) {
   if (!opt.single && !opt.worker && !opt.merge_only && opt.run_dir.empty()) {
     opt.single = true;  // no run dir -> nothing to distribute
   }
+  if (opt.mode != "scenario" && opt.mode != "demand" && opt.mode != "experiment") {
+    throw std::invalid_argument("unknown --mode '" + opt.mode +
+                                "' (expected scenario, demand or experiment)");
+  }
   return opt;
 }
 
 int run(const options& opt, const char* argv0) {
   if (opt.worker) {
+    // The job kind lives in the manifest: the same worker loop serves
+    // scenario grids, demand campaigns and experiment shard windows.
     const mc::worker_report report = mc::run_pending_cells(opt.run_dir, opt.max_cells);
     if (!opt.quiet) {
       std::printf("worker %d: computed %zu cells, skipped %zu\n", ::getpid(),
@@ -241,28 +410,59 @@ int run(const options& opt, const char* argv0) {
   }
 
   if (opt.merge_only) {
-    write_outputs(mc::merge_run_dir(opt.run_dir), opt);
+    switch (mc::load_run_kind(opt.run_dir)) {
+      case mc::job_kind::scenario_grid:
+        write_outputs(mc::merge_run_dir(opt.run_dir), opt);
+        break;
+      case mc::job_kind::demand_campaign:
+        write_outputs(mc::load_demand_manifest(opt.run_dir),
+                      mc::merge_demand_run_dir(opt.run_dir), opt);
+        break;
+      case mc::job_kind::experiment_shards:
+        write_outputs(mc::load_experiment_manifest(opt.run_dir),
+                      mc::merge_experiment_run_dir(opt.run_dir), opt);
+        break;
+    }
+    return 0;
+  }
+
+  const bool distribute = !opt.single;
+  const mc::distributed_config dist{.run_dir = opt.run_dir, .workers = opt.workers,
+                                    .max_cells = opt.max_cells};
+  if (distribute && !opt.quiet) {
+    // No pending-count scan here: the coordinators do their own
+    // missing-cells pass, and a resumed directory can be large.
+    std::printf("coordinator: run dir %s, spawning up to %u workers\n",
+                opt.run_dir.c_str(), opt.workers);
+  }
+
+  if (opt.mode == "demand") {
+    const mc::demand_manifest m = make_demand_manifest(opt);
+    const mc::demand_tally tally =
+        distribute ? mc::run_distributed_demand(m, dist, self_exe(argv0))
+                   : mc::run_demand_campaign(m.target_pfd, m.demands,
+                                             m.config(opt.threads));
+    write_outputs(m, tally, opt);
+    return 0;
+  }
+
+  if (opt.mode == "experiment") {
+    const mc::experiment_manifest m = make_experiment_manifest_cli(opt);
+    const mc::experiment_result result =
+        distribute ? mc::run_distributed_experiment(m, dist, self_exe(argv0))
+                   : mc::run_experiment(m.universe, m.config(opt.threads));
+    write_outputs(m, result, opt);
     return 0;
   }
 
   const mc::scenario_axes axes = make_axes(opt);
   const mc::scenario_config cfg{.seed = opt.seed, .threads = opt.threads,
                                 .shards = opt.shards};
-
-  if (opt.single) {
+  if (distribute) {
+    write_outputs(mc::run_distributed_grid(axes, cfg, dist, self_exe(argv0)), opt);
+  } else {
     write_outputs(mc::run_scenario_grid(axes, cfg), opt);
-    return 0;
   }
-
-  const mc::distributed_config dist{.run_dir = opt.run_dir, .workers = opt.workers,
-                                    .max_cells = opt.max_cells};
-  if (!opt.quiet) {
-    // No pending-count scan here: run_distributed_grid does its own
-    // missing-cells pass, and a resumed directory can be large.
-    std::printf("coordinator: run dir %s, spawning up to %u workers\n",
-                opt.run_dir.c_str(), opt.workers);
-  }
-  write_outputs(mc::run_distributed_grid(axes, cfg, dist, self_exe(argv0)), opt);
   return 0;
 }
 
