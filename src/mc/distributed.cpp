@@ -1,5 +1,6 @@
 #include "mc/distributed.hpp"
 
+#include "mc/io_env.hpp"
 #include "stats/wire.hpp"
 
 #include <fcntl.h>
@@ -49,62 +50,36 @@ bool cell_done(const fs::path& run_dir, state_kind window_kind, std::uint64_t fi
   }
 }
 
-// RENAME_NOREPLACE from <linux/fs.h>, restated locally so no uapi header —
-// with its macro collisions — has to be dragged in.
-constexpr unsigned int kRenameNoReplace = 1;
-
-/// rename(2) that fails with EEXIST instead of clobbering an existing
-/// destination.  Returns 0 or -errno.  ENOSYS/EINVAL mean the kernel or the
-/// filesystem cannot do atomic no-replace renames — the caller falls back to
-/// link(2), whose "at most one winner" semantics are equally multi-host safe.
-int rename_noreplace(const char* from, const char* to) {
-#ifdef SYS_renameat2
-  if (::syscall(SYS_renameat2, AT_FDCWD, from, AT_FDCWD, to, kRenameNoReplace) == 0) {
-    return 0;
-  }
-  return -errno;
-#else
-  (void)from;
-  (void)to;
-  return -ENOSYS;
-#endif
+/// The owner record a claim (and its heartbeat renewals) carries.
+std::string claim_owner_body() {
+  return "host " + claim_host_name() + "\npid " + std::to_string(::getpid()) +
+         "\ntime " + std::to_string(static_cast<long long>(::time(nullptr))) + "\n";
 }
 
 /// Try to take the claim marker for a cell.  The claim's owner record (host,
 /// pid, wall-clock) is written to a uniquely-named sibling first, then moved
-/// onto the claim path with RENAME_NOREPLACE (falling back to link(2)):
-/// exactly one live worker — on any host sharing the filesystem — wins, and
-/// the claim file is never observable half-written.  Returns false when
-/// another worker holds the claim.
+/// onto the claim path with RENAME_NOREPLACE (falling back to link(2) inside
+/// real_io_env): exactly one live worker — on any host sharing the
+/// filesystem — wins, and the claim file is never observable half-written.
+/// Returns false when another worker holds the claim.
 bool try_claim(const fs::path& run_dir, std::uint64_t index) {
+  io_env& env = active_io_env();
   const fs::path claim = cell_claim_path(run_dir, index);
   const fs::path unique = claim.string() + ".tmp." + claim_host_name() + "." +
                           std::to_string(::getpid());
-  const std::string body = "host " + claim_host_name() + "\npid " +
-                           std::to_string(::getpid()) + "\ntime " +
-                           std::to_string(static_cast<long long>(::time(nullptr))) + "\n";
-  {
-    const int fd = ::open(unique.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-    if (fd < 0) {
-      throw run_dir_error("run_dir: cannot create claim " + unique.string() + ": " +
-                          std::strerror(errno));
-    }
-    (void)!::write(fd, body.data(), body.size());
-    ::close(fd);
-  }
-  std::error_code ec;
-  int rc = rename_noreplace(unique.c_str(), claim.c_str());
-  if (rc == -ENOSYS || rc == -EINVAL || rc == -ENOTSUP || rc == -EOPNOTSUPP) {
-    // link() never replaces its target either; the unique file stays behind
-    // as the extra hard link's source and is removed below in both outcomes.
-    rc = ::link(unique.c_str(), claim.c_str()) == 0 ? 0 : -errno;
+  try {
+    env.write_file(unique, claim_owner_body(), /*sync=*/false);
+  } catch (...) {
+    std::error_code ec;
     fs::remove(unique, ec);
+    throw;
   }
+  const int rc = env.rename_noreplace(unique, claim);
   if (rc == 0) return true;
+  std::error_code ec;
   fs::remove(unique, ec);
   if (rc == -EEXIST) return false;
-  throw run_dir_error("run_dir: cannot take claim " + claim.string() + ": " +
-                      std::strerror(-rc));
+  throw io_error("claim", claim, -rc);
 }
 
 void release_claim(const fs::path& run_dir, std::uint64_t index) {
@@ -187,7 +162,11 @@ fs::file_time_type filesystem_now(const fs::path& dir) {
   const fs::path probe = dir / (".lease_probe.tmp." + claim_host_name() + "." +
                                 std::to_string(::getpid()));
   std::error_code ec;
-  { std::ofstream touch(probe, std::ios::binary | std::ios::trunc); }
+  try {
+    active_io_env().touch(probe, {}, /*create=*/true);
+  } catch (const run_dir_error&) {
+    return fs::file_time_type::clock::now();
+  }
   const fs::file_time_type t = fs::last_write_time(probe, ec);
   std::error_code remove_ec;
   fs::remove(probe, remove_ec);
@@ -377,10 +356,11 @@ experiment_manifest load_experiment_manifest(const fs::path& run_dir) {
   return decode_experiment_manifest(read_file(manifest_path(run_dir)));
 }
 
-void clean_stale_claims(const fs::path& run_dir, std::chrono::seconds ttl) {
+claim_sweep_report clean_stale_claims(const fs::path& run_dir, std::chrono::seconds ttl) {
+  claim_sweep_report report;
   const fs::path dir = cells_dir(run_dir);
   std::error_code ec;
-  if (!fs::exists(dir, ec)) return;
+  if (!fs::exists(dir, ec)) return report;
   const fs::file_time_type now = filesystem_now(dir);
   for (const auto& entry : fs::directory_iterator(dir)) {
     const std::string name = entry.path().filename().string();
@@ -393,14 +373,17 @@ void clean_stale_claims(const fs::path& run_dir, std::chrono::seconds ttl) {
         // the lease rule with an unknown owner.
       }
       if (lease_expired_or_owner_dead(entry.path(), owner, ttl, now)) {
-        fs::remove(entry.path(), ec);
+        if (fs::remove(entry.path(), ec) && !ec) ++report.claims_reaped;
+      } else {
+        ++report.claims_honored;
       }
     } else if (name.find(".tmp.") != std::string::npos) {
       if (lease_expired_or_owner_dead(entry.path(), parse_tmp_owner(name), ttl, now)) {
-        fs::remove(entry.path(), ec);
+        if (fs::remove(entry.path(), ec) && !ec) ++report.tmps_removed;
       }
     }
   }
+  return report;
 }
 
 std::vector<std::uint64_t> missing_cells(const fs::path& run_dir) {
@@ -413,53 +396,230 @@ std::vector<std::uint64_t> missing_cells(const fs::path& run_dir) {
   return missing;
 }
 
-worker_report run_pending_cells(const fs::path& run_dir, std::size_t max_cells) {
+// ---------------------------------------------------------------------------
+// Lease renewal heartbeat
+// ---------------------------------------------------------------------------
+
+claim_heartbeat::claim_heartbeat(fs::path claim_path, std::string owner_body,
+                                 std::chrono::milliseconds interval)
+    : claim_path_(std::move(claim_path)),
+      body_(std::move(owner_body)),
+      interval_(interval),
+      thread_([this] { run(); }) {}
+
+claim_heartbeat::~claim_heartbeat() { stop(); }
+
+void claim_heartbeat::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void claim_heartbeat::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) return;
+    lock.unlock();
+    try {
+      // create=false: if a sweep reaped the claim (we beat too late, or the
+      // TTL was misconfigured), the renewal must NOT resurrect it — another
+      // worker may already hold a fresh claim on the same path.
+      if (!active_io_env().touch(claim_path_, body_, /*create=*/false)) {
+        lost_.store(true);
+        return;
+      }
+      beats_.fetch_add(1);
+    } catch (const run_dir_error&) {
+      // Transient renewal failure (real or injected): the lease still has
+      // most of a TTL of slack, so just let the next beat retry.
+    }
+    lock.lock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Poison-cell quarantine ledger
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Ledger writes deliberately bypass the io_env seam (plain ofstream): the
+// machinery that REPORTS chaos must not itself be killable by chaos.  The
+// records are advisory — a torn ledger degrades reporting, never merges.
+void write_quarantine_record(const fs::path& run_dir, const quarantine_record& rec) {
+  std::error_code ec;
+  fs::create_directories(quarantine_dir(run_dir), ec);
+  std::ofstream f(cell_quarantine_path(run_dir, rec.cell_index),
+                  std::ios::binary | std::ios::trunc);
+  f << "cell " << rec.cell_index << "\nattempts " << rec.attempts << "\nerrno "
+    << rec.error_number << "\nmessage " << rec.message << "\n";
+}
+
+void clear_quarantine_record(const fs::path& run_dir, std::uint64_t index) {
+  std::error_code ec;
+  fs::remove(cell_quarantine_path(run_dir, index), ec);
+}
+
+}  // namespace
+
+std::vector<quarantine_record> quarantined_cells(const fs::path& run_dir) {
+  std::vector<quarantine_record> records;
+  const fs::path dir = quarantine_dir(run_dir);
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return records;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.ends_with(".quarantine")) continue;
+    quarantine_record rec;
+    // The filename carries the index too (cell_NNNNNN.quarantine) — the
+    // fallback identity for a record whose body cannot be read.
+    if (name.starts_with("cell_")) {
+      const std::string digits = name.substr(5, name.size() - 5 - 11);
+      if (!digits.empty() &&
+          digits.find_first_not_of("0123456789") == std::string::npos) {
+        rec.cell_index = std::stoull(digits);
+      }
+    }
+    std::ifstream f(entry.path(), std::ios::binary);
+    std::string line;
+    bool parsed = false;
+    while (f && std::getline(f, line)) {
+      if (line.starts_with("cell ")) {
+        rec.cell_index = std::stoull(line.substr(5));
+        parsed = true;
+      } else if (line.starts_with("attempts ")) {
+        rec.attempts = static_cast<std::uint32_t>(std::stoul(line.substr(9)));
+      } else if (line.starts_with("errno ")) {
+        rec.error_number = std::stoi(line.substr(6));
+      } else if (line.starts_with("message ")) {
+        rec.message = line.substr(8);
+      }
+    }
+    if (!parsed && rec.message.empty()) {
+      rec.message = "quarantine record unreadable or malformed";
+    }
+    records.push_back(std::move(rec));
+  }
+  std::sort(records.begin(), records.end(),
+            [](const quarantine_record& a, const quarantine_record& b) {
+              return a.cell_index < b.cell_index;
+            });
+  return records;
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Releases a held claim on scope exit unless disarmed.
+struct claim_guard {
+  const fs::path& run_dir;
+  std::uint64_t index;
+  bool armed = true;
+  ~claim_guard() {
+    if (armed) release_claim(run_dir, index);
+  }
+};
+
+}  // namespace
+
+worker_report run_pending_cells(const fs::path& run_dir, const worker_config& cfg) {
   const job_driver d = make_job_driver(run_dir);
   const state_kind window_kind = window_kind_of(d.kind);
+  const std::chrono::milliseconds heartbeat = cfg.heartbeat_interval();
 
   worker_report report;
   for (std::uint64_t i = 0; i < d.cell_count; ++i) {
-    if (max_cells > 0 && report.computed >= max_cells) break;
-    if (cell_done(run_dir, window_kind, d.fingerprint, i)) {
-      ++report.skipped;
-      continue;
-    }
-    if (!try_claim(run_dir, i)) {
-      // The holder may be a lost host's expired lease rather than a live
-      // sibling: apply the lease rule to this one claim and retry once, so
-      // a coordinator-less worker fleet recovers dead hosts' cells on its
-      // own.  A genuinely live claim is skipped as before.
-      if (!reap_claim_if_stale(run_dir, i, kClaimLeaseTtl) || !try_claim(run_dir, i)) {
-        ++report.skipped;
-        continue;
+    if (cfg.max_cells > 0 && report.computed >= cfg.max_cells) break;
+
+    std::uint32_t attempts = 0;
+    quarantine_record failure;
+    bool settled = false;  // computed or skipped — either way, move on
+    while (!settled && attempts < cfg.max_attempts) {
+      try {
+        if (cell_done(run_dir, window_kind, d.fingerprint, i)) {
+          ++report.skipped;
+          settled = true;
+          break;
+        }
+        if (!try_claim(run_dir, i)) {
+          // The holder may be a lost host's expired lease rather than a live
+          // sibling: apply the lease rule to this one claim and retry once,
+          // so a coordinator-less worker fleet recovers dead hosts' cells on
+          // its own.  A genuinely live claim is skipped as before.
+          if (!reap_claim_if_stale(run_dir, i, cfg.lease_ttl) ||
+              !try_claim(run_dir, i)) {
+            ++report.skipped;
+            settled = true;
+            break;
+          }
+        }
+        claim_guard claim{run_dir, i};
+        // A sibling may have completed the cell between the done-check and
+        // our claim win; re-check before burning a cell's worth of compute.
+        if (cell_done(run_dir, window_kind, d.fingerprint, i)) {
+          ++report.skipped;
+          settled = true;
+          break;
+        }
+        {
+          // Renew the lease while we compute: a cell whose runtime exceeds
+          // the TTL keeps its claim alive beat by beat instead of being
+          // reaped and recomputed by a sibling.
+          claim_heartbeat beats(cell_claim_path(run_dir, i), claim_owner_body(),
+                                heartbeat);
+          write_file_atomic(cell_state_path(run_dir, i), d.compute(i));
+          beats.stop();
+          if (beats.lost()) {
+            // Our claim was reaped mid-compute (sweeping with a tighter TTL
+            // than ours, or a long stall).  The state file we just wrote is
+            // still correct — cells are pure and the write was atomic — but
+            // the claim path may now be a sibling's; don't release it.
+            claim.armed = false;
+          }
+        }
+        clear_quarantine_record(run_dir, i);
+        ++report.computed;
+        settled = true;
+      } catch (const io_error& e) {
+        ++attempts;
+        failure = {i, attempts, e.error_number(), e.what()};
+        if (attempts >= cfg.max_attempts) break;
+        // Deterministic exponential backoff: attempt k waits base * 2^(k-1).
+        const auto delay = cfg.backoff_base * (1u << (attempts - 1));
+        report.backoff_ms += static_cast<std::uint64_t>(delay.count());
+        ++report.retried;
+        std::this_thread::sleep_for(delay);
       }
     }
-    // A sibling may have completed the cell between the done-check and our
-    // claim win; re-check before burning a cell's worth of compute on it.
-    if (cell_done(run_dir, window_kind, d.fingerprint, i)) {
-      release_claim(run_dir, i);
-      ++report.skipped;
-      continue;
+    if (!settled) {
+      write_quarantine_record(run_dir, failure);
+      ++report.quarantined;
     }
-    try {
-      write_file_atomic(cell_state_path(run_dir, i), d.compute(i));
-    } catch (...) {
-      release_claim(run_dir, i);
-      throw;
-    }
-    release_claim(run_dir, i);
-    ++report.computed;
   }
   return report;
 }
 
+worker_report run_pending_cells(const fs::path& run_dir, std::size_t max_cells) {
+  worker_config cfg;
+  cfg.max_cells = max_cells;
+  return run_pending_cells(run_dir, cfg);
+}
+
 std::vector<int> spawn_sweep_workers(const std::string& worker_exe, const fs::path& run_dir,
-                                     unsigned workers, std::size_t max_cells) {
+                                     unsigned workers, std::size_t max_cells,
+                                     const std::vector<std::string>& extra_args) {
   std::vector<std::string> args = {worker_exe, "--worker", "--run-dir", run_dir.string()};
   if (max_cells > 0) {
     args.emplace_back("--max-cells");
     args.emplace_back(std::to_string(max_cells));
   }
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
   for (std::string& a : args) argv.push_back(a.data());
@@ -506,11 +666,30 @@ std::vector<int> wait_sweep_workers(const std::vector<int>& pids) {
 
 namespace {
 
-[[noreturn]] void throw_incomplete(std::uint64_t index, const run_dir_error& e) {
-  throw run_dir_error("run_dir: cell " + std::to_string(index) +
-                      " missing or invalid — run is incomplete, rerun workers to "
-                      "resume (" +
-                      e.what() + ")");
+/// One line per ledger entry — appended to coordinator/merge errors so the
+/// operator sees exactly which cells are poisoned and why, not a generic
+/// "incomplete".
+std::string quarantine_summary(const fs::path& run_dir) {
+  std::string out;
+  for (const quarantine_record& rec : quarantined_cells(run_dir)) {
+    out += "\n  quarantined cell " + std::to_string(rec.cell_index) + " (attempts " +
+           std::to_string(rec.attempts) + ", errno " +
+           std::to_string(rec.error_number) + "): " + rec.message;
+  }
+  return out;
+}
+
+[[noreturn]] void throw_incomplete(const fs::path& run_dir, std::uint64_t index,
+                                   const run_dir_error& e) {
+  std::string message = "run_dir: cell " + std::to_string(index) +
+                        " missing or invalid — run is incomplete, rerun workers to "
+                        "resume (" +
+                        e.what() + ")";
+  std::error_code ec;
+  if (fs::exists(cell_quarantine_path(run_dir, index), ec)) {
+    message += quarantine_summary(run_dir);
+  }
+  throw run_dir_error(std::move(message));
 }
 
 }  // namespace
@@ -527,7 +706,7 @@ grid_result merge_run_dir(const fs::path& run_dir) {
     try {
       state = decode_cell_state(read_file(cell_state_path(run_dir, i)));
     } catch (const run_dir_error& e) {
-      throw_incomplete(i, e);
+      throw_incomplete(run_dir, i, e);
     }
     if (state.fingerprint != fingerprint || state.cell_index != i) {
       throw run_dir_error("run_dir: cell " + std::to_string(i) +
@@ -565,7 +744,7 @@ demand_tally merge_demand_run_dir(const fs::path& run_dir) {
     try {
       state = decode_demand_window_state(read_file(cell_state_path(run_dir, w)));
     } catch (const run_dir_error& e) {
-      throw_incomplete(w, e);
+      throw_incomplete(run_dir, w, e);
     }
     if (state.fingerprint != fingerprint || state.window_index != w) {
       throw run_dir_error("run_dir: window " + std::to_string(w) +
@@ -600,7 +779,7 @@ experiment_result merge_experiment_run_dir(const fs::path& run_dir) {
     try {
       state = decode_experiment_window_state(read_file(cell_state_path(run_dir, w)));
     } catch (const run_dir_error& e) {
-      throw_incomplete(w, e);
+      throw_incomplete(run_dir, w, e);
     }
     if (state.fingerprint != fingerprint || state.window_index != w) {
       throw run_dir_error("run_dir: window " + std::to_string(w) +
@@ -623,7 +802,10 @@ experiment_result merge_experiment_run_dir(const fs::path& run_dir) {
 namespace {
 
 /// The kind-agnostic middle of every coordinator: clean stale claims, fan
-/// pending cells out to worker processes, and demand completeness.
+/// pending cells out to worker processes, and demand completeness.  The
+/// incomplete-run error names every quarantined cell, so a chaos run that
+/// degraded gracefully is distinguishable from one that simply ran out of
+/// quota.
 void drive_pending_cells(const distributed_config& dist, const std::string& worker_exe) {
   clean_stale_claims(dist.run_dir);
 
@@ -636,8 +818,12 @@ void drive_pending_cells(const distributed_config& dist, const std::string& work
   // No point spawning more processes than there are pending cells.
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(dist.workers, pending.size()));
-  const std::vector<int> pids =
-      spawn_sweep_workers(worker_exe, dist.run_dir, workers, dist.max_cells);
+  std::vector<std::string> extra_args;
+  if (!dist.worker_fault_plan.empty()) {
+    extra_args = {"--fault-plan", dist.worker_fault_plan};
+  }
+  const std::vector<int> pids = spawn_sweep_workers(worker_exe, dist.run_dir, workers,
+                                                    dist.max_cells, extra_args);
   const std::vector<int> codes = wait_sweep_workers(pids);
 
   const std::vector<std::uint64_t> still_missing = missing_cells(dist.run_dir);
@@ -646,7 +832,7 @@ void drive_pending_cells(const distributed_config& dist, const std::string& work
     for (const int c : codes) detail += ' ' + std::to_string(c);
     throw run_dir_error("run_dir: " + std::to_string(still_missing.size()) +
                         " cells still pending after workers finished (" + detail +
-                        "); rerun to resume");
+                        "); rerun to resume" + quarantine_summary(dist.run_dir));
   }
 }
 

@@ -44,11 +44,35 @@
 // single-process oracle (run_scenario_grid / run_demand_campaign /
 // run_experiment) — regardless of worker count, host count, scheduling, or
 // how many kill/resume cycles the run suffered.
+//
+// This PR hardens the protocol against the I/O layer itself (all filesystem
+// traffic routes through mc::io_env, so the chaos harness can inject faults
+// deterministically):
+//
+//   * lease renewal heartbeats — while computing, a worker re-touches its
+//     claim's owner record on a cadence of lease_ttl / kHeartbeatsPerTtl, so
+//     a cell whose runtime exceeds kClaimLeaseTtl is never reaped out from
+//     under a live worker (the sweeps measure lease age by mtime, which the
+//     heartbeat refreshes with the run filesystem's own clock);
+//   * bounded deterministic retry — a transient I/O failure (EIO, ENOSPC,
+//     torn write caught by the checksum) costs one attempt out of
+//     worker_config::max_attempts, with an exponential backoff schedule
+//     derived purely from the attempt number (no wall-clock randomness);
+//   * poison-cell quarantine — a cell that exhausts its budget is recorded
+//     under <run_dir>/quarantine/ (index, attempts, last errno) and the
+//     worker moves on; the coordinator exits nonzero listing quarantined
+//     cells, and merge names the quarantine record when it refuses a
+//     partial directory.  A later clean resume re-attempts the cell and
+//     clears the record on success — quarantine degrades, never corrupts.
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mc/run_dir.hpp"
@@ -89,25 +113,64 @@ experiment_manifest init_experiment_run_dir(const experiment_manifest& m,
 /// without its state file landing.
 inline constexpr std::chrono::seconds kClaimLeaseTtl{600};
 
+/// What one clean_stale_claims sweep did — printed by reldiv_sweep so fleet
+/// operators can watch recovery happen instead of inferring it.
+struct claim_sweep_report {
+  std::size_t claims_reaped = 0;   ///< stale/dead-owner claims removed
+  std::size_t tmps_removed = 0;    ///< orphaned .tmp files removed
+  std::size_t claims_honored = 0;  ///< live-lease claims left alone
+};
+
 /// Remove stale claim markers and orphaned .tmp files left by killed
 /// workers.  Honors the lease protocol, so it is safe to call while workers
 /// — including workers on other hosts — are running:
 ///   * a claim whose recorded host is THIS host and whose pid is dead is
 ///     reaped immediately;
 ///   * any other claim (unknown host, unparseable owner, live-looking pid)
-///     is reaped only once its mtime is older than `ttl`;
+///     is reaped only once its mtime is older than `ttl` — and a heartbeat
+///     renewal refreshes that mtime, so an actively-renewed claim is
+///     honored no matter how long its cell runs;
 ///   * same rules for write_file_atomic .tmp orphans.
-void clean_stale_claims(const std::filesystem::path& run_dir,
-                        std::chrono::seconds ttl = kClaimLeaseTtl);
+claim_sweep_report clean_stale_claims(const std::filesystem::path& run_dir,
+                                      std::chrono::seconds ttl = kClaimLeaseTtl);
 
 /// Cells whose state file is absent or fails validation, in ascending
 /// order.  Empty means the run directory is complete and mergeable.  Works
 /// for every job kind.
 [[nodiscard]] std::vector<std::uint64_t> missing_cells(const std::filesystem::path& run_dir);
 
+/// Heartbeats per lease TTL: the renewal cadence is ttl / kHeartbeatsPerTtl,
+/// comfortably under the TTL so one delayed beat (GC pause, NFS hiccup,
+/// injected stall) cannot let a live claim expire.
+inline constexpr unsigned kHeartbeatsPerTtl = 6;
+
+/// Per-worker knobs; the defaults are what `run_pending_cells(dir,
+/// max_cells)` has always done, plus retry and heartbeats.
+struct worker_config {
+  std::size_t max_cells = 0;  ///< stop after this many computed cells (0 = unlimited)
+  std::chrono::seconds lease_ttl = kClaimLeaseTtl;
+  /// Claim renewal cadence; zero means lease_ttl / kHeartbeatsPerTtl.
+  std::chrono::milliseconds heartbeat{0};
+  /// Attempts per cell before it is quarantined.  Transient I/O failures
+  /// (io_error from any seam operation) cost one attempt each.
+  std::uint32_t max_attempts = 4;
+  /// Backoff before retry k (1-based) is backoff_base * 2^(k-1) — a pure
+  /// function of the attempt number, so chaos runs replay exactly.
+  std::chrono::milliseconds backoff_base{10};
+
+  [[nodiscard]] std::chrono::milliseconds heartbeat_interval() const {
+    if (heartbeat.count() > 0) return heartbeat;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(lease_ttl) /
+           kHeartbeatsPerTtl;
+  }
+};
+
 struct worker_report {
-  std::size_t computed = 0;  ///< cells this worker claimed and wrote
-  std::size_t skipped = 0;   ///< cells already done or claimed by others
+  std::size_t computed = 0;     ///< cells this worker claimed and wrote
+  std::size_t skipped = 0;      ///< cells already done or claimed by others
+  std::size_t retried = 0;      ///< retry attempts after transient I/O failures
+  std::size_t quarantined = 0;  ///< cells that exhausted their retry budget
+  std::uint64_t backoff_ms = 0; ///< total deterministic backoff slept
 };
 
 /// Worker body: walk the manifest's cells, claim-and-compute every cell
@@ -118,16 +181,75 @@ struct worker_report {
 /// when max_cells > 0 — the deterministic-interruption hook the resume
 /// tests and CI use.  Safe to run concurrently from any number of processes
 /// on any number of hosts sharing the directory's filesystem.
+///
+/// While a cell computes, a heartbeat thread renews the claim lease; a
+/// transient I/O failure is retried with deterministic backoff up to
+/// cfg.max_attempts, then the cell is quarantined (see quarantined_cells)
+/// and the walk continues.  A successful compute clears any stale
+/// quarantine record for that cell.
+worker_report run_pending_cells(const std::filesystem::path& run_dir,
+                                const worker_config& cfg);
 worker_report run_pending_cells(const std::filesystem::path& run_dir,
                                 std::size_t max_cells = 0);
 
+/// Renews one claim's lease from a background thread: every `interval`, the
+/// owner record is rewritten in place (create=false — a reaped claim is
+/// never resurrected), refreshing its mtime with the run filesystem's own
+/// clock.  If the claim vanishes mid-renewal, lost() flips true and beating
+/// stops; transient io_error on a beat is skipped and the next beat retries.
+/// stop() (or destruction) joins the thread.
+class claim_heartbeat {
+ public:
+  claim_heartbeat(std::filesystem::path claim_path, std::string owner_body,
+                  std::chrono::milliseconds interval);
+  ~claim_heartbeat();
+  claim_heartbeat(const claim_heartbeat&) = delete;
+  claim_heartbeat& operator=(const claim_heartbeat&) = delete;
+
+  void stop();
+  /// True when a beat found the claim gone (reaped by a sweep).
+  [[nodiscard]] bool lost() const noexcept { return lost_.load(); }
+  /// Successful renewals so far.
+  [[nodiscard]] std::uint64_t beats() const noexcept { return beats_.load(); }
+
+ private:
+  void run();
+
+  std::filesystem::path claim_path_;
+  std::string body_;
+  std::chrono::milliseconds interval_;
+  std::atomic<bool> lost_{false};
+  std::atomic<std::uint64_t> beats_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+/// One poison-cell ledger entry (a `quarantine/cell_NNNNNN.quarantine`
+/// file).  The record is advisory — the cell still reads as missing, so a
+/// clean rerun recomputes it and clears the record.
+struct quarantine_record {
+  std::uint64_t cell_index = 0;
+  std::uint32_t attempts = 0;
+  int error_number = 0;  ///< errno of the last failing attempt
+  std::string message;   ///< what() of the last failing attempt
+};
+
+/// The quarantine ledger of a run directory, in ascending cell order.
+/// Unparseable records are reported with their index parsed from the
+/// filename and an explanatory message — never silently dropped.
+[[nodiscard]] std::vector<quarantine_record> quarantined_cells(
+    const std::filesystem::path& run_dir);
+
 /// Spawn `workers` copies of `worker_exe --worker --run-dir <run_dir>`
-/// (plus `--max-cells N` when max_cells > 0) as detached OS processes.
-/// Returns their pids.
-[[nodiscard]] std::vector<int> spawn_sweep_workers(const std::string& worker_exe,
-                                                   const std::filesystem::path& run_dir,
-                                                   unsigned workers,
-                                                   std::size_t max_cells = 0);
+/// (plus `--max-cells N` when max_cells > 0, plus `extra_args` verbatim —
+/// the chaos harness passes `--fault-plan <recipe>` this way) as detached
+/// OS processes.  Returns their pids.
+[[nodiscard]] std::vector<int> spawn_sweep_workers(
+    const std::string& worker_exe, const std::filesystem::path& run_dir,
+    unsigned workers, std::size_t max_cells = 0,
+    const std::vector<std::string>& extra_args = {});
 
 /// Wait for all pids; returns their exit codes (128+signal for a killed
 /// worker).
@@ -156,14 +278,20 @@ struct distributed_config {
   std::filesystem::path run_dir;
   unsigned workers = 2;         ///< worker processes to spawn
   std::size_t max_cells = 0;    ///< per-worker cell quota (0 = unlimited)
+  /// When non-empty, passed to each worker as `--fault-plan <recipe>`
+  /// (fault_plan::to_string format) — the chaos harness's injection hook.
+  /// The coordinator itself stays un-injected so its merge verdict is
+  /// trustworthy.
+  std::string worker_fault_plan{};
 };
 
 /// The full coordinator: init (or resume) the run directory, clean stale
 /// claims, fan the pending cells out to `cfg.workers` fresh processes of
 /// `worker_exe`, wait for them, and merge.  Throws run_dir_error when
-/// workers exit abnormally while cells are still missing, or when the
-/// directory is incomplete after the workers finish (e.g. a max_cells
-/// quota) — rerun to resume.
+/// workers exit abnormally while cells are still missing, when any cell
+/// was quarantined (the message lists the ledger), or when the directory
+/// is incomplete after the workers finish (e.g. a max_cells quota) — rerun
+/// to resume.
 [[nodiscard]] grid_result run_distributed_grid(const scenario_axes& axes,
                                                const scenario_config& cfg,
                                                const distributed_config& dist,

@@ -1,0 +1,407 @@
+#include "mc/io_env.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "stats/random.hpp"
+
+namespace reldiv::mc {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// io_error
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string io_error_message(const std::string& op, const fs::path& path,
+                             int error_number) {
+  return "io: " + op + " " + path.string() + ": " + std::strerror(error_number) +
+         " (errno " + std::to_string(error_number) + ")";
+}
+
+}  // namespace
+
+io_error::io_error(std::string op, fs::path path, int error_number)
+    : run_dir_error(io_error_message(op, path, error_number)),
+      op_(std::move(op)),
+      path_(std::move(path)),
+      error_number_(error_number) {}
+
+// ---------------------------------------------------------------------------
+// fault_plan
+// ---------------------------------------------------------------------------
+
+std::string_view fault_kind_name(fault_kind k) {
+  switch (k) {
+    case fault_kind::none: return "none";
+    case fault_kind::eio: return "eio";
+    case fault_kind::enospc: return "enospc";
+    case fault_kind::torn_write: return "torn_write";
+    case fault_kind::lost_rename: return "lost_rename";
+    case fault_kind::stall: return "stall";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Which fault kinds make physical sense for each operation: a read cannot
+/// tear a write it never performs, a claim rename allocates no blocks, and
+/// only the two rename flavours can lose visibility.
+std::uint32_t applicable_kinds(io_op op) {
+  switch (op) {
+    case io_op::read:
+      return fault_kind_bit(fault_kind::eio) | fault_kind_bit(fault_kind::stall);
+    case io_op::write:
+      return fault_kind_bit(fault_kind::eio) | fault_kind_bit(fault_kind::enospc) |
+             fault_kind_bit(fault_kind::torn_write) | fault_kind_bit(fault_kind::stall);
+    case io_op::fsync:
+      return fault_kind_bit(fault_kind::eio) | fault_kind_bit(fault_kind::enospc) |
+             fault_kind_bit(fault_kind::stall);
+    case io_op::rename:
+      return fault_kind_bit(fault_kind::eio) | fault_kind_bit(fault_kind::enospc) |
+             fault_kind_bit(fault_kind::lost_rename) | fault_kind_bit(fault_kind::stall);
+    case io_op::claim:
+      return fault_kind_bit(fault_kind::eio) | fault_kind_bit(fault_kind::lost_rename) |
+             fault_kind_bit(fault_kind::stall);
+    case io_op::touch:
+      return fault_kind_bit(fault_kind::eio) | fault_kind_bit(fault_kind::enospc) |
+             fault_kind_bit(fault_kind::stall);
+  }
+  return 0;
+}
+
+}  // namespace
+
+fault_kind fault_plan::decide(io_op op, std::uint64_t op_index) const {
+  if (seed == 0 || rate_ppm == 0) return fault_kind::none;
+  if ((ops_mask & io_op_bit(op)) == 0) return fault_kind::none;
+  // Same derivation style as target_stream_seed(seed, t): one splitmix64
+  // state keyed by (seed, index), drawn twice — once for "fault or not",
+  // once for "which kind".
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (op_index + 0xc4a05e77ULL));
+  const std::uint64_t h = stats::splitmix64_next(state);
+  if (h % 1'000'000 >= rate_ppm) return fault_kind::none;
+  const std::uint32_t applicable = kinds_mask & applicable_kinds(op);
+  if (applicable == 0) return fault_kind::none;
+  const std::uint64_t h2 = stats::splitmix64_next(state);
+  int pick = static_cast<int>(h2 % static_cast<std::uint64_t>(std::popcount(applicable)));
+  for (std::uint32_t k = 1; k <= static_cast<std::uint32_t>(fault_kind::stall); ++k) {
+    if ((applicable & (1u << k)) && pick-- == 0) return static_cast<fault_kind>(k);
+  }
+  return fault_kind::none;
+}
+
+std::string fault_plan::to_string() const {
+  return "seed=" + std::to_string(seed) + ",rate_ppm=" + std::to_string(rate_ppm) +
+         ",ops=" + std::to_string(ops_mask) + ",kinds=" + std::to_string(kinds_mask) +
+         ",stall_ms=" + std::to_string(stall_ms);
+}
+
+fault_plan fault_plan::parse(std::string_view text) {
+  fault_plan plan;
+  // Every field must appear exactly once; unknown keys are refused so a
+  // typo'd replay recipe cannot silently run a different plan.
+  std::uint32_t seen = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::string_view field = text.substr(pos, comma - pos);
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("fault_plan: malformed field '" + std::string(field) +
+                                  "' (expected key=value)");
+    }
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    std::uint64_t parsed = 0;
+    const auto [end, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc{} || end != value.data() + value.size()) {
+      throw std::invalid_argument("fault_plan: field '" + std::string(key) +
+                                  "' has a non-integer value '" + std::string(value) + "'");
+    }
+    if (key == "seed") {
+      plan.seed = parsed;
+      seen |= 1u;
+    } else if (key == "rate_ppm") {
+      plan.rate_ppm = static_cast<std::uint32_t>(parsed);
+      seen |= 2u;
+    } else if (key == "ops") {
+      plan.ops_mask = static_cast<std::uint32_t>(parsed);
+      seen |= 4u;
+    } else if (key == "kinds") {
+      plan.kinds_mask = static_cast<std::uint32_t>(parsed);
+      seen |= 8u;
+    } else if (key == "stall_ms") {
+      plan.stall_ms = static_cast<std::uint32_t>(parsed);
+      seen |= 16u;
+    } else {
+      throw std::invalid_argument("fault_plan: unknown field '" + std::string(key) + "'");
+    }
+    pos = comma + 1;
+  }
+  if (seen != 31u) {
+    throw std::invalid_argument("fault_plan: missing fields in '" + std::string(text) +
+                                "' (need seed, rate_ppm, ops, kinds, stall_ms)");
+  }
+  return plan;
+}
+
+fault_plan chaos_plan(std::uint64_t chaos_seed, std::uint32_t index,
+                      std::uint32_t rate_ppm) {
+  // Rotating palettes so even a 2-plan sweep exercises both the errno
+  // failures and the silent-corruption failures.
+  static constexpr std::uint32_t kPalettes[] = {
+      kAllFaultKinds,
+      fault_kind_bit(fault_kind::eio) | fault_kind_bit(fault_kind::enospc),
+      fault_kind_bit(fault_kind::torn_write) | fault_kind_bit(fault_kind::lost_rename),
+      fault_kind_bit(fault_kind::stall) | fault_kind_bit(fault_kind::eio),
+  };
+  std::uint64_t state = chaos_seed ^ (0x9e3779b97f4a7c15ULL * (index + 0x5eedULL));
+  fault_plan plan;
+  plan.seed = stats::splitmix64_next(state);
+  if (plan.seed == 0) plan.seed = 1;  // 0 would disable the plan entirely
+  plan.rate_ppm = rate_ppm;
+  plan.ops_mask = kAllIoOps;
+  plan.kinds_mask = kPalettes[index % (sizeof(kPalettes) / sizeof(kPalettes[0]))];
+  plan.stall_ms = 5;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// real_io_env
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct fd_guard {
+  int fd = -1;
+  ~fd_guard() {
+    if (fd >= 0) ::close(fd);
+  }
+  int release() { return std::exchange(fd, -1); }
+};
+
+// RENAME_NOREPLACE restated locally so no uapi header — with its macro
+// collisions — has to be dragged in.
+constexpr unsigned int kRenameNoReplace = 1;
+
+}  // namespace
+
+std::string real_io_env::read_file(const fs::path& path) {
+  fd_guard f{::open(path.c_str(), O_RDONLY | O_CLOEXEC)};
+  if (f.fd < 0) throw io_error("read", path, errno);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(f.fd, buf, sizeof(buf));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw io_error("read", path, errno);
+    }
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+void real_io_env::write_file(const fs::path& path, std::string_view contents, bool sync) {
+  fd_guard f{::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644)};
+  if (f.fd < 0) throw io_error("write", path, errno);
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    const ssize_t n = ::write(f.fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw io_error("write", path, errno);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // The fsync-before-rename half of crash durability: without it a power
+  // cut after the rename can surface a zero-length "committed" file.
+  if (sync && ::fsync(f.fd) != 0) throw io_error("fsync", path, errno);
+  if (::close(f.release()) != 0) throw io_error("close", path, errno);
+}
+
+void real_io_env::fsync_dir(const fs::path& dir) {
+  fd_guard f{::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC)};
+  if (f.fd < 0) throw io_error("fsync", dir, errno);
+  if (::fsync(f.fd) != 0) {
+    // Some filesystems refuse directory fsync (EINVAL) — the entry is as
+    // durable as that filesystem can make it; nothing more to do.
+    if (errno != EINVAL) throw io_error("fsync", dir, errno);
+  }
+}
+
+void real_io_env::rename_file(const fs::path& from, const fs::path& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) throw io_error("rename", to, errno);
+}
+
+int real_io_env::rename_noreplace(const fs::path& from, const fs::path& to) {
+  int rc = -ENOSYS;
+#ifdef SYS_renameat2
+  rc = ::syscall(SYS_renameat2, AT_FDCWD, from.c_str(), AT_FDCWD, to.c_str(),
+                 kRenameNoReplace) == 0
+           ? 0
+           : -errno;
+#endif
+  if (rc == -ENOSYS || rc == -EINVAL || rc == -ENOTSUP || rc == -EOPNOTSUPP) {
+    // link() never replaces its target either; "at most one winner" holds
+    // on NFS too.  On success the source hard link is consumed here so the
+    // caller sees rename semantics.
+    rc = ::link(from.c_str(), to.c_str()) == 0 ? 0 : -errno;
+    if (rc == 0) ::unlink(from.c_str());
+  }
+  return rc;
+}
+
+bool real_io_env::touch(const fs::path& path, std::string_view contents, bool create) {
+  const int flags = O_WRONLY | O_TRUNC | O_CLOEXEC | (create ? O_CREAT : 0);
+  fd_guard f{::open(path.c_str(), flags, 0644)};
+  if (f.fd < 0) {
+    if (!create && errno == ENOENT) return false;
+    throw io_error("touch", path, errno);
+  }
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    const ssize_t n = ::write(f.fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw io_error("touch", path, errno);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// faulty_io_env
+// ---------------------------------------------------------------------------
+
+faulty_io_env::faulty_io_env(fault_plan plan, io_env* base)
+    : plan_(plan), base_(base ? base : &system_io_env()) {}
+
+fault_kind faulty_io_env::next(io_op op) {
+  const std::uint64_t index = ops_.fetch_add(1, std::memory_order_relaxed);
+  const fault_kind k = plan_.decide(op, index);
+  if (k == fault_kind::none) return k;
+  if (k == fault_kind::stall) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan_.stall_ms));
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return fault_kind::none;  // a stall delays, then the operation proceeds
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return k;
+}
+
+std::string faulty_io_env::read_file(const fs::path& path) {
+  if (next(io_op::read) == fault_kind::eio) throw io_error("read", path, EIO);
+  return base_->read_file(path);
+}
+
+void faulty_io_env::write_file(const fs::path& path, std::string_view contents,
+                               bool sync) {
+  switch (next(io_op::write)) {
+    case fault_kind::eio: throw io_error("write", path, EIO);
+    case fault_kind::enospc: throw io_error("write", path, ENOSPC);
+    case fault_kind::torn_write:
+      // The nastiest disk lie: success reported, only a prefix on disk.
+      // The container checksum is what must catch this downstream.
+      base_->write_file(path, contents.substr(0, contents.size() / 2), sync);
+      return;
+    default: break;
+  }
+  base_->write_file(path, contents, sync);
+}
+
+void faulty_io_env::fsync_dir(const fs::path& dir) {
+  switch (next(io_op::fsync)) {
+    case fault_kind::eio: throw io_error("fsync", dir, EIO);
+    case fault_kind::enospc: throw io_error("fsync", dir, ENOSPC);
+    default: break;
+  }
+  base_->fsync_dir(dir);
+}
+
+void faulty_io_env::rename_file(const fs::path& from, const fs::path& to) {
+  switch (next(io_op::rename)) {
+    case fault_kind::eio: throw io_error("rename", to, EIO);
+    case fault_kind::enospc: throw io_error("rename", to, ENOSPC);
+    case fault_kind::lost_rename: {
+      // Success reported, target never appears (a lost NFS reply, say).
+      std::error_code ec;
+      fs::remove(from, ec);
+      return;
+    }
+    default: break;
+  }
+  base_->rename_file(from, to);
+}
+
+int faulty_io_env::rename_noreplace(const fs::path& from, const fs::path& to) {
+  switch (next(io_op::claim)) {
+    case fault_kind::eio: return -EIO;
+    case fault_kind::lost_rename: {
+      // The worker believes it holds the claim, but no claim file exists:
+      // another worker may claim too.  Cell results are pure functions of
+      // (manifest, index), so the duplicated compute is benign — which is
+      // exactly what this fault is meant to prove.
+      std::error_code ec;
+      fs::remove(from, ec);
+      return 0;
+    }
+    default: break;
+  }
+  return base_->rename_noreplace(from, to);
+}
+
+bool faulty_io_env::touch(const fs::path& path, std::string_view contents, bool create) {
+  switch (next(io_op::touch)) {
+    case fault_kind::eio: throw io_error("touch", path, EIO);
+    case fault_kind::enospc: throw io_error("touch", path, ENOSPC);
+    default: break;
+  }
+  return base_->touch(path, contents, create);
+}
+
+// ---------------------------------------------------------------------------
+// Active-env plumbing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<io_env*>& env_slot() {
+  static std::atomic<io_env*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+real_io_env& system_io_env() {
+  static real_io_env env;
+  return env;
+}
+
+io_env& active_io_env() {
+  io_env* env = env_slot().load(std::memory_order_acquire);
+  return env ? *env : system_io_env();
+}
+
+io_env* set_io_env(io_env* env) {
+  return env_slot().exchange(env, std::memory_order_acq_rel);
+}
+
+}  // namespace reldiv::mc

@@ -1,0 +1,229 @@
+#pragma once
+// mc::io_env — the injectable filesystem seam under the run-directory layer
+// (ROADMAP item 1 earmarks this seam for an object-store backend; this PR
+// uses it for deterministic fault injection).
+//
+// Every filesystem touch the distributed driver performs — whole-file reads,
+// temp-file writes, directory fsyncs, state-file renames, claim-lease
+// renames, probe/heartbeat touches — goes through the process's *active*
+// io_env.  The default is real_io_env (POSIX syscalls, crash-durable
+// write+fsync).  Tests and the chaos harness install a faulty_io_env, which
+// forwards to a base env but consults a deterministic fault_plan first:
+//
+//   * the plan is a pure function of (chaos seed, operation index) — a
+//     splitmix64 hash in the same style as mc::target_stream_seed — so any
+//     chaos run is replayable from its seed alone;
+//   * injected faults are the failure classes a real fleet sees at this
+//     seam: EIO, ENOSPC, a torn (silently short) write, a rename whose
+//     target never becomes visible, and a stall past a deadline.
+//
+// The seam raises io_error — a run_dir_error carrying the operation, the
+// path and the errno — for injected and real failures alike, so callers
+// cannot tell chaos from a genuinely bad disk (which is the point).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "mc/run_dir.hpp"
+
+namespace reldiv::mc {
+
+/// A filesystem operation failed (for real or by injection).  Derives from
+/// run_dir_error so every existing "treat a bad file as not-done / not
+/// mergeable" catch site handles it; carries the operation name, the path
+/// and the errno so a failed read mid-merge reports exactly what broke
+/// where, not a generic what().
+class io_error : public run_dir_error {
+ public:
+  io_error(std::string op, std::filesystem::path path, int error_number);
+
+  [[nodiscard]] const std::string& op() const noexcept { return op_; }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+  /// The errno value (EIO, ENOSPC, ENOENT, ...).
+  [[nodiscard]] int error_number() const noexcept { return error_number_; }
+
+ private:
+  std::string op_;
+  std::filesystem::path path_;
+  int error_number_ = 0;
+};
+
+/// The operations the seam distinguishes — fault plans target these.
+enum class io_op : std::uint32_t {
+  read = 0,    ///< whole-file read (state files, manifests, claim bodies)
+  write = 1,   ///< create/truncate + write (+optional fsync) of one file
+  fsync = 2,   ///< directory fsync after a rename
+  rename = 3,  ///< replacing rename of a completed temp file into place
+  claim = 4,   ///< RENAME_NOREPLACE (or link) of a claim-lease file
+  touch = 5,   ///< probe creation / claim heartbeat renewal
+};
+
+inline constexpr std::uint32_t io_op_bit(io_op op) {
+  return 1u << static_cast<std::uint32_t>(op);
+}
+inline constexpr std::uint32_t kAllIoOps =
+    io_op_bit(io_op::read) | io_op_bit(io_op::write) | io_op_bit(io_op::fsync) |
+    io_op_bit(io_op::rename) | io_op_bit(io_op::claim) | io_op_bit(io_op::touch);
+
+/// The injectable failure classes.
+enum class fault_kind : std::uint32_t {
+  none = 0,
+  eio = 1,          ///< operation fails with EIO
+  enospc = 2,       ///< operation fails with ENOSPC
+  torn_write = 3,   ///< write reports success but lands only a prefix
+  lost_rename = 4,  ///< rename reports success but the target never appears
+  stall = 5,        ///< operation sleeps past a deadline, then proceeds
+};
+
+inline constexpr std::uint32_t fault_kind_bit(fault_kind k) {
+  return 1u << static_cast<std::uint32_t>(k);
+}
+inline constexpr std::uint32_t kAllFaultKinds =
+    fault_kind_bit(fault_kind::eio) | fault_kind_bit(fault_kind::enospc) |
+    fault_kind_bit(fault_kind::torn_write) | fault_kind_bit(fault_kind::lost_rename) |
+    fault_kind_bit(fault_kind::stall);
+
+/// Human-readable name of a fault kind ("eio", "torn_write", ...).
+[[nodiscard]] std::string_view fault_kind_name(fault_kind k);
+
+/// A deterministic, serializable fault-injection schedule.  Whether — and
+/// how — operation number N fails is a pure function of (seed, N): the
+/// faulty env keeps one monotone per-process op counter, and decide() hashes
+/// (seed, index) with splitmix64 exactly like target_stream_seed hashes
+/// (seed, target).  Same plan, same code path => same faults, every run.
+struct fault_plan {
+  std::uint64_t seed = 0;        ///< chaos seed; 0 disables injection entirely
+  std::uint32_t rate_ppm = 0;    ///< per-operation fault probability, parts per million
+  std::uint32_t ops_mask = kAllIoOps;        ///< io_op_bit()s eligible for faults
+  std::uint32_t kinds_mask = kAllFaultKinds; ///< fault_kind_bit()s to draw from
+  std::uint32_t stall_ms = 5;    ///< injected stall duration, milliseconds
+
+  /// The fault (or none) for the index'th operation of type `op`.  Pure:
+  /// respects ops_mask, kinds_mask and per-op applicability (a read cannot
+  /// tear a write; a claim cannot run out of disk it never writes).
+  [[nodiscard]] fault_kind decide(io_op op, std::uint64_t op_index) const;
+
+  /// "seed=..,rate_ppm=..,ops=..,kinds=..,stall_ms=.." — the replay recipe
+  /// printed by the chaos harness.  parse() round-trips it; throws
+  /// std::invalid_argument on malformed text.
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static fault_plan parse(std::string_view text);
+};
+
+/// The plan the chaos harness runs for sweep position `index` off one chaos
+/// seed: a derived splitmix64 seed plus a rotating fault-kind palette, so a
+/// small sweep still covers every failure class.
+[[nodiscard]] fault_plan chaos_plan(std::uint64_t chaos_seed, std::uint32_t index,
+                                    std::uint32_t rate_ppm);
+
+/// The seam.  Implementations throw io_error on failure; rename_noreplace
+/// reports via return code because EEXIST is an expected outcome there.
+class io_env {
+ public:
+  virtual ~io_env() = default;
+
+  /// Read a whole file.
+  [[nodiscard]] virtual std::string read_file(const std::filesystem::path& path) = 0;
+
+  /// Create/truncate `path` and write `contents`; when `sync`, fsync the
+  /// file before closing so the bytes survive a power cut.
+  virtual void write_file(const std::filesystem::path& path, std::string_view contents,
+                          bool sync) = 0;
+
+  /// fsync the directory itself, making a just-renamed entry durable.
+  virtual void fsync_dir(const std::filesystem::path& dir) = 0;
+
+  /// Replacing rename (the temp -> final step of write_file_atomic).
+  virtual void rename_file(const std::filesystem::path& from,
+                           const std::filesystem::path& to) = 0;
+
+  /// Non-replacing rename for claim leases: 0 on success (the source is
+  /// consumed), -EEXIST when the target already exists, -errno otherwise
+  /// (the source is left for the caller to clean up).  Falls back to
+  /// link(2) where the kernel/filesystem lacks RENAME_NOREPLACE.
+  [[nodiscard]] virtual int rename_noreplace(const std::filesystem::path& from,
+                                             const std::filesystem::path& to) = 0;
+
+  /// Rewrite `path` with `contents`, refreshing its mtime with the *owning
+  /// filesystem's* clock (probe files, claim heartbeats).  When `create` is
+  /// false and the file is gone, returns false instead of recreating it — a
+  /// heartbeat must never resurrect a reaped claim.
+  virtual bool touch(const std::filesystem::path& path, std::string_view contents,
+                     bool create) = 0;
+};
+
+/// The POSIX env every process starts with.
+class real_io_env : public io_env {
+ public:
+  [[nodiscard]] std::string read_file(const std::filesystem::path& path) override;
+  void write_file(const std::filesystem::path& path, std::string_view contents,
+                  bool sync) override;
+  void fsync_dir(const std::filesystem::path& dir) override;
+  void rename_file(const std::filesystem::path& from,
+                   const std::filesystem::path& to) override;
+  [[nodiscard]] int rename_noreplace(const std::filesystem::path& from,
+                                     const std::filesystem::path& to) override;
+  bool touch(const std::filesystem::path& path, std::string_view contents,
+             bool create) override;
+};
+
+/// Forwards to `base` (default: the system env) after consulting `plan`.
+/// Thread-safe: the op counter is atomic, so heartbeat threads and the
+/// worker loop share one deterministic operation sequence.
+class faulty_io_env : public io_env {
+ public:
+  explicit faulty_io_env(fault_plan plan, io_env* base = nullptr);
+
+  [[nodiscard]] const fault_plan& plan() const noexcept { return plan_; }
+  /// Seam operations performed so far.
+  [[nodiscard]] std::uint64_t operations() const noexcept { return ops_.load(); }
+  /// Faults injected so far.
+  [[nodiscard]] std::uint64_t injected() const noexcept { return injected_.load(); }
+
+  [[nodiscard]] std::string read_file(const std::filesystem::path& path) override;
+  void write_file(const std::filesystem::path& path, std::string_view contents,
+                  bool sync) override;
+  void fsync_dir(const std::filesystem::path& dir) override;
+  void rename_file(const std::filesystem::path& from,
+                   const std::filesystem::path& to) override;
+  [[nodiscard]] int rename_noreplace(const std::filesystem::path& from,
+                                     const std::filesystem::path& to) override;
+  bool touch(const std::filesystem::path& path, std::string_view contents,
+             bool create) override;
+
+ private:
+  [[nodiscard]] fault_kind next(io_op op);
+
+  fault_plan plan_;
+  io_env* base_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+/// The process-wide default env (plain POSIX, no injection).
+[[nodiscard]] real_io_env& system_io_env();
+
+/// The env the run-directory layer currently routes through.
+[[nodiscard]] io_env& active_io_env();
+
+/// Install `env` as the active env (nullptr restores the system env);
+/// returns the previous override (nullptr when none was installed).
+io_env* set_io_env(io_env* env);
+
+/// RAII install/restore for tests and the chaos harness.
+class scoped_io_env {
+ public:
+  explicit scoped_io_env(io_env& env) : previous_(set_io_env(&env)) {}
+  ~scoped_io_env() { set_io_env(previous_); }
+  scoped_io_env(const scoped_io_env&) = delete;
+  scoped_io_env& operator=(const scoped_io_env&) = delete;
+
+ private:
+  io_env* previous_;
+};
+
+}  // namespace reldiv::mc

@@ -4,9 +4,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <utility>
 
+#include "mc/io_env.hpp"
 #include "stats/wire.hpp"
 
 namespace reldiv::mc {
@@ -703,36 +703,24 @@ const std::string& claim_host_name() {
 }
 
 void write_file_atomic(const fs::path& path, std::string_view contents) {
+  io_env& env = active_io_env();
   const fs::path tmp =
       path.string() + ".tmp." + claim_host_name() + "." + std::to_string(::getpid());
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) throw run_dir_error("run_dir: cannot open " + tmp.string() + " for writing");
-    f.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-    f.flush();
-    if (!f) {
-      f.close();
-      std::error_code ec;
-      fs::remove(tmp, ec);
-      throw run_dir_error("run_dir: short write to " + tmp.string());
-    }
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
+  try {
+    // fsync the temp before renaming and the directory after: without the
+    // first a power cut can commit a zero-length rename target, without the
+    // second the rename itself may not survive the cut.
+    env.write_file(tmp, contents, /*sync=*/true);
+    env.rename_file(tmp, path);
+  } catch (...) {
+    std::error_code ec;
     fs::remove(tmp, ec);
-    throw run_dir_error("run_dir: cannot rename " + tmp.string() + " into place");
+    throw;
   }
+  env.fsync_dir(path.parent_path());
 }
 
-std::string read_file(const fs::path& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) throw run_dir_error("run_dir: cannot open " + path.string());
-  std::string contents((std::istreambuf_iterator<char>(f)),
-                       std::istreambuf_iterator<char>());
-  if (f.bad()) throw run_dir_error("run_dir: read error on " + path.string());
-  return contents;
-}
+std::string read_file(const fs::path& path) { return active_io_env().read_file(path); }
 
 fs::path manifest_path(const fs::path& run_dir) { return run_dir / "manifest.state"; }
 
@@ -753,6 +741,12 @@ fs::path cell_state_path(const fs::path& run_dir, std::uint64_t cell_index) {
 
 fs::path cell_claim_path(const fs::path& run_dir, std::uint64_t cell_index) {
   return cells_dir(run_dir) / (cell_file_stem(cell_index) + ".claim");
+}
+
+fs::path quarantine_dir(const fs::path& run_dir) { return run_dir / "quarantine"; }
+
+fs::path cell_quarantine_path(const fs::path& run_dir, std::uint64_t cell_index) {
+  return quarantine_dir(run_dir) / (cell_file_stem(cell_index) + ".quarantine");
 }
 
 }  // namespace reldiv::mc

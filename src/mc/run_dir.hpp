@@ -237,14 +237,21 @@ struct sweep_manifest {
 [[nodiscard]] const std::string& claim_host_name();
 
 /// Write-temp + rename: `path` either holds the complete contents or is
-/// untouched, even if the writer is SIGKILLed mid-write.  The temp sibling
-/// lives in the same directory (rename is atomic only within a filesystem)
-/// and is named `<path>.tmp.<host>.<pid>` so concurrent writers — including
-/// same-pid writers on different hosts sharing the filesystem — never
-/// collide, and stale-claim sweeps can probe the owner.
+/// untouched, even if the writer is SIGKILLed — or the host power-cut —
+/// mid-write.  The temp sibling lives in the same directory (rename is
+/// atomic only within a filesystem) and is named `<path>.tmp.<host>.<pid>`
+/// so concurrent writers — including same-pid writers on different hosts
+/// sharing the filesystem — never collide, and stale-claim sweeps can probe
+/// the owner.  Crash durability: the temp file is fsync'd before the rename
+/// and the parent directory after it, so a power cut can never surface a
+/// zero-length "committed" state file.  All syscalls route through the
+/// active mc::io_env (see mc/io_env.hpp), so fault-injection plans can hit
+/// every step; failures raise io_error carrying path + operation + errno.
 void write_file_atomic(const std::filesystem::path& path, std::string_view contents);
 
-/// Read a whole file; throws run_dir_error if it cannot be opened/read.
+/// Read a whole file through the active io_env; throws io_error (a
+/// run_dir_error carrying path + operation + errno) if it cannot be
+/// opened/read.
 [[nodiscard]] std::string read_file(const std::filesystem::path& path);
 
 // Run-directory layout.
@@ -254,5 +261,13 @@ void write_file_atomic(const std::filesystem::path& path, std::string_view conte
                                                     std::uint64_t cell_index);
 [[nodiscard]] std::filesystem::path cell_claim_path(const std::filesystem::path& run_dir,
                                                     std::uint64_t cell_index);
+
+// Poison-cell ledger: a cell that keeps failing with I/O errors past its
+// retry budget is recorded under <run_dir>/quarantine/cell_NNNNNN.quarantine
+// (cell index, attempts, last errno) instead of being recomputed forever.
+// See mc/distributed.hpp for the worker/merge semantics.
+[[nodiscard]] std::filesystem::path quarantine_dir(const std::filesystem::path& run_dir);
+[[nodiscard]] std::filesystem::path cell_quarantine_path(
+    const std::filesystem::path& run_dir, std::uint64_t cell_index);
 
 }  // namespace reldiv::mc

@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "core/generators.hpp"
 #include "mc/run_dir.hpp"
@@ -197,6 +200,119 @@ TEST_F(DistributedTest, UnparseableClaimFallsBackToLease) {
                       fs::file_time_type::clock::now() - 2 * mc::kClaimLeaseTtl);
   mc::clean_stale_claims(dir_);
   EXPECT_FALSE(fs::exists(claim));
+}
+
+std::string own_claim_body() {
+  return "host " + mc::claim_host_name() + "\npid " + std::to_string(::getpid()) +
+         "\ntime 0\n";
+}
+
+// The acceptance case for lease heartbeats: a cell whose runtime exceeds
+// the lease TTL completes without being reaped.  Shrunken TTL (1 s) so the
+// claim is held for ~2.5 lease lifetimes while an adversarial coordinator
+// sweeps continuously — the heartbeat's mtime renewals are the only thing
+// keeping it alive (the TTL rule reaps aged claims even for live local
+// owners; that is exactly why workers must renew).
+TEST_F(DistributedTest, HeartbeatRenewalOutlivesTheLeaseTtl) {
+  mc::init_run_dir(test_axes(), test_config(), dir_);
+  const auto ttl = std::chrono::seconds{1};
+  const fs::path claim = mc::cell_claim_path(dir_, 3);
+  const std::string body = own_claim_body();
+  std::ofstream(claim) << body;
+
+  mc::claim_heartbeat heartbeat(claim, body, std::chrono::milliseconds{100});
+  std::size_t honored = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds{2'500};
+  while (std::chrono::steady_clock::now() < deadline) {
+    honored += mc::clean_stale_claims(dir_, ttl).claims_honored;
+    ASSERT_TRUE(fs::exists(claim)) << "sweep reaped an actively renewed claim";
+    std::this_thread::sleep_for(std::chrono::milliseconds{200});
+  }
+  heartbeat.stop();
+  EXPECT_FALSE(heartbeat.lost());
+  EXPECT_GT(heartbeat.beats(), 0u);
+  EXPECT_GT(honored, 0u);
+
+  // Once renewals stop, filesystem-clock ageing governs again: backdate the
+  // mtime past the TTL and the next sweep reaps it, live owner or not.
+  fs::last_write_time(claim, fs::file_time_type::clock::now() - 2 * ttl);
+  EXPECT_EQ(mc::clean_stale_claims(dir_, ttl).claims_reaped, 1u);
+  EXPECT_FALSE(fs::exists(claim));
+}
+
+TEST_F(DistributedTest, ReapedClaimStopsTheHeartbeatInsteadOfResurrecting) {
+  mc::init_run_dir(test_axes(), test_config(), dir_);
+  const fs::path claim = mc::cell_claim_path(dir_, 5);
+  const std::string body = own_claim_body();
+  std::ofstream(claim) << body;
+
+  mc::claim_heartbeat heartbeat(claim, body, std::chrono::milliseconds{50});
+  auto wait_until = [](auto&& pred) {
+    const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds{10};
+    while (!pred() && std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(std::chrono::milliseconds{10});
+    }
+  };
+  wait_until([&] { return heartbeat.beats() > 0; });
+  ASSERT_GT(heartbeat.beats(), 0u);
+
+  // A sweep (or a rival worker) reaps the claim out from under us: the next
+  // renewal must notice and fail cleanly — NEVER recreate the claim, which
+  // would steal the cell back from whoever legitimately owns it now.
+  fs::remove(claim);
+  wait_until([&] { return heartbeat.lost(); });
+  EXPECT_TRUE(heartbeat.lost());
+  heartbeat.stop();
+  EXPECT_FALSE(fs::exists(claim)) << "renewal must never resurrect a reaped claim";
+}
+
+TEST_F(DistributedTest, WorkerWithShrunkenTtlSurvivesConcurrentSweeps) {
+  const auto axes = test_axes();
+  const auto cfg = test_config();
+  mc::init_run_dir(axes, cfg, dir_);
+
+  // A coordinator hammering clean_stale_claims with the same shrunken TTL
+  // the worker renews against: no live claim may be reaped, every cell
+  // lands, and the merge is still bit-identical to the oracle.
+  std::atomic<bool> done{false};
+  std::thread sweeper([&] {
+    while (!done.load()) {
+      (void)mc::clean_stale_claims(dir_, std::chrono::seconds{1});
+      std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    }
+  });
+  mc::worker_config wcfg;
+  wcfg.lease_ttl = std::chrono::seconds{1};
+  const auto report = mc::run_pending_cells(dir_, wcfg);
+  done = true;
+  sweeper.join();
+
+  EXPECT_EQ(report.computed, 16u);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_EQ(mc::merge_run_dir(dir_).to_csv(), mc::run_scenario_grid(axes, cfg).to_csv());
+}
+
+TEST_F(DistributedTest, ClaimSweepReportCountsEachOutcome) {
+  mc::init_run_dir(test_axes(), test_config(), dir_);
+
+  // One provably-dead local claim, one orphaned .tmp, one live foreign
+  // lease: the sweep report must account for each fate separately.
+  std::ofstream(mc::cell_claim_path(dir_, 0))
+      << "host " << mc::claim_host_name() << "\npid " << kDeadPid << "\ntime 0\n";
+  const fs::path orphan =
+      mc::cells_dir(dir_) / ("cell_000001.state.tmp." + mc::claim_host_name() + "." +
+                             std::to_string(kDeadPid));
+  std::ofstream(orphan) << "partial";
+  std::ofstream(mc::cell_claim_path(dir_, 2)) << "host some-other-host\npid 1\ntime 0\n";
+
+  const mc::claim_sweep_report report = mc::clean_stale_claims(dir_);
+  EXPECT_EQ(report.claims_reaped, 1u);
+  EXPECT_EQ(report.tmps_removed, 1u);
+  EXPECT_EQ(report.claims_honored, 1u);
+  EXPECT_FALSE(fs::exists(mc::cell_claim_path(dir_, 0)));
+  EXPECT_FALSE(fs::exists(orphan));
+  EXPECT_TRUE(fs::exists(mc::cell_claim_path(dir_, 2)));
 }
 
 TEST_F(DistributedTest, CorruptCellFileIsRecomputed) {

@@ -1,0 +1,276 @@
+// mc::io_env — the injectable filesystem seam and its deterministic fault
+// plans: plan purity and masking, recipe round-trips, the POSIX env's
+// contract (including RENAME_NOREPLACE and heartbeat-style touches), the
+// faulty env's injections, and write_file_atomic's behavior when the seam
+// misbehaves underneath it (a torn "committed" write must be caught by the
+// container checksum, never silently merged).
+#include "mc/io_env.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "mc/run_dir.hpp"
+#include "stats/wire.hpp"
+
+namespace mc = reldiv::mc;
+namespace fs = std::filesystem;
+
+namespace {
+
+class IoEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Pid-qualified so concurrent test processes can't clobber each other.
+    dir_ = fs::temp_directory_path() /
+           ("reldiv_io_env_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+/// A plan that fires on every matching operation — the deterministic way to
+/// hit a specific op with a specific fault.
+mc::fault_plan always(mc::io_op op, mc::fault_kind kind) {
+  mc::fault_plan plan;
+  plan.seed = 42;
+  plan.rate_ppm = 1'000'000;
+  plan.ops_mask = mc::io_op_bit(op);
+  plan.kinds_mask = mc::fault_kind_bit(kind);
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// fault_plan
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTest, DecideIsAPureFunctionOfSeedAndIndex) {
+  mc::fault_plan plan;
+  plan.seed = 0xfeedULL;
+  plan.rate_ppm = 250'000;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const mc::fault_kind first = plan.decide(mc::io_op::write, i);
+    EXPECT_EQ(first, plan.decide(mc::io_op::write, i)) << "index " << i;
+  }
+  // A different seed must produce a different schedule somewhere in 200 ops.
+  mc::fault_plan other = plan;
+  other.seed = 0xbeefULL;
+  bool differs = false;
+  for (std::uint64_t i = 0; i < 200 && !differs; ++i) {
+    differs = plan.decide(mc::io_op::write, i) != other.decide(mc::io_op::write, i);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlanTest, ZeroSeedOrZeroRateDisablesInjection) {
+  mc::fault_plan zero_seed;
+  zero_seed.seed = 0;
+  zero_seed.rate_ppm = 1'000'000;
+  mc::fault_plan zero_rate;
+  zero_rate.seed = 7;
+  zero_rate.rate_ppm = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(zero_seed.decide(mc::io_op::write, i), mc::fault_kind::none);
+    EXPECT_EQ(zero_rate.decide(mc::io_op::write, i), mc::fault_kind::none);
+  }
+}
+
+TEST(FaultPlanTest, RespectsOpAndKindMasksAndApplicability) {
+  // Writes only, EIO only: reads never fault, writes only ever see EIO.
+  mc::fault_plan plan = always(mc::io_op::write, mc::fault_kind::eio);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(plan.decide(mc::io_op::read, i), mc::fault_kind::none);
+    EXPECT_EQ(plan.decide(mc::io_op::write, i), mc::fault_kind::eio);
+  }
+  // torn_write is not applicable to reads: even with every op enabled and
+  // only torn_write in the palette, reads must never report it.
+  mc::fault_plan torn;
+  torn.seed = 9;
+  torn.rate_ppm = 1'000'000;
+  torn.kinds_mask = mc::fault_kind_bit(mc::fault_kind::torn_write);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(torn.decide(mc::io_op::read, i), mc::fault_kind::none);
+    EXPECT_EQ(torn.decide(mc::io_op::write, i), mc::fault_kind::torn_write);
+  }
+}
+
+TEST(FaultPlanTest, RecipeRoundTripsAndRejectsMalformedText) {
+  mc::fault_plan plan;
+  plan.seed = 0x1234'5678'9abc'def0ULL;
+  plan.rate_ppm = 31'415;
+  plan.ops_mask = mc::io_op_bit(mc::io_op::rename) | mc::io_op_bit(mc::io_op::claim);
+  plan.kinds_mask = mc::fault_kind_bit(mc::fault_kind::lost_rename);
+  plan.stall_ms = 17;
+
+  const mc::fault_plan back = mc::fault_plan::parse(plan.to_string());
+  EXPECT_EQ(back.seed, plan.seed);
+  EXPECT_EQ(back.rate_ppm, plan.rate_ppm);
+  EXPECT_EQ(back.ops_mask, plan.ops_mask);
+  EXPECT_EQ(back.kinds_mask, plan.kinds_mask);
+  EXPECT_EQ(back.stall_ms, plan.stall_ms);
+
+  EXPECT_THROW((void)mc::fault_plan::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)mc::fault_plan::parse("seed=1"), std::invalid_argument);
+  EXPECT_THROW((void)mc::fault_plan::parse("seed=x,rate_ppm=1,ops=1,kinds=2,stall_ms=5"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlanTest, ChaosPlansDeriveDistinctSeedsFromOneChaosSeed) {
+  const mc::fault_plan a = mc::chaos_plan(7331, 0, 30'000);
+  const mc::fault_plan b = mc::chaos_plan(7331, 1, 30'000);
+  EXPECT_NE(a.seed, 0u);
+  EXPECT_NE(b.seed, 0u);
+  EXPECT_NE(a.seed, b.seed);
+  EXPECT_EQ(a.rate_ppm, 30'000u);
+  // Replayable: the same (chaos seed, index) always yields the same plan.
+  EXPECT_EQ(a.to_string(), mc::chaos_plan(7331, 0, 30'000).to_string());
+}
+
+// ---------------------------------------------------------------------------
+// real_io_env
+// ---------------------------------------------------------------------------
+
+TEST_F(IoEnvTest, RealEnvWritesReadsAndReportsErrnoInErrors) {
+  mc::real_io_env env;
+  const fs::path p = dir_ / "file.bin";
+  const std::string payload("payload\0with\0nuls", 17);
+  env.write_file(p, payload, /*sync=*/true);
+  EXPECT_EQ(env.read_file(p), payload);
+
+  try {
+    (void)env.read_file(dir_ / "absent");
+    FAIL() << "read of a missing file must throw";
+  } catch (const mc::io_error& e) {
+    EXPECT_EQ(e.error_number(), ENOENT);
+    EXPECT_EQ(e.op(), "read");
+    EXPECT_NE(std::string(e.what()).find("absent"), std::string::npos);
+  }
+}
+
+TEST_F(IoEnvTest, IoErrorIsARunDirErrorSoExistingCatchSitesHandleIt) {
+  mc::real_io_env env;
+  EXPECT_THROW((void)env.read_file(dir_ / "absent"), mc::run_dir_error);
+}
+
+TEST_F(IoEnvTest, RenameNoReplaceConsumesSourceAndRefusesExistingTarget) {
+  mc::real_io_env env;
+  const fs::path a = dir_ / "a";
+  const fs::path b = dir_ / "b";
+  env.write_file(a, "first", false);
+  EXPECT_EQ(env.rename_noreplace(a, b), 0);
+  EXPECT_FALSE(fs::exists(a));
+  EXPECT_EQ(env.read_file(b), "first");
+
+  env.write_file(a, "second", false);
+  EXPECT_EQ(env.rename_noreplace(a, b), -EEXIST);
+  EXPECT_EQ(env.read_file(b), "first") << "losing rename must not clobber the target";
+}
+
+TEST_F(IoEnvTest, TouchWithoutCreateRefusesToResurrectAMissingFile) {
+  mc::real_io_env env;
+  const fs::path p = dir_ / "claim";
+  EXPECT_FALSE(env.touch(p, "body", /*create=*/false));
+  EXPECT_FALSE(fs::exists(p)) << "a heartbeat must never recreate a reaped claim";
+
+  EXPECT_TRUE(env.touch(p, "body", /*create=*/true));
+  const auto before = fs::last_write_time(p);
+  EXPECT_TRUE(env.touch(p, "body", /*create=*/false));
+  EXPECT_GE(fs::last_write_time(p), before);
+}
+
+TEST_F(IoEnvTest, ScopedEnvInstallsAndRestores) {
+  mc::faulty_io_env faulty(mc::fault_plan{});
+  EXPECT_EQ(&mc::active_io_env(), &mc::system_io_env());
+  {
+    mc::scoped_io_env scope(faulty);
+    EXPECT_EQ(&mc::active_io_env(), static_cast<mc::io_env*>(&faulty));
+  }
+  EXPECT_EQ(&mc::active_io_env(), &mc::system_io_env());
+}
+
+// ---------------------------------------------------------------------------
+// faulty_io_env
+// ---------------------------------------------------------------------------
+
+TEST_F(IoEnvTest, InjectedEioSurfacesAsIoErrorAndIsCounted) {
+  mc::faulty_io_env env(always(mc::io_op::read, mc::fault_kind::eio));
+  const fs::path p = dir_ / "file";
+  env.write_file(p, "data", false);  // writes unaffected by the read-only mask
+  try {
+    (void)env.read_file(p);
+    FAIL() << "injected EIO must throw";
+  } catch (const mc::io_error& e) {
+    EXPECT_EQ(e.error_number(), EIO);
+  }
+  EXPECT_GE(env.operations(), 2u);
+  EXPECT_EQ(env.injected(), 1u);
+}
+
+TEST_F(IoEnvTest, TornWriteReportsSuccessButLandsOnlyAPrefix) {
+  mc::faulty_io_env env(always(mc::io_op::write, mc::fault_kind::torn_write));
+  const fs::path p = dir_ / "torn";
+  const std::string contents(64, 'x');
+  env.write_file(p, contents, /*sync=*/true);  // no throw: the tear is silent
+  const std::string landed = mc::real_io_env{}.read_file(p);
+  EXPECT_LT(landed.size(), contents.size());
+}
+
+TEST_F(IoEnvTest, LostRenameReportsSuccessButTargetNeverAppears) {
+  mc::faulty_io_env env(always(mc::io_op::rename, mc::fault_kind::lost_rename));
+  const fs::path from = dir_ / "from";
+  const fs::path to = dir_ / "to";
+  env.write_file(from, "data", false);
+  env.rename_file(from, to);  // no throw
+  EXPECT_FALSE(fs::exists(to));
+  EXPECT_FALSE(fs::exists(from)) << "the source is consumed either way";
+}
+
+TEST_F(IoEnvTest, StallDelaysButCompletesTheOperation) {
+  mc::fault_plan plan = always(mc::io_op::write, mc::fault_kind::stall);
+  plan.stall_ms = 1;
+  mc::faulty_io_env env(plan);
+  const fs::path p = dir_ / "slow";
+  env.write_file(p, "eventually", false);
+  EXPECT_EQ(mc::real_io_env{}.read_file(p), "eventually");
+  EXPECT_GE(env.injected(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The seam under run_dir: torn commits must be caught downstream
+// ---------------------------------------------------------------------------
+
+TEST_F(IoEnvTest, TornAtomicWriteIsRejectedByTheContainerChecksum) {
+  const std::string blob = mc::encode_state_blob(mc::state_kind::demand, "payload");
+  const fs::path p = dir_ / "cell.state";
+  {
+    mc::faulty_io_env env(always(mc::io_op::write, mc::fault_kind::torn_write));
+    mc::scoped_io_env scope(env);
+    mc::write_file_atomic(p, blob);  // "succeeds" — the tear is silent
+  }
+  // The protocol's actual defense: a torn state file never validates, so the
+  // cell reads as not-done and is recomputed instead of merged.
+  EXPECT_THROW((void)mc::decode_state_blob(mc::state_kind::demand, mc::read_file(p)),
+               mc::run_dir_error);
+}
+
+TEST_F(IoEnvTest, AtomicWriteFailureLeavesNoTempBehind) {
+  mc::faulty_io_env env(always(mc::io_op::write, mc::fault_kind::enospc));
+  mc::scoped_io_env scope(env);
+  EXPECT_THROW(mc::write_file_atomic(dir_ / "out", "data"), mc::io_error);
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 0u) << "failed atomic writes must clean up their temp file";
+}
+
+}  // namespace

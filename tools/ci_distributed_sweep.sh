@@ -110,4 +110,25 @@ echo
 echo "=== [$mode] merged result must be byte-identical to the single-process run ==="
 cmp single.csv dist.csv
 cmp single.json dist.json
+
+echo
+echo "=== [$mode] run directory hygiene after resume ==="
+# A successful resume must leave no poison-cell records behind — quarantine
+# is for cells that exhausted their retry budget, and every cell landed.
+quarantine=(run.d/quarantine/*.quarantine)
+if [[ "${#quarantine[@]}" -gt 0 ]]; then
+  echo "ERROR: quarantine ledger non-empty after a successful resume:" >&2
+  for q in "${quarantine[@]}"; do
+    echo "--- $q" >&2
+    cat "$q" >&2
+  done
+  exit 1
+fi
+# Leftover claims/tmps are legal (the kill can orphan them; leases expire on
+# their own) but worth surfacing so lease-protocol regressions show up in
+# the CI log rather than as silent slowdowns.
+leftovers=(run.d/cells/*.claim run.d/cells/*.tmp.*)
+echo "leftover claim/tmp files after resume: ${#leftovers[@]}"
+for f in "${leftovers[@]}"; do echo "  $f"; done
+
 echo "OK [$mode]: kill+resume distributed run == single-process run, byte for byte"

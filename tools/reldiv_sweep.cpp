@@ -30,8 +30,19 @@
 //     Merges an already-complete directory (any kind) without spawning
 //     workers.
 //
-// Exit codes: 0 success; 2 usage error; 1 anything else (incomplete run,
-// invalid state files, ...).
+//   chaos (the fault-injection harness):
+//     reldiv_sweep --chaos --run-dir base.d [--mode all] [--chaos-plans 2]
+//     For each job kind and each deterministic injection plan (derived from
+//     --chaos-seed, replayable), runs the distributed campaign with the plan
+//     installed in every worker's I/O seam and asserts the two-arm contract:
+//     the run completes with merge output byte-identical to the in-process
+//     oracle, OR it exits nonzero leaving an intact run dir whose clean
+//     no-injection resume completes to the byte-identical oracle output.
+//     Anything else — especially "completed but differs" — is a failure.
+//
+// Exit codes: 0 success; 2 usage error; 3 worker that quarantined cells;
+// 1 anything else (incomplete run, invalid state files, chaos contract
+// violation, ...).
 
 #include <cerrno>
 #include <climits>
@@ -39,8 +50,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <functional>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,6 +63,7 @@
 
 #include "core/generators.hpp"
 #include "mc/distributed.hpp"
+#include "mc/io_env.hpp"
 #include "mc/run_dir.hpp"
 #include "mc/scenario.hpp"
 #include "stats/random.hpp"
@@ -65,19 +81,35 @@ void usage(std::FILE* out) {
       "  --worker             claim+compute pending cells of --run-dir, then exit\n"
       "                       (the job kind comes from the directory's manifest)\n"
       "  --merge-only         merge an existing complete --run-dir (any kind)\n"
+      "  --chaos              fault-injection harness: sweep deterministic fault\n"
+      "                       plans through distributed runs under --run-dir and\n"
+      "                       assert byte-identical completion or graceful,\n"
+      "                       resumable degradation\n"
       "\n"
       "job options (ignored by --worker/--merge-only, which read the manifest):\n"
       "  --mode KIND          scenario (default) | demand | experiment\n"
+      "                       (--chaos also accepts 'all', its default)\n"
       "  --preset NAME        smoke (small, default) | ci (big enough to kill mid-run)\n"
       "  --seed N             campaign seed (default 2026)\n"
       "  --shards N           scenario: per-cell logical shards (0 = budget-scaled)\n"
       "  --budget N           scenario/experiment: samples; demand: demands per target\n"
       "\n"
       "distribution options:\n"
-      "  --run-dir DIR        on-disk run directory (state files + manifest)\n"
+      "  --run-dir DIR        on-disk run directory (state files + manifest);\n"
+      "                       for --chaos, the parent of one directory per trial\n"
       "  --workers N          worker processes to spawn (default 2)\n"
       "  --max-cells K        per-worker quota of cells to compute (test/CI hook)\n"
       "  --threads N          in-process worker threads for --single (default 0 = hw)\n"
+      "\n"
+      "fault injection:\n"
+      "  --fault-plan RECIPE  install a deterministic fault plan in this process's\n"
+      "                       I/O seam (worker) or every spawned worker's\n"
+      "                       (coordinator); RECIPE is the seed=..,rate_ppm=..,\n"
+      "                       ops=..,kinds=..,stall_ms=.. string a chaos run prints\n"
+      "  --chaos-seed N       chaos plan seed (default 7331)\n"
+      "  --chaos-plans N      injection plans per job kind (default 2)\n"
+      "  --chaos-rate PPM     per-operation fault rate in parts per million\n"
+      "                       (default 30000)\n"
       "\n"
       "output options:\n"
       "  --out-csv PATH       write the results table as CSV\n"
@@ -90,8 +122,14 @@ struct options {
   bool worker = false;
   bool single = false;
   bool merge_only = false;
+  bool chaos = false;
   bool quiet = false;
   std::string mode = "scenario";
+  bool mode_set = false;
+  std::string fault_plan;
+  std::uint64_t chaos_seed = 7331;
+  unsigned chaos_plans = 2;
+  unsigned chaos_rate = 30'000;
   std::string preset = "smoke";
   std::uint64_t seed = 2026;
   unsigned shards = 0;
@@ -348,10 +386,24 @@ options parse_args(int argc, char** argv) {
       opt.worker = true;
     } else if (arg == "--mode") {
       opt.mode = value();
+      opt.mode_set = true;
     } else if (arg == "--single") {
       opt.single = true;
     } else if (arg == "--merge-only") {
       opt.merge_only = true;
+    } else if (arg == "--chaos") {
+      opt.chaos = true;
+    } else if (arg == "--fault-plan") {
+      opt.fault_plan = value();
+      // Fail at the flag, not deep inside a worker run: the recipe must
+      // round-trip through fault_plan::parse.
+      (void)mc::fault_plan::parse(opt.fault_plan);
+    } else if (arg == "--chaos-seed") {
+      opt.chaos_seed = parse_u64("--chaos-seed", value());
+    } else if (arg == "--chaos-plans") {
+      opt.chaos_plans = parse_u32("--chaos-plans", value());
+    } else if (arg == "--chaos-rate") {
+      opt.chaos_rate = parse_u32("--chaos-rate", value());
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--preset") {
@@ -381,32 +433,173 @@ options parse_args(int argc, char** argv) {
       throw std::invalid_argument("unknown flag '" + arg + "' (see --help)");
     }
   }
-  if ((opt.worker || opt.merge_only) && opt.run_dir.empty()) {
-    throw std::invalid_argument("--worker/--merge-only need --run-dir");
+  if ((opt.worker || opt.merge_only || opt.chaos) && opt.run_dir.empty()) {
+    throw std::invalid_argument("--worker/--merge-only/--chaos need --run-dir");
   }
-  if (opt.worker + opt.single + opt.merge_only > 1) {
-    throw std::invalid_argument("--worker, --single and --merge-only are exclusive");
+  if (opt.worker + opt.single + opt.merge_only + opt.chaos > 1) {
+    throw std::invalid_argument(
+        "--worker, --single, --merge-only and --chaos are exclusive");
   }
-  if (!opt.single && !opt.worker && !opt.merge_only && opt.run_dir.empty()) {
+  if (!opt.single && !opt.worker && !opt.merge_only && !opt.chaos &&
+      opt.run_dir.empty()) {
     opt.single = true;  // no run dir -> nothing to distribute
   }
-  if (opt.mode != "scenario" && opt.mode != "demand" && opt.mode != "experiment") {
+  if (opt.chaos && !opt.mode_set) opt.mode = "all";  // sweep every job kind
+  const bool mode_ok = opt.mode == "scenario" || opt.mode == "demand" ||
+                       opt.mode == "experiment" || (opt.chaos && opt.mode == "all");
+  if (!mode_ok) {
     throw std::invalid_argument("unknown --mode '" + opt.mode +
-                                "' (expected scenario, demand or experiment)");
+                                "' (expected scenario, demand or experiment" +
+                                (opt.chaos ? ", or all)" : ")"));
   }
   return opt;
 }
 
+// ---------------------------------------------------------------------------
+// Chaos harness
+// ---------------------------------------------------------------------------
+
+/// Sweep deterministic injection plans through distributed runs of every
+/// requested job kind, holding each trial to the two-arm contract (complete
+/// byte-identical to the oracle, or degrade to an intact resumable run dir).
+/// Returns the number of contract violations.
+std::size_t run_chaos(const options& opt, const std::string& exe) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> modes;
+  if (opt.mode == "all") {
+    modes = {"scenario", "demand", "experiment"};
+  } else {
+    modes = {opt.mode};
+  }
+
+  std::size_t violations = 0;
+  std::uint32_t trial = 0;  // global index: each trial gets a distinct palette
+  for (const std::string& mode : modes) {
+    options mopt = opt;
+    mopt.mode = mode;
+    mopt.preset = "smoke";
+    if (opt.budget == 0) {
+      // Small budgets: a chaos trial is about the protocol, not the
+      // estimator — each run finishes in well under a second of compute.
+      mopt.budget = mode == "scenario" ? 4'000 : 20'000;
+    }
+
+    // The in-process oracle, computed once per mode, and the distributed
+    // campaign packaged as "config -> merged CSV" so the trial loop is
+    // kind-agnostic.
+    std::string oracle;
+    std::function<std::string(const mc::distributed_config&)> campaign;
+    if (mode == "scenario") {
+      const mc::scenario_axes axes = make_axes(mopt);
+      const mc::scenario_config cfg{.seed = mopt.seed, .threads = mopt.threads,
+                                    .shards = mopt.shards};
+      oracle = mc::run_scenario_grid(axes, cfg).to_csv();
+      campaign = [axes, cfg, exe](const mc::distributed_config& dist) {
+        return mc::run_distributed_grid(axes, cfg, dist, exe).to_csv();
+      };
+    } else if (mode == "demand") {
+      const mc::demand_manifest m = make_demand_manifest(mopt);
+      oracle = demand_tally_csv(
+          m, mc::run_demand_campaign(m.target_pfd, m.demands, m.config(mopt.threads)));
+      campaign = [m, exe](const mc::distributed_config& dist) {
+        return demand_tally_csv(m, mc::run_distributed_demand(m, dist, exe));
+      };
+    } else {
+      const mc::experiment_manifest m = make_experiment_manifest_cli(mopt);
+      oracle = experiment_result_csv(mc::run_experiment(m.universe, m.config(mopt.threads)));
+      campaign = [m, exe](const mc::distributed_config& dist) {
+        return experiment_result_csv(mc::run_distributed_experiment(m, dist, exe));
+      };
+    }
+
+    for (std::uint32_t p = 0; p < opt.chaos_plans; ++p, ++trial) {
+      const mc::fault_plan plan = mc::chaos_plan(opt.chaos_seed, trial, opt.chaos_rate);
+      mc::distributed_config dist;
+      dist.run_dir = fs::path(opt.run_dir) / (mode + "_plan" + std::to_string(p));
+      dist.workers = opt.workers;
+      dist.max_cells = opt.max_cells;
+      dist.worker_fault_plan = plan.to_string();
+
+      bool ok = false;
+      std::string verdict;
+      try {
+        // Arm A: the workers absorbed every injected fault (retry/backoff).
+        // Reads cannot corrupt results — every state file is checksummed —
+        // so a completed merge that differs from the oracle means a write
+        // fault slipped through undetected: silent corruption.
+        ok = campaign(dist) == oracle;
+        verdict = ok ? "completed, byte-identical to oracle"
+                     : "SILENT CORRUPTION: completed but differs from oracle";
+      } catch (const std::exception& e) {
+        // Arm B: the run degraded (quarantined cells, failed workers).  The
+        // directory must still be intact and resumable: a clean
+        // no-injection rerun has to finish the job bit-exactly.
+        if (!opt.quiet) {
+          std::printf("chaos[%s #%u]: degraded (%s); verifying clean resume\n",
+                      mode.c_str(), p, e.what());
+        }
+        try {
+          mc::distributed_config clean = dist;
+          clean.worker_fault_plan.clear();
+          if (campaign(clean) != oracle) {
+            verdict = "CORRUPTION: clean resume completed but differs from oracle";
+          } else if (!mc::quarantined_cells(dist.run_dir).empty()) {
+            verdict = "resume succeeded but stale quarantine records remain";
+          } else {
+            ok = true;
+            verdict = "degraded gracefully; clean resume byte-identical to oracle";
+          }
+        } catch (const std::exception& resume_error) {
+          verdict = std::string("run dir not resumable: ") + resume_error.what();
+        }
+      }
+      if (!ok) ++violations;
+      if (!opt.quiet || !ok) {
+        std::printf("chaos[%s #%u] plan{%s}: %s\n", mode.c_str(), p,
+                    plan.to_string().c_str(), verdict.c_str());
+      }
+    }
+  }
+  if (!opt.quiet) {
+    std::printf("chaos: %u trials, %zu contract violations\n", trial, violations);
+  }
+  return violations;
+}
+
 int run(const options& opt, const char* argv0) {
   if (opt.worker) {
+    // An injection plan handed down by the chaos harness routes every
+    // filesystem operation of this worker through the faulty seam.
+    std::unique_ptr<mc::faulty_io_env> chaos_env;
+    std::optional<mc::scoped_io_env> scoped;
+    if (!opt.fault_plan.empty()) {
+      chaos_env =
+          std::make_unique<mc::faulty_io_env>(mc::fault_plan::parse(opt.fault_plan));
+      scoped.emplace(*chaos_env);
+    }
     // The job kind lives in the manifest: the same worker loop serves
     // scenario grids, demand campaigns and experiment shard windows.
-    const mc::worker_report report = mc::run_pending_cells(opt.run_dir, opt.max_cells);
+    mc::worker_config wcfg;
+    wcfg.max_cells = opt.max_cells;
+    const mc::worker_report report = mc::run_pending_cells(opt.run_dir, wcfg);
     if (!opt.quiet) {
-      std::printf("worker %d: computed %zu cells, skipped %zu\n", ::getpid(),
-                  report.computed, report.skipped);
+      std::printf("worker %d: computed %zu cells, skipped %zu, retried %zu, "
+                  "quarantined %zu, backoff %llu ms\n",
+                  ::getpid(), report.computed, report.skipped, report.retried,
+                  report.quarantined,
+                  static_cast<unsigned long long>(report.backoff_ms));
+      if (chaos_env) {
+        std::printf("worker %d: fault plan injected %llu faults over %llu operations\n",
+                    ::getpid(),
+                    static_cast<unsigned long long>(chaos_env->injected()),
+                    static_cast<unsigned long long>(chaos_env->operations()));
+      }
     }
-    return 0;
+    return report.quarantined > 0 ? 3 : 0;
+  }
+
+  if (opt.chaos) {
+    return run_chaos(opt, self_exe(argv0)) == 0 ? 0 : 1;
   }
 
   if (opt.merge_only) {
@@ -428,12 +621,22 @@ int run(const options& opt, const char* argv0) {
 
   const bool distribute = !opt.single;
   const mc::distributed_config dist{.run_dir = opt.run_dir, .workers = opt.workers,
-                                    .max_cells = opt.max_cells};
+                                    .max_cells = opt.max_cells,
+                                    .worker_fault_plan = opt.fault_plan};
   if (distribute && !opt.quiet) {
     // No pending-count scan here: the coordinators do their own
     // missing-cells pass, and a resumed directory can be large.
     std::printf("coordinator: run dir %s, spawning up to %u workers\n",
                 opt.run_dir.c_str(), opt.workers);
+    // An extra sweep just for the report (the coordinator sweeps again
+    // internally): on a resumed directory this is where an operator sees
+    // recovery actually happen.
+    const mc::claim_sweep_report sweep = mc::clean_stale_claims(opt.run_dir);
+    if (sweep.claims_reaped > 0 || sweep.tmps_removed > 0 || sweep.claims_honored > 0) {
+      std::printf("coordinator: claim sweep reaped %zu stale claims, removed %zu tmp "
+                  "orphans, honored %zu live claims\n",
+                  sweep.claims_reaped, sweep.tmps_removed, sweep.claims_honored);
+    }
   }
 
   if (opt.mode == "demand") {
