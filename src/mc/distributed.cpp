@@ -14,9 +14,10 @@
 #include <algorithm>
 #include <bit>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
-#include <ctime>
-#include <fstream>
+#include <ctime>    // reldiv-lint: allow(det-time) claim owner records carry an informational wall-clock stamp
+#include <fstream>  // reldiv-lint: allow(io-seam) /proc reads and the quarantine ledger are deliberately outside the seam (see below)
 #include <functional>
 #include <memory>
 #include <sstream>
@@ -53,6 +54,7 @@ bool cell_done(const fs::path& run_dir, state_kind window_kind, std::uint64_t fi
 /// The owner record a claim (and its heartbeat renewals) carries.
 std::string claim_owner_body() {
   return "host " + claim_host_name() + "\npid " + std::to_string(::getpid()) +
+         // reldiv-lint: allow(det-time) operator-facing debug stamp only; lease arithmetic uses filesystem mtimes (filesystem_now), never this value
          "\ntime " + std::to_string(static_cast<long long>(::time(nullptr))) + "\n";
 }
 
@@ -112,6 +114,19 @@ claim_owner parse_claim_owner(const std::string& body) {
   return owner;
 }
 
+/// Non-throwing integer parse: filenames and ledger records come from disk,
+/// where a torn write or a hostile rename can produce all-digit garbage that
+/// overflows the target type.  std::sto* would throw out of cleanup paths
+/// that promise to be best-effort; from_chars reports failure as a bool.
+template <typename T>
+bool parse_number(std::string_view text, T& out) {
+  if (text.empty()) return false;
+  const auto* first = text.data();
+  const auto* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
 /// Owner of a `<name>.tmp.<host>.<pid>` (or legacy `<name>.tmp.<pid>`)
 /// orphan, recovered from the filename.
 claim_owner parse_tmp_owner(const std::string& filename) {
@@ -122,10 +137,10 @@ claim_owner parse_tmp_owner(const std::string& filename) {
   const std::size_t dot = suffix.rfind('.');
   const std::string pid_text = dot == std::string::npos ? suffix : suffix.substr(dot + 1);
   if (dot != std::string::npos) owner.host = suffix.substr(0, dot);
-  if (!pid_text.empty() &&
-      pid_text.find_first_not_of("0123456789") == std::string::npos) {
-    owner.pid = std::stol(pid_text);
-  }
+  // Positive only: a crafted `.tmp.-1` suffix must not turn a later
+  // kill(pid, 0) liveness probe into a process-group signal.
+  long pid = -1;
+  if (parse_number(pid_text, pid) && pid > 0) owner.pid = pid;
   return owner;
 }
 
@@ -138,6 +153,7 @@ bool local_pid_dead(long pid) {
   if (pid <= 0) return false;
   if (::kill(static_cast<pid_t>(pid), 0) != 0) return errno == ESRCH;
 #ifdef __linux__
+  // reldiv-lint: allow(io-seam) /proc liveness probe of a LOCAL pid: not distributed state, and injecting faults here would fake dead workers
   std::ifstream stat("/proc/" + std::to_string(pid) + "/stat");
   std::string line;
   if (stat && std::getline(stat, line)) {
@@ -452,6 +468,7 @@ namespace {
 void write_quarantine_record(const fs::path& run_dir, const quarantine_record& rec) {
   std::error_code ec;
   fs::create_directories(quarantine_dir(run_dir), ec);
+  // reldiv-lint: allow(io-seam) the machinery that REPORTS chaos must not be killable by chaos; records are advisory and never merge
   std::ofstream f(cell_quarantine_path(run_dir, rec.cell_index),
                   std::ios::binary | std::ios::trunc);
   f << "cell " << rec.cell_index << "\nattempts " << rec.attempts << "\nerrno "
@@ -478,22 +495,33 @@ std::vector<quarantine_record> quarantined_cells(const fs::path& run_dir) {
     // fallback identity for a record whose body cannot be read.
     if (name.starts_with("cell_")) {
       const std::string digits = name.substr(5, name.size() - 5 - 11);
-      if (!digits.empty() &&
-          digits.find_first_not_of("0123456789") == std::string::npos) {
-        rec.cell_index = std::stoull(digits);
-      }
+      std::uint64_t index = 0;
+      if (parse_number(digits, index)) rec.cell_index = index;
     }
+    // reldiv-lint: allow(io-seam) ledger reads mirror the ledger writes: advisory reporting stays outside the injectable seam
     std::ifstream f(entry.path(), std::ios::binary);
     std::string line;
     bool parsed = false;
     while (f && std::getline(f, line)) {
+      // A torn or malformed record must degrade, not throw: the ledger is
+      // advisory, and quarantine_summary runs inside error reporting where
+      // an escaping exception would mask the original failure.
       if (line.starts_with("cell ")) {
-        rec.cell_index = std::stoull(line.substr(5));
-        parsed = true;
+        std::uint64_t index = 0;
+        if (parse_number(std::string_view(line).substr(5), index)) {
+          rec.cell_index = index;
+          parsed = true;
+        }
       } else if (line.starts_with("attempts ")) {
-        rec.attempts = static_cast<std::uint32_t>(std::stoul(line.substr(9)));
+        std::uint32_t attempts = 0;
+        if (parse_number(std::string_view(line).substr(9), attempts)) {
+          rec.attempts = attempts;
+        }
       } else if (line.starts_with("errno ")) {
-        rec.error_number = std::stoi(line.substr(6));
+        int error_number = 0;
+        if (parse_number(std::string_view(line).substr(6), error_number)) {
+          rec.error_number = error_number;
+        }
       } else if (line.starts_with("message ")) {
         rec.message = line.substr(8);
       }
@@ -590,8 +618,10 @@ worker_report run_pending_cells(const fs::path& run_dir, const worker_config& cf
         ++attempts;
         failure = {i, attempts, e.error_number(), e.what()};
         if (attempts >= cfg.max_attempts) break;
-        // Deterministic exponential backoff: attempt k waits base * 2^(k-1).
-        const auto delay = cfg.backoff_base * (1u << (attempts - 1));
+        // Deterministic exponential backoff: attempt k waits base * 2^(k-1),
+        // with the exponent clamped so a (mis)configured max_attempts > 32
+        // cannot push the shift into undefined behaviour.
+        const auto delay = cfg.backoff_base * (1u << std::min(attempts - 1, 20u));
         report.backoff_ms += static_cast<std::uint64_t>(delay.count());
         ++report.retried;
         std::this_thread::sleep_for(delay);

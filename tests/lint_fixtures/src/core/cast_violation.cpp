@@ -1,0 +1,14 @@
+// Fixture: wire-cast fires everywhere in src/ outside src/stats/wire.*;
+// det-unordered does NOT apply in src/core (per-directory policy boundary).
+#include <cstring>
+#include <unordered_map>
+
+namespace reldiv::core {
+
+void scribble(char* dst, const double& v) { std::memcpy(dst, &v, sizeof v); }
+
+const char* alias(const double* p) { return reinterpret_cast<const char*>(p); }
+
+std::unordered_map<int, int> lookup_is_fine_here;
+
+}  // namespace reldiv::core

@@ -1,0 +1,7 @@
+// Fixture: a file with no findings at all — single-file invocations over it
+// must exit 0.
+namespace reldiv::core {
+
+int add(int a, int b) { return a + b; }
+
+}  // namespace reldiv::core

@@ -1,0 +1,41 @@
+// Fixture: determinism violations — det-time, det-rand, det-hash,
+// det-unordered — plus suppressed and legitimately-deterministic variants.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+#include <random>
+
+namespace reldiv::mc {
+
+long wallclock() { return static_cast<long>(::time(nullptr)); }
+
+long chrono_wallclock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+const char* build_stamp() { return __DATE__; }
+
+int c_rand() { return std::rand(); }
+
+unsigned hardware_rand() {
+  std::random_device rd;
+  return rd();
+}
+
+unsigned long hashed(int v) { return std::hash<int>{}(v); }
+
+int sum_unordered(const std::unordered_map<int, int>& m) {
+  int s = 0;
+  for (const auto& [k, v] : m) s += v;
+  return s;
+}
+
+// reldiv-lint: allow(det-time) fixture: standalone suppression covers the next line
+long suppressed_wallclock() { return static_cast<long>(::time(nullptr)); }
+
+long monotonic_ok() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace reldiv::mc

@@ -1,0 +1,16 @@
+// Fixture: float-fmt — float emission in result paths must carry
+// precision 17; integers, %%, widths and hex floats are free.
+#include <cstdio>
+
+namespace reldiv::mc {
+
+void emit(char* buf, unsigned long n, double v) {
+  std::snprintf(buf, n, "%.17g", v);
+  std::snprintf(buf, n, "%g", v);
+  std::snprintf(buf, n, "%.6f", v);
+  std::snprintf(buf, n, "%12.17g", v);
+  std::snprintf(buf, n, "%a", v);
+  std::snprintf(buf, n, "%d %% %s", 1, "x");
+}
+
+}  // namespace reldiv::mc

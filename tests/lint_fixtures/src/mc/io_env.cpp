@@ -1,0 +1,14 @@
+// Fixture: the allowlisted seam implementation uses POSIX I/O freely —
+// no io-seam finding may ever point here.
+#include <fstream>
+
+namespace reldiv::mc {
+
+int seam_open(const char* path) { return ::open(path, 0); }
+
+void seam_stream(const char* path) {
+  std::ofstream out(path);
+  (void)out;
+}
+
+}  // namespace reldiv::mc

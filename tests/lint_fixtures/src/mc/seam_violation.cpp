@@ -1,0 +1,42 @@
+// Fixture: io-seam violations in src/mc/, plus the tokenizer traps that
+// must NOT fire (strings, raw strings, comments, bare common words).
+#include <fstream>
+
+namespace reldiv::mc {
+
+void bad_stream(const char* path) {
+  std::ofstream out(path);
+  (void)out;
+}
+
+int bad_posix(const char* path) {
+  return ::open(path, 0);
+}
+
+void bad_stdio(const char* path) {
+  (void)fopen(path, "r");
+}
+
+// reldiv-lint: allow(io-seam) fixture: a reasoned suppression silences the next line
+void suppressed_stream(const char* path) { std::ofstream out(path); (void)out; }
+
+int read(int x);  // bare `read` is a common word: only ::read may fire
+
+void traps() {
+  const char* s = "a string naming ::open( and std::ofstream never fires";
+  const char* r = R"(raw string with std::ofstream ::open( fopen( inside)";
+  (void)s;
+  (void)r;
+  // a comment naming fopen and std::ofstream must not fire either
+}
+
+int use_read(int x) { return read(x); }
+
+const char* kMultiline = R"mark(
+raw strings span lines: std::ofstream ::open( fopen(
+and the lexer must keep counting newlines inside them
+)mark";
+
+int after_raw_string(const char* path) { return ::open(path, 0); }
+
+}  // namespace reldiv::mc

@@ -1,0 +1,19 @@
+// Fixture: suppression hygiene — allow() without a reason or with an
+// unknown rule id is itself a finding, and an invalid or wrong-rule
+// suppression never masks the underlying violation.
+#include <cstdlib>
+
+namespace reldiv::mc {
+
+int no_reason() { return std::rand(); }  // reldiv-lint: allow(det-rand)
+
+int unknown_rule() { return std::rand(); }  // reldiv-lint: allow(not-a-rule) because reasons
+
+int wrong_rule() { return std::rand(); }  // reldiv-lint: allow(io-seam) a wrong-rule allow must not mask det-rand
+
+// reldiv-lint: allow(det-rand) fixture: standalone suppression covers the next line
+int next_line_ok() { return std::rand(); }
+
+int comma_list() { return std::rand(); }  // reldiv-lint: allow(det-rand, det-time) fixture: comma lists parse
+
+}  // namespace reldiv::mc

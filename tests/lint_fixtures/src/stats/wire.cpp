@@ -1,0 +1,13 @@
+// Fixture: stats::wire is the one place allowed to reinterpret bytes — no
+// wire-cast finding may ever point here.
+#include <cstring>
+
+namespace reldiv::stats {
+
+void put_bytes(char* dst, const double& v) { std::memcpy(dst, &v, sizeof v); }
+
+const unsigned char* view(const char* p) {
+  return reinterpret_cast<const unsigned char*>(p);
+}
+
+}  // namespace reldiv::stats

@@ -1,0 +1,11 @@
+// Fixture: tests/ policy — det-rand applies (a test drawing from
+// random_device cannot pin bit-exactness) but det-time does not (tests
+// legitimately time real sleeps and TTLs).
+#include <chrono>
+#include <cstdlib>
+
+long test_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+int test_rand() { return std::rand(); }

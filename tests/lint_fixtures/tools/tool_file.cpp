@@ -1,0 +1,16 @@
+// Fixture: tools/ policy — det-rand and float-fmt apply; io-seam does not
+// (tools legitimately write their own CSV/JSON files).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+int tool_rand() { return rand(); }
+
+void tool_stream(const char* p) {
+  std::ofstream f(p);
+  (void)f;
+}
+
+void tool_fmt(char* buf, unsigned long n, double v) {
+  std::snprintf(buf, n, "%e", v);
+}

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "core/generators.hpp"
@@ -138,6 +139,62 @@ TEST_F(ChaosTest, ExhaustedRetryBudgetQuarantinesInsteadOfLoopingForever) {
   EXPECT_TRUE(mc::quarantined_cells(dir_).empty());
   EXPECT_EQ(mc::merge_run_dir(dir_).to_csv(),
             mc::run_scenario_grid(test_axes(), test_config()).to_csv());
+}
+
+TEST_F(ChaosTest, TornQuarantineRecordsDegradeInsteadOfThrowing) {
+  (void)mc::init_run_dir(test_axes(), test_config(), dir_);
+  fs::create_directories(mc::quarantine_dir(dir_));
+
+  // A torn write can leave a ledger record whose numeric fields overflow
+  // their types.  The ledger is advisory and quarantined_cells runs inside
+  // error reporting — it must degrade field-by-field, never throw.
+  std::ofstream(mc::cell_quarantine_path(dir_, 3))
+      << "cell 99999999999999999999999999\n"
+      << "attempts 888888888888888888888\n"
+      << "errno 77777777777777777777\n"
+      << "message torn but labelled\n";
+  // And a record cut off mid-keyword, with nothing salvageable in the body.
+  std::ofstream(mc::cell_quarantine_path(dir_, 1)) << "cel";
+
+  const auto records = mc::quarantined_cells(dir_);
+  ASSERT_EQ(records.size(), 2u);
+  // Ascending cell order, indices recovered from the filenames.
+  EXPECT_EQ(records[0].cell_index, 1u);
+  EXPECT_NE(records[0].message.find("unreadable or malformed"), std::string::npos);
+  EXPECT_EQ(records[1].cell_index, 3u);
+  EXPECT_EQ(records[1].attempts, 0u);
+  EXPECT_EQ(records[1].error_number, 0);
+  EXPECT_EQ(records[1].message, "torn but labelled");
+}
+
+TEST_F(ChaosTest, OversizedRetryBudgetKeepsBackoffBounded) {
+  (void)mc::init_run_dir(test_axes(), test_config(), dir_);
+
+  // Every write fails, and max_attempts exceeds the width of the backoff
+  // shift: attempt 40 must clamp the exponent (a plain 1u << 39 is
+  // undefined), quarantine all cells, and report a finite schedule.
+  mc::fault_plan plan;
+  plan.seed = 7;
+  plan.rate_ppm = 1'000'000;
+  plan.ops_mask = mc::io_op_bit(mc::io_op::write);
+  plan.kinds_mask = mc::fault_kind_bit(mc::fault_kind::eio);
+
+  mc::worker_config cfg;
+  cfg.backoff_base = std::chrono::milliseconds{0};
+  cfg.max_attempts = 40;
+  mc::worker_report report;
+  {
+    mc::faulty_io_env env(plan);
+    mc::scoped_io_env scope(env);
+    report = mc::run_pending_cells(dir_, cfg);
+  }
+  EXPECT_EQ(report.computed, 0u);
+  EXPECT_EQ(report.quarantined, 4u);
+  EXPECT_EQ(report.retried, 4u * 39u);
+  EXPECT_EQ(report.backoff_ms, 0u);
+  const auto records = mc::quarantined_cells(dir_);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].attempts, 40u);
 }
 
 TEST_F(ChaosTest, LostClaimRenameCannotCorruptResults) {

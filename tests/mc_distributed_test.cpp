@@ -202,6 +202,36 @@ TEST_F(DistributedTest, UnparseableClaimFallsBackToLease) {
   EXPECT_FALSE(fs::exists(claim));
 }
 
+TEST_F(DistributedTest, OverflowingOrphanPidSuffixFallsBackToLease) {
+  mc::init_run_dir(test_axes(), test_config(), dir_);
+
+  // Orphan temp names carry their owner's pid as a filename suffix.  A
+  // suffix that overflows `long` (or a crafted negative one) must parse as
+  // "owner unknown" — handled by the lease TTL, never a throw out of the
+  // sweep and never a probe of pid -1.
+  const fs::path overflow_tmp =
+      mc::cells_dir(dir_) / ("cell_000003.state.tmp." + mc::claim_host_name() +
+                             ".99999999999999999999999999999");
+  const fs::path negative_tmp =
+      mc::cells_dir(dir_) /
+      ("cell_000004.state.tmp." + mc::claim_host_name() + ".-1");
+  std::ofstream(overflow_tmp) << "partial";
+  std::ofstream(negative_tmp) << "partial";
+
+  // Fresh + unknown owner: both survive a sweep.
+  mc::clean_stale_claims(dir_);
+  EXPECT_TRUE(fs::exists(overflow_tmp));
+  EXPECT_TRUE(fs::exists(negative_tmp));
+
+  // Expired lease: the TTL rule reclaims them regardless of the bad owner.
+  for (const fs::path& p : {overflow_tmp, negative_tmp}) {
+    fs::last_write_time(p, fs::file_time_type::clock::now() - 2 * mc::kClaimLeaseTtl);
+  }
+  mc::clean_stale_claims(dir_);
+  EXPECT_FALSE(fs::exists(overflow_tmp));
+  EXPECT_FALSE(fs::exists(negative_tmp));
+}
+
 std::string own_claim_body() {
   return "host " + mc::claim_host_name() + "\npid " + std::to_string(::getpid()) +
          "\ntime 0\n";

@@ -25,6 +25,20 @@ mode="$2"
 work_dir="${3:-sweep-ci-$mode}"
 budget="${4:-0}"   # 0 = preset default
 
+# Pre-flight: the sweep exercises the io_env seam and the lease protocol, so
+# refuse to run it over sources that violate the repo's own invariants.
+# RELDIV_LINT_BIN may point at a prebuilt linter; otherwise build the (single
+# translation unit, dependency-free) tool on the spot.
+repo_root="$(readlink -f "$(dirname "$0")/..")"
+lint_bin="${RELDIV_LINT_BIN:-}"
+if [[ -z "$lint_bin" ]]; then
+  lint_bin="$(mktemp -t reldiv_lint.XXXXXX)"
+  trap 'rm -f "$lint_bin"' EXIT
+  "${CXX:-c++}" -O2 -std=c++20 -o "$lint_bin" "$repo_root/tools/reldiv_lint.cpp"
+fi
+echo "=== pre-flight: reldiv_lint over $repo_root ==="
+"$lint_bin" --root "$repo_root"
+
 case "$mode" in
   scenario)
     total_cells=24   # 2 universes x 3 rho x 2 omega x 2 aliasing
