@@ -1,0 +1,113 @@
+// P4 — the fast-simd engine (counter-based generation + p-sorted universe
+// relayout + runtime SIMD dispatch) against the fast engine, end to end.
+//
+// The headline case is the heterogeneous n=1024 universe whose p values are
+// drawn from a small palette but scattered so no 64-fault word is uniform:
+// the fast engine's word-parallel kernels cannot engage (every word falls to
+// the paired per-fault kernel), while fast-simd's relayout gathers equal-p
+// faults into whole words and bit-slices almost all of them.  The scalar-cap
+// variant isolates the relayout+counter contribution from the AVX2 kernels;
+// the random-universe pair isolates the pure SIMD gain with no sliceable
+// words at all.
+//
+// All variants run single-threaded so the engine comparison divides out the
+// machine; BENCH_p4.json records the ratios and bench/compare_bench.py gates
+// them (fast-simd >= 2x fast on the heterogeneous case, scalar fallback
+// never slower than fast).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/fault_universe.hpp"
+#include "core/generators.hpp"
+#include "core/simd_sampler.hpp"
+#include "mc/experiment.hpp"
+#include "stats/random.hpp"
+
+namespace {
+
+using namespace reldiv;
+
+/// Heterogeneous worst case for the word-parallel fast engine: an 8-value
+/// p palette (k/16, thresholds with >= 49 trailing zero bits, so a uniform
+/// word slices in <= 5 draws) scattered by a deterministic Fisher-Yates so
+/// no word is uniform until the p-sorted relayout re-gathers them.
+core::fault_universe make_scattered_palette_universe(std::size_t n,
+                                                     std::uint64_t seed) {
+  std::vector<core::fault_atom> atoms;
+  atoms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = static_cast<double>(i % 8 + 1) / 16.0;
+    atoms.push_back({p, 0.5 / static_cast<double>(n)});
+  }
+  stats::rng r(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(atoms[i - 1], atoms[r.below(i)]);
+  }
+  return core::fault_universe(std::move(atoms));
+}
+
+void run_engine_bench(benchmark::State& state, const core::fault_universe& u,
+                      mc::sampling_engine engine) {
+  mc::experiment_config cfg;
+  cfg.samples = 2048;
+  cfg.threads = 1;
+  cfg.engine = engine;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(mc::run_experiment(u, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.samples));
+}
+
+// --- Heterogeneous n=1024: relayout + slice + SIMD --------------------------
+
+void BM_RunExperimentFastHetero(benchmark::State& state) {
+  run_engine_bench(state, make_scattered_palette_universe(1024, 11),
+                   mc::sampling_engine::fast);
+}
+BENCHMARK(BM_RunExperimentFastHetero)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_RunExperimentFastSimdHetero(benchmark::State& state) {
+  core::clear_simd_level_cap();
+  run_engine_bench(state, make_scattered_palette_universe(1024, 11),
+                   mc::sampling_engine::fast_simd);
+}
+BENCHMARK(BM_RunExperimentFastSimdHetero)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Scalar-fallback cap: the relayout + counter engine with the SIMD kernels
+// forced off.  The acceptance bar is "no slower than fast", proving the
+// refactor costs nothing on hosts without AVX2.
+void BM_RunExperimentFastSimdScalarHetero(benchmark::State& state) {
+  core::set_simd_level_cap(core::simd_level::scalar);
+  run_engine_bench(state, make_scattered_palette_universe(1024, 11),
+                   mc::sampling_engine::fast_simd);
+  core::clear_simd_level_cap();
+}
+BENCHMARK(BM_RunExperimentFastSimdScalarHetero)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Random n=1024: no sliceable words, pure SIMD kernel gain ---------------
+
+void BM_RunExperimentFastRandom(benchmark::State& state) {
+  run_engine_bench(state, core::make_random_universe(1024, 0.3, 0.8, 5),
+                   mc::sampling_engine::fast);
+}
+BENCHMARK(BM_RunExperimentFastRandom)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_RunExperimentFastSimdRandom(benchmark::State& state) {
+  core::clear_simd_level_cap();
+  run_engine_bench(state, core::make_random_universe(1024, 0.3, 0.8, 5),
+                   mc::sampling_engine::fast_simd);
+}
+BENCHMARK(BM_RunExperimentFastSimdRandom)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -52,6 +52,15 @@ KEY_RATIOS = [
      "BM_KLScoreSerialBaseline/real_time", "BM_KLScoreCampaign/0/real_time", True),
     ("grouped-universe bit-slice vs paired kernel",
      "BM_RunExperimentPairedShuffled/real_time", "BM_RunExperimentGrouped/real_time", False),
+    ("fast-simd engine vs fast on heterogeneous n=1024",
+     "BM_RunExperimentFastHetero/real_time",
+     "BM_RunExperimentFastSimdHetero/real_time", False),
+    ("fast-simd scalar fallback vs fast on heterogeneous n=1024",
+     "BM_RunExperimentFastHetero/real_time",
+     "BM_RunExperimentFastSimdScalarHetero/real_time", False),
+    ("fast-simd engine vs fast on random n=1024",
+     "BM_RunExperimentFastRandom/real_time",
+     "BM_RunExperimentFastSimdRandom/real_time", False),
 ]
 
 

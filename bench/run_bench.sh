@@ -13,8 +13,11 @@
 #                   empirical scoring serial baseline vs the multithreaded
 #                   demand campaign, grouped-universe sampling vs the paired
 #                   kernel, and scenario-grid cell throughput.
+#   BENCH_p4.json — fast-simd engine (bench_p4_simd): counter generation +
+#                   p-sorted relayout + runtime SIMD dispatch vs the fast
+#                   engine, heterogeneous and random n=1024 universes.
 #
-# Usage: bench/run_bench.sh [build-dir] [p1-json] [p2-json] [p3-json]
+# Usage: bench/run_bench.sh [build-dir] [p1-json] [p2-json] [p3-json] [p4-json]
 #
 # Failure contract: every child failure is fatal — a broken build, a bench
 # binary that crashes or is killed, or a run that emits missing/empty/
@@ -29,11 +32,12 @@ build_dir="${1:-$repo_root/build-bench}"
 out_json="${2:-$repo_root/BENCH_p1.json}"
 out_json_p2="${3:-$repo_root/BENCH_p2.json}"
 out_json_p3="${4:-$repo_root/BENCH_p3.json}"
+out_json_p4="${5:-$repo_root/BENCH_p4.json}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
       -DRELDIV_BUILD_TESTS=OFF -DRELDIV_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "$build_dir" -j --target bench_p1_perf --target bench_runner_scaling \
-      --target bench_campaign_scaling >/dev/null
+      --target bench_campaign_scaling --target bench_p4_simd >/dev/null
 
 # Run a bench binary and insist its JSON landed: google-benchmark can exit 0
 # in some misconfiguration corners, so an existence check backs up the exit
@@ -54,15 +58,18 @@ echo
 run_bench "$build_dir/bench_runner_scaling" "$out_json_p2"
 echo
 run_bench "$build_dir/bench_campaign_scaling" "$out_json_p3"
+echo
+run_bench "$build_dir/bench_p4_simd" "$out_json_p4"
 
 echo
 echo "Wrote $out_json"
 echo "Wrote $out_json_p2"
 echo "Wrote $out_json_p3"
+echo "Wrote $out_json_p4"
 # Validate + summarize: the summary doubles as the JSON sanity gate, and its
 # failure fails the script (it used to be `|| true`-swallowed, so a bench
 # emitting garbage still yielded a green step).
-python3 - "$out_json" "$out_json_p2" "$out_json_p3" <<'EOF'
+python3 - "$out_json" "$out_json_p2" "$out_json_p3" "$out_json_p4" <<'EOF'
 import json, sys
 
 def load(path):
@@ -98,4 +105,15 @@ paired = p3.get("BM_RunExperimentPairedShuffled/real_time")
 if grouped and paired:
     print(f"grouped-universe sampling n=256: paired {paired:.2f}ms -> "
           f"bit-slice {grouped:.2f}ms ({paired / grouped:.2f}x)")
+
+p4 = load(sys.argv[4])
+hetero_fast = p4.get("BM_RunExperimentFastHetero/real_time")
+hetero_simd = p4.get("BM_RunExperimentFastSimdHetero/real_time")
+hetero_scalar = p4.get("BM_RunExperimentFastSimdScalarHetero/real_time")
+if hetero_fast and hetero_simd:
+    print(f"fast-simd heterogeneous n=1024: fast {hetero_fast:.2f}ms -> "
+          f"fast-simd {hetero_simd:.2f}ms ({hetero_fast / hetero_simd:.2f}x)")
+if hetero_fast and hetero_scalar:
+    print(f"fast-simd scalar-cap heterogeneous n=1024: fast {hetero_fast:.2f}ms -> "
+          f"scalar fallback {hetero_scalar:.2f}ms ({hetero_fast / hetero_scalar:.2f}x)")
 EOF

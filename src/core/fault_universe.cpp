@@ -70,6 +70,11 @@ void fault_universe::rebuild_soa() {
   for (std::size_t i = 1; i < n && uniform_p_; ++i) {
     uniform_p_ = atoms_[i].p == uniform_p_value_;
   }
+  make_sample_blocks();
+}
+
+void fault_universe::make_sample_blocks() {
+  const std::size_t n = atoms_.size();
   // Per-word sampling plan for the grouped bit-slice path: a word is
   // sliceable when all its faults share one p AND the shared threshold
   // costs at most as many rng words per 64 presence bits (53 − trailing
@@ -165,6 +170,92 @@ std::string fault_universe::describe() const {
   out << "fault_universe{n=" << size() << ", pmax=" << p_max()
       << ", E[N1]=" << expected_fault_count() << ", sum_q=" << q_total() << "}";
   return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Universe relayout
+// ---------------------------------------------------------------------------
+
+fault_mask universe_permutation::mask_to_permuted(const fault_mask& m) const {
+  if (m.bit_size() != to_permuted.size()) {
+    throw std::invalid_argument("universe_permutation: mask size does not match");
+  }
+  fault_mask out(m.bit_size());
+  const std::uint64_t* words = m.words();
+  for (std::size_t b = 0; b < m.word_count(); ++b) {
+    std::uint64_t w = words[b];
+    while (w != 0) {
+      const std::size_t i = (b << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      out.set(to_permuted[i]);
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+fault_mask universe_permutation::mask_to_original(const fault_mask& m) const {
+  if (m.bit_size() != to_original.size()) {
+    throw std::invalid_argument("universe_permutation: mask size does not match");
+  }
+  fault_mask out(m.bit_size());
+  const std::uint64_t* words = m.words();
+  for (std::size_t b = 0; b < m.word_count(); ++b) {
+    std::uint64_t w = words[b];
+    while (w != 0) {
+      const std::size_t i = (b << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      out.set(to_original[i]);
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+std::vector<double> universe_permutation::values_to_permuted(
+    std::span<const double> v) const {
+  if (v.size() != to_original.size()) {
+    throw std::invalid_argument("universe_permutation: vector size does not match");
+  }
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = v[to_original[i]];
+  return out;
+}
+
+std::vector<double> universe_permutation::values_to_original(
+    std::span<const double> v) const {
+  if (v.size() != to_permuted.size()) {
+    throw std::invalid_argument("universe_permutation: vector size does not match");
+  }
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = v[to_permuted[i]];
+  return out;
+}
+
+universe_permutation make_p_sorted_permutation(const fault_universe& u) {
+  const std::size_t n = u.size();
+  universe_permutation perm;
+  perm.to_original.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm.to_original[i] = static_cast<std::uint32_t>(i);
+  }
+  // Stable sort by p: ties keep original order, so the permutation is a
+  // pure function of the atom layout (part of any derived result identity).
+  std::stable_sort(perm.to_original.begin(), perm.to_original.end(),
+                   [&u](std::uint32_t a, std::uint32_t b) { return u[a].p < u[b].p; });
+  perm.to_permuted.resize(n);
+  perm.identity = true;
+  std::vector<fault_atom> atoms;
+  atoms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t src = perm.to_original[i];
+    perm.to_permuted[src] = static_cast<std::uint32_t>(i);
+    perm.identity = perm.identity && src == i;
+    atoms.push_back(u[src]);
+  }
+  // allow_q_overflow: the atoms already passed validation in the original
+  // universe, and re-summing q in permuted order could straddle the
+  // tolerance boundary purely through float accumulation order.
+  perm.universe = fault_universe(std::move(atoms), /*allow_q_overflow=*/true);
+  return perm;
 }
 
 }  // namespace reldiv::core

@@ -145,6 +145,14 @@ class fault_universe {
 
  private:
   void rebuild_soa();
+  /// Re-derive the per-word sampling plan (uniform/sliceable flags and the
+  /// shared thresholds) from the CURRENT atom layout.  Called by rebuild_soa
+  /// on construction and after any index remap (the permutation layer builds
+  /// remapped universes through the constructor, which funnels here) — the
+  /// flags are a function of the layout, never a one-shot annotation, so a
+  /// permuted copy of a heterogeneous universe picks up its newly sliceable
+  /// words.
+  void make_sample_blocks();
 
   std::vector<fault_atom> atoms_;
   std::vector<double> p_soa_;
@@ -157,6 +165,60 @@ class fault_universe {
   bool fast32_safe_ = true;
   double uniform_p_value_ = 0.0;
 };
+
+// ---------------------------------------------------------------------------
+// Universe relayout for word-parallel sampling (ROADMAP item 5)
+// ---------------------------------------------------------------------------
+
+/// A fault-index permutation paired with the permuted universe it produces.
+/// Sorting faults by p gathers equal-p runs into whole 64-fault words, so an
+/// arbitrary heterogeneous universe becomes mostly bit-sliceable — the shape
+/// both the grouped word-parallel sampler and the SIMD block kernels want.
+/// The maps translate between the two layouts: samplers run over
+/// `universe` (permuted), and any per-fault output (masks, index lists,
+/// weight vectors) is inverse-mapped back to the caller's original indices
+/// in result reporting.
+///
+/// Invariants: `universe.atoms()[i] == original.atoms()[to_original[i]]`,
+/// `to_permuted[to_original[i]] == i`, and the permutation is a stable sort
+/// by (p, original index) — deterministic, a pure function of the original
+/// universe, and therefore part of any derived result's identity.
+struct universe_permutation {
+  fault_universe universe;                 ///< atoms in permuted (p-sorted) order
+  std::vector<std::uint32_t> to_permuted;  ///< original index -> permuted index
+  std::vector<std::uint32_t> to_original;  ///< permuted index -> original index
+  bool identity = true;                    ///< true iff the sort was a no-op
+
+  [[nodiscard]] std::size_t size() const noexcept { return to_permuted.size(); }
+
+  /// Index translation (debug-asserted bounds, hot-path friendly).
+  [[nodiscard]] std::uint32_t index_to_permuted(std::uint32_t original) const noexcept {
+    assert(original < to_permuted.size());
+    return to_permuted[original];
+  }
+  [[nodiscard]] std::uint32_t index_to_original(std::uint32_t permuted) const noexcept {
+    assert(permuted < to_original.size());
+    return to_original[permuted];
+  }
+
+  /// Rewrite a mask over the original layout into the permuted layout
+  /// (bit to_permuted[i] of the result equals bit i of `m`).
+  [[nodiscard]] fault_mask mask_to_permuted(const fault_mask& m) const;
+  /// Inverse of mask_to_permuted.
+  [[nodiscard]] fault_mask mask_to_original(const fault_mask& m) const;
+
+  /// Remap a per-fault vector (q weights, overlap vectors, per-fault tallies)
+  /// from the original layout into the permuted layout...
+  [[nodiscard]] std::vector<double> values_to_permuted(std::span<const double> v) const;
+  /// ...and back (inverse remap, used when reporting per-fault results).
+  [[nodiscard]] std::vector<double> values_to_original(std::span<const double> v) const;
+};
+
+/// Build the p-sorted relayout of `u`: faults stably sorted by ascending p
+/// (ties keep original order).  The permuted universe is constructed through
+/// the ordinary fault_universe constructor, so its SoA caches and sample
+/// blocks are re-derived from the permuted layout (see make_sample_blocks).
+[[nodiscard]] universe_permutation make_p_sorted_permutation(const fault_universe& u);
 
 /// The golden-ratio threshold (√5−1)/2 at which p²(1−p²) = p(1−p): below it
 /// every summand of σ²(Θ2) is smaller than the matching summand of σ²(Θ1)

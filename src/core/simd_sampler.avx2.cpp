@@ -1,0 +1,149 @@
+// AVX2 instantiation of the fast-simd word kernels.  This is the ONLY
+// translation unit in the repo allowed to include <immintrin.h> (reldiv_lint
+// `simd-isolation` enforces it) and the only one compiled with -mavx2; it is
+// reached solely through the runtime dispatch in simd_sampler.cpp, which
+// calls in only after __builtin_cpu_supports("avx2") says the host can run
+// it.  When the toolchain cannot compile AVX2 (non-x86, or no -mavx2), the
+// fallback definitions at the bottom keep the link whole and report
+// avx2_compiled() == false so dispatch never selects this path.
+//
+// Decision-for-decision equivalence with the scalar ops holds because the
+// vector kernels evaluate the identical stats::counter_draw arithmetic —
+// the splitmix64 finalizer on key + (counter+1)*gamma — four 64-bit lanes
+// per instruction, then compare against the same integer thresholds.  The
+// 64-bit constant multiplies of the finalizer are synthesized from three
+// 32x32 _mm256_mul_epu32 partial products; the threshold compares use
+// _mm256_cmpgt_epi64, which is safe in the signed domain because both
+// operands are < 2^53 (hence positive as int64).
+
+#include "core/simd_sampler.inl.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace reldiv::core::detail {
+
+namespace {
+
+/// x * c for a 64-bit constant c, per 64-bit lane: lo32(x)*lo32(c) +
+/// ((lo32(x)*hi32(c) + hi32(x)*lo32(c)) << 32).  The high cross-product
+/// overflows out of the lane exactly as scalar uint64 multiplication does.
+inline __m256i mul64_const(__m256i x, std::uint64_t c) noexcept {
+  const __m256i c_lo = _mm256_set1_epi64x(static_cast<long long>(c & 0xffffffffULL));
+  const __m256i c_hi = _mm256_set1_epi64x(static_cast<long long>(c >> 32));
+  const __m256i x_hi = _mm256_srli_epi64(x, 32);
+  const __m256i lolo = _mm256_mul_epu32(x, c_lo);
+  const __m256i lohi = _mm256_mul_epu32(x, c_hi);
+  const __m256i hilo = _mm256_mul_epu32(x_hi, c_lo);
+  return _mm256_add_epi64(lolo,
+                          _mm256_slli_epi64(_mm256_add_epi64(lohi, hilo), 32));
+}
+
+/// stats::counter_draw for counters base..base+3, one per lane (lane 0 =
+/// base).  The Weyl start key + (base+1)*gamma is computed scalar (one
+/// 64-bit multiply), then the lanes diverge by {0,1,2,3}*gamma and run the
+/// splitmix64 finalizer in parallel.
+inline __m256i counter_draws4(std::uint64_t key, std::uint64_t base) noexcept {
+  constexpr std::uint64_t g = stats::kSplitmix64Gamma;
+  const std::uint64_t s0 = key + (base + 1) * g;
+  __m256i z = _mm256_add_epi64(
+      _mm256_set1_epi64x(static_cast<long long>(s0)),
+      _mm256_set_epi64x(static_cast<long long>(3 * g), static_cast<long long>(2 * g),
+                        static_cast<long long>(g), 0));
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 30));
+  z = mul64_const(z, 0xbf58476d1ce4e5b9ULL);
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 27));
+  z = mul64_const(z, 0x94d049bb133111ebULL);
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+/// Pack the four lane-wise `t > v` results (all-ones / all-zero 64-bit
+/// lanes) into bits 0..3 via the double-precision sign-bit movemask.
+inline std::uint64_t cmplt4(__m256i v, __m256i t) noexcept {
+  return static_cast<std::uint64_t>(static_cast<unsigned>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(t, v)))));
+}
+
+struct avx2_word_ops {
+  static void paired32_word(std::uint64_t key, std::uint64_t base,
+                            const std::uint64_t* t32, unsigned occ,
+                            std::uint64_t& wa, std::uint64_t& wb) noexcept {
+    std::uint64_t word_a = 0;
+    std::uint64_t word_b = 0;
+    const __m256i lo_mask = _mm256_set1_epi64x(0xffffffffLL);
+    unsigned k = 0;
+    for (; k + 4 <= occ; k += 4) {
+      const __m256i x = counter_draws4(key, base + k);
+      // reldiv-lint: allow(wire-cast) vector register load of the threshold array, not byte serialization
+      const __m256i t = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t32 + k));
+      word_a |= cmplt4(_mm256_srli_epi64(x, 32), t) << k;
+      word_b |= cmplt4(_mm256_and_si256(x, lo_mask), t) << k;
+    }
+    for (; k < occ; ++k) {
+      const std::uint64_t x = stats::counter_draw(key, base + k);
+      word_a |= static_cast<std::uint64_t>((x >> 32) < t32[k]) << k;
+      word_b |= static_cast<std::uint64_t>((x & 0xffffffffULL) < t32[k]) << k;
+    }
+    wa = word_a;
+    wb = word_b;
+  }
+
+  static std::uint64_t wide53_word(std::uint64_t key, std::uint64_t base,
+                                   const std::uint64_t* t53,
+                                   unsigned occ) noexcept {
+    std::uint64_t w = 0;
+    unsigned k = 0;
+    for (; k + 4 <= occ; k += 4) {
+      const __m256i x = counter_draws4(key, base + k);
+      // reldiv-lint: allow(wire-cast) vector register load of the threshold array, not byte serialization
+      const __m256i t = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t53 + k));
+      w |= cmplt4(_mm256_srli_epi64(x, 11), t) << k;
+    }
+    for (; k < occ; ++k) {
+      w |= static_cast<std::uint64_t>(
+               (stats::counter_draw(key, base + k) >> 11) < t53[k])
+           << k;
+    }
+    return w;
+  }
+};
+
+}  // namespace
+
+bool avx2_compiled() noexcept { return true; }
+
+void sample_pair_counter_batch_avx2(const counter_sample_plan& plan,
+                                    std::span<const std::uint64_t> t32,
+                                    std::span<const std::uint64_t> t53,
+                                    std::uint64_t key, std::uint64_t first_pair,
+                                    std::size_t count, std::span<fault_mask> a,
+                                    std::span<fault_mask> b) {
+  sample_pair_counter_batch_impl<avx2_word_ops>(plan, t32, t53, key, first_pair,
+                                                count, a, b);
+}
+
+}  // namespace reldiv::core::detail
+
+#else  // !__AVX2__
+
+namespace reldiv::core::detail {
+
+bool avx2_compiled() noexcept { return false; }
+
+void sample_pair_counter_batch_avx2(const counter_sample_plan& plan,
+                                    std::span<const std::uint64_t> t32,
+                                    std::span<const std::uint64_t> t53,
+                                    std::uint64_t key, std::uint64_t first_pair,
+                                    std::size_t count, std::span<fault_mask> a,
+                                    std::span<fault_mask> b) {
+  // Unreachable through dispatch (detected_simd_level() caps at scalar when
+  // avx2_compiled() is false), but defined so a direct caller still gets
+  // correct bits.
+  sample_pair_counter_batch_impl<scalar_word_ops>(plan, t32, t53, key,
+                                                  first_pair, count, a, b);
+}
+
+}  // namespace reldiv::core::detail
+
+#endif  // __AVX2__

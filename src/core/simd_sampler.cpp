@@ -1,0 +1,167 @@
+// fast-simd dispatch + plan construction + scalar instantiation.  The AVX2
+// instantiation lives in simd_sampler.avx2.cpp (the one TU compiled with
+// -mavx2); this TU stays portable and decides at runtime which one runs.
+
+#include "core/simd_sampler.inl.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+namespace reldiv::core {
+
+namespace detail {
+// Defined in simd_sampler.avx2.cpp.  When that TU was compiled without AVX2
+// support (non-x86 arch or a compiler without -mavx2) it forwards to the
+// scalar template and avx2_compiled() reports false, so dispatch never
+// claims a level it cannot deliver.
+bool avx2_compiled() noexcept;
+void sample_pair_counter_batch_avx2(const counter_sample_plan& plan,
+                                    std::span<const std::uint64_t> t32,
+                                    std::span<const std::uint64_t> t53,
+                                    std::uint64_t key, std::uint64_t first_pair,
+                                    std::size_t count, std::span<fault_mask> a,
+                                    std::span<fault_mask> b);
+}  // namespace detail
+
+namespace {
+
+/// Programmatic cap (tests/benches).  Stored +1 so 0 means "no cap".
+std::atomic<std::uint8_t> g_level_cap{0};
+
+simd_level env_level_cap() noexcept {
+  // Read once: the override is a process-wide throughput knob, like thread
+  // count.  Results are bit-identical across levels either way.
+  static const simd_level cap = [] {
+    const char* env = std::getenv("RELDIV_SIMD");
+    if (env != nullptr) {
+      const std::string_view v(env);
+      if (v == "off" || v == "scalar" || v == "0") return simd_level::scalar;
+    }
+    return simd_level::avx2;  // no cap (never raises above detected)
+  }();
+  return cap;
+}
+
+}  // namespace
+
+const char* simd_level_name(simd_level level) noexcept {
+  switch (level) {
+    case simd_level::scalar:
+      return "scalar";
+    case simd_level::avx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+simd_level detected_simd_level() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  static const bool avx2 =
+      __builtin_cpu_supports("avx2") != 0 && detail::avx2_compiled();
+  return avx2 ? simd_level::avx2 : simd_level::scalar;
+#else
+  return simd_level::scalar;
+#endif
+}
+
+simd_level active_simd_level() noexcept {
+  simd_level level = detected_simd_level();
+  const simd_level env_cap = env_level_cap();
+  if (env_cap < level) level = env_cap;
+  const std::uint8_t cap = g_level_cap.load(std::memory_order_relaxed);
+  if (cap != 0 && static_cast<simd_level>(cap - 1) < level) {
+    level = static_cast<simd_level>(cap - 1);
+  }
+  return level;
+}
+
+void set_simd_level_cap(simd_level cap) noexcept {
+  g_level_cap.store(static_cast<std::uint8_t>(static_cast<std::uint8_t>(cap) + 1),
+                    std::memory_order_relaxed);
+}
+
+void clear_simd_level_cap() noexcept {
+  g_level_cap.store(0, std::memory_order_relaxed);
+}
+
+counter_sample_plan make_counter_sample_plan(const fault_universe& u) {
+  // Derives word kinds from sample_blocks + fast32_grid_safe by the SAME
+  // rules as mc::sample_version_pair_counter_reference (the pinned
+  // contract); the equivalence fuzz in tests/mc_simd_sampler_test.cpp keeps
+  // the two derivations from drifting apart.
+  counter_sample_plan plan;
+  plan.bits = u.size();
+  const auto blocks = u.sample_blocks();
+  const bool grid_safe = u.fast32_grid_safe();
+  plan.words.reserve(blocks.size());
+  std::uint64_t offset = 0;
+  for (std::size_t blk = 0; blk < blocks.size(); ++blk) {
+    const std::size_t lo = blk << 6;
+    const std::size_t occupancy = std::min<std::size_t>(u.size(), lo + 64) - lo;
+    const sample_block& b = blocks[blk];
+    counter_word_plan w;
+    w.occupancy = static_cast<std::uint8_t>(occupancy);
+    w.draw_offset = static_cast<std::uint32_t>(offset);
+    if (b.sliceable) {
+      if (b.threshold == 0) {
+        w.kind = counter_word_kind::zero;
+      } else if (b.threshold == (std::uint64_t{1} << kBernoulliBits)) {
+        w.kind = counter_word_kind::one;
+      } else {
+        w.kind = counter_word_kind::slice;
+        w.threshold = b.threshold;
+        w.slice_cost = static_cast<std::uint8_t>(kBernoulliBits -
+                                                 std::countr_zero(b.threshold));
+        offset += 2 * static_cast<std::uint64_t>(w.slice_cost);
+      }
+    } else if (grid_safe) {
+      w.kind = counter_word_kind::paired32;
+      offset += occupancy;
+    } else {
+      w.kind = counter_word_kind::wide53;
+      offset += 2 * occupancy;
+    }
+    plan.words.push_back(w);
+  }
+  plan.draws_per_pair = offset;
+  return plan;
+}
+
+void sample_pair_counter_batch(const counter_sample_plan& plan,
+                               const fault_universe& u, std::uint64_t key,
+                               std::uint64_t first_pair, std::size_t count,
+                               std::span<fault_mask> a, std::span<fault_mask> b,
+                               simd_level level) {
+  if (plan.bits != u.size() || plan.words.size() != u.mask_words()) {
+    throw std::invalid_argument(
+        "sample_pair_counter_batch: plan does not match universe");
+  }
+  if (a.size() < count || b.size() < count) {
+    throw std::invalid_argument(
+        "sample_pair_counter_batch: mask spans shorter than batch");
+  }
+  switch (level) {
+    case simd_level::avx2:
+      detail::sample_pair_counter_batch_avx2(plan, u.bernoulli_thresholds32(),
+                                             u.bernoulli_thresholds(), key,
+                                             first_pair, count, a, b);
+      return;
+    case simd_level::scalar:
+      break;
+  }
+  detail::sample_pair_counter_batch_impl<detail::scalar_word_ops>(
+      plan, u.bernoulli_thresholds32(), u.bernoulli_thresholds(), key,
+      first_pair, count, a, b);
+}
+
+void sample_pair_counter(const counter_sample_plan& plan, const fault_universe& u,
+                         std::uint64_t key, std::uint64_t pair_index, fault_mask& a,
+                         fault_mask& b, simd_level level) {
+  sample_pair_counter_batch(plan, u, key, pair_index, 1, std::span<fault_mask>(&a, 1),
+                            std::span<fault_mask>(&b, 1), level);
+}
+
+}  // namespace reldiv::core

@@ -1,0 +1,107 @@
+#pragma once
+// The `fast-simd` block sampler: counter-based version-pair generation with
+// runtime SIMD dispatch.  This TU family (src/core/simd_sampler.*) is the
+// ONLY place in the repo allowed to touch <immintrin.h> — enforced by the
+// reldiv_lint `simd-isolation` rule — everything else calls the dispatched
+// API below.
+//
+// Contract: for any universe, key and pair index, sample_pair_counter
+// produces bits identical to mc::sample_version_pair_counter_reference at
+// EVERY dispatch level.  The SIMD level is a pure throughput knob, exactly
+// like the thread count: runtime CPUID dispatch (plus the RELDIV_SIMD
+// environment override and a programmatic cap for tests/benches) selects
+// between a scalar fallback and AVX2 block kernels compiled from the same
+// template (simd_sampler.inl.hpp), and the two are decision-for-decision
+// identical because every lane's draw is stats::counter_draw(key, counter) —
+// a pure function the vector kernels evaluate four lanes per instruction.
+//
+// The intended pipeline (mc::run_experiment with sampling_engine::fast_simd):
+//   1. relayout: core::make_p_sorted_permutation gathers equal-p faults into
+//      whole words, so heterogeneous universes become mostly sliceable;
+//   2. plan: make_counter_sample_plan freezes per-word kernel kinds and the
+//      per-pair draw budget over the permuted layout;
+//   3. blocks: sample_pair_counter_batch generates several version-pairs per
+//      pass, amortizing threshold loads across the batch.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/fault_mask.hpp"
+#include "core/fault_universe.hpp"
+
+namespace reldiv::core {
+
+/// Dispatch levels, ordered: higher levels may only be selected when the
+/// host supports them; every level produces identical bits.
+enum class simd_level : std::uint8_t {
+  scalar = 0,  ///< portable fallback (same template, scalar ops)
+  avx2 = 1,    ///< 4 × 64-bit lanes per instruction
+};
+
+[[nodiscard]] const char* simd_level_name(simd_level level) noexcept;
+
+/// Highest level this host can execute (CPUID probe, cached; scalar when the
+/// AVX2 TU was compiled without AVX2 support or the arch is not x86).
+[[nodiscard]] simd_level detected_simd_level() noexcept;
+
+/// The level the fast-simd engine will actually run: detected_simd_level()
+/// capped by the RELDIV_SIMD environment variable ("off"/"scalar" force the
+/// fallback; "avx2" requests AVX2 but never raises beyond what the host
+/// supports, so forcing it on a non-AVX2 host degrades cleanly to scalar)
+/// and by any programmatic cap.  Results are bit-identical across levels, so
+/// this is a throughput knob, never a results knob.
+[[nodiscard]] simd_level active_simd_level() noexcept;
+
+/// Programmatic cap for tests/benches (e.g. benchmarking the scalar fallback
+/// on an AVX2 host).  Like the env override it can only lower the level.
+void set_simd_level_cap(simd_level cap) noexcept;
+void clear_simd_level_cap() noexcept;
+
+/// Per-word kernel kind of the counter sampler, derived from the universe's
+/// sample_blocks plan + fast32_grid_safe exactly as the pinned reference
+/// derives them (mc/sampler.hpp documents the draw-consumption contract).
+enum class counter_word_kind : std::uint8_t {
+  zero,      ///< sliceable, threshold 0: all bits clear, no draws
+  one,       ///< sliceable, threshold 2^53: all bits set, no draws
+  slice,     ///< bit-slice recurrence: slice_cost draws per version
+  paired32,  ///< one draw per fault covers both versions (hi/lo 32-bit)
+  wide53,    ///< one draw per fault PER version (53-bit exact thresholds)
+};
+
+struct counter_word_plan {
+  counter_word_kind kind = counter_word_kind::zero;
+  std::uint8_t occupancy = 0;    ///< faults in this word (1..64)
+  std::uint8_t slice_cost = 0;   ///< draws per version when kind == slice
+  std::uint32_t draw_offset = 0; ///< first counter of this word within a pair
+  std::uint64_t threshold = 0;   ///< shared 53-bit threshold when kind == slice
+};
+
+/// Frozen per-word plan + per-pair draw budget for one universe.  A pure
+/// function of the universe layout; build it once per run, not per sample.
+struct counter_sample_plan {
+  std::vector<counter_word_plan> words;
+  std::uint64_t draws_per_pair = 0;
+  std::size_t bits = 0;  ///< universe size the plan was built for
+};
+
+[[nodiscard]] counter_sample_plan make_counter_sample_plan(const fault_universe& u);
+
+/// Sample version-pairs [first_pair, first_pair + count) of counter stream
+/// `key` into a[0..count) / b[0..count).  Masks are resized to plan.bits as
+/// needed (steady-state reuse allocates nothing).  `level` must not exceed
+/// detected_simd_level(); pass active_simd_level() unless pinning a level in
+/// a test.  Throws std::invalid_argument when the plan does not match `u`.
+void sample_pair_counter_batch(const counter_sample_plan& plan,
+                               const fault_universe& u, std::uint64_t key,
+                               std::uint64_t first_pair, std::size_t count,
+                               std::span<fault_mask> a, std::span<fault_mask> b,
+                               simd_level level);
+
+/// Single-pair convenience wrapper (batch of one).
+void sample_pair_counter(const counter_sample_plan& plan, const fault_universe& u,
+                         std::uint64_t key, std::uint64_t pair_index, fault_mask& a,
+                         fault_mask& b, simd_level level);
+
+}  // namespace reldiv::core

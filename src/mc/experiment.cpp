@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <span>
 #include <stdexcept>
+#include <vector>
 
+#include "core/simd_sampler.hpp"
 #include "mc/sampler.hpp"
+#include "stats/counter_rng.hpp"
 #include "stats/random.hpp"
 
 namespace reldiv::mc {
@@ -76,6 +80,62 @@ experiment_accumulator run_shard_mask(const core::fault_universe& u,
   return acc;
 }
 
+/// Version-pairs generated per sample_pair_counter_batch pass by the
+/// fast-simd shard.  Word-major batching amortizes per-word plan/threshold
+/// loads across the batch; 8 pairs keeps the scratch masks comfortably in L1
+/// for any universe the benches exercise.
+constexpr std::size_t kSimdPairBatch = 8;
+
+/// Everything the fast-simd engine precomputes ONCE per run (never per
+/// shard, never per sample): the p-sorted relayout of the universe, the
+/// frozen counter-sampling plan over the permuted layout, and the dispatch
+/// level.  Pinning the level here also guarantees every shard of a run uses
+/// the same kernels even if a test flips the cap concurrently.
+struct simd_engine_context {
+  core::universe_permutation perm;
+  core::counter_sample_plan plan;
+  core::simd_level level = core::simd_level::scalar;
+};
+
+simd_engine_context make_simd_engine_context(const core::fault_universe& u) {
+  simd_engine_context ctx;
+  ctx.perm = core::make_p_sorted_permutation(u);
+  ctx.plan = core::make_counter_sample_plan(ctx.perm.universe);
+  ctx.level = core::active_simd_level();
+  return ctx;
+}
+
+/// fast-simd shard: batches of counter-generated version-pairs over the
+/// PERMUTED universe.  θ accumulation (masked_q_sum / intersect_q_sum) runs
+/// over the permuted q layout, which is part of this engine's pinned stream
+/// contract — per-seed values are not comparable to the `fast` engine, but
+/// are bit-identical across thread counts and SIMD levels.  Pair s of shard
+/// `shard` always consumes counters [s*D, (s+1)*D) of stream
+/// counter_stream_key(seed, shard), regardless of batching.
+experiment_accumulator run_shard_simd(const simd_engine_context& ctx,
+                                      std::uint64_t seed, unsigned shard,
+                                      std::uint64_t samples, bool keep_samples) {
+  experiment_accumulator acc(keep_samples);
+  const core::fault_universe& pu = ctx.perm.universe;
+  const std::uint64_t key = stats::counter_stream_key(seed, shard);
+  std::vector<core::fault_mask> a(kSimdPairBatch, core::fault_mask(pu.size()));
+  std::vector<core::fault_mask> b(kSimdPairBatch, core::fault_mask(pu.size()));
+  for (std::uint64_t s = 0; s < samples; s += kSimdPairBatch) {
+    const std::size_t batch =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kSimdPairBatch, samples - s));
+    core::sample_pair_counter_batch(ctx.plan, pu, key, s, batch,
+                                    std::span<core::fault_mask>(a.data(), batch),
+                                    std::span<core::fault_mask>(b.data(), batch),
+                                    ctx.level);
+    for (std::size_t j = 0; j < batch; ++j) {
+      const double t1 = core::masked_q_sum(a[j], pu.q_array());
+      const auto pair = core::intersect_q_sum(a[j], b[j], pu.q_array());
+      acc.add(t1, pair.pfd, a[j].any(), pair.any_common);
+    }
+  }
+  return acc;
+}
+
 experiment_accumulator run_shard(const core::fault_universe& u, std::uint64_t samples,
                                  stats::rng r, bool keep_samples,
                                  sampling_engine engine) {
@@ -85,6 +145,10 @@ experiment_accumulator run_shard(const core::fault_universe& u, std::uint64_t sa
     case sampling_engine::exact:
       return run_shard_mask(u, samples, std::move(r), keep_samples,
                             /*exact_stream=*/true);
+    case sampling_engine::fast_simd:
+      // fast-simd shards need the per-run simd_engine_context; the run-level
+      // loops route them to run_shard_simd before reaching this dispatcher.
+      throw std::logic_error("run_shard: fast_simd must be routed at run level");
     case sampling_engine::fast:
     default:
       return run_shard_mask(u, samples, std::move(r), keep_samples,
@@ -213,6 +277,20 @@ void run_experiment_shards(const core::fault_universe& u,
     throw std::invalid_argument("run_experiment: samples > 0");
   }
   const shard_plan plan = make_shard_plan(config.samples, config.shards);
+  if (config.engine == sampling_engine::fast_simd) {
+    const simd_engine_context ctx = make_simd_engine_context(u);
+    run_shards(
+        plan, config.seed, shard_begin, shard_end, config.threads,
+        stream_mode::counter,
+        [&ctx, &config](unsigned shard, std::uint64_t samples, stats::rng& /*r*/) {
+          return run_shard_simd(ctx, config.seed, shard, samples,
+                                config.keep_samples);
+        },
+        [&acc](unsigned /*shard*/, experiment_accumulator&& shard_acc) {
+          acc.merge(shard_acc);
+        });
+    return;
+  }
   run_shards(
       plan, config.seed, shard_begin, shard_end, config.threads,
       [&u, &config](unsigned /*shard*/, std::uint64_t samples, stats::rng& r) {
@@ -258,7 +336,7 @@ void experiment_manifest::validate() const {
     throw std::invalid_argument("experiment_manifest: ci_level outside (0, 1)");
   }
   if (engine != sampling_engine::fast && engine != sampling_engine::exact &&
-      engine != sampling_engine::legacy) {
+      engine != sampling_engine::legacy && engine != sampling_engine::fast_simd) {
     throw std::invalid_argument("experiment_manifest: unknown sampling engine");
   }
   if (shards == 0 || shards != experiment_shard_count(config())) {
@@ -300,6 +378,18 @@ experiment_window_result run_experiment_window(const experiment_manifest& m,
   // Per-shard states stay separate (see experiment_window_result): run_shards
   // already merges — here: appends — in ascending shard order regardless of
   // the thread count.
+  if (cfg.engine == sampling_engine::fast_simd) {
+    const simd_engine_context ctx = make_simd_engine_context(m.universe);
+    run_shards(
+        plan, cfg.seed, shard_begin, shard_end, threads, stream_mode::counter,
+        [&](unsigned shard, std::uint64_t samples, stats::rng& /*r*/) {
+          return run_shard_simd(ctx, cfg.seed, shard, samples, cfg.keep_samples);
+        },
+        [&out](unsigned /*shard*/, experiment_accumulator&& acc) {
+          out.shard_states.push_back(acc.state());
+        });
+    return out;
+  }
   run_shards(
       plan, cfg.seed, shard_begin, shard_end, threads,
       [&](unsigned /*shard*/, std::uint64_t samples, stats::rng& r) {

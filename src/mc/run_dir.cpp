@@ -575,7 +575,8 @@ experiment_manifest read_experiment_manifest_payload(wire_reader& r) {
   m.samples = r.get_u64();
   m.shards = r.get_u32();
   const std::uint32_t engine = r.get_u32();
-  if (engine > static_cast<std::uint32_t>(sampling_engine::legacy)) {
+  // Wire values are append-only: fast=0, exact=1, legacy=2, fast_simd=3.
+  if (engine > static_cast<std::uint32_t>(sampling_engine::fast_simd)) {
     throw stats::wire_error("wire: unknown sampling engine " + std::to_string(engine));
   }
   m.engine = static_cast<sampling_engine>(engine);

@@ -1,0 +1,81 @@
+#pragma once
+// Counter-based pseudo-random generation (Philox/Threefry-style philosophy,
+// splitmix64 mixing): every draw is a pure function of (stream key, counter),
+// so any lane of a SIMD kernel — or any shard of a distributed run — can
+// derive its draw by random access, with no sequential state walk and no
+// jump chains.  This is the generator behind the `fast-simd` sampling engine
+// (core::simd_sampler): draw k of version-pair s lives at a counter computed
+// arithmetically from (s, k), which is exactly the shape block/vector
+// kernels want while preserving the PR 2 bit-exact determinism contract.
+//
+// Quality: counter_draw(key, c) equals the (c+1)-th output of the splitmix64
+// sequence seeded at `key` (the finalizer applied to key + (c+1)*gamma), so
+// within a stream the draws are exactly a splitmix64 stream — a generator
+// that passes BigCrush.  Distinct keys come from counter_stream_key, which
+// avalanche-mixes (seed, shard) through two chained splitmix64 steps.
+
+#include <cstdint>
+
+namespace reldiv::stats {
+
+/// The splitmix64 Weyl increment (golden-ratio gamma).  Shared by
+/// splitmix64_next (random.hpp) and the counter generator; keeping one
+/// constant keeps the "counter_draw == splitmix64 stream" identity pinned.
+inline constexpr std::uint64_t kSplitmix64Gamma = 0x9e3779b97f4a7c15ULL;
+
+/// The splitmix64 output finalizer (avalanche mix) alone, without the Weyl
+/// step.  Exposed because both counter_draw and counter_stream_key are
+/// defined in terms of it.
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Draw `counter` of stream `key`: the splitmix64 finalizer applied to
+/// key + (counter+1)*gamma.  Pure function — random access, no state.
+/// Identity: counter_draw(key, c) == the (c+1)-th splitmix64_next() output
+/// starting from state = key.
+[[nodiscard]] constexpr std::uint64_t counter_draw(std::uint64_t key,
+                                                   std::uint64_t counter) noexcept {
+  return splitmix64_mix(key + (counter + 1) * kSplitmix64Gamma);
+}
+
+/// Stream key for logical shard `shard` of master seed `seed`: (seed, shard)
+/// avalanche-mixed through two chained splitmix64 finalizer steps.  A pure
+/// O(1) function — unlike stats::rng::stream(seed, shard), which walks
+/// `shard` jumps — so counter-mode shard derivation costs the same for shard
+/// 0 and shard 10^6.  The constant is an arbitrary domain tag keeping
+/// counter-stream keys decorrelated from other splitmix64 uses of `seed`.
+[[nodiscard]] constexpr std::uint64_t counter_stream_key(std::uint64_t seed,
+                                                         unsigned shard) noexcept {
+  const std::uint64_t h1 = splitmix64_mix((seed ^ 0x8f58f7c95c7742a1ULL) + kSplitmix64Gamma);
+  return splitmix64_mix((h1 ^ (static_cast<std::uint64_t>(shard) + 1)) + kSplitmix64Gamma);
+}
+
+/// Sequential adapter over counter_draw: a drop-in
+/// std::uniform_random_bit_generator whose state is just (key, counter).
+/// seek() gives O(1) random access to any point of the stream.
+class counter_rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr counter_rng(std::uint64_t key, std::uint64_t counter = 0) noexcept
+      : key_(key), counter_(counter) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() noexcept { return counter_draw(key_, counter_++); }
+
+  [[nodiscard]] constexpr std::uint64_t key() const noexcept { return key_; }
+  [[nodiscard]] constexpr std::uint64_t counter() const noexcept { return counter_; }
+  /// Position the stream so the next draw is counter_draw(key, counter).
+  constexpr void seek(std::uint64_t counter) noexcept { counter_ = counter; }
+
+ private:
+  std::uint64_t key_ = 0;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace reldiv::stats

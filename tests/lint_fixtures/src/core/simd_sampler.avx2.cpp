@@ -1,0 +1,6 @@
+// Allowlisted: the src/core/simd_sampler.* TU family is the ONE place
+// intrinsics may live, so this file-name must stay silent with the same
+// contents that make simd_violation.cpp fire.
+#include <immintrin.h>
+
+__m256i add_lanes(__m256i a, __m256i b) { return _mm256_add_epi64(a, b); }

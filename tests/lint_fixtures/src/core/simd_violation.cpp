@@ -1,0 +1,10 @@
+// Deliberate simd-isolation violations: intrinsic headers, intrinsic
+// calls and vector register types outside src/core/simd_sampler.* must
+// each fire at their exact line.
+#include <immintrin.h>
+
+unsigned long long popcount_direct(unsigned long long x) {
+  return _mm_popcnt_u64(x);
+}
+
+using simd_reg = __m256i;

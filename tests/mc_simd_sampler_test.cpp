@@ -1,0 +1,394 @@
+// The fast-simd engine's correctness anchors:
+//   - counter rng identity with the splitmix64 stream it compresses;
+//   - the randomized equivalence fuzz pinning core::sample_pair_counter
+//     (scalar fallback AND AVX2, when the host has it) decision-for-decision
+//     against the normative mc::sample_version_pair_counter_reference;
+//   - universe permutation round-trips (indices, masks, q values) and the
+//     regression that a permuted heterogeneous universe becomes mostly
+//     bit-sliceable (make_sample_blocks re-derivation after remap);
+//   - bit-identity of run_experiment across thread counts AND SIMD dispatch
+//     levels, shard-window splits, and the manifest wire codec.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/fault_universe.hpp"
+#include "core/generators.hpp"
+#include "core/simd_sampler.hpp"
+#include "mc/experiment.hpp"
+#include "mc/run_dir.hpp"
+#include "mc/sampler.hpp"
+#include "stats/counter_rng.hpp"
+#include "stats/random.hpp"
+
+namespace {
+
+using namespace reldiv;
+
+// ---------------------------------------------------------------------------
+// Counter rng
+// ---------------------------------------------------------------------------
+
+TEST(CounterRng, DrawMatchesSplitmixWalk) {
+  // counter_draw(key, c) must equal the (c+1)-th output of a splitmix64
+  // stream seeded at `key` — the counter generator IS that stream with
+  // random access.
+  const std::uint64_t key = 0x0123456789abcdefULL;
+  std::uint64_t state = key;
+  for (std::uint64_t c = 0; c < 100; ++c) {
+    const std::uint64_t expected = stats::splitmix64_next(state);
+    EXPECT_EQ(stats::counter_draw(key, c), expected) << "counter " << c;
+  }
+}
+
+TEST(CounterRng, ClassWalksTheStream) {
+  stats::counter_rng r(42, 0);
+  for (std::uint64_t c = 0; c < 16; ++c) {
+    EXPECT_EQ(r(), stats::counter_draw(42, c));
+  }
+  r.seek(5);
+  EXPECT_EQ(r(), stats::counter_draw(42, 5));
+}
+
+TEST(CounterRng, StreamKeysAreDistinctAcrossShardsAndSeeds) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t seed : {1ULL, 2ULL, 0xdeadbeefULL}) {
+    for (unsigned shard = 0; shard < 64; ++shard) {
+      keys.push_back(stats::counter_stream_key(seed, shard));
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end())
+      << "counter stream keys collided";
+}
+
+// ---------------------------------------------------------------------------
+// Universe permutation
+// ---------------------------------------------------------------------------
+
+TEST(UniversePermutation, RoundTripsIndicesMasksAndValues) {
+  const auto u = core::make_random_universe(157, 0.3, 0.4, 99);
+  const auto perm = core::make_p_sorted_permutation(u);
+  ASSERT_EQ(perm.size(), u.size());
+  ASSERT_EQ(perm.universe.size(), u.size());
+
+  // Permuted p values ascend and the atoms are a reordering of the original.
+  for (std::size_t i = 0; i + 1 < perm.universe.size(); ++i) {
+    EXPECT_LE(perm.universe[i].p, perm.universe[i + 1].p);
+  }
+  for (std::uint32_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(perm.universe.atoms()[i], u.atoms()[perm.index_to_original(i)]);
+    EXPECT_EQ(perm.index_to_permuted(perm.index_to_original(i)), i);
+  }
+
+  // Mask round-trip: a pseudo-random mask survives to_permuted ∘ to_original
+  // and the permuted mask has bit to_permuted[i] == original bit i.
+  core::fault_mask m(u.size());
+  stats::rng r(7);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    if (r.below(3) == 0) m.set(i);
+  }
+  const core::fault_mask pm = perm.mask_to_permuted(m);
+  for (std::uint32_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(pm.test(perm.index_to_permuted(i)), m.test(i));
+  }
+  const core::fault_mask back = perm.mask_to_original(pm);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_EQ(back.test(i), m.test(i));
+  }
+
+  // q values round-trip and line up with the permuted universe's q array.
+  const auto pq = perm.values_to_permuted(u.q_values());
+  for (std::uint32_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(pq[i], perm.universe[i].q);
+  }
+  const auto back_q = perm.values_to_original(pq);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_EQ(back_q[i], u[i].q);
+  }
+}
+
+TEST(UniversePermutation, IdentityOnSortedUniverse) {
+  const auto u = core::make_homogeneous_universe(70, 0.25, 0.001);
+  const auto perm = core::make_p_sorted_permutation(u);
+  EXPECT_TRUE(perm.identity);
+  for (std::uint32_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(perm.index_to_original(i), i);
+  }
+}
+
+/// Builds a heterogeneous universe from a small p palette, scattered so no
+/// 64-fault word is uniform: the worst case for the word-parallel samplers,
+/// and exactly what the p-sorted relayout is for.
+core::fault_universe make_scattered_palette_universe(std::size_t n,
+                                                     std::uint64_t seed) {
+  std::vector<core::fault_atom> atoms;
+  atoms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // 8 palette values k/16, k in 1..8: every threshold has >= 49 trailing
+    // zero bits, so a uniform word costs at most 5 slice draws.
+    const double p = static_cast<double>(i % 8 + 1) / 16.0;
+    atoms.push_back({p, 0.5 / static_cast<double>(n)});
+  }
+  // Deterministic Fisher-Yates scatter.
+  stats::rng r(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(atoms[i - 1], atoms[r.below(i)]);
+  }
+  return core::fault_universe(std::move(atoms));
+}
+
+TEST(UniversePermutation, PermutedHeterogeneousUniverseIsMostlySliceable) {
+  // Regression for make_sample_blocks: the permuted universe must re-derive
+  // its per-word plan from the REMAPPED p layout, not inherit the original's.
+  const auto u = make_scattered_palette_universe(1024, 11);
+  std::size_t sliceable_before = 0;
+  for (const auto& b : u.sample_blocks()) sliceable_before += b.sliceable;
+  EXPECT_EQ(sliceable_before, 0u) << "scatter failed: universe already uniform";
+
+  const auto perm = core::make_p_sorted_permutation(u);
+  EXPECT_FALSE(perm.identity);
+  const auto& blocks = perm.universe.sample_blocks();
+  std::size_t sliceable = 0;
+  for (const auto& b : blocks) sliceable += b.sliceable;
+  // 1024 faults / 8 palette values = 2 whole words per value; at most one
+  // boundary word per value can stay mixed.
+  EXPECT_GE(sliceable, blocks.size() - 8) << "p-sorted relayout did not make "
+                                             "the universe word-parallel";
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence fuzz: fast-simd vs the pinned scalar reference
+// ---------------------------------------------------------------------------
+
+void expect_masks_equal(const core::fault_mask& got, const core::fault_mask& want,
+                        const std::string& what) {
+  ASSERT_EQ(got.bit_size(), want.bit_size()) << what;
+  for (std::size_t w = 0; w < want.word_count(); ++w) {
+    ASSERT_EQ(got.words()[w], want.words()[w])
+        << what << ": word " << w << " differs";
+  }
+}
+
+/// One fuzz case: every pair of the batch window must match the reference
+/// at the given dispatch level.
+void run_equivalence_case(const core::fault_universe& u, std::uint64_t key,
+                          core::simd_level level, const std::string& what) {
+  const auto plan = core::make_counter_sample_plan(u);
+  ASSERT_EQ(plan.draws_per_pair, mc::counter_draws_per_pair(u)) << what;
+
+  constexpr std::size_t kPairs = 12;  // spans a batch boundary at 8
+  std::vector<core::fault_mask> a(kPairs), b(kPairs);
+  core::sample_pair_counter_batch(plan, u, key, /*first_pair=*/0, kPairs,
+                                  std::span<core::fault_mask>(a),
+                                  std::span<core::fault_mask>(b), level);
+  core::fault_mask ra, rb;
+  for (std::size_t s = 0; s < kPairs; ++s) {
+    mc::sample_version_pair_counter_reference(u, key, s, ra, rb);
+    expect_masks_equal(a[s], ra, what + " pair " + std::to_string(s) + " (a)");
+    expect_masks_equal(b[s], rb, what + " pair " + std::to_string(s) + " (b)");
+  }
+  // Nonzero first_pair must land on the same stream positions.
+  core::fault_mask sa, sb;
+  core::sample_pair_counter(plan, u, key, /*pair_index=*/7, sa, sb, level);
+  expect_masks_equal(sa, a[7], what + " seek (a)");
+  expect_masks_equal(sb, b[7], what + " seek (b)");
+}
+
+/// The ~100-universe fuzz corpus: random heterogeneous universes (every word
+/// kind: slice, paired32, wide53, degenerate) × keys.
+void run_equivalence_fuzz(core::simd_level level) {
+  const std::string lvl = core::simd_level_name(level);
+  int cases = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::uint64_t key = stats::counter_stream_key(seed, 3);
+    // Random p in (0, p_max): exercises paired32 words (and wide53 when
+    // p_max is tiny enough to break the 2^-32 grid).
+    run_equivalence_case(core::make_random_universe(64 + 13 * seed, 0.4, 0.3, seed),
+                         key, level, lvl + " random/" + std::to_string(seed));
+    run_equivalence_case(core::make_random_universe(96, 1e-10, 0.3, seed), key,
+                         level, lvl + " tiny-p/" + std::to_string(seed));
+    // Palette universes: mixed words before sorting, sliceable after.
+    const auto scattered = make_scattered_palette_universe(128 + 8 * seed, seed);
+    run_equivalence_case(scattered, key, level,
+                         lvl + " scattered/" + std::to_string(seed));
+    run_equivalence_case(core::make_p_sorted_permutation(scattered).universe, key,
+                         level, lvl + " sorted/" + std::to_string(seed));
+    // Degenerate thresholds (p = 0 and p = 1 words) + uneven tail.
+    std::vector<core::fault_block> blocks = {{64, 0.0, 0.001},
+                                             {64, 1.0, 0.001},
+                                             {64, 0.5, 0.001},
+                                             {37, 0.25, 0.001}};
+    run_equivalence_case(core::make_grouped_universe(blocks), key, level,
+                         lvl + " degenerate/" + std::to_string(seed));
+    cases += 5;
+  }
+  EXPECT_GE(cases, 100);
+}
+
+TEST(SimdEquivalenceFuzz, ScalarFallbackMatchesReference) {
+  run_equivalence_fuzz(core::simd_level::scalar);
+}
+
+TEST(SimdEquivalenceFuzz, Avx2MatchesReference) {
+  if (core::detected_simd_level() < core::simd_level::avx2) {
+    GTEST_SKIP() << "host has no AVX2";
+  }
+  run_equivalence_fuzz(core::simd_level::avx2);
+}
+
+TEST(SimdEquivalenceFuzz, EmptyAndSingleFaultUniverses) {
+  for (const auto level : {core::simd_level::scalar, core::detected_simd_level()}) {
+    run_equivalence_case(core::fault_universe(), 1, level, "empty");
+    run_equivalence_case(core::make_homogeneous_universe(1, 0.5, 0.1), 1, level,
+                         "single");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level bit-identity
+// ---------------------------------------------------------------------------
+
+void expect_results_identical(const mc::experiment_result& x,
+                              const mc::experiment_result& y,
+                              const std::string& what) {
+  EXPECT_EQ(x.samples, y.samples) << what;
+  EXPECT_EQ(x.shards, y.shards) << what;
+  EXPECT_EQ(x.theta1.mean(), y.theta1.mean()) << what;
+  EXPECT_EQ(x.theta1.variance(), y.theta1.variance()) << what;
+  EXPECT_EQ(x.theta2.mean(), y.theta2.mean()) << what;
+  EXPECT_EQ(x.theta2.variance(), y.theta2.variance()) << what;
+  EXPECT_EQ(x.n1_positive, y.n1_positive) << what;
+  EXPECT_EQ(x.n2_positive, y.n2_positive) << what;
+  EXPECT_EQ(x.n1_zero_pfd, y.n1_zero_pfd) << what;
+  EXPECT_EQ(x.n2_zero_pfd, y.n2_zero_pfd) << what;
+}
+
+TEST(FastSimdEngine, BitIdenticalAcrossThreadCounts) {
+  const auto u = make_scattered_palette_universe(200, 5);
+  mc::experiment_config cfg;
+  cfg.samples = 4096;
+  cfg.seed = 404;
+  cfg.engine = mc::sampling_engine::fast_simd;
+  cfg.threads = 1;
+  const auto baseline = mc::run_experiment(u, cfg);
+  for (unsigned threads : {2u, 7u, 0u}) {
+    cfg.threads = threads;
+    expect_results_identical(mc::run_experiment(u, cfg), baseline,
+                             "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(FastSimdEngine, BitIdenticalAcrossSimdLevels) {
+  // The dispatch level is a throughput knob, never a results knob: capping
+  // to scalar must reproduce the uncapped (possibly AVX2) run bit-for-bit.
+  const auto u = make_scattered_palette_universe(300, 6);
+  mc::experiment_config cfg;
+  cfg.samples = 4096;
+  cfg.seed = 17;
+  cfg.engine = mc::sampling_engine::fast_simd;
+  core::clear_simd_level_cap();
+  const auto uncapped = mc::run_experiment(u, cfg);
+  core::set_simd_level_cap(core::simd_level::scalar);
+  const auto scalar = mc::run_experiment(u, cfg);
+  core::clear_simd_level_cap();
+  expect_results_identical(scalar, uncapped, "simd level cap");
+}
+
+TEST(FastSimdEngine, ShardWindowSplitReproducesFullRun) {
+  const auto u = core::make_random_universe(150, 0.2, 0.4, 3);
+  mc::experiment_config cfg;
+  cfg.samples = 2048;
+  cfg.seed = 9;
+  cfg.engine = mc::sampling_engine::fast_simd;
+  const unsigned shards = mc::experiment_shard_count(cfg);
+  ASSERT_GT(shards, 2u);
+
+  const auto full = mc::run_experiment(u, cfg);
+  mc::experiment_accumulator acc(cfg.keep_samples);
+  mc::run_experiment_shards(u, cfg, 0, shards / 3, acc);
+  mc::run_experiment_shards(u, cfg, shards / 3, shards, acc);
+  auto split = acc.to_result(cfg.ci_level);
+  split.shards = shards;
+  expect_results_identical(split, full, "split shard windows");
+
+  // And through the distributed window unit + ascending-order merge.
+  const auto m = mc::make_experiment_manifest(u, cfg, /*window=*/5);
+  mc::experiment_accumulator wacc(cfg.keep_samples);
+  for (std::uint64_t w = 0; w < m.window_count(); ++w) {
+    const auto wr = mc::run_experiment_window(m, w, /*threads=*/2);
+    for (const auto& s : wr.shard_states) {
+      wacc.merge(mc::experiment_accumulator::from_state(s));
+    }
+  }
+  auto windowed = wacc.to_result(cfg.ci_level);
+  windowed.shards = shards;
+  expect_results_identical(windowed, full, "window merge");
+}
+
+TEST(FastSimdEngine, StatisticalSanityVsFastEngine) {
+  // fast-simd is NOT stream-compatible with fast, but both estimate the same
+  // quantities: means must agree within a few CI widths.
+  const auto u = make_scattered_palette_universe(128, 21);
+  mc::experiment_config cfg;
+  cfg.samples = 50'000;
+  cfg.seed = 1234;
+  cfg.engine = mc::sampling_engine::fast;
+  const auto fast = mc::run_experiment(u, cfg);
+  cfg.engine = mc::sampling_engine::fast_simd;
+  const auto simd = mc::run_experiment(u, cfg);
+  const double width1 =
+      fast.mean_theta1().ci.hi - fast.mean_theta1().ci.lo + 1e-12;
+  EXPECT_NEAR(simd.mean_theta1().value, fast.mean_theta1().value, 3 * width1);
+  const double width2 =
+      fast.mean_theta2().ci.hi - fast.mean_theta2().ci.lo + 1e-12;
+  EXPECT_NEAR(simd.mean_theta2().value, fast.mean_theta2().value, 3 * width2);
+}
+
+TEST(FastSimdEngine, PerFaultReportingInverseMapsToOriginalIndices) {
+  // The engine samples in permuted space; per-fault reporting must come back
+  // through mask_to_original so fault identities survive the relayout.
+  const auto u = make_scattered_palette_universe(100, 8);
+  const auto perm = core::make_p_sorted_permutation(u);
+  core::fault_mask pa, pb;
+  mc::sample_version_pair_counter_reference(perm.universe, 77, 0, pa, pb);
+  const core::fault_mask a = perm.mask_to_original(pa);
+  for (std::uint32_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(a.test(i), pa.test(perm.index_to_permuted(i)));
+  }
+  // θ of the reported (original-layout) mask equals θ of the permuted mask
+  // up to summation order (same addends, different order).
+  const double theta_original = core::masked_q_sum(a, u.q_array());
+  const double theta_permuted =
+      core::masked_q_sum(pa, perm.universe.q_array());
+  EXPECT_NEAR(theta_original, theta_permuted, 1e-15);
+}
+
+TEST(FastSimdEngine, ManifestWireCodecRoundTripsFastSimd) {
+  const auto u = core::make_random_universe(40, 0.3, 0.2, 1);
+  mc::experiment_config cfg;
+  cfg.samples = 512;
+  cfg.engine = mc::sampling_engine::fast_simd;
+  const auto m = mc::make_experiment_manifest(u, cfg, 4);
+  const auto decoded = mc::decode_experiment_manifest(mc::encode_experiment_manifest(m));
+  EXPECT_EQ(decoded.engine, mc::sampling_engine::fast_simd);
+  EXPECT_EQ(mc::experiment_manifest_fingerprint(decoded),
+            mc::experiment_manifest_fingerprint(m));
+  EXPECT_NE(mc::experiment_manifest_json(m).find("\"engine\": 3"),
+            std::string::npos);
+}
+
+TEST(SimdDispatch, LevelApiIsConsistent) {
+  EXPECT_GE(core::detected_simd_level(), core::simd_level::scalar);
+  EXPECT_LE(core::active_simd_level(), core::detected_simd_level());
+  core::set_simd_level_cap(core::simd_level::scalar);
+  EXPECT_EQ(core::active_simd_level(), core::simd_level::scalar);
+  core::clear_simd_level_cap();
+  EXPECT_STREQ(core::simd_level_name(core::simd_level::scalar), "scalar");
+  EXPECT_STREQ(core::simd_level_name(core::simd_level::avx2), "avx2");
+}
+
+}  // namespace

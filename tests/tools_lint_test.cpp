@@ -64,7 +64,7 @@ TEST(LintCli, ListRulesNamesEveryRuleId) {
   EXPECT_EQ(r.exit_code, 0);
   for (const char* id : {"io-seam", "det-rand", "det-time", "det-hash",
                          "det-unordered", "wire-cast", "float-fmt",
-                         "lint-suppress"}) {
+                         "simd-isolation", "lint-suppress"}) {
     EXPECT_NE(r.output.find(id), std::string::npos) << "missing rule " << id;
   }
 }
@@ -94,6 +94,9 @@ TEST(LintFixtures, EveryRuleFiresAtItsExactLocation) {
   const std::vector<expected_diag> expected = {
       {"src/core/cast_violation.cpp", 8, "wire-cast"},
       {"src/core/cast_violation.cpp", 10, "wire-cast"},
+      {"src/core/simd_violation.cpp", 4, "simd-isolation"},
+      {"src/core/simd_violation.cpp", 7, "simd-isolation"},
+      {"src/core/simd_violation.cpp", 10, "simd-isolation"},
       {"src/mc/determinism.cpp", 5, "det-time"},
       {"src/mc/determinism.cpp", 6, "det-unordered"},
       {"src/mc/determinism.cpp", 11, "det-time"},
@@ -130,7 +133,7 @@ TEST(LintFixtures, EveryRuleFiresAtItsExactLocation) {
   // strings, comments, bare `read`, steady_clock, tools-ofstream,
   // tests-system_clock, allowlisted io_env.cpp/wire.cpp) stayed silent.
   EXPECT_NE(
-      r.output.find("reldiv_lint: 26 finding(s) (4 suppressed) in 10 file(s)"),
+      r.output.find("reldiv_lint: 29 finding(s) (4 suppressed) in 12 file(s)"),
       std::string::npos)
       << r.output;
 }
@@ -149,6 +152,11 @@ TEST(LintFixtures, AllowlistedAndOutOfScopeFilesStaySilent) {
   EXPECT_EQ(count_of(r.output, "cast_violation.cpp:12"), 0u)
       << "det-unordered must not apply to src/core/: " << r.output;
   EXPECT_EQ(r.output.find("clean.cpp"), std::string::npos) << r.output;
+  // The simd_sampler.* family name is allowlisted even though it holds the
+  // same intrinsics that make simd_violation.cpp fire three times.
+  EXPECT_EQ(r.output.find("src/core/simd_sampler.avx2.cpp:"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(count_of(r.output, "simd-isolation:"), 3u) << r.output;
 }
 
 TEST(LintFixtures, SingleFileModeScopesToThatFile) {
@@ -251,6 +259,33 @@ TEST_F(SeededViolation, FloatFmt) {
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.output.find("src/mc/bad.cpp:3: float-fmt:"), std::string::npos)
       << r.output;
+}
+
+TEST_F(SeededViolation, SimdIsolation) {
+  seed("src/mc/bad.cpp",
+       "#include <immintrin.h>\n"
+       "unsigned long long f(unsigned long long x) {\n"
+       "  return _mm_popcnt_u64(x);\n"
+       "}\n");
+  const lint_result r = lint();
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("src/mc/bad.cpp:1: simd-isolation:"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/mc/bad.cpp:3: simd-isolation:"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(SeededViolation, SimdSamplerFamilyIsAllowlisted) {
+  // The identical intrinsics under the dispatched TU family's name: clean.
+  seed("src/core/simd_sampler.avx2.cpp",
+       "#include <immintrin.h>\n"
+       "unsigned long long f(unsigned long long x) {\n"
+       "  return _mm_popcnt_u64(x);\n"
+       "}\n");
+  const lint_result r = lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
 TEST_F(SeededViolation, LintSuppressWithoutReason) {

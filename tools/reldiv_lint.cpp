@@ -75,6 +75,9 @@ constexpr rule_info kRules[] = {
     {"float-fmt", "PR 4/5 bit-exact emission",
      "float result emission must use %.17g-class formatting so merged "
      "CSV/JSON round-trips doubles exactly"},
+    {"simd-isolation", "PR 8 dispatch confinement",
+     "no <immintrin.h>/x86 intrinsics outside src/core/simd_sampler.*; all "
+     "SIMD reaches code through the runtime-dispatched core::simd_sampler API"},
     {"lint-suppress", "suppression hygiene",
      "reldiv-lint: allow(rule-id) must name a known rule and carry a reason"},
 };
@@ -102,6 +105,7 @@ struct file_policy {
   bool det_unordered = false;
   bool wire_cast = false;
   bool float_fmt = false;
+  bool simd_isolation = false;
 };
 
 bool starts_with(std::string_view s, std::string_view prefix) {
@@ -134,6 +138,11 @@ file_policy policy_for(std::string_view rel) {
   p.wire_cast = (in_src || in_tools) && rel != "src/stats/wire.hpp" &&
                 rel != "src/stats/wire.cpp";
   p.float_fmt = in_mc || in_stats || in_tools;
+  // (d) SIMD confinement: intrinsics and their headers live in the
+  // runtime-dispatched simd_sampler TU family only, so every other file
+  // stays portable and the scalar/AVX2 choice stays a CPUID decision.
+  p.simd_isolation = (in_src || in_tools || in_tests) &&
+                     !starts_with(rel, "src/core/simd_sampler.");
   return p;
 }
 
@@ -150,6 +159,10 @@ struct ban_list {
   std::set<std::string_view> anywhere;
   std::set<std::string_view> global_only;
   std::set<std::string_view> exact;
+  /// Identifier PREFIXES that fire wherever a chain part starts with one
+  /// (_mm256_..., __m128i, ...): intrinsic families are far too large to
+  /// enumerate name-by-name.
+  std::vector<std::string_view> prefixes;
 };
 
 const ban_list& io_seam_bans() {
@@ -165,6 +178,7 @@ const ban_list& io_seam_bans() {
       {"open", "close", "read", "write", "rename", "remove", "link",
        "symlink"},
       {"std::rename"},
+      {},
   };
   return bans;
 }
@@ -173,6 +187,7 @@ const ban_list& det_rand_bans() {
   static const ban_list bans{
       {"rand", "srand", "random_device", "random_shuffle", "drand48",
        "lrand48", "mrand48", "rand_r"},
+      {},
       {},
       {},
   };
@@ -186,12 +201,13 @@ const ban_list& det_time_bans() {
        "asctime", "__DATE__", "__TIME__", "__TIMESTAMP__"},
       {"time", "clock"},
       {"std::time", "std::clock"},
+      {},
   };
   return bans;
 }
 
 const ban_list& det_hash_bans() {
-  static const ban_list bans{{}, {}, {"std::hash"}};
+  static const ban_list bans{{}, {}, {"std::hash"}, {}};
   return bans;
 }
 
@@ -201,12 +217,29 @@ const ban_list& det_unordered_bans() {
        "unordered_multiset"},
       {},
       {},
+      {},
   };
   return bans;
 }
 
 const ban_list& wire_cast_bans() {
-  static const ban_list bans{{"reinterpret_cast", "memcpy", "memmove"}, {}, {}};
+  static const ban_list bans{
+      {"reinterpret_cast", "memcpy", "memmove"}, {}, {}, {}};
+  return bans;
+}
+
+const ban_list& simd_isolation_bans() {
+  static const ban_list bans{
+      // Header names (an #include <immintrin.h> lexes `immintrin` as an
+      // identifier) across the x86 intrinsic family, plus NEON for symmetry.
+      {"immintrin", "x86intrin", "emmintrin", "xmmintrin", "pmmintrin",
+       "tmmintrin", "smmintrin", "nmmintrin", "wmmintrin", "avxintrin",
+       "avx2intrin", "avx512fintrin", "arm_neon"},
+      {},
+      {},
+      // Intrinsic functions and vector register types.
+      {"_mm_", "_mm256_", "_mm512_", "__m64", "__m128", "__m256", "__m512"},
+  };
   return bans;
 }
 
@@ -614,6 +647,14 @@ void check_chain(const name_chain& chain, const ban_list& bans,
                           quoted_message(render_chain(chain), why)});
       return;
     }
+    for (const std::string_view prefix : bans.prefixes) {
+      if (part.name.size() >= prefix.size() &&
+          std::string_view(part.name).substr(0, prefix.size()) == prefix) {
+        findings.push_back({file, part.line, std::string(rule),
+                            quoted_message(render_chain(chain), why)});
+        return;
+      }
+    }
   }
   if (chain.global && chain.parts.size() == 1 &&
       bans.global_only.count(chain.parts[0].name) != 0) {
@@ -745,6 +786,12 @@ void lint_file(const fs::path& path, const std::string& rel,
       check_chain(chain, wire_cast_bans(), "wire-cast",
                   "byte-reinterpretation serialization outside stats::wire "
                   "breaks the portable state-file contract",
+                  rel, findings);
+    }
+    if (pol.simd_isolation) {
+      check_chain(chain, simd_isolation_bans(), "simd-isolation",
+                  "intrinsics outside src/core/simd_sampler.* bypass runtime "
+                  "dispatch; call the core::simd_sampler API instead",
                   rel, findings);
     }
   }

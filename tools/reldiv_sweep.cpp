@@ -93,6 +93,8 @@ void usage(std::FILE* out) {
       "  --seed N             campaign seed (default 2026)\n"
       "  --shards N           scenario: per-cell logical shards (0 = budget-scaled)\n"
       "  --budget N           scenario/experiment: samples; demand: demands per target\n"
+      "  --engine NAME        experiment sampling engine: fast (default) | exact |\n"
+      "                       legacy | fast-simd (counter-based SIMD block engine)\n"
       "\n"
       "distribution options:\n"
       "  --run-dir DIR        on-disk run directory (state files + manifest);\n"
@@ -135,6 +137,7 @@ struct options {
   unsigned shards = 0;
   unsigned threads = 0;
   std::uint64_t budget = 0;  // 0 = preset default
+  std::string engine;        // empty = fast; experiment mode only
   std::string run_dir;
   unsigned workers = 2;
   std::size_t max_cells = 0;
@@ -243,9 +246,19 @@ std::string demand_tally_json(const mc::demand_tally& t) {
 // Experiment shard-window job: preset manifests + deterministic outputs
 // ---------------------------------------------------------------------------
 
+mc::sampling_engine parse_engine(const std::string& name) {
+  if (name.empty() || name == "fast") return mc::sampling_engine::fast;
+  if (name == "exact") return mc::sampling_engine::exact;
+  if (name == "legacy") return mc::sampling_engine::legacy;
+  if (name == "fast-simd") return mc::sampling_engine::fast_simd;
+  throw std::invalid_argument("unknown engine '" + name +
+                              "' (expected fast, exact, legacy or fast-simd)");
+}
+
 mc::experiment_manifest make_experiment_manifest_cli(const options& opt) {
   mc::experiment_config cfg;
   cfg.seed = opt.seed;
+  cfg.engine = parse_engine(opt.engine);
   unsigned window = 0;
   core::fault_universe universe;
   if (opt.preset == "smoke") {
@@ -416,6 +429,10 @@ options parse_args(int argc, char** argv) {
       opt.threads = parse_u32("--threads", value());
     } else if (arg == "--budget") {
       opt.budget = parse_u64("--budget", value());
+    } else if (arg == "--engine") {
+      opt.engine = value();
+      // Fail fast on typos, before any manifest work starts.
+      (void)parse_engine(opt.engine);
     } else if (arg == "--run-dir") {
       opt.run_dir = value();
     } else if (arg == "--workers") {
