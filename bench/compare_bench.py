@@ -61,6 +61,9 @@ KEY_RATIOS = [
     ("fast-simd engine vs fast on random n=1024",
      "BM_RunExperimentFastRandom/real_time",
      "BM_RunExperimentFastSimdRandom/real_time", False),
+    ("service memoized query vs cold submit->merge",
+     "BM_ServiceSubmitToMerged/real_time",
+     "BM_ServiceMemoizedQuery/real_time", False),
 ]
 
 

@@ -16,8 +16,12 @@
 #   BENCH_p4.json — fast-simd engine (bench_p4_simd): counter generation +
 #                   p-sorted relayout + runtime SIMD dispatch vs the fast
 #                   engine, heterogeneous and random n=1024 universes.
+#   BENCH_p5.json — sweep-service front-end (bench_p5_service): queue
+#                   submit -> merged latency (cold) vs the fingerprint-
+#                   memoized result-cache query (hot), plus the status probe.
 #
-# Usage: bench/run_bench.sh [build-dir] [p1-json] [p2-json] [p3-json] [p4-json]
+# Usage: bench/run_bench.sh [build-dir] [p1-json] [p2-json] [p3-json]
+#        [p4-json] [p5-json]
 #
 # Failure contract: every child failure is fatal — a broken build, a bench
 # binary that crashes or is killed, or a run that emits missing/empty/
@@ -33,11 +37,13 @@ out_json="${2:-$repo_root/BENCH_p1.json}"
 out_json_p2="${3:-$repo_root/BENCH_p2.json}"
 out_json_p3="${4:-$repo_root/BENCH_p3.json}"
 out_json_p4="${5:-$repo_root/BENCH_p4.json}"
+out_json_p5="${6:-$repo_root/BENCH_p5.json}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
       -DRELDIV_BUILD_TESTS=OFF -DRELDIV_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "$build_dir" -j --target bench_p1_perf --target bench_runner_scaling \
-      --target bench_campaign_scaling --target bench_p4_simd >/dev/null
+      --target bench_campaign_scaling --target bench_p4_simd \
+      --target bench_p5_service >/dev/null
 
 # Run a bench binary and insist its JSON landed: google-benchmark can exit 0
 # in some misconfiguration corners, so an existence check backs up the exit
@@ -60,16 +66,19 @@ echo
 run_bench "$build_dir/bench_campaign_scaling" "$out_json_p3"
 echo
 run_bench "$build_dir/bench_p4_simd" "$out_json_p4"
+echo
+run_bench "$build_dir/bench_p5_service" "$out_json_p5"
 
 echo
 echo "Wrote $out_json"
 echo "Wrote $out_json_p2"
 echo "Wrote $out_json_p3"
 echo "Wrote $out_json_p4"
+echo "Wrote $out_json_p5"
 # Validate + summarize: the summary doubles as the JSON sanity gate, and its
 # failure fails the script (it used to be `|| true`-swallowed, so a bench
 # emitting garbage still yielded a green step).
-python3 - "$out_json" "$out_json_p2" "$out_json_p3" "$out_json_p4" <<'EOF'
+python3 - "$out_json" "$out_json_p2" "$out_json_p3" "$out_json_p4" "$out_json_p5" <<'EOF'
 import json, sys
 
 def load(path):
@@ -116,4 +125,11 @@ if hetero_fast and hetero_simd:
 if hetero_fast and hetero_scalar:
     print(f"fast-simd scalar-cap heterogeneous n=1024: fast {hetero_fast:.2f}ms -> "
           f"scalar fallback {hetero_scalar:.2f}ms ({hetero_fast / hetero_scalar:.2f}x)")
+
+p5 = load(sys.argv[5])
+cold = p5.get("BM_ServiceSubmitToMerged/real_time")
+hot = p5.get("BM_ServiceMemoizedQuery/real_time")
+if cold and hot:
+    print(f"service query: cold submit->merged {cold:.2f}ms -> memoized {hot:.4f}ms "
+          f"({cold / hot:.0f}x)")
 EOF

@@ -64,6 +64,27 @@ std::string claim_owner_body() {
 /// real_io_env): exactly one live worker — on any host sharing the
 /// filesystem — wins, and the claim file is never observable half-written.
 /// Returns false when another worker holds the claim.
+}  // namespace
+
+claim_owner parse_claim_owner(const std::string& body) {
+  claim_owner owner;
+  std::istringstream in(body);
+  std::string key;
+  while (in >> key) {
+    if (key == "host") {
+      in >> owner.host;
+    } else if (key == "pid") {
+      if (!(in >> owner.pid)) break;
+    } else {
+      std::string skip;
+      in >> skip;
+    }
+  }
+  return owner;
+}
+
+namespace {
+
 bool try_claim(const fs::path& run_dir, std::uint64_t index) {
   io_env& env = active_io_env();
   const fs::path claim = cell_claim_path(run_dir, index);
@@ -87,31 +108,6 @@ bool try_claim(const fs::path& run_dir, std::uint64_t index) {
 void release_claim(const fs::path& run_dir, std::uint64_t index) {
   std::error_code ec;
   fs::remove(cell_claim_path(run_dir, index), ec);
-}
-
-/// Owner record parsed from a claim file ("host H\npid P\ntime T\n").  A
-/// legacy or foreign-format claim parses to {host: "", pid: -1} and is
-/// handled by the TTL rule alone.
-struct claim_owner {
-  std::string host;
-  long pid = -1;
-};
-
-claim_owner parse_claim_owner(const std::string& body) {
-  claim_owner owner;
-  std::istringstream in(body);
-  std::string key;
-  while (in >> key) {
-    if (key == "host") {
-      in >> owner.host;
-    } else if (key == "pid") {
-      if (!(in >> owner.pid)) break;
-    } else {
-      std::string skip;
-      in >> skip;
-    }
-  }
-  return owner;
 }
 
 /// Non-throwing integer parse: filenames and ledger records come from disk,
@@ -328,48 +324,145 @@ void init_run_dir_files(const fs::path& run_dir, state_kind manifest_kind,
 
 }  // namespace
 
-sweep_manifest init_run_dir(const scenario_axes& axes, const scenario_config& cfg,
+// ---------------------------------------------------------------------------
+// run_handle — the job-kind-polymorphic facade
+// ---------------------------------------------------------------------------
+
+run_handle run_handle::open(const fs::path& run_dir) {
+  const std::string blob = read_file(manifest_path(run_dir));
+  run_handle h;
+  h.dir_ = run_dir;
+  h.kind_ = manifest_job_kind(peek_state_kind(blob));
+  switch (h.kind_) {
+    case job_kind::scenario_grid: {
+      sweep_manifest m = decode_manifest(blob);
+      h.fingerprint_ = manifest_fingerprint(m);
+      h.cell_count_ = m.cell_count;
+      h.manifest_ = std::move(m);
+      break;
+    }
+    case job_kind::demand_campaign: {
+      demand_manifest m = decode_demand_manifest(blob);
+      h.fingerprint_ = demand_manifest_fingerprint(m);
+      h.cell_count_ = m.window_count();
+      h.manifest_ = std::move(m);
+      break;
+    }
+    case job_kind::experiment_shards: {
+      experiment_manifest m = decode_experiment_manifest(blob);
+      h.fingerprint_ = experiment_manifest_fingerprint(m);
+      h.cell_count_ = m.window_count();
+      h.manifest_ = std::move(m);
+      break;
+    }
+  }
+  return h;
+}
+
+run_handle run_handle::init(const scenario_axes& axes, const scenario_config& cfg,
                             const fs::path& run_dir) {
   sweep_manifest m;
   m.axes = axes;
   m.seed = cfg.seed;
   m.shards = cfg.shards;
   m.cell_count = enumerate_cells(axes).size();
-  init_run_dir_files(run_dir, state_kind::manifest, manifest_fingerprint(m),
-                     encode_manifest(m), manifest_json(m));
-  return m;
+  const std::uint64_t fingerprint = manifest_fingerprint(m);
+  init_run_dir_files(run_dir, state_kind::manifest, fingerprint, encode_manifest(m),
+                     manifest_json(m));
+  run_handle h;
+  h.dir_ = run_dir;
+  h.kind_ = job_kind::scenario_grid;
+  h.fingerprint_ = fingerprint;
+  h.cell_count_ = m.cell_count;
+  h.manifest_ = std::move(m);
+  return h;
+}
+
+run_handle run_handle::init(const demand_manifest& m, const fs::path& run_dir) {
+  m.validate();
+  const std::uint64_t fingerprint = demand_manifest_fingerprint(m);
+  init_run_dir_files(run_dir, state_kind::demand_manifest, fingerprint,
+                     encode_demand_manifest(m), demand_manifest_json(m));
+  run_handle h;
+  h.dir_ = run_dir;
+  h.kind_ = job_kind::demand_campaign;
+  h.fingerprint_ = fingerprint;
+  h.cell_count_ = m.window_count();
+  h.manifest_ = m;
+  return h;
+}
+
+run_handle run_handle::init(const experiment_manifest& m, const fs::path& run_dir) {
+  m.validate();
+  const std::uint64_t fingerprint = experiment_manifest_fingerprint(m);
+  init_run_dir_files(run_dir, state_kind::experiment_manifest, fingerprint,
+                     encode_experiment_manifest(m), experiment_manifest_json(m));
+  run_handle h;
+  h.dir_ = run_dir;
+  h.kind_ = job_kind::experiment_shards;
+  h.fingerprint_ = fingerprint;
+  h.cell_count_ = m.window_count();
+  h.manifest_ = m;
+  return h;
+}
+
+namespace {
+
+[[noreturn]] void throw_kind_mismatch(const fs::path& dir, job_kind held,
+                                      job_kind wanted) {
+  throw run_dir_error("run_dir: " + dir.string() + " holds a " +
+                      std::string(job_kind_name(held)) + " run, not " +
+                      std::string(job_kind_name(wanted)));
+}
+
+}  // namespace
+
+const sweep_manifest& run_handle::grid_manifest() const {
+  if (const auto* m = std::get_if<sweep_manifest>(&manifest_)) return *m;
+  throw_kind_mismatch(dir_, kind_, job_kind::scenario_grid);
+}
+
+const demand_manifest& run_handle::demand_campaign_manifest() const {
+  if (const auto* m = std::get_if<demand_manifest>(&manifest_)) return *m;
+  throw_kind_mismatch(dir_, kind_, job_kind::demand_campaign);
+}
+
+const experiment_manifest& run_handle::experiment_shards_manifest() const {
+  if (const auto* m = std::get_if<experiment_manifest>(&manifest_)) return *m;
+  throw_kind_mismatch(dir_, kind_, job_kind::experiment_shards);
+}
+
+sweep_manifest init_run_dir(const scenario_axes& axes, const scenario_config& cfg,
+                            const fs::path& run_dir) {
+  return run_handle::init(axes, cfg, run_dir).grid_manifest();
 }
 
 demand_manifest init_demand_run_dir(const demand_manifest& m, const fs::path& run_dir) {
-  m.validate();
-  init_run_dir_files(run_dir, state_kind::demand_manifest, demand_manifest_fingerprint(m),
-                     encode_demand_manifest(m), demand_manifest_json(m));
-  return m;
+  return run_handle::init(m, run_dir).demand_campaign_manifest();
 }
 
 experiment_manifest init_experiment_run_dir(const experiment_manifest& m,
                                             const fs::path& run_dir) {
-  m.validate();
-  init_run_dir_files(run_dir, state_kind::experiment_manifest,
-                     experiment_manifest_fingerprint(m), encode_experiment_manifest(m),
-                     experiment_manifest_json(m));
-  return m;
+  return run_handle::init(m, run_dir).experiment_shards_manifest();
 }
 
 job_kind load_run_kind(const fs::path& run_dir) {
+  // Deliberately NOT run_handle::open: dispatch-only callers (the worker
+  // loop chooses a decoder; merge-only chooses an output table) should not
+  // pay a full manifest decode — a large axes payload — to learn one enum.
   return manifest_job_kind(peek_state_kind(read_file(manifest_path(run_dir))));
 }
 
 sweep_manifest load_run_manifest(const fs::path& run_dir) {
-  return decode_manifest(read_file(manifest_path(run_dir)));
+  return run_handle::open(run_dir).grid_manifest();
 }
 
 demand_manifest load_demand_manifest(const fs::path& run_dir) {
-  return decode_demand_manifest(read_file(manifest_path(run_dir)));
+  return run_handle::open(run_dir).demand_campaign_manifest();
 }
 
 experiment_manifest load_experiment_manifest(const fs::path& run_dir) {
-  return decode_experiment_manifest(read_file(manifest_path(run_dir)));
+  return run_handle::open(run_dir).experiment_shards_manifest();
 }
 
 claim_sweep_report clean_stale_claims(const fs::path& run_dir, std::chrono::seconds ttl) {
@@ -563,6 +656,10 @@ worker_report run_pending_cells(const fs::path& run_dir, const worker_config& cf
 
   worker_report report;
   for (std::uint64_t i = 0; i < d.cell_count; ++i) {
+    // Between cells only: a stop request never abandons a claimed cell, so
+    // honoring it leaves no claim or .tmp behind (the drain-hygiene
+    // guarantee the service layer relies on).
+    if (cfg.should_stop && cfg.should_stop()) break;
     if (cfg.max_cells > 0 && report.computed >= cfg.max_cells) break;
 
     std::uint32_t attempts = 0;
@@ -641,6 +738,30 @@ worker_report run_pending_cells(const fs::path& run_dir, std::size_t max_cells) 
   return run_pending_cells(run_dir, cfg);
 }
 
+std::vector<int> spawn_processes(const std::string& exe,
+                                 const std::vector<std::string>& args, unsigned count) {
+  std::vector<std::string> argv_store = args;
+  std::vector<char*> argv;
+  argv.reserve(argv_store.size() + 1);
+  for (std::string& a : argv_store) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  std::vector<int> pids;
+  pids.reserve(count);
+  for (unsigned w = 0; w < count; ++w) {
+    pid_t pid = -1;
+    const int rc =
+        ::posix_spawn(&pid, exe.c_str(), nullptr, nullptr, argv.data(), environ);
+    if (rc != 0) {
+      // Reap what we already launched before reporting: never leak workers.
+      (void)wait_sweep_workers(pids);
+      throw run_dir_error("run_dir: cannot spawn " + exe + ": " + std::strerror(rc));
+    }
+    pids.push_back(static_cast<int>(pid));
+  }
+  return pids;
+}
+
 std::vector<int> spawn_sweep_workers(const std::string& worker_exe, const fs::path& run_dir,
                                      unsigned workers, std::size_t max_cells,
                                      const std::vector<std::string>& extra_args) {
@@ -650,26 +771,7 @@ std::vector<int> spawn_sweep_workers(const std::string& worker_exe, const fs::pa
     args.emplace_back(std::to_string(max_cells));
   }
   args.insert(args.end(), extra_args.begin(), extra_args.end());
-  std::vector<char*> argv;
-  argv.reserve(args.size() + 1);
-  for (std::string& a : args) argv.push_back(a.data());
-  argv.push_back(nullptr);
-
-  std::vector<int> pids;
-  pids.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pid_t pid = -1;
-    const int rc =
-        ::posix_spawn(&pid, worker_exe.c_str(), nullptr, nullptr, argv.data(), environ);
-    if (rc != 0) {
-      // Reap what we already launched before reporting: never leak workers.
-      (void)wait_sweep_workers(pids);
-      throw run_dir_error("run_dir: cannot spawn worker " + worker_exe + ": " +
-                          std::strerror(rc));
-    }
-    pids.push_back(static_cast<int>(pid));
-  }
-  return pids;
+  return spawn_processes(worker_exe, args, workers);
 }
 
 std::vector<int> wait_sweep_workers(const std::vector<int>& pids) {
@@ -724,8 +826,12 @@ std::string quarantine_summary(const fs::path& run_dir) {
 
 }  // namespace
 
-grid_result merge_run_dir(const fs::path& run_dir) {
-  const sweep_manifest m = load_run_manifest(run_dir);
+namespace {
+
+/// The three per-kind merge bodies, taking the already-validated manifest so
+/// run_handle::merge never re-reads it from disk.
+
+grid_result merge_grid_cells(const fs::path& run_dir, const sweep_manifest& m) {
   const std::uint64_t fingerprint = manifest_fingerprint(m);
   const std::vector<scenario_cell> cells = enumerate_cells(m.axes);
 
@@ -761,8 +867,7 @@ grid_result merge_run_dir(const fs::path& run_dir) {
   return out;
 }
 
-demand_tally merge_demand_run_dir(const fs::path& run_dir) {
-  const demand_manifest m = load_demand_manifest(run_dir);
+demand_tally merge_demand_windows(const fs::path& run_dir, const demand_manifest& m) {
   const std::uint64_t fingerprint = demand_manifest_fingerprint(m);
   const std::uint64_t windows = m.window_count();
 
@@ -794,8 +899,8 @@ demand_tally merge_demand_run_dir(const fs::path& run_dir) {
   return out;
 }
 
-experiment_result merge_experiment_run_dir(const fs::path& run_dir) {
-  const experiment_manifest m = load_experiment_manifest(run_dir);
+experiment_result merge_experiment_windows(const fs::path& run_dir,
+                                           const experiment_manifest& m) {
   const std::uint64_t fingerprint = experiment_manifest_fingerprint(m);
   const std::uint64_t windows = m.window_count();
 
@@ -827,6 +932,135 @@ experiment_result merge_experiment_run_dir(const fs::path& run_dir) {
   experiment_result result = acc.to_result(m.ci_level);
   result.shards = m.shards;
   return result;
+}
+
+}  // namespace
+
+run_handle::result_variant run_handle::merge() const {
+  switch (kind_) {
+    case job_kind::scenario_grid:
+      return merge_grid_cells(dir_, std::get<sweep_manifest>(manifest_));
+    case job_kind::demand_campaign:
+      return merge_demand_windows(dir_, std::get<demand_manifest>(manifest_));
+    case job_kind::experiment_shards:
+      return merge_experiment_windows(dir_, std::get<experiment_manifest>(manifest_));
+  }
+  throw run_dir_error("run_dir: unknown job kind");
+}
+
+merged_tables run_handle::merge_tables() const {
+  merged_tables out;
+  switch (kind_) {
+    case job_kind::scenario_grid: {
+      const grid_result grid = merge_grid_cells(dir_, std::get<sweep_manifest>(manifest_));
+      out.csv = grid.to_csv();
+      out.json = grid.to_json();
+      out.cells = grid.cells.size();
+      break;
+    }
+    case job_kind::demand_campaign: {
+      const auto& m = std::get<demand_manifest>(manifest_);
+      const demand_tally tally = merge_demand_windows(dir_, m);
+      out.csv = demand_tally_csv(m, tally);
+      out.json = demand_tally_json(tally);
+      out.cells = m.window_count();
+      break;
+    }
+    case job_kind::experiment_shards: {
+      const auto& m = std::get<experiment_manifest>(manifest_);
+      const experiment_result result = merge_experiment_windows(dir_, m);
+      out.csv = experiment_result_csv(result);
+      out.json = experiment_result_json(result);
+      out.cells = m.window_count();
+      break;
+    }
+  }
+  return out;
+}
+
+grid_result merge_run_dir(const fs::path& run_dir) {
+  const run_handle h = run_handle::open(run_dir);
+  return merge_grid_cells(run_dir, h.grid_manifest());
+}
+
+demand_tally merge_demand_run_dir(const fs::path& run_dir) {
+  const run_handle h = run_handle::open(run_dir);
+  return merge_demand_windows(run_dir, h.demand_campaign_manifest());
+}
+
+experiment_result merge_experiment_run_dir(const fs::path& run_dir) {
+  const run_handle h = run_handle::open(run_dir);
+  return merge_experiment_windows(run_dir, h.experiment_shards_manifest());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic result tables (moved here from the reldiv_sweep CLI so the
+// oracle, the distributed merge and the result cache all render through the
+// exact same bytes)
+// ---------------------------------------------------------------------------
+
+std::string demand_tally_csv(const demand_manifest& m, const demand_tally& t) {
+  std::string out = "target,pfd,failures,rate\n";
+  char buf[96];
+  for (std::size_t i = 0; i < t.failures.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%zu,%.17g,%llu,%.17g\n", i, m.target_pfd[i],
+                  static_cast<unsigned long long>(t.failures[i]),
+                  static_cast<double>(t.failures[i]) / static_cast<double>(t.demands));
+    out += buf;
+  }
+  return out;
+}
+
+std::string demand_tally_json(const demand_tally& t) {
+  std::string out = "{\n  \"demands\": " + std::to_string(t.demands);
+  out += ",\n  \"targets\": " + std::to_string(t.failures.size());
+  std::uint64_t total = 0;
+  for (const std::uint64_t f : t.failures) total += f;
+  out += ",\n  \"total_failures\": " + std::to_string(total);
+  out += ",\n  \"failures\": [";
+  for (std::size_t i = 0; i < t.failures.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(t.failures[i]);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+std::string experiment_result_csv(const experiment_result& r) {
+  std::string out =
+      "samples,shards,mean_theta1,sd_theta1,mean_theta2,sd_theta2,"
+      "n1_positive,n2_positive,n1_zero_pfd,n2_zero_pfd,risk_ratio\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%llu,%u,%.17g,%.17g,%.17g,%.17g,%llu,%llu,%llu,%llu,%.17g\n",
+                static_cast<unsigned long long>(r.samples), r.shards, r.theta1.mean(),
+                r.stddev_theta1(), r.theta2.mean(), r.stddev_theta2(),
+                static_cast<unsigned long long>(r.n1_positive),
+                static_cast<unsigned long long>(r.n2_positive),
+                static_cast<unsigned long long>(r.n1_zero_pfd),
+                static_cast<unsigned long long>(r.n2_zero_pfd), r.risk_ratio());
+  out += buf;
+  return out;
+}
+
+std::string experiment_result_json(const experiment_result& r) {
+  char buf[96];
+  std::string out = "{\n  \"samples\": " + std::to_string(r.samples);
+  out += ",\n  \"shards\": " + std::to_string(r.shards);
+  const auto field = [&](const char* name, double v) {
+    std::snprintf(buf, sizeof(buf), ",\n  \"%s\": %.17g", name, v);
+    out += buf;
+  };
+  field("mean_theta1", r.theta1.mean());
+  field("sd_theta1", r.stddev_theta1());
+  field("mean_theta2", r.theta2.mean());
+  field("sd_theta2", r.stddev_theta2());
+  out += ",\n  \"n1_positive\": " + std::to_string(r.n1_positive);
+  out += ",\n  \"n2_positive\": " + std::to_string(r.n2_positive);
+  out += ",\n  \"n1_zero_pfd\": " + std::to_string(r.n1_zero_pfd);
+  out += ",\n  \"n2_zero_pfd\": " + std::to_string(r.n2_zero_pfd);
+  field("risk_ratio", r.risk_ratio());
+  out += "\n}\n";
+  return out;
 }
 
 namespace {

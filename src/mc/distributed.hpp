@@ -70,9 +70,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "mc/run_dir.hpp"
@@ -80,25 +82,118 @@
 
 namespace reldiv::mc {
 
+// ---------------------------------------------------------------------------
+// run_handle — the job-kind-polymorphic facade over a run directory
+// ---------------------------------------------------------------------------
+
+/// The rendered tables of one merged run: what reldiv_sweep writes to
+/// --out-csv/--out-json, and what mc::result_cache memoizes.  `cells` is the
+/// merged cell/window count (the progress line's denominator).
+struct merged_tables {
+  std::string csv;
+  std::string json;
+  std::size_t cells = 0;
+};
+
+/// One run directory, whatever its job kind.  Three job kinds accreted six
+/// per-kind free functions (init_/load_/merge_ × scenario/demand/experiment);
+/// this facade replaces that sprawl with one object that dispatches on the
+/// manifest's kind:
+///
+///   auto h = run_handle::open(dir);       // kind read from manifest.state
+///   auto result = h.merge();              // variant over the three results
+///   auto tables = h.merge_tables();       // rendered CSV/JSON, any kind
+///
+/// open() fully validates the manifest (container integrity + typed decode),
+/// so a run_handle in hand means the directory's identity — kind,
+/// fingerprint, cell count — is trustworthy.  The per-kind free functions
+/// below survive as thin wrappers over this class.
+class run_handle {
+ public:
+  using manifest_variant =
+      std::variant<sweep_manifest, demand_manifest, experiment_manifest>;
+  using result_variant = std::variant<grid_result, demand_tally, experiment_result>;
+
+  /// Open an existing run directory, dispatching on its manifest's kind.
+  [[nodiscard]] static run_handle open(const std::filesystem::path& run_dir);
+
+  /// Create (or resume — same kind + fingerprint, else run_dir_error) a run
+  /// directory for each job kind.  The demand/experiment manifests must
+  /// validate().
+  [[nodiscard]] static run_handle init(const scenario_axes& axes,
+                                       const scenario_config& cfg,
+                                       const std::filesystem::path& run_dir);
+  [[nodiscard]] static run_handle init(const demand_manifest& m,
+                                       const std::filesystem::path& run_dir);
+  [[nodiscard]] static run_handle init(const experiment_manifest& m,
+                                       const std::filesystem::path& run_dir);
+
+  [[nodiscard]] job_kind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+  [[nodiscard]] std::uint64_t cell_count() const noexcept { return cell_count_; }
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
+  [[nodiscard]] const manifest_variant& manifest() const noexcept { return manifest_; }
+
+  /// Typed manifest accessors; run_dir_error when the run holds another kind.
+  [[nodiscard]] const sweep_manifest& grid_manifest() const;
+  [[nodiscard]] const demand_manifest& demand_campaign_manifest() const;
+  [[nodiscard]] const experiment_manifest& experiment_shards_manifest() const;
+
+  /// Assemble the completed directory into the exact single-process result
+  /// for its kind (see the per-kind merge contracts below).  Throws
+  /// run_dir_error if any cell is missing or invalid.
+  [[nodiscard]] result_variant merge() const;
+
+  /// merge() rendered as the deterministic CSV/JSON tables for its kind —
+  /// byte-identical to what the single-process oracle path emits.
+  [[nodiscard]] merged_tables merge_tables() const;
+
+ private:
+  run_handle() = default;
+
+  std::filesystem::path dir_;
+  job_kind kind_ = job_kind::scenario_grid;
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t cell_count_ = 0;
+  manifest_variant manifest_;
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic result tables (the oracle and the distributed merge render
+// results through these exact emitters, so byte-comparison is meaningful;
+// grid_result carries its own to_csv()/to_json())
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::string demand_tally_csv(const demand_manifest& m,
+                                           const demand_tally& t);
+[[nodiscard]] std::string demand_tally_json(const demand_tally& t);
+[[nodiscard]] std::string experiment_result_csv(const experiment_result& r);
+[[nodiscard]] std::string experiment_result_json(const experiment_result& r);
+
 /// Create (or re-open) a run directory for the given scenario sweep: make
 /// `<run_dir>/cells/`, write the binary manifest and its JSON mirror
 /// atomically.  Re-opening an existing directory is the resume path — the
 /// existing manifest must carry the same kind and fingerprint, otherwise the
 /// directory belongs to a different run and run_dir_error is thrown.
+/// Thin wrapper over run_handle::init (kept for the PR 4/5 call sites).
 sweep_manifest init_run_dir(const scenario_axes& axes, const scenario_config& cfg,
                             const std::filesystem::path& run_dir);
 
-/// Demand-campaign sibling of init_run_dir: `m` must validate().
+/// Demand-campaign sibling of init_run_dir: `m` must validate().  Thin
+/// wrapper over run_handle::init.
 demand_manifest init_demand_run_dir(const demand_manifest& m,
                                     const std::filesystem::path& run_dir);
 
 /// Experiment shard-window sibling of init_run_dir: `m` must validate()
-/// (build it with make_experiment_manifest).
+/// (build it with make_experiment_manifest).  Thin wrapper over
+/// run_handle::init.
 experiment_manifest init_experiment_run_dir(const experiment_manifest& m,
                                             const std::filesystem::path& run_dir);
 
 /// Which job kind an existing run directory holds (from its manifest's
-/// container kind, after full integrity validation).
+/// container kind, after full integrity validation).  Cheaper than
+/// run_handle::open — it peeks the container header without the typed
+/// manifest decode — so dispatch-only call sites keep it.
 [[nodiscard]] job_kind load_run_kind(const std::filesystem::path& run_dir);
 
 /// Load and validate the manifest of an existing run directory of the
@@ -157,6 +252,11 @@ struct worker_config {
   /// Backoff before retry k (1-based) is backoff_base * 2^(k-1) — a pure
   /// function of the attempt number, so chaos runs replay exactly.
   std::chrono::milliseconds backoff_base{10};
+  /// Checked before every cell; returning true ends the walk after the
+  /// current cell — never mid-cell, so no claim or .tmp is left behind.  The
+  /// long-poll service installs its drain-sentinel check here (see
+  /// mc/service.hpp); empty means "never stop early".
+  std::function<bool()> should_stop{};
 
   [[nodiscard]] std::chrono::milliseconds heartbeat_interval() const {
     if (heartbeat.count() > 0) return heartbeat;
@@ -242,10 +342,30 @@ struct quarantine_record {
 [[nodiscard]] std::vector<quarantine_record> quarantined_cells(
     const std::filesystem::path& run_dir);
 
+/// Owner record parsed from a claim file ("host H\npid P\ntime T\n").  A
+/// legacy or foreign-format claim parses to {host: "", pid: -1} and is
+/// handled by the lease-TTL rule alone.  Public so the service status layer
+/// can count distinct live claim owners (mc::query_service_status).
+struct claim_owner {
+  std::string host;
+  long pid = -1;
+};
+
+[[nodiscard]] claim_owner parse_claim_owner(const std::string& body);
+
+/// Spawn `count` identical copies of `exe` with `args` (argv[0] included) as
+/// detached OS processes; returns their pids.  The generic fan-out primitive
+/// under spawn_sweep_workers and the service fleet launcher.  Partial
+/// failure never leaks processes: already-spawned pids are reaped before the
+/// error is thrown.
+[[nodiscard]] std::vector<int> spawn_processes(const std::string& exe,
+                                               const std::vector<std::string>& args,
+                                               unsigned count);
+
 /// Spawn `workers` copies of `worker_exe --worker --run-dir <run_dir>`
 /// (plus `--max-cells N` when max_cells > 0, plus `extra_args` verbatim —
 /// the chaos harness passes `--fault-plan <recipe>` this way) as detached
-/// OS processes.  Returns their pids.
+/// OS processes.  Returns their pids.  Thin wrapper over spawn_processes.
 [[nodiscard]] std::vector<int> spawn_sweep_workers(
     const std::string& worker_exe, const std::filesystem::path& run_dir,
     unsigned workers, std::size_t max_cells = 0,
@@ -258,19 +378,23 @@ struct quarantine_record {
 /// Assemble a completed scenario run directory into the exact single-process
 /// grid_result: read every cell state file in ascending index order,
 /// validate it against the manifest (fingerprint, index, cell coordinates),
-/// and append.  Throws run_dir_error if any cell is missing or invalid.
+/// and append.  Throws run_dir_error if any cell is missing or invalid — or
+/// if the directory holds another job kind.  Thin wrapper over
+/// run_handle::open(run_dir).merge().
 [[nodiscard]] grid_result merge_run_dir(const std::filesystem::path& run_dir);
 
 /// Assemble a completed demand run directory into the exact
 /// run_demand_campaign tally: window slices are placed (integer counts —
 /// placement IS the merge) in ascending window order after fingerprint and
-/// bounds validation.
+/// bounds validation.  Thin wrapper over run_handle, same kind-mismatch
+/// contract as merge_run_dir.
 [[nodiscard]] demand_tally merge_demand_run_dir(const std::filesystem::path& run_dir);
 
 /// Assemble a completed experiment run directory into the exact
 /// run_experiment result: every window's per-shard accumulator states are
 /// folded — empty accumulator first, then ascending shard order — replaying
-/// run_experiment's left fold bit-for-bit.
+/// run_experiment's left fold bit-for-bit.  Thin wrapper over run_handle,
+/// same kind-mismatch contract as merge_run_dir.
 [[nodiscard]] experiment_result merge_experiment_run_dir(
     const std::filesystem::path& run_dir);
 

@@ -294,10 +294,19 @@ state_kind peek_state_kind(std::string_view blob) {
   const auto [kind, payload] = decode_state_blob_any(blob);
   (void)payload;
   if (kind < static_cast<std::uint32_t>(state_kind::accumulator) ||
-      kind > static_cast<std::uint32_t>(state_kind::experiment_window)) {
+      kind > static_cast<std::uint32_t>(state_kind::cached_result)) {
     throw run_dir_error("run_dir: unknown state kind " + std::to_string(kind));
   }
   return static_cast<state_kind>(kind);
+}
+
+std::string_view job_kind_name(job_kind kind) {
+  switch (kind) {
+    case job_kind::scenario_grid: return "scenario_grid";
+    case job_kind::demand_campaign: return "demand_campaign";
+    case job_kind::experiment_shards: return "experiment_shards";
+  }
+  return "unknown";
 }
 
 state_kind manifest_kind_of(job_kind kind) {
@@ -456,6 +465,36 @@ experiment_window_state decode_experiment_window_state(std::string_view blob) {
       s.result.shard_states.push_back(read_accumulator_payload(r));
     }
     return s;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Memoized merge results
+// ---------------------------------------------------------------------------
+
+std::string encode_cached_result(const cached_result& c) {
+  wire_writer w;
+  w.put_u32(static_cast<std::uint32_t>(c.kind));
+  w.put_u64(c.fingerprint);
+  w.put_bytes(c.csv);
+  w.put_bytes(c.json);
+  return encode_state_blob(state_kind::cached_result, w.buffer());
+}
+
+cached_result decode_cached_result(std::string_view blob) {
+  return decode_payload(state_kind::cached_result, blob, [](wire_reader& r) {
+    cached_result c;
+    const std::uint32_t kind = r.get_u32();
+    if (kind < static_cast<std::uint32_t>(job_kind::scenario_grid) ||
+        kind > static_cast<std::uint32_t>(job_kind::experiment_shards)) {
+      throw stats::wire_error("wire: unknown job kind " + std::to_string(kind) +
+                              " in cached result");
+    }
+    c.kind = static_cast<job_kind>(kind);
+    c.fingerprint = r.get_u64();
+    c.csv = std::string(r.get_bytes());
+    c.json = std::string(r.get_bytes());
+    return c;
   });
 }
 

@@ -76,6 +76,7 @@ enum class state_kind : std::uint32_t {
   experiment_manifest = 6,  ///< mc::experiment_manifest (shard-window runs)
   demand_window = 7,        ///< mc::demand_window_state
   experiment_window = 8,    ///< mc::experiment_window_state
+  cached_result = 9,        ///< mc::cached_result (memoized merge front-end)
 };
 
 /// The three work units the distributed driver can fan out.  A run
@@ -86,6 +87,10 @@ enum class job_kind : std::uint32_t {
   demand_campaign = 2,    ///< cells are roster windows (run_demand_window)
   experiment_shards = 3,  ///< cells are shard windows (run_experiment_window)
 };
+
+/// Human-readable name of a job kind ("scenario_grid", "demand_campaign",
+/// "experiment_shards") for diagnostics and the service status JSON.
+[[nodiscard]] std::string_view job_kind_name(job_kind kind);
 
 /// Manifest state kind of a job kind, and back.  manifest_job_kind throws
 /// run_dir_error for a non-manifest state kind.
@@ -178,6 +183,25 @@ struct experiment_window_state {
 
 [[nodiscard]] std::string encode_experiment_window_state(const experiment_window_state& s);
 [[nodiscard]] experiment_window_state decode_experiment_window_state(std::string_view blob);
+
+// ---------------------------------------------------------------------------
+// Memoized merge results (mc::result_cache entries — see mc/service.hpp)
+// ---------------------------------------------------------------------------
+
+/// One fully merged run, keyed by its manifest fingerprint: the job kind it
+/// came from and the rendered CSV/JSON tables.  The fingerprint already
+/// uniquely keys every cell's inputs, so an entry with a matching
+/// fingerprint IS the run's result — re-submitting an identical manifest can
+/// be served from this record without recomputing a single cell.
+struct cached_result {
+  job_kind kind = job_kind::scenario_grid;
+  std::uint64_t fingerprint = 0;
+  std::string csv;
+  std::string json;
+};
+
+[[nodiscard]] std::string encode_cached_result(const cached_result& c);
+[[nodiscard]] cached_result decode_cached_result(std::string_view blob);
 
 // ---------------------------------------------------------------------------
 // Manifest

@@ -1,0 +1,197 @@
+#pragma once
+// mc::sweep_service — the always-on layer over the run-dir protocol
+// (ROADMAP item 1: batch → fleet).  PR 5's rename/lease claims and PR 6's
+// io_env seam already make one run directory safe for any number of worker
+// processes on any number of hosts; this layer assembles them into a
+// long-lived service:
+//
+//   <root>/queue/<name>.run   one pointer file per submitted run: its bytes
+//                             are the run directory's path.  Submission is
+//                             an atomic publish — write a unique temp
+//                             sibling, then rename_noreplace onto the
+//                             pointer path, all through the active io_env —
+//                             so a submission either exists in full or not
+//                             at all, and a duplicate name loses the rename
+//                             race instead of clobbering.  Queue ORDER is
+//                             the lexicographic order of submission names,
+//                             never wall-clock: every worker walks the same
+//                             deterministic sequence regardless of clock
+//                             skew or directory-iteration order.
+//   <root>/runs/<name>/       the run directories themselves (by
+//                             convention; a pointer may target any path on
+//                             the same filesystem).
+//   <root>/cache/             mc::result_cache — merged results memoized by
+//                             manifest fingerprint (state_kind::cached_result
+//                             containers, checksummed like every state file).
+//   <root>/drain              the graceful-shutdown sentinel: workers finish
+//                             the cell they are computing, then exit —
+//                             leaving no claims and no .tmp files.
+//
+// Long-poll workers (run_service_worker) never exit on an empty queue:
+// they sleep with bounded deterministic backoff (poll_min doubling to
+// poll_max, reset on progress — a pure function of the empty-poll count,
+// measured by steady_clock only) and pick up runs submitted after they
+// started.  Underneath, each pass over a run is exactly the PR 6 worker
+// loop — heartbeats, retry/backoff, quarantine — unchanged.
+//
+// Progress reporting (query_service_status) is a pure function of the
+// on-disk claim owner records and completed cell files: no worker
+// registration, no liveness probes, no wall-clock — so the same directory
+// state always reports the same status, from any host.
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/distributed.hpp"
+#include "mc/run_dir.hpp"
+
+namespace reldiv::mc {
+
+// Service-root layout.
+[[nodiscard]] std::filesystem::path queue_dir(const std::filesystem::path& root);
+[[nodiscard]] std::filesystem::path runs_dir(const std::filesystem::path& root);
+[[nodiscard]] std::filesystem::path service_cache_dir(const std::filesystem::path& root);
+[[nodiscard]] std::filesystem::path drain_path(const std::filesystem::path& root);
+
+/// One queued submission: the name that orders it and the run directory its
+/// pointer file targets.
+struct queue_entry {
+  std::string name;
+  std::filesystem::path run_dir;
+};
+
+/// Submission names are filenames: one path segment, no separators, not
+/// empty, no leading dot.  Throws std::invalid_argument otherwise.
+void validate_submission_name(const std::string& name);
+
+/// Publish run_dir on the queue as `name`.  Atomic through the io_env seam
+/// (unique temp + rename_noreplace): returns true when newly enqueued,
+/// false when `name` was already queued — the submission that lost the race
+/// changed nothing.  The run directory itself must already exist (use
+/// run_handle::init); a pointer to a missing directory is skipped by
+/// workers and reported by status as unreadable.
+bool submit_queued_run(const std::filesystem::path& root, const std::string& name,
+                       const std::filesystem::path& run_dir);
+
+/// The queue, in deterministic submission-name order (lexicographic —
+/// never mtime).  Unreadable pointer files are skipped.
+[[nodiscard]] std::vector<queue_entry> queued_runs(const std::filesystem::path& root);
+
+/// Remove one submission's pointer file (its run directory is untouched).
+/// Returns false when `name` was not queued.
+bool dequeue_run(const std::filesystem::path& root, const std::string& name);
+
+/// Raise / inspect / clear the graceful-shutdown sentinel.  Workers honor it
+/// between cells, so a drained fleet leaves no claims and no .tmp files.
+void request_drain(const std::filesystem::path& root);
+[[nodiscard]] bool drain_requested(const std::filesystem::path& root);
+void clear_drain(const std::filesystem::path& root);
+
+/// Long-poll worker knobs.  The backoff schedule is deterministic: after k
+/// consecutive empty polls the worker sleeps min(poll_min * 2^(k-1),
+/// poll_max) — a pure function of k, like the retry backoff in
+/// worker_config.  Any progress resets k to zero.
+struct service_config {
+  worker_config worker{};
+  std::chrono::milliseconds poll_min{50};
+  std::chrono::milliseconds poll_max{1000};
+  /// Stop after this many consecutive empty polls (0 = serve forever, until
+  /// drain).  The deterministic-interruption hook tests and benches use.
+  std::size_t max_polls = 0;
+};
+
+/// What one service worker did over its lifetime.
+struct service_report {
+  std::size_t runs_served = 0;     ///< distinct runs this worker computed cells for
+  std::size_t cells_computed = 0;
+  std::size_t cells_skipped = 0;
+  std::size_t retried = 0;
+  std::size_t quarantined = 0;
+  std::uint64_t polls = 0;         ///< empty polls slept through
+  bool drained = false;            ///< exited via the drain sentinel
+};
+
+/// The long-poll worker body: walk the queue in submission order, run the
+/// PR 6 claim-and-compute loop over every queued run, and — instead of
+/// exiting when everything is claimed — keep polling for new submissions
+/// with bounded deterministic backoff until the drain sentinel appears (or
+/// max_polls empty polls pass).  The drain check is also installed as the
+/// per-cell should_stop hook, so a drain request interrupts a worker
+/// between cells even mid-run.  Safe to run from any number of processes
+/// on any number of hosts sharing the root's filesystem.
+service_report run_service_worker(const std::filesystem::path& root,
+                                  const service_config& cfg = {});
+
+/// Progress of one queued run — a pure function of its claim owner records
+/// and completed cell files.
+struct run_status {
+  std::string name;
+  std::filesystem::path run_dir;
+  job_kind kind = job_kind::scenario_grid;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t cells_done = 0;
+  std::uint64_t cells_total = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t active_workers = 0;  ///< distinct (host, pid) claim owners
+  bool readable = true;  ///< false: pointer target missing or manifest invalid
+};
+
+/// Fleet-wide progress: per-run rows plus their aggregates.  active_workers
+/// counts distinct (host, pid) owner records across all runs — a worker
+/// holds at most one claim at a time, so this is the number of workers
+/// provably computing right now.
+struct service_status {
+  std::vector<run_status> runs;  ///< submission-name order
+  std::uint64_t cells_done = 0;
+  std::uint64_t cells_total = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t active_workers = 0;
+  bool draining = false;
+
+  /// %.17g-clean JSON (integers verbatim; the only float is each run's
+  /// fraction_done).  Stable field order, deterministic for a given
+  /// directory state.
+  [[nodiscard]] std::string to_json() const;
+};
+
+[[nodiscard]] service_status query_service_status(const std::filesystem::path& root);
+
+// ---------------------------------------------------------------------------
+// result_cache — the fingerprint-memoized query front-end
+// ---------------------------------------------------------------------------
+
+/// Merged results keyed by manifest fingerprint.  The fingerprint is the
+/// FNV-1a of the manifest payload and already uniquely keys every cell's
+/// inputs (it is stamped into each cell state file), so an entry with a
+/// matching fingerprint IS the run's merged result: re-submitting an
+/// identical manifest is served from here without recomputing a cell.
+/// Entries are cached_result containers (checksummed, atomic-written); any
+/// defect — absent, torn, wrong fingerprint — reads as a miss, and a miss
+/// just means recompute.
+class result_cache {
+ public:
+  explicit result_cache(const std::filesystem::path& root);
+
+  /// Where fingerprint's entry lives: cache/result_<16-hex>.state.
+  [[nodiscard]] std::filesystem::path entry_path(std::uint64_t fingerprint) const;
+
+  /// The memoized result, or nullopt on any miss/defect.
+  [[nodiscard]] std::optional<cached_result> lookup(std::uint64_t fingerprint) const;
+
+  /// Memoize one merged result (atomic write through the seam).
+  void store(const cached_result& entry);
+
+ private:
+  std::filesystem::path dir_;
+};
+
+/// Merge a completed run directory through run_handle, memoize the rendered
+/// tables under the run's fingerprint, and return the entry.  Throws
+/// run_dir_error while the run is incomplete.
+cached_result merge_and_store(result_cache& cache, const std::filesystem::path& run_dir);
+
+}  // namespace reldiv::mc

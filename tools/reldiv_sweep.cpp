@@ -1,7 +1,21 @@
 // reldiv_sweep — the multi-process campaign CLI.
 //
-// One binary, three job kinds (--mode scenario|demand|experiment) and four
-// roles:
+// One binary, three job kinds (--mode scenario|demand|experiment), two
+// command styles:
+//
+//   subcommands (the service front-end; each has its own --help):
+//     reldiv_sweep serve  --root svc --workers 3      long-poll worker fleet
+//     reldiv_sweep submit --root svc --mode demand    enqueue a run (memoized:
+//                                                     an identical manifest is
+//                                                     served from the result
+//                                                     cache, nothing recomputed)
+//     reldiv_sweep status --root svc                  progress/ETA JSON
+//     reldiv_sweep merge  --root svc --name R --wait  merged tables (cached)
+//     reldiv_sweep drain  --root svc [--clear]        graceful fleet shutdown
+//     reldiv_sweep single|worker|chaos ...            aliases for the classic
+//                                                     --single/--worker/--chaos
+//
+//   classic flags (unchanged; scripts keep working), four roles:
 //
 //   coordinator (default, needs --run-dir):
 //     reldiv_sweep --mode demand --preset ci --seed 77 --run-dir run.d
@@ -44,7 +58,9 @@
 // 1 anything else (incomplete run, invalid state files, chaos contract
 // violation, ...).
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <climits>
 #include <cmath>
 #include <cstdio>
@@ -57,6 +73,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -66,6 +83,7 @@
 #include "mc/io_env.hpp"
 #include "mc/run_dir.hpp"
 #include "mc/scenario.hpp"
+#include "mc/service.hpp"
 #include "stats/random.hpp"
 
 namespace {
@@ -74,7 +92,16 @@ using namespace reldiv;
 
 void usage(std::FILE* out) {
   std::fputs(
-      "usage: reldiv_sweep [role] [job options] [output options]\n"
+      "usage: reldiv_sweep [subcommand | role] [job options] [output options]\n"
+      "\n"
+      "subcommands (service front-end; `reldiv_sweep <cmd> --help` for each):\n"
+      "  serve                long-poll worker fleet over a service root's queue\n"
+      "  submit               enqueue a run (fingerprint-memoized: identical\n"
+      "                       manifests are served from the result cache)\n"
+      "  status               fleet progress as %.17g-clean JSON\n"
+      "  merge                merged tables of a queued or standalone run dir\n"
+      "  drain                raise/clear the graceful-shutdown sentinel\n"
+      "  single|worker|chaos  aliases for --single/--worker/--chaos below\n"
       "\n"
       "roles (default: coordinator when --run-dir is given, else --single):\n"
       "  --single             run the campaign in-process (the reference oracle)\n"
@@ -143,6 +170,14 @@ struct options {
   std::size_t max_cells = 0;
   std::string out_csv;
   std::string out_json;
+  // Service subcommand fields (serve/submit/status/merge/drain).
+  std::string root;
+  std::string name;
+  bool wait = false;
+  bool clear = false;
+  std::uint64_t poll_min_ms = 50;
+  std::uint64_t poll_max_ms = 1000;
+  std::uint64_t max_polls = 0;
 };
 
 mc::scenario_axes make_axes(const options& opt) {
@@ -215,32 +250,9 @@ mc::demand_manifest make_demand_manifest(const options& opt) {
   return m;
 }
 
-std::string demand_tally_csv(const mc::demand_manifest& m, const mc::demand_tally& t) {
-  std::string out = "target,pfd,failures,rate\n";
-  char buf[96];
-  for (std::size_t i = 0; i < t.failures.size(); ++i) {
-    std::snprintf(buf, sizeof(buf), "%zu,%.17g,%llu,%.17g\n", i, m.target_pfd[i],
-                  static_cast<unsigned long long>(t.failures[i]),
-                  static_cast<double>(t.failures[i]) / static_cast<double>(t.demands));
-    out += buf;
-  }
-  return out;
-}
-
-std::string demand_tally_json(const mc::demand_tally& t) {
-  std::string out = "{\n  \"demands\": " + std::to_string(t.demands);
-  out += ",\n  \"targets\": " + std::to_string(t.failures.size());
-  std::uint64_t total = 0;
-  for (const std::uint64_t f : t.failures) total += f;
-  out += ",\n  \"total_failures\": " + std::to_string(total);
-  out += ",\n  \"failures\": [";
-  for (std::size_t i = 0; i < t.failures.size(); ++i) {
-    if (i > 0) out += ',';
-    out += std::to_string(t.failures[i]);
-  }
-  out += "]\n}\n";
-  return out;
-}
+// The CSV/JSON emitters (demand_tally_csv, experiment_result_csv, ...) live
+// in mc/distributed.hpp since the service grew a result cache: the oracle,
+// the coordinator merge and a cache entry must render through the same code.
 
 // ---------------------------------------------------------------------------
 // Experiment shard-window job: preset manifests + deterministic outputs
@@ -278,49 +290,12 @@ mc::experiment_manifest make_experiment_manifest_cli(const options& opt) {
   return mc::make_experiment_manifest(universe, cfg, window);
 }
 
-std::string experiment_result_csv(const mc::experiment_result& r) {
-  std::string out =
-      "samples,shards,mean_theta1,sd_theta1,mean_theta2,sd_theta2,"
-      "n1_positive,n2_positive,n1_zero_pfd,n2_zero_pfd,risk_ratio\n";
-  char buf[256];
-  std::snprintf(buf, sizeof(buf), "%llu,%u,%.17g,%.17g,%.17g,%.17g,%llu,%llu,%llu,%llu,%.17g\n",
-                static_cast<unsigned long long>(r.samples), r.shards, r.theta1.mean(),
-                r.stddev_theta1(), r.theta2.mean(), r.stddev_theta2(),
-                static_cast<unsigned long long>(r.n1_positive),
-                static_cast<unsigned long long>(r.n2_positive),
-                static_cast<unsigned long long>(r.n1_zero_pfd),
-                static_cast<unsigned long long>(r.n2_zero_pfd), r.risk_ratio());
-  out += buf;
-  return out;
-}
-
-std::string experiment_result_json(const mc::experiment_result& r) {
-  char buf[96];
-  std::string out = "{\n  \"samples\": " + std::to_string(r.samples);
-  out += ",\n  \"shards\": " + std::to_string(r.shards);
-  const auto field = [&](const char* name, double v) {
-    std::snprintf(buf, sizeof(buf), ",\n  \"%s\": %.17g", name, v);
-    out += buf;
-  };
-  field("mean_theta1", r.theta1.mean());
-  field("sd_theta1", r.stddev_theta1());
-  field("mean_theta2", r.theta2.mean());
-  field("sd_theta2", r.stddev_theta2());
-  out += ",\n  \"n1_positive\": " + std::to_string(r.n1_positive);
-  out += ",\n  \"n2_positive\": " + std::to_string(r.n2_positive);
-  out += ",\n  \"n1_zero_pfd\": " + std::to_string(r.n1_zero_pfd);
-  out += ",\n  \"n2_zero_pfd\": " + std::to_string(r.n2_zero_pfd);
-  field("risk_ratio", r.risk_ratio());
-  out += "\n}\n";
-  return out;
-}
-
 // ---------------------------------------------------------------------------
 // Output plumbing
 // ---------------------------------------------------------------------------
 
-void write_text_outputs(const std::string& csv, const std::string& json,
-                        std::size_t cells, const options& opt) {
+void write_result_files(const std::string& csv, const std::string& json,
+                        const options& opt) {
   if (!opt.out_csv.empty()) {
     std::ofstream f(opt.out_csv, std::ios::binary | std::ios::trunc);
     f << csv;
@@ -331,6 +306,11 @@ void write_text_outputs(const std::string& csv, const std::string& json,
     f << json;
     if (!f) throw std::runtime_error("cannot write " + opt.out_json);
   }
+}
+
+void write_text_outputs(const std::string& csv, const std::string& json,
+                        std::size_t cells, const options& opt) {
+  write_result_files(csv, json, opt);
   if (!opt.quiet) {
     std::printf("%zu cells merged", cells);
     if (!opt.out_csv.empty()) std::printf(", csv -> %s", opt.out_csv.c_str());
@@ -620,19 +600,10 @@ int run(const options& opt, const char* argv0) {
   }
 
   if (opt.merge_only) {
-    switch (mc::load_run_kind(opt.run_dir)) {
-      case mc::job_kind::scenario_grid:
-        write_outputs(mc::merge_run_dir(opt.run_dir), opt);
-        break;
-      case mc::job_kind::demand_campaign:
-        write_outputs(mc::load_demand_manifest(opt.run_dir),
-                      mc::merge_demand_run_dir(opt.run_dir), opt);
-        break;
-      case mc::job_kind::experiment_shards:
-        write_outputs(mc::load_experiment_manifest(opt.run_dir),
-                      mc::merge_experiment_run_dir(opt.run_dir), opt);
-        break;
-    }
+    // run_handle dispatches on the manifest's kind — one code path for all
+    // three job kinds.
+    const mc::merged_tables tables = mc::run_handle::open(opt.run_dir).merge_tables();
+    write_text_outputs(tables.csv, tables.json, tables.cells, opt);
     return 0;
   }
 
@@ -686,9 +657,402 @@ int run(const options& opt, const char* argv0) {
   return 0;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Service subcommands (serve / submit / status / merge / drain)
+// ---------------------------------------------------------------------------
 
-int main(int argc, char** argv) {
+const char* service_usage(const std::string& cmd) {
+  if (cmd == "serve") {
+    return "usage: reldiv_sweep serve --root DIR [options]\n"
+           "\n"
+           "Run a long-poll worker fleet over the service root's queue: workers\n"
+           "pick up runs submitted at any time (including after they started),\n"
+           "sleep with bounded deterministic backoff when the queue is idle, and\n"
+           "exit when the drain sentinel appears.\n"
+           "\n"
+           "  --root DIR           service root (queue/, runs/, cache/, drain)\n"
+           "  --workers N          worker processes (default 2; 0 = run the worker\n"
+           "                       loop in THIS process — what spawned workers do)\n"
+           "  --max-cells K        per-worker per-pass cell quota (test/CI hook)\n"
+           "  --poll-min-ms MS     backoff floor between empty polls (default 50)\n"
+           "  --poll-max-ms MS     backoff ceiling (default 1000)\n"
+           "  --max-polls N        exit after N consecutive empty polls (0 = serve\n"
+           "                       forever, until drain)\n"
+           "  --quiet              suppress the per-worker summary\n"
+           "\n"
+           "exit: 0 clean; 3 a worker quarantined cells; 1 other failure\n";
+  }
+  if (cmd == "submit") {
+    return "usage: reldiv_sweep submit --root DIR [job options] [options]\n"
+           "\n"
+           "Initialize a run directory under <root>/runs/ and publish it on the\n"
+           "queue (atomic rename through the I/O seam).  Memoized: when the\n"
+           "manifest fingerprint is already in the result cache, the merged\n"
+           "result is written immediately and nothing is enqueued or recomputed.\n"
+           "\n"
+           "  --root DIR           service root\n"
+           "  --name NAME          submission name (default run_<fingerprint>;\n"
+           "                       names order the queue lexicographically)\n"
+           "  --mode KIND          scenario (default) | demand | experiment\n"
+           "  --preset NAME        smoke (default) | ci\n"
+           "  --seed N             campaign seed (default 2026)\n"
+           "  --shards N           scenario: per-cell logical shards\n"
+           "  --budget N           samples / demands per target\n"
+           "  --engine NAME        experiment engine: fast|exact|legacy|fast-simd\n"
+           "  --wait               block until the fleet finishes, then merge,\n"
+           "                       memoize, dequeue and write outputs\n"
+           "  --poll-min-ms MS / --poll-max-ms MS   --wait backoff (50 / 1000)\n"
+           "  --out-csv PATH / --out-json PATH      results tables\n"
+           "  --quiet              suppress progress chatter\n"
+           "\n"
+           "exit: 0 queued or served from cache; 3 run has quarantined cells\n";
+  }
+  if (cmd == "status") {
+    return "usage: reldiv_sweep status --root DIR [--out-json PATH] [--quiet]\n"
+           "\n"
+           "Fleet progress as JSON — a pure function of the on-disk claim owner\n"
+           "records and completed cell files: per queued run cells_done/total,\n"
+           "quarantined count and distinct active workers, plus aggregates and\n"
+           "the drain flag.  Printed to stdout unless --quiet.\n";
+  }
+  if (cmd == "merge") {
+    return "usage: reldiv_sweep merge (--root DIR --name NAME | --run-dir DIR)\n"
+           "                          [--wait] [--out-csv PATH] [--out-json PATH]\n"
+           "\n"
+           "Merged result tables of one run, any job kind.  With --root, the\n"
+           "result cache is consulted first (a fingerprint hit skips the merge)\n"
+           "and a fresh merge is memoized and its queue entry dequeued; --wait\n"
+           "polls until every cell file exists.  With only --run-dir this is\n"
+           "exactly the classic --merge-only.\n"
+           "\n"
+           "exit: 0 merged; 3 run has quarantined cells (with --wait)\n";
+  }
+  if (cmd == "drain") {
+    return "usage: reldiv_sweep drain --root DIR [--clear] [--quiet]\n"
+           "\n"
+           "Raise the graceful-shutdown sentinel: every service worker finishes\n"
+           "its current cell and exits, leaving no claims and no .tmp files.\n"
+           "--clear removes the sentinel so a new fleet can start.\n";
+  }
+  return "";
+}
+
+bool service_flag_allowed(const std::string& cmd, const std::string& flag) {
+  static const struct {
+    const char* cmd;
+    const char* flags;  // space-delimited, space-padded for whole-word find
+  } kTable[] = {
+      {"serve",
+       " --root --workers --max-cells --poll-min-ms --poll-max-ms --max-polls"
+       " --quiet "},
+      {"submit",
+       " --root --name --mode --preset --seed --shards --budget --engine --wait"
+       " --poll-min-ms --poll-max-ms --out-csv --out-json --quiet "},
+      {"status", " --root --out-json --quiet "},
+      {"merge",
+       " --root --name --run-dir --wait --poll-min-ms --poll-max-ms --out-csv"
+       " --out-json --quiet "},
+      {"drain", " --root --clear --quiet "},
+  };
+  for (const auto& row : kTable) {
+    if (cmd == row.cmd) {
+      return std::string(row.flags).find(" " + flag + " ") != std::string::npos;
+    }
+  }
+  return false;
+}
+
+options parse_service_args(const std::string& cmd, int argc, char** argv) {
+  options opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " expects a value");
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(service_usage(cmd), stdout);
+      std::exit(0);
+    }
+    if (!service_flag_allowed(cmd, arg)) {
+      throw std::invalid_argument("unknown flag '" + arg + "' for '" + cmd +
+                                  "' (see reldiv_sweep " + cmd + " --help)");
+    }
+    if (arg == "--root") {
+      opt.root = value();
+    } else if (arg == "--name") {
+      opt.name = value();
+      mc::validate_submission_name(opt.name);
+    } else if (arg == "--run-dir") {
+      opt.run_dir = value();
+    } else if (arg == "--workers") {
+      opt.workers = parse_u32("--workers", value());
+    } else if (arg == "--max-cells") {
+      opt.max_cells = parse_u64("--max-cells", value());
+    } else if (arg == "--poll-min-ms") {
+      opt.poll_min_ms = parse_u64("--poll-min-ms", value());
+    } else if (arg == "--poll-max-ms") {
+      opt.poll_max_ms = parse_u64("--poll-max-ms", value());
+    } else if (arg == "--max-polls") {
+      opt.max_polls = parse_u64("--max-polls", value());
+    } else if (arg == "--wait") {
+      opt.wait = true;
+    } else if (arg == "--clear") {
+      opt.clear = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--mode") {
+      opt.mode = value();
+    } else if (arg == "--preset") {
+      opt.preset = value();
+    } else if (arg == "--seed") {
+      opt.seed = parse_u64("--seed", value());
+    } else if (arg == "--shards") {
+      opt.shards = parse_u32("--shards", value());
+    } else if (arg == "--budget") {
+      opt.budget = parse_u64("--budget", value());
+    } else if (arg == "--engine") {
+      opt.engine = value();
+      (void)parse_engine(opt.engine);
+    } else if (arg == "--out-csv") {
+      opt.out_csv = value();
+    } else if (arg == "--out-json") {
+      opt.out_json = value();
+    }
+  }
+  if (opt.poll_min_ms == 0 || opt.poll_max_ms < opt.poll_min_ms) {
+    throw std::invalid_argument("--poll-min-ms must be > 0 and <= --poll-max-ms");
+  }
+  if (cmd == "merge") {
+    if (opt.run_dir.empty() && (opt.root.empty() || opt.name.empty())) {
+      throw std::invalid_argument("merge needs --run-dir, or --root with --name");
+    }
+  } else if (opt.root.empty()) {
+    throw std::invalid_argument("'" + cmd + "' needs --root");
+  }
+  if (cmd == "submit") {
+    const bool mode_ok =
+        opt.mode == "scenario" || opt.mode == "demand" || opt.mode == "experiment";
+    if (!mode_ok) {
+      throw std::invalid_argument("unknown --mode '" + opt.mode +
+                                  "' (expected scenario, demand or experiment)");
+    }
+  }
+  return opt;
+}
+
+/// Block until every cell file of `run_dir` exists (deterministic doubling
+/// backoff, same schedule as the service worker's long poll).  Returns 0
+/// when complete, 3 when the run has quarantined cells — a quarantined cell
+/// will never appear, so waiting on would hang forever.
+int wait_for_run(const options& opt, const std::filesystem::path& run_dir) {
+  std::chrono::milliseconds delay{opt.poll_min_ms};
+  const std::chrono::milliseconds ceiling{opt.poll_max_ms};
+  for (;;) {
+    if (!mc::quarantined_cells(run_dir).empty()) {
+      std::fprintf(stderr, "reldiv_sweep: run %s has quarantined cells\n",
+                   run_dir.c_str());
+      return 3;
+    }
+    if (mc::missing_cells(run_dir).empty()) return 0;
+    std::this_thread::sleep_for(delay);
+    delay = std::min(delay * 2, ceiling);
+  }
+}
+
+int cmd_serve(const options& opt, const char* argv0) {
+  if (opt.workers == 0) {
+    mc::service_config cfg;
+    cfg.worker.max_cells = opt.max_cells;
+    cfg.poll_min = std::chrono::milliseconds(opt.poll_min_ms);
+    cfg.poll_max = std::chrono::milliseconds(opt.poll_max_ms);
+    cfg.max_polls = opt.max_polls;
+    const mc::service_report rep = mc::run_service_worker(opt.root, cfg);
+    if (!opt.quiet) {
+      std::printf("service worker %d: %zu runs served, %zu cells computed, "
+                  "%zu skipped, %zu retried, %zu quarantined, %llu empty polls%s\n",
+                  ::getpid(), rep.runs_served, rep.cells_computed, rep.cells_skipped,
+                  rep.retried, rep.quarantined,
+                  static_cast<unsigned long long>(rep.polls),
+                  rep.drained ? ", drained" : "");
+    }
+    return rep.quarantined > 0 ? 3 : 0;
+  }
+  // A fleet: N copies of this binary, each running the in-process loop
+  // above.  Separate OS processes — a SIGKILL'd worker takes nothing down
+  // with it, exactly like the classic coordinator's workers.
+  std::vector<std::string> args = {"reldiv_sweep", "serve",     "--root",
+                                   opt.root,       "--workers", "0"};
+  args.insert(args.end(), {"--poll-min-ms", std::to_string(opt.poll_min_ms)});
+  args.insert(args.end(), {"--poll-max-ms", std::to_string(opt.poll_max_ms)});
+  if (opt.max_cells > 0) {
+    args.insert(args.end(), {"--max-cells", std::to_string(opt.max_cells)});
+  }
+  if (opt.max_polls > 0) {
+    args.insert(args.end(), {"--max-polls", std::to_string(opt.max_polls)});
+  }
+  if (opt.quiet) args.emplace_back("--quiet");
+  const std::vector<int> pids = mc::spawn_processes(self_exe(argv0), args, opt.workers);
+  if (!opt.quiet) {
+    std::printf("serve: %u workers long-polling root %s\n", opt.workers,
+                opt.root.c_str());
+  }
+  bool quarantined = false;
+  bool failed = false;
+  for (const int code : mc::wait_sweep_workers(pids)) {
+    if (code == 3) {
+      quarantined = true;
+    } else if (code != 0) {
+      failed = true;
+    }
+  }
+  return failed ? 1 : (quarantined ? 3 : 0);
+}
+
+std::string default_run_name(std::uint64_t fingerprint) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "run_%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+int cmd_submit(const options& opt) {
+  namespace fs = std::filesystem;
+  // Build the manifest and its fingerprint BEFORE touching the filesystem:
+  // a cache hit must not create a run directory.
+  std::uint64_t fp = 0;
+  std::function<mc::run_handle(const fs::path&)> init;
+  if (opt.mode == "demand") {
+    const mc::demand_manifest m = make_demand_manifest(opt);
+    fp = mc::demand_manifest_fingerprint(m);
+    init = [m](const fs::path& dir) { return mc::run_handle::init(m, dir); };
+  } else if (opt.mode == "experiment") {
+    const mc::experiment_manifest m = make_experiment_manifest_cli(opt);
+    fp = mc::experiment_manifest_fingerprint(m);
+    init = [m](const fs::path& dir) { return mc::run_handle::init(m, dir); };
+  } else {
+    const mc::scenario_axes axes = make_axes(opt);
+    mc::sweep_manifest m;
+    m.axes = axes;
+    m.seed = opt.seed;
+    m.shards = opt.shards;
+    m.cell_count = mc::enumerate_cells(axes).size();
+    fp = mc::manifest_fingerprint(m);
+    const mc::scenario_config cfg = m.config();
+    init = [axes, cfg](const fs::path& dir) {
+      return mc::run_handle::init(axes, cfg, dir);
+    };
+  }
+
+  mc::result_cache cache(opt.root);
+  if (const std::optional<mc::cached_result> hit = cache.lookup(fp)) {
+    write_result_files(hit->csv, hit->json, opt);
+    if (!opt.quiet) {
+      std::printf("submit: fingerprint %016llx already merged — served from the "
+                  "result cache, nothing enqueued\n",
+                  static_cast<unsigned long long>(fp));
+    }
+    return 0;
+  }
+
+  const std::string name = opt.name.empty() ? default_run_name(fp) : opt.name;
+  const fs::path run_dir = mc::runs_dir(opt.root) / name;
+  const mc::run_handle handle = init(run_dir);
+  const bool queued = mc::submit_queued_run(opt.root, name, run_dir);
+  if (!opt.quiet) {
+    std::printf("submit: %s '%s' (%s, %llu cells, fingerprint %016llx) -> %s\n",
+                queued ? "queued" : "already queued", name.c_str(),
+                std::string(mc::job_kind_name(handle.kind())).c_str(),
+                static_cast<unsigned long long>(handle.cell_count()),
+                static_cast<unsigned long long>(handle.fingerprint()),
+                run_dir.c_str());
+  }
+  if (!opt.wait) return 0;
+
+  const int rc = wait_for_run(opt, run_dir);
+  if (rc != 0) return rc;
+  const mc::cached_result entry = mc::merge_and_store(cache, run_dir);
+  (void)mc::dequeue_run(opt.root, name);
+  write_text_outputs(entry.csv, entry.json, handle.cell_count(), opt);
+  return 0;
+}
+
+int cmd_status(const options& opt) {
+  const mc::service_status status = mc::query_service_status(opt.root);
+  const std::string json = status.to_json();
+  if (!opt.out_json.empty()) {
+    std::ofstream f(opt.out_json, std::ios::binary | std::ios::trunc);
+    f << json;
+    if (!f) throw std::runtime_error("cannot write " + opt.out_json);
+  }
+  if (!opt.quiet) std::fputs(json.c_str(), stdout);
+  return 0;
+}
+
+int cmd_merge(const options& opt) {
+  namespace fs = std::filesystem;
+  fs::path run_dir = opt.run_dir;
+  std::string queued_name;
+  if (run_dir.empty()) {
+    for (const mc::queue_entry& entry : mc::queued_runs(opt.root)) {
+      if (entry.name == opt.name) {
+        run_dir = entry.run_dir;
+        queued_name = entry.name;
+        break;
+      }
+    }
+    // Already dequeued (e.g. a prior merge) but the run dir is still there.
+    if (run_dir.empty()) run_dir = mc::runs_dir(opt.root) / opt.name;
+  }
+
+  if (opt.root.empty()) {
+    // Standalone directory merge — the classic --merge-only.
+    if (opt.wait) {
+      const int rc = wait_for_run(opt, run_dir);
+      if (rc != 0) return rc;
+    }
+    const mc::merged_tables tables = mc::run_handle::open(run_dir).merge_tables();
+    write_text_outputs(tables.csv, tables.json, tables.cells, opt);
+    return 0;
+  }
+
+  mc::result_cache cache(opt.root);
+  const mc::run_handle handle = mc::run_handle::open(run_dir);
+  if (const std::optional<mc::cached_result> hit = cache.lookup(handle.fingerprint())) {
+    write_result_files(hit->csv, hit->json, opt);
+    if (!queued_name.empty()) (void)mc::dequeue_run(opt.root, queued_name);
+    if (!opt.quiet) {
+      std::printf("merge: fingerprint %016llx served from the result cache\n",
+                  static_cast<unsigned long long>(handle.fingerprint()));
+    }
+    return 0;
+  }
+  if (opt.wait) {
+    const int rc = wait_for_run(opt, run_dir);
+    if (rc != 0) return rc;
+  }
+  const mc::cached_result entry = mc::merge_and_store(cache, run_dir);
+  if (!queued_name.empty()) (void)mc::dequeue_run(opt.root, queued_name);
+  write_text_outputs(entry.csv, entry.json, handle.cell_count(), opt);
+  return 0;
+}
+
+int cmd_drain(const options& opt) {
+  if (opt.clear) {
+    mc::clear_drain(opt.root);
+    if (!opt.quiet) std::printf("drain: sentinel cleared on %s\n", opt.root.c_str());
+  } else {
+    mc::request_drain(opt.root);
+    if (!opt.quiet) {
+      std::printf("drain: sentinel raised on %s — workers exit after their "
+                  "current cell\n",
+                  opt.root.c_str());
+    }
+  }
+  return 0;
+}
+
+int legacy_main(int argc, char** argv) {
   options opt;
   try {
     opt = parse_args(argc, argv);
@@ -703,4 +1067,52 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "reldiv_sweep: %s\n", e.what());
     return 1;
   }
+}
+
+int service_main(const std::string& cmd, int argc, char** argv) {
+  options opt;
+  try {
+    opt = parse_service_args(cmd, argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "reldiv_sweep %s: %s\n", cmd.c_str(), e.what());
+    std::fputs(service_usage(cmd), stderr);
+    return 2;
+  }
+  try {
+    if (cmd == "serve") return cmd_serve(opt, argv[0]);
+    if (cmd == "submit") return cmd_submit(opt);
+    if (cmd == "status") return cmd_status(opt);
+    if (cmd == "merge") return cmd_merge(opt);
+    return cmd_drain(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "reldiv_sweep %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && argv[1][0] != '-') {
+    const std::string cmd = argv[1];
+    if (cmd == "serve" || cmd == "submit" || cmd == "status" || cmd == "merge" ||
+        cmd == "drain") {
+      return service_main(cmd, argc, argv);
+    }
+    if (cmd == "single" || cmd == "worker" || cmd == "chaos") {
+      // Aliases for the classic role flags: rewrite `reldiv_sweep worker ...`
+      // to `reldiv_sweep --worker ...` and reuse the classic parser, so both
+      // spellings stay byte-for-byte equivalent.
+      std::string flag = "--" + cmd;
+      std::vector<char*> args;
+      args.push_back(argv[0]);
+      args.push_back(flag.data());
+      for (int i = 2; i < argc; ++i) args.push_back(argv[i]);
+      return legacy_main(static_cast<int>(args.size()), args.data());
+    }
+    std::fprintf(stderr, "reldiv_sweep: unknown subcommand '%s'\n", cmd.c_str());
+    usage(stderr);
+    return 2;
+  }
+  return legacy_main(argc, argv);
 }
