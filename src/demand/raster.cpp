@@ -87,6 +87,30 @@ double raster_region::uniform_measure() const noexcept {
   return static_cast<double>(set_cells()) / static_cast<double>(cell_count());
 }
 
+double raster_region::profile_measure(const density_fn& density) const {
+  if (!density) {
+    throw std::invalid_argument("raster_region::profile_measure: null density");
+  }
+  double set_mass = 0.0;
+  double total_mass = 0.0;
+  point x(2);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    x[1] = domain_.lo[1] + (domain_.hi[1] - domain_.lo[1]) *
+                               (static_cast<double>(r) + 0.5) / static_cast<double>(rows_);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      x[0] = domain_.lo[0] + (domain_.hi[0] - domain_.lo[0]) *
+                                 (static_cast<double>(c) + 0.5) / static_cast<double>(cols_);
+      const double w = density(x);
+      if (!(w >= 0.0)) {
+        throw std::invalid_argument("raster_region::profile_measure: negative density");
+      }
+      total_mass += w;
+      if (cell(c, r)) set_mass += w;
+    }
+  }
+  return total_mass > 0.0 ? set_mass / total_mass : 0.0;
+}
+
 void raster_region::check_compatible(const raster_region& other) const {
   if (cols_ != other.cols_ || rows_ != other.rows_) {
     throw std::invalid_argument("raster_region: grid size mismatch");

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -16,6 +17,10 @@
 #include "demand/region.hpp"
 
 namespace reldiv::demand {
+
+/// Pointwise demand-profile density over the space (need not be
+/// normalized; profile_measure normalizes over the raster's own grid).
+using density_fn = std::function<double(const point&)>;
 
 class raster_region final : public region {
  public:
@@ -43,6 +48,14 @@ class raster_region final : public region {
   /// Exact measure under a UNIFORM profile over the domain: set cells /
   /// total cells.
   [[nodiscard]] double uniform_measure() const noexcept;
+
+  /// Measure under an arbitrary demand-profile density sampled at cell
+  /// centres: Σ density(centre) over SET cells / Σ density(centre) over ALL
+  /// cells (0 when the denominator is 0).  Cells accumulate row-major
+  /// (row, then col) — a fixed order, so the result is a pure function of
+  /// the bitmap and the density.  With a constant density this equals
+  /// uniform_measure() exactly up to fp rounding of the ratio.
+  [[nodiscard]] double profile_measure(const density_fn& density) const;
 
   // set algebra (domains and grids must match; throws otherwise) -------------
   [[nodiscard]] raster_region unite(const raster_region& other) const;

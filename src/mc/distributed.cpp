@@ -1,6 +1,7 @@
 #include "mc/distributed.hpp"
 
 #include "mc/io_env.hpp"
+#include "mc/spec.hpp"
 #include "stats/wire.hpp"
 
 #include <fcntl.h>
@@ -855,6 +856,8 @@ grid_result merge_grid_cells(const fs::path& run_dir, const sweep_manifest& m) {
         state.result.cell.universe != cells[i].universe ||
         state.result.cell.samples != cells[i].samples ||
         state.result.cell.aliasing != cells[i].aliasing ||
+        state.result.cell.versions != cells[i].versions ||
+        state.result.cell.votes != cells[i].votes ||
         std::bit_cast<std::uint64_t>(state.result.cell.rho) !=
             std::bit_cast<std::uint64_t>(cells[i].rho) ||
         std::bit_cast<std::uint64_t>(state.result.cell.omega) !=
@@ -977,6 +980,8 @@ merged_tables run_handle::merge_tables() const {
   }
   return out;
 }
+
+std::string run_handle::describe() const { return describe_manifest_json(manifest_); }
 
 grid_result merge_run_dir(const fs::path& run_dir) {
   const run_handle h = run_handle::open(run_dir);

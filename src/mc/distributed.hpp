@@ -148,6 +148,10 @@ class run_handle {
   /// byte-identical to what the single-process oracle path emits.
   [[nodiscard]] merged_tables merge_tables() const;
 
+  /// The run's spec/axes as %.17g-clean JSON (mc::describe_manifest_json):
+  /// kind, fingerprint, seed, every axis, and atom-for-atom universes.
+  [[nodiscard]] std::string describe() const;
+
  private:
   run_handle() = default;
 

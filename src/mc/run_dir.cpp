@@ -97,6 +97,12 @@ void write_cell_payload(wire_writer& w, const cell_state& c) {
   w.put_f64(res.risk_ratio);
   w.put_f64(res.p_max_true);
   w.put_f64(res.p_max_naive);
+  // Adjudication coordinates append only when off the paper's {2,2} pair,
+  // so baseline cell files stay byte-identical to earlier releases.
+  if (res.cell.versions != 2 || res.cell.votes != 2) {
+    w.put_u32(res.cell.versions);
+    w.put_u32(res.cell.votes);
+  }
 }
 
 cell_state read_cell_payload(wire_reader& r) {
@@ -120,8 +126,25 @@ cell_state read_cell_payload(wire_reader& r) {
   res.risk_ratio = r.get_f64();
   res.p_max_true = r.get_f64();
   res.p_max_naive = r.get_f64();
+  if (r.remaining() > 0) {
+    res.cell.versions = r.get_u32();
+    res.cell.votes = r.get_u32();
+  }
   return c;
 }
+
+/// True when the extended axes sit at their historical defaults — such a
+/// manifest is written WITHOUT the extension block, so its payload bytes
+/// (and therefore its fingerprint) are identical to every earlier release.
+bool axes_extension_is_default(const scenario_axes& axes) {
+  return axes.rho_model == correlation_model::mixture && axes.adjudications.size() == 1 &&
+         axes.adjudications[0].versions == 2 &&
+         axes.adjudications[0].votes_to_defeat == 2 && axes.cell_budgets.empty();
+}
+
+// Version tag of the appended axes-extension block (append-only, like the
+// engine wire values).
+constexpr std::uint32_t kAxesExtensionVersion = 1;
 
 void write_manifest_payload(wire_writer& w, const sweep_manifest& m) {
   w.put_u64(m.seed);
@@ -144,6 +167,19 @@ void write_manifest_payload(wire_writer& w, const sweep_manifest& m) {
   }
   write_u64_vec(w, m.axes.budgets);
   w.put_u64(m.cell_count);
+  // Extended axes (correlation model, k-out-of-m adjudication, per-cell
+  // refinement budgets) append AFTER the historical payload and only when
+  // non-default; the reader takes their absence as the defaults.
+  if (!axes_extension_is_default(m.axes)) {
+    w.put_u32(kAxesExtensionVersion);
+    w.put_u32(static_cast<std::uint32_t>(m.axes.rho_model));
+    w.put_u64(m.axes.adjudications.size());
+    for (const core::architecture& arch : m.axes.adjudications) {
+      w.put_u32(arch.versions);
+      w.put_u32(arch.votes_to_defeat);
+    }
+    write_u64_vec(w, m.axes.cell_budgets);
+  }
 }
 
 sweep_manifest read_manifest_payload(wire_reader& r) {
@@ -181,6 +217,31 @@ sweep_manifest read_manifest_payload(wire_reader& r) {
   }
   m.axes.budgets = read_u64_vec(r);
   m.cell_count = r.get_u64();
+  if (r.remaining() > 0) {
+    const std::uint32_t ext = r.get_u32();
+    if (ext != kAxesExtensionVersion) {
+      throw stats::wire_error("wire: unknown axes extension version " +
+                              std::to_string(ext));
+    }
+    const std::uint32_t model = r.get_u32();
+    if (model > static_cast<std::uint32_t>(correlation_model::copula)) {
+      throw stats::wire_error("wire: unknown correlation model " + std::to_string(model));
+    }
+    m.axes.rho_model = static_cast<correlation_model>(model);
+    const std::uint64_t archs = r.get_u64();
+    if (archs > r.remaining() / 8) {
+      throw stats::wire_error("wire: adjudication count exceeds buffer");
+    }
+    m.axes.adjudications.clear();
+    m.axes.adjudications.reserve(archs);
+    for (std::uint64_t i = 0; i < archs; ++i) {
+      core::architecture arch;
+      arch.versions = r.get_u32();
+      arch.votes_to_defeat = r.get_u32();
+      m.axes.adjudications.push_back(arch);
+    }
+    m.axes.cell_budgets = read_u64_vec(r);
+  }
   return m;
 }
 
@@ -555,8 +616,22 @@ std::string manifest_json(const sweep_manifest& m) {
   append_json_f64_array(out, m.axes.overlaps);
   out += ",\n  \"aliasing\": ";
   append_json_u64_array(out, m.axes.aliasing);
+  out += ",\n  \"rho_model\": \"";
+  out += m.axes.rho_model == correlation_model::copula ? "copula" : "mixture";
+  out += '"';
+  out += ",\n  \"adjudications\": [";
+  for (std::size_t i = 0; i < m.axes.adjudications.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"versions\":" + std::to_string(m.axes.adjudications[i].versions) +
+           ",\"votes\":" + std::to_string(m.axes.adjudications[i].votes_to_defeat) + "}";
+  }
+  out += "]";
   out += ",\n  \"budgets\": ";
   append_json_u64_array(out, m.axes.budgets);
+  if (!m.axes.cell_budgets.empty()) {
+    out += ",\n  \"cell_budgets\": ";
+    append_json_u64_array(out, m.axes.cell_budgets);
+  }
   out += "\n}\n";
   return out;
 }

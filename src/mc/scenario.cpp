@@ -1,13 +1,17 @@
 #include "mc/scenario.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <optional>
+#include <span>
 #include <stdexcept>
 
 #include "mc/aliasing.hpp"
 #include "mc/campaign.hpp"
 #include "mc/correlated.hpp"
 #include "mc/shard_runner.hpp"
+#include "stats/descriptive.hpp"
 #include "stats/random.hpp"
 
 namespace reldiv::mc {
@@ -22,6 +26,74 @@ std::uint64_t cell_seed(std::uint64_t grid_seed, std::size_t cell_index) {
   const std::uint64_t mixed_seed = stats::splitmix64_next(state);
   state = mixed_seed ^ static_cast<std::uint64_t>(cell_index);
   return stats::splitmix64_next(state);
+}
+
+/// Σ q[i] over set bits of a raw word array, ascending index order — the
+/// same accumulation order as core::masked_q_sum, so a 2-of-2 defeated set
+/// sums bitwise identically to intersect_q_sum.
+double word_q_sum(const std::vector<std::uint64_t>& words, std::span<const double> q,
+                  bool& any) {
+  double pfd = 0.0;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < words.size(); ++b) {
+    std::uint64_t w = words[b];
+    seen |= w;
+    while (w != 0) {
+      pfd += q[(b << 6) + static_cast<std::size_t>(std::countr_zero(w))];
+      w &= w - 1;
+    }
+  }
+  any = seen != 0;
+  return pfd;
+}
+
+/// Generalized k-out-of-m cell loop: draw `versions` channel masks per
+/// demand, θ1 = first channel's pfd, θ2 = ω · Σq over faults shared by at
+/// least `votes` channels.  The defeated set is computed word-wise with
+/// bit-sliced counters: ge[j] holds the faults seen in >= j+1 of the masks
+/// processed so far, so folding mask v in is ge[j] |= ge[j-1] & v from the
+/// top down.  Channels are drawn in index order from the one shard stream —
+/// the {2,2} special case consumes the stream exactly like the baseline
+/// pair loop.
+template <typename Sampler>
+experiment_accumulator run_adjudicated_shards(const Sampler& sampler,
+                                              const core::fault_universe& effective,
+                                              const scenario_cell& cell,
+                                              const shard_plan& plan, std::uint64_t seed) {
+  const unsigned versions = cell.versions;
+  const unsigned votes = cell.votes;
+  const double omega = cell.omega;
+  experiment_accumulator acc;
+  run_shards(
+      plan, seed, /*threads=*/1,
+      [&](unsigned /*shard*/, std::uint64_t count, stats::rng& r) {
+        experiment_accumulator shard_acc;
+        std::vector<core::fault_mask> channels(versions,
+                                               core::fault_mask(effective.size()));
+        const std::size_t words = channels[0].word_count();
+        std::vector<std::vector<std::uint64_t>> ge(votes,
+                                                   std::vector<std::uint64_t>(words));
+        for (std::uint64_t s = 0; s < count; ++s) {
+          for (unsigned v = 0; v < versions; ++v) sampler.sample_mask(r, channels[v]);
+          const double t1 = core::masked_q_sum(channels[0], effective.q_array());
+          for (auto& layer : ge) std::fill(layer.begin(), layer.end(), 0);
+          for (unsigned v = 0; v < versions; ++v) {
+            const std::uint64_t* mask = channels[v].words();
+            for (std::size_t j = votes; j-- > 1;) {
+              for (std::size_t w = 0; w < words; ++w) ge[j][w] |= ge[j - 1][w] & mask[w];
+            }
+            for (std::size_t w = 0; w < words; ++w) ge[0][w] |= mask[w];
+          }
+          bool defeated = false;
+          const double shared = word_q_sum(ge[votes - 1], effective.q_array(), defeated);
+          shard_acc.add(t1, omega * shared, channels[0].any(), defeated && omega > 0.0);
+        }
+        return shard_acc;
+      },
+      [&acc](unsigned /*shard*/, experiment_accumulator&& shard_acc) {
+        acc.merge(shard_acc);
+      });
+  return acc;
 }
 
 scenario_cell_result run_cell(const scenario_axes& axes, const scenario_config& cfg,
@@ -46,10 +118,6 @@ scenario_cell_result run_cell(const scenario_axes& axes, const scenario_config& 
   const core::fault_universe& effective = aliased ? *aliased : base;
   out.p_max_true = effective.p_max();
 
-  // §6.1 axis: the marginal-preserving common-cause mixture (ρ = 0 is the
-  // independent baseline on the same code path).
-  const common_cause_mixture sampler(effective, cell.rho, axes.stress);
-
   // Per-cell deterministic sharded campaign.  Cells already fan out over
   // the grid's worker pool, so the inner campaign runs single-threaded —
   // by the determinism contract that changes throughput only, never the
@@ -58,28 +126,44 @@ scenario_cell_result run_cell(const scenario_axes& axes, const scenario_config& 
   out.shards = plan.shard_count;
   const double omega = cell.omega;
   experiment_accumulator acc;
-  run_shards(
-      plan, out.seed, /*threads=*/1,
-      [&](unsigned /*shard*/, std::uint64_t count, stats::rng& r) {
-        experiment_accumulator shard_acc;
-        core::fault_mask a(effective.size());
-        core::fault_mask b(effective.size());
-        for (std::uint64_t s = 0; s < count; ++s) {
-          sampler.sample_mask(r, a);
-          sampler.sample_mask(r, b);
-          const double t1 = core::masked_q_sum(a, effective.q_array());
-          const auto pair = core::intersect_q_sum(a, b, effective.q_array());
-          // §6.2 axis: only the shared fraction ω of each region produces
-          // coincident failures; ω = 0 pairs can share faults but never a
-          // failure point.
-          shard_acc.add(t1, omega * pair.pfd, a.any(),
-                        pair.any_common && omega > 0.0);
-        }
-        return shard_acc;
-      },
-      [&acc](unsigned /*shard*/, experiment_accumulator&& shard_acc) {
-        acc.merge(shard_acc);
-      });
+  if (axes.rho_model == correlation_model::mixture && cell.versions == 2 &&
+      cell.votes == 2) {
+    // §6.1 axis: the marginal-preserving common-cause mixture (ρ = 0 is the
+    // independent baseline on the same code path).  The paper's {2,2} pair
+    // keeps this loop verbatim — bit-exact with every earlier release.
+    const common_cause_mixture sampler(effective, cell.rho, axes.stress);
+    run_shards(
+        plan, out.seed, /*threads=*/1,
+        [&](unsigned /*shard*/, std::uint64_t count, stats::rng& r) {
+          experiment_accumulator shard_acc;
+          core::fault_mask a(effective.size());
+          core::fault_mask b(effective.size());
+          for (std::uint64_t s = 0; s < count; ++s) {
+            sampler.sample_mask(r, a);
+            sampler.sample_mask(r, b);
+            const double t1 = core::masked_q_sum(a, effective.q_array());
+            const auto pair = core::intersect_q_sum(a, b, effective.q_array());
+            // §6.2 axis: only the shared fraction ω of each region produces
+            // coincident failures; ω = 0 pairs can share faults but never a
+            // failure point.
+            shard_acc.add(t1, omega * pair.pfd, a.any(),
+                          pair.any_common && omega > 0.0);
+          }
+          return shard_acc;
+        },
+        [&acc](unsigned /*shard*/, experiment_accumulator&& shard_acc) {
+          acc.merge(shard_acc);
+        });
+  } else if (axes.rho_model == correlation_model::mixture) {
+    const common_cause_mixture sampler(effective, cell.rho, axes.stress);
+    acc = run_adjudicated_shards(sampler, effective, cell, plan, out.seed);
+  } else {
+    // Copula cells — including the {2,2} pair — share the generalized loop:
+    // for two channels its defeated set is exactly the pairwise
+    // intersection, accumulated in the same ascending fault order.
+    const gaussian_copula_sampler sampler(effective, cell.rho);
+    acc = run_adjudicated_shards(sampler, effective, cell, plan, out.seed);
+  }
 
   out.state = acc.state();
   const auto n = static_cast<double>(acc.samples());
@@ -109,8 +193,22 @@ scenario_cell_result run_scenario_cell(const scenario_axes& axes, const scenario
 
 std::vector<scenario_cell> enumerate_cells(const scenario_axes& axes) {
   if (axes.universes.empty() || axes.correlations.empty() || axes.overlaps.empty() ||
-      axes.aliasing.empty() || axes.budgets.empty()) {
+      axes.aliasing.empty() || axes.adjudications.empty() || axes.budgets.empty()) {
     throw std::invalid_argument("scenario_grid: every axis needs >= 1 value");
+  }
+  if (axes.rho_model != correlation_model::mixture &&
+      axes.rho_model != correlation_model::copula) {
+    throw std::invalid_argument("scenario_grid: unknown correlation model");
+  }
+  for (const double rho : axes.correlations) {
+    if (axes.rho_model == correlation_model::mixture) {
+      // Negative ρ needs the copula model; the mixture has no such regime.
+      if (!(rho >= 0.0) || !(rho < 1.0)) {
+        throw std::invalid_argument("scenario_grid: mixture rho must be in [0,1)");
+      }
+    } else if (!(rho > -1.0) || !(rho < 1.0)) {
+      throw std::invalid_argument("scenario_grid: copula rho must be in (-1,1)");
+    }
   }
   for (const double w : axes.overlaps) {
     if (!(w >= 0.0) || !(w <= 1.0)) {
@@ -120,18 +218,50 @@ std::vector<scenario_cell> enumerate_cells(const scenario_axes& axes) {
   for (const std::size_t k : axes.aliasing) {
     if (k == 0) throw std::invalid_argument("scenario_grid: aliasing must be >= 1");
   }
+  for (const core::architecture& arch : axes.adjudications) {
+    if (arch.versions == 0 || arch.votes_to_defeat == 0 ||
+        arch.votes_to_defeat > arch.versions) {
+      throw std::invalid_argument(
+          "scenario_grid: adjudication needs 1 <= votes_to_defeat <= versions");
+    }
+  }
   for (const std::uint64_t s : axes.budgets) {
     if (s == 0) throw std::invalid_argument("scenario_grid: budget must be > 0");
   }
+  const std::size_t grid_cells = axes.universes.size() * axes.correlations.size() *
+                                 axes.overlaps.size() * axes.aliasing.size() *
+                                 axes.adjudications.size() * axes.budgets.size();
+  if (!axes.cell_budgets.empty()) {
+    // Per-cell overrides keep the grid shape: the budget axis degenerates to
+    // one placeholder value and the override vector supplies cell i's
+    // samples.  Anything else would change cell indices — and with them
+    // every cell seed.
+    if (axes.budgets.size() != 1) {
+      throw std::invalid_argument(
+          "scenario_grid: cell_budgets requires a single-valued budget axis");
+    }
+    if (axes.cell_budgets.size() != grid_cells) {
+      throw std::invalid_argument(
+          "scenario_grid: cell_budgets must hold one budget per cell");
+    }
+    for (const std::uint64_t s : axes.cell_budgets) {
+      if (s == 0) throw std::invalid_argument("scenario_grid: cell budget must be > 0");
+    }
+  }
   std::vector<scenario_cell> cells;
-  cells.reserve(axes.universes.size() * axes.correlations.size() * axes.overlaps.size() *
-                axes.aliasing.size() * axes.budgets.size());
+  cells.reserve(grid_cells);
   for (std::size_t u = 0; u < axes.universes.size(); ++u) {
     for (const double rho : axes.correlations) {
       for (const double omega : axes.overlaps) {
         for (const std::size_t k : axes.aliasing) {
-          for (const std::uint64_t samples : axes.budgets) {
-            cells.push_back({u, axes.universes[u].first, rho, omega, k, samples});
+          for (const core::architecture& arch : axes.adjudications) {
+            for (const std::uint64_t samples : axes.budgets) {
+              const std::uint64_t resolved = axes.cell_budgets.empty()
+                                                 ? samples
+                                                 : axes.cell_budgets[cells.size()];
+              cells.push_back({u, axes.universes[u].first, rho, omega, k, arch.versions,
+                               arch.votes_to_defeat, resolved});
+            }
           }
         }
       }
@@ -176,9 +306,14 @@ grid_result run_scenario_grid(const scenario_axes& axes, const scenario_config& 
 }
 
 std::string grid_result::to_csv() const {
+  // The adjudication and spread columns ride at the end so every existing
+  // column keeps its position (downstream tooling indexes by header name,
+  // but the stable prefix costs nothing).  sd_theta* are the sample
+  // standard deviations the refinement pass turns into CI half-widths.
   std::string out =
       "universe,rho,omega,aliasing,samples,seed,shards,mean_theta1,mean_theta2,"
-      "prob_n1_positive,prob_n2_positive,risk_ratio,p_max_true,p_max_naive\n";
+      "prob_n1_positive,prob_n2_positive,risk_ratio,p_max_true,p_max_naive,"
+      "versions,votes,sd_theta1,sd_theta2\n";
   for (const auto& c : cells) {
     out += c.cell.universe;
     append(out, ",%.17g", c.cell.rho);
@@ -198,6 +333,12 @@ std::string grid_result::to_csv() const {
     append(out, ",%.17g", c.risk_ratio);
     append(out, ",%.17g", c.p_max_true);
     append(out, ",%.17g", c.p_max_naive);
+    out += ',';
+    out += std::to_string(c.cell.versions);
+    out += ',';
+    out += std::to_string(c.cell.votes);
+    append(out, ",%.17g", stats::running_moments::from_state(c.state.theta1).stddev());
+    append(out, ",%.17g", stats::running_moments::from_state(c.state.theta2).stddev());
     out += "\n";
   }
   return out;
@@ -228,6 +369,14 @@ std::string grid_result::to_json() const {
     append(out, ",\"risk_ratio\":%.17g", c.risk_ratio);
     append(out, ",\"p_max_true\":%.17g", c.p_max_true);
     append(out, ",\"p_max_naive\":%.17g", c.p_max_naive);
+    out += ",\"versions\":";
+    out += std::to_string(c.cell.versions);
+    out += ",\"votes\":";
+    out += std::to_string(c.cell.votes);
+    append(out, ",\"sd_theta1\":%.17g",
+           stats::running_moments::from_state(c.state.theta1).stddev());
+    append(out, ",\"sd_theta2\":%.17g",
+           stats::running_moments::from_state(c.state.theta2).stddev());
     out += "}";
   }
   out += "]}";

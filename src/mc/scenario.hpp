@@ -29,19 +29,30 @@
 #include <vector>
 
 #include "core/fault_universe.hpp"
+#include "core/kofn.hpp"
 #include "mc/experiment.hpp"
 
 namespace reldiv::mc {
 
+/// Correlation model behind the ρ axis.  `mixture` is the paper's
+/// marginal-preserving common-cause mixture (ρ in [0,1)); `copula` is the
+/// Gaussian-copula equicorrelation sampler, which also admits NEGATIVE ρ in
+/// (−1,0) — forced diversity between the channels.  The enum values are
+/// wire values (append-only).
+enum class correlation_model : std::uint32_t { mixture = 0, copula = 1 };
+
 /// The sweep declaration.  Every axis must be non-empty; the default is a
 /// single cell at the model's baseline assumptions (independent
-/// introduction, fully shared regions, 1-to-1 fault↔region mapping).
+/// introduction, fully shared regions, 1-to-1 fault↔region mapping, the
+/// paper's 1-out-of-2 adjudication).
 struct scenario_axes {
   /// Universe axis: (name, universe) pairs — the name keys the output rows.
   std::vector<std::pair<std::string, core::fault_universe>> universes;
-  /// §6.1 axis: common-cause mixture correlation ρ in [0,1) under `stress`.
+  /// §6.1 axis: correlation ρ — mixture model in [0,1) under `stress`,
+  /// copula model in (−1,1).
   std::vector<double> correlations = {0.0};
   double stress = 1.8;  ///< p inflation factor of a stressed development
+  correlation_model rho_model = correlation_model::mixture;
   /// §6.2 axis: uniform region-overlap coefficient ω in [0,1] (the fraction
   /// of each fault's coincidence mass the channels actually share).
   std::vector<double> overlaps = {1.0};
@@ -50,8 +61,20 @@ struct scenario_axes {
   /// region-level effective universe and also record the naive per-mistake
   /// pmax an aliased assessor would read off.
   std::vector<std::size_t> aliasing = {1};
+  /// Adjudication axis: the system is defeated when at least
+  /// `votes_to_defeat` of `versions` channels share a fault (the paper's
+  /// pair is {2,2}; 2-out-of-3 models TMR).  θ1 stays the first channel's
+  /// single-version pfd; θ2 becomes ω · Σq over the defeated-fault set.
+  std::vector<core::architecture> adjudications = {core::architecture::one_out_of_two()};
   /// Demand budget axis: version-pair samples per cell.
   std::vector<std::uint64_t> budgets = {100'000};
+  /// Adaptive refinement override: when non-empty, `budgets` must hold
+  /// exactly one (placeholder) value and this vector must hold one budget
+  /// per enumerated cell, in cell order — cell i runs cell_budgets[i]
+  /// samples instead of the budget-axis value.  This is how a refined
+  /// round-N+1 sweep re-budgets individual cells while keeping the grid
+  /// shape (and therefore cell indices and seeds) intact.
+  std::vector<std::uint64_t> cell_budgets;
 };
 
 /// Resolved coordinates of one grid cell.
@@ -61,6 +84,8 @@ struct scenario_cell {
   double rho = 0.0;
   double omega = 1.0;
   std::size_t aliasing = 1;
+  unsigned versions = 2;  ///< adjudication: channel count
+  unsigned votes = 2;     ///< adjudication: coincident faults that defeat it
   std::uint64_t samples = 0;
 };
 
@@ -100,9 +125,11 @@ struct grid_result {
   [[nodiscard]] std::string to_json() const;
 };
 
-/// Row-major enumeration of the axes (universe, ρ, ω, aliasing, budget);
-/// validates the axes.  The index of a cell in this vector is its identity
-/// for seeding and resume.
+/// Row-major enumeration of the axes (universe, ρ, ω, aliasing,
+/// adjudication, budget); validates the axes.  The index of a cell in this
+/// vector is its identity for seeding and resume.  With the default
+/// single-valued adjudication axis the enumeration (and thus every cell
+/// index and seed) is exactly the historical five-axis order.
 [[nodiscard]] std::vector<scenario_cell> enumerate_cells(const scenario_axes& axes);
 
 /// Run one cell of the grid.  `cell` must be enumerate_cells(axes)[cell_index]

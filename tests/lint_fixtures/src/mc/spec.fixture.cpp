@@ -1,0 +1,22 @@
+// spec-fmt fixture: this file's path matches the src/mc/spec.* writer-TU
+// family, so the locale-sensitive number formatting/parsing families are
+// banned — every diagnostic below must fire at its exact line, and the
+// snprintf/from_chars idiom at the end must stay silent.
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+std::string bad_key(int v) { return std::to_string(v); }
+double bad_parse(const char* s) { return std::strtod(s, nullptr); }
+int bad_count(const char* s) { return atoi(s); }
+// The sanctioned helpers: snprintf with %.17g and std::from_chars.
+void ok_append(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+double ok_parse(const char* b, const char* e) {
+  double v = 0.0;
+  std::from_chars(b, e, v);
+  return v;
+}

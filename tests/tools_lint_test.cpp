@@ -64,7 +64,7 @@ TEST(LintCli, ListRulesNamesEveryRuleId) {
   EXPECT_EQ(r.exit_code, 0);
   for (const char* id : {"io-seam", "det-rand", "det-time", "det-hash",
                          "det-unordered", "wire-cast", "float-fmt",
-                         "simd-isolation", "lint-suppress"}) {
+                         "simd-isolation", "spec-fmt", "lint-suppress"}) {
     EXPECT_NE(r.output.find(id), std::string::npos) << "missing rule " << id;
   }
 }
@@ -108,6 +108,9 @@ TEST(LintFixtures, EveryRuleFiresAtItsExactLocation) {
       {"src/mc/determinism.cpp", 28, "det-unordered"},
       {"src/mc/emit.cpp", 9, "float-fmt"},
       {"src/mc/emit.cpp", 10, "float-fmt"},
+      {"src/mc/spec.fixture.cpp", 9, "spec-fmt"},
+      {"src/mc/spec.fixture.cpp", 10, "spec-fmt"},
+      {"src/mc/spec.fixture.cpp", 11, "spec-fmt"},
       {"src/mc/seam_violation.cpp", 3, "io-seam"},
       {"src/mc/seam_violation.cpp", 8, "io-seam"},
       {"src/mc/seam_violation.cpp", 13, "io-seam"},
@@ -131,9 +134,10 @@ TEST(LintFixtures, EveryRuleFiresAtItsExactLocation) {
   }
   // The exact totals pin that nothing ELSE fired: every trap (strings, raw
   // strings, comments, bare `read`, steady_clock, tools-ofstream,
-  // tests-system_clock, allowlisted io_env.cpp/wire.cpp) stayed silent.
+  // tests-system_clock, allowlisted io_env.cpp/wire.cpp, the sanctioned
+  // snprintf/from_chars helpers in spec.fixture.cpp) stayed silent.
   EXPECT_NE(
-      r.output.find("reldiv_lint: 29 finding(s) (4 suppressed) in 12 file(s)"),
+      r.output.find("reldiv_lint: 32 finding(s) (4 suppressed) in 13 file(s)"),
       std::string::npos)
       << r.output;
 }
@@ -285,6 +289,27 @@ TEST_F(SeededViolation, SimdSamplerFamilyIsAllowlisted) {
        "  return _mm_popcnt_u64(x);\n"
        "}\n");
   const lint_result r = lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(SeededViolation, SpecFmt) {
+  seed("src/mc/spec.cpp",
+       "#include <string>\n"
+       "std::string f(double v) { return std::to_string(v); }\n");
+  const lint_result r = lint();
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("src/mc/spec.cpp:2: spec-fmt:"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(SeededViolation, SpecFmtConfinedToSpecTu) {
+  // The identical call outside the src/mc/spec.* family: no spec-fmt (the
+  // to_string family is only banned in the spec writer TU).
+  seed("src/mc/other.cpp",
+       "#include <string>\n"
+       "std::string f(int v) { return std::to_string(v); }\n");
+  const lint_result r = lint();
+  EXPECT_EQ(r.output.find("spec-fmt"), std::string::npos) << r.output;
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 

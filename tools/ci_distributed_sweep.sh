@@ -58,8 +58,16 @@ case "$mode" in
     ;;
 esac
 
+# The single-process oracle is built from the legacy preset flags; the
+# distributed run is driven by the SHIPPED spec file for the same preset.
+# The final byte-diff therefore also proves the spec path and the preset
+# path build fingerprint-identical manifests (satellite of the spec PR).
 grid_args=(--mode "$mode" --preset ci --seed 20260731)
-if [[ "$budget" != "0" ]]; then grid_args+=(--budget "$budget"); fi
+spec_args=(--mode "$mode" --spec "$repo_root/examples/specs/${mode}_ci.spec" --seed 20260731)
+if [[ "$budget" != "0" ]]; then
+  grid_args+=(--budget "$budget")
+  spec_args+=(--budget "$budget")
+fi
 
 rm -rf "$work_dir"
 mkdir -p "$work_dir"
@@ -72,7 +80,7 @@ echo
 echo "=== [$mode] distributed run, 4 workers, SIGKILL mid-run ==="
 # Own session/process group so one kill(-pgid) takes out the coordinator AND
 # its workers, exactly like an OOM-killer or node preemption would.
-setsid "$sweep" "${grid_args[@]}" --run-dir run.d --workers 4 \
+setsid "$sweep" "${spec_args[@]}" --run-dir run.d --workers 4 \
        --max-cells "$quota" &
 coordinator=$!
 
@@ -117,11 +125,12 @@ fi
 
 echo
 echo "=== [$mode] resume from the surviving state files ==="
-"$sweep" "${grid_args[@]}" --run-dir run.d --workers 4 \
+"$sweep" "${spec_args[@]}" --run-dir run.d --workers 4 \
          --out-csv dist.csv --out-json dist.json
 
 echo
-echo "=== [$mode] merged result must be byte-identical to the single-process run ==="
+echo "=== [$mode] spec-driven merged result must be byte-identical to the"
+echo "===         preset-flag single-process run ==="
 cmp single.csv dist.csv
 cmp single.json dist.json
 

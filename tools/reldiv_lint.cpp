@@ -78,6 +78,10 @@ constexpr rule_info kRules[] = {
     {"simd-isolation", "PR 8 dispatch confinement",
      "no <immintrin.h>/x86 intrinsics outside src/core/simd_sampler.*; all "
      "SIMD reaches code through the runtime-dispatched core::simd_sampler API"},
+    {"spec-fmt", "PR 10 spec round-trip",
+     "src/mc/spec.* must format/parse numbers via its snprintf/from_chars "
+     "helpers only; the locale-sensitive to_string/strtod/atoi families "
+     "would break the %.17g spec round-trip contract"},
     {"lint-suppress", "suppression hygiene",
      "reldiv-lint: allow(rule-id) must name a known rule and carry a reason"},
 };
@@ -106,6 +110,7 @@ struct file_policy {
   bool wire_cast = false;
   bool float_fmt = false;
   bool simd_isolation = false;
+  bool spec_fmt = false;
 };
 
 bool starts_with(std::string_view s, std::string_view prefix) {
@@ -143,6 +148,11 @@ file_policy policy_for(std::string_view rel) {
   // stays portable and the scalar/AVX2 choice stays a CPUID decision.
   p.simd_isolation = (in_src || in_tools || in_tests) &&
                      !starts_with(rel, "src/core/simd_sampler.");
+  // (e) spec writer discipline: the sweep-spec TU family promises that every
+  // number it emits or consumes goes through its snprintf %.17g / %llu and
+  // std::from_chars helpers, so spec text round-trips bit-exactly and never
+  // depends on the C locale.  The to_string/strtod/atoi families break both.
+  p.spec_fmt = starts_with(rel, "src/mc/spec.");
   return p;
 }
 
@@ -239,6 +249,21 @@ const ban_list& simd_isolation_bans() {
       {},
       // Intrinsic functions and vector register types.
       {"_mm_", "_mm256_", "_mm512_", "__m64", "__m128", "__m256", "__m512"},
+  };
+  return bans;
+}
+
+const ban_list& spec_fmt_bans() {
+  static const ban_list bans{
+      // Formatting (locale-sensitive, fixed 6-digit precision) and parsing
+      // (locale-sensitive, silent-saturation/UB error contracts) families.
+      {"to_string", "to_wstring", "stod", "stof", "stold", "stoi", "stol",
+       "stoll", "stoul", "stoull", "atof", "atoi", "atol", "atoll", "strtod",
+       "strtof", "strtold", "strtol", "strtoll", "strtoul", "strtoull",
+       "sscanf", "vsscanf", "stringstream", "istringstream", "ostringstream"},
+      {},
+      {},
+      {},
   };
   return bans;
 }
@@ -792,6 +817,13 @@ void lint_file(const fs::path& path, const std::string& rel,
       check_chain(chain, simd_isolation_bans(), "simd-isolation",
                   "intrinsics outside src/core/simd_sampler.* bypass runtime "
                   "dispatch; call the core::simd_sampler API instead",
+                  rel, findings);
+    }
+    if (pol.spec_fmt) {
+      check_chain(chain, spec_fmt_bans(), "spec-fmt",
+                  "locale-sensitive number formatting/parsing in the spec "
+                  "writer TU; use the snprintf %.17g / std::from_chars "
+                  "helpers so spec text round-trips bit-exactly",
                   rel, findings);
     }
   }

@@ -72,19 +72,20 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include <unistd.h>
 
-#include "core/generators.hpp"
 #include "mc/distributed.hpp"
 #include "mc/io_env.hpp"
 #include "mc/run_dir.hpp"
 #include "mc/scenario.hpp"
 #include "mc/service.hpp"
-#include "stats/random.hpp"
+#include "mc/spec.hpp"
 
 namespace {
 
@@ -101,6 +102,8 @@ void usage(std::FILE* out) {
       "  status               fleet progress as %.17g-clean JSON\n"
       "  merge                merged tables of a queued or standalone run dir\n"
       "  drain                raise/clear the graceful-shutdown sentinel\n"
+      "  describe             a run directory's spec/axes as %.17g-clean JSON\n"
+      "  refine               emit the round-N+1 spec from a merged round-N table\n"
       "  single|worker|chaos  aliases for --single/--worker/--chaos below\n"
       "\n"
       "roles (default: coordinator when --run-dir is given, else --single):\n"
@@ -114,10 +117,13 @@ void usage(std::FILE* out) {
       "                       resumable degradation\n"
       "\n"
       "job options (ignored by --worker/--merge-only, which read the manifest):\n"
+      "  --spec FILE          declarative sweep-spec file (see README; the job kind\n"
+      "                       comes from the file's [sweep] kind)\n"
       "  --mode KIND          scenario (default) | demand | experiment\n"
       "                       (--chaos also accepts 'all', its default)\n"
-      "  --preset NAME        smoke (small, default) | ci (big enough to kill mid-run)\n"
-      "  --seed N             campaign seed (default 2026)\n"
+      "  --preset NAME        smoke (small, default) | ci (big enough to kill\n"
+      "                       mid-run); shipped as examples/specs/<mode>_<name>.spec\n"
+      "  --seed N             campaign seed (default 2026; overrides the spec)\n"
       "  --shards N           scenario: per-cell logical shards (0 = budget-scaled)\n"
       "  --budget N           scenario/experiment: samples; demand: demands per target\n"
       "  --engine NAME        experiment sampling engine: fast (default) | exact |\n"
@@ -160,10 +166,13 @@ struct options {
   unsigned chaos_plans = 2;
   unsigned chaos_rate = 30'000;
   std::string preset = "smoke";
+  std::string spec;  // spec file path; empty = use the preset
   std::uint64_t seed = 2026;
+  bool seed_set = false;  // only an explicit --seed overrides a spec's seed
   unsigned shards = 0;
+  bool shards_set = false;
   unsigned threads = 0;
-  std::uint64_t budget = 0;  // 0 = preset default
+  std::uint64_t budget = 0;  // 0 = preset/spec default
   std::string engine;        // empty = fast; experiment mode only
   std::string run_dir;
   unsigned workers = 2;
@@ -178,85 +187,165 @@ struct options {
   std::uint64_t poll_min_ms = 50;
   std::uint64_t poll_max_ms = 1000;
   std::uint64_t max_polls = 0;
+  // describe/refine fields.
+  std::string table;     // refine: merged round-N CSV
+  std::string out;       // refine: round-N+1 spec path
+  std::string out_spec;  // describe: re-emit the run as a launchable spec
 };
 
-mc::scenario_axes make_axes(const options& opt) {
-  mc::scenario_axes axes;
-  if (opt.preset == "smoke") {
-    // The scenario_sweep example's grid: 2 x 2 x 2 x 2 x 1 = 16 quick cells.
-    axes.universes.emplace_back(
-        "safety_grade", core::make_safety_grade_universe(40, 0.0, 0.05, 0.6, 11));
-    axes.universes.emplace_back(
-        "many_small", core::make_many_small_faults_universe(256, 0.05, 0.3, 0.8, 0.2, 12));
-    axes.correlations = {0.0, 0.3};
-    axes.overlaps = {1.0, 0.5};
-    axes.aliasing = {1, 4};
-    axes.budgets = {opt.budget > 0 ? opt.budget : 20'000};
-  } else if (opt.preset == "ci") {
-    // Large enough that a 4-worker sweep takes several seconds — room for
-    // the CI job to SIGKILL it mid-run: 2 x 3 x 2 x 2 x 1 = 24 cells.
-    axes.universes.emplace_back(
-        "safety_grade", core::make_safety_grade_universe(40, 0.0, 0.05, 0.6, 11));
-    axes.universes.emplace_back(
-        "many_small", core::make_many_small_faults_universe(256, 0.05, 0.3, 0.8, 0.2, 12));
-    axes.correlations = {0.0, 0.25, 0.5};
-    axes.overlaps = {1.0, 0.6};
-    axes.aliasing = {1, 3};
-    axes.budgets = {opt.budget > 0 ? opt.budget : 1'000'000};
-  } else {
-    throw std::invalid_argument("unknown preset '" + opt.preset +
-                                "' (expected smoke or ci)");
-  }
-  return axes;
-}
-
 // ---------------------------------------------------------------------------
-// Demand-campaign job: preset manifests + deterministic tally outputs
+// Job declarations: every job — preset or operator-written — is a sweep-spec
+// file resolved by mc::parse_sweep_spec.  The presets below are the shipped
+// examples/specs/<mode>_<preset>.spec files, embedded verbatim so the binary
+// stays self-contained; CI diffs the two copies.
 // ---------------------------------------------------------------------------
 
-/// Deterministic log-uniform roster in [1e-6, 1e-3]: target t's pfd is a
-/// pure splitmix64 hash of (seed, t), so the oracle and every distributed
-/// worker reconstruct the same roster from the same flags.
-std::vector<double> make_demand_roster(std::size_t targets, std::uint64_t seed) {
-  std::vector<double> pfd;
-  pfd.reserve(targets);
-  for (std::size_t t = 0; t < targets; ++t) {
-    std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (t + 0x51ed2701ULL));
-    const double u =
-        static_cast<double>(reldiv::stats::splitmix64_next(state) >> 11) * 0x1.0p-53;
-    pfd.push_back(1e-6 * std::pow(1000.0, u));
-  }
-  return pfd;
-}
+// The scenario_sweep example's grid: 2 x 2 x 2 x 2 x 1 x 1 = 16 quick cells.
+constexpr const char* kScenarioSmokeSpec = R"spec(# Scenario smoke preset: the scenario_sweep example's 16-cell grid.
+[sweep]
+kind = scenario
+seed = 2026
 
-mc::demand_manifest make_demand_manifest(const options& opt) {
-  mc::demand_manifest m;
-  m.seed = opt.seed;
-  if (opt.preset == "smoke") {
-    // 16 quick windows over a small roster.
-    m.target_pfd = make_demand_roster(2'000, opt.seed);
-    m.demands = opt.budget > 0 ? opt.budget : 100'000;
-    m.window = 125;
-  } else if (opt.preset == "ci") {
-    // 49 windows over a 100k-target roster: enough windows that a 4-worker
-    // run quota'd by --max-cells is provably partial when CI kills it.
-    m.target_pfd = make_demand_roster(100'000, opt.seed);
-    m.demands = opt.budget > 0 ? opt.budget : 10'000'000;
-    m.window = 2'048;
-  } else {
-    throw std::invalid_argument("unknown preset '" + opt.preset +
+[universe safety_grade]
+generator = safety_grade
+faults = 40
+p_lo = 0
+p_hi = 0.05
+q_total = 0.6
+gen_seed = 11
+
+[universe many_small]
+generator = many_small
+faults = 256
+p_lo = 0.05
+p_hi = 0.3
+q_total = 0.8
+jitter = 0.2
+gen_seed = 12
+
+[axes]
+rho = 0 0.3
+omega = 1 0.5
+aliasing = 1 4
+budget = 20000
+)spec";
+
+// Large enough that a 4-worker sweep takes several seconds — room for the
+// CI job to SIGKILL it mid-run: 2 x 3 x 2 x 2 x 1 x 1 = 24 cells.
+constexpr const char* kScenarioCiSpec = R"spec(# Scenario ci preset: 24 cells, big enough to kill mid-run.
+[sweep]
+kind = scenario
+seed = 2026
+
+[universe safety_grade]
+generator = safety_grade
+faults = 40
+p_lo = 0
+p_hi = 0.05
+q_total = 0.6
+gen_seed = 11
+
+[universe many_small]
+generator = many_small
+faults = 256
+p_lo = 0.05
+p_hi = 0.3
+q_total = 0.8
+jitter = 0.2
+gen_seed = 12
+
+[axes]
+rho = 0 0.25 0.5
+omega = 1 0.6
+aliasing = 1 3
+budget = 1000000
+)spec";
+
+// 16 quick windows over a small loguniform roster in [1e-6, 1e-3].
+constexpr const char* kDemandSmokeSpec = R"spec(# Demand smoke preset: 16 quick windows over a 2000-target roster.
+[sweep]
+kind = demand
+seed = 2026
+
+[demand]
+demands = 100000
+window = 125
+targets = 2000
+pfd_lo = 1e-06
+pfd_ratio = 1000
+)spec";
+
+// 49 windows over a 100k-target roster: enough windows that a 4-worker run
+// quota'd by --max-cells is provably partial when CI kills it.
+constexpr const char* kDemandCiSpec = R"spec(# Demand ci preset: 49 windows over a 100000-target roster.
+[sweep]
+kind = demand
+seed = 2026
+
+[demand]
+demands = 10000000
+window = 2048
+targets = 100000
+pfd_lo = 1e-06
+pfd_ratio = 1000
+)spec";
+
+// 256 logical shards -> 4 windows.
+constexpr const char* kExperimentSmokeSpec = R"spec(# Experiment smoke preset: 4 shard windows over a small universe.
+[sweep]
+kind = experiment
+seed = 2026
+
+[universe safety_grade]
+generator = safety_grade
+faults = 24
+p_lo = 0
+p_hi = 0.05
+q_total = 0.6
+gen_seed = 5
+
+[experiment]
+universe = safety_grade
+samples = 50000
+window = 64
+)spec";
+
+// Big enough that a 4-worker run takes several seconds — room for the CI
+// job to SIGKILL it mid-run: 256 logical shards -> 16 windows.
+constexpr const char* kExperimentCiSpec = R"spec(# Experiment ci preset: 16 shard windows, big enough to kill mid-run.
+[sweep]
+kind = experiment
+seed = 2026
+
+[universe many_small]
+generator = many_small
+faults = 256
+p_lo = 0.05
+p_hi = 0.3
+q_total = 0.8
+jitter = 0.2
+gen_seed = 12
+
+[experiment]
+universe = many_small
+samples = 6000000
+window = 16
+)spec";
+
+const char* preset_spec_text(const std::string& mode, const std::string& preset) {
+  if (preset != "smoke" && preset != "ci") {
+    throw std::invalid_argument("unknown preset '" + preset +
                                 "' (expected smoke or ci)");
   }
-  return m;
+  const bool smoke = preset == "smoke";
+  if (mode == "scenario") return smoke ? kScenarioSmokeSpec : kScenarioCiSpec;
+  if (mode == "demand") return smoke ? kDemandSmokeSpec : kDemandCiSpec;
+  return smoke ? kExperimentSmokeSpec : kExperimentCiSpec;
 }
 
 // The CSV/JSON emitters (demand_tally_csv, experiment_result_csv, ...) live
 // in mc/distributed.hpp since the service grew a result cache: the oracle,
 // the coordinator merge and a cache entry must render through the same code.
-
-// ---------------------------------------------------------------------------
-// Experiment shard-window job: preset manifests + deterministic outputs
-// ---------------------------------------------------------------------------
 
 mc::sampling_engine parse_engine(const std::string& name) {
   if (name.empty() || name == "fast") return mc::sampling_engine::fast;
@@ -267,27 +356,69 @@ mc::sampling_engine parse_engine(const std::string& name) {
                               "' (expected fast, exact, legacy or fast-simd)");
 }
 
-mc::experiment_manifest make_experiment_manifest_cli(const options& opt) {
-  mc::experiment_config cfg;
-  cfg.seed = opt.seed;
-  cfg.engine = parse_engine(opt.engine);
-  unsigned window = 0;
-  core::fault_universe universe;
-  if (opt.preset == "smoke") {
-    universe = core::make_safety_grade_universe(24, 0.0, 0.05, 0.6, 5);
-    cfg.samples = opt.budget > 0 ? opt.budget : 50'000;
-    window = 64;  // 256 logical shards -> 4 windows
-  } else if (opt.preset == "ci") {
-    // Big enough that a 4-worker run takes several seconds — room for the
-    // CI job to SIGKILL it mid-run: 256 logical shards -> 16 windows.
-    universe = core::make_many_small_faults_universe(256, 0.05, 0.3, 0.8, 0.2, 12);
-    cfg.samples = opt.budget > 0 ? opt.budget : 6'000'000;
-    window = 16;
-  } else {
-    throw std::invalid_argument("unknown preset '" + opt.preset +
-                                "' (expected smoke or ci)");
+/// A spec file (or embedded preset) that failed to parse.  Carries the
+/// rendered file:line: field: message diagnostics; the CLI prints them bare
+/// and exits 2 — no usage dump, the position IS the explanation.
+struct spec_failure : std::runtime_error {
+  explicit spec_failure(std::string rendered) : std::runtime_error(std::move(rendered)) {}
+};
+
+std::string render_spec_errors(const std::vector<mc::spec_error>& errors) {
+  std::string out;
+  for (const mc::spec_error& e : errors) {
+    if (!out.empty()) out += '\n';
+    out += e.render();
   }
-  return mc::make_experiment_manifest(universe, cfg, window);
+  return out;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw spec_failure(path + ": cannot read file");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+const char* mode_of_kind(mc::job_kind kind) {
+  switch (kind) {
+    case mc::job_kind::scenario_grid:
+      return "scenario";
+    case mc::job_kind::demand_campaign:
+      return "demand";
+    case mc::job_kind::experiment_shards:
+      return "experiment";
+  }
+  return "?";
+}
+
+/// Resolve the job declaration: --spec FILE when given, else the embedded
+/// preset for (--mode, --preset).  Explicit CLI flags override the spec's
+/// values (an unset flag never clobbers the file).
+mc::sweep_spec resolve_spec(const options& opt) {
+  mc::spec_overrides ov;
+  if (opt.seed_set) ov.seed = opt.seed;
+  if (opt.budget > 0) ov.budget = opt.budget;
+  if (opt.shards_set) ov.shards = opt.shards;
+  if (!opt.engine.empty()) ov.engine = parse_engine(opt.engine);
+
+  std::string text;
+  std::string label;
+  if (!opt.spec.empty()) {
+    text = read_text_file(opt.spec);
+    label = opt.spec;
+  } else {
+    text = preset_spec_text(opt.mode, opt.preset);
+    label = "<preset " + opt.mode + "/" + opt.preset + ">";
+  }
+  mc::spec_parse_result result = mc::parse_sweep_spec(text, label, ov);
+  if (!result.spec) throw spec_failure(render_spec_errors(result.errors));
+  if (opt.mode_set && opt.mode != mode_of_kind(result.spec->kind)) {
+    throw spec_failure(label + ": spec kind '" +
+                       std::string(mode_of_kind(result.spec->kind)) +
+                       "' disagrees with --mode " + opt.mode);
+  }
+  return std::move(*result.spec);
 }
 
 // ---------------------------------------------------------------------------
@@ -401,10 +532,14 @@ options parse_args(int argc, char** argv) {
       opt.quiet = true;
     } else if (arg == "--preset") {
       opt.preset = value();
+    } else if (arg == "--spec") {
+      opt.spec = value();
     } else if (arg == "--seed") {
       opt.seed = parse_u64("--seed", value());
+      opt.seed_set = true;
     } else if (arg == "--shards") {
       opt.shards = parse_u32("--shards", value());
+      opt.shards_set = true;
     } else if (arg == "--threads") {
       opt.threads = parse_u32("--threads", value());
     } else if (arg == "--budget") {
@@ -440,6 +575,10 @@ options parse_args(int argc, char** argv) {
   if (!opt.single && !opt.worker && !opt.merge_only && !opt.chaos &&
       opt.run_dir.empty()) {
     opt.single = true;  // no run dir -> nothing to distribute
+  }
+  if (opt.chaos && !opt.spec.empty()) {
+    throw std::invalid_argument("--chaos sweeps its own preset jobs; --spec applies "
+                                "to coordinator/--single runs");
   }
   if (opt.chaos && !opt.mode_set) opt.mode = "all";  // sweep every job kind
   const bool mode_ok = opt.mode == "scenario" || opt.mode == "demand" ||
@@ -484,25 +623,25 @@ std::size_t run_chaos(const options& opt, const std::string& exe) {
     // The in-process oracle, computed once per mode, and the distributed
     // campaign packaged as "config -> merged CSV" so the trial loop is
     // kind-agnostic.
+    const mc::sweep_spec job = resolve_spec(mopt);
     std::string oracle;
     std::function<std::string(const mc::distributed_config&)> campaign;
     if (mode == "scenario") {
-      const mc::scenario_axes axes = make_axes(mopt);
-      const mc::scenario_config cfg{.seed = mopt.seed, .threads = mopt.threads,
-                                    .shards = mopt.shards};
-      oracle = mc::run_scenario_grid(axes, cfg).to_csv();
-      campaign = [axes, cfg, exe](const mc::distributed_config& dist) {
-        return mc::run_distributed_grid(axes, cfg, dist, exe).to_csv();
+      const auto& m = std::get<mc::sweep_manifest>(job.manifest);
+      const mc::scenario_config cfg = m.config(mopt.threads);
+      oracle = mc::run_scenario_grid(m.axes, cfg).to_csv();
+      campaign = [m, cfg, exe](const mc::distributed_config& dist) {
+        return mc::run_distributed_grid(m.axes, cfg, dist, exe).to_csv();
       };
     } else if (mode == "demand") {
-      const mc::demand_manifest m = make_demand_manifest(mopt);
+      const auto& m = std::get<mc::demand_manifest>(job.manifest);
       oracle = demand_tally_csv(
           m, mc::run_demand_campaign(m.target_pfd, m.demands, m.config(mopt.threads)));
       campaign = [m, exe](const mc::distributed_config& dist) {
         return demand_tally_csv(m, mc::run_distributed_demand(m, dist, exe));
       };
     } else {
-      const mc::experiment_manifest m = make_experiment_manifest_cli(mopt);
+      const auto& m = std::get<mc::experiment_manifest>(job.manifest);
       oracle = experiment_result_csv(mc::run_experiment(m.universe, m.config(mopt.threads)));
       campaign = [m, exe](const mc::distributed_config& dist) {
         return experiment_result_csv(mc::run_distributed_experiment(m, dist, exe));
@@ -627,8 +766,9 @@ int run(const options& opt, const char* argv0) {
     }
   }
 
-  if (opt.mode == "demand") {
-    const mc::demand_manifest m = make_demand_manifest(opt);
+  const mc::sweep_spec job = resolve_spec(opt);
+  if (job.kind == mc::job_kind::demand_campaign) {
+    const auto& m = std::get<mc::demand_manifest>(job.manifest);
     const mc::demand_tally tally =
         distribute ? mc::run_distributed_demand(m, dist, self_exe(argv0))
                    : mc::run_demand_campaign(m.target_pfd, m.demands,
@@ -637,8 +777,8 @@ int run(const options& opt, const char* argv0) {
     return 0;
   }
 
-  if (opt.mode == "experiment") {
-    const mc::experiment_manifest m = make_experiment_manifest_cli(opt);
+  if (job.kind == mc::job_kind::experiment_shards) {
+    const auto& m = std::get<mc::experiment_manifest>(job.manifest);
     const mc::experiment_result result =
         distribute ? mc::run_distributed_experiment(m, dist, self_exe(argv0))
                    : mc::run_experiment(m.universe, m.config(opt.threads));
@@ -646,13 +786,12 @@ int run(const options& opt, const char* argv0) {
     return 0;
   }
 
-  const mc::scenario_axes axes = make_axes(opt);
-  const mc::scenario_config cfg{.seed = opt.seed, .threads = opt.threads,
-                                .shards = opt.shards};
+  const auto& m = std::get<mc::sweep_manifest>(job.manifest);
+  const mc::scenario_config cfg = m.config(opt.threads);
   if (distribute) {
-    write_outputs(mc::run_distributed_grid(axes, cfg, dist, self_exe(argv0)), opt);
+    write_outputs(mc::run_distributed_grid(m.axes, cfg, dist, self_exe(argv0)), opt);
   } else {
-    write_outputs(mc::run_scenario_grid(axes, cfg), opt);
+    write_outputs(mc::run_scenario_grid(m.axes, cfg), opt);
   }
   return 0;
 }
@@ -693,9 +832,10 @@ const char* service_usage(const std::string& cmd) {
            "  --root DIR           service root\n"
            "  --name NAME          submission name (default run_<fingerprint>;\n"
            "                       names order the queue lexicographically)\n"
+           "  --spec FILE          declarative sweep-spec file (kind from the file)\n"
            "  --mode KIND          scenario (default) | demand | experiment\n"
            "  --preset NAME        smoke (default) | ci\n"
-           "  --seed N             campaign seed (default 2026)\n"
+           "  --seed N             campaign seed (default 2026; overrides the spec)\n"
            "  --shards N           scenario: per-cell logical shards\n"
            "  --budget N           samples / demands per target\n"
            "  --engine NAME        experiment engine: fast|exact|legacy|fast-simd\n"
@@ -746,8 +886,8 @@ bool service_flag_allowed(const std::string& cmd, const std::string& flag) {
        " --root --workers --max-cells --poll-min-ms --poll-max-ms --max-polls"
        " --quiet "},
       {"submit",
-       " --root --name --mode --preset --seed --shards --budget --engine --wait"
-       " --poll-min-ms --poll-max-ms --out-csv --out-json --quiet "},
+       " --root --name --spec --mode --preset --seed --shards --budget --engine"
+       " --wait --poll-min-ms --poll-max-ms --out-csv --out-json --quiet "},
       {"status", " --root --out-json --quiet "},
       {"merge",
        " --root --name --run-dir --wait --poll-min-ms --poll-max-ms --out-csv"
@@ -803,12 +943,17 @@ options parse_service_args(const std::string& cmd, int argc, char** argv) {
       opt.quiet = true;
     } else if (arg == "--mode") {
       opt.mode = value();
+      opt.mode_set = true;
     } else if (arg == "--preset") {
       opt.preset = value();
+    } else if (arg == "--spec") {
+      opt.spec = value();
     } else if (arg == "--seed") {
       opt.seed = parse_u64("--seed", value());
+      opt.seed_set = true;
     } else if (arg == "--shards") {
       opt.shards = parse_u32("--shards", value());
+      opt.shards_set = true;
     } else if (arg == "--budget") {
       opt.budget = parse_u64("--budget", value());
     } else if (arg == "--engine") {
@@ -918,29 +1063,24 @@ std::string default_run_name(std::uint64_t fingerprint) {
 
 int cmd_submit(const options& opt) {
   namespace fs = std::filesystem;
-  // Build the manifest and its fingerprint BEFORE touching the filesystem:
+  // Resolve the spec and its fingerprint BEFORE touching the filesystem:
   // a cache hit must not create a run directory.
+  const mc::sweep_spec job = resolve_spec(opt);
   std::uint64_t fp = 0;
   std::function<mc::run_handle(const fs::path&)> init;
-  if (opt.mode == "demand") {
-    const mc::demand_manifest m = make_demand_manifest(opt);
+  if (job.kind == mc::job_kind::demand_campaign) {
+    const auto& m = std::get<mc::demand_manifest>(job.manifest);
     fp = mc::demand_manifest_fingerprint(m);
     init = [m](const fs::path& dir) { return mc::run_handle::init(m, dir); };
-  } else if (opt.mode == "experiment") {
-    const mc::experiment_manifest m = make_experiment_manifest_cli(opt);
+  } else if (job.kind == mc::job_kind::experiment_shards) {
+    const auto& m = std::get<mc::experiment_manifest>(job.manifest);
     fp = mc::experiment_manifest_fingerprint(m);
     init = [m](const fs::path& dir) { return mc::run_handle::init(m, dir); };
   } else {
-    const mc::scenario_axes axes = make_axes(opt);
-    mc::sweep_manifest m;
-    m.axes = axes;
-    m.seed = opt.seed;
-    m.shards = opt.shards;
-    m.cell_count = mc::enumerate_cells(axes).size();
+    const auto& m = std::get<mc::sweep_manifest>(job.manifest);
     fp = mc::manifest_fingerprint(m);
-    const mc::scenario_config cfg = m.config();
-    init = [axes, cfg](const fs::path& dir) {
-      return mc::run_handle::init(axes, cfg, dir);
+    init = [m](const fs::path& dir) {
+      return mc::run_handle::init(m.axes, m.config(), dir);
     };
   }
 
@@ -1052,6 +1192,146 @@ int cmd_drain(const options& opt) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// describe / refine subcommands (spec-layer tools; no service root involved)
+// ---------------------------------------------------------------------------
+
+const char* tool_usage(const std::string& cmd) {
+  if (cmd == "describe") {
+    return "usage: reldiv_sweep describe RUN_DIR [--out-json PATH]\n"
+           "                             [--out-spec PATH] [--quiet]\n"
+           "\n"
+           "Print the run directory's spec/axes as %.17g-clean JSON (kind,\n"
+           "fingerprint, seed, every axis, atom-for-atom universes).  --out-spec\n"
+           "re-emits the run as a launchable sweep-spec file: submitting it\n"
+           "reproduces the manifest fingerprint exactly.\n";
+  }
+  return "usage: reldiv_sweep refine --spec ROUND_N.spec --table MERGED.csv\n"
+         "                           --out ROUND_N+1.spec [--quiet]\n"
+         "\n"
+         "Deterministic adaptive refinement: re-budget every cell of a scenario\n"
+         "spec (which must carry a [refine] section) as a pure function of the\n"
+         "merged round-N results table, and write the round-N+1 spec — same\n"
+         "grid, same seeds, per-cell `cell_budget` overrides.  The output is\n"
+         "byte-identical for identical inputs, whatever produced the table.\n"
+         "\n"
+         "exit: 0 written; 2 malformed spec/table (with file:line positions)\n";
+}
+
+options parse_tool_args(const std::string& cmd, int argc, char** argv) {
+  options opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " expects a value");
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(tool_usage(cmd), stdout);
+      std::exit(0);
+    }
+    if (cmd == "describe" && arg == "--run-dir") {
+      opt.run_dir = value();
+    } else if (cmd == "describe" && arg == "--out-json") {
+      opt.out_json = value();
+    } else if (cmd == "describe" && arg == "--out-spec") {
+      opt.out_spec = value();
+    } else if (cmd == "describe" && !arg.empty() && arg[0] != '-' &&
+               opt.run_dir.empty()) {
+      opt.run_dir = arg;  // positional run directory
+    } else if (cmd == "refine" && arg == "--spec") {
+      opt.spec = value();
+    } else if (cmd == "refine" && arg == "--table") {
+      opt.table = value();
+    } else if (cmd == "refine" && arg == "--out") {
+      opt.out = value();
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else {
+      throw std::invalid_argument("unknown flag '" + arg + "' for '" + cmd +
+                                  "' (see reldiv_sweep " + cmd + " --help)");
+    }
+  }
+  if (cmd == "describe" && opt.run_dir.empty()) {
+    throw std::invalid_argument("describe needs a run directory");
+  }
+  if (cmd == "refine" && (opt.spec.empty() || opt.table.empty() || opt.out.empty())) {
+    throw std::invalid_argument("refine needs --spec, --table and --out");
+  }
+  return opt;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f << text;
+  if (!f) throw std::runtime_error("cannot write " + path);
+}
+
+int cmd_describe(const options& opt) {
+  const mc::run_handle handle = mc::run_handle::open(opt.run_dir);
+  const std::string json = handle.describe();
+  if (!opt.out_json.empty()) write_text_file(opt.out_json, json);
+  if (!opt.out_spec.empty()) {
+    write_text_file(opt.out_spec,
+                    mc::write_sweep_spec(mc::spec_from_manifest(handle.manifest())));
+  }
+  if (!opt.quiet) std::fputs(json.c_str(), stdout);
+  return 0;
+}
+
+int cmd_refine(const options& opt) {
+  mc::spec_parse_result parsed =
+      mc::parse_sweep_spec(read_text_file(opt.spec), opt.spec);
+  if (!parsed.spec) throw spec_failure(render_spec_errors(parsed.errors));
+  mc::sweep_spec spec = std::move(*parsed.spec);
+  if (spec.kind != mc::job_kind::scenario_grid) {
+    throw spec_failure(opt.spec + ": refinement applies to scenario grids only");
+  }
+  if (!spec.has_refine) {
+    throw spec_failure(opt.spec +
+                       ": no [refine] section — add one to declare the rule");
+  }
+  auto& m = std::get<mc::sweep_manifest>(spec.manifest);
+  std::uint64_t old_total = 0;
+  for (const mc::scenario_cell& cell : mc::enumerate_cells(m.axes)) {
+    old_total += cell.samples;
+  }
+  mc::refined_budgets refined = mc::compute_refined_budgets(
+      m, spec.refine, read_text_file(opt.table), opt.table);
+  if (!refined.errors.empty()) throw spec_failure(render_spec_errors(refined.errors));
+  std::uint64_t new_total = 0;
+  for (const std::uint64_t b : refined.budgets) new_total += b;
+  m.axes.cell_budgets = std::move(refined.budgets);
+  write_text_file(opt.out, mc::write_sweep_spec(spec));
+  if (!opt.quiet) {
+    std::printf("refine: %llu cells, total budget %llu -> %llu, spec -> %s\n",
+                static_cast<unsigned long long>(m.cell_count),
+                static_cast<unsigned long long>(old_total),
+                static_cast<unsigned long long>(new_total), opt.out.c_str());
+  }
+  return 0;
+}
+
+int tool_main(const std::string& cmd, int argc, char** argv) {
+  options opt;
+  try {
+    opt = parse_tool_args(cmd, argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "reldiv_sweep %s: %s\n", cmd.c_str(), e.what());
+    std::fputs(tool_usage(cmd), stderr);
+    return 2;
+  }
+  try {
+    return cmd == "describe" ? cmd_describe(opt) : cmd_refine(opt);
+  } catch (const spec_failure& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "reldiv_sweep %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
+
 int legacy_main(int argc, char** argv) {
   options opt;
   try {
@@ -1063,6 +1343,11 @@ int legacy_main(int argc, char** argv) {
   }
   try {
     return run(opt, argv[0]);
+  } catch (const spec_failure& e) {
+    // Spec diagnostics carry their own file:line positions — print them
+    // bare; a usage dump would bury them.
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "reldiv_sweep: %s\n", e.what());
     return 1;
@@ -1084,6 +1369,9 @@ int service_main(const std::string& cmd, int argc, char** argv) {
     if (cmd == "status") return cmd_status(opt);
     if (cmd == "merge") return cmd_merge(opt);
     return cmd_drain(opt);
+  } catch (const spec_failure& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "reldiv_sweep %s: %s\n", cmd.c_str(), e.what());
     return 1;
@@ -1098,6 +1386,9 @@ int main(int argc, char** argv) {
     if (cmd == "serve" || cmd == "submit" || cmd == "status" || cmd == "merge" ||
         cmd == "drain") {
       return service_main(cmd, argc, argv);
+    }
+    if (cmd == "describe" || cmd == "refine") {
+      return tool_main(cmd, argc, argv);
     }
     if (cmd == "single" || cmd == "worker" || cmd == "chaos") {
       // Aliases for the classic role flags: rewrite `reldiv_sweep worker ...`
